@@ -1,0 +1,170 @@
+//! FPGA resource vectors (the four columns of Table I).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One row of synthesis results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Slice registers.
+    pub slice_regs: u32,
+    /// Slice LUTs.
+    pub slice_luts: u32,
+    /// Fully-used LUT-FF pairs.
+    pub lutff_pairs: u32,
+    /// 36K block RAMs.
+    pub brams: u32,
+}
+
+impl Resources {
+    /// All-zero vector.
+    pub const ZERO: Resources = Resources::new(0, 0, 0, 0);
+
+    /// Construct a vector.
+    pub const fn new(slice_regs: u32, slice_luts: u32, lutff_pairs: u32, brams: u32) -> Self {
+        Resources { slice_regs, slice_luts, lutff_pairs, brams }
+    }
+
+    /// Per-column overhead of `self` relative to `baseline`, in percent.
+    ///
+    /// Returns `[regs, luts, pairs, brams]`. A zero baseline column yields
+    /// 0% rather than dividing by zero.
+    pub fn overhead_pct(&self, baseline: &Resources) -> [f64; 4] {
+        let pct = |a: u32, b: u32| {
+            if b == 0 {
+                0.0
+            } else {
+                (f64::from(a) - f64::from(b)) / f64::from(b) * 100.0
+            }
+        };
+        [
+            pct(self.slice_regs, baseline.slice_regs),
+            pct(self.slice_luts, baseline.slice_luts),
+            pct(self.lutff_pairs, baseline.lutff_pairs),
+            pct(self.brams, baseline.brams),
+        ]
+    }
+
+    /// Saturating subtraction per column (useful for deltas).
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            slice_regs: self.slice_regs.saturating_sub(other.slice_regs),
+            slice_luts: self.slice_luts.saturating_sub(other.slice_luts),
+            lutff_pairs: self.lutff_pairs.saturating_sub(other.lutff_pairs),
+            brams: self.brams.saturating_sub(other.brams),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            slice_regs: self.slice_regs + rhs.slice_regs,
+            slice_luts: self.slice_luts + rhs.slice_luts,
+            lutff_pairs: self.lutff_pairs + rhs.lutff_pairs,
+            brams: self.brams + rhs.brams,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            slice_regs: self.slice_regs - rhs.slice_regs,
+            slice_luts: self.slice_luts - rhs.slice_luts,
+            lutff_pairs: self.lutff_pairs - rhs.lutff_pairs,
+            brams: self.brams - rhs.brams,
+        }
+    }
+}
+
+impl Mul<u32> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u32) -> Resources {
+        Resources {
+            slice_regs: self.slice_regs * n,
+            slice_luts: self.slice_luts * n,
+            lutff_pairs: self.lutff_pairs * n,
+            brams: self.brams * n,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>7} regs {:>7} LUTs {:>7} pairs {:>4} BRAM",
+            self.slice_regs, self.slice_luts, self.lutff_pairs, self.brams
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 20, 30, 4);
+        let b = Resources::new(1, 2, 3, 1);
+        assert_eq!(a + b, Resources::new(11, 22, 33, 5));
+        assert_eq!(a - b, Resources::new(9, 18, 27, 3));
+        assert_eq!(b * 3, Resources::new(3, 6, 9, 3));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Resources = vec![Resources::new(1, 1, 1, 0); 5].into_iter().sum();
+        assert_eq!(total, Resources::new(5, 5, 5, 0));
+    }
+
+    #[test]
+    fn overhead_percentages_match_paper_bram_column() {
+        // 53 -> 63 BRAMs is the paper's +18.87%.
+        let base = Resources::new(12895, 11474, 15473, 53);
+        let with = Resources::new(15833, 19554, 21530, 63);
+        let pct = with.overhead_pct(&base);
+        assert!((pct[3] - 18.867924528301888).abs() < 1e-9);
+        assert!(pct[0] > 0.0 && pct[1] > 0.0 && pct[2] > 0.0);
+    }
+
+    #[test]
+    fn overhead_zero_baseline_is_zero() {
+        let pct = Resources::new(5, 5, 5, 5).overhead_pct(&Resources::ZERO);
+        assert_eq!(pct, [0.0; 4]);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Resources::new(1, 1, 1, 1);
+        let b = Resources::new(2, 0, 2, 0);
+        assert_eq!(a.saturating_sub(&b), Resources::new(0, 1, 0, 1));
+    }
+
+    #[test]
+    fn display_contains_all_columns() {
+        let s = Resources::new(1, 2, 3, 4).to_string();
+        assert!(s.contains("regs") && s.contains("LUTs") && s.contains("BRAM"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Renders the paper's Table I from the model.
+
+use crate::model::{
+    AreaModel, SystemShape, DEFAULT_RULES_PER_FIREWALL, MODULE_CC, MODULE_IC, MODULE_LF, MODULE_SB,
+};
+use crate::resources::Resources;
+
+/// The regenerated Table I.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Generic system without firewalls.
+    pub without: Resources,
+    /// Generic system with firewalls.
+    pub with: Resources,
+    /// Overhead percentages (with vs without), per column.
+    pub overhead_pct: [f64; 4],
+    /// LCF Security Builder.
+    pub sb: Resources,
+    /// LCF Confidentiality Core.
+    pub cc: Resources,
+    /// LCF Integrity Core.
+    pub ic: Resources,
+    /// One Local Firewall.
+    pub lf: Resources,
+}
+
+impl Table1 {
+    /// Regenerate the table for the paper's case study.
+    pub fn case_study() -> Table1 {
+        Table1::for_shape(SystemShape::CASE_STUDY, DEFAULT_RULES_PER_FIREWALL)
+    }
+
+    /// Regenerate for an arbitrary shape/rule count (ablations).
+    pub fn for_shape(shape: SystemShape, rules: u32) -> Table1 {
+        let m = AreaModel;
+        let without = m.generic_system(shape);
+        let with = m.system_with_firewalls(shape, rules);
+        Table1 {
+            without,
+            with,
+            overhead_pct: with.overhead_pct(&without),
+            sb: MODULE_SB,
+            cc: MODULE_CC,
+            ic: MODULE_IC,
+            lf: MODULE_LF,
+        }
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let row = |name: &str, r: &Resources| {
+            format!(
+                "{:<24} {:>10} {:>10} {:>12} {:>8}\n",
+                name, r.slice_regs, r.slice_luts, r.lutff_pairs, r.brams
+            )
+        };
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>12} {:>8}\n",
+            "", "Slice Regs", "Slice LUTs", "LUT-FF pairs", "BRAMs"
+        ));
+        out.push_str(&row("Generic w/o firewalls", &self.without));
+        out.push_str(&row("Generic w/ firewalls", &self.with));
+        out.push_str(&format!(
+            "{:<24} {:>9.2}% {:>9.2}% {:>11.2}% {:>7.2}%\n",
+            "  overhead",
+            self.overhead_pct[0],
+            self.overhead_pct[1],
+            self.overhead_pct[2],
+            self.overhead_pct[3]
+        ));
+        out.push_str(&row("LCF: Security Builder", &self.sb));
+        out.push_str(&row("LCF: Confidentiality", &self.cc));
+        out.push_str(&row("LCF: Integrity", &self.ic));
+        out.push_str(&row("Local Firewall", &self.lf));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GENERIC_WITH, GENERIC_WITHOUT};
+
+    #[test]
+    fn case_study_rows_match_paper() {
+        let t = Table1::case_study();
+        assert_eq!(t.without, GENERIC_WITHOUT);
+        assert_eq!(t.with, GENERIC_WITH);
+        assert_eq!(t.sb, Resources::new(0, 393, 393, 0));
+        assert_eq!(t.cc, Resources::new(436, 986, 344, 10));
+        assert_eq!(t.ic, Resources::new(1224, 1404, 1704, 0));
+        assert_eq!(t.lf, Resources::new(8, 403, 403, 0));
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_numbers() {
+        let s = Table1::case_study().render();
+        for needle in ["12895", "15833", "11474", "19554", "393", "986", "1404", "403", "63"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+        assert!(s.contains("Generic w/o firewalls"));
+        assert!(s.contains("overhead"));
+    }
+
+    #[test]
+    fn derived_overheads_are_reported() {
+        let t = Table1::case_study();
+        // Derived from the absolute counts (see DESIGN.md on the OCR
+        // mismatch with the paper's printed percentages).
+        assert!((t.overhead_pct[0] - 22.78).abs() < 0.01);
+        assert!((t.overhead_pct[3] - 18.87).abs() < 0.01);
+    }
+
+    #[test]
+    fn bigger_rule_sets_raise_the_with_row_only() {
+        let base = Table1::for_shape(SystemShape::CASE_STUDY, 8);
+        let heavy = Table1::for_shape(SystemShape::CASE_STUDY, 40);
+        assert_eq!(base.without, heavy.without);
+        assert!(heavy.with.slice_luts > base.with.slice_luts);
+    }
+}

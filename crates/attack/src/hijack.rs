@@ -1,0 +1,275 @@
+//! Compromised IPs: the hijacked master and the DoS flooder.
+
+use secbus_bus::{Op, TxnId, Width};
+use secbus_cpu::{BusMaster, MasterAccess};
+use secbus_sim::{Cycle, Stats};
+
+/// What the hijacked master is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HijackPhase {
+    /// Behaving normally (periodic allowed accesses).
+    Benign,
+    /// Issuing attack transactions.
+    Attacking,
+    /// Finished its script.
+    Done,
+}
+
+/// One scripted attack access.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackOp {
+    /// Read or write.
+    pub op: Op,
+    /// Target address (typically outside the IP's policy).
+    pub addr: u32,
+    /// Access width (a wrong width exercises the ADF check).
+    pub width: Width,
+    /// Payload for writes.
+    pub data: u32,
+}
+
+/// A compromised IP: benign traffic until `turn_at`, then a scripted
+/// attack sequence — the observable behaviour of "running a malicious
+/// source code on a processor to misbehave the whole embedded system".
+pub struct HijackedMaster {
+    label: String,
+    /// Allowed address the benign phase touches.
+    benign_addr: u32,
+    benign_period: u64,
+    turn_at: u64,
+    script: Vec<AttackOp>,
+    script_pos: usize,
+    outstanding: Option<TxnId>,
+    next_at: u64,
+    first_attack_issue: Option<Cycle>,
+    stats: Stats,
+}
+
+impl HijackedMaster {
+    /// Build a hijacked master that turns malicious at cycle `turn_at`.
+    pub fn new(
+        label: impl Into<String>,
+        benign_addr: u32,
+        benign_period: u64,
+        turn_at: u64,
+        script: Vec<AttackOp>,
+    ) -> Self {
+        assert!(!script.is_empty(), "attack script must not be empty");
+        HijackedMaster {
+            label: label.into(),
+            benign_addr,
+            benign_period: benign_period.max(1),
+            turn_at,
+            script,
+            script_pos: 0,
+            outstanding: None,
+            next_at: 0,
+            first_attack_issue: None,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self, now: Cycle) -> HijackPhase {
+        if self.script_pos >= self.script.len() {
+            HijackPhase::Done
+        } else if now.get() >= self.turn_at {
+            HijackPhase::Attacking
+        } else {
+            HijackPhase::Benign
+        }
+    }
+
+    /// Cycle of the first attack transaction, once issued.
+    pub fn first_attack_issue(&self) -> Option<Cycle> {
+        self.first_attack_issue
+    }
+
+    /// Attack responses that came back as errors (= discarded upstream).
+    pub fn attack_rejections(&self) -> u64 {
+        self.stats.counter("hijack.attack_rejected")
+    }
+}
+
+impl BusMaster for HijackedMaster {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
+        if let Some(txn) = self.outstanding {
+            if let Some(resp) = mem.poll() {
+                debug_assert_eq!(resp.txn, txn);
+                let attacking = self.first_attack_issue.is_some();
+                match (attacking, resp.is_ok()) {
+                    (true, true) => self.stats.incr("hijack.attack_succeeded"),
+                    (true, false) => self.stats.incr("hijack.attack_rejected"),
+                    (false, true) => self.stats.incr("hijack.benign_ok"),
+                    (false, false) => self.stats.incr("hijack.benign_err"),
+                }
+                self.outstanding = None;
+                self.next_at = now.get() + self.benign_period;
+            }
+            return;
+        }
+        if now.get() < self.next_at {
+            return;
+        }
+        match self.phase(now) {
+            HijackPhase::Done => {}
+            HijackPhase::Benign => {
+                let txn = mem.issue(Op::Write, self.benign_addr, Width::Word, now.get() as u32, 1);
+                self.outstanding = Some(txn);
+            }
+            HijackPhase::Attacking => {
+                let op = self.script[self.script_pos];
+                self.script_pos += 1;
+                let txn = mem.issue(op.op, op.addr, op.width, op.data, 1);
+                if self.first_attack_issue.is_none() {
+                    self.first_attack_issue = Some(now);
+                }
+                self.outstanding = Some(txn);
+                self.stats.incr("hijack.attacks_issued");
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.script_pos >= self.script.len() && self.outstanding.is_none()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// A denial-of-service flooder: back-to-back requests to one address,
+/// as many as its interface lets through.
+pub struct DosFlooder {
+    label: String,
+    target: u32,
+    total: u64,
+    burst: u16,
+    sent: u64,
+    outstanding: Option<TxnId>,
+    stats: Stats,
+}
+
+impl DosFlooder {
+    /// Flood `target` with `total` word writes (0 = forever).
+    pub fn new(label: impl Into<String>, target: u32, total: u64) -> Self {
+        DosFlooder {
+            label: label.into(),
+            target,
+            total,
+            burst: 1,
+            sent: 0,
+            outstanding: None,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Use `burst` beats per flood transaction (longer bus occupancy per
+    /// grant — the heavy variant of the attack).
+    pub fn with_burst(mut self, burst: u16) -> Self {
+        self.burst = burst.max(1);
+        self
+    }
+
+    /// Requests issued so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl BusMaster for DosFlooder {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, _now: Cycle) {
+        if let Some(txn) = self.outstanding {
+            if let Some(resp) = mem.poll() {
+                debug_assert_eq!(resp.txn, txn);
+                if resp.is_ok() {
+                    self.stats.incr("dos.accepted");
+                } else {
+                    self.stats.incr("dos.rejected");
+                }
+                self.outstanding = None;
+            } else {
+                return;
+            }
+        }
+        if self.total != 0 && self.sent >= self.total {
+            return;
+        }
+        let txn = mem.issue(Op::Write, self.target, Width::Word, 0xD05, self.burst);
+        self.outstanding = Some(txn);
+        self.sent += 1;
+    }
+
+    fn halted(&self) -> bool {
+        self.total != 0 && self.sent >= self.total && self.outstanding.is_none()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbus_cpu::master::InstantMem;
+
+    #[test]
+    fn hijacked_master_turns_at_schedule() {
+        let script = vec![AttackOp { op: Op::Write, addr: 0x40, width: Width::Word, data: 1 }];
+        let mut h = HijackedMaster::new("mal", 0x0, 2, 10, script);
+        let mut mem = InstantMem::new(0x100);
+        assert_eq!(h.phase(Cycle(0)), HijackPhase::Benign);
+        for c in 0..40 {
+            h.tick(&mut mem, Cycle(c));
+        }
+        assert!(h.halted());
+        let attack_issue = h.first_attack_issue().unwrap();
+        assert!(attack_issue.get() >= 10);
+        assert!(h.stats().counter("hijack.benign_ok") > 0);
+        assert_eq!(h.stats().counter("hijack.attacks_issued"), 1);
+        assert_eq!(h.stats().counter("hijack.attack_succeeded"), 1, "no firewall here");
+    }
+
+    #[test]
+    fn rejected_attack_is_counted() {
+        // InstantMem errors on out-of-range -> models a firewall discard.
+        let script = vec![AttackOp { op: Op::Read, addr: 0x9999, width: Width::Word, data: 0 }];
+        let mut h = HijackedMaster::new("mal", 0x0, 1, 0, script);
+        let mut mem = InstantMem::new(0x100);
+        for c in 0..10 {
+            h.tick(&mut mem, Cycle(c));
+        }
+        assert_eq!(h.attack_rejections(), 1);
+    }
+
+    #[test]
+    fn flooder_saturates_interface() {
+        let mut f = DosFlooder::new("dos", 0x10, 100);
+        let mut mem = InstantMem::new(0x100);
+        let mut cycles = 0;
+        while !f.halted() && cycles < 1000 {
+            f.tick(&mut mem, Cycle(cycles));
+            cycles += 1;
+        }
+        assert_eq!(f.sent(), 100);
+        assert_eq!(f.stats().counter("dos.accepted"), 100);
+    }
+}

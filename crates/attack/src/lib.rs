@@ -1,0 +1,27 @@
+//! # secbus-attack — the threat model, executable
+//!
+//! Implements the paper's §III attacker: logical attacks through the
+//! external bus and external memory (the FPGA itself is trusted).
+//!
+//! * [`tamper::Adversary`] — the physical attacker on the DDR: snapshot,
+//!   replay, relocate and spoof stored bytes, bypassing every functional
+//!   path (and therefore every check — detection has to come from the
+//!   Integrity Core).
+//! * [`hijack::HijackedMaster`] — a compromised IP: runs a benign access
+//!   pattern, then starts issuing out-of-policy transactions (processor
+//!   hijacking after malicious code was introduced through an unprotected
+//!   memory window).
+//! * [`hijack::DosFlooder`] — denial-of-service: saturates its interface
+//!   with requests; with a firewall in front, violating floods die at the
+//!   interface instead of consuming the bus.
+//! * [`scenario`] — canned end-to-end scenarios against the case study,
+//!   each reporting detection latency, containment and data compromise —
+//!   the three security features of §III-C, measured.
+
+pub mod hijack;
+pub mod scenario;
+pub mod tamper;
+
+pub use hijack::{AttackOp, DosFlooder, HijackedMaster, HijackPhase};
+pub use scenario::{run_all_scenarios, AttackOutcome, Scenario};
+pub use tamper::Adversary;

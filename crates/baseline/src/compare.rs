@@ -1,0 +1,140 @@
+//! Distributed vs centralized under the same offered load.
+//!
+//! Both models see the identical Poisson-ish arrival process (one Bernoulli
+//! draw per IP per cycle). The distributed scheme checks every request
+//! locally in a constant [`SbTiming`] pass — checks at different IPs run
+//! in parallel by construction. The centralized scheme routes every check
+//! through the single [`CentralManager`].
+
+use secbus_core::SbTiming;
+use secbus_sim::{Cycle, Histogram, SimRng};
+
+use crate::sem::{CentralManager, SemConfig};
+
+/// One row of the S-4 comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Number of requesting IPs.
+    pub ips: u32,
+    /// Per-IP probability of issuing a check each cycle.
+    pub load: f64,
+    /// Mean check latency, distributed.
+    pub distributed_mean: f64,
+    /// Mean check latency, centralized.
+    pub centralized_mean: f64,
+    /// 99th-percentile (bucketed) check latency, centralized.
+    pub centralized_p99: u64,
+    /// Extra interconnect transactions the centralized scheme generated.
+    pub centralized_bus_txns: u64,
+    /// Checks the SEM refused because its queue was full.
+    pub centralized_stalls: u64,
+}
+
+impl ComparisonRow {
+    /// Centralized mean / distributed mean.
+    pub fn slowdown(&self) -> f64 {
+        if self.distributed_mean == 0.0 {
+            0.0
+        } else {
+            self.centralized_mean / self.distributed_mean
+        }
+    }
+}
+
+/// Drive both schemes for `cycles` cycles with `ips` IPs at `load`
+/// requests/IP/cycle.
+pub fn compare_check_latency(ips: u32, load: f64, cycles: u64, seed: u64) -> ComparisonRow {
+    let sb = SbTiming::PAPER;
+    let mut rng = SimRng::new(seed);
+    let mut sem = CentralManager::new(SemConfig::default());
+    let mut distributed = Histogram::new();
+    let mut centralized = Histogram::new();
+    let mut bus_txns = 0u64;
+
+    for cycle in 0..cycles {
+        for _ip in 0..ips {
+            if !rng.chance(load) {
+                continue;
+            }
+            // Distributed: constant-latency local check, fully parallel.
+            distributed.record(sb.total());
+            // Centralized: round trip + serialized engine.
+            if let Some(verdict_at) = sem.admit(Cycle(cycle)) {
+                centralized.record(verdict_at.since(Cycle(cycle)));
+                bus_txns += sem.bus_transactions_per_check();
+            }
+        }
+    }
+
+    ComparisonRow {
+        ips,
+        load,
+        distributed_mean: distributed.mean().unwrap_or(0.0),
+        centralized_mean: centralized.mean().unwrap_or(0.0),
+        centralized_p99: centralized.quantile(0.99).unwrap_or(0),
+        centralized_bus_txns: bus_txns,
+        centralized_stalls: sem.stats().counter("sem.stalls"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_latency_is_constant() {
+        let light = compare_check_latency(2, 0.01, 20_000, 1);
+        let heavy = compare_check_latency(8, 0.30, 20_000, 1);
+        assert_eq!(light.distributed_mean, 12.0);
+        assert_eq!(heavy.distributed_mean, 12.0, "local checks never queue");
+    }
+
+    #[test]
+    fn centralized_latency_grows_with_load() {
+        let light = compare_check_latency(4, 0.005, 20_000, 2);
+        let heavy = compare_check_latency(4, 0.06, 20_000, 2);
+        assert!(light.centralized_mean >= 20.0, "floor is two trips + check");
+        assert!(
+            heavy.centralized_mean > light.centralized_mean,
+            "queueing must appear: {} vs {}",
+            heavy.centralized_mean,
+            light.centralized_mean
+        );
+    }
+
+    #[test]
+    fn centralized_is_never_faster() {
+        for (ips, load) in [(1, 0.01), (4, 0.02), (8, 0.05)] {
+            let row = compare_check_latency(ips, load, 10_000, 3);
+            assert!(
+                row.centralized_mean >= row.distributed_mean,
+                "{ips} ips @ {load}"
+            );
+            assert!(row.slowdown() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn centralized_adds_bus_traffic_distributed_adds_none() {
+        let row = compare_check_latency(4, 0.05, 10_000, 4);
+        assert!(row.centralized_bus_txns > 0);
+        // ~2 transactions per admitted check.
+        let checked = row.centralized_bus_txns / 2;
+        assert!(checked > 1000, "sanity: load produced work ({checked})");
+    }
+
+    #[test]
+    fn saturation_shows_in_the_tail() {
+        // Offered load beyond the engine's service rate (1/12 per cycle).
+        let row = compare_check_latency(8, 0.5, 20_000, 5);
+        assert!(row.centralized_p99 > 100, "p99 {}", row.centralized_p99);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = compare_check_latency(4, 0.1, 5_000, 9);
+        let b = compare_check_latency(4, 0.1, 5_000, 9);
+        assert_eq!(a.centralized_mean, b.centralized_mean);
+        assert_eq!(a.centralized_bus_txns, b.centralized_bus_txns);
+    }
+}

@@ -1,0 +1,25 @@
+//! # secbus-baseline — the centralized comparator (SECA-style)
+//!
+//! The paper positions its contribution against centralized schemes
+//! (§II): Coburn et al.'s SECA puts a thin Security Enforcement Interface
+//! (SEI) at each IP and a single Security Enforcement Module (SEM) that
+//! "manages the security of the system and controls all SEIs". To measure
+//! the claim that *distributed beats centralized on latency and
+//! containment*, this crate implements the centralized architecture at
+//! the same level of abstraction as the rest of the workspace:
+//!
+//! * [`sem::CentralManager`] — a serialized checker: every access request
+//!   from every IP must travel to the SEM (a bus round trip), wait in its
+//!   FIFO, be evaluated, and travel back. Under load the queue grows;
+//!   with one IP misbehaving, *everyone's* checks queue behind the junk.
+//! * [`compare`] — drives the distributed and centralized models with the
+//!   *same* arrival process and reports mean/percentile verdict latency
+//!   and the interconnect traffic each scheme adds.
+//! * [`sem::centralized_area`] — the area counterpart: one big SEM that
+//!   stores every IP's rules, plus thin SEIs.
+
+pub mod compare;
+pub mod sem;
+
+pub use compare::{compare_check_latency, ComparisonRow};
+pub use sem::{centralized_area, CentralManager, SemConfig};

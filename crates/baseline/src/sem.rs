@@ -1,0 +1,164 @@
+//! The centralized Security Enforcement Module.
+
+use std::collections::VecDeque;
+
+use secbus_area::model::PER_RULE;
+use secbus_area::{Resources, DEFAULT_RULES_PER_FIREWALL};
+use secbus_sim::{Cycle, Stats};
+
+/// Timing of the centralized scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct SemConfig {
+    /// Cycles to evaluate one request at the SEM (same rule engine as a
+    /// Security Builder: 12).
+    pub check_cycles: u64,
+    /// One-way interconnect trip between an SEI and the SEM (grant +
+    /// transfer on the shared medium).
+    pub bus_trip_cycles: u64,
+    /// FIFO capacity (requests beyond this are stalled at the SEI).
+    pub queue_capacity: usize,
+}
+
+impl Default for SemConfig {
+    fn default() -> Self {
+        SemConfig { check_cycles: 12, bus_trip_cycles: 4, queue_capacity: 64 }
+    }
+}
+
+/// The SEM: a single serialized rule engine shared by every IP.
+#[derive(Debug)]
+pub struct CentralManager {
+    config: SemConfig,
+    /// Completion time of the evaluation currently occupying the engine.
+    busy_until: u64,
+    /// Requests waiting for the engine: (arrival at SEM, requester).
+    queue: VecDeque<u64>,
+    stats: Stats,
+}
+
+impl CentralManager {
+    /// A fresh SEM.
+    pub fn new(config: SemConfig) -> Self {
+        CentralManager { config, busy_until: 0, queue: VecDeque::new(), stats: Stats::new() }
+    }
+
+    /// Submit a check request issued by an SEI at `now`; returns the cycle
+    /// at which the verdict arrives back at the SEI, or `None` if the SEM
+    /// queue is full (the SEI must retry — counted as a stall).
+    pub fn admit(&mut self, now: Cycle) -> Option<Cycle> {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.incr("sem.stalls");
+            return None;
+        }
+        let arrival = now.get() + self.config.bus_trip_cycles;
+        self.queue.push_back(arrival);
+        // Serialized service: the engine starts this request when it is
+        // both free and the request has arrived.
+        let start = self.busy_until.max(arrival);
+        let done = start + self.config.check_cycles;
+        self.busy_until = done;
+        self.queue.pop_front();
+        let verdict_at = done + self.config.bus_trip_cycles;
+        self.stats.incr("sem.checked");
+        self.stats
+            .record("sem.verdict_latency", verdict_at - now.get());
+        Some(Cycle(verdict_at))
+    }
+
+    /// How deep the engine backlog currently is, in cycles past `now`.
+    pub fn backlog(&self, now: Cycle) -> u64 {
+        self.busy_until.saturating_sub(now.get())
+    }
+
+    /// SEM statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Interconnect transactions added per checked access (request +
+    /// verdict) — the centralized scheme's bandwidth tax.
+    pub fn bus_transactions_per_check(&self) -> u64 {
+        2
+    }
+}
+
+/// Thin per-IP Security Enforcement Interface (forwarding logic only).
+pub const SEI_COST: Resources = Resources::new(96, 210, 180, 0);
+/// The SEM's fixed control plane (FIFO, response routing, CSRs).
+pub const SEM_BASE_COST: Resources = Resources::new(540, 980, 860, 1);
+
+/// Area of the centralized scheme protecting `ips` IPs, each contributing
+/// `rules_per_ip` rules that all live in the SEM's single table.
+pub fn centralized_area(ips: u32, rules_per_ip: u32) -> Resources {
+    let total_rules = ips * rules_per_ip;
+    // The SEM's rule store grows with the TOTAL rule count, not per-IP:
+    // that is the scaling disadvantage of centralization.
+    let rule_cost = PER_RULE * total_rules.saturating_sub(DEFAULT_RULES_PER_FIREWALL);
+    SEM_BASE_COST + rule_cost + SEI_COST * ips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_request_pays_two_trips_plus_check() {
+        let mut sem = CentralManager::new(SemConfig::default());
+        let verdict = sem.admit(Cycle(100)).unwrap();
+        // 4 (to SEM) + 12 (check) + 4 (back) = 20.
+        assert_eq!(verdict, Cycle(120));
+    }
+
+    #[test]
+    fn concurrent_requests_serialize() {
+        let mut sem = CentralManager::new(SemConfig::default());
+        let v1 = sem.admit(Cycle(0)).unwrap();
+        let v2 = sem.admit(Cycle(0)).unwrap();
+        let v3 = sem.admit(Cycle(0)).unwrap();
+        assert_eq!(v1, Cycle(20));
+        assert_eq!(v2, Cycle(32), "queued behind v1's engine time");
+        assert_eq!(v3, Cycle(44));
+    }
+
+    #[test]
+    fn idle_engine_recovers() {
+        let mut sem = CentralManager::new(SemConfig::default());
+        let _ = sem.admit(Cycle(0));
+        // Much later, the engine is idle again: same latency as fresh.
+        let v = sem.admit(Cycle(1_000)).unwrap();
+        assert_eq!(v, Cycle(1_020));
+        assert_eq!(sem.backlog(Cycle(1_020)), 0);
+    }
+
+    #[test]
+    fn full_queue_stalls() {
+        let mut sem = CentralManager::new(SemConfig { queue_capacity: 0, ..Default::default() });
+        assert!(sem.admit(Cycle(0)).is_none());
+        assert_eq!(sem.stats().counter("sem.stalls"), 1);
+    }
+
+    #[test]
+    fn verdict_latency_statistics() {
+        let mut sem = CentralManager::new(SemConfig::default());
+        for _ in 0..10 {
+            sem.admit(Cycle(0));
+        }
+        let h = sem.stats().histogram("sem.verdict_latency").unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(20));
+        assert!(h.max().unwrap() > 100, "the tail queues badly");
+    }
+
+    #[test]
+    fn centralized_area_grows_superlinearly_vs_distributed_firewalls() {
+        // At the case-study scale the SEM's total rule table is 4×8 = 32
+        // rules; the distributed LFs keep 8 rules each, so the SEM pays
+        // the PER_RULE cost 24 extra times.
+        let a4 = centralized_area(4, 8);
+        let a8 = centralized_area(8, 8);
+        assert!(a8.slice_luts > a4.slice_luts);
+        let delta_regs = a8.slice_regs - a4.slice_regs;
+        // 4 more SEIs + 32 more rules.
+        assert_eq!(delta_regs, SEI_COST.slice_regs * 4 + PER_RULE.slice_regs * 32);
+    }
+}

@@ -1,0 +1,27 @@
+//! Whole-system benchmarks: simulation rate of the case study, with and
+//! without the security layer (host cycles per simulated cycle).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use secbus_soc::casestudy::{case_study, CaseStudyConfig};
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_study");
+    g.sample_size(10);
+    for security in [false, true] {
+        let label = if security { "protected_10k_cycles" } else { "generic_10k_cycles" };
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || case_study(CaseStudyConfig { security, ip_samples: 0, ..Default::default() }),
+                |mut soc| {
+                    soc.run(10_000);
+                    soc
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Cache ablation: a private read cache changes the computation/
+//! communication ratio the paper's §V overhead discussion hinges on —
+//! repeated reads stop paying the firewall + crypto path entirely.
+
+use secbus_bus::AddrRange;
+use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
+use secbus_cpu::{assemble, CacheConfig, CachedMaster, Mb32Core};
+use secbus_mem::{Bram, ExternalDdr};
+use secbus_soc::casestudy::{lcf_policies, DDR_BASE, DDR_LEN};
+use secbus_soc::SocBuilder;
+
+const BRAM_BASE: u32 = 0x2000_0000;
+
+/// Sum a 16-word table in the PRIVATE (cipher+integrity) DDR region,
+/// `reps` times over.
+fn workload(reps: u32) -> String {
+    format!(
+        r"
+        li   r1, 0x80000000
+        addi r9, r0, {reps}
+        addi r10, r0, 0
+    rep:
+        addi r3, r0, 16
+        addi r4, r0, 0
+        addi r11, r0, 0
+    inner:
+        add  r5, r4, r4
+        add  r5, r5, r5
+        add  r6, r1, r5
+        lw   r7, 0(r6)
+        add  r11, r11, r7
+        addi r4, r4, 1
+        blt  r4, r3, inner
+        addi r10, r10, 1
+        blt  r10, r9, rep
+        li   r8, 0x20000000
+        sw   r11, 0(r8)
+        halt
+        "
+    )
+}
+
+fn run(cache: Option<CacheConfig>, protected: bool) -> (u64, u64, Option<f64>) {
+    let core = Mb32Core::with_local_program("cpu0", 0, assemble(&workload(64)).unwrap());
+    let device: Box<dyn secbus_cpu::BusMaster> = match cache {
+        Some(cfg) => Box::new(CachedMaster::new(Box::new(core), cfg)),
+        None => Box::new(core),
+    };
+    let policies = ConfigMemory::with_policies(vec![
+        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, 0x1000), Rwa::ReadOnly, AdfSet::ALL),
+    ])
+    .unwrap();
+    let mut ddr = ExternalDdr::new(DDR_LEN);
+    for i in 0..16u32 {
+        ddr.load(4 * i, &(i + 1).to_le_bytes());
+    }
+    let mut b = SocBuilder::new();
+    if !protected {
+        b = b.without_security();
+    }
+    let mut soc = b
+        .add_protected_master(device, policies)
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .build();
+    let cycles = soc.run_until_halt(10_000_000);
+    // Validate the computation survived the cache: sum(1..=16)*64 reps.
+    let bram = soc.bram_contents().unwrap();
+    let sum = u32::from_le_bytes(bram[0..4].try_into().unwrap());
+    assert_eq!(sum, (1..=16).sum::<u32>(), "workload result wrong");
+    let protected_reads = soc
+        .lcf()
+        .map(|l| l.stats().counter("lcf.protected_reads"))
+        .unwrap_or(0);
+    let hit_rate = soc
+        .master_as::<CachedMaster>(0)
+        .and_then(|c| c.hit_rate());
+    (cycles, protected_reads, hit_rate)
+}
+
+fn main() {
+    println!("CACHE ABLATION — 64 passes over a 16-word protected table\n");
+    println!(
+        "{:<26} {:>10} {:>16} {:>10}",
+        "configuration", "cycles", "LCF reads", "hit rate"
+    );
+    let rows: [(&str, Option<CacheConfig>, bool); 5] = [
+        ("generic, no cache", None, false),
+        ("generic, 1KiB cache", Some(CacheConfig { lines: 16, line_words: 4 }), false),
+        ("protected, no cache", None, true),
+        ("protected, 1KiB cache", Some(CacheConfig { lines: 16, line_words: 4 }), true),
+        ("protected, 4KiB cache", Some(CacheConfig { lines: 64, line_words: 4 }), true),
+    ];
+    // Overhead is reported against the like-for-like generic baseline:
+    // uncached configs against the uncached generic, cached against the
+    // cached generic.
+    let mut base_nocache = 0u64;
+    let mut base_cache = 0u64;
+    for (name, cache, protected) in rows {
+        let cached = cache.is_some();
+        let (cycles, lcf_reads, hit_rate) = run(cache, protected);
+        if name.starts_with("generic") {
+            if cached {
+                base_cache = cycles;
+            } else {
+                base_nocache = cycles;
+            }
+        }
+        let base = if cached { base_cache } else { base_nocache };
+        let overhead = (cycles as f64 / base as f64 - 1.0) * 100.0;
+        println!(
+            "{:<26} {:>10} {:>16} {:>10} ({overhead:+.1}% vs like generic)",
+            name,
+            cycles,
+            lcf_reads,
+            hit_rate.map_or("-".into(), |h| format!("{:.0}%", h * 100.0)),
+        );
+    }
+    println!("\nshape: the cache collapses repeated protected reads into one fill");
+    println!("per line, so the security overhead shrinks toward zero as locality");
+    println!("rises — computation is promoted over communication (paper §V).");
+}

@@ -1,0 +1,105 @@
+//! DoS mitigation ablation: a compromised IP floods the bus with
+//! *authorized* requests (address checks cannot stop it). Compare the
+//! victim's latency under (a) no mitigation, (b) the rate-limit extension
+//! at the flooder's Local Firewall, (c) TDMA arbitration.
+
+use secbus_bus::{AddrRange, MasterId, Tdma, Width};
+use secbus_attack::DosFlooder;
+use secbus_core::{AdfSet, ConfigMemory, RateLimit, Rwa, SecurityPolicy};
+use secbus_cpu::{SyntheticConfig, SyntheticMaster};
+use secbus_mem::Bram;
+use secbus_sim::SimRng;
+use secbus_soc::SocBuilder;
+
+const BRAM_BASE: u32 = 0x2000_0000;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mitigation {
+    None,
+    RateLimit,
+    Tdma,
+}
+
+fn run(mitigation: Mitigation) -> (Option<f64>, u64, u64) {
+    // The flooder targets an address it is ALLOWED to write: pure
+    // bandwidth exhaustion. Flooder is master 0 (highest fixed priority =
+    // worst case for the victim).
+    let flooder = DosFlooder::new("flooder", BRAM_BASE + 0x800, 0).with_burst(16);
+    let flood_policy = ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+        1,
+        AddrRange::new(BRAM_BASE + 0x800, 0x100),
+        Rwa::ReadWrite,
+        AdfSet::ALL,
+    )])
+    .unwrap();
+    let victim = SyntheticMaster::new(
+        "victim",
+        SyntheticConfig {
+            windows: vec![(BRAM_BASE, 0x100, 1)],
+            read_ratio: 0.5,
+            widths: vec![Width::Word],
+            burst: 1,
+            period: 2,
+            total_ops: 0,
+        },
+        SimRng::new(9),
+    );
+    let victim_policy = ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+        2,
+        AddrRange::new(BRAM_BASE, 0x100),
+        Rwa::ReadWrite,
+        AdfSet::ALL,
+    )])
+    .unwrap();
+
+    let mut b = SocBuilder::new();
+    if mitigation == Mitigation::Tdma {
+        b = b.arbiter(Box::new(Tdma::new(vec![MasterId(0), MasterId(1)], 16)));
+    }
+    b = match mitigation {
+        Mitigation::RateLimit => b.add_rate_limited_master(
+            Box::new(flooder),
+            flood_policy,
+            RateLimit::new(100, 4), // ~4% duty cycle budget
+        ),
+        _ => b.add_protected_master(Box::new(flooder), flood_policy),
+    };
+    let mut soc = b
+        .add_protected_master(Box::new(victim), victim_policy)
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .build();
+    soc.run(30_000);
+    let victim_latency = soc
+        .master_device(1)
+        .stats()
+        .histogram("traffic.latency")
+        .and_then(|h| h.mean());
+    let flooder_granted = soc
+        .bus()
+        .trace()
+        .iter()
+        .filter(|(_, t)| t.master == MasterId(0))
+        .count() as u64;
+    let victim_completed = soc.master_device(1).stats().counter("traffic.ok");
+    (victim_latency, flooder_granted, victim_completed)
+}
+
+fn main() {
+    println!("DoS ABLATION — authorized-traffic flood, victim latency\n");
+    println!(
+        "{:<28} {:>20} {:>16} {:>18}",
+        "mitigation", "victim mean latency", "victim ops done", "flood txns on bus"
+    );
+    for (name, m) in [
+        ("none (fixed priority)", Mitigation::None),
+        ("LF rate limit (4%)", Mitigation::RateLimit),
+        ("TDMA arbitration", Mitigation::Tdma),
+    ] {
+        let (latency, granted, done) = run(m);
+        let lat = latency.map_or("STARVED".to_string(), |l| format!("{l:.1}"));
+        println!("{name:<28} {lat:>20} {done:>16} {granted:>18}");
+    }
+    println!("\nshape: address-based checks alone cannot stop an authorized flood;");
+    println!("the rate-limit extension chokes it at its own interface (distributed");
+    println!("enforcement), while TDMA bounds the damage at the arbiter instead.");
+}

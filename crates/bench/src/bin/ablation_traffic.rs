@@ -1,0 +1,32 @@
+//! S-2: execution-time overhead vs computation/communication ratio and
+//! internal/external mix (paper §V-A discussion, quantified).
+
+use secbus_bench::sweep_traffic;
+
+fn main() {
+    let periods = [1u64, 4, 16, 64];
+    let ext = [0u32, 25, 50, 75, 100];
+    let rows = sweep_traffic(&periods, &ext, 300, 42);
+    println!("S-2 — EXECUTION-TIME OVERHEAD (%) vs TRAFFIC SHAPE");
+    println!("(rows: computation period in cycles; columns: % external accesses)\n");
+    print!("{:>8}", "period");
+    for e in ext {
+        print!(" {:>7}%", e);
+    }
+    println!();
+    for p in periods {
+        print!("{:>8}", p);
+        for e in ext {
+            let row = rows
+                .iter()
+                .find(|r| r.period == p && r.external_pct == e)
+                .expect("grid point");
+            print!(" {:>7.1}%", row.overhead_pct());
+        }
+        println!();
+    }
+    println!("\nshape: overhead falls as computation dominates (down each column)");
+    println!("and rises with the external-memory share (across each row), as the");
+    println!("paper argues: 'promoting internal computation and communication will");
+    println!("improve the overall performance'.");
+}

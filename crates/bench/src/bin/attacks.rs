@@ -1,0 +1,26 @@
+//! S-3: the threat model, executed — detection latency and containment
+//! for every attack class of §III.
+
+use secbus_attack::run_all_scenarios;
+
+fn main() {
+    println!("S-3 — ATTACK DETECTION AND CONTAINMENT (seed 42)\n");
+    println!(
+        "{:<40} {:>9} {:>12} {:>10} {:>12}",
+        "scenario", "detected", "latency(cyc)", "contained", "compromised"
+    );
+    for o in run_all_scenarios(42) {
+        println!(
+            "{:<40} {:>9} {:>12} {:>10} {:>12}",
+            o.scenario.name(),
+            if o.detected() { "yes" } else { "NO" },
+            o.detection_latency.map_or("-".into(), |l| l.to_string()),
+            if o.contained { "yes" } else { "NO" },
+            if o.data_compromised { "YES" } else { "no" },
+        );
+    }
+    println!("\nshape: everything behind cipher+integrity is detected within tens");
+    println!("of cycles and contained at the interface; the cipher-only region");
+    println!("garbles but cannot detect; the unprotected region is the paper's");
+    println!("§III-B attack vector and is compromised by construction.");
+}

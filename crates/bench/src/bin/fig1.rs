@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 1 (architecture) from the live system.
+
+use secbus_soc::casestudy::{case_study, CaseStudyConfig};
+use secbus_soc::render_topology;
+
+fn main() {
+    let soc = case_study(CaseStudyConfig::default());
+    println!("{}", render_topology(&soc));
+    println!("Baseline (generic, no firewalls) variant:\n");
+    let base = case_study(CaseStudyConfig { security: false, ..Default::default() });
+    println!("{}", render_topology(&base));
+}

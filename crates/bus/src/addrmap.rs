@@ -1,0 +1,275 @@
+//! The system address map: which slave answers which addresses.
+//!
+//! The paper defines security policies "using the address spaces", so the
+//! same [`AddrRange`] type is reused by `secbus-core` for policy regions.
+//! The map rejects overlapping regions at construction time — an MPSoC with
+//! two slaves decoding the same address is a design error the tooling
+//! should catch, not simulate.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::txn::SlaveId;
+
+/// A half-open byte-address range `[base, base+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First byte address of the range.
+    pub base: u32,
+    /// Length in bytes (may run to the top of the 32-bit space).
+    pub len: u32,
+}
+
+impl AddrRange {
+    /// Construct a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or wraps past the end of the 32-bit
+    /// address space.
+    pub fn new(base: u32, len: u32) -> Self {
+        assert!(len > 0, "AddrRange must be non-empty");
+        assert!(
+            u64::from(base) + u64::from(len) <= 1 << 32,
+            "AddrRange must not wrap the 32-bit address space"
+        );
+        AddrRange { base, len }
+    }
+
+    /// Exclusive end of the range, as a 33-bit value.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        u64::from(self.base) + u64::from(self.len)
+    }
+
+    /// Whether `addr` falls inside the range.
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && u64::from(addr) < self.end()
+    }
+
+    /// Whether the whole span `[addr, addr+bytes)` falls inside the range.
+    #[inline]
+    pub fn contains_span(&self, addr: u32, bytes: u32) -> bool {
+        addr >= self.base && u64::from(addr) + u64::from(bytes) <= self.end()
+    }
+
+    /// Whether two ranges share any byte.
+    #[inline]
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        u64::from(self.base) < other.end() && u64::from(other.base) < self.end()
+    }
+
+    /// Offset of `addr` from the base of the range.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not contained in the range.
+    #[inline]
+    pub fn offset(&self, addr: u32) -> u32 {
+        assert!(self.contains(addr), "address outside range");
+        addr - self.base
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}..{:#010x}", self.base, self.end())
+    }
+}
+
+/// Maps address ranges to slaves, with overlap checking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AddressMap {
+    entries: Vec<(AddrRange, SlaveId)>,
+}
+
+/// Error raised when inserting a region that overlaps an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapError {
+    /// The range that could not be inserted.
+    pub attempted: AddrRange,
+    /// The already-mapped range it collides with.
+    pub existing: AddrRange,
+    /// The slave owning the existing range.
+    pub owner: SlaveId,
+}
+
+impl fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "range {} overlaps {} (slave {})",
+            self.attempted, self.existing, self.owner.0
+        )
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+impl AddressMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `range` to `slave`, rejecting overlaps with existing regions.
+    pub fn insert(&mut self, range: AddrRange, slave: SlaveId) -> Result<(), OverlapError> {
+        for &(existing, owner) in &self.entries {
+            if existing.overlaps(&range) {
+                return Err(OverlapError {
+                    attempted: range,
+                    existing,
+                    owner,
+                });
+            }
+        }
+        self.entries.push((range, slave));
+        // Keep sorted by base for deterministic iteration and fast decode.
+        self.entries.sort_by_key(|(r, _)| r.base);
+        Ok(())
+    }
+
+    /// Find the slave decoding `addr`, if any.
+    pub fn decode(&self, addr: u32) -> Option<SlaveId> {
+        // Binary search over sorted, non-overlapping ranges.
+        let idx = self.entries.partition_point(|(r, _)| r.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let (range, slave) = self.entries[idx - 1];
+        range.contains(addr).then_some(slave)
+    }
+
+    /// The range mapped to `addr`, if any.
+    pub fn decode_range(&self, addr: u32) -> Option<(AddrRange, SlaveId)> {
+        let idx = self.entries.partition_point(|(r, _)| r.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let (range, slave) = self.entries[idx - 1];
+        range.contains(addr).then_some((range, slave))
+    }
+
+    /// All mapped regions in ascending base order.
+    pub fn regions(&self) -> impl Iterator<Item = (AddrRange, SlaveId)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of mapped regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_and_end() {
+        let r = AddrRange::new(0x1000, 0x100);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10ff));
+        assert!(!r.contains(0x1100));
+        assert!(!r.contains(0xfff));
+        assert_eq!(r.end(), 0x1100);
+    }
+
+    #[test]
+    fn range_at_top_of_address_space() {
+        let r = AddrRange::new(0xffff_ff00, 0x100);
+        assert!(r.contains(0xffff_ffff));
+        assert_eq!(r.end(), 1 << 32);
+    }
+
+    #[test]
+    fn contains_span_checks_both_ends() {
+        let r = AddrRange::new(0x100, 0x10);
+        assert!(r.contains_span(0x100, 16));
+        assert!(!r.contains_span(0x100, 17));
+        assert!(!r.contains_span(0xff, 2));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = AddrRange::new(0x100, 0x100);
+        assert!(a.overlaps(&AddrRange::new(0x180, 0x100)));
+        assert!(a.overlaps(&AddrRange::new(0x0, 0x101)));
+        assert!(a.overlaps(&AddrRange::new(0x150, 0x10)));
+        assert!(!a.overlaps(&AddrRange::new(0x200, 0x100)));
+        assert!(!a.overlaps(&AddrRange::new(0x0, 0x100)));
+    }
+
+    #[test]
+    fn offset_within_range() {
+        let r = AddrRange::new(0x2000, 0x1000);
+        assert_eq!(r.offset(0x2004), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside range")]
+    fn offset_outside_panics() {
+        AddrRange::new(0x2000, 0x10).offset(0x3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        AddrRange::new(0x0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap")]
+    fn wrapping_range_rejected() {
+        AddrRange::new(0xffff_ffff, 2);
+    }
+
+    #[test]
+    fn map_decode_hits_correct_slave() {
+        let mut m = AddressMap::new();
+        m.insert(AddrRange::new(0x0000_0000, 0x1_0000), SlaveId(0)).unwrap();
+        m.insert(AddrRange::new(0x4000_0000, 0x1000), SlaveId(1)).unwrap();
+        m.insert(AddrRange::new(0x8000_0000, 0x800_0000), SlaveId(2)).unwrap();
+        assert_eq!(m.decode(0x0000_0004), Some(SlaveId(0)));
+        assert_eq!(m.decode(0x4000_0fff), Some(SlaveId(1)));
+        assert_eq!(m.decode(0x87ff_ffff), Some(SlaveId(2)));
+        assert_eq!(m.decode(0x4000_1000), None);
+        assert_eq!(m.decode(0x2000_0000), None);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn map_rejects_overlap() {
+        let mut m = AddressMap::new();
+        m.insert(AddrRange::new(0x1000, 0x1000), SlaveId(0)).unwrap();
+        let err = m
+            .insert(AddrRange::new(0x1800, 0x1000), SlaveId(1))
+            .unwrap_err();
+        assert_eq!(err.owner, SlaveId(0));
+        assert_eq!(m.len(), 1);
+        assert!(err.to_string().contains("overlaps"));
+    }
+
+    #[test]
+    fn decode_range_returns_region() {
+        let mut m = AddressMap::new();
+        let r = AddrRange::new(0x5000, 0x100);
+        m.insert(r, SlaveId(3)).unwrap();
+        assert_eq!(m.decode_range(0x5050), Some((r, SlaveId(3))));
+        assert_eq!(m.decode_range(0x5100), None);
+    }
+
+    #[test]
+    fn regions_iterate_sorted() {
+        let mut m = AddressMap::new();
+        m.insert(AddrRange::new(0x9000, 0x100), SlaveId(1)).unwrap();
+        m.insert(AddrRange::new(0x1000, 0x100), SlaveId(0)).unwrap();
+        let bases: Vec<u32> = m.regions().map(|(r, _)| r.base).collect();
+        assert_eq!(bases, vec![0x1000, 0x9000]);
+    }
+}

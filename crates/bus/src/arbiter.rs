@@ -1,0 +1,192 @@
+//! Bus arbitration policies.
+//!
+//! A shared bus grants one master per cycle. The case study in the paper
+//! uses a PLB-style bus whose arbiter is fixed-priority; round-robin and
+//! TDMA are provided as well because the traffic-overhead ablation (S-2 in
+//! DESIGN.md) sweeps arbitration fairness, and because a TDMA arbiter is
+//! itself a classic DoS countermeasure worth contrasting with the paper's
+//! firewall approach.
+
+use secbus_sim::Cycle;
+
+use crate::txn::MasterId;
+
+/// Chooses which of the currently requesting masters is granted the bus.
+pub trait Arbiter: Send {
+    /// Pick a winner among `requesting` (sorted by master id, no
+    /// duplicates). Returns `None` iff `requesting` is empty or the policy
+    /// refuses to grant this cycle (TDMA outside the owner's slot).
+    fn grant(&mut self, requesting: &[MasterId], now: Cycle) -> Option<MasterId>;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Lowest master id wins — models a PLB-style static priority chain.
+#[derive(Debug, Default, Clone)]
+pub struct FixedPriority;
+
+impl Arbiter for FixedPriority {
+    fn grant(&mut self, requesting: &[MasterId], _now: Cycle) -> Option<MasterId> {
+        requesting.iter().min().copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-priority"
+    }
+}
+
+/// Fair rotation: the winner moves to the back of the rotation.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    last: Option<MasterId>,
+}
+
+impl Arbiter for RoundRobin {
+    fn grant(&mut self, requesting: &[MasterId], _now: Cycle) -> Option<MasterId> {
+        if requesting.is_empty() {
+            return None;
+        }
+        let winner = match self.last {
+            None => requesting[0],
+            Some(last) => *requesting
+                .iter()
+                .find(|&&m| m > last)
+                .unwrap_or(&requesting[0]),
+        };
+        self.last = Some(winner);
+        Some(winner)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Time-division multiple access: the schedule assigns each slot of
+/// `slot_len` cycles to one master; only the slot owner may be granted.
+#[derive(Debug, Clone)]
+pub struct Tdma {
+    schedule: Vec<MasterId>,
+    slot_len: u64,
+}
+
+impl Tdma {
+    /// Build a TDMA arbiter.
+    ///
+    /// # Panics
+    /// Panics on an empty schedule or zero slot length.
+    pub fn new(schedule: Vec<MasterId>, slot_len: u64) -> Self {
+        assert!(!schedule.is_empty(), "TDMA schedule must be non-empty");
+        assert!(slot_len > 0, "TDMA slot length must be positive");
+        Tdma { schedule, slot_len }
+    }
+
+    /// The master owning the slot active at `now`.
+    pub fn slot_owner(&self, now: Cycle) -> MasterId {
+        let slot = (now.get() / self.slot_len) as usize % self.schedule.len();
+        self.schedule[slot]
+    }
+}
+
+impl Arbiter for Tdma {
+    fn grant(&mut self, requesting: &[MasterId], now: Cycle) -> Option<MasterId> {
+        let owner = self.slot_owner(now);
+        requesting.iter().find(|&&m| m == owner).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "tdma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ids: &[u8]) -> Vec<MasterId> {
+        ids.iter().map(|&i| MasterId(i)).collect()
+    }
+
+    #[test]
+    fn fixed_priority_prefers_lowest() {
+        let mut a = FixedPriority;
+        assert_eq!(a.grant(&m(&[2, 0, 1]), Cycle(0)), Some(MasterId(0)));
+        assert_eq!(a.grant(&m(&[3, 1]), Cycle(1)), Some(MasterId(1)));
+        assert_eq!(a.grant(&[], Cycle(2)), None);
+    }
+
+    #[test]
+    fn fixed_priority_can_starve() {
+        let mut a = FixedPriority;
+        for _ in 0..100 {
+            assert_eq!(a.grant(&m(&[0, 1]), Cycle(0)), Some(MasterId(0)));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = RoundRobin::default();
+        let req = m(&[0, 1, 2]);
+        let w1 = a.grant(&req, Cycle(0)).unwrap();
+        let w2 = a.grant(&req, Cycle(1)).unwrap();
+        let w3 = a.grant(&req, Cycle(2)).unwrap();
+        let w4 = a.grant(&req, Cycle(3)).unwrap();
+        assert_eq!(
+            [w1, w2, w3, w4],
+            [MasterId(0), MasterId(1), MasterId(2), MasterId(0)]
+        );
+    }
+
+    #[test]
+    fn round_robin_skips_idle_masters() {
+        let mut a = RoundRobin::default();
+        assert_eq!(a.grant(&m(&[0, 2]), Cycle(0)), Some(MasterId(0)));
+        // master 1 not requesting: rotation jumps to 2
+        assert_eq!(a.grant(&m(&[0, 2]), Cycle(1)), Some(MasterId(2)));
+        assert_eq!(a.grant(&m(&[0, 2]), Cycle(2)), Some(MasterId(0)));
+    }
+
+    #[test]
+    fn round_robin_is_starvation_free() {
+        let mut a = RoundRobin::default();
+        let req = m(&[0, 1, 2, 3]);
+        let mut counts = [0u32; 4];
+        for i in 0..400 {
+            counts[a.grant(&req, Cycle(i)).unwrap().0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn tdma_grants_only_slot_owner() {
+        let mut a = Tdma::new(m(&[0, 1]), 10);
+        assert_eq!(a.slot_owner(Cycle(0)), MasterId(0));
+        assert_eq!(a.slot_owner(Cycle(9)), MasterId(0));
+        assert_eq!(a.slot_owner(Cycle(10)), MasterId(1));
+        // Owner not requesting => no grant even though others want the bus.
+        assert_eq!(a.grant(&m(&[1]), Cycle(0)), None);
+        assert_eq!(a.grant(&m(&[0, 1]), Cycle(0)), Some(MasterId(0)));
+        assert_eq!(a.grant(&m(&[0, 1]), Cycle(10)), Some(MasterId(1)));
+    }
+
+    #[test]
+    fn tdma_schedule_wraps() {
+        let a = Tdma::new(m(&[0, 1, 2]), 5);
+        assert_eq!(a.slot_owner(Cycle(15)), MasterId(0));
+        assert_eq!(a.slot_owner(Cycle(29)), MasterId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn tdma_empty_schedule_panics() {
+        Tdma::new(vec![], 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FixedPriority.name(), "fixed-priority");
+        assert_eq!(RoundRobin::default().name(), "round-robin");
+        assert_eq!(Tdma::new(m(&[0]), 1).name(), "tdma");
+    }
+}

@@ -1,0 +1,527 @@
+//! The shared, single-granted system bus.
+//!
+//! [`SharedBus`] owns every master request/response queue and every slave
+//! inbox/outbox. Devices never talk to each other directly; the SoC moves
+//! transactions between its devices and the bus each cycle, which keeps the
+//! whole simulation deterministic and free of shared mutable state.
+//!
+//! ## Cycle protocol
+//!
+//! Per [`SharedBus::tick`] (called once per cycle, monotonically):
+//!
+//! 1. Responses sitting in slave outboxes are routed back to the issuing
+//!    master's response queue (response path is pipelined, 1 cycle).
+//! 2. If the data phase of a previous grant still occupies the bus, stop.
+//! 3. Otherwise arbitration runs over the masters whose request queue is
+//!    non-empty; the winner's head-of-queue transaction is address-decoded
+//!    and delivered to the owning slave's inbox. The bus stays busy for
+//!    `grant_cycles + burst * beat_cycles` cycles.
+//!
+//! A decode miss completes immediately with [`BusError::Decode`] — exactly
+//! what a bus timeout unit would report on the real system.
+
+use std::collections::VecDeque;
+
+use secbus_sim::{Cycle, EventLog, Stats};
+
+use crate::addrmap::{AddrRange, AddressMap, OverlapError};
+use crate::arbiter::Arbiter;
+use crate::txn::{BusError, MasterId, Op, Response, SlaveId, Transaction, TxnId, Width};
+
+/// Static bus timing/shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BusConfig {
+    /// Cycles consumed by arbitration + address phase for each grant.
+    pub grant_cycles: u64,
+    /// Cycles per data beat once granted.
+    pub beat_cycles: u64,
+    /// Capacity of the bus-side transaction trace.
+    pub trace_capacity: usize,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            grant_cycles: 1,
+            beat_cycles: 1,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+/// One entry of the bus trace: a transaction that was *granted* the bus.
+///
+/// The containment property of the paper ("the attack must not reach the
+/// communication architecture") is asserted against this trace.
+pub type BusTrace = EventLog<Transaction>;
+
+#[derive(Debug, Default)]
+struct MasterState {
+    /// Queued requests with the cycle from which each may arbitrate
+    /// (master-side firewall checking delays eligibility).
+    requests: VecDeque<(Cycle, Transaction)>,
+    responses: VecDeque<Response>,
+}
+
+#[derive(Debug, Default)]
+struct SlaveState {
+    inbox: VecDeque<Transaction>,
+    outbox: VecDeque<(MasterId, Response)>,
+}
+
+/// The shared arbitrated bus.
+pub struct SharedBus {
+    config: BusConfig,
+    arbiter: Box<dyn Arbiter>,
+    map: AddressMap,
+    masters: Vec<MasterState>,
+    slaves: Vec<SlaveState>,
+    /// Which master issued each in-flight transaction (small, scanned).
+    inflight: Vec<(TxnId, MasterId)>,
+    busy_until: u64,
+    next_id: u64,
+    stats: Stats,
+    trace: BusTrace,
+}
+
+impl SharedBus {
+    /// Create a bus with the given timing and arbitration policy.
+    pub fn new(config: BusConfig, arbiter: Box<dyn Arbiter>) -> Self {
+        SharedBus {
+            trace: EventLog::new(config.trace_capacity),
+            config,
+            arbiter,
+            map: AddressMap::new(),
+            masters: Vec::new(),
+            slaves: Vec::new(),
+            inflight: Vec::new(),
+            busy_until: 0,
+            next_id: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Register a new master port; returns its id.
+    pub fn add_master(&mut self) -> MasterId {
+        let id = MasterId(u8::try_from(self.masters.len()).expect("too many masters"));
+        self.masters.push(MasterState::default());
+        id
+    }
+
+    /// Register a new slave port; returns its id (map ranges separately).
+    pub fn add_slave(&mut self) -> SlaveId {
+        let id = SlaveId(u8::try_from(self.slaves.len()).expect("too many slaves"));
+        self.slaves.push(SlaveState::default());
+        id
+    }
+
+    /// Map an address range to an existing slave.
+    pub fn map_range(&mut self, slave: SlaveId, range: AddrRange) -> Result<(), OverlapError> {
+        assert!((slave.0 as usize) < self.slaves.len(), "unknown slave");
+        self.map.insert(range, slave)
+    }
+
+    /// The system address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Number of registered masters.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Number of registered slaves.
+    pub fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Enqueue a request from `master`; returns the assigned transaction id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        &mut self,
+        master: MasterId,
+        op: Op,
+        addr: u32,
+        width: Width,
+        data: u32,
+        burst: u16,
+        now: Cycle,
+    ) -> TxnId {
+        self.issue_at(master, op, addr, width, data, burst, now, now)
+    }
+
+    /// Enqueue a request that becomes eligible for arbitration only at
+    /// `ready_at` — how the SoC models the Security Builder's check delay
+    /// between an IP and the bus.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_at(
+        &mut self,
+        master: MasterId,
+        op: Op,
+        addr: u32,
+        width: Width,
+        data: u32,
+        burst: u16,
+        issued_at: Cycle,
+        ready_at: Cycle,
+    ) -> TxnId {
+        let id = self.alloc_txn_id();
+        let txn = Transaction {
+            id,
+            master,
+            op,
+            addr,
+            width,
+            data,
+            burst: burst.max(1),
+            issued_at,
+        };
+        self.masters[master.0 as usize].requests.push_back((ready_at, txn));
+        self.stats.incr("bus.issued");
+        id
+    }
+
+    /// Allocate a transaction id from the bus id space without queueing
+    /// anything (used for firewall-synthesized discard responses, so that
+    /// ids stay unique across real and synthetic completions).
+    pub fn alloc_txn_id(&mut self) -> TxnId {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Deliver a response directly to `master`'s response queue (firewall
+    /// discard synthesis); arrives on the next tick like any completion.
+    pub fn push_response(&mut self, master: MasterId, response: Response) {
+        self.masters[master.0 as usize].responses.push_back(response);
+    }
+
+    /// Pop the next completed response for `master`, if any.
+    pub fn poll_response(&mut self, master: MasterId) -> Option<Response> {
+        self.masters[master.0 as usize].responses.pop_front()
+    }
+
+    /// Number of requests `master` has queued but not yet granted.
+    pub fn pending_requests(&self, master: MasterId) -> usize {
+        self.masters[master.0 as usize].requests.len()
+    }
+
+    /// Pop the next transaction delivered to `slave`, if any.
+    pub fn slave_pop(&mut self, slave: SlaveId) -> Option<Transaction> {
+        self.slaves[slave.0 as usize].inbox.pop_front()
+    }
+
+    /// Peek at the next transaction delivered to `slave` without removing it.
+    pub fn slave_peek(&self, slave: SlaveId) -> Option<&Transaction> {
+        self.slaves[slave.0 as usize].inbox.front()
+    }
+
+    /// Complete a transaction on behalf of `slave`; the response is routed
+    /// back to the issuing master on the next [`SharedBus::tick`].
+    pub fn slave_complete(&mut self, slave: SlaveId, response: Response) {
+        let master = self
+            .take_inflight(response.txn)
+            .expect("slave_complete: unknown or already-completed transaction");
+        self.slaves[slave.0 as usize].outbox.push_back((master, response));
+    }
+
+    fn take_inflight(&mut self, txn: TxnId) -> Option<MasterId> {
+        let idx = self.inflight.iter().position(|&(t, _)| t == txn)?;
+        Some(self.inflight.swap_remove(idx).1)
+    }
+
+    /// Advance the bus by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // 1. Drain slave outboxes into master response queues.
+        for slave in &mut self.slaves {
+            while let Some((master, mut resp)) = slave.outbox.pop_front() {
+                resp.completed_at = now;
+                self.masters[master.0 as usize].responses.push_back(resp);
+                self.stats.incr("bus.completions");
+            }
+        }
+
+        // 2. Data phase still occupying the bus?
+        if now.get() < self.busy_until {
+            self.stats.incr("bus.busy_cycles");
+            return;
+        }
+
+        // 3. Arbitrate among masters whose head request is eligible.
+        let requesting: Vec<MasterId> = self
+            .masters
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.requests.front().is_some_and(|(ready, _)| *ready <= now))
+            .map(|(i, _)| MasterId(i as u8))
+            .collect();
+        if requesting.len() > 1 {
+            self.stats.add("bus.contended_cycles", 1);
+        }
+        let Some(winner) = self.arbiter.grant(&requesting, now) else {
+            return;
+        };
+        let (_, txn) = self.masters[winner.0 as usize]
+            .requests
+            .pop_front()
+            .expect("arbiter granted a master with no request");
+        self.stats.incr("bus.grants");
+        self.stats
+            .record("bus.grant_wait", now.saturating_since(txn.issued_at));
+        self.trace.push(now, txn);
+
+        let occupancy = self.config.grant_cycles + self.config.beat_cycles * u64::from(txn.burst);
+        self.busy_until = now.get() + occupancy;
+
+        match self.map.decode(txn.addr) {
+            Some(slave) => {
+                self.inflight.push((txn.id, txn.master));
+                self.slaves[slave.0 as usize].inbox.push_back(txn);
+            }
+            None => {
+                self.stats.incr("bus.decode_errors");
+                self.masters[txn.master.0 as usize].responses.push_back(Response {
+                    txn: txn.id,
+                    data: 0,
+                    result: Err(BusError::Decode),
+                    completed_at: now,
+                });
+            }
+        }
+    }
+
+    /// Whether the data phase currently occupies the bus at `now`.
+    pub fn is_busy(&self, now: Cycle) -> bool {
+        now.get() < self.busy_until
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The trace of transactions that were granted the bus.
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Arbitration policy name.
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiter.name()
+    }
+}
+
+impl std::fmt::Debug for SharedBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBus")
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .field("arbiter", &self.arbiter.name())
+            .field("busy_until", &self.busy_until)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{FixedPriority, RoundRobin};
+
+    fn bus() -> SharedBus {
+        SharedBus::new(BusConfig::default(), Box::new(FixedPriority))
+    }
+
+    fn run_to_response(b: &mut SharedBus, slave: SlaveId, m: MasterId, max: u64) -> Response {
+        for c in 0..max {
+            b.tick(Cycle(c));
+            // Immediately service anything that arrived at the slave.
+            while let Some(t) = b.slave_pop(slave) {
+                b.slave_complete(
+                    slave,
+                    Response {
+                        txn: t.id,
+                        data: 0xdead_beef,
+                        result: Ok(()),
+                        completed_at: Cycle(c),
+                    },
+                );
+            }
+            if let Some(r) = b.poll_response(m) {
+                return r;
+            }
+        }
+        panic!("no response within {max} cycles");
+    }
+
+    #[test]
+    fn read_roundtrip() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0x1000, 0x1000)).unwrap();
+        let id = b.issue(m, Op::Read, 0x1004, Width::Word, 0, 1, Cycle(0));
+        let r = run_to_response(&mut b, s, m, 16);
+        assert_eq!(r.txn, id);
+        assert!(r.is_ok());
+        assert_eq!(r.data, 0xdead_beef);
+    }
+
+    #[test]
+    fn decode_error_for_unmapped_address() {
+        let mut b = bus();
+        let m = b.add_master();
+        let _s = b.add_slave();
+        b.issue(m, Op::Read, 0xdead_0000, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        let r = b.poll_response(m).expect("immediate decode error");
+        assert_eq!(r.result, Err(BusError::Decode));
+        assert_eq!(b.stats().counter("bus.decode_errors"), 1);
+    }
+
+    #[test]
+    fn bus_occupancy_blocks_next_grant() {
+        let mut b = bus();
+        let m0 = b.add_master();
+        let m1 = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        // burst of 8 words: occupies grant(1) + 8 beats = 9 cycles.
+        b.issue(m0, Op::Write, 0x0, Width::Word, 1, 8, Cycle(0));
+        b.issue(m1, Op::Write, 0x4, Width::Word, 2, 1, Cycle(0));
+        b.tick(Cycle(0));
+        assert_eq!(b.trace().len(), 1, "only m0 granted at cycle 0");
+        for c in 1..9 {
+            b.tick(Cycle(c));
+            assert_eq!(b.trace().len(), 1, "bus busy at cycle {c}");
+        }
+        b.tick(Cycle(9));
+        assert_eq!(b.trace().len(), 2, "m1 granted once data phase ends");
+        assert_eq!(b.trace().last().unwrap().1.master, m1);
+    }
+
+    #[test]
+    fn fixed_priority_wins_ties() {
+        let mut b = bus();
+        let m0 = b.add_master();
+        let m1 = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        b.issue(m1, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        b.issue(m0, Op::Read, 0x4, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        assert_eq!(b.trace().last().unwrap().1.master, m0);
+    }
+
+    #[test]
+    fn round_robin_bus_alternates() {
+        let mut b = SharedBus::new(
+            BusConfig {
+                grant_cycles: 1,
+                beat_cycles: 0, // make every cycle grantable for the test
+                ..BusConfig::default()
+            },
+            Box::new(RoundRobin::default()),
+        );
+        let m0 = b.add_master();
+        let m1 = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        for _ in 0..2 {
+            b.issue(m0, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+            b.issue(m1, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        }
+        let mut order = Vec::new();
+        for c in 0..20 {
+            b.tick(Cycle(c));
+            if let Some(&(_, t)) = b.trace().last() {
+                if order.last() != Some(&t.master) || order.len() < b.trace().len() {
+                    // capture grant order via trace growth
+                }
+            }
+        }
+        for (_, t) in b.trace().iter() {
+            order.push(t.master);
+        }
+        assert_eq!(order, vec![m0, m1, m0, m1]);
+    }
+
+    #[test]
+    fn responses_route_to_correct_master() {
+        let mut b = bus();
+        let m0 = b.add_master();
+        let m1 = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        let id1 = b.issue(m1, Op::Read, 0x8, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        let t = b.slave_pop(s).unwrap();
+        assert_eq!(t.id, id1);
+        b.slave_complete(
+            s,
+            Response {
+                txn: t.id,
+                data: 7,
+                result: Ok(()),
+                completed_at: Cycle(1),
+            },
+        );
+        b.tick(Cycle(2));
+        assert!(b.poll_response(m0).is_none());
+        let r = b.poll_response(m1).unwrap();
+        assert_eq!(r.data, 7);
+        assert_eq!(r.completed_at, Cycle(2));
+    }
+
+    #[test]
+    fn grant_wait_statistics_recorded() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        b.issue(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(5)); // granted 5 cycles after issue
+        let h = b.stats().histogram("bus.grant_wait").unwrap();
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(b.stats().counter("bus.grants"), 1);
+    }
+
+    #[test]
+    fn multiple_ranges_one_slave() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0x0, 0x100)).unwrap();
+        b.map_range(s, AddrRange::new(0x9000, 0x100)).unwrap();
+        b.issue(m, Op::Read, 0x9004, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        assert!(b.slave_pop(s).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-completed")]
+    fn completing_unknown_txn_panics() {
+        let mut b = bus();
+        let s = b.add_slave();
+        b.slave_complete(
+            s,
+            Response {
+                txn: TxnId(99),
+                data: 0,
+                result: Ok(()),
+                completed_at: Cycle(0),
+            },
+        );
+    }
+
+    #[test]
+    fn burst_zero_normalised_to_one() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x100)).unwrap();
+        b.issue(m, Op::Write, 0, Width::Word, 0, 0, Cycle(0));
+        b.tick(Cycle(0));
+        assert_eq!(b.slave_pop(s).unwrap().burst, 1);
+    }
+}

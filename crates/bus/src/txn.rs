@@ -1,0 +1,286 @@
+//! Bus transactions, responses and the identifiers that tie them together.
+
+use core::fmt;
+
+use secbus_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a bus master (a processor, DMA engine or dedicated IP).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MasterId(pub u8);
+
+/// Identifies a bus slave (an internal memory, the external-memory bridge,
+/// or the slave port of a dedicated IP).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SlaveId(pub u8);
+
+/// A unique, monotonically increasing transaction identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxnId(pub u64);
+
+/// Read or write — the paper's RWA (Read/Write Access) rules gate on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Data flows slave → master.
+    Read,
+    /// Data flows master → slave.
+    Write,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Read => "R",
+            Op::Write => "W",
+        })
+    }
+}
+
+/// Access width — the paper's ADF (Allowed Data Format) parameter admits
+/// data lengths "8 up to 32 bits" per policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 3] = [Width::Byte, Width::Half, Width::Word];
+
+    /// Mask selecting the low `bits()` bits of a word.
+    #[inline]
+    pub const fn mask(self) -> u32 {
+        match self {
+            Width::Byte => 0xff,
+            Width::Half => 0xffff,
+            Width::Word => 0xffff_ffff,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bits())
+    }
+}
+
+/// A single bus transaction as issued by a master-side interface.
+///
+/// `data` carries the write payload for the *first* beat; bursts model the
+/// bus-occupancy of block transfers (DMA, cache-line-like fills) without
+/// dragging full payload vectors through the interconnect hot path — the
+/// memory models apply burst payloads directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique id, assigned by the bus when the master issues the request.
+    pub id: TxnId,
+    /// The issuing master.
+    pub master: MasterId,
+    /// Read or write.
+    pub op: Op,
+    /// Byte address of the first beat.
+    pub addr: u32,
+    /// Access width of each beat.
+    pub width: Width,
+    /// Write payload for the first beat (ignored for reads).
+    pub data: u32,
+    /// Number of beats (>= 1); beat `i` addresses `addr + i*width.bytes()`.
+    pub burst: u16,
+    /// Cycle at which the master handed the request to its interface.
+    pub issued_at: Cycle,
+}
+
+impl Transaction {
+    /// Total bytes moved by this transaction.
+    #[inline]
+    pub fn total_bytes(&self) -> u32 {
+        u32::from(self.burst.max(1)) * self.width.bytes()
+    }
+
+    /// Exclusive end address of the transfer.
+    #[inline]
+    pub fn end_addr(&self) -> u64 {
+        u64::from(self.addr) + u64::from(self.total_bytes())
+    }
+
+    /// Whether every byte touched lies within `[base, base+len)`.
+    pub fn within(&self, base: u32, len: u32) -> bool {
+        u64::from(self.addr) >= u64::from(base) && self.end_addr() <= u64::from(base) + u64::from(len)
+    }
+
+    /// Whether the address is naturally aligned for the access width.
+    #[inline]
+    pub fn aligned(&self) -> bool {
+        self.addr.is_multiple_of(self.width.bytes())
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] M{} {} {:#010x} {} x{}",
+            self.id.0, self.master.0, self.op, self.addr, self.width, self.burst
+        )
+    }
+}
+
+/// Why a transaction failed at the bus or slave level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusError {
+    /// No slave is mapped at the requested address.
+    Decode,
+    /// The slave exists but rejected the access (e.g. out-of-range offset).
+    Slave,
+    /// The slave-side firewall discarded the transaction (paper §IV-B: "the
+    /// data is discarded"); the master sees an error response, the slave
+    /// never sees the access.
+    Discarded,
+    /// Integrity verification failed on an external-memory read: the value
+    /// must not be forwarded to the requesting IP.
+    IntegrityViolation,
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BusError::Decode => "address decode error",
+            BusError::Slave => "slave error",
+            BusError::Discarded => "discarded by firewall",
+            BusError::IntegrityViolation => "integrity violation",
+        })
+    }
+}
+
+/// The completion of a transaction, delivered back to the issuing master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// The transaction this responds to.
+    pub txn: TxnId,
+    /// Read data for the first beat (zero for writes and errors).
+    pub data: u32,
+    /// `Ok(())` on success, or the failure cause.
+    pub result: Result<(), BusError>,
+    /// Cycle at which the response reached the master-side interface.
+    pub completed_at: Cycle,
+}
+
+impl Response {
+    /// Whether the transaction completed successfully.
+    #[inline]
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(addr: u32, width: Width, burst: u16) -> Transaction {
+        Transaction {
+            id: TxnId(1),
+            master: MasterId(0),
+            op: Op::Read,
+            addr,
+            width,
+            data: 0,
+            burst,
+            issued_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn width_sizes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Half.bits(), 16);
+        assert_eq!(Width::Word.mask(), 0xffff_ffff);
+        assert_eq!(Width::Half.mask(), 0xffff);
+    }
+
+    #[test]
+    fn total_bytes_counts_bursts() {
+        assert_eq!(txn(0, Width::Word, 1).total_bytes(), 4);
+        assert_eq!(txn(0, Width::Word, 8).total_bytes(), 32);
+        assert_eq!(txn(0, Width::Byte, 3).total_bytes(), 3);
+        // burst 0 is treated as a single beat
+        assert_eq!(txn(0, Width::Half, 0).total_bytes(), 2);
+    }
+
+    #[test]
+    fn within_checks_whole_burst() {
+        let t = txn(0x100, Width::Word, 4); // touches 0x100..0x110
+        assert!(t.within(0x100, 0x10));
+        assert!(t.within(0x0, 0x200));
+        assert!(!t.within(0x100, 0xf));
+        assert!(!t.within(0x104, 0x100));
+    }
+
+    #[test]
+    fn within_handles_address_space_end() {
+        let t = txn(0xffff_fffc, Width::Word, 1);
+        assert!(t.within(0xffff_fff0, 0x10));
+        let t2 = txn(0xffff_fffc, Width::Word, 2); // crosses 2^32
+        assert!(!t2.within(0xffff_fff0, 0x10));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(txn(0x100, Width::Word, 1).aligned());
+        assert!(!txn(0x102, Width::Word, 1).aligned());
+        assert!(txn(0x102, Width::Half, 1).aligned());
+        assert!(txn(0x103, Width::Byte, 1).aligned());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = txn(0x44a0_0000, Width::Word, 2);
+        let s = t.to_string();
+        assert!(s.contains("M0") && s.contains("0x44a00000") && s.contains("32b"));
+        assert_eq!(Op::Write.to_string(), "W");
+        assert_eq!(BusError::Decode.to_string(), "address decode error");
+    }
+
+    #[test]
+    fn response_ok_flag() {
+        let ok = Response {
+            txn: TxnId(9),
+            data: 5,
+            result: Ok(()),
+            completed_at: Cycle(3),
+        };
+        let err = Response {
+            result: Err(BusError::Discarded),
+            ..ok
+        };
+        assert!(ok.is_ok());
+        assert!(!err.is_ok());
+    }
+}

@@ -1,0 +1,454 @@
+//! Subcommand implementations (pure: `args -> Result<output, error>`,
+//! which keeps them unit-testable without process spawning).
+
+use std::fmt::Write as _;
+use std::fs;
+
+use secbus_bus::AddrRange;
+use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
+use secbus_cpu::{assemble, disasm_listing, Mb32Core, Reg};
+use secbus_mem::{parse_ihex, Bram, ExternalDdr, HexImage};
+use secbus_sim::Cycle;
+use secbus_soc::casestudy::{lcf_policies, DDR_BASE, DDR_LEN};
+use secbus_soc::{render_topology, Report, SocBuilder};
+
+const USAGE: &str = "usage: secbus <asm|disasm|run|attacks|table1|fig1|policy-template> …
+  secbus asm <file.s>               assemble MB32 source to hex words
+  secbus disasm <file.hex>          disassemble hex words (one per line)
+  secbus run <file.s> [--cycles N] [--unprotected] [--policy <file.json>]\n             [--image <boot.ihex>] [--trace] [--audit[-json]]
+  secbus attacks [--seed N]
+  secbus table1 | fig1
+  secbus policy-template            print a JSON policy-file skeleton
+";
+
+/// The BRAM window the `run` sandbox maps and authorizes.
+const BRAM_BASE: u32 = 0x2000_0000;
+
+/// Parse `--flag value` style options from an argument list.
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Route a command line to its implementation.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("attacks") => cmd_attacks(&args[1..]),
+        Some("table1") => Ok(secbus_area::Table1::case_study().render()),
+        Some("table2") => Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into()),
+        Some("policy-template") => Ok(crate::policyfile::template() + "\n"),
+        Some("fig1") => {
+            let soc = secbus_soc::casestudy::case_study(Default::default());
+            Ok(render_topology(&soc))
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_asm(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("asm needs a source file")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let words = assemble(&src).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    for w in words {
+        writeln!(out, "{w:08x}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_disasm(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("disasm needs a hex file")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let words = parse_hex_words(&text)?;
+    Ok(disasm_listing(0, &words))
+}
+
+/// Parse whitespace/line-separated hex words (optional 0x prefix).
+pub fn parse_hex_words(text: &str) -> Result<Vec<u32>, String> {
+    text.split_whitespace()
+        .map(|tok| {
+            let tok = tok.strip_prefix("0x").unwrap_or(tok);
+            u32::from_str_radix(tok, 16).map_err(|e| format!("bad hex word {tok:?}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_run(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("run needs a source file")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cycles: u64 = opt_value(args, "--cycles")?
+        .map(|v| v.parse().map_err(|e| format!("--cycles: {e}")))
+        .transpose()?
+        .unwrap_or(1_000_000);
+    let protected = !has_flag(args, "--unprotected");
+    let policies = match opt_value(args, "--policy")? {
+        Some(path) => {
+            let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(crate::policyfile::parse_policies(&json)?)
+        }
+        None => None,
+    };
+    let image = match opt_value(args, "--image")? {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(parse_ihex(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut out = run_program_image(&src, cycles, protected, policies.clone(), image)?;
+    if has_flag(args, "--audit") || has_flag(args, "--audit-json") {
+        let audit = run_audit(&src, cycles, protected, policies)?;
+        if has_flag(args, "--audit-json") {
+            out.push_str(&serde_json::to_string_pretty(&audit).expect("serializable"));
+            out.push('\n');
+        } else {
+            out.push_str(&audit.render());
+        }
+    }
+    if has_flag(args, "--trace") {
+        // Re-run with identical configuration to collect the trace (runs
+        // are deterministic, so the trace matches the report above).
+        out.push_str(&run_trace(&src, cycles, protected)?);
+    }
+    Ok(out)
+}
+
+fn run_audit(
+    src: &str,
+    cycles: u64,
+    protected: bool,
+    policies: Option<ConfigMemory>,
+) -> Result<secbus_soc::AuditReport, String> {
+    let program = assemble(src).map_err(|e| e.to_string())?;
+    let core = Mb32Core::with_local_program("cpu0", 0, program);
+    let policies = match policies {
+        Some(p) => p,
+        None => ConfigMemory::with_policies(vec![
+            SecurityPolicy::internal(
+                1,
+                AddrRange::new(BRAM_BASE, 0x1_0000),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
+            SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+        ])
+        .map_err(|e| e.to_string())?,
+    };
+    let mut builder = SocBuilder::new();
+    if !protected {
+        builder = builder.without_security();
+    }
+    let mut soc = builder
+        .add_protected_master(Box::new(core), policies)
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ExternalDdr::new(DDR_LEN),
+            Some(lcf_policies()),
+        )
+        .build();
+    soc.run_until_halt(cycles);
+    Ok(soc.audit())
+}
+
+fn run_trace(src: &str, cycles: u64, protected: bool) -> Result<String, String> {
+    let program = assemble(src).map_err(|e| e.to_string())?;
+    let core = Mb32Core::with_local_program("cpu0", 0, program);
+    let mut builder = SocBuilder::new();
+    if !protected {
+        builder = builder.without_security();
+    }
+    let mut soc = builder
+        .add_master(Box::new(core))
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ExternalDdr::new(DDR_LEN),
+            Some(lcf_policies()),
+        )
+        .build();
+    soc.run_until_halt(cycles);
+    Ok(secbus_soc::render_trace(&soc) + "\n" + &secbus_soc::trace_summary(&soc))
+}
+
+/// Build the `run` sandbox (one core, 64 KiB BRAM, 1 MiB protected DDR)
+/// with the default policy set, execute, and report.
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn run_program(src: &str, cycles: u64, protected: bool) -> Result<String, String> {
+    run_program_with(src, cycles, protected, None)
+}
+
+/// [`run_program`] with an optional caller-supplied policy table.
+pub fn run_program_with(
+    src: &str,
+    cycles: u64,
+    protected: bool,
+    policies: Option<ConfigMemory>,
+) -> Result<String, String> {
+    run_program_image(src, cycles, protected, policies, None)
+}
+
+/// [`run_program_with`] plus an optional Intel-HEX boot image loaded into
+/// the external DDR before the LCF seals it.
+pub fn run_program_image(
+    src: &str,
+    cycles: u64,
+    protected: bool,
+    policies: Option<ConfigMemory>,
+    image: Option<HexImage>,
+) -> Result<String, String> {
+    let program = assemble(src).map_err(|e| e.to_string())?;
+    let core = Mb32Core::with_local_program("cpu0", 0, program);
+    let policies = match policies {
+        Some(p) => p,
+        None => ConfigMemory::with_policies(vec![
+            SecurityPolicy::internal(
+                1,
+                AddrRange::new(BRAM_BASE, 0x1_0000),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
+            SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+        ])
+        .map_err(|e| e.to_string())?,
+    };
+    let mut builder = SocBuilder::new();
+    if !protected {
+        builder = builder.without_security();
+    }
+    let mut ddr = ExternalDdr::new(DDR_LEN);
+    if let Some(image) = image {
+        for (addr, data) in &image.chunks {
+            let off = addr
+                .checked_sub(DDR_BASE)
+                .filter(|&o| o as u64 + data.len() as u64 <= u64::from(DDR_LEN))
+                .ok_or_else(|| format!("image chunk at {addr:#010x} is outside the DDR"))?;
+            ddr.load(off, data);
+        }
+    }
+    let mut soc = builder
+        .add_protected_master(Box::new(core), policies)
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .build();
+    let ran = soc.run_until_halt(cycles);
+    let core = soc.master_as::<Mb32Core>(0).expect("cpu0");
+    let mut out = String::new();
+    if secbus_cpu::BusMaster::halted(core) {
+        writeln!(out, "halted after {ran} cycles").unwrap();
+    } else {
+        writeln!(out, "cycle budget ({cycles}) exhausted; pc = {:#010x}", core.pc()).unwrap();
+    }
+    writeln!(out, "registers:").unwrap();
+    for i in 0..16 {
+        write!(out, "  r{i:<2}={:#010x}", core.reg(Reg(i))).unwrap();
+        if i % 4 == 3 {
+            out.push('\n');
+        }
+    }
+    writeln!(out, "\n{}", Report::collect(&soc, Cycle(0))).unwrap();
+    Ok(out)
+}
+
+fn cmd_attacks(args: &[String]) -> Result<String, String> {
+    let seed: u64 = opt_value(args, "--seed")?
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<40} {:>9} {:>12} {:>10}",
+        "scenario", "detected", "latency", "contained"
+    )
+    .unwrap();
+    for o in secbus_attack::run_all_scenarios(seed) {
+        writeln!(
+            out,
+            "{:<40} {:>9} {:>12} {:>10}",
+            o.scenario.name(),
+            if o.detected() { "yes" } else { "NO" },
+            o.detection_latency.map_or("-".into(), |l| l.to_string()),
+            if o.contained { "yes" } else { "NO" },
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&[]).unwrap().contains("usage"));
+        assert!(dispatch(&argv(&["help"])).unwrap().contains("usage"));
+        let err = dispatch(&argv(&["bogus"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn table1_renders() {
+        let out = dispatch(&argv(&["table1"])).unwrap();
+        assert!(out.contains("12895"));
+        assert!(out.contains("Local Firewall"));
+    }
+
+    #[test]
+    fn fig1_renders() {
+        let out = dispatch(&argv(&["fig1"])).unwrap();
+        assert!(out.contains("LCF"));
+    }
+
+    #[test]
+    fn hex_word_parsing() {
+        assert_eq!(
+            parse_hex_words("deadbeef 0x00000001\n2").unwrap(),
+            vec![0xdead_beef, 1, 2]
+        );
+        assert!(parse_hex_words("xyz").is_err());
+        assert_eq!(parse_hex_words("").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn opt_parsing() {
+        let a = argv(&["run", "x.s", "--cycles", "500"]);
+        assert_eq!(opt_value(&a, "--cycles").unwrap(), Some("500"));
+        assert_eq!(opt_value(&a, "--seed").unwrap(), None);
+        let bad = argv(&["run", "--cycles"]);
+        assert!(opt_value(&bad, "--cycles").is_err());
+        assert!(has_flag(&argv(&["a", "--unprotected"]), "--unprotected"));
+    }
+
+    #[test]
+    fn run_program_end_to_end() {
+        let out = run_program(
+            "li r1, 0x20000000\naddi r2, r0, 7\nsw r2, 0(r1)\nhalt",
+            100_000,
+            true,
+        )
+        .unwrap();
+        assert!(out.contains("halted after"));
+        assert!(out.contains("r2 =0x00000007") || out.contains("r2=0x00000007"));
+        assert!(out.contains("alerts"));
+    }
+
+    #[test]
+    fn run_program_reports_budget_exhaustion() {
+        let out = run_program("loop: j loop", 1_000, true).unwrap();
+        assert!(out.contains("budget"));
+    }
+
+    #[test]
+    fn run_program_propagates_asm_errors() {
+        let err = run_program("bogus r1", 10, true).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn policy_template_parses_back() {
+        let out = dispatch(&argv(&["policy-template"])).unwrap();
+        assert!(crate::policyfile::parse_policies(&out).is_ok());
+    }
+
+    #[test]
+    fn run_with_restrictive_policy_raises_alerts() {
+        // A policy covering only the DDR: the BRAM store gets discarded.
+        let cm = crate::policyfile::parse_policies(
+            r#"[{"spi":5,"region":{"base":2147483648,"len":1048576},
+                 "rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#,
+        )
+        .unwrap();
+        let out = run_program_with(
+            "li r1, 0x20000000\nsw r0, 0(r1)\nhalt",
+            100_000,
+            true,
+            Some(cm),
+        )
+        .unwrap();
+        assert!(out.contains("1 alerts"), "{out}");
+    }
+
+    #[test]
+    fn run_with_image_boots_from_loaded_data() {
+        // Image drops a word into the public DDR region; the program reads
+        // it back into r2.
+        let image = secbus_mem::encode_ihex(&[(0x8008_0000, 0xCAFE_F00Du32.to_le_bytes().to_vec())]);
+        let img = parse_ihex(&image).unwrap();
+        let out = run_program_image(
+            "li r1, 0x80080000\nlw r2, 0(r1)\nhalt",
+            200_000,
+            true,
+            None,
+            Some(img),
+        )
+        .unwrap();
+        assert!(out.contains("r2 =0xcafef00d"), "{out}");
+    }
+
+    #[test]
+    fn image_outside_ddr_is_rejected() {
+        let img = parse_ihex(&secbus_mem::encode_ihex(&[(0x1000, vec![1])])).unwrap();
+        let err = run_program_image("halt", 100, true, None, Some(img)).unwrap_err();
+        assert!(err.contains("outside the DDR"));
+    }
+
+    #[test]
+    fn run_with_audit_reports_firewalls() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_audit_test.s");
+        fs::write(&path, "li r1, 0x20000000\nsw r0, 0(r1)\nli r2, 0x30000000\nsw r0, 0(r2)\nhalt\n")
+            .unwrap();
+        let out = dispatch(&argv(&["run", path.to_str().unwrap(), "--audit"])).unwrap();
+        assert!(out.contains("security audit"), "{out}");
+        assert!(out.contains("no_policy"), "the 0x30000000 write shows up: {out}");
+        let out = dispatch(&argv(&["run", path.to_str().unwrap(), "--audit-json"])).unwrap();
+        assert!(out.contains("\"violation\""), "{out}");
+    }
+
+    #[test]
+    fn run_with_trace_lists_bus_activity() {
+        // Use dispatch-level helpers indirectly: call run_trace via the
+        // public path by writing a temp file.
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_trace_test.s");
+        fs::write(&path, "li r1, 0x20000000\nsw r0, 0(r1)\nhalt\n").unwrap();
+        let out = dispatch(&argv(&[
+            "run",
+            path.to_str().unwrap(),
+            "--trace",
+            "--cycles",
+            "100000",
+        ]))
+        .unwrap();
+        assert!(out.contains("bus trace:"), "{out}");
+        assert!(out.contains("cpu0"));
+    }
+
+    #[test]
+    fn attacks_table() {
+        let out = dispatch(&argv(&["attacks", "--seed", "7"])).unwrap();
+        assert!(out.contains("hijacked IP"));
+        assert!(out.contains("yes"));
+    }
+}

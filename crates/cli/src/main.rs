@@ -1,0 +1,36 @@
+//! `secbus` — the command-line front end.
+//!
+//! ```text
+//! secbus asm <file.s>              assemble MB32 source to hex words
+//! secbus disasm <file.hex>         disassemble hex words (one per line)
+//! secbus run <file.s> [opts]       run a program on a one-core protected SoC
+//!     --cycles <n>                 cycle budget (default 1_000_000)
+//!     --unprotected                build without firewalls
+//!     --policy <file.json>         load the firewall policy table
+//!     --image <boot.ihex>          preload the external DDR
+//!     --trace                      append the bus trace
+//!     --audit | --audit-json       append the security audit
+//! secbus attacks [--seed <n>]      run the §III threat-model scenarios
+//! secbus table1                    regenerate the paper's Table I
+//! secbus fig1                      regenerate the architecture figure
+//! secbus policy-template           print a JSON policy skeleton
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+mod policyfile;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("secbus: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

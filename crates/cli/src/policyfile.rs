@@ -1,0 +1,105 @@
+//! JSON policy files for the CLI.
+//!
+//! A policy file is a JSON array of Security Policies. The format is the
+//! serde rendering of [`SecurityPolicy`], e.g.:
+//!
+//! ```json
+//! [
+//!   { "spi": 1,
+//!     "region": { "base": 536870912, "len": 65536 },
+//!     "rwa": "ReadWrite",
+//!     "adf": 7,
+//!     "cm": "Bypass", "im": "Bypass", "key": null }
+//! ]
+//! ```
+//!
+//! Loading validates the set (region overlaps are rejected) by building a
+//! [`ConfigMemory`] — a malformed policy file fails loudly instead of
+//! silently weakening enforcement.
+
+use secbus_core::{ConfigMemory, SecurityPolicy};
+
+/// Parse and validate a policy file's contents.
+pub fn parse_policies(json: &str) -> Result<ConfigMemory, String> {
+    let policies: Vec<SecurityPolicy> =
+        serde_json::from_str(json).map_err(|e| format!("policy file: {e}"))?;
+    if policies.is_empty() {
+        return Err("policy file: empty policy set (everything would be denied)".into());
+    }
+    ConfigMemory::with_policies(policies).map_err(|e| format!("policy file: {e}"))
+}
+
+/// Render a policy set back to pretty JSON (the `policy-template` output).
+pub fn render_policies(policies: &[SecurityPolicy]) -> String {
+    serde_json::to_string_pretty(policies).expect("policies are serializable")
+}
+
+/// The default template: the `run` sandbox's BRAM + DDR windows.
+pub fn template() -> String {
+    use secbus_bus::AddrRange;
+    use secbus_core::{AdfSet, Rwa};
+    render_policies(&[
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(0x2000_0000, 0x1_0000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(0x8000_0000, 0x10_0000),
+            Rwa::ReadOnly,
+            AdfSet::WORD_ONLY,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbus_bus::Width;
+
+    #[test]
+    fn template_roundtrips() {
+        let cm = parse_policies(&template()).unwrap();
+        assert_eq!(cm.len(), 2);
+        let p = cm.lookup(0x2000_0000).unwrap();
+        assert!(p.adf.allows(Width::Byte));
+        let p = cm.lookup(0x8000_0000).unwrap();
+        assert!(!p.adf.allows(Width::Byte));
+    }
+
+    #[test]
+    fn overlapping_file_rejected() {
+        let json = r#"[
+            {"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null},
+            {"spi":2,"region":{"base":16,"len":32},"rwa":"ReadOnly","adf":7,"cm":"Bypass","im":"Bypass","key":null}
+        ]"#;
+        let err = parse_policies(json).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(parse_policies("not json").is_err());
+        assert!(parse_policies("[]").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn external_policy_with_key_roundtrips() {
+        use secbus_bus::AddrRange;
+        use secbus_core::{AdfSet, ConfidentialityMode, IntegrityMode, Rwa};
+        let p = SecurityPolicy::external(
+            9,
+            AddrRange::new(0x8000_0000, 0x1000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Verify,
+            Some([0xAB; 16]),
+        );
+        let json = render_policies(std::slice::from_ref(&p));
+        let cm = parse_policies(&json).unwrap();
+        assert_eq!(cm.lookup(0x8000_0000), Some(&p));
+    }
+}

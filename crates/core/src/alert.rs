@@ -1,0 +1,220 @@
+//! Alert signals and the security monitor.
+//!
+//! The paper's security features (§III-C): *"If an error is detected, the
+//! system must react as fast as possible"* and *"the attack must not reach
+//! the communication architecture but be stopped in the interface
+//! associated with the infected IP."*
+//!
+//! Each firewall raises [`Alert`]s; the [`SecurityMonitor`] aggregates them
+//! and decides [`Reaction`]s. The monitor is intentionally thin — in the
+//! distributed design the *enforcement* already happened locally (the
+//! offending transaction was discarded before the bus); the monitor only
+//! adds escalation (blocking a repeatedly-misbehaving IP) and an audit
+//! trail.
+
+use secbus_bus::Transaction;
+use secbus_sim::{Cycle, EventLog, Stats};
+
+use crate::checker::Violation;
+use crate::firewall::FirewallId;
+
+/// One alert, as carried by the `alert_signals` in the paper's Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// The firewall that raised the alert.
+    pub firewall: FirewallId,
+    /// The violated rule.
+    pub violation: Violation,
+    /// The offending transaction.
+    pub txn: Transaction,
+    /// When the violation was detected.
+    pub at: Cycle,
+}
+
+/// What the monitor tells the system to do about an alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reaction {
+    /// Local discard was enough; nothing further.
+    None,
+    /// Block the IP behind `firewall` — stop accepting its traffic
+    /// entirely (containment escalation).
+    BlockIp(FirewallId),
+    /// Block the IP, then automatically lift the block at the given
+    /// cycle (quarantine): the transient-fault-tolerant variant of the
+    /// escalation, for systems where a glitching IP should get another
+    /// chance without operator intervention.
+    Quarantine {
+        /// The firewall to block.
+        firewall: FirewallId,
+        /// When the block lifts.
+        until: Cycle,
+    },
+}
+
+/// Aggregates alerts from every firewall and applies an escalation policy.
+#[derive(Debug)]
+pub struct SecurityMonitor {
+    log: EventLog<Alert>,
+    stats: Stats,
+    /// Alerts per firewall id (index = FirewallId.0).
+    per_firewall: Vec<u64>,
+    /// Block an IP after this many violations (0 = never block).
+    block_threshold: u64,
+    /// If set, blocks become quarantines of this many cycles, and the
+    /// per-firewall violation count resets on escalation so the IP gets a
+    /// fresh budget after release.
+    quarantine_cycles: Option<u64>,
+}
+
+impl SecurityMonitor {
+    /// A monitor that blocks an IP after `block_threshold` violations
+    /// (0 = log-and-discard only).
+    pub fn new(block_threshold: u64) -> Self {
+        SecurityMonitor {
+            log: EventLog::new(4096),
+            stats: Stats::new(),
+            per_firewall: Vec::new(),
+            block_threshold,
+            quarantine_cycles: None,
+        }
+    }
+
+    /// Convert block escalations into time-bounded quarantines.
+    pub fn with_quarantine(mut self, cycles: u64) -> Self {
+        self.quarantine_cycles = Some(cycles);
+        self
+    }
+
+    /// Feed one alert; returns the reaction the system should apply.
+    pub fn observe(&mut self, alert: Alert) -> Reaction {
+        let idx = alert.firewall.0 as usize;
+        if idx >= self.per_firewall.len() {
+            self.per_firewall.resize(idx + 1, 0);
+        }
+        self.per_firewall[idx] += 1;
+        self.stats.incr("monitor.alerts");
+        self.stats
+            .incr(&format!("monitor.violation.{}", alert.violation.mnemonic()));
+        let at = alert.at;
+        let fw = alert.firewall;
+        self.log.push(at, alert);
+
+        if self.block_threshold > 0 && self.per_firewall[idx] >= self.block_threshold {
+            self.stats.incr("monitor.blocks");
+            match self.quarantine_cycles {
+                Some(q) => {
+                    // Fresh violation budget after release.
+                    self.per_firewall[idx] = 0;
+                    Reaction::Quarantine { firewall: fw, until: at + q }
+                }
+                None => Reaction::BlockIp(fw),
+            }
+        } else {
+            Reaction::None
+        }
+    }
+
+    /// Total alerts observed.
+    pub fn alert_count(&self) -> u64 {
+        self.stats.counter("monitor.alerts")
+    }
+
+    /// Alerts observed from one firewall.
+    pub fn alerts_from(&self, fw: FirewallId) -> u64 {
+        self.per_firewall.get(fw.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The first alert ever recorded, if any (detection-latency metric).
+    pub fn first_alert(&self) -> Option<&(Cycle, Alert)> {
+        self.log.first()
+    }
+
+    /// The retained audit trail.
+    pub fn log(&self) -> &EventLog<Alert> {
+        &self.log
+    }
+
+    /// Monitor statistics (per-violation-kind counters etc.).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbus_bus::{MasterId, Op, TxnId, Width};
+
+    fn alert(fw: u8, v: Violation, at: u64) -> Alert {
+        Alert {
+            firewall: FirewallId(fw),
+            violation: v,
+            txn: Transaction {
+                id: TxnId(0),
+                master: MasterId(fw),
+                op: Op::Write,
+                addr: 0,
+                width: Width::Word,
+                data: 0,
+                burst: 1,
+                issued_at: Cycle(at),
+            },
+            at: Cycle(at),
+        }
+    }
+
+    #[test]
+    fn observe_counts_and_logs() {
+        let mut m = SecurityMonitor::new(0);
+        assert_eq!(m.observe(alert(0, Violation::FormatViolation, 5)), Reaction::None);
+        assert_eq!(m.observe(alert(1, Violation::NoPolicy, 9)), Reaction::None);
+        assert_eq!(m.alert_count(), 2);
+        assert_eq!(m.alerts_from(FirewallId(0)), 1);
+        assert_eq!(m.alerts_from(FirewallId(1)), 1);
+        assert_eq!(m.alerts_from(FirewallId(9)), 0);
+        assert_eq!(m.first_alert().unwrap().0, Cycle(5));
+        assert_eq!(m.stats().counter("monitor.violation.bad_format"), 1);
+    }
+
+    #[test]
+    fn threshold_escalates_to_block() {
+        let mut m = SecurityMonitor::new(3);
+        assert_eq!(m.observe(alert(2, Violation::UnauthorizedWrite, 1)), Reaction::None);
+        assert_eq!(m.observe(alert(2, Violation::UnauthorizedWrite, 2)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(2, Violation::UnauthorizedWrite, 3)),
+            Reaction::BlockIp(FirewallId(2))
+        );
+        // Alerts from other firewalls do not count toward fw 2's threshold.
+        let mut m = SecurityMonitor::new(2);
+        assert_eq!(m.observe(alert(0, Violation::NoPolicy, 1)), Reaction::None);
+        assert_eq!(m.observe(alert(1, Violation::NoPolicy, 2)), Reaction::None);
+        assert_eq!(m.observe(alert(0, Violation::NoPolicy, 3)), Reaction::BlockIp(FirewallId(0)));
+    }
+
+    #[test]
+    fn quarantine_reaction_carries_release_time() {
+        let mut m = SecurityMonitor::new(2).with_quarantine(500);
+        assert_eq!(m.observe(alert(1, Violation::NoPolicy, 10)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(1, Violation::NoPolicy, 20)),
+            Reaction::Quarantine { firewall: FirewallId(1), until: Cycle(520) }
+        );
+        // The budget resets: two more violations re-escalate.
+        assert_eq!(m.observe(alert(1, Violation::NoPolicy, 600)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(1, Violation::NoPolicy, 610)),
+            Reaction::Quarantine { firewall: FirewallId(1), until: Cycle(1110) }
+        );
+        assert_eq!(m.stats().counter("monitor.blocks"), 2);
+    }
+
+    #[test]
+    fn zero_threshold_never_blocks() {
+        let mut m = SecurityMonitor::new(0);
+        for i in 0..100 {
+            assert_eq!(m.observe(alert(0, Violation::NoPolicy, i)), Reaction::None);
+        }
+        assert_eq!(m.stats().counter("monitor.blocks"), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Configuration Memory: on-chip, trusted storage of Security Policies.
+//!
+//! > "The Security Policies (SP) associated to a Local Firewall are stored
+//! > in on-chip memories: these memories (called Configuration Memories)
+//! > are considered as trusted units and do not need to be ciphered."
+//!
+//! The table is keyed by address region; regions must not overlap (two
+//! contradicting policies for one address would make enforcement
+//! ambiguous). Anything not covered by a policy is **denied by default** —
+//! the firewall raises [`Violation::NoPolicy`](crate::checker::Violation).
+//! A generation counter supports the run-time reconfiguration extension.
+
+use core::fmt;
+
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{SecurityPolicy, Spi};
+
+/// Error inserting a policy whose region overlaps an existing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyOverlap {
+    /// The policy that could not be inserted.
+    pub attempted: Spi,
+    /// The already-stored policy it collides with.
+    pub existing: Spi,
+}
+
+impl fmt::Display for PolicyOverlap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "policy {} overlaps the region of policy {}",
+            self.attempted.0, self.existing.0
+        )
+    }
+}
+
+impl std::error::Error for PolicyOverlap {}
+
+/// An on-chip policy table for one firewall.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    /// Policies sorted by region base.
+    policies: Vec<SecurityPolicy>,
+    /// Bumped on every table swap (reconfiguration).
+    generation: u64,
+}
+
+impl ConfigMemory {
+    /// An empty table (everything denied).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a policy list.
+    pub fn with_policies(policies: Vec<SecurityPolicy>) -> Result<Self, PolicyOverlap> {
+        let mut cm = Self::new();
+        for p in policies {
+            cm.insert(p)?;
+        }
+        Ok(cm)
+    }
+
+    /// Insert a policy, rejecting region overlaps.
+    pub fn insert(&mut self, policy: SecurityPolicy) -> Result<(), PolicyOverlap> {
+        for existing in &self.policies {
+            if existing.region.overlaps(&policy.region) {
+                return Err(PolicyOverlap {
+                    attempted: policy.spi,
+                    existing: existing.spi,
+                });
+            }
+        }
+        self.policies.push(policy);
+        self.policies.sort_by_key(|p| p.region.base);
+        Ok(())
+    }
+
+    /// The policy ruling `addr`, if any.
+    pub fn lookup(&self, addr: u32) -> Option<&SecurityPolicy> {
+        let idx = self.policies.partition_point(|p| p.region.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let p = &self.policies[idx - 1];
+        p.region.contains(addr).then_some(p)
+    }
+
+    /// The policy with identifier `spi`, if present.
+    pub fn by_spi(&self, spi: Spi) -> Option<&SecurityPolicy> {
+        self.policies.iter().find(|p| p.spi == spi)
+    }
+
+    /// All stored policies, ascending by region base.
+    pub fn policies(&self) -> &[SecurityPolicy] {
+        &self.policies
+    }
+
+    /// Number of stored policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the table is empty (deny-everything).
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Total elementary rule count across policies (drives the area model).
+    pub fn total_rules(&self) -> u32 {
+        self.policies.iter().map(|p| p.rule_count()).sum()
+    }
+
+    /// Current table generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Atomically replace the whole table (the reconfiguration primitive);
+    /// bumps the generation. The new set is overlap-checked first, so a
+    /// bad update leaves the active table untouched.
+    pub fn swap(&mut self, policies: Vec<SecurityPolicy>) -> Result<u64, PolicyOverlap> {
+        let staged = Self::with_policies(policies)?;
+        self.policies = staged.policies;
+        self.generation += 1;
+        Ok(self.generation)
+    }
+
+    /// Remove the policy covering `addr`, returning it if there was one.
+    pub fn remove_at(&mut self, addr: u32) -> Option<SecurityPolicy> {
+        let idx = self.policies.iter().position(|p| p.region.contains(addr))?;
+        Some(self.policies.remove(idx))
+    }
+}
+
+/// Helper shared by tests across this crate.
+#[cfg(test)]
+pub(crate) fn simple_policy(spi: u16, base: u32, len: u32) -> SecurityPolicy {
+    use crate::policy::{AdfSet, Rwa};
+    SecurityPolicy::internal(
+        spi,
+        secbus_bus::AddrRange::new(base, len),
+        Rwa::ReadWrite,
+        AdfSet::ALL,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdfSet, Rwa};
+    use secbus_bus::AddrRange;
+
+    #[test]
+    fn lookup_hits_correct_policy() {
+        let cm = ConfigMemory::with_policies(vec![
+            simple_policy(1, 0x0, 0x100),
+            simple_policy(2, 0x1000, 0x100),
+        ])
+        .unwrap();
+        assert_eq!(cm.lookup(0x80).unwrap().spi, Spi(1));
+        assert_eq!(cm.lookup(0x10ff).unwrap().spi, Spi(2));
+        assert!(cm.lookup(0x200).is_none());
+        assert!(cm.lookup(0x1100).is_none());
+        assert_eq!(cm.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_denies_everything() {
+        let cm = ConfigMemory::new();
+        assert!(cm.is_empty());
+        assert!(cm.lookup(0).is_none());
+        assert!(cm.lookup(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut cm = ConfigMemory::new();
+        cm.insert(simple_policy(1, 0x100, 0x100)).unwrap();
+        let err = cm.insert(simple_policy(2, 0x180, 0x10)).unwrap_err();
+        assert_eq!(err.existing, Spi(1));
+        assert_eq!(err.attempted, Spi(2));
+        assert_eq!(cm.len(), 1);
+    }
+
+    #[test]
+    fn by_spi_finds_policy() {
+        let cm = ConfigMemory::with_policies(vec![simple_policy(7, 0, 16)]).unwrap();
+        assert!(cm.by_spi(Spi(7)).is_some());
+        assert!(cm.by_spi(Spi(8)).is_none());
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_replaces() {
+        let mut cm = ConfigMemory::with_policies(vec![simple_policy(1, 0, 16)]).unwrap();
+        assert_eq!(cm.generation(), 0);
+        let g = cm.swap(vec![simple_policy(2, 0x100, 16)]).unwrap();
+        assert_eq!(g, 1);
+        assert!(cm.lookup(0).is_none());
+        assert_eq!(cm.lookup(0x100).unwrap().spi, Spi(2));
+    }
+
+    #[test]
+    fn bad_swap_leaves_table_untouched() {
+        let mut cm = ConfigMemory::with_policies(vec![simple_policy(1, 0, 16)]).unwrap();
+        let result = cm.swap(vec![simple_policy(2, 0, 32), simple_policy(3, 16, 32)]);
+        assert!(result.is_err());
+        assert_eq!(cm.generation(), 0);
+        assert_eq!(cm.lookup(0).unwrap().spi, Spi(1));
+    }
+
+    #[test]
+    fn remove_at_extracts_policy() {
+        let mut cm = ConfigMemory::with_policies(vec![simple_policy(1, 0, 16)]).unwrap();
+        assert_eq!(cm.remove_at(4).unwrap().spi, Spi(1));
+        assert!(cm.remove_at(4).is_none());
+        assert!(cm.is_empty());
+    }
+
+    #[test]
+    fn total_rules_sums_policies() {
+        let cm = ConfigMemory::with_policies(vec![
+            SecurityPolicy::internal(1, AddrRange::new(0, 16), Rwa::ReadOnly, AdfSet::WORD_ONLY),
+            SecurityPolicy::internal(2, AddrRange::new(32, 16), Rwa::ReadWrite, AdfSet::ALL),
+        ])
+        .unwrap();
+        assert_eq!(cm.total_rules(), 3 + 5);
+    }
+}

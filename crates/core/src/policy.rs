@@ -1,0 +1,280 @@
+//! Security Policies — the paper's §IV-A parameter set.
+//!
+//! > "A Security Policy (also known as SP) is a set of parameters that aims
+//! > to protect the system against the considered threat model."
+//!
+//! Each policy covers an address region and carries:
+//! * **SPI** — the policy identifier;
+//! * **RWA** — read-only / write-only / read-write access rules;
+//! * **ADF** — the set of allowed data formats (8/16/32-bit);
+//! * **CM / IM** — confidentiality and integrity modes (meaningful only
+//!   for the Local Ciphering Firewall in front of the external memory);
+//! * **CK** — the 128-bit cryptographic key for the Confidentiality Core.
+
+use secbus_bus::{AddrRange, Op, Width};
+use serde::{Deserialize, Serialize};
+
+/// Security Policy Identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Spi(pub u16);
+
+/// Read/Write Access rules: "read-only, write-only or read/write".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rwa {
+    /// Only reads are authorized.
+    ReadOnly,
+    /// Only writes are authorized.
+    WriteOnly,
+    /// Both directions are authorized.
+    ReadWrite,
+}
+
+impl Rwa {
+    /// Whether `op` is authorized under this rule.
+    #[inline]
+    pub fn allows(self, op: Op) -> bool {
+        matches!(
+            (self, op),
+            (Rwa::ReadWrite, _) | (Rwa::ReadOnly, Op::Read) | (Rwa::WriteOnly, Op::Write)
+        )
+    }
+}
+
+/// Allowed Data Formats: which access widths a policy admits
+/// ("there can be several data lengths allowed … 8 up to 32 bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdfSet(u8);
+
+impl AdfSet {
+    const BYTE: u8 = 1;
+    const HALF: u8 = 2;
+    const WORD: u8 = 4;
+
+    /// No width allowed (useful as a building block; a policy with an
+    /// empty ADF rejects every access format).
+    pub const NONE: AdfSet = AdfSet(0);
+    /// All of 8/16/32-bit allowed.
+    pub const ALL: AdfSet = AdfSet(Self::BYTE | Self::HALF | Self::WORD);
+    /// 32-bit only — typical for register files of dedicated IPs.
+    pub const WORD_ONLY: AdfSet = AdfSet(Self::WORD);
+
+    /// Build from an explicit width list.
+    pub fn of(widths: &[Width]) -> AdfSet {
+        let mut bits = 0;
+        for w in widths {
+            bits |= match w {
+                Width::Byte => Self::BYTE,
+                Width::Half => Self::HALF,
+                Width::Word => Self::WORD,
+            };
+        }
+        AdfSet(bits)
+    }
+
+    /// Whether `width` is an allowed format.
+    #[inline]
+    pub fn allows(self, width: Width) -> bool {
+        let bit = match width {
+            Width::Byte => Self::BYTE,
+            Width::Half => Self::HALF,
+            Width::Word => Self::WORD,
+        };
+        self.0 & bit != 0
+    }
+
+    /// Number of allowed formats (0–3).
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// Confidentiality Mode: execute or bypass the block cipher
+/// (LCF only — "we consider that all internal communications are not
+/// encrypted as the Local Firewalls protect them").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ConfidentialityMode {
+    /// No ciphering for this region.
+    #[default]
+    Bypass,
+    /// AES-128 ciphering via the Confidentiality Core.
+    Encrypt,
+}
+
+/// Integrity Mode: execute or bypass the hash-tree Integrity Core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum IntegrityMode {
+    /// No integrity checking for this region.
+    #[default]
+    Bypass,
+    /// Hash-tree verification via the Integrity Core.
+    Verify,
+}
+
+/// A complete Security Policy over one address region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityPolicy {
+    /// SP Identifier.
+    pub spi: Spi,
+    /// The address region this policy rules.
+    pub region: AddrRange,
+    /// Read/Write Access rule.
+    pub rwa: Rwa,
+    /// Allowed Data Formats.
+    pub adf: AdfSet,
+    /// Confidentiality Mode (LCF only; ignored by plain LFs).
+    pub cm: ConfidentialityMode,
+    /// Integrity Mode (LCF only; ignored by plain LFs).
+    pub im: IntegrityMode,
+    /// Cryptographic Key for the Confidentiality Core (LCF only).
+    /// `None` whenever `cm` is `Bypass`.
+    pub key: Option<[u8; 16]>,
+}
+
+impl SecurityPolicy {
+    /// A plain internal policy (no crypto modes) — what Local Firewalls
+    /// store in their Configuration Memories.
+    pub fn internal(spi: u16, region: AddrRange, rwa: Rwa, adf: AdfSet) -> Self {
+        SecurityPolicy {
+            spi: Spi(spi),
+            region,
+            rwa,
+            adf,
+            cm: ConfidentialityMode::Bypass,
+            im: IntegrityMode::Bypass,
+            key: None,
+        }
+    }
+
+    /// An external-memory policy with explicit CM/IM and key.
+    pub fn external(
+        spi: u16,
+        region: AddrRange,
+        rwa: Rwa,
+        adf: AdfSet,
+        cm: ConfidentialityMode,
+        im: IntegrityMode,
+        key: Option<[u8; 16]>,
+    ) -> Self {
+        assert!(
+            (cm == ConfidentialityMode::Encrypt) == key.is_some(),
+            "a key must be present exactly when ciphering is enabled"
+        );
+        assert!(
+            !(im == IntegrityMode::Verify && cm == ConfidentialityMode::Bypass),
+            "integrity without ciphering is not a supported LCF mode \
+             (the paper's modes are: unprotected, ciphered, ciphered+authenticated)"
+        );
+        SecurityPolicy { spi: Spi(spi), region, rwa, adf, cm, im, key }
+    }
+
+    /// Number of elementary rules this policy contributes to its firewall
+    /// (used by the area model's rule-count scaling): one for the region
+    /// bound, one for RWA, one per allowed format, one per active crypto
+    /// mode.
+    pub fn rule_count(&self) -> u32 {
+        2 + self.adf.count()
+            + u32::from(self.cm == ConfidentialityMode::Encrypt)
+            + u32::from(self.im == IntegrityMode::Verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> AddrRange {
+        AddrRange::new(0x1000, 0x1000)
+    }
+
+    #[test]
+    fn rwa_semantics() {
+        assert!(Rwa::ReadOnly.allows(Op::Read));
+        assert!(!Rwa::ReadOnly.allows(Op::Write));
+        assert!(Rwa::WriteOnly.allows(Op::Write));
+        assert!(!Rwa::WriteOnly.allows(Op::Read));
+        assert!(Rwa::ReadWrite.allows(Op::Read));
+        assert!(Rwa::ReadWrite.allows(Op::Write));
+    }
+
+    #[test]
+    fn adf_membership() {
+        let wh = AdfSet::of(&[Width::Word, Width::Half]);
+        assert!(wh.allows(Width::Word));
+        assert!(wh.allows(Width::Half));
+        assert!(!wh.allows(Width::Byte));
+        assert_eq!(wh.count(), 2);
+        assert_eq!(AdfSet::ALL.count(), 3);
+        assert_eq!(AdfSet::NONE.count(), 0);
+        assert!(!AdfSet::NONE.allows(Width::Byte));
+        assert!(AdfSet::WORD_ONLY.allows(Width::Word));
+        assert!(!AdfSet::WORD_ONLY.allows(Width::Byte));
+    }
+
+    #[test]
+    fn internal_policy_has_no_crypto() {
+        let p = SecurityPolicy::internal(1, region(), Rwa::ReadWrite, AdfSet::ALL);
+        assert_eq!(p.cm, ConfidentialityMode::Bypass);
+        assert_eq!(p.im, IntegrityMode::Bypass);
+        assert!(p.key.is_none());
+    }
+
+    #[test]
+    fn external_policy_carries_key() {
+        let p = SecurityPolicy::external(
+            2,
+            region(),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Verify,
+            Some([7; 16]),
+        );
+        assert_eq!(p.key, Some([7; 16]));
+    }
+
+    #[test]
+    #[should_panic(expected = "key must be present")]
+    fn encrypt_without_key_panics() {
+        SecurityPolicy::external(
+            3,
+            region(),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Bypass,
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "integrity without ciphering")]
+    fn integrity_without_cipher_panics() {
+        SecurityPolicy::external(
+            4,
+            region(),
+            Rwa::ReadOnly,
+            AdfSet::ALL,
+            ConfidentialityMode::Bypass,
+            IntegrityMode::Verify,
+            None,
+        );
+    }
+
+    #[test]
+    fn rule_count_scales_with_features() {
+        let plain = SecurityPolicy::internal(1, region(), Rwa::ReadOnly, AdfSet::WORD_ONLY);
+        assert_eq!(plain.rule_count(), 3); // region + rwa + 1 format
+        let full = SecurityPolicy::external(
+            2,
+            region(),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Verify,
+            Some([0; 16]),
+        );
+        assert_eq!(full.rule_count(), 7); // region + rwa + 3 formats + cm + im
+    }
+}

@@ -1,0 +1,222 @@
+//! Run-time reconfiguration of security policies (paper §VI future work).
+//!
+//! > "We also plan to integrate reconfiguration of security services (i.e.
+//! > modification of security policies) to counter some attacks against
+//! > the system."
+//!
+//! The model: an update is *scheduled*, the target firewall keeps running
+//! under the old table for a quiesce window (`swap_latency` cycles — the
+//! hardware would drain its pipeline and rewrite the Configuration Memory),
+//! and then the whole table is swapped atomically. A failed validation
+//! (overlapping regions) leaves the old table in force — a half-applied
+//! security policy would be worse than a stale one.
+
+use secbus_sim::{Cycle, EventLog, Stats};
+
+use crate::config::PolicyOverlap;
+use crate::firewall::{FirewallId, LocalFirewall};
+use crate::policy::SecurityPolicy;
+
+/// A staged replacement of one firewall's whole policy table.
+#[derive(Debug, Clone)]
+pub struct PolicyUpdate {
+    /// The firewall whose Configuration Memory is rewritten.
+    pub firewall: FirewallId,
+    /// The complete new policy set.
+    pub policies: Vec<SecurityPolicy>,
+}
+
+/// Orchestrates staged policy swaps.
+#[derive(Debug)]
+pub struct ReconfigController {
+    swap_latency: u64,
+    queue: Vec<(Cycle, PolicyUpdate)>,
+    log: EventLog<(FirewallId, u64)>,
+    stats: Stats,
+}
+
+impl ReconfigController {
+    /// A controller whose updates take effect `swap_latency` cycles after
+    /// being scheduled.
+    pub fn new(swap_latency: u64) -> Self {
+        ReconfigController {
+            swap_latency,
+            queue: Vec::new(),
+            log: EventLog::new(256),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The configured quiesce window.
+    pub fn swap_latency(&self) -> u64 {
+        self.swap_latency
+    }
+
+    /// Stage an update; returns the cycle at which it becomes applicable.
+    pub fn schedule(&mut self, update: PolicyUpdate, now: Cycle) -> Cycle {
+        let ready_at = now + self.swap_latency;
+        self.stats.incr("reconfig.scheduled");
+        self.queue.push((ready_at, update));
+        ready_at
+    }
+
+    /// Updates whose quiesce window has elapsed at `now`, in schedule
+    /// order. The caller applies each with
+    /// [`ReconfigController::apply_to`].
+    pub fn take_ready(&mut self, now: Cycle) -> Vec<PolicyUpdate> {
+        let mut ready = Vec::new();
+        let mut remaining = Vec::with_capacity(self.queue.len());
+        for (at, update) in self.queue.drain(..) {
+            if at <= now {
+                ready.push(update);
+            } else {
+                remaining.push((at, update));
+            }
+        }
+        self.queue = remaining;
+        ready
+    }
+
+    /// Number of updates still quiescing.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Apply a ready update to its firewall, recording the new generation.
+    ///
+    /// Also lifts an administrative block: reconfiguration is the paper's
+    /// envisioned recovery path after an attack forced a lockdown.
+    pub fn apply_to(
+        &mut self,
+        fw: &mut LocalFirewall,
+        update: PolicyUpdate,
+    ) -> Result<u64, PolicyOverlap> {
+        debug_assert_eq!(fw.id(), update.firewall, "update routed to wrong firewall");
+        let generation = fw.config_mut().swap(update.policies)?;
+        fw.unblock();
+        self.stats.incr("reconfig.applied");
+        self.log.push(Cycle(generation), (update.firewall, generation));
+        Ok(generation)
+    }
+
+    /// Audit log of applied swaps `(firewall, generation)`.
+    pub fn log(&self) -> &EventLog<(FirewallId, u64)> {
+        &self.log
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigMemory;
+    use crate::policy::{AdfSet, Rwa, SecurityPolicy};
+    use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
+
+    fn policy(spi: u16, base: u32) -> SecurityPolicy {
+        SecurityPolicy::internal(spi, AddrRange::new(base, 0x100), Rwa::ReadWrite, AdfSet::ALL)
+    }
+
+    fn fw() -> LocalFirewall {
+        LocalFirewall::new(
+            FirewallId(3),
+            "LF",
+            ConfigMemory::with_policies(vec![policy(1, 0x1000)]).unwrap(),
+        )
+    }
+
+    fn txn(addr: u32) -> Transaction {
+        Transaction {
+            id: TxnId(0),
+            master: MasterId(0),
+            op: Op::Read,
+            addr,
+            width: Width::Word,
+            data: 0,
+            burst: 1,
+            issued_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn update_waits_for_quiesce_window() {
+        let mut rc = ReconfigController::new(50);
+        let ready_at =
+            rc.schedule(PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(2, 0x2000)] }, Cycle(10));
+        assert_eq!(ready_at, Cycle(60));
+        assert!(rc.take_ready(Cycle(59)).is_empty());
+        assert_eq!(rc.pending(), 1);
+        let ready = rc.take_ready(Cycle(60));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(rc.pending(), 0);
+    }
+
+    #[test]
+    fn applied_update_changes_enforcement() {
+        let mut rc = ReconfigController::new(0);
+        let mut f = fw();
+        assert!(f.check(&txn(0x1000), Cycle(0)).allowed);
+        assert!(!f.check(&txn(0x2000), Cycle(0)).allowed);
+
+        rc.schedule(
+            PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(2, 0x2000)] },
+            Cycle(0),
+        );
+        for update in rc.take_ready(Cycle(0)) {
+            rc.apply_to(&mut f, update).unwrap();
+        }
+        assert!(!f.check(&txn(0x1000), Cycle(1)).allowed, "old policy revoked");
+        assert!(f.check(&txn(0x2000), Cycle(1)).allowed, "new policy in force");
+        assert_eq!(rc.stats().counter("reconfig.applied"), 1);
+    }
+
+    #[test]
+    fn reconfiguration_unblocks_a_contained_ip() {
+        let mut rc = ReconfigController::new(0);
+        let mut f = fw();
+        f.block();
+        assert!(!f.check(&txn(0x1000), Cycle(0)).allowed);
+        rc.schedule(
+            PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(1, 0x1000)] },
+            Cycle(0),
+        );
+        for u in rc.take_ready(Cycle(0)) {
+            rc.apply_to(&mut f, u).unwrap();
+        }
+        assert!(f.check(&txn(0x1000), Cycle(1)).allowed);
+    }
+
+    #[test]
+    fn invalid_update_is_rejected_atomically() {
+        let mut rc = ReconfigController::new(0);
+        let mut f = fw();
+        rc.schedule(
+            PolicyUpdate {
+                firewall: FirewallId(3),
+                policies: vec![policy(2, 0x2000), policy(3, 0x2080)], // overlap
+            },
+            Cycle(0),
+        );
+        for u in rc.take_ready(Cycle(0)) {
+            assert!(rc.apply_to(&mut f, u).is_err());
+        }
+        // The old table still works.
+        assert!(f.check(&txn(0x1000), Cycle(1)).allowed);
+        assert_eq!(f.config().generation(), 0);
+    }
+
+    #[test]
+    fn multiple_updates_order_preserved() {
+        let mut rc = ReconfigController::new(10);
+        rc.schedule(PolicyUpdate { firewall: FirewallId(0), policies: vec![] }, Cycle(0));
+        rc.schedule(PolicyUpdate { firewall: FirewallId(1), policies: vec![] }, Cycle(5));
+        let ready = rc.take_ready(Cycle(20));
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[0].firewall, FirewallId(0));
+        assert_eq!(ready[1].firewall, FirewallId(1));
+    }
+}

@@ -1,0 +1,188 @@
+//! Thread-specific security policies (paper §VI future work).
+//!
+//! > "In this work, policies are defined using the address spaces, it can
+//! > be interesting to study the adaptation to thread-specific security
+//! > where each thread has its own security level."
+//!
+//! A [`ThreadPolicyTable`] holds one Configuration Memory per thread plus a
+//! fallback table. The processor (or its OS kernel) announces the running
+//! thread through the firewall's context register; the Security Builder
+//! then resolves policies against that thread's table. Switching context
+//! is modelled with a small pipeline-flush cost, which the S-5 experiment
+//! reports.
+
+use std::collections::BTreeMap;
+
+use secbus_bus::Transaction;
+use secbus_sim::{Cycle, Stats};
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{check_all, CheckOutcome, Violation};
+use crate::config::ConfigMemory;
+
+/// A hardware-visible thread identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ThreadId(pub u32);
+
+/// Per-thread policy tables with a default fallback.
+#[derive(Debug, Default)]
+pub struct ThreadPolicyTable {
+    tables: BTreeMap<ThreadId, ConfigMemory>,
+    fallback: ConfigMemory,
+    current: ThreadId,
+    /// Cycles charged when the context register changes.
+    switch_cost: u64,
+    stats: Stats,
+}
+
+impl ThreadPolicyTable {
+    /// Create with a fallback table (used by threads with no own table)
+    /// and a context-switch cost in cycles.
+    pub fn new(fallback: ConfigMemory, switch_cost: u64) -> Self {
+        ThreadPolicyTable {
+            tables: BTreeMap::new(),
+            fallback,
+            current: ThreadId(0),
+            switch_cost,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Install (or replace) the table for one thread.
+    pub fn set_table(&mut self, thread: ThreadId, table: ConfigMemory) {
+        self.tables.insert(thread, table);
+    }
+
+    /// The currently announced thread.
+    pub fn current(&self) -> ThreadId {
+        self.current
+    }
+
+    /// Announce a context switch; returns the cycles it costs (0 when the
+    /// thread is unchanged).
+    pub fn switch_to(&mut self, thread: ThreadId) -> u64 {
+        if thread == self.current {
+            return 0;
+        }
+        self.current = thread;
+        self.stats.incr("thread.switches");
+        self.switch_cost
+    }
+
+    /// The table in force for `thread`.
+    pub fn table_for(&self, thread: ThreadId) -> &ConfigMemory {
+        self.tables.get(&thread).unwrap_or(&self.fallback)
+    }
+
+    /// The table in force for the current thread.
+    pub fn active_table(&self) -> &ConfigMemory {
+        self.table_for(self.current)
+    }
+
+    /// Security Builder pass under the current thread's table.
+    pub fn check(&mut self, txn: &Transaction, _now: Cycle) -> CheckOutcome {
+        self.stats.incr("thread.checked");
+        match self.active_table().lookup(txn.addr) {
+            None => CheckOutcome::Fail(Violation::NoPolicy),
+            Some(policy) => check_all(policy, txn),
+        }
+    }
+
+    /// Number of installed per-thread tables.
+    pub fn thread_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdfSet, Rwa, SecurityPolicy};
+    use secbus_bus::{AddrRange, MasterId, Op, TxnId, Width};
+
+    fn table(base: u32, rwa: Rwa) -> ConfigMemory {
+        ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+            1,
+            AddrRange::new(base, 0x100),
+            rwa,
+            AdfSet::ALL,
+        )])
+        .unwrap()
+    }
+
+    fn txn(op: Op, addr: u32) -> Transaction {
+        Transaction {
+            id: TxnId(0),
+            master: MasterId(0),
+            op,
+            addr,
+            width: Width::Word,
+            data: 0,
+            burst: 1,
+            issued_at: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn per_thread_tables_differ() {
+        let mut t = ThreadPolicyTable::new(table(0x9000, Rwa::ReadOnly), 4);
+        t.set_table(ThreadId(1), table(0x1000, Rwa::ReadWrite));
+        t.set_table(ThreadId(2), table(0x2000, Rwa::ReadOnly));
+
+        t.switch_to(ThreadId(1));
+        assert!(t.check(&txn(Op::Write, 0x1000), Cycle(0)).passed());
+        assert!(!t.check(&txn(Op::Write, 0x2000), Cycle(0)).passed());
+
+        t.switch_to(ThreadId(2));
+        assert!(!t.check(&txn(Op::Write, 0x1000), Cycle(0)).passed());
+        assert!(t.check(&txn(Op::Read, 0x2000), Cycle(0)).passed());
+        assert!(
+            !t.check(&txn(Op::Write, 0x2000), Cycle(0)).passed(),
+            "thread 2 is read-only in its own region"
+        );
+    }
+
+    #[test]
+    fn unknown_thread_uses_fallback() {
+        let mut t = ThreadPolicyTable::new(table(0x9000, Rwa::ReadOnly), 4);
+        t.switch_to(ThreadId(42));
+        assert!(t.check(&txn(Op::Read, 0x9000), Cycle(0)).passed());
+        assert!(!t.check(&txn(Op::Write, 0x9000), Cycle(0)).passed());
+    }
+
+    #[test]
+    fn switch_cost_charged_only_on_change() {
+        let mut t = ThreadPolicyTable::new(ConfigMemory::new(), 7);
+        assert_eq!(t.switch_to(ThreadId(0)), 0, "already current");
+        assert_eq!(t.switch_to(ThreadId(5)), 7);
+        assert_eq!(t.switch_to(ThreadId(5)), 0);
+        assert_eq!(t.current(), ThreadId(5));
+        assert_eq!(t.stats().counter("thread.switches"), 1);
+    }
+
+    #[test]
+    fn empty_fallback_denies() {
+        let mut t = ThreadPolicyTable::new(ConfigMemory::new(), 0);
+        assert_eq!(
+            t.check(&txn(Op::Read, 0x0), Cycle(0)),
+            CheckOutcome::Fail(Violation::NoPolicy)
+        );
+    }
+
+    #[test]
+    fn thread_count_reflects_installed_tables() {
+        let mut t = ThreadPolicyTable::new(ConfigMemory::new(), 0);
+        assert_eq!(t.thread_count(), 0);
+        t.set_table(ThreadId(1), ConfigMemory::new());
+        t.set_table(ThreadId(2), ConfigMemory::new());
+        t.set_table(ThreadId(1), ConfigMemory::new()); // replace, not add
+        assert_eq!(t.thread_count(), 2);
+    }
+}

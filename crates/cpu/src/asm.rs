@@ -1,0 +1,582 @@
+//! A two-pass assembler for MB32.
+//!
+//! Enough surface to write the example workloads as readable source:
+//! labels, decimal/hex immediates, `lw r1, 4(r2)` addressing, branch
+//! targets by label, `.word`/`.space` data directives and the `li`/`mv`/`j`
+//! pseudo-instructions. Errors carry the 1-based source line.
+//!
+//! ```
+//! use secbus_cpu::assemble;
+//! let words = assemble(r"
+//!     li   r1, 0x44A00000   ; IP register base
+//!     addi r2, r0, 7
+//!     sw   r2, 0(r1)
+//!     halt
+//! ").unwrap();
+//! assert_eq!(words.len(), 5); // li expands to lui+ori
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Instr, MemSize, Reg};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// One source item after pass 1.
+enum Item {
+    Instr { line: usize, mnemonic: String, args: Vec<String> },
+    Word(u32),
+}
+
+/// Assemble MB32 source into instruction words.
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut consts: HashMap<String, i64> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+
+    // Pass 1: strip comments, record labels, expand pseudo sizes.
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(line_no, format!("bad label {label:?}"));
+            }
+            if labels.insert(label.to_owned(), items.len()).is_some() {
+                return err(line_no, format!("duplicate label {label:?}"));
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, args_str) = match rest.split_once(char::is_whitespace) {
+            Some((m, a)) => (m, a),
+            None => (rest, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let args: Vec<String> = args_str
+            .split(',')
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+
+        match mnemonic.as_str() {
+            ".equ" => {
+                // `.equ NAME, value` — a named constant usable wherever an
+                // immediate is accepted.
+                if args.len() != 2 {
+                    return err(line_no, ".equ takes NAME, value");
+                }
+                let name = args[0].clone();
+                if !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    || name.chars().next().is_none_or(|c| c.is_ascii_digit())
+                {
+                    return err(line_no, format!("bad constant name {name:?}"));
+                }
+                let value = parse_imm(&args[1]).ok_or(AsmError {
+                    line: line_no,
+                    msg: format!("bad .equ value {:?}", args[1]),
+                })?;
+                if consts.insert(name.clone(), value).is_some() {
+                    return err(line_no, format!("duplicate constant {name:?}"));
+                }
+            }
+            ".word" => {
+                for a in &args {
+                    let v = parse_imm(a).ok_or(AsmError {
+                        line: line_no,
+                        msg: format!("bad .word value {a:?}"),
+                    })?;
+                    items.push(Item::Word(v as u32));
+                }
+            }
+            ".space" => {
+                let n = args
+                    .first()
+                    .and_then(|a| parse_imm(a))
+                    .filter(|&n| n >= 0 && n % 4 == 0)
+                    .ok_or(AsmError {
+                        line: line_no,
+                        msg: ".space needs a non-negative multiple of 4".into(),
+                    })?;
+                for _ in 0..(n / 4) {
+                    items.push(Item::Word(0));
+                }
+            }
+            "li" => {
+                // Always two words (lui+ori) so label offsets are stable.
+                if args.len() != 2 {
+                    return err(line_no, "li takes rd, imm32");
+                }
+                items.push(Item::Instr {
+                    line: line_no,
+                    mnemonic: "li_hi".into(),
+                    args: args.clone(),
+                });
+                items.push(Item::Instr { line: line_no, mnemonic: "li_lo".into(), args });
+            }
+            _ => items.push(Item::Instr { line: line_no, mnemonic, args }),
+        }
+    }
+
+    // Pass 2: encode, substituting named constants into immediate slots.
+    let mut out = Vec::with_capacity(items.len());
+    for (pc, item) in items.iter().enumerate() {
+        match item {
+            Item::Word(w) => out.push(*w),
+            Item::Instr { line, mnemonic, args } => {
+                let args: Vec<String> = args
+                    .iter()
+                    .map(|a| match consts.get(a.trim()) {
+                        Some(v) => v.to_string(),
+                        None => a.clone(),
+                    })
+                    .collect();
+                let instr = encode_one(*line, mnemonic, &args, pc, &labels)?;
+                out.push(instr.encode());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let body = s
+        .strip_prefix('r')
+        .or_else(|| s.strip_prefix('R'))
+        .ok_or(AsmError { line, msg: format!("expected register, got {s:?}") })?;
+    match body.parse::<u8>() {
+        Ok(n) if n < 16 => Ok(Reg(n)),
+        _ => err(line, format!("bad register {s:?}")),
+    }
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn imm16(line: usize, s: &str) -> Result<i16, AsmError> {
+    let v = parse_imm(s).ok_or(AsmError { line, msg: format!("bad immediate {s:?}") })?;
+    // Accept both signed (-32768..=32767) and unsigned (..=65535) spellings.
+    if (-(1 << 15)..(1 << 16)).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        err(line, format!("immediate {v} does not fit in 16 bits"))
+    }
+}
+
+/// Parse `off(reg)` memory operands.
+fn parse_mem(line: usize, s: &str) -> Result<(i16, Reg), AsmError> {
+    let open = s.find('(').ok_or(AsmError { line, msg: format!("expected off(reg), got {s:?}") })?;
+    if !s.ends_with(')') {
+        return err(line, format!("expected off(reg), got {s:?}"));
+    }
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() { 0 } else { imm16(line, off_str)? };
+    let reg = parse_reg(line, s[open + 1..s.len() - 1].trim())?;
+    Ok((off, reg))
+}
+
+fn branch_target(
+    line: usize,
+    s: &str,
+    pc: usize,
+    labels: &HashMap<String, usize>,
+) -> Result<i16, AsmError> {
+    let target = if let Some(&t) = labels.get(s) {
+        t as i64
+    } else if let Some(v) = parse_imm(s) {
+        return i16::try_from(v).map_err(|_| AsmError {
+            line,
+            msg: format!("branch offset {v} out of range"),
+        });
+    } else {
+        return err(line, format!("unknown label {s:?}"));
+    };
+    let off = target - (pc as i64 + 1);
+    i16::try_from(off).map_err(|_| AsmError { line, msg: format!("branch to {s:?} out of range") })
+}
+
+fn encode_one(
+    line: usize,
+    mnemonic: &str,
+    args: &[String],
+    pc: usize,
+    labels: &HashMap<String, usize>,
+) -> Result<Instr, AsmError> {
+    let argc = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("{mnemonic} takes {n} operand(s), got {}", args.len()))
+        }
+    };
+
+    let alu3 = |op: AluOp, args: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::Alu {
+            op,
+            rd: parse_reg(line, &args[0])?,
+            ra: parse_reg(line, &args[1])?,
+            rb: parse_reg(line, &args[2])?,
+        })
+    };
+    let alui = |op: AluOp, args: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::AluImm {
+            op,
+            rd: parse_reg(line, &args[0])?,
+            ra: parse_reg(line, &args[1])?,
+            imm: imm16(line, &args[2])?,
+        })
+    };
+    let load = |size: MemSize, signed: bool, args: &[String]| -> Result<Instr, AsmError> {
+        let (off, ra) = parse_mem(line, &args[1])?;
+        Ok(Instr::Load { size, signed, rd: parse_reg(line, &args[0])?, ra, off })
+    };
+    let store = |size: MemSize, args: &[String]| -> Result<Instr, AsmError> {
+        let (off, ra) = parse_mem(line, &args[1])?;
+        Ok(Instr::Store { size, rb: parse_reg(line, &args[0])?, ra, off })
+    };
+    let branch = |cond: Cond, args: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::Branch {
+            cond,
+            ra: parse_reg(line, &args[0])?,
+            rb: parse_reg(line, &args[1])?,
+            off: branch_target(line, &args[2], pc, labels)?,
+        })
+    };
+
+    match mnemonic {
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "mul" | "slt" | "sltu" => {
+            argc(3)?;
+            alu3(alu_by_name(mnemonic), args)
+        }
+        "addi" | "subi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "muli" | "slti"
+        | "sltui" => {
+            argc(3)?;
+            alui(alu_by_name(mnemonic.trim_end_matches('i')), args)
+        }
+        "lui" => {
+            argc(2)?;
+            let v = parse_imm(&args[1])
+                .filter(|&v| (0..65536).contains(&v))
+                .ok_or(AsmError { line, msg: format!("bad lui immediate {:?}", args[1]) })?;
+            Ok(Instr::Lui { rd: parse_reg(line, &args[0])?, imm: v as u16 })
+        }
+        "li_hi" => {
+            let v = parse_imm(&args[1])
+                .filter(|&v| (0..=u32::MAX as i64).contains(&v) || (i32::MIN as i64..0).contains(&v))
+                .ok_or(AsmError { line, msg: format!("bad li immediate {:?}", args[1]) })?
+                as u32;
+            Ok(Instr::Lui { rd: parse_reg(line, &args[0])?, imm: (v >> 16) as u16 })
+        }
+        "li_lo" => {
+            let v = parse_imm(&args[1]).unwrap_or(0) as u32;
+            let rd = parse_reg(line, &args[0])?;
+            Ok(Instr::AluImm { op: AluOp::Or, rd, ra: rd, imm: (v & 0xffff) as u16 as i16 })
+        }
+        "mv" => {
+            argc(2)?;
+            Ok(Instr::AluImm {
+                op: AluOp::Add,
+                rd: parse_reg(line, &args[0])?,
+                ra: parse_reg(line, &args[1])?,
+                imm: 0,
+            })
+        }
+        "lb" => { argc(2)?; load(MemSize::Byte, true, args) }
+        "lbu" => { argc(2)?; load(MemSize::Byte, false, args) }
+        "lh" => { argc(2)?; load(MemSize::Half, true, args) }
+        "lhu" => { argc(2)?; load(MemSize::Half, false, args) }
+        "lw" => { argc(2)?; load(MemSize::Word, true, args) }
+        "sb" => { argc(2)?; store(MemSize::Byte, args) }
+        "sh" => { argc(2)?; store(MemSize::Half, args) }
+        "sw" => { argc(2)?; store(MemSize::Word, args) }
+        "beq" => { argc(3)?; branch(Cond::Eq, args) }
+        "bne" => { argc(3)?; branch(Cond::Ne, args) }
+        "blt" => { argc(3)?; branch(Cond::Lt, args) }
+        "bge" => { argc(3)?; branch(Cond::Ge, args) }
+        // Pseudo-branches: swap the operands of blt/bge.
+        "bgt" => {
+            argc(3)?;
+            let swapped = vec![args[1].clone(), args[0].clone(), args[2].clone()];
+            branch(Cond::Lt, &swapped)
+        }
+        "ble" => {
+            argc(3)?;
+            let swapped = vec![args[1].clone(), args[0].clone(), args[2].clone()];
+            branch(Cond::Ge, &swapped)
+        }
+        "jal" => {
+            argc(2)?;
+            Ok(Instr::Jal {
+                rd: parse_reg(line, &args[0])?,
+                off: branch_target(line, &args[1], pc, labels)?,
+            })
+        }
+        "j" | "b" => {
+            argc(1)?;
+            Ok(Instr::Jal { rd: Reg::ZERO, off: branch_target(line, &args[0], pc, labels)? })
+        }
+        "jalr" => {
+            argc(2)?;
+            Ok(Instr::Jalr { rd: parse_reg(line, &args[0])?, ra: parse_reg(line, &args[1])? })
+        }
+        "halt" => { argc(0)?; Ok(Instr::Halt) }
+        "nop" => { argc(0)?; Ok(Instr::Nop) }
+        other => err(line, format!("unknown mnemonic {other:?}")),
+    }
+}
+
+fn alu_by_name(name: &str) -> AluOp {
+    match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "mul" => AluOp::Mul,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => unreachable!("alu_by_name called with {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+
+    fn decode_all(words: &[u32]) -> Vec<Instr> {
+        words.iter().map(|&w| Instr::decode(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn basic_program() {
+        let words = assemble(
+            r"
+            start:
+                addi r1, r0, 10
+                add  r2, r1, r1
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            decode_all(&words),
+            vec![
+                Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(0), imm: 10 },
+                Instr::Alu { op: AluOp::Add, rd: Reg(2), ra: Reg(1), rb: Reg(1) },
+                Instr::Halt,
+            ]
+        );
+    }
+
+    #[test]
+    fn loads_stores_and_offsets() {
+        let words = assemble("lw r1, 4(r2)\nsw r1, -8(r3)\nlbu r4, (r5)").unwrap();
+        assert_eq!(
+            decode_all(&words),
+            vec![
+                Instr::Load { size: MemSize::Word, signed: true, rd: Reg(1), ra: Reg(2), off: 4 },
+                Instr::Store { size: MemSize::Word, rb: Reg(1), ra: Reg(3), off: -8 },
+                Instr::Load { size: MemSize::Byte, signed: false, rd: Reg(4), ra: Reg(5), off: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn branches_resolve_labels_forward_and_back() {
+        let words = assemble(
+            r"
+            loop:
+                addi r1, r1, 1
+                bne  r1, r2, loop
+                beq  r0, r0, end
+                nop
+            end:
+                halt
+            ",
+        )
+        .unwrap();
+        let instrs = decode_all(&words);
+        // bne at pc=1 targets 0: off = 0 - 2 = -2
+        assert_eq!(instrs[1], Instr::Branch { cond: Cond::Ne, ra: Reg(1), rb: Reg(2), off: -2 });
+        // beq at pc=2 targets 4: off = 4 - 3 = 1
+        assert_eq!(instrs[2], Instr::Branch { cond: Cond::Eq, ra: Reg(0), rb: Reg(0), off: 1 });
+    }
+
+    #[test]
+    fn li_expands_to_two_words() {
+        let words = assemble("li r1, 0x44A01234\nhalt").unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(
+            decode_all(&words)[..2],
+            [
+                Instr::Lui { rd: Reg(1), imm: 0x44A0 },
+                Instr::AluImm { op: AluOp::Or, rd: Reg(1), ra: Reg(1), imm: 0x1234 },
+            ]
+        );
+    }
+
+    #[test]
+    fn li_keeps_label_arithmetic_stable() {
+        // A branch across an li must account for its two words.
+        let words = assemble(
+            r"
+                beq r0, r0, done
+                li  r1, 0x12345678
+            done:
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            decode_all(&words)[0],
+            Instr::Branch { cond: Cond::Eq, ra: Reg(0), rb: Reg(0), off: 2 }
+        );
+    }
+
+    #[test]
+    fn word_and_space_directives() {
+        let words = assemble(".word 0xdeadbeef, 7\n.space 8\nhalt").unwrap();
+        assert_eq!(words[0], 0xdead_beef);
+        assert_eq!(words[1], 7);
+        assert_eq!(words[2], 0);
+        assert_eq!(words[3], 0);
+        assert_eq!(words.len(), 5);
+    }
+
+    #[test]
+    fn pseudo_mv_and_j() {
+        let words = assemble("mv r3, r7\nj next\nnop\nnext: halt").unwrap();
+        let instrs = decode_all(&words);
+        assert_eq!(instrs[0], Instr::AluImm { op: AluOp::Add, rd: Reg(3), ra: Reg(7), imm: 0 });
+        assert_eq!(instrs[1], Instr::Jal { rd: Reg(0), off: 1 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = assemble("; full comment\n  # another\n halt ; trailing\n\n").unwrap();
+        assert_eq!(words.len(), 1);
+    }
+
+    #[test]
+    fn equ_constants_substitute_into_immediates() {
+        let words = assemble(
+            r"
+            .equ BUFSZ, 48
+            .equ NEG, -5
+                addi r1, r0, BUFSZ
+                addi r2, r0, NEG
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            decode_all(&words)[..2],
+            [
+                Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(0), imm: 48 },
+                Instr::AluImm { op: AluOp::Add, rd: Reg(2), ra: Reg(0), imm: -5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn equ_errors() {
+        assert!(assemble(".equ 1BAD, 3").is_err());
+        assert!(assemble(".equ A, 1
+.equ A, 2").is_err());
+        assert!(assemble(".equ A, zz").is_err());
+    }
+
+    #[test]
+    fn bgt_ble_swap_operands() {
+        let words = assemble("loop: bgt r1, r2, loop
+ble r1, r2, loop
+halt").unwrap();
+        let instrs = decode_all(&words);
+        assert_eq!(instrs[0], Instr::Branch { cond: Cond::Lt, ra: Reg(2), rb: Reg(1), off: -1 });
+        assert_eq!(instrs[1], Instr::Branch { cond: Cond::Ge, ra: Reg(2), rb: Reg(1), off: -2 });
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = assemble("nop\nbadop r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("badop"));
+    }
+
+    #[test]
+    fn error_on_unknown_label() {
+        let e = assemble("beq r0, r0, nowhere").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn error_on_duplicate_label() {
+        let e = assemble("a: nop\na: nop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn error_on_bad_register() {
+        assert!(assemble("addi r16, r0, 1").is_err());
+        assert!(assemble("addi x1, r0, 1").is_err());
+    }
+
+    #[test]
+    fn error_on_oversize_immediate() {
+        assert!(assemble("addi r1, r0, 70000").is_err());
+        assert!(assemble("addi r1, r0, 65535").is_ok()); // unsigned spelling ok
+    }
+
+    #[test]
+    fn error_on_wrong_arity() {
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.msg.contains("3 operand"));
+    }
+}

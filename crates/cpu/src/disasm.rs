@@ -1,0 +1,161 @@
+//! MB32 disassembler.
+//!
+//! Produces assembler-compatible text: `assemble(disasm(word)) == word`
+//! for every legal instruction (branch/jump targets are emitted as
+//! numeric word offsets, which the assembler accepts). Used by trace
+//! tooling and the code-injection forensics in the attack reports.
+
+use crate::isa::{AluOp, Cond, Instr, MemSize};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Mul => "mul",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn load_name(size: MemSize, signed: bool) -> &'static str {
+    match (size, signed) {
+        (MemSize::Byte, true) => "lb",
+        (MemSize::Byte, false) => "lbu",
+        (MemSize::Half, true) => "lh",
+        (MemSize::Half, false) => "lhu",
+        (MemSize::Word, _) => "lw",
+    }
+}
+
+fn store_name(size: MemSize) -> &'static str {
+    match size {
+        MemSize::Byte => "sb",
+        MemSize::Half => "sh",
+        MemSize::Word => "sw",
+    }
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+    }
+}
+
+/// Disassemble one decoded instruction.
+pub fn disasm_instr(i: Instr) -> String {
+    match i {
+        Instr::Alu { op, rd, ra, rb } => format!("{} {rd}, {ra}, {rb}", alu_name(op)),
+        Instr::AluImm { op, rd, ra, imm } => {
+            format!("{}i {rd}, {ra}, {imm}", alu_name(op))
+        }
+        Instr::Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Instr::Load { size, signed, rd, ra, off } => {
+            format!("{} {rd}, {off}({ra})", load_name(size, signed))
+        }
+        Instr::Store { size, rb, ra, off } => {
+            format!("{} {rb}, {off}({ra})", store_name(size))
+        }
+        Instr::Branch { cond, ra, rb, off } => format!("{} {ra}, {rb}, {off}", cond_name(cond)),
+        Instr::Jal { rd, off } => format!("jal {rd}, {off}"),
+        Instr::Jalr { rd, ra } => format!("jalr {rd}, {ra}"),
+        Instr::Halt => "halt".into(),
+        Instr::Nop => "nop".into(),
+    }
+}
+
+/// Disassemble a raw word (illegal encodings render as `.word 0x…`).
+pub fn disasm(word: u32) -> String {
+    match Instr::decode(word) {
+        Some(i) => disasm_instr(i),
+        None => format!(".word 0x{word:08x}"),
+    }
+}
+
+/// Disassemble a program image with word addresses.
+pub fn disasm_listing(base: u32, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        out.push_str(&format!("{:#010x}: {:08x}  {}\n", base + 4 * i as u32, w, disasm(w)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn representative_forms() {
+        use crate::isa::Reg;
+        assert_eq!(
+            disasm_instr(Instr::Alu { op: AluOp::Add, rd: Reg(1), ra: Reg(2), rb: Reg(3) }),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            disasm_instr(Instr::Load {
+                size: MemSize::Byte,
+                signed: false,
+                rd: Reg(4),
+                ra: Reg(5),
+                off: -8
+            }),
+            "lbu r4, -8(r5)"
+        );
+        assert_eq!(disasm(Instr::Halt.encode()), "halt");
+        assert!(disasm(0xf400_0000).starts_with(".word"));
+    }
+
+    #[test]
+    fn roundtrip_through_assembler() {
+        let src = r"
+            addi r1, r0, 5
+            lui  r2, 0x4400
+            lw   r3, 4(r2)
+            sw   r3, -4(r2)
+            beq  r1, r3, 2
+            jal  r15, 10
+            jalr r0, r15
+            mul  r4, r1, r3
+            halt
+        ";
+        let words = assemble(src).unwrap();
+        for &w in &words {
+            let text = disasm(w);
+            let again = assemble(&text).unwrap();
+            assert_eq!(again, vec![w], "{text}");
+        }
+    }
+
+    #[test]
+    fn listing_contains_addresses() {
+        let words = assemble("nop\nhalt").unwrap();
+        let listing = disasm_listing(0x8008_0000, &words);
+        assert!(listing.contains("0x80080000"));
+        assert!(listing.contains("0x80080004"));
+        assert!(listing.contains("halt"));
+    }
+
+    proptest::proptest! {
+        /// Every legal decoded word disassembles to text the assembler
+        /// maps back to an equivalently-decoding word.
+        #[test]
+        fn decode_disasm_assemble_roundtrip(word in proptest::num::u32::ANY) {
+            if let Some(i) = Instr::decode(word) {
+                let text = disasm_instr(i);
+                let reassembled = assemble(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+                proptest::prop_assert_eq!(reassembled.len(), 1);
+                proptest::prop_assert_eq!(Instr::decode(reassembled[0]), Some(i), "{}", text);
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The MB32 instruction set and its 32-bit binary encoding.
+//!
+//! Encoding layout (big fields first):
+//!
+//! ```text
+//! R-type:  [31:26 op][25:22 rd][21:18 ra][17:14 rb][13:0  zero]
+//! I-type:  [31:26 op][25:22 rd][21:18 ra][15:0  imm16]
+//! branch:  [31:26 op][25:22 ra][21:18 rb][15:0  word offset]
+//! ```
+//!
+//! Note `rd`/`ra` fields sit above bit 16, so they never collide with the
+//! 16-bit immediate. Branch/jump offsets are signed *word* offsets relative
+//! to the instruction after the branch.
+
+use core::fmt;
+
+/// A register index, `r0`–`r15`. `r0` always reads as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional link register for `jal`.
+    pub const LINK: Reg = Reg(15);
+
+    /// Construct, panicking on an out-of-range index.
+    pub fn new(i: u8) -> Self {
+        assert!(i < 16, "register index out of range: r{i}");
+        Reg(i)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary ALU operations (R-type and, for most, an immediate form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by rb/imm & 31).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Set if less-than, signed.
+    Slt,
+    /// Set if less-than, unsigned.
+    Sltu,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// Memory access sizes (loads also carry signedness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+/// One decoded MB32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `op rd, ra, rb`
+    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    /// `opi rd, ra, imm` (imm sign-extended; shifts use low 5 bits)
+    AluImm { op: AluOp, rd: Reg, ra: Reg, imm: i16 },
+    /// `lui rd, imm` — load `imm << 16`.
+    Lui { rd: Reg, imm: u16 },
+    /// `l{b,h,w}[u] rd, off(ra)`
+    Load { size: MemSize, signed: bool, rd: Reg, ra: Reg, off: i16 },
+    /// `s{b,h,w} rb, off(ra)`
+    Store { size: MemSize, rb: Reg, ra: Reg, off: i16 },
+    /// `b{eq,ne,lt,ge} ra, rb, off` — signed word offset from pc+4.
+    Branch { cond: Cond, ra: Reg, rb: Reg, off: i16 },
+    /// `jal rd, off` — rd = pc+4, pc += 4 + off*4.
+    Jal { rd: Reg, off: i16 },
+    /// `jalr rd, ra` — rd = pc+4, pc = ra.
+    Jalr { rd: Reg, ra: Reg },
+    /// Stop the core.
+    Halt,
+    /// Do nothing.
+    Nop,
+}
+
+// Opcode assignments.
+const OP_ALU_BASE: u32 = 0x00; // +AluOp as u32 (0..=10)
+const OP_ALUI_BASE: u32 = 0x10; // +AluOp (0..=10)
+const OP_LUI: u32 = 0x1f;
+const OP_LOAD_BASE: u32 = 0x20; // +size*2+signed (lb=0x20,lbu=0x21 flip: see below)
+const OP_STORE_BASE: u32 = 0x28; // +size
+const OP_BRANCH_BASE: u32 = 0x30; // +cond
+const OP_JAL: u32 = 0x38;
+const OP_JALR: u32 = 0x39;
+const OP_HALT: u32 = 0x3e;
+const OP_NOP: u32 = 0x3f;
+
+fn alu_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Mul => 8,
+        AluOp::Slt => 9,
+        AluOp::Sltu => 10,
+    }
+}
+
+fn alu_from(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Sll,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Mul,
+        9 => AluOp::Slt,
+        10 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn size_code(s: MemSize) -> u32 {
+    match s {
+        MemSize::Byte => 0,
+        MemSize::Half => 1,
+        MemSize::Word => 2,
+    }
+}
+
+fn size_from(code: u32) -> Option<MemSize> {
+    Some(match code {
+        0 => MemSize::Byte,
+        1 => MemSize::Half,
+        2 => MemSize::Word,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+    }
+}
+
+impl Instr {
+    /// Encode to a 32-bit word.
+    pub fn encode(self) -> u32 {
+        let r = |op: u32, rd: Reg, ra: Reg, rb: Reg| {
+            (op << 26) | (u32::from(rd.0) << 22) | (u32::from(ra.0) << 18) | (u32::from(rb.0) << 14)
+        };
+        let i = |op: u32, rd: Reg, ra: Reg, imm: u16| {
+            (op << 26) | (u32::from(rd.0) << 22) | (u32::from(ra.0) << 18) | u32::from(imm)
+        };
+        match self {
+            Instr::Alu { op, rd, ra, rb } => r(OP_ALU_BASE + alu_code(op), rd, ra, rb),
+            Instr::AluImm { op, rd, ra, imm } => {
+                i(OP_ALUI_BASE + alu_code(op), rd, ra, imm as u16)
+            }
+            Instr::Lui { rd, imm } => i(OP_LUI, rd, Reg::ZERO, imm),
+            Instr::Load { size, signed, rd, ra, off } => {
+                let op = OP_LOAD_BASE + size_code(size) * 2 + u32::from(!signed);
+                i(op, rd, ra, off as u16)
+            }
+            Instr::Store { size, rb, ra, off } => {
+                i(OP_STORE_BASE + size_code(size), rb, ra, off as u16)
+            }
+            Instr::Branch { cond, ra, rb, off } => {
+                i(OP_BRANCH_BASE + cond_code(cond), ra, rb, off as u16)
+            }
+            Instr::Jal { rd, off } => i(OP_JAL, rd, Reg::ZERO, off as u16),
+            Instr::Jalr { rd, ra } => i(OP_JALR, rd, ra, 0),
+            Instr::Halt => OP_HALT << 26,
+            Instr::Nop => OP_NOP << 26,
+        }
+    }
+
+    /// Decode a 32-bit word, `None` for illegal encodings.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let op = word >> 26;
+        let rd = Reg(((word >> 22) & 0xf) as u8);
+        let ra = Reg(((word >> 18) & 0xf) as u8);
+        let rb = Reg(((word >> 14) & 0xf) as u8);
+        let imm = (word & 0xffff) as u16;
+        Some(match op {
+            o if o < OP_ALUI_BASE && alu_from(o).is_some() => {
+                Instr::Alu { op: alu_from(o)?, rd, ra, rb }
+            }
+            o if (OP_ALUI_BASE..OP_ALUI_BASE + 11).contains(&o) => Instr::AluImm {
+                op: alu_from(o - OP_ALUI_BASE)?,
+                rd,
+                ra,
+                imm: imm as i16,
+            },
+            OP_LUI => Instr::Lui { rd, imm },
+            o if (OP_LOAD_BASE..OP_LOAD_BASE + 6).contains(&o) => {
+                let code = o - OP_LOAD_BASE;
+                let size = size_from(code / 2)?;
+                // Word loads have no sign distinction; canonicalise so
+                // decode(encode(x)) is the identity on `Instr`.
+                let signed = code.is_multiple_of(2) || size == MemSize::Word;
+                Instr::Load { size, signed, rd, ra, off: imm as i16 }
+            }
+            o if (OP_STORE_BASE..OP_STORE_BASE + 3).contains(&o) => Instr::Store {
+                size: size_from(o - OP_STORE_BASE)?,
+                rb: rd,
+                ra,
+                off: imm as i16,
+            },
+            o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 4).contains(&o) => {
+                let cond = match o - OP_BRANCH_BASE {
+                    0 => Cond::Eq,
+                    1 => Cond::Ne,
+                    2 => Cond::Lt,
+                    _ => Cond::Ge,
+                };
+                Instr::Branch { cond, ra: rd, rb: ra, off: imm as i16 }
+            }
+            OP_JAL => Instr::Jal { rd, off: imm as i16 },
+            OP_JALR => Instr::Jalr { rd, ra },
+            OP_HALT => Instr::Halt,
+            OP_NOP => Instr::Nop,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instr> {
+        let r1 = Reg(1);
+        let r2 = Reg(2);
+        let r3 = Reg(3);
+        let mut v = Vec::new();
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Mul,
+            AluOp::Slt,
+            AluOp::Sltu,
+        ] {
+            v.push(Instr::Alu { op, rd: r1, ra: r2, rb: r3 });
+            v.push(Instr::AluImm { op, rd: r3, ra: r1, imm: -42 });
+        }
+        for size in [MemSize::Byte, MemSize::Half, MemSize::Word] {
+            v.push(Instr::Load { size, signed: true, rd: r1, ra: r2, off: 16 });
+            if size != MemSize::Word {
+                // Word loads canonicalise to signed (no sign distinction).
+                v.push(Instr::Load { size, signed: false, rd: r1, ra: r2, off: -4 });
+            }
+            v.push(Instr::Store { size, rb: r3, ra: r2, off: 8 });
+        }
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge] {
+            v.push(Instr::Branch { cond, ra: r1, rb: r2, off: -3 });
+        }
+        v.push(Instr::Lui { rd: r2, imm: 0x4400 });
+        v.push(Instr::Jal { rd: Reg::LINK, off: 100 });
+        v.push(Instr::Jalr { rd: Reg::ZERO, ra: Reg::LINK });
+        v.push(Instr::Halt);
+        v.push(Instr::Nop);
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        for i in all_samples() {
+            let w = i.encode();
+            assert_eq!(Instr::decode(w), Some(i), "word {w:#010x} from {i:?}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let samples = all_samples();
+        for (a, ia) in samples.iter().enumerate() {
+            for ib in samples.iter().skip(a + 1) {
+                assert_ne!(ia.encode(), ib.encode(), "{ia:?} vs {ib:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_opcodes_decode_to_none() {
+        for op in [0x0b_u32, 0x0f, 0x1b, 0x1e, 0x26, 0x27, 0x2b, 0x2f, 0x34, 0x3a, 0x3d] {
+            assert_eq!(Instr::decode(op << 26), None, "opcode {op:#x}");
+        }
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(1), imm: -1 };
+        match Instr::decode(i.encode()).unwrap() {
+            Instr::AluImm { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reg_constructor_bounds() {
+        assert_eq!(Reg::new(15).0, 15);
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_16_panics() {
+        Reg::new(16);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn decode_never_panics(word in proptest::num::u32::ANY) {
+            let _ = Instr::decode(word);
+        }
+
+        #[test]
+        fn decoded_reencode_is_stable(word in proptest::num::u32::ANY) {
+            if let Some(i) = Instr::decode(word) {
+                // Re-encoding a decoded instruction must decode identically
+                // (encoding may canonicalise ignored bits).
+                proptest::prop_assert_eq!(Instr::decode(i.encode()), Some(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Non-programmable bus masters: DMA, a streaming dedicated IP, and a
+//! configurable synthetic traffic generator.
+//!
+//! The paper's case study includes "one dedicated IP" alongside the three
+//! MicroBlazes; the overhead analysis in §V depends on "the percentage of
+//! computation time versus communication time" and "the percentage of
+//! internal communication versus external communication" — the
+//! [`SyntheticMaster`] exists precisely to sweep those two ratios in the
+//! S-2 ablation bench.
+
+use secbus_bus::{Op, TxnId, Width};
+use secbus_sim::{Cycle, SimRng, Stats};
+
+use crate::master::{BusMaster, MasterAccess};
+
+/// Configuration for a [`SyntheticMaster`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Address windows the master targets, with relative weights.
+    pub windows: Vec<(u32, u32, u32)>,
+    /// Probability an access is a read (vs write).
+    pub read_ratio: f64,
+    /// Access widths to draw from, uniformly.
+    pub widths: Vec<Width>,
+    /// Beats per transaction.
+    pub burst: u16,
+    /// A new access is attempted every `period` cycles ("computation time"
+    /// between communications); 1 = back-to-back.
+    pub period: u64,
+    /// Stop after this many accesses (0 = unbounded).
+    pub total_ops: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            windows: vec![(0, 0x1000, 1)],
+            read_ratio: 0.5,
+            widths: vec![Width::Word],
+            burst: 1,
+            period: 1,
+            total_ops: 0,
+        }
+    }
+}
+
+/// A master issuing a configurable random mix of reads and writes.
+pub struct SyntheticMaster {
+    label: String,
+    config: SyntheticConfig,
+    rng: SimRng,
+    outstanding: Option<(TxnId, Cycle)>,
+    issued: u64,
+    next_issue_at: u64,
+    stats: Stats,
+}
+
+impl SyntheticMaster {
+    /// Create a generator with its own RNG stream.
+    pub fn new(label: impl Into<String>, config: SyntheticConfig, rng: SimRng) -> Self {
+        assert!(!config.windows.is_empty(), "need at least one address window");
+        assert!(!config.widths.is_empty(), "need at least one width");
+        SyntheticMaster {
+            label: label.into(),
+            config,
+            rng,
+            outstanding: None,
+            issued: 0,
+            next_issue_at: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    fn pick_address(&mut self, width: Width, burst: u16) -> u32 {
+        let total_weight: u32 = self.config.windows.iter().map(|w| w.2).sum();
+        let mut roll = self.rng.below(u64::from(total_weight.max(1))) as u32;
+        let mut chosen = self.config.windows[0];
+        for w in &self.config.windows {
+            if roll < w.2 {
+                chosen = *w;
+                break;
+            }
+            roll -= w.2;
+        }
+        let (base, len, _) = chosen;
+        let span = u32::from(burst.max(1)) * width.bytes();
+        let slots = (len / span).max(1);
+        let slot = self.rng.below(u64::from(slots)) as u32;
+        base + slot * span
+    }
+
+    /// Accesses issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl BusMaster for SyntheticMaster {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
+        if let Some((txn, issued_at)) = self.outstanding {
+            if let Some(resp) = mem.poll() {
+                debug_assert_eq!(resp.txn, txn);
+                self.stats.record("traffic.latency", now.saturating_since(issued_at));
+                if resp.is_ok() {
+                    self.stats.incr("traffic.ok");
+                } else {
+                    self.stats.incr("traffic.err");
+                }
+                self.outstanding = None;
+                self.next_issue_at = now.get() + self.config.period;
+            }
+            return;
+        }
+        if self.config.total_ops != 0 && self.issued >= self.config.total_ops {
+            return;
+        }
+        if now.get() < self.next_issue_at {
+            return;
+        }
+        let width = *self.rng.pick(&self.config.widths);
+        let burst = self.config.burst;
+        let op = if self.rng.chance(self.config.read_ratio) {
+            Op::Read
+        } else {
+            Op::Write
+        };
+        let addr = self.pick_address(width, burst);
+        let data = self.rng.next_u32();
+        let txn = mem.issue(op, addr, width, data, burst);
+        self.outstanding = Some((txn, now));
+        self.issued += 1;
+        self.stats.incr("traffic.issued");
+    }
+
+    fn halted(&self) -> bool {
+        self.config.total_ops != 0 && self.issued >= self.config.total_ops && self.outstanding.is_none()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// A block-copy DMA engine: reads `burst` beats from the source, writes
+/// them to the destination, until `len_bytes` have moved.
+pub struct DmaEngine {
+    label: String,
+    src: u32,
+    dst: u32,
+    len_bytes: u32,
+    burst: u16,
+    moved: u32,
+    phase: DmaPhase,
+    stats: Stats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DmaPhase {
+    ReadNext,
+    WaitRead(TxnId),
+    WaitWrite(TxnId),
+    Done,
+}
+
+impl DmaEngine {
+    /// Program a copy of `len_bytes` from `src` to `dst` in word beats.
+    ///
+    /// # Panics
+    /// Panics unless addresses and length are word-aligned and non-empty.
+    pub fn new(label: impl Into<String>, src: u32, dst: u32, len_bytes: u32, burst: u16) -> Self {
+        assert!(len_bytes > 0 && len_bytes.is_multiple_of(4), "length must be words");
+        assert!(src.is_multiple_of(4) && dst.is_multiple_of(4), "addresses must be aligned");
+        DmaEngine {
+            label: label.into(),
+            src,
+            dst,
+            len_bytes,
+            burst: burst.max(1),
+            moved: 0,
+            phase: DmaPhase::ReadNext,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Bytes copied so far.
+    pub fn moved(&self) -> u32 {
+        self.moved
+    }
+
+    fn chunk_bytes(&self) -> u32 {
+        (u32::from(self.burst) * 4).min(self.len_bytes - self.moved)
+    }
+}
+
+impl BusMaster for DmaEngine {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, _now: Cycle) {
+        match self.phase {
+            DmaPhase::Done => {}
+            DmaPhase::ReadNext => {
+                let beats = (self.chunk_bytes() / 4) as u16;
+                let txn = mem.issue(Op::Read, self.src + self.moved, Width::Word, 0, beats);
+                self.phase = DmaPhase::WaitRead(txn);
+            }
+            DmaPhase::WaitRead(txn) => {
+                if let Some(resp) = mem.poll() {
+                    debug_assert_eq!(resp.txn, txn);
+                    if !resp.is_ok() {
+                        self.stats.incr("dma.errors");
+                        self.phase = DmaPhase::Done;
+                        return;
+                    }
+                    let beats = (self.chunk_bytes() / 4) as u16;
+                    let t = mem.issue(Op::Write, self.dst + self.moved, Width::Word, resp.data, beats);
+                    self.phase = DmaPhase::WaitWrite(t);
+                }
+            }
+            DmaPhase::WaitWrite(txn) => {
+                if let Some(resp) = mem.poll() {
+                    debug_assert_eq!(resp.txn, txn);
+                    if !resp.is_ok() {
+                        self.stats.incr("dma.errors");
+                        self.phase = DmaPhase::Done;
+                        return;
+                    }
+                    let chunk = self.chunk_bytes();
+                    self.moved += chunk;
+                    self.stats.add("dma.bytes", u64::from(chunk));
+                    self.phase = if self.moved >= self.len_bytes {
+                        DmaPhase::Done
+                    } else {
+                        DmaPhase::ReadNext
+                    };
+                }
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.phase == DmaPhase::Done
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// A dedicated streaming IP: writes an incrementing sample to a FIFO
+/// register every `period` cycles — the kind of fixed-function block the
+/// paper attaches a Local Firewall to.
+pub struct StreamIp {
+    label: String,
+    fifo_addr: u32,
+    period: u64,
+    samples: u64,
+    sent: u64,
+    outstanding: Option<TxnId>,
+    next_at: u64,
+    stats: Stats,
+}
+
+impl StreamIp {
+    /// Stream `samples` words to `fifo_addr`, one every `period` cycles
+    /// (0 samples = stream forever).
+    pub fn new(label: impl Into<String>, fifo_addr: u32, period: u64, samples: u64) -> Self {
+        StreamIp {
+            label: label.into(),
+            fifo_addr,
+            period: period.max(1),
+            samples,
+            sent: 0,
+            outstanding: None,
+            next_at: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Samples pushed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl BusMaster for StreamIp {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
+        if let Some(txn) = self.outstanding {
+            if let Some(resp) = mem.poll() {
+                debug_assert_eq!(resp.txn, txn);
+                if resp.is_ok() {
+                    self.stats.incr("stream.acked");
+                } else {
+                    self.stats.incr("stream.rejected");
+                }
+                self.outstanding = None;
+            }
+            return;
+        }
+        if (self.samples != 0 && self.sent >= self.samples) || now.get() < self.next_at {
+            return;
+        }
+        let txn = mem.issue(Op::Write, self.fifo_addr, Width::Word, self.sent as u32, 1);
+        self.outstanding = Some(txn);
+        self.sent += 1;
+        self.next_at = now.get() + self.period;
+    }
+
+    fn halted(&self) -> bool {
+        self.samples != 0 && self.sent >= self.samples && self.outstanding.is_none()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::InstantMem;
+
+    fn drive(m: &mut dyn BusMaster, mem: &mut InstantMem, cycles: u64) {
+        for c in 0..cycles {
+            if m.halted() {
+                break;
+            }
+            m.tick(mem, Cycle(c));
+        }
+    }
+
+    #[test]
+    fn synthetic_respects_total_ops() {
+        let cfg = SyntheticConfig { total_ops: 10, ..Default::default() };
+        let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(1));
+        let mut mem = InstantMem::new(0x1000);
+        drive(&mut m, &mut mem, 1000);
+        assert!(m.halted());
+        assert_eq!(m.issued(), 10);
+        assert_eq!(m.stats().counter("traffic.issued"), 10);
+        assert_eq!(m.stats().counter("traffic.ok"), 10);
+    }
+
+    #[test]
+    fn synthetic_addresses_stay_in_windows() {
+        let cfg = SyntheticConfig {
+            windows: vec![(0x100, 0x100, 1), (0x800, 0x80, 3)],
+            total_ops: 200,
+            widths: vec![Width::Byte, Width::Half, Width::Word],
+            ..Default::default()
+        };
+        let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(7));
+        let mut mem = InstantMem::new(0x1000);
+        drive(&mut m, &mut mem, 10_000);
+        assert!(!mem.issued.is_empty());
+        for &(_, addr, width, _) in &mem.issued {
+            let in_a = (0x100..0x200).contains(&addr);
+            let in_b = (0x800..0x880).contains(&addr);
+            assert!(in_a || in_b, "addr {addr:#x} escaped the windows");
+            assert_eq!(addr % width.bytes(), 0, "unaligned access generated");
+        }
+    }
+
+    #[test]
+    fn synthetic_read_ratio_is_respected() {
+        let cfg = SyntheticConfig {
+            read_ratio: 0.8,
+            total_ops: 500,
+            ..Default::default()
+        };
+        let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(3));
+        let mut mem = InstantMem::new(0x1000);
+        drive(&mut m, &mut mem, 50_000);
+        let reads = mem.issued.iter().filter(|(op, ..)| *op == Op::Read).count();
+        assert!((330..470).contains(&reads), "reads={reads} of 500");
+    }
+
+    #[test]
+    fn synthetic_period_spaces_requests() {
+        let cfg = SyntheticConfig { period: 10, total_ops: 5, ..Default::default() };
+        let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(5));
+        let mut mem = InstantMem::new(0x1000);
+        let mut issue_cycles = Vec::new();
+        for c in 0..200 {
+            let before = mem.issued.len();
+            m.tick(&mut mem, Cycle(c));
+            if mem.issued.len() > before {
+                issue_cycles.push(c);
+            }
+        }
+        assert_eq!(issue_cycles.len(), 5);
+        for pair in issue_cycles.windows(2) {
+            assert!(pair[1] - pair[0] >= 10, "{issue_cycles:?}");
+        }
+    }
+
+    #[test]
+    fn dma_copies_exact_bytes() {
+        let mut mem = InstantMem::new(0x400);
+        for i in 0..64u32 {
+            mem.load((0x100 + i) as usize, &[i as u8]);
+        }
+        let mut dma = DmaEngine::new("dma", 0x100, 0x200, 64, 4);
+        drive(&mut dma, &mut mem, 1000);
+        assert!(dma.halted());
+        assert_eq!(dma.moved(), 64);
+        assert_eq!(dma.stats().counter("dma.bytes"), 64);
+        // First word of each burst is copied by the simplified datapath.
+        assert_eq!(mem.word(0x200), mem.word(0x100));
+    }
+
+    #[test]
+    fn dma_error_stops_engine() {
+        let mut mem = InstantMem::new(0x100);
+        let mut dma = DmaEngine::new("dma", 0x80, 0x200, 16, 1); // dst out of range
+        drive(&mut dma, &mut mem, 100);
+        assert!(dma.halted());
+        assert_eq!(dma.stats().counter("dma.errors"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn dma_rejects_unaligned() {
+        DmaEngine::new("dma", 2, 0, 4, 1);
+    }
+
+    #[test]
+    fn stream_ip_pushes_samples_on_schedule() {
+        let mut mem = InstantMem::new(0x100);
+        let mut ip = StreamIp::new("ip", 0x40, 4, 8);
+        drive(&mut ip, &mut mem, 200);
+        assert!(ip.halted());
+        assert_eq!(ip.sent(), 8);
+        assert_eq!(ip.stats().counter("stream.acked"), 8);
+        // Last sample written is 7.
+        assert_eq!(mem.word(0x40), 7);
+    }
+}

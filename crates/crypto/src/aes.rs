@@ -1,0 +1,361 @@
+//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//!
+//! This is the algorithm inside the paper's Confidentiality Core. The
+//! implementation is a straightforward byte-oriented rendering of the
+//! standard — S-box substitution, row shifts, GF(2^8) column mixing and a
+//! 44-word key schedule — optimised only as far as table lookups, which is
+//! plenty for a functional model (the Criterion bench measures it anyway).
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Round constants for the key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by x in GF(2^8) with the AES polynomial.
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (if a & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// General GF(2^8) multiplication.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key ready for encryption and decryption.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ key: <redacted> }}")
+    }
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    #[inline]
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let inv = inv_sbox();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    /// State layout: byte `i` of the block is state row `i % 4`, column
+    /// `i / 4` (FIPS-197 column-major order); `state[r + 4c]` below.
+    fn shift_rows(s: &mut [u8; 16]) {
+        // row 1 rotate left 1; row 2 left 2; row 3 left 3
+        let t = [s[1], s[5], s[9], s[13]];
+        s[1] = t[1];
+        s[5] = t[2];
+        s[9] = t[3];
+        s[13] = t[0];
+        s.swap(2, 10);
+        s.swap(6, 14);
+        let t = [s[3], s[7], s[11], s[15]];
+        s[3] = t[3];
+        s[7] = t[0];
+        s[11] = t[1];
+        s[15] = t[2];
+    }
+
+    fn inv_shift_rows(s: &mut [u8; 16]) {
+        let t = [s[1], s[5], s[9], s[13]];
+        s[1] = t[3];
+        s[5] = t[0];
+        s[9] = t[1];
+        s[13] = t[2];
+        s.swap(2, 10);
+        s.swap(6, 14);
+        let t = [s[3], s[7], s[11], s[15]];
+        s[3] = t[1];
+        s[7] = t[2];
+        s[11] = t[3];
+        s[15] = t[0];
+    }
+
+    fn mix_columns(s: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            s[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            s[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            s[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            s[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(s: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            s[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            s[4 * c + 1] = gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            s[4 * c + 2] = gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            s[4 * c + 3] = gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of `block` and return the ciphertext.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Decrypt a copy of `block` and return the plaintext.
+    pub fn decrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.decrypt_block(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn key16(s: &str) -> [u8; 16] {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B worked example.
+        let aes = Aes128::new(&key16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = key16("3243f6a8885a308d313198a2e0370734");
+        let ct = aes.encrypt(&pt);
+        assert_eq!(ct.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS-197 Appendix C.1 AES-128 example vector.
+        let aes = Aes128::new(&key16("000102030405060708090a0b0c0d0e0f"));
+        let pt = key16("00112233445566778899aabbccddeeff");
+        let ct = aes.encrypt(&pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt(&ct), pt);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_in_place() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let original = *b"secbus-test-blk!";
+        let mut block = original;
+        aes.encrypt_block(&mut block);
+        assert_ne!(block, original);
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let a = Aes128::new(&[1u8; 16]);
+        let b = Aes128::new(&[2u8; 16]);
+        let pt = [0u8; 16];
+        assert_ne!(a.encrypt(&pt), b.encrypt(&pt));
+    }
+
+    #[test]
+    fn single_bit_key_change_diffuses() {
+        let mut k = [0u8; 16];
+        let a = Aes128::new(&k);
+        k[15] ^= 1;
+        let b = Aes128::new(&k);
+        let pt = [0u8; 16];
+        let (ca, cb) = (a.encrypt(&pt), b.encrypt(&pt));
+        let differing_bits: u32 = ca
+            .iter()
+            .zip(cb.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        // Avalanche: expect roughly half of the 128 bits to differ.
+        assert!(differing_bits > 30, "only {differing_bits} bits differ");
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let s = format!("{aes:?}");
+        assert!(s.contains("redacted"));
+        assert!(!s.contains('9'));
+    }
+
+    #[test]
+    fn gf_multiplication_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(gmul(a, 1), a);
+            assert_eq!(gmul(a, 2), xtime(a));
+            assert_eq!(gmul(a, 0), 0);
+        }
+        // Commutativity spot checks.
+        assert_eq!(gmul(0x57, 0x83), gmul(0x83, 0x57));
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        let inv = inv_sbox();
+        for i in 0..=255u8 {
+            assert_eq!(inv[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn all_zero_vector() {
+        // Well-known AES-128 ECB vector: zero key, zero block.
+        let aes = Aes128::new(&[0; 16]);
+        let ct = aes.encrypt(&[0; 16]);
+        assert_eq!(ct.to_vec(), hex("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+    }
+
+    #[test]
+    fn thousand_fold_chained_roundtrip() {
+        // Monte-Carlo-style chaining: 1000 encryptions then 1000
+        // decryptions must return to the start, and the chain must not
+        // cycle early (all intermediate states distinct from the start).
+        let aes = Aes128::new(&key16("000102030405060708090a0b0c0d0e0f"));
+        let start = *b"chain-start-blk!";
+        let mut block = start;
+        for i in 0..1000 {
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, start, "cycle after {i} rounds");
+        }
+        for _ in 0..1000 {
+            aes.decrypt_block(&mut block);
+        }
+        assert_eq!(block, start);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn roundtrip_random_blocks(key in proptest::array::uniform16(0u8..), block in proptest::array::uniform16(0u8..)) {
+            let aes = Aes128::new(&key);
+            proptest::prop_assert_eq!(aes.decrypt(&aes.encrypt(&block)), block);
+        }
+
+        #[test]
+        fn encryption_is_injective(key in proptest::array::uniform16(0u8..), a in proptest::array::uniform16(0u8..), b in proptest::array::uniform16(0u8..)) {
+            let aes = Aes128::new(&key);
+            proptest::prop_assert_eq!(aes.encrypt(&a) == aes.encrypt(&b), a == b);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The Integrity Core's hash tree.
+//!
+//! A binary Merkle tree over the protected external-memory blocks. The root
+//! is on-chip state (trusted, like the Configuration Memories); interior
+//! nodes conceptually live wherever the implementation caches them — what
+//! matters for the threat model is that a verifier holding only the root
+//! can detect any modification of a leaf, which is exactly what
+//! [`MerkleTree::verify_proof`] provides.
+//!
+//! Leaf and interior hashes are domain-separated (`0x00` / `0x01` prefixes)
+//! so an attacker cannot pass an interior node off as a leaf.
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// Domain-separation prefix for leaf hashes.
+const LEAF_TAG: u8 = 0x00;
+/// Domain-separation prefix for interior-node hashes.
+const NODE_TAG: u8 = 0x01;
+
+/// Hash a leaf's raw block content (with its time-stamp tag) into a digest.
+///
+/// The tag is bound into the leaf so that a replayed (old-tag) block fails
+/// verification even if the raw bytes were once genuine.
+pub fn leaf_digest(block_index: u64, timestamp: u64, data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(&block_index.to_be_bytes());
+    h.update(&timestamp.to_be_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+fn node_digest(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// A binary hash tree with in-place leaf updates and membership proofs.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// 1-based heap layout: node 1 is the root, leaves occupy
+    /// `[leaf_base, leaf_base + capacity)`.
+    nodes: Vec<Digest>,
+    capacity: usize,
+    leaves: usize,
+}
+
+impl MerkleTree {
+    /// Build a tree over `leaves` leaf digests (padded internally to the
+    /// next power of two with the digest of an empty leaf).
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty.
+    pub fn build(initial: &[Digest]) -> Self {
+        assert!(!initial.is_empty(), "MerkleTree needs at least one leaf");
+        let leaves = initial.len();
+        let capacity = leaves.next_power_of_two();
+        let mut nodes = vec![[0u8; 32]; 2 * capacity];
+        let pad = sha256(&[LEAF_TAG]);
+        for i in 0..capacity {
+            nodes[capacity + i] = if i < leaves { initial[i] } else { pad };
+        }
+        for i in (1..capacity).rev() {
+            nodes[i] = node_digest(&nodes[2 * i].clone(), &nodes[2 * i + 1].clone());
+        }
+        MerkleTree {
+            nodes,
+            capacity,
+            leaves,
+        }
+    }
+
+    /// Build a tree whose `leaves` leaves all hold `digest`.
+    pub fn uniform(leaves: usize, digest: Digest) -> Self {
+        Self::build(&vec![digest; leaves.max(1)])
+    }
+
+    /// Number of (real, unpadded) leaves.
+    pub fn len(&self) -> usize {
+        self.leaves
+    }
+
+    /// Whether the tree has zero real leaves (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.leaves == 0
+    }
+
+    /// Tree height in edges (root to leaf).
+    pub fn height(&self) -> u32 {
+        self.capacity.trailing_zeros()
+    }
+
+    /// The on-chip root.
+    pub fn root(&self) -> Digest {
+        self.nodes[1]
+    }
+
+    /// Current digest stored for leaf `i`.
+    pub fn leaf(&self, i: usize) -> Digest {
+        assert!(i < self.leaves, "leaf index out of range");
+        self.nodes[self.capacity + i]
+    }
+
+    /// Replace leaf `i` and recompute the path to the root.
+    ///
+    /// Returns the number of interior nodes rehashed (= height), which the
+    /// timing model uses to charge the Integrity Core's update cost.
+    pub fn update_leaf(&mut self, i: usize, digest: Digest) -> u32 {
+        assert!(i < self.leaves, "leaf index out of range");
+        let mut idx = self.capacity + i;
+        self.nodes[idx] = digest;
+        let mut hops = 0;
+        while idx > 1 {
+            idx /= 2;
+            self.nodes[idx] = node_digest(&self.nodes[2 * idx].clone(), &self.nodes[2 * idx + 1].clone());
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Membership proof for leaf `i`: the sibling digests from leaf level
+    /// up to (excluding) the root.
+    pub fn proof(&self, i: usize) -> Vec<Digest> {
+        assert!(i < self.leaves, "leaf index out of range");
+        let mut idx = self.capacity + i;
+        let mut out = Vec::with_capacity(self.height() as usize);
+        while idx > 1 {
+            out.push(self.nodes[idx ^ 1]);
+            idx /= 2;
+        }
+        out
+    }
+
+    /// Verify that `leaf` is the digest of leaf `i` in the tree with the
+    /// given `root`, using a sibling `proof`.
+    pub fn verify_proof(root: &Digest, i: usize, leaf: &Digest, proof: &[Digest]) -> bool {
+        let mut acc = *leaf;
+        let mut idx = i;
+        for sib in proof {
+            acc = if idx.is_multiple_of(2) {
+                node_digest(&acc, sib)
+            } else {
+                node_digest(sib, &acc)
+            };
+            idx /= 2;
+        }
+        acc == *root
+    }
+
+    /// Convenience: check a candidate digest for leaf `i` directly against
+    /// the tree (what the Integrity Core does on a read).
+    pub fn verify_leaf(&self, i: usize, candidate: &Digest) -> bool {
+        let proof = self.proof(i);
+        Self::verify_proof(&self.root(), i, candidate, &proof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| leaf_digest(i as u64, 0, &[i as u8; 16])).collect()
+    }
+
+    #[test]
+    fn build_and_verify_all_leaves() {
+        let init = leaves(5); // non-power-of-two
+        let tree = MerkleTree::build(&init);
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.height(), 3); // padded to 8
+        for (i, l) in init.iter().enumerate() {
+            assert!(tree.verify_leaf(i, l), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails_verification() {
+        let tree = MerkleTree::build(&leaves(4));
+        let forged = leaf_digest(0, 0, b"forged");
+        assert!(!tree.verify_leaf(0, &forged));
+    }
+
+    #[test]
+    fn update_changes_root_and_verifies() {
+        let mut tree = MerkleTree::build(&leaves(8));
+        let old_root = tree.root();
+        let new = leaf_digest(3, 1, &[0xff; 16]);
+        let hops = tree.update_leaf(3, new);
+        assert_eq!(hops, 3);
+        assert_ne!(tree.root(), old_root);
+        assert!(tree.verify_leaf(3, &new));
+        // Other leaves still verify under the new root.
+        assert!(tree.verify_leaf(0, &leaf_digest(0, 0, &[0; 16])));
+    }
+
+    #[test]
+    fn replayed_leaf_fails_after_update() {
+        // The detection path for a replay attack: the attacker restores the
+        // old block bytes, but the tree has moved on.
+        let mut tree = MerkleTree::build(&leaves(4));
+        let old = tree.leaf(2);
+        tree.update_leaf(2, leaf_digest(2, 1, &[9; 16]));
+        assert!(!tree.verify_leaf(2, &old), "stale leaf must not verify");
+    }
+
+    #[test]
+    fn relocated_leaf_fails() {
+        // Leaf content copied from index 1 to index 2: the block-index
+        // binding in the leaf digest breaks it even with identical bytes.
+        let data = [0x77u8; 16];
+        let l1 = leaf_digest(1, 0, &data);
+        let l2 = leaf_digest(2, 0, &data);
+        assert_ne!(l1, l2);
+        let tree = MerkleTree::build(&[leaf_digest(0, 0, &data), l1, l2, leaf_digest(3, 0, &data)]);
+        assert!(!tree.verify_leaf(2, &l1));
+    }
+
+    #[test]
+    fn proof_roundtrip_and_tamper_detection() {
+        let init = leaves(8);
+        let tree = MerkleTree::build(&init);
+        let proof = tree.proof(5);
+        assert_eq!(proof.len(), 3);
+        assert!(MerkleTree::verify_proof(&tree.root(), 5, &init[5], &proof));
+        // Tampered sibling breaks the proof.
+        let mut bad = proof.clone();
+        bad[1][0] ^= 1;
+        assert!(!MerkleTree::verify_proof(&tree.root(), 5, &init[5], &bad));
+        // Wrong index breaks the proof.
+        assert!(!MerkleTree::verify_proof(&tree.root(), 4, &init[5], &proof));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let d = leaf_digest(0, 0, b"only");
+        let tree = MerkleTree::build(&[d]);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.root(), d);
+        assert!(tree.verify_leaf(0, &d));
+        assert!(tree.proof(0).is_empty());
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let d = leaf_digest(0, 0, &[0; 16]);
+        let tree = MerkleTree::uniform(16, d);
+        assert_eq!(tree.len(), 16);
+        assert!(tree.verify_leaf(15, &d));
+    }
+
+    #[test]
+    fn domain_separation_leaf_vs_node() {
+        // An interior node value must not verify as a leaf of a 2-level tree.
+        let l = leaves(2);
+        let tree = MerkleTree::build(&l);
+        let root = tree.root();
+        // Trying to use the root itself as a "leaf" with an empty proof
+        // against itself is the classic confusion attack; the tag prevents
+        // nothing here (empty proof trivially matches), but using a node as
+        // a leaf one level down must fail:
+        assert!(!tree.verify_leaf(0, &root));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_build_panics() {
+        MerkleTree::build(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_leaf_panics() {
+        MerkleTree::build(&leaves(3)).leaf(3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn any_single_bit_flip_is_detected(
+            n in 1usize..32,
+            leaf_idx in 0usize..32,
+            byte in 0usize..32,
+            bit in 0u8..8,
+        ) {
+            let init = leaves(n);
+            let idx = leaf_idx % n;
+            let tree = MerkleTree::build(&init);
+            let mut tampered = init[idx];
+            tampered[byte] ^= 1 << bit;
+            proptest::prop_assert!(!tree.verify_leaf(idx, &tampered));
+        }
+
+        #[test]
+        fn updates_keep_all_leaves_verifiable(
+            ops in proptest::collection::vec((0usize..16, 0u64..100), 1..40)
+        ) {
+            let mut tree = MerkleTree::build(&leaves(16));
+            let mut current: Vec<Digest> = (0..16).map(|i| tree.leaf(i)).collect();
+            for (idx, ts) in ops {
+                let d = leaf_digest(idx as u64, ts, &[idx as u8; 16]);
+                tree.update_leaf(idx, d);
+                current[idx] = d;
+            }
+            for (i, d) in current.iter().enumerate() {
+                proptest::prop_assert!(tree.verify_leaf(i, d));
+            }
+        }
+    }
+}

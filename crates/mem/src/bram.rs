@@ -1,0 +1,140 @@
+//! On-chip block RAM: trusted, single-cycle.
+
+use secbus_bus::Width;
+
+use crate::device::{load_le, store_le, MemDevice, MemError};
+
+/// An internal FPGA block RAM.
+///
+/// BRAM sits inside the trust boundary (the paper considers "the FPGA as
+/// secure"), so there is no tamper surface here: the only ways in are the
+/// functional read/write path — guarded by a Local Firewall in the full
+/// system — and the explicit [`Bram::load`] used when the SoC is built.
+#[derive(Debug, Clone)]
+pub struct Bram {
+    data: Vec<u8>,
+    read_latency: u64,
+    write_latency: u64,
+}
+
+impl Bram {
+    /// A zero-initialised BRAM of `size` bytes with 1-cycle access.
+    pub fn new(size: u32) -> Self {
+        Bram {
+            data: vec![0; size as usize],
+            read_latency: 1,
+            write_latency: 1,
+        }
+    }
+
+    /// Override access latencies (some BRAM configurations register
+    /// outputs, costing an extra cycle).
+    pub fn with_latency(mut self, read: u64, write: u64) -> Self {
+        self.read_latency = read;
+        self.write_latency = write;
+        self
+    }
+
+    /// Bulk-load `bytes` at `offset` (SoC construction / program loading).
+    ///
+    /// # Panics
+    /// Panics if the image does not fit.
+    pub fn load(&mut self, offset: u32, bytes: &[u8]) {
+        let start = offset as usize;
+        let end = start + bytes.len();
+        assert!(end <= self.data.len(), "image does not fit in BRAM");
+        self.data[start..end].copy_from_slice(bytes);
+    }
+
+    /// Read-only view of the backing store (for assertions in tests).
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl MemDevice for Bram {
+    fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    fn read(&mut self, offset: u32, width: Width) -> Result<u32, MemError> {
+        self.check(offset, width)?;
+        Ok(load_le(&self.data, offset as usize, width))
+    }
+
+    fn write(&mut self, offset: u32, width: Width, value: u32) -> Result<(), MemError> {
+        self.check(offset, width)?;
+        store_le(&mut self.data, offset as usize, width, value);
+        Ok(())
+    }
+
+    fn latency(&mut self, _offset: u32, is_write: bool) -> u64 {
+        if is_write {
+            self.write_latency
+        } else {
+            self.read_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_all_widths() {
+        let mut b = Bram::new(64);
+        b.write(0, Width::Word, 0xdead_beef).unwrap();
+        assert_eq!(b.read(0, Width::Word).unwrap(), 0xdead_beef);
+        assert_eq!(b.read(0, Width::Byte).unwrap(), 0xef);
+        assert_eq!(b.read(2, Width::Half).unwrap(), 0xdead);
+        b.write(10, Width::Half, 0x1234).unwrap();
+        assert_eq!(b.read(10, Width::Half).unwrap(), 0x1234);
+        b.write(13, Width::Byte, 0x56).unwrap();
+        assert_eq!(b.read(13, Width::Byte).unwrap(), 0x56);
+    }
+
+    #[test]
+    fn bounds_and_alignment_errors() {
+        let mut b = Bram::new(16);
+        assert!(matches!(
+            b.read(16, Width::Byte),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.read(16, Width::Word),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.read(2, Width::Word),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            b.write(1, Width::Half, 0),
+            Err(MemError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn default_latency_is_one_cycle() {
+        let mut b = Bram::new(16);
+        assert_eq!(b.latency(0, false), 1);
+        assert_eq!(b.latency(0, true), 1);
+        let mut b = Bram::new(16).with_latency(2, 1);
+        assert_eq!(b.latency(0, false), 2);
+    }
+
+    #[test]
+    fn load_image() {
+        let mut b = Bram::new(32);
+        b.load(4, &[1, 2, 3, 4]);
+        assert_eq!(b.read(4, Width::Word).unwrap(), 0x0403_0201);
+        assert_eq!(&b.contents()[4..8], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_load_panics() {
+        Bram::new(8).load(4, &[0; 8]);
+    }
+}

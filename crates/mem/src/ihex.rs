@@ -1,0 +1,254 @@
+//! Intel HEX image loading.
+//!
+//! Boot images for the external memory commonly ship as Intel HEX; this
+//! parser supports the record types that cover 32-bit spaces: data (00),
+//! EOF (01), and extended linear address (04). Checksums are verified —
+//! a corrupted image must fail loudly, not boot silently.
+
+use core::fmt;
+
+/// A parsed image: sparse chunks of (absolute address, bytes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HexImage {
+    /// Address-sorted, non-overlapping data chunks.
+    pub chunks: Vec<(u32, Vec<u8>)>,
+}
+
+impl HexImage {
+    /// Total payload bytes.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Whether the image carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lowest address, if any data present.
+    pub fn base(&self) -> Option<u32> {
+        self.chunks.first().map(|(a, _)| *a)
+    }
+
+    /// Flatten into a contiguous byte vector starting at [`HexImage::base`],
+    /// zero-filling gaps. Returns `None` for an empty image.
+    pub fn flatten(&self) -> Option<(u32, Vec<u8>)> {
+        let base = self.base()?;
+        let end = self
+            .chunks
+            .iter()
+            .map(|(a, d)| u64::from(*a) + d.len() as u64)
+            .max()?;
+        let mut bytes = vec![0u8; (end - u64::from(base)) as usize];
+        for (a, d) in &self.chunks {
+            let off = (a - base) as usize;
+            bytes[off..off + d.len()].copy_from_slice(d);
+        }
+        Some((base, bytes))
+    }
+}
+
+/// Why parsing failed, with the 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for HexError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, HexError> {
+    Err(HexError { line, msg: msg.into() })
+}
+
+/// Parse Intel HEX text.
+pub fn parse_ihex(text: &str) -> Result<HexImage, HexError> {
+    let mut image = HexImage::default();
+    let mut upper: u32 = 0; // extended linear address << 16
+    let mut saw_eof = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            return err(line_no, "data after EOF record");
+        }
+        let Some(body) = line.strip_prefix(':') else {
+            return err(line_no, format!("record must start with ':': {line:?}"));
+        };
+        if body.len() % 2 != 0 || body.len() < 10 {
+            return err(line_no, "record too short or odd length");
+        }
+        let bytes: Vec<u8> = (0..body.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&body[i..i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|e| HexError { line: line_no, msg: format!("bad hex: {e}") })?;
+        let count = bytes[0] as usize;
+        if bytes.len() != count + 5 {
+            return err(line_no, format!("length field {count} does not match record size"));
+        }
+        let sum: u8 = bytes.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+        if sum != 0 {
+            return err(line_no, "checksum mismatch");
+        }
+        let addr16 = u32::from(bytes[1]) << 8 | u32::from(bytes[2]);
+        let rectype = bytes[3];
+        let data = &bytes[4..4 + count];
+        match rectype {
+            0x00 => {
+                let abs = upper | addr16;
+                image.chunks.push((abs, data.to_vec()));
+            }
+            0x01 => saw_eof = true,
+            0x04 => {
+                if count != 2 {
+                    return err(line_no, "type-04 record must carry 2 bytes");
+                }
+                upper = (u32::from(data[0]) << 8 | u32::from(data[1])) << 16;
+            }
+            other => return err(line_no, format!("unsupported record type {other:#04x}")),
+        }
+    }
+    if !saw_eof {
+        return err(text.lines().count().max(1), "missing EOF record");
+    }
+    image.chunks.sort_by_key(|(a, _)| *a);
+    // Overlap check.
+    for pair in image.chunks.windows(2) {
+        let (a0, d0) = &pair[0];
+        let (a1, _) = &pair[1];
+        if u64::from(*a0) + d0.len() as u64 > u64::from(*a1) {
+            return err(0, format!("overlapping data at {a1:#010x}"));
+        }
+    }
+    Ok(image)
+}
+
+/// Encode chunks back to Intel HEX (16-byte records) — used by tooling
+/// and as the test oracle for the parser.
+pub fn encode_ihex(chunks: &[(u32, Vec<u8>)]) -> String {
+    let mut out = String::new();
+    let mut upper = u32::MAX; // force an initial type-04
+    let push_record = |out: &mut String, rectype: u8, addr16: u16, data: &[u8]| {
+        let mut bytes = vec![data.len() as u8, (addr16 >> 8) as u8, addr16 as u8, rectype];
+        bytes.extend_from_slice(data);
+        let sum: u8 = bytes.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+        bytes.push(sum.wrapping_neg());
+        out.push(':');
+        for b in bytes {
+            out.push_str(&format!("{b:02X}"));
+        }
+        out.push('\n');
+    };
+    for (addr, data) in chunks {
+        for (i, rec) in data.chunks(16).enumerate() {
+            let abs = addr + (i * 16) as u32;
+            if abs >> 16 != upper {
+                upper = abs >> 16;
+                push_record(&mut out, 0x04, 0, &[(upper >> 8) as u8, upper as u8]);
+            }
+            push_record(&mut out, 0x00, abs as u16, rec);
+        }
+    }
+    push_record(&mut out, 0x01, 0, &[]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_record_parses() {
+        // The canonical example record.
+        let img = parse_ihex(":0B0010006164647265737320676170A7\n:00000001FF\n").unwrap();
+        assert_eq!(img.chunks.len(), 1);
+        assert_eq!(img.chunks[0].0, 0x10);
+        assert_eq!(img.chunks[0].1, b"address gap".to_vec());
+        assert_eq!(img.len(), 11);
+    }
+
+    #[test]
+    fn extended_linear_addresses() {
+        let text = ":0200000480007A\n:04000000DEADBEEFC4\n:00000001FF\n";
+        let img = parse_ihex(text).unwrap();
+        assert_eq!(img.chunks[0].0, 0x8000_0000);
+        assert_eq!(img.chunks[0].1, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn checksum_failure_is_fatal() {
+        let err = parse_ihex(":0B0010006164647265737320676170A8\n:00000001FF\n").unwrap_err();
+        assert!(err.msg.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn missing_eof_is_fatal() {
+        let err = parse_ihex(":0B0010006164647265737320676170A7\n").unwrap_err();
+        assert!(err.msg.contains("EOF"));
+    }
+
+    #[test]
+    fn garbage_reports_line() {
+        let err = parse_ihex(":00000001FF\nhello").unwrap_err();
+        // data after EOF (line 2)
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let chunks = vec![
+            (0x8000_0000u32, (0..40u8).collect::<Vec<u8>>()),
+            (0x8001_0000, vec![0xFF; 5]),
+        ];
+        let text = encode_ihex(&chunks);
+        let img = parse_ihex(&text).unwrap();
+        let (base, flat) = img.flatten().unwrap();
+        assert_eq!(base, 0x8000_0000);
+        assert_eq!(&flat[..40], &(0..40u8).collect::<Vec<u8>>()[..]);
+        assert_eq!(&flat[0x1_0000..0x1_0005], &[0xFF; 5]);
+        assert_eq!(img.len(), 45);
+    }
+
+    #[test]
+    fn flatten_fills_gaps_with_zeros() {
+        let text = encode_ihex(&[(0x0, vec![1, 2]), (0x10, vec![3])]);
+        let img = parse_ihex(&text).unwrap();
+        let (base, flat) = img.flatten().unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(flat.len(), 17);
+        assert_eq!(flat[0], 1);
+        assert!(flat[2..16].iter().all(|&b| b == 0));
+        assert_eq!(flat[16], 3);
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = parse_ihex(":00000001FF\n").unwrap();
+        assert!(img.is_empty());
+        assert_eq!(img.flatten(), None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn roundtrip_arbitrary_chunks(data in proptest::collection::vec(0u8.., 1..200), base in 0u32..0xFFFF_0000) {
+            let chunks = vec![(base & !0xF, data.clone())];
+            let img = parse_ihex(&encode_ihex(&chunks)).unwrap();
+            let (b, flat) = img.flatten().unwrap();
+            proptest::prop_assert_eq!(b, base & !0xF);
+            proptest::prop_assert_eq!(flat, data);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # secbus-mem — internal (BRAM) and external (DDR) memory models
+//!
+//! The paper's case study has "one internal shared memory (BRAM blocks)"
+//! and "one external memory (DDR RAM)". The crucial asymmetry, and the
+//! whole reason the Local Ciphering Firewall exists, is that the external
+//! memory is *outside the trust boundary*: an attacker owns the external
+//! bus and the DRAM chips. This crate models that by giving
+//! [`ExternalDdr`] an explicit raw tamper surface ([`ExternalDdr::tamper`])
+//! that bypasses the functional access path — exactly what `secbus-attack`
+//! uses to mount replay, relocation and spoofing.
+//!
+//! * [`MemDevice`] — the slave-side functional interface (offset-addressed
+//!   reads/writes plus a per-access latency in cycles).
+//! * [`Bram`] — on-chip block RAM: single-cycle, trusted.
+//! * [`ExternalDdr`] — banked open-row DRAM model: row hits are cheap, row
+//!   conflicts pay precharge + activate, and everything is observable.
+
+pub mod bram;
+pub mod ddr;
+pub mod device;
+pub mod ihex;
+
+pub use bram::Bram;
+pub use ddr::{DdrTiming, ExternalDdr};
+pub use device::{MemDevice, MemError};
+pub use ihex::{encode_ihex, parse_ihex, HexImage};

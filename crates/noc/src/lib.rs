@@ -1,0 +1,29 @@
+//! # secbus-noc — the NoC-based comparators from the paper's related work
+//!
+//! The paper's §II surveys NoC-centric protection schemes: Diguet/Evain's
+//! NoC-centric security \[2\], Fiorin's Address Protection Units at the
+//! network interfaces \[3\] and Fiorin's monitoring probes \[4\]. The paper
+//! itself targets a *bus*; this crate builds the NoC alternative at the
+//! same abstraction level so the placement question — firewall at a bus
+//! interface vs firewall at a network interface — can be *measured*
+//! instead of cited:
+//!
+//! * [`topology`] — 2D mesh coordinates and deterministic XY routing;
+//! * [`network`] — a packet-level mesh with per-output-link contention
+//!   and per-hop router latency;
+//! * [`ni`] — the network interface, embedding the *same*
+//!   `secbus-core` policy machinery as the bus firewalls (that is the
+//!   point of the comparison) plus Fiorin-style event probes;
+//! * [`system`] — request/response workloads over the mesh, with and
+//!   without NI protection, producing latency/throughput numbers the
+//!   `noc_compare` bench puts side by side with the shared bus.
+
+pub mod network;
+pub mod ni;
+pub mod system;
+pub mod topology;
+
+pub use network::{Mesh, NocConfig, Packet, PacketId};
+pub use ni::{NetworkInterface, ProbeReport};
+pub use system::{run_noc_workload, NocRunReport};
+pub use topology::{xy_route, NodeId, Topology};

@@ -1,0 +1,173 @@
+//! Mesh coordinates and XY (dimension-ordered) routing.
+
+use core::fmt;
+
+/// A router/endpoint position in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId {
+    /// Column (0-based, grows east).
+    pub x: u8,
+    /// Row (0-based, grows south).
+    pub y: u8,
+}
+
+impl NodeId {
+    /// Construct a node id.
+    pub const fn new(x: u8, y: u8) -> Self {
+        NodeId { x, y }
+    }
+
+    /// Manhattan distance to another node.
+    pub fn distance(self, other: NodeId) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// The mesh shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Columns.
+    pub cols: u8,
+    /// Rows.
+    pub rows: u8,
+}
+
+impl Topology {
+    /// Construct a topology.
+    ///
+    /// # Panics
+    /// Panics on an empty mesh.
+    pub fn new(cols: u8, rows: u8) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh must be non-empty");
+        Topology { cols, rows }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        usize::from(self.cols) * usize::from(self.rows)
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `n` lies inside the mesh.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.x < self.cols && n.y < self.rows
+    }
+
+    /// Iterate all nodes row-major.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |y| (0..cols).map(move |x| NodeId::new(x, y)))
+    }
+
+    /// Dense index of a node (row-major).
+    pub fn index(&self, n: NodeId) -> usize {
+        debug_assert!(self.contains(n));
+        usize::from(n.y) * usize::from(self.cols) + usize::from(n.x)
+    }
+}
+
+/// Deterministic XY route: move along X to the destination column, then
+/// along Y. Returns every node visited including `src` and `dst`.
+pub fn xy_route(src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut path = vec![src];
+    let mut cur = src;
+    while cur.x != dst.x {
+        cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        path.push(cur);
+    }
+    while cur.y != dst.y {
+        cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_is_manhattan_plus_one() {
+        let a = NodeId::new(0, 0);
+        let b = NodeId::new(3, 2);
+        let route = xy_route(a, b);
+        assert_eq!(route.len() as u32, a.distance(b) + 1);
+        assert_eq!(route.first(), Some(&a));
+        assert_eq!(route.last(), Some(&b));
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        let route = xy_route(NodeId::new(0, 0), NodeId::new(2, 1));
+        assert_eq!(
+            route,
+            vec![
+                NodeId::new(0, 0),
+                NodeId::new(1, 0),
+                NodeId::new(2, 0),
+                NodeId::new(2, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn self_route_is_single_node() {
+        let n = NodeId::new(1, 1);
+        assert_eq!(xy_route(n, n), vec![n]);
+    }
+
+    #[test]
+    fn westward_and_northward_routes() {
+        let route = xy_route(NodeId::new(3, 3), NodeId::new(1, 0));
+        assert_eq!(route.len(), 6);
+        assert_eq!(route.last(), Some(&NodeId::new(1, 0)));
+    }
+
+    #[test]
+    fn topology_membership_and_indexing() {
+        let t = Topology::new(4, 2);
+        assert_eq!(t.len(), 8);
+        assert!(t.contains(NodeId::new(3, 1)));
+        assert!(!t.contains(NodeId::new(4, 0)));
+        assert!(!t.contains(NodeId::new(0, 2)));
+        let all: Vec<NodeId> = t.nodes().collect();
+        assert_eq!(all.len(), 8);
+        for (i, n) in all.iter().enumerate() {
+            assert_eq!(t.index(*n), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mesh_panics() {
+        Topology::new(0, 3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn routes_stay_inside_any_containing_mesh(
+            sx in 0u8..6, sy in 0u8..6, dx in 0u8..6, dy in 0u8..6
+        ) {
+            let t = Topology::new(6, 6);
+            let route = xy_route(NodeId::new(sx, sy), NodeId::new(dx, dy));
+            for hop in &route {
+                proptest::prop_assert!(t.contains(*hop));
+            }
+            // No node repeats (XY routes are minimal and loop-free).
+            let mut sorted = route.clone();
+            sorted.sort();
+            sorted.dedup();
+            proptest::prop_assert_eq!(sorted.len(), route.len());
+        }
+    }
+}

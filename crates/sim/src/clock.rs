@@ -1,0 +1,137 @@
+//! The system clock: converts between cycles, wall time and throughput.
+//!
+//! The paper's case study runs MicroBlaze soft cores on a Virtex-6; the
+//! firewall evaluation (Table II) reports module latencies in clock cycles
+//! and throughputs in Mb/s, so the conversion between the two lives here and
+//! nowhere else. The case-study clock used throughout this reproduction is
+//! [`Clock::ML605_DEFAULT`] (100 MHz, a standard MicroBlaze system clock on
+//! that board).
+
+use crate::cycle::Cycle;
+
+/// A fixed-frequency clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    freq_hz: u64,
+}
+
+impl Clock {
+    /// Default case-study clock: 100 MHz system clock on the ML605 board.
+    pub const ML605_DEFAULT: Clock = Clock {
+        freq_hz: 100_000_000,
+    };
+
+    /// Create a clock with the given frequency.
+    ///
+    /// # Panics
+    /// Panics if `freq_hz` is zero.
+    pub fn new(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "clock frequency must be non-zero");
+        Clock { freq_hz }
+    }
+
+    /// Frequency in Hz.
+    #[inline]
+    pub const fn freq_hz(self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Frequency in MHz (possibly fractional).
+    #[inline]
+    pub fn freq_mhz(self) -> f64 {
+        self.freq_hz as f64 / 1e6
+    }
+
+    /// Duration of `cycles` cycles, in seconds.
+    #[inline]
+    pub fn seconds(self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+
+    /// Duration of `cycles` cycles, in microseconds.
+    #[inline]
+    pub fn micros(self, cycles: u64) -> f64 {
+        self.seconds(cycles) * 1e6
+    }
+
+    /// Throughput in Mb/s (decimal megabits, as in the paper) for `bits`
+    /// transferred over `cycles` cycles.
+    ///
+    /// Returns 0.0 for a zero-cycle span: nothing can stream in zero time.
+    #[inline]
+    pub fn mbps(self, bits: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        (bits as f64 / self.seconds(cycles)) / 1e6
+    }
+
+    /// Throughput in Mb/s for `bytes` transferred over `cycles` cycles.
+    #[inline]
+    pub fn mbps_bytes(self, bytes: u64, cycles: u64) -> f64 {
+        self.mbps(bytes * 8, cycles)
+    }
+
+    /// Cycles elapsed between two timestamps, as wall time in seconds.
+    #[inline]
+    pub fn elapsed_seconds(self, from: Cycle, to: Cycle) -> f64 {
+        self.seconds(to.since(from))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::ML605_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_100mhz() {
+        let c = Clock::default();
+        assert_eq!(c.freq_hz(), 100_000_000);
+        assert!((c.freq_mhz() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_per_cycle() {
+        let c = Clock::new(100_000_000);
+        assert!((c.seconds(100_000_000) - 1.0).abs() < 1e-12);
+        assert!((c.micros(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_matches_hand_calc() {
+        let c = Clock::new(100_000_000);
+        // 4.5 bits per cycle at 100 MHz = 450 Mb/s — the paper's CC rate.
+        assert!((c.mbps(4_500, 1_000) - 450.0).abs() < 1e-9);
+        // 1.31 bits per cycle at 100 MHz = 131 Mb/s — the paper's IC rate.
+        assert!((c.mbps(1_310, 1_000) - 131.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_throughput() {
+        let c = Clock::new(100_000_000);
+        assert!((c.mbps_bytes(1, 8) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_throughput() {
+        assert_eq!(Clock::default().mbps(1234, 0), 0.0);
+    }
+
+    #[test]
+    fn elapsed_between_timestamps() {
+        let c = Clock::new(1_000);
+        assert!((c.elapsed_seconds(Cycle(0), Cycle(500)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = Clock::new(0);
+    }
+}

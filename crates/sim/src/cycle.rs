@@ -1,0 +1,162 @@
+//! Simulated time measured in clock cycles.
+//!
+//! [`Cycle`] is a newtype over `u64` so that cycle counts cannot be mixed up
+//! with byte counts, addresses or other integers floating around the
+//! simulator. Arithmetic is saturating-free and will panic on overflow in
+//! debug builds, exactly like plain integers — a simulation that runs for
+//! 2^64 cycles has other problems.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time (or a span, when used relatively), in cycles.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero — the first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; elapsed time is always
+    /// measured forward.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("Cycle::since: earlier timestamp is in the future")
+    }
+
+    /// Saturating span from `earlier` to `self` (0 if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The cycle immediately after this one.
+    #[inline]
+    pub fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: u64) -> Cycle {
+        Cycle(self.0 - rhs)
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sum<Cycle> for u64 {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> u64 {
+        iter.map(|c| c.0).sum()
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn add_and_since_roundtrip() {
+        let start = Cycle(100);
+        let end = start + 42;
+        assert_eq!(end.since(start), 42);
+        assert_eq!(end.get(), 142);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(Cycle(3) < Cycle(4));
+        assert!(Cycle(4) <= Cycle(4));
+        assert_eq!(Cycle(7).next(), Cycle(8));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle(5).saturating_since(Cycle(9)), 0);
+        assert_eq!(Cycle(9).saturating_since(Cycle(5)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier timestamp is in the future")]
+    fn since_panics_on_reversed_order() {
+        let _ = Cycle(1).since(Cycle(2));
+    }
+
+    #[test]
+    fn add_assign_and_sub() {
+        let mut c = Cycle(10);
+        c += 5;
+        assert_eq!(c, Cycle(15));
+        c -= 3;
+        assert_eq!(c, Cycle(12));
+        assert_eq!(c - 2, Cycle(10));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: u64 = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Cycle(99).to_string(), "cycle 99");
+    }
+}

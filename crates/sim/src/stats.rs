@@ -1,0 +1,342 @@
+//! Lightweight statistics: counters, latency histograms and a registry.
+//!
+//! Every component in the simulator accounts for its behaviour through these
+//! types. They are deliberately lock-free plain data — the simulator is
+//! single-threaded per `Soc` instance (parallelism happens *across*
+//! instances in parameter sweeps), so there is no reason to pay for atomics
+//! on the per-cycle hot path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A histogram of `u64` samples (typically latencies in cycles).
+///
+/// Keeps exact min/max/sum/count plus power-of-two buckets, which is enough
+/// resolution for the latency distributions the benches report while staying
+/// allocation-free after construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`, with bucket 0 also
+    /// holding the value 0.
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from the bucket boundaries.
+    ///
+    /// Returns the lower bound of the bucket containing the requested rank —
+    /// coarse, but monotone and cheap; the benches that need exact values
+    /// keep their own sample vectors.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} min={} mean={:.2} max={}",
+                self.count, self.min, mean, self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// Components register their metrics under stable string keys so that the
+/// bench harness can collect them without knowing the component types.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the counter named `key` (creating it on first use).
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Add `n` to the counter named `key` (creating it on first use).
+    pub fn add(&mut self, key: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            c.add(n);
+        } else {
+            let mut c = Counter::new();
+            c.add(n);
+            self.counters.insert(key.to_owned(), c);
+        }
+    }
+
+    /// Record a histogram sample under `key` (creating it on first use).
+    pub fn record(&mut self, key: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.histograms.insert(key.to_owned(), h);
+        }
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.get())
+    }
+
+    /// Read a histogram, if any samples were recorded under `key`.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Iterate over all histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Fold another registry into this one (used when aggregating sweeps).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, c) in &other.counters {
+            self.add(k, c.get());
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_default()
+                .merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert!((h.mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_none_everywhere() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_records_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q10 = h.quantile(0.1).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q10 <= q50 && q50 <= q99);
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn stats_registry_roundtrip() {
+        let mut s = Stats::new();
+        s.incr("bus.grants");
+        s.add("bus.grants", 9);
+        s.record("bus.latency", 12);
+        s.record("bus.latency", 14);
+        assert_eq!(s.counter("bus.grants"), 10);
+        assert_eq!(s.counter("missing"), 0);
+        let h = s.histogram("bus.latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(s.counters().count(), 1);
+        assert_eq!(s.histograms().count(), 1);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_histograms() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        a.add("x", 3);
+        b.add("x", 4);
+        b.add("y", 1);
+        a.record("h", 5);
+        b.record("h", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 7);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.to_string(), "n=0");
+        h.record(4);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Run reports: the numbers the benches and examples print.
+
+use std::fmt;
+
+use secbus_sim::Cycle;
+use serde::Serialize;
+
+use crate::soc::Soc;
+
+/// A summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Wall time at the system clock, in microseconds.
+    pub micros: f64,
+    /// Transactions granted the bus.
+    pub bus_grants: u64,
+    /// Cycles the bus data phase was occupied.
+    pub bus_busy_cycles: u64,
+    /// Cycles more than one master was waiting.
+    pub contended_cycles: u64,
+    /// Alerts observed by the monitor.
+    pub alerts: u64,
+    /// IPs administratively blocked.
+    pub blocks: u64,
+    /// Per-master lines: (label, instructions-or-ops, errors, mean mem latency).
+    pub masters: Vec<MasterLine>,
+}
+
+/// One master's row in the report.
+#[derive(Debug, Clone)]
+pub struct MasterLine {
+    /// Device label.
+    pub label: String,
+    /// `core.instructions` for CPUs, `traffic.issued` for generators.
+    pub work: u64,
+    /// Access errors seen by the device.
+    pub errors: u64,
+    /// Mean memory-access latency in cycles, if any accesses completed.
+    pub mean_mem_latency: Option<f64>,
+}
+
+impl Report {
+    /// Collect a report from a system that ran `since` until now.
+    pub fn collect(soc: &Soc, since: Cycle) -> Report {
+        let cycles = soc.now().saturating_since(since);
+        let masters = (0..soc.master_count())
+            .map(|i| {
+                let dev = soc.master_device(i);
+                let st = dev.stats();
+                let work = st
+                    .counter("core.instructions")
+                    .max(st.counter("traffic.issued"))
+                    .max(st.counter("stream.acked"));
+                let errors = st.counter("core.access_errors") + st.counter("traffic.err")
+                    + st.counter("stream.rejected");
+                let mean_mem_latency = st
+                    .histogram("core.mem_latency")
+                    .or_else(|| st.histogram("traffic.latency"))
+                    .and_then(|h| h.mean());
+                MasterLine { label: dev.label().to_owned(), work, errors, mean_mem_latency }
+            })
+            .collect();
+        Report {
+            cycles,
+            micros: soc.clock().micros(cycles),
+            bus_grants: soc.bus().stats().counter("bus.grants"),
+            bus_busy_cycles: soc.bus().stats().counter("bus.busy_cycles"),
+            contended_cycles: soc.bus().stats().counter("bus.contended_cycles"),
+            alerts: soc.monitor().alert_count(),
+            blocks: soc.monitor().stats().counter("monitor.blocks"),
+            masters,
+        }
+    }
+
+    /// Bus utilisation (busy cycles / simulated cycles).
+    pub fn bus_utilisation(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ran {} cycles ({:.1} µs @ clock) | bus: {} grants, {:.1}% utilised, {} contended cycles",
+            self.cycles,
+            self.micros,
+            self.bus_grants,
+            self.bus_utilisation() * 100.0,
+            self.contended_cycles
+        )?;
+        writeln!(f, "security: {} alerts, {} IP blocks", self.alerts, self.blocks)?;
+        for m in &self.masters {
+            match m.mean_mem_latency {
+                Some(lat) => writeln!(
+                    f,
+                    "  {:<8} work={:<8} errors={:<4} mean-mem-latency={lat:.1} cycles",
+                    m.label, m.work, m.errors
+                )?,
+                None => writeln!(f, "  {:<8} work={:<8} errors={}", m.label, m.work, m.errors)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::{case_study, CaseStudyConfig};
+
+    #[test]
+    fn report_reflects_a_run() {
+        let mut soc = case_study(CaseStudyConfig::default());
+        let start = soc.now();
+        soc.run_until_halt(2_000_000);
+        let r = Report::collect(&soc, start);
+        assert!(r.cycles > 0);
+        assert!(r.bus_grants > 0);
+        assert_eq!(r.alerts, 0);
+        assert_eq!(r.masters.len(), 4);
+        assert!(r.masters[0].work > 0, "cpu0 executed instructions");
+        assert!(r.bus_utilisation() > 0.0 && r.bus_utilisation() <= 1.0);
+        let s = r.to_string();
+        assert!(s.contains("cpu0") && s.contains("alerts"));
+    }
+}
+
+/// One firewall's security-relevant counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct FirewallAudit {
+    /// Display label.
+    pub label: String,
+    /// Firewall id.
+    pub id: u8,
+    /// Transactions examined.
+    pub checked: u64,
+    /// Transactions admitted.
+    pub passed: u64,
+    /// Transactions discarded.
+    pub discarded: u64,
+    /// Whether the IP is currently blocked.
+    pub blocked: bool,
+    /// Configuration Memory generation (bumps on reconfiguration).
+    pub generation: u64,
+    /// Number of policies in force.
+    pub policies: usize,
+}
+
+/// One alert line of the audit trail.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlertLine {
+    /// Detection cycle.
+    pub cycle: u64,
+    /// Raising firewall.
+    pub firewall: u8,
+    /// Violation mnemonic.
+    pub violation: String,
+    /// Offending address.
+    pub addr: u32,
+    /// "R" or "W".
+    pub op: String,
+}
+
+/// A serializable security audit of a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditReport {
+    /// Cycles simulated when the audit was taken.
+    pub now: u64,
+    /// Total alerts observed by the monitor.
+    pub alerts: u64,
+    /// Escalations to a block/quarantine.
+    pub blocks: u64,
+    /// Per-firewall counters.
+    pub firewalls: Vec<FirewallAudit>,
+    /// The retained alert trail (most recent last).
+    pub trail: Vec<AlertLine>,
+}
+
+impl AuditReport {
+    /// Render as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        writeln!(out, "security audit at cycle {}", self.now).unwrap();
+        writeln!(out, "  alerts: {}  escalations: {}", self.alerts, self.blocks).unwrap();
+        for fw in &self.firewalls {
+            writeln!(
+                out,
+                "  [{}] {:<16} checked={:<7} passed={:<7} discarded={:<6} blocked={} gen={} policies={}",
+                fw.id, fw.label, fw.checked, fw.passed, fw.discarded, fw.blocked, fw.generation,
+                fw.policies
+            )
+            .unwrap();
+        }
+        if !self.trail.is_empty() {
+            writeln!(out, "  alert trail (up to last {}):", self.trail.len()).unwrap();
+            for a in &self.trail {
+                writeln!(
+                    out,
+                    "    cycle {:>8}  fw {}  {}  {} {:#010x}",
+                    a.cycle, a.firewall, a.violation, a.op, a.addr
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}

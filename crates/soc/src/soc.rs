@@ -1,0 +1,1126 @@
+//! The system container and its cycle loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use secbus_bus::{
+    AddrRange, Arbiter, BusConfig, BusError, FixedPriority, MasterId, Op, Response, SharedBus,
+    SlaveId, Transaction, TxnId, Width,
+};
+use secbus_core::{
+    Alert, ConfigMemory, CryptoTiming, FirewallId, LocalCipheringFirewall, LocalFirewall,
+    PolicyUpdate, RateLimit, Reaction, ReconfigController, SbTiming, SecurityMonitor,
+};
+use secbus_cpu::{BusMaster, MasterAccess};
+use secbus_mem::{Bram, ExternalDdr, MemDevice};
+use secbus_sim::{Clock, Cycle, Stats};
+
+/// A master waiting to be built: device, optional policies, optional
+/// traffic budget.
+type MasterSpec = (Box<dyn BusMaster>, Option<ConfigMemory>, Option<RateLimit>);
+
+/// Builder for a [`Soc`].
+pub struct SocBuilder {
+    clock: Clock,
+    bus_config: BusConfig,
+    arbiter: Box<dyn Arbiter>,
+    sb_timing: SbTiming,
+    crypto_timing: CryptoTiming,
+    monitor_threshold: u64,
+    quarantine_cycles: Option<u64>,
+    reconfig_latency: u64,
+    security: bool,
+    masters: Vec<MasterSpec>,
+    brams: Vec<(String, AddrRange, Bram, Option<ConfigMemory>)>,
+    ddr: Option<(String, AddrRange, ExternalDdr, Option<ConfigMemory>)>,
+}
+
+impl Default for SocBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SocBuilder {
+    /// Start a build with the ML605 default clock and a fixed-priority bus.
+    pub fn new() -> Self {
+        SocBuilder {
+            clock: Clock::ML605_DEFAULT,
+            bus_config: BusConfig::default(),
+            arbiter: Box::new(FixedPriority),
+            sb_timing: SbTiming::PAPER,
+            crypto_timing: CryptoTiming::PAPER,
+            monitor_threshold: 0,
+            quarantine_cycles: None,
+            reconfig_latency: 32,
+            security: true,
+            masters: Vec::new(),
+            brams: Vec::new(),
+            ddr: None,
+        }
+    }
+
+    /// Override the system clock.
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Override the bus timing parameters.
+    pub fn bus_config(mut self, cfg: BusConfig) -> Self {
+        self.bus_config = cfg;
+        self
+    }
+
+    /// Override the arbitration policy.
+    pub fn arbiter(mut self, arbiter: Box<dyn Arbiter>) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Override the Security Builder timing used by every firewall.
+    pub fn sb_timing(mut self, timing: SbTiming) -> Self {
+        self.sb_timing = timing;
+        self
+    }
+
+    /// Override the crypto-core timing used by the LCF.
+    pub fn crypto_timing(mut self, timing: CryptoTiming) -> Self {
+        self.crypto_timing = timing;
+        self
+    }
+
+    /// Block an IP after this many violations (0 = discard-only).
+    pub fn monitor_threshold(mut self, threshold: u64) -> Self {
+        self.monitor_threshold = threshold;
+        self
+    }
+
+    /// Make monitor blocks time-bounded: the IP is released after
+    /// `cycles` cycles (quarantine instead of a permanent block).
+    pub fn quarantine(mut self, cycles: u64) -> Self {
+        self.quarantine_cycles = Some(cycles);
+        self
+    }
+
+    /// Quiesce window for policy reconfiguration.
+    pub fn reconfig_latency(mut self, cycles: u64) -> Self {
+        self.reconfig_latency = cycles;
+        self
+    }
+
+    /// Build the *generic* system: all firewall configurations are ignored
+    /// and every IP talks to the bus directly (the Table I baseline row
+    /// and the denominator of every overhead measurement).
+    pub fn without_security(mut self) -> Self {
+        self.security = false;
+        self
+    }
+
+    /// Add a bus master with no Local Firewall.
+    pub fn add_master(mut self, device: Box<dyn BusMaster>) -> Self {
+        self.masters.push((device, None, None));
+        self
+    }
+
+    /// Add a bus master behind a Local Firewall with the given policies.
+    pub fn add_protected_master(
+        mut self,
+        device: Box<dyn BusMaster>,
+        policies: ConfigMemory,
+    ) -> Self {
+        self.masters.push((device, Some(policies), None));
+        self
+    }
+
+    /// Add a bus master behind a Local Firewall that also enforces a
+    /// traffic budget (the DoS-mitigation extension).
+    pub fn add_rate_limited_master(
+        mut self,
+        device: Box<dyn BusMaster>,
+        policies: ConfigMemory,
+        limit: RateLimit,
+    ) -> Self {
+        self.masters.push((device, Some(policies), Some(limit)));
+        self
+    }
+
+    /// Add an internal BRAM slave, optionally behind a slave-side LF.
+    pub fn add_bram(
+        mut self,
+        label: impl Into<String>,
+        range: AddrRange,
+        bram: Bram,
+        policies: Option<ConfigMemory>,
+    ) -> Self {
+        self.brams.push((label.into(), range, bram, policies));
+        self
+    }
+
+    /// Attach the external DDR, optionally behind the LCF whose policies
+    /// (with CM/IM modes and keys) are given.
+    pub fn set_ddr(
+        mut self,
+        label: impl Into<String>,
+        range: AddrRange,
+        ddr: ExternalDdr,
+        lcf_policies: Option<ConfigMemory>,
+    ) -> Self {
+        self.ddr = Some((label.into(), range, ddr, lcf_policies));
+        self
+    }
+
+    /// Assemble and seal the system.
+    pub fn build(self) -> Soc {
+        let mut bus = SharedBus::new(self.bus_config, self.arbiter);
+        let mut next_fw = 0u8;
+        let mut alloc_fw = || {
+            let id = FirewallId(next_fw);
+            next_fw += 1;
+            id
+        };
+
+        let masters: Vec<MasterSlot> = self
+            .masters
+            .into_iter()
+            .map(|(device, policies, limit)| {
+                let bus_id = bus.add_master();
+                let firewall = if self.security {
+                    policies.map(|p| {
+                        let fw = LocalFirewall::new(alloc_fw(), format!("LF {}", device.label()), p)
+                            .with_timing(self.sb_timing);
+                        match limit {
+                            Some(l) => fw.with_rate_limit(l),
+                            None => fw,
+                        }
+                    })
+                } else {
+                    None
+                };
+                MasterSlot {
+                    bus_id,
+                    device: Some(device),
+                    firewall,
+                    outstanding_reads: HashMap::new(),
+                    inbound: VecDeque::new(),
+                    ready: VecDeque::new(),
+                }
+            })
+            .collect();
+
+        let mut slaves: Vec<SlaveSlot> = Vec::new();
+        for (label, range, bram, policies) in self.brams {
+            let bus_id = bus.add_slave();
+            bus.map_range(bus_id, range).expect("overlapping BRAM range");
+            let firewall = if self.security {
+                policies.map(|p| {
+                    LocalFirewall::new(alloc_fw(), format!("LF {label}"), p)
+                        .with_timing(self.sb_timing)
+                })
+            } else {
+                None
+            };
+            slaves.push(SlaveSlot {
+                bus_id,
+                label,
+                base: range.base,
+                kind: SlaveKind::Bram(Box::new(bram)),
+                firewall,
+                pending: None,
+            });
+        }
+        if let Some((label, range, mut ddr, lcf_policies)) = self.ddr {
+            let bus_id = bus.add_slave();
+            bus.map_range(bus_id, range).expect("overlapping DDR range");
+            let lcf = if self.security {
+                lcf_policies.map(|p| {
+                    let mut lcf = LocalCipheringFirewall::new(
+                        alloc_fw(),
+                        format!("LCF {label}"),
+                        p,
+                        range.base,
+                        self.crypto_timing,
+                    )
+                    .with_sb_timing(self.sb_timing);
+                    lcf.seal(&mut ddr);
+                    lcf
+                })
+            } else {
+                None
+            };
+            slaves.push(SlaveSlot {
+                bus_id,
+                label,
+                base: range.base,
+                kind: SlaveKind::Ddr { ddr: Box::new(ddr), lcf: lcf.map(Box::new) },
+                firewall: None,
+                pending: None,
+            });
+        }
+
+        Soc {
+            clock: self.clock,
+            now: Cycle::ZERO,
+            bus,
+            masters,
+            slaves,
+            monitor: if let Some(q) = self.quarantine_cycles {
+                SecurityMonitor::new(self.monitor_threshold).with_quarantine(q)
+            } else {
+                SecurityMonitor::new(self.monitor_threshold)
+            },
+            reconfig: ReconfigController::new(self.reconfig_latency),
+            releases: Vec::new(),
+            security: self.security,
+            stats: Stats::new(),
+        }
+    }
+}
+
+enum SlaveKind {
+    Bram(Box<Bram>),
+    Ddr {
+        ddr: Box<ExternalDdr>,
+        lcf: Option<Box<LocalCipheringFirewall>>,
+    },
+}
+
+struct MasterSlot {
+    bus_id: MasterId,
+    device: Option<Box<dyn BusMaster>>,
+    firewall: Option<LocalFirewall>,
+    /// Reads in flight, kept for the inbound ("before reaching the IP")
+    /// check, which needs the transaction's address and width.
+    outstanding_reads: HashMap<TxnId, Transaction>,
+    /// Responses maturing through the inbound check delay.
+    inbound: VecDeque<(u64, Response)>,
+    /// Responses ready for the device.
+    ready: VecDeque<Response>,
+}
+
+struct SlaveSlot {
+    bus_id: SlaveId,
+    label: String,
+    base: u32,
+    kind: SlaveKind,
+    firewall: Option<LocalFirewall>,
+    /// The single in-service transaction and its completion time.
+    pending: Option<(u64, Response)>,
+}
+
+/// The IP-side port: checks writes outbound, records reads for the
+/// inbound check, and synthesizes discard responses for violations.
+struct PortAdapter<'a> {
+    bus: &'a mut SharedBus,
+    firewall: Option<&'a mut LocalFirewall>,
+    master: MasterId,
+    outstanding_reads: &'a mut HashMap<TxnId, Transaction>,
+    inbound: &'a mut VecDeque<(u64, Response)>,
+    ready: &'a mut VecDeque<Response>,
+    now: Cycle,
+}
+
+impl MasterAccess for PortAdapter<'_> {
+    fn issue(&mut self, op: Op, addr: u32, width: Width, data: u32, burst: u16) -> TxnId {
+        match (&mut self.firewall, op) {
+            // Writes: "before reaching the bus all data are checked".
+            (Some(fw), Op::Write) => {
+                let id = self.bus.alloc_txn_id();
+                let probe = Transaction {
+                    id,
+                    master: self.master,
+                    op,
+                    addr,
+                    width,
+                    data,
+                    burst: burst.max(1),
+                    issued_at: self.now,
+                };
+                let decision = fw.check(&probe, self.now);
+                if decision.allowed {
+                    // Re-issue through the bus with delayed eligibility; we
+                    // burn the probe id to keep the id space monotone.
+                    self.bus.issue_at(
+                        self.master,
+                        op,
+                        addr,
+                        width,
+                        data,
+                        burst,
+                        self.now,
+                        self.now + decision.latency,
+                    )
+                } else {
+                    // Discarded at the interface: never reaches the bus.
+                    self.inbound.push_back((
+                        self.now.get() + decision.latency,
+                        Response {
+                            txn: id,
+                            data: 0,
+                            result: Err(BusError::Discarded),
+                            completed_at: self.now,
+                        },
+                    ));
+                    id
+                }
+            }
+            // Reads: issued immediately; data checked on the way back.
+            (Some(_), Op::Read) => {
+                let id = self.bus.issue(self.master, op, addr, width, data, burst, self.now);
+                let txn = Transaction {
+                    id,
+                    master: self.master,
+                    op,
+                    addr,
+                    width,
+                    data,
+                    burst: burst.max(1),
+                    issued_at: self.now,
+                };
+                self.outstanding_reads.insert(id, txn);
+                id
+            }
+            // Unprotected master: straight to the bus.
+            (None, _) => self.bus.issue(self.master, op, addr, width, data, burst, self.now),
+        }
+    }
+
+    fn poll(&mut self) -> Option<Response> {
+        self.ready.pop_front()
+    }
+}
+
+/// The assembled system.
+pub struct Soc {
+    clock: Clock,
+    now: Cycle,
+    bus: SharedBus,
+    masters: Vec<MasterSlot>,
+    slaves: Vec<SlaveSlot>,
+    monitor: SecurityMonitor,
+    reconfig: ReconfigController,
+    /// Scheduled quarantine releases: (cycle, firewall).
+    releases: Vec<(u64, FirewallId)>,
+    security: bool,
+    stats: Stats,
+}
+
+impl Soc {
+    /// Advance the whole system by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. Route bus responses through the inbound (read) check.
+        for slot in &mut self.masters {
+            while let Some(mut resp) = self.bus.poll_response(slot.bus_id) {
+                let ready_at = match (slot.firewall.as_mut(), slot.outstanding_reads.remove(&resp.txn)) {
+                    (Some(fw), Some(txn)) => {
+                        // "all data are checked before reaching the IP"
+                        let decision = fw.check(&txn, now);
+                        if !decision.allowed {
+                            resp = Response {
+                                txn: resp.txn,
+                                data: 0,
+                                result: Err(BusError::Discarded),
+                                completed_at: resp.completed_at,
+                            };
+                        }
+                        now.get() + decision.latency
+                    }
+                    _ => now.get(),
+                };
+                slot.inbound.push_back((ready_at, resp));
+            }
+            // 2. Mature inbound responses.
+            while let Some(&(ready_at, resp)) = slot.inbound.front() {
+                if ready_at <= now.get() {
+                    slot.inbound.pop_front();
+                    slot.ready.push_back(resp);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 3. Tick the IPs through their port adapters.
+        for slot in &mut self.masters {
+            let mut device = slot.device.take().expect("device present");
+            {
+                let mut port = PortAdapter {
+                    bus: &mut self.bus,
+                    firewall: slot.firewall.as_mut(),
+                    master: slot.bus_id,
+                    outstanding_reads: &mut slot.outstanding_reads,
+                    inbound: &mut slot.inbound,
+                    ready: &mut slot.ready,
+                    now,
+                };
+                device.tick(&mut port, now);
+            }
+            slot.device = Some(device);
+        }
+
+        // 4. Bus arbitration and routing.
+        self.bus.tick(now);
+
+        // 5. Slave service.
+        for slot in &mut self.slaves {
+            if let Some((completes_at, resp)) = slot.pending.take() {
+                if completes_at <= now.get() {
+                    self.bus.slave_complete(slot.bus_id, resp);
+                } else {
+                    slot.pending = Some((completes_at, resp));
+                    continue;
+                }
+            }
+            if slot.pending.is_none() {
+                if let Some(txn) = self.bus.slave_pop(slot.bus_id) {
+                    slot.pending = Some(Self::service(slot, &txn, now));
+                }
+            }
+        }
+
+        // 6. Alert network: firewalls -> monitor -> reactions.
+        let mut alerts: Vec<Alert> = Vec::new();
+        for slot in &mut self.masters {
+            if let Some(fw) = slot.firewall.as_mut() {
+                alerts.append(&mut fw.drain_alerts());
+            }
+        }
+        for slot in &mut self.slaves {
+            if let Some(fw) = slot.firewall.as_mut() {
+                alerts.append(&mut fw.drain_alerts());
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                alerts.append(&mut lcf.drain_alerts());
+            }
+        }
+        for alert in alerts {
+            match self.monitor.observe(alert) {
+                Reaction::BlockIp(fw_id) => self.block_firewall(fw_id),
+                Reaction::Quarantine { firewall, until } => {
+                    self.block_firewall(firewall);
+                    self.releases.push((until.get(), firewall));
+                }
+                Reaction::None => {}
+            }
+        }
+
+        // 6b. Release expired quarantines.
+        if !self.releases.is_empty() {
+            let due: Vec<FirewallId> = self
+                .releases
+                .iter()
+                .filter(|(at, _)| *at <= now.get())
+                .map(|(_, fw)| *fw)
+                .collect();
+            self.releases.retain(|(at, _)| *at > now.get());
+            for fw in due {
+                self.unblock_firewall(fw);
+            }
+        }
+
+        // 7. Apply matured reconfigurations.
+        for update in self.reconfig.take_ready(now) {
+            self.apply_update(update);
+        }
+
+        self.now = now.next();
+        self.stats.incr("soc.cycles");
+    }
+
+    fn service(slot: &mut SlaveSlot, txn: &Transaction, now: Cycle) -> (u64, Response) {
+        // Slave-side firewall: checked before reaching the IP's memory.
+        if let Some(fw) = slot.firewall.as_mut() {
+            let decision = fw.check(txn, now);
+            if !decision.allowed {
+                return (
+                    now.get() + decision.latency,
+                    Response {
+                        txn: txn.id,
+                        data: 0,
+                        result: Err(BusError::Discarded),
+                        completed_at: now,
+                    },
+                );
+            }
+        }
+        match &mut slot.kind {
+            SlaveKind::Bram(bram) => {
+                let offset = txn.addr - slot.base;
+                let latency = bram.latency(offset, txn.op == Op::Write);
+                let (data, result) = match txn.op {
+                    Op::Read => match bram.read(offset, txn.width) {
+                        Ok(v) => (v, Ok(())),
+                        Err(_) => (0, Err(BusError::Slave)),
+                    },
+                    Op::Write => match bram.write(offset, txn.width, txn.data) {
+                        Ok(()) => (0, Ok(())),
+                        Err(_) => (0, Err(BusError::Slave)),
+                    },
+                };
+                (
+                    now.get() + latency,
+                    Response { txn: txn.id, data, result, completed_at: now },
+                )
+            }
+            SlaveKind::Ddr { ddr, lcf: Some(lcf) } => match lcf.handle(ddr, txn, now) {
+                Ok(access) => (
+                    now.get() + access.latency,
+                    Response { txn: txn.id, data: access.data, result: Ok(()), completed_at: now },
+                ),
+                Err((violation, latency)) => {
+                    let err = match violation {
+                        secbus_core::Violation::IntegrityMismatch => BusError::IntegrityViolation,
+                        _ => BusError::Discarded,
+                    };
+                    (
+                        now.get() + latency,
+                        Response { txn: txn.id, data: 0, result: Err(err), completed_at: now },
+                    )
+                }
+            },
+            SlaveKind::Ddr { ddr, lcf: None } => {
+                let offset = txn.addr - slot.base;
+                let latency = ddr.latency(offset, txn.op == Op::Write);
+                let (data, result) = match txn.op {
+                    Op::Read => match ddr.read(offset, txn.width) {
+                        Ok(v) => (v, Ok(())),
+                        Err(_) => (0, Err(BusError::Slave)),
+                    },
+                    Op::Write => match ddr.write(offset, txn.width, txn.data) {
+                        Ok(()) => (0, Ok(())),
+                        Err(_) => (0, Err(BusError::Slave)),
+                    },
+                };
+                (
+                    now.get() + latency,
+                    Response { txn: txn.id, data, result, completed_at: now },
+                )
+            }
+        }
+    }
+
+    fn block_firewall(&mut self, id: FirewallId) {
+        for slot in &mut self.masters {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                slot.firewall.as_mut().unwrap().block();
+                return;
+            }
+        }
+        for slot in &mut self.slaves {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                slot.firewall.as_mut().unwrap().block();
+                return;
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                if lcf.firewall().id() == id {
+                    lcf.firewall_mut().block();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn unblock_firewall(&mut self, id: FirewallId) {
+        for slot in &mut self.masters {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                slot.firewall.as_mut().unwrap().unblock();
+                self.stats.incr("soc.quarantine_releases");
+                return;
+            }
+        }
+        for slot in &mut self.slaves {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                slot.firewall.as_mut().unwrap().unblock();
+                self.stats.incr("soc.quarantine_releases");
+                return;
+            }
+        }
+    }
+
+    fn apply_update(&mut self, update: PolicyUpdate) {
+        let target = update.firewall;
+        for slot in &mut self.masters {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == target) {
+                let fw = slot.firewall.as_mut().unwrap();
+                let _ = self.reconfig.apply_to(fw, update);
+                return;
+            }
+        }
+        for slot in &mut self.slaves {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == target) {
+                let fw = slot.firewall.as_mut().unwrap();
+                let _ = self.reconfig.apply_to(fw, update);
+                return;
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                if lcf.firewall().id() == target {
+                    let _ = self.reconfig.apply_to(lcf.firewall_mut(), update);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Run `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Run until every master reports halted, or `max_cycles` elapse.
+    /// Returns the cycle count actually simulated.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now.get();
+        while self.now.get() - start < max_cycles {
+            if self
+                .masters
+                .iter()
+                .all(|m| m.device.as_ref().is_some_and(|d| d.halted()))
+            {
+                break;
+            }
+            self.tick();
+        }
+        self.now.get() - start
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The system clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Whether firewalls were instantiated.
+    pub fn security_enabled(&self) -> bool {
+        self.security
+    }
+
+    /// The shared bus (trace, stats, address map).
+    pub fn bus(&self) -> &SharedBus {
+        &self.bus
+    }
+
+    /// The security monitor (alert log and counters).
+    pub fn monitor(&self) -> &SecurityMonitor {
+        &self.monitor
+    }
+
+    /// Number of masters.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// A master device, for label/stats/halted inspection.
+    pub fn master_device(&self, idx: usize) -> &dyn BusMaster {
+        self.masters[idx].device.as_deref().expect("device present")
+    }
+
+    /// Downcast a master device to its concrete type.
+    pub fn master_as<T: 'static>(&self, idx: usize) -> Option<&T> {
+        self.master_device(idx).as_any().downcast_ref::<T>()
+    }
+
+    /// The firewall id guarding master `idx`, if protected.
+    pub fn master_firewall_id(&self, idx: usize) -> Option<FirewallId> {
+        self.masters[idx].firewall.as_ref().map(|f| f.id())
+    }
+
+    /// The firewall guarding master `idx`, if protected.
+    pub fn master_firewall(&self, idx: usize) -> Option<&LocalFirewall> {
+        self.masters[idx].firewall.as_ref()
+    }
+
+    /// The LCF, if the DDR is protected.
+    pub fn lcf(&self) -> Option<&LocalCipheringFirewall> {
+        self.slaves.iter().find_map(|s| match &s.kind {
+            SlaveKind::Ddr { lcf, .. } => lcf.as_deref(),
+            _ => None,
+        })
+    }
+
+    /// Raw access to the external DDR — the adversary's physical surface.
+    /// (`None` if the system has no DDR.)
+    pub fn ddr_mut(&mut self) -> Option<&mut ExternalDdr> {
+        self.slaves.iter_mut().find_map(|s| match &mut s.kind {
+            SlaveKind::Ddr { ddr, .. } => Some(ddr.as_mut()),
+            _ => None,
+        })
+    }
+
+    /// Read-only access to the external DDR.
+    pub fn ddr(&self) -> Option<&ExternalDdr> {
+        self.slaves.iter().find_map(|s| match &s.kind {
+            SlaveKind::Ddr { ddr, .. } => Some(ddr.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Read the shared BRAM contents (first BRAM slave), for assertions.
+    pub fn bram_contents(&self) -> Option<&[u8]> {
+        self.slaves.iter().find_map(|s| match &s.kind {
+            SlaveKind::Bram(b) => Some(b.contents()),
+            _ => None,
+        })
+    }
+
+    /// Stage a policy reconfiguration; returns when it will apply.
+    pub fn schedule_reconfig(&mut self, update: PolicyUpdate) -> Cycle {
+        self.reconfig.schedule(update, self.now)
+    }
+
+    /// Descriptions of every slave: (label, base address, protected?).
+    pub fn slave_summary(&self) -> Vec<(String, u32, bool)> {
+        self.slaves
+            .iter()
+            .map(|s| {
+                let protected = s.firewall.is_some()
+                    || matches!(&s.kind, SlaveKind::Ddr { lcf: Some(_), .. });
+                (s.label.clone(), s.base, protected)
+            })
+            .collect()
+    }
+
+    /// System-level statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Take a security audit snapshot (per-firewall counters + the
+    /// monitor's retained alert trail).
+    pub fn audit(&self) -> crate::report::AuditReport {
+        let mut firewalls = Vec::new();
+        let mut push_fw = |fw: &LocalFirewall| {
+            firewalls.push(crate::report::FirewallAudit {
+                label: fw.label().to_owned(),
+                id: fw.id().0,
+                checked: fw.stats().counter("fw.checked"),
+                passed: fw.stats().counter("fw.passed"),
+                discarded: fw.stats().counter("fw.discarded"),
+                blocked: fw.is_blocked(),
+                generation: fw.config().generation(),
+                policies: fw.config().len(),
+            });
+        };
+        for slot in &self.masters {
+            if let Some(fw) = slot.firewall.as_ref() {
+                push_fw(fw);
+            }
+        }
+        for slot in &self.slaves {
+            if let Some(fw) = slot.firewall.as_ref() {
+                push_fw(fw);
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &slot.kind {
+                push_fw(lcf.firewall());
+            }
+        }
+        let trail = self
+            .monitor
+            .log()
+            .iter()
+            .map(|(cycle, a)| crate::report::AlertLine {
+                cycle: cycle.get(),
+                firewall: a.firewall.0,
+                violation: a.violation.mnemonic().to_owned(),
+                addr: a.txn.addr,
+                op: a.txn.op.to_string(),
+            })
+            .collect();
+        crate::report::AuditReport {
+            now: self.now.get(),
+            alerts: self.monitor.alert_count(),
+            blocks: self.monitor.stats().counter("monitor.blocks"),
+            firewalls,
+            trail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbus_core::{AdfSet, Rwa, SecurityPolicy};
+    use secbus_cpu::{assemble, Mb32Core, StreamIp};
+
+    const BRAM_BASE: u32 = 0x2000_0000;
+
+    fn rw_policy(spi: u16, base: u32, len: u32) -> SecurityPolicy {
+        SecurityPolicy::internal(spi, AddrRange::new(base, len), Rwa::ReadWrite, AdfSet::ALL)
+    }
+
+    fn small_soc(policies: Option<Vec<SecurityPolicy>>, program: &str) -> Soc {
+        let program = assemble(program).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        let mut b = SocBuilder::new().add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        );
+        b = match policies {
+            Some(p) => b.add_protected_master(
+                Box::new(core),
+                ConfigMemory::with_policies(p).unwrap(),
+            ),
+            None => b.add_master(Box::new(core)),
+        };
+        b.build()
+    }
+
+    #[test]
+    fn unprotected_program_runs_to_halt() {
+        let mut soc = small_soc(
+            None,
+            r"
+            li  r1, 0x20000000
+            addi r2, r0, 42
+            sw  r2, 0(r1)
+            lw  r3, 0(r1)
+            halt
+            ",
+        );
+        let cycles = soc.run_until_halt(10_000);
+        assert!(cycles < 200, "took {cycles}");
+        let core = soc.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 42);
+        assert_eq!(soc.bram_contents().unwrap()[0], 42);
+    }
+
+    #[test]
+    fn protected_program_runs_with_added_latency() {
+        let src = r"
+            li  r1, 0x20000000
+            addi r2, r0, 42
+            sw  r2, 0(r1)
+            lw  r3, 0(r1)
+            halt
+        ";
+        let mut plain = small_soc(None, src);
+        let base_cycles = plain.run_until_halt(10_000);
+
+        let mut protected =
+            small_soc(Some(vec![rw_policy(1, BRAM_BASE, 0x1000)]), src);
+        let prot_cycles = protected.run_until_halt(10_000);
+
+        let core = protected.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 42, "functionally identical");
+        assert!(
+            prot_cycles > base_cycles,
+            "checking must cost cycles: {prot_cycles} vs {base_cycles}"
+        );
+        // One checked write + one checked read = 2 × 12 cycles of added
+        // latency, serialised with everything else.
+        assert!(prot_cycles - base_cycles >= 20, "delta {}", prot_cycles - base_cycles);
+    }
+
+    #[test]
+    fn violating_write_never_reaches_the_bus() {
+        // Policy covers only the first 16 bytes; program writes outside.
+        let mut soc = small_soc(
+            Some(vec![rw_policy(1, BRAM_BASE, 16)]),
+            r"
+            li  r1, 0x20000000
+            addi r2, r0, 7
+            sw  r2, 0(r1)     ; allowed
+            sw  r2, 64(r1)    ; out of policy -> discarded at the interface
+            halt
+            ",
+        );
+        soc.run_until_halt(10_000);
+        // The violating write is NOT in the bus trace (containment).
+        let writes: Vec<u32> = soc
+            .bus()
+            .trace()
+            .iter()
+            .filter(|(_, t)| t.op == Op::Write)
+            .map(|(_, t)| t.addr)
+            .collect();
+        assert_eq!(writes, vec![BRAM_BASE], "only the allowed write was granted");
+        // The BRAM was not modified at the forbidden offset.
+        assert_eq!(soc.bram_contents().unwrap()[64], 0);
+        // And the alert reached the monitor.
+        assert_eq!(soc.monitor().alert_count(), 1);
+        // The infected core kept running to halt (local containment).
+        assert!(soc.master_device(0).halted());
+    }
+
+    #[test]
+    fn violating_read_is_discarded_before_the_ip() {
+        let mut soc = small_soc(
+            Some(vec![SecurityPolicy::internal(
+                1,
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Rwa::WriteOnly, // reads forbidden
+                AdfSet::ALL,
+            )]),
+            r"
+            li  r1, 0x20000000
+            addi r2, r0, 9
+            sw  r2, 0(r1)
+            lw  r3, 0(r1)   ; read violates RWA -> data never reaches the IP
+            halt
+            ",
+        );
+        soc.run_until_halt(10_000);
+        let core = soc.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 0, "read data was discarded");
+        assert_eq!(core.stats().counter("core.access_errors"), 1);
+        assert_eq!(soc.monitor().alert_count(), 1);
+    }
+
+    #[test]
+    fn monitor_threshold_blocks_repeat_offender() {
+        let program = r"
+            li  r1, 0x20000000
+            addi r2, r0, 1
+        loop:
+            sw  r2, 256(r1)   ; always violating
+            addi r2, r2, 1
+            blt r2, r3, loop
+            halt
+        ";
+        let words = assemble(program).unwrap();
+        let mut core = Mb32Core::with_local_program("cpu0", 0, words);
+        core.set_reg(secbus_cpu::Reg(3), 10);
+        let mut soc = SocBuilder::new()
+            .monitor_threshold(3)
+            .add_protected_master(
+                Box::new(core),
+                ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build();
+        soc.run_until_halt(20_000);
+        assert!(soc.master_firewall(0).unwrap().is_blocked());
+        assert!(soc.monitor().stats().counter("monitor.blocks") > 0);
+    }
+
+    #[test]
+    fn quarantine_blocks_then_releases() {
+        // A master violating forever: quarantined, released, re-quarantined.
+        use secbus_cpu::{SyntheticConfig, SyntheticMaster};
+        use secbus_sim::SimRng;
+        let rogue = SyntheticMaster::new(
+            "rogue",
+            SyntheticConfig {
+                windows: vec![(BRAM_BASE + 0x800, 0x100, 1)], // out of policy
+                read_ratio: 0.0,
+                widths: vec![secbus_bus::Width::Word],
+                burst: 1,
+                period: 4,
+                total_ops: 0,
+            },
+            SimRng::new(1),
+        );
+        let mut soc = SocBuilder::new()
+            .monitor_threshold(5)
+            .quarantine(200)
+            .add_protected_master(
+                Box::new(rogue),
+                ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build();
+        soc.run(10_000);
+        // Multiple quarantine cycles must have happened: blocked more than
+        // once, released more than once.
+        assert!(soc.monitor().stats().counter("monitor.blocks") >= 2);
+        assert!(soc.stats().counter("soc.quarantine_releases") >= 1);
+    }
+
+    #[test]
+    fn without_security_ignores_policies() {
+        let src = r"
+            li  r1, 0x20000000
+            addi r2, r0, 5
+            sw  r2, 256(r1)
+            halt
+        ";
+        let program = assemble(src).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        let mut soc = SocBuilder::new()
+            .without_security()
+            .add_protected_master(
+                Box::new(core),
+                ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build();
+        soc.run_until_halt(10_000);
+        assert!(!soc.security_enabled());
+        assert_eq!(soc.bram_contents().unwrap()[256], 5, "no firewall: write lands");
+        assert_eq!(soc.monitor().alert_count(), 0);
+    }
+
+    #[test]
+    fn stream_ip_writes_through_its_firewall() {
+        let fifo = BRAM_BASE + 0x100;
+        let ip = StreamIp::new("ip0", fifo, 8, 4);
+        let mut soc = SocBuilder::new()
+            .add_protected_master(
+                Box::new(ip),
+                ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+                    1,
+                    AddrRange::new(fifo, 16),
+                    Rwa::WriteOnly,
+                    AdfSet::WORD_ONLY,
+                )])
+                .unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build();
+        soc.run_until_halt(5_000);
+        let ip = soc.master_as::<StreamIp>(0).unwrap();
+        assert_eq!(ip.sent(), 4);
+        assert_eq!(ip.stats().counter("stream.acked"), 4);
+        // Last sample (3) landed in the fifo word.
+        assert_eq!(soc.bram_contents().unwrap()[0x100], 3);
+    }
+
+    #[test]
+    fn reconfiguration_applies_after_quiesce() {
+        let src = r"
+            li  r1, 0x20000000
+        wait:
+            lw  r2, 0(r1)
+            beq r2, r0, wait  ; spin until a read succeeds (non-zero)
+            halt
+        ";
+        // Policy initially forbids reads; after reconfig they succeed.
+        let program = assemble(src).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        let mut bram = Bram::new(0x1000);
+        bram.load(0, &7u32.to_le_bytes());
+        let mut soc = SocBuilder::new()
+            .reconfig_latency(100)
+            .add_protected_master(
+                Box::new(core),
+                ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+                    1,
+                    AddrRange::new(BRAM_BASE, 0x1000),
+                    Rwa::WriteOnly,
+                    AdfSet::ALL,
+                )])
+                .unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), bram, None)
+            .build();
+        let fw_id = soc.master_firewall_id(0).unwrap();
+        soc.run(50); // core spinning against denials
+        assert!(soc.monitor().alert_count() > 0);
+        soc.schedule_reconfig(PolicyUpdate {
+            firewall: fw_id,
+            policies: vec![rw_policy(2, BRAM_BASE, 0x1000)],
+        });
+        let cycles = soc.run_until_halt(20_000);
+        assert!(cycles < 20_000, "core escaped the spin after reconfig");
+        let core = soc.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.reg(secbus_cpu::Reg(2)), 7);
+    }
+}

@@ -1,0 +1,44 @@
+//! Runs the full §III threat model against the platform and narrates the
+//! outcome of each attack class.
+//!
+//! ```sh
+//! cargo run -p secbus-examples --bin attack_demo
+//! ```
+
+use secbus_attack::{run_all_scenarios, Scenario};
+
+fn main() {
+    println!("Executing the paper's threat model (replay / relocation / spoofing");
+    println!("on the external memory; hijacking / DoS from a compromised IP)\n");
+
+    for outcome in run_all_scenarios(2026) {
+        println!("── {}", outcome.scenario.name());
+        match outcome.detection_latency {
+            Some(lat) => println!("   detected {lat} cycles after injection ({} alerts)", outcome.alerts),
+            None => println!("   NOT detected ({} alerts)", outcome.alerts),
+        }
+        println!(
+            "   contained: {} | attacker-chosen data delivered: {}",
+            if outcome.contained { "yes" } else { "NO" },
+            if outcome.data_compromised { "YES" } else { "no" }
+        );
+        let note = match outcome.scenario {
+            Scenario::SpoofPrivate | Scenario::ReplayPrivate | Scenario::RelocatePrivate => {
+                "Integrity Core: leaf hash vs on-chip root"
+            }
+            Scenario::SpoofCipherOnly => {
+                "cipher-only: plaintext garbled, tampering NOT detected (paper §III-B)"
+            }
+            Scenario::SpoofPublic => {
+                "unprotected region: the deliberate hole the paper warns about"
+            }
+            Scenario::HijackedIp => "Local Firewall: RWA/ADF/region checks at the interface",
+            Scenario::DosViolating => "flood dies at the interface; the bus never sees it",
+            Scenario::CodeInjection => {
+                "injected code executed, but its first illegal access was discarded"
+            }
+        };
+        println!("   mechanism: {note}\n");
+    }
+    println!("attack_demo complete.");
+}

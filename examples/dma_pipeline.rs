@@ -1,0 +1,74 @@
+//! A DMA pipeline across the trust boundary: a DMA engine stages data from
+//! the protected external region into internal BRAM while a core consumes
+//! it. Shows the cost asymmetry the paper highlights — external (LCF)
+//! accesses pay the crypto cores, internal accesses only pay the checking
+//! pass — and prints the measured split.
+//!
+//! ```sh
+//! cargo run -p secbus-examples --bin dma_pipeline
+//! ```
+
+use secbus_bus::AddrRange;
+use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
+use secbus_cpu::DmaEngine;
+use secbus_mem::{Bram, ExternalDdr};
+use secbus_sim::Cycle;
+use secbus_soc::casestudy::lcf_policies;
+use secbus_soc::{Report, SocBuilder};
+
+const BRAM_BASE: u32 = 0x2000_0000;
+const DDR_BASE: u32 = 0x8000_0000;
+const DDR_LEN: u32 = 0x10_0000;
+const BYTES: u32 = 1024;
+
+fn build(protected: bool, src: u32) -> secbus_soc::Soc {
+    let dma = DmaEngine::new("dma0", src, BRAM_BASE, BYTES, 4);
+    let policies = ConfigMemory::with_policies(vec![
+        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x1_0000), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+    ])
+    .unwrap();
+    let mut ddr = ExternalDdr::new(DDR_LEN);
+    for i in 0..BYTES {
+        ddr.load(src - DDR_BASE + i, &[(i % 251) as u8]);
+    }
+    let mut b = SocBuilder::new();
+    if !protected {
+        b = b.without_security();
+    }
+    b.add_protected_master(Box::new(dma), policies)
+        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .build()
+}
+
+fn run(label: &str, protected: bool, src: u32) -> u64 {
+    let mut soc = build(protected, src);
+    let cycles = soc.run_until_halt(10_000_000);
+    let dma = soc.master_as::<DmaEngine>(0).unwrap();
+    assert_eq!(dma.moved(), BYTES, "{label}: copy completed");
+    println!("{label:<46} {cycles:>8} cycles");
+    if protected {
+        let r = Report::collect(&soc, Cycle(0));
+        print!("{r}");
+    }
+    cycles
+}
+
+fn main() {
+    println!("DMA staging {BYTES} bytes DDR -> BRAM\n");
+    // Source in the *private* (cipher+integrity) region vs the *public*
+    // (unprotected) region, each with and without the security layer.
+    let base_private = run("generic, src = private region", false, DDR_BASE);
+    let prot_private = run("protected, src = private region (CC+IC)", true, DDR_BASE);
+    let base_public = run("generic, src = public region", false, DDR_BASE + 0x8_0000);
+    let prot_public = run("protected, src = public region (checks only)", true, DDR_BASE + 0x8_0000);
+
+    let over_private = (prot_private as f64 / base_private as f64 - 1.0) * 100.0;
+    let over_public = (prot_public as f64 / base_public as f64 - 1.0) * 100.0;
+    println!("\noverhead, private source : {over_private:.1}%  (pays SB + CC + IC)");
+    println!("overhead, public  source : {over_public:.1}%  (pays SB only)");
+    assert!(over_private > over_public, "crypto path must cost more");
+    println!("\ndma_pipeline OK: external-crypto traffic dominates the overhead,");
+    println!("exactly the asymmetry the paper's §V discussion predicts.");
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the cryptographic protection as seen through
+//! the whole system: random write/read workloads against the LCF must
+//! round-trip exactly, leak nothing, and detect arbitrary tampering.
+
+use proptest::prelude::*;
+use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
+use secbus_core::{
+    AdfSet, ConfidentialityMode, ConfigMemory, CryptoTiming, FirewallId, IntegrityMode,
+    LocalCipheringFirewall, Rwa, SecurityPolicy, Violation,
+};
+use secbus_mem::ExternalDdr;
+use secbus_sim::Cycle;
+
+const BASE: u32 = 0x8000_0000;
+const REGION: u32 = 0x1000;
+
+fn lcf_pair() -> (LocalCipheringFirewall, ExternalDdr) {
+    let config = ConfigMemory::with_policies(vec![SecurityPolicy::external(
+        1,
+        AddrRange::new(BASE, REGION),
+        Rwa::ReadWrite,
+        AdfSet::ALL,
+        ConfidentialityMode::Encrypt,
+        IntegrityMode::Verify,
+        Some([0x3C; 16]),
+    )])
+    .unwrap();
+    let mut ddr = ExternalDdr::new(REGION);
+    let mut lcf =
+        LocalCipheringFirewall::new(FirewallId(0), "LCF", config, BASE, CryptoTiming::PAPER);
+    lcf.seal(&mut ddr);
+    (lcf, ddr)
+}
+
+fn txn(op: Op, addr: u32, width: Width, data: u32) -> Transaction {
+    Transaction {
+        id: TxnId(0),
+        master: MasterId(0),
+        op,
+        addr,
+        width,
+        data,
+        burst: 1,
+        issued_at: Cycle(0),
+    }
+}
+
+fn width_of(sel: u8) -> Width {
+    match sel % 3 {
+        0 => Width::Byte,
+        1 => Width::Half,
+        _ => Width::Word,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random aligned write/read sequences round-trip exactly through the
+    /// cipher + integrity machinery.
+    #[test]
+    fn protected_memory_roundtrips(
+        ops in proptest::collection::vec((0u32..0x400, any::<u8>(), any::<u32>()), 1..60)
+    ) {
+        let (mut lcf, mut ddr) = lcf_pair();
+        let mut shadow = vec![0u8; REGION as usize];
+        let mut cycle = 0u64;
+        for (slot, wsel, value) in ops {
+            let width = width_of(wsel);
+            let addr = BASE + slot * 4; // word-aligned base, ok for all widths
+            let t = txn(Op::Write, addr, width, value);
+            lcf.handle(&mut ddr, &t, Cycle(cycle)).expect("write admitted");
+            let n = width.bytes() as usize;
+            let off = (addr - BASE) as usize;
+            shadow[off..off + n].copy_from_slice(&value.to_le_bytes()[..n]);
+            cycle += 1;
+
+            // Read back through the LCF and compare with the shadow.
+            let r = lcf
+                .handle(&mut ddr, &txn(Op::Read, addr, width, 0), Cycle(cycle))
+                .expect("read admitted");
+            let mut raw = [0u8; 4];
+            raw[..n].copy_from_slice(&shadow[off..off + n]);
+            prop_assert_eq!(r.data, u32::from_le_bytes(raw));
+            cycle += 1;
+        }
+    }
+
+    /// Any single tampered byte in the protected region is detected on
+    /// the next read of its block, wherever it lands.
+    #[test]
+    fn any_byte_tamper_is_detected(
+        writes in proptest::collection::vec((0u32..0x100, any::<u32>()), 1..10),
+        victim in 0u32..0x1000,
+        flip in 1u8..=255,
+    ) {
+        let (mut lcf, mut ddr) = lcf_pair();
+        let mut cycle = 0;
+        for (slot, value) in writes {
+            let t = txn(Op::Write, BASE + slot * 4, Width::Word, value);
+            lcf.handle(&mut ddr, &t, Cycle(cycle)).unwrap();
+            cycle += 1;
+        }
+        // Tamper one stored byte.
+        let mut b = ddr.snoop(victim, 1).to_vec();
+        b[0] ^= flip;
+        ddr.tamper(victim, &b);
+        // Read the containing word: must be refused with an integrity error.
+        let read_addr = BASE + (victim & !3);
+        let err = lcf
+            .handle(&mut ddr, &txn(Op::Read, read_addr, Width::Word, 0), Cycle(cycle))
+            .expect_err("tamper must be detected");
+        prop_assert_eq!(err.0, Violation::IntegrityMismatch);
+    }
+
+    /// The raw external bytes never contain a 4-byte window equal to a
+    /// (non-trivial) plaintext word that was written.
+    #[test]
+    fn no_plaintext_word_at_rest(value in 0x01000000u32..0xffffffff, slot in 0u32..0x100) {
+        let (mut lcf, mut ddr) = lcf_pair();
+        lcf.handle(&mut ddr, &txn(Op::Write, BASE + slot * 4, Width::Word, value), Cycle(0))
+            .unwrap();
+        let needle = value.to_le_bytes();
+        let raw = ddr.snoop(0, REGION);
+        let leaked = raw.windows(4).any(|w| w == needle);
+        prop_assert!(!leaked, "plaintext {value:#x} visible at rest");
+    }
+}
+
+/// Deterministic companion: a full-region sweep write/read (all widths).
+#[test]
+fn full_region_sweep_roundtrip() {
+    let (mut lcf, mut ddr) = lcf_pair();
+    let mut cycle = 0;
+    for i in 0..(REGION / 4) {
+        let t = txn(Op::Write, BASE + i * 4, Width::Word, i.wrapping_mul(0x9e3779b9));
+        lcf.handle(&mut ddr, &t, Cycle(cycle)).unwrap();
+        cycle += 1;
+    }
+    for i in 0..(REGION / 4) {
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, BASE + i * 4, Width::Word, 0), Cycle(cycle))
+            .unwrap();
+        assert_eq!(r.data, i.wrapping_mul(0x9e3779b9));
+        cycle += 1;
+    }
+}

@@ -1,0 +1,54 @@
+//! Determinism: same seed + same configuration ⇒ cycle-exact identical
+//! behaviour. Every experiment in EXPERIMENTS.md relies on this.
+
+use secbus_integration_tests::synthetic_soc;
+use secbus_sim::Cycle;
+use secbus_soc::casestudy::{case_study, CaseStudyConfig};
+use secbus_soc::Report;
+
+#[test]
+fn synthetic_runs_are_cycle_exact_replicas() {
+    let run = |seed: u64| {
+        let mut soc = synthetic_soc(3, 3, 200, seed);
+        let cycles = soc.run_until_halt(1_000_000);
+        let trace: Vec<(u64, u32, bool)> = soc
+            .bus()
+            .trace()
+            .iter()
+            .map(|(c, t)| (c.get(), t.addr, t.op == secbus_bus::Op::Write))
+            .collect();
+        (cycles, trace, soc.monitor().alert_count())
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.0, b.0, "halt cycle");
+    assert_eq!(a.1, b.1, "bus trace");
+    assert_eq!(a.2, b.2, "alerts");
+    let c = run(12);
+    assert_ne!(a.1, c.1, "different seeds produce different traffic");
+}
+
+#[test]
+fn case_study_is_deterministic() {
+    let run = || {
+        let mut soc = case_study(CaseStudyConfig::default());
+        let cycles = soc.run_until_halt(5_000_000);
+        let report = Report::collect(&soc, Cycle(0));
+        (cycles, report.bus_grants, report.masters[0].work)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn attack_scenarios_are_deterministic() {
+    let a = secbus_attack::run_all_scenarios(99);
+    let b = secbus_attack::run_all_scenarios(99);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.scenario, y.scenario);
+        assert_eq!(x.detected_at, y.detected_at);
+        assert_eq!(x.alerts, y.alerts);
+        assert_eq!(x.contained, y.contained);
+    }
+}
