@@ -9,10 +9,8 @@
 //! picture — which mechanism dominates, how protection scales energy —
 //! not absolute silicon measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Event counts harvested from a run (see `secbus-bench`'s collector).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ActivityCounts {
     /// Transactions granted the bus.
     pub bus_grants: u64,
@@ -31,7 +29,7 @@ pub struct ActivityCounts {
 }
 
 /// Per-event energies in picojoules, plus static power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One bus grant + data phase.
     pub bus_grant_pj: f64,
@@ -67,7 +65,7 @@ impl Default for EnergyModel {
 }
 
 /// Estimated energy of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyReport {
     /// Dynamic energy per contributor, in nanojoules: (name, nJ).
     pub breakdown: Vec<(String, f64)>,

@@ -1,74 +1,60 @@
 //! Micro-benchmarks of the LCF's cryptographic cores (host-side speed of
 //! the functional models; the *architectural* timing is Table II's).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use secbus_bench::bench;
+use secbus_bench::timing::observe;
 use secbus_crypto::merkle::leaf_digest;
 use secbus_crypto::{sha256, Aes128, MemoryCipher, MerkleTree};
-use std::hint::black_box;
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes() {
     let aes = Aes128::new(&[7; 16]);
-    let mut g = c.benchmark_group("aes128");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| {
-        let mut block = [0u8; 16];
-        b.iter(|| {
-            aes.encrypt_block(black_box(&mut block));
-        });
+    let mut block = [0u8; 16];
+    bench("aes128", "encrypt_block", 16, || {
+        aes.encrypt_block(observe(&mut block));
     });
-    g.bench_function("decrypt_block", |b| {
-        let mut block = [0u8; 16];
-        b.iter(|| {
-            aes.decrypt_block(black_box(&mut block));
-        });
+    let mut block = [0u8; 16];
+    bench("aes128", "decrypt_block", 16, || {
+        aes.decrypt_block(observe(&mut block));
     });
-    g.finish();
 }
 
-fn bench_ctr(c: &mut Criterion) {
+fn bench_ctr() {
     let cipher = MemoryCipher::new(&[9; 16]);
-    let mut g = c.benchmark_group("memory_cipher");
     for size in [64usize, 1024, 16 * 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("apply_{size}B"), |b| {
-            b.iter_batched_ref(
-                || vec![0xA5u8; size],
-                |buf| cipher.apply(0x1000, 3, black_box(buf)),
-                BatchSize::SmallInput,
-            );
+        let mut buf = vec![0xA5u8; size];
+        bench("memory_cipher", &format!("apply_{size}B"), size as u64, || {
+            cipher.apply(0x1000, 3, observe(&mut buf));
         });
     }
-    g.finish();
 }
 
-fn bench_sha(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
+fn bench_sha() {
     for size in [16usize, 64, 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
         let data = vec![0x5Au8; size];
-        g.bench_function(format!("oneshot_{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)));
+        bench("sha256", &format!("oneshot_{size}B"), size as u64, || {
+            observe(sha256(observe(&data)));
         });
     }
-    g.finish();
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merkle");
+fn bench_merkle() {
     for leaves in [256usize, 4096] {
         let init: Vec<_> = (0..leaves).map(|i| leaf_digest(i as u64, 0, &[0; 16])).collect();
         let tree = MerkleTree::build(&init);
-        g.bench_function(format!("update_leaf_{leaves}"), |b| {
-            let mut t = tree.clone();
-            let d = leaf_digest(0, 1, &[1; 16]);
-            b.iter(|| t.update_leaf(black_box(7 % leaves), black_box(d)));
+        let mut t = tree.clone();
+        let d = leaf_digest(0, 1, &[1; 16]);
+        bench("merkle", &format!("update_leaf_{leaves}"), 0, || {
+            t.update_leaf(observe(7 % leaves), observe(d));
         });
-        g.bench_function(format!("verify_leaf_{leaves}"), |b| {
-            b.iter(|| tree.verify_leaf(black_box(7 % leaves), black_box(&init[7 % leaves])));
+        bench("merkle", &format!("verify_leaf_{leaves}"), 0, || {
+            observe(tree.verify_leaf(observe(7 % leaves), observe(&init[7 % leaves])));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_ctr, bench_sha, bench_merkle);
-criterion_main!(benches);
+fn main() {
+    bench_aes();
+    bench_ctr();
+    bench_sha();
+    bench_merkle();
+}

@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the Security Builder path: policy lookup and the
 //! full checking-module pass, across Configuration Memory sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use secbus_bench::bench;
+use secbus_bench::timing::observe;
 use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
 use secbus_core::{AdfSet, ConfigMemory, FirewallId, LocalFirewall, Rwa, SecurityPolicy};
 use secbus_sim::Cycle;
-use std::hint::black_box;
 
 fn table(n: usize) -> ConfigMemory {
     ConfigMemory::with_policies(
@@ -36,33 +36,31 @@ fn txn(addr: u32) -> Transaction {
     }
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("config_memory_lookup");
+fn bench_lookup() {
     for n in [4usize, 16, 64, 256] {
         let cm = table(n);
         let probe = ((n / 2) as u32) * 0x1000 + 4;
-        g.bench_function(format!("policies_{n}"), |b| {
-            b.iter(|| cm.lookup(black_box(probe)));
+        bench("config_memory_lookup", &format!("policies_{n}"), 0, || {
+            observe(cm.lookup(observe(probe)));
         });
     }
-    g.finish();
 }
 
-fn bench_check(c: &mut Criterion) {
-    let mut g = c.benchmark_group("firewall_check");
+fn bench_check() {
     for n in [4usize, 64] {
         let mut fw = LocalFirewall::new(FirewallId(0), "bench", table(n));
         let allowed = txn(((n / 2) as u32) * 0x1000);
         let denied = txn(0xffff_0000);
-        g.bench_function(format!("pass_{n}"), |b| {
-            b.iter(|| fw.check(black_box(&allowed), Cycle(0)));
+        bench("firewall_check", &format!("pass_{n}"), 0, || {
+            observe(fw.check(observe(&allowed), Cycle(0)));
         });
-        g.bench_function(format!("deny_{n}"), |b| {
-            b.iter(|| fw.check(black_box(&denied), Cycle(0)));
+        bench("firewall_check", &format!("deny_{n}"), 0, || {
+            observe(fw.check(observe(&denied), Cycle(0)));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_check);
-criterion_main!(benches);
+fn main() {
+    bench_lookup();
+    bench_check();
+}

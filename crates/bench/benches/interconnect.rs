@@ -1,65 +1,61 @@
 //! Micro-benchmarks of the bus layer: arbitration and full tick loops.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use secbus_bench::bench;
+use secbus_bench::timing::observe;
 use secbus_bus::{
     AddrRange, Arbiter, BusConfig, FixedPriority, MasterId, Op, RoundRobin, SharedBus, Tdma,
     Width,
 };
 use secbus_sim::Cycle;
-use std::hint::black_box;
 
-fn bench_arbiters(c: &mut Criterion) {
+fn bench_arbiters() {
     let requesting: Vec<MasterId> = (0..8).map(MasterId).collect();
-    let mut g = c.benchmark_group("arbiter_grant");
-    g.bench_function("fixed_priority", |b| {
-        let mut a = FixedPriority;
-        b.iter(|| a.grant(black_box(&requesting), Cycle(0)));
+    let mut a = FixedPriority;
+    bench("arbiter_grant", "fixed_priority", 0, || {
+        observe(a.grant(observe(&requesting), Cycle(0)));
     });
-    g.bench_function("round_robin", |b| {
-        let mut a = RoundRobin::default();
-        b.iter(|| a.grant(black_box(&requesting), Cycle(0)));
+    let mut a = RoundRobin::default();
+    bench("arbiter_grant", "round_robin", 0, || {
+        observe(a.grant(observe(&requesting), Cycle(0)));
     });
-    g.bench_function("tdma", |b| {
-        let mut a = Tdma::new(requesting.clone(), 8);
-        b.iter(|| a.grant(black_box(&requesting), Cycle(0)));
+    let mut a = Tdma::new(requesting.clone(), 8);
+    bench("arbiter_grant", "tdma", 0, || {
+        observe(a.grant(observe(&requesting), Cycle(0)));
     });
-    g.finish();
 }
 
-fn bench_bus_tick(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bus");
-    g.bench_function("tick_4masters_loaded", |b| {
-        let mut bus = SharedBus::new(BusConfig::default(), Box::new(RoundRobin::default()));
-        let masters: Vec<MasterId> = (0..4).map(|_| bus.add_master()).collect();
-        let s = bus.add_slave();
-        bus.map_range(s, AddrRange::new(0, 0x10000)).unwrap();
-        let mut cycle = 0u64;
-        b.iter(|| {
-            for &m in &masters {
-                if bus.pending_requests(m) < 2 {
-                    bus.issue(m, Op::Read, 0x100, Width::Word, 0, 1, Cycle(cycle));
-                }
+fn bench_bus_tick() {
+    let mut bus = SharedBus::new(BusConfig::default(), Box::new(RoundRobin::default()));
+    let masters: Vec<MasterId> = (0..4).map(|_| bus.add_master()).collect();
+    let s = bus.add_slave();
+    bus.map_range(s, AddrRange::new(0, 0x10000)).unwrap();
+    let mut cycle = 0u64;
+    bench("bus", "tick_4masters_loaded", 0, || {
+        for &m in &masters {
+            if bus.pending_requests(m) < 2 {
+                bus.issue(m, Op::Read, 0x100, Width::Word, 0, 1, Cycle(cycle));
             }
-            bus.tick(Cycle(cycle));
-            while let Some(t) = bus.slave_pop(s) {
-                bus.slave_complete(
-                    s,
-                    secbus_bus::Response {
-                        txn: t.id,
-                        data: 0,
-                        result: Ok(()),
-                        completed_at: Cycle(cycle),
-                    },
-                );
-            }
-            for &m in &masters {
-                while bus.poll_response(m).is_some() {}
-            }
-            cycle += 1;
-        });
+        }
+        bus.tick(Cycle(cycle));
+        while let Some(t) = bus.slave_pop(s) {
+            bus.slave_complete(
+                s,
+                secbus_bus::Response {
+                    txn: t.id,
+                    data: 0,
+                    result: Ok(()),
+                    completed_at: Cycle(cycle),
+                },
+            );
+        }
+        for &m in &masters {
+            while bus.poll_response(m).is_some() {}
+        }
+        cycle += 1;
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_arbiters, bench_bus_tick);
-criterion_main!(benches);
+fn main() {
+    bench_arbiters();
+    bench_bus_tick();
+}

@@ -1,27 +1,25 @@
 //! Whole-system benchmarks: simulation rate of the case study, with and
 //! without the security layer (host cycles per simulated cycle).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use secbus_bench::timing::observe;
 use secbus_soc::casestudy::{case_study, CaseStudyConfig};
+use std::time::Instant;
 
-fn bench_case_study(c: &mut Criterion) {
-    let mut g = c.benchmark_group("case_study");
-    g.sample_size(10);
+fn main() {
     for security in [false, true] {
         let label = if security { "protected_10k_cycles" } else { "generic_10k_cycles" };
-        g.bench_function(label, |b| {
-            b.iter_batched(
-                || case_study(CaseStudyConfig { security, ip_samples: 0, ..Default::default() }),
-                |mut soc| {
-                    soc.run(10_000);
-                    soc
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        // Each run consumes its SoC, so time explicit fresh-build runs
+        // rather than going through the re-entrant harness.
+        const RUNS: usize = 5;
+        let mut samples = Vec::with_capacity(RUNS);
+        for _ in 0..RUNS {
+            let mut soc = case_study(CaseStudyConfig { security, ip_samples: 0, ..Default::default() });
+            let start = Instant::now();
+            soc.run(10_000);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+            observe(soc);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        println!("case_study/{label:<28} {:>9.2} ms (median of {RUNS})", samples[RUNS / 2]);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_case_study);
-criterion_main!(benches);

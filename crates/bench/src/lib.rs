@@ -17,8 +17,49 @@
 
 pub mod energy;
 pub mod table2;
+pub mod timing;
 pub mod traffic;
+
+/// Order-preserving parallel map over an owned work list, built on scoped
+/// threads so the workspace needs no thread-pool dependency. Results come
+/// back in input order regardless of which worker ran each item, so the
+/// output is exactly what a sequential `.map().collect()` would produce.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    let work: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|item| std::sync::Mutex::new(Some(item))).collect();
+    let mut slots: Vec<std::sync::Mutex<Option<R>>> = Vec::with_capacity(total);
+    slots.resize_with(total, || std::sync::Mutex::new(None));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (work_ref, slots_ref, f_ref) = (&work, &slots, &f);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let item = work_ref[i].lock().unwrap().take().expect("each index claimed once");
+                *slots_ref[i].lock().unwrap() = Some(f_ref(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every index computed"))
+        .collect()
+}
 
 pub use energy::{case_study_energy, collect_activity};
 pub use table2::{measure_table2, Table2};
+pub use timing::{bench, measure, Measurement};
 pub use traffic::{sweep_traffic, traffic_overhead, traffic_overhead_multi, OverheadRow, OverheadStat};

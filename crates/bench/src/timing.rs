@@ -1,0 +1,119 @@
+//! Minimal wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace is built offline, so the usual statistical harnesses are
+//! out of reach; this module provides just enough — warmup, automatic
+//! iteration scaling, and a median-of-samples report — for the host-side
+//! speed numbers the benches print. Architectural timing (Table II) does
+//! not go through here: it is measured in simulated cycles by `table2`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Number of measurement samples (the median is reported).
+const SAMPLES: usize = 7;
+
+/// One timed result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations per measurement sample.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Throughput in MiB/s given bytes processed per iteration.
+    pub fn mib_per_s(&self, bytes_per_iter: u64) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            return f64::INFINITY;
+        }
+        (bytes_per_iter as f64 / (1024.0 * 1024.0)) / (self.ns_per_iter / 1e9)
+    }
+}
+
+/// Time `f`, scaling the iteration count so each sample runs for roughly
+/// [`SAMPLE_TARGET`], and return the median over [`SAMPLES`] samples.
+pub fn measure<F: FnMut()>(mut f: F) -> Measurement {
+    // Calibrate: find an iteration count filling the sample target.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+            break;
+        }
+        let scale = if elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(scale);
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Measurement { ns_per_iter: samples[SAMPLES / 2], iters }
+}
+
+/// Run one named benchmark and print a `group/name  time  [throughput]`
+/// line. `bytes_per_iter` adds a MiB/s column when non-zero.
+pub fn bench<F: FnMut()>(group: &str, name: &str, bytes_per_iter: u64, f: F) {
+    let m = measure(f);
+    let time = format_ns(m.ns_per_iter);
+    if bytes_per_iter > 0 {
+        println!("{group}/{name:<28} {time:>12}   {:>10.1} MiB/s", m.mib_per_s(bytes_per_iter));
+    } else {
+        println!("{group}/{name:<28} {time:>12}");
+    }
+}
+
+/// Keep a value observable to the optimizer (re-export for benches).
+pub fn observe<T>(value: T) -> T {
+    black_box(value)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_time() {
+        let mut x = 0u64;
+        let m = measure(|| {
+            x = observe(x.wrapping_add(1));
+        });
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("us"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -12,7 +12,6 @@
 //! the protected/unprotected ratio of the cycles needed to complete a
 //! fixed number of accesses.
 
-use rayon::prelude::*;
 use secbus_bus::{AddrRange, Width};
 use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
 use secbus_cpu::{SyntheticConfig, SyntheticMaster};
@@ -127,10 +126,9 @@ pub fn traffic_overhead_multi(
     seeds: &[u64],
 ) -> OverheadStat {
     assert!(!seeds.is_empty());
-    let pcts: Vec<f64> = seeds
-        .par_iter()
-        .map(|&s| traffic_overhead(period, external_pct, total_ops, s).overhead_pct())
-        .collect();
+    let pcts: Vec<f64> = crate::par_map(seeds.to_vec(), |s| {
+        traffic_overhead(period, external_pct, total_ops, s).overhead_pct()
+    });
     let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
     OverheadStat {
         period,
@@ -152,9 +150,7 @@ pub fn sweep_traffic(
         .iter()
         .flat_map(|&p| external_pcts.iter().map(move |&e| (p, e)))
         .collect();
-    grid.into_par_iter()
-        .map(|(p, e)| traffic_overhead(p, e, total_ops, seed))
-        .collect()
+    crate::par_map(grid, |(p, e)| traffic_overhead(p, e, total_ops, seed))
 }
 
 #[cfg(test)]

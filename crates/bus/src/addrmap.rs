@@ -8,12 +8,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::txn::SlaveId;
 
 /// A half-open byte-address range `[base, base+len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     /// First byte address of the range.
     pub base: u32,
@@ -78,7 +76,7 @@ impl fmt::Display for AddrRange {
 }
 
 /// Maps address ranges to slaves, with overlap checking.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AddressMap {
     entries: Vec<(AddrRange, SlaveId)>,
 }

@@ -82,6 +82,10 @@ pub struct SharedBus {
     next_id: u64,
     stats: Stats,
     trace: BusTrace,
+    /// Fault injection: the next grant is consumed but never delivered.
+    lose_next_grant: bool,
+    /// Fault injection: XOR pattern applied to the next routed response.
+    corrupt_next_response: Option<u32>,
 }
 
 impl SharedBus {
@@ -98,6 +102,8 @@ impl SharedBus {
             busy_until: 0,
             next_id: 0,
             stats: Stats::new(),
+            lose_next_grant: false,
+            corrupt_next_response: None,
         }
     }
 
@@ -231,12 +237,52 @@ impl SharedBus {
         Some(self.inflight.swap_remove(idx).1)
     }
 
+    /// Fault injection: glitch the arbitration of the next grant so the
+    /// winning transaction is consumed but never delivered to its slave.
+    /// The issuing master receives no response — a hang unless a watchdog
+    /// cancels the transaction.
+    pub fn inject_lose_grant(&mut self) {
+        self.lose_next_grant = true;
+    }
+
+    /// Fault injection: XOR `pattern` into the data beat of the next
+    /// response routed from a slave outbox back to its master. Applied on
+    /// the return path only, so the bus-side *request* trace is untouched.
+    pub fn inject_corrupt_response(&mut self, pattern: u32) {
+        self.corrupt_next_response = Some(pattern.max(1));
+    }
+
+    /// Cancel an in-flight transaction (watchdog recovery): forget the
+    /// master binding and purge the transaction from any slave inbox it is
+    /// still queued in. Returns the issuing master if the transaction was
+    /// in flight; the caller synthesizes the timeout response.
+    ///
+    /// After cancellation a late [`SharedBus::slave_complete`] for the same
+    /// id would panic — the SoC must also purge the slave's service state.
+    pub fn cancel_inflight(&mut self, txn: TxnId) -> Option<MasterId> {
+        let master = self.take_inflight(txn)?;
+        for slave in &mut self.slaves {
+            slave.inbox.retain(|t| t.id != txn);
+        }
+        self.stats.incr("bus.cancelled");
+        Some(master)
+    }
+
+    /// Whether `txn` is currently in flight (granted, not yet completed).
+    pub fn is_inflight(&self, txn: TxnId) -> bool {
+        self.inflight.iter().any(|&(t, _)| t == txn)
+    }
+
     /// Advance the bus by one cycle.
     pub fn tick(&mut self, now: Cycle) {
         // 1. Drain slave outboxes into master response queues.
         for slave in &mut self.slaves {
             while let Some((master, mut resp)) = slave.outbox.pop_front() {
                 resp.completed_at = now;
+                if let Some(xor) = self.corrupt_next_response.take() {
+                    resp.data ^= xor;
+                    self.stats.incr("bus.fault.corrupted_responses");
+                }
                 self.masters[master.0 as usize].responses.push_back(resp);
                 self.stats.incr("bus.completions");
             }
@@ -266,6 +312,15 @@ impl SharedBus {
             .requests
             .pop_front()
             .expect("arbiter granted a master with no request");
+        if self.lose_next_grant {
+            // Fault: the grant pulse is glitched away. The address phase
+            // consumed the bus but the transaction never reaches a slave
+            // and never completes; nothing is traced as *granted*.
+            self.lose_next_grant = false;
+            self.stats.incr("bus.fault.lost_grants");
+            self.busy_until = now.get() + self.config.grant_cycles;
+            return;
+        }
         self.stats.incr("bus.grants");
         self.stats
             .record("bus.grant_wait", now.saturating_since(txn.issued_at));
@@ -512,6 +567,60 @@ mod tests {
                 completed_at: Cycle(0),
             },
         );
+    }
+
+    #[test]
+    fn lost_grant_consumes_request_without_delivery() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        b.inject_lose_grant();
+        let id = b.issue(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        for c in 0..32 {
+            b.tick(Cycle(c));
+        }
+        assert!(b.slave_peek(s).is_none(), "slave never sees the txn");
+        assert!(b.poll_response(m).is_none(), "master never hears back");
+        assert!(!b.is_inflight(id));
+        assert_eq!(b.trace().len(), 0, "a lost grant is not a granted txn");
+        assert_eq!(b.stats().counter("bus.fault.lost_grants"), 1);
+    }
+
+    #[test]
+    fn corrupt_response_flips_data_on_return_path() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        b.issue(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        let t = b.slave_pop(s).unwrap();
+        b.slave_complete(
+            s,
+            Response { txn: t.id, data: 0x1234_5678, result: Ok(()), completed_at: Cycle(1) },
+        );
+        b.inject_corrupt_response(0xff);
+        b.tick(Cycle(2));
+        let r = b.poll_response(m).unwrap();
+        assert_eq!(r.data, 0x1234_5678 ^ 0xff);
+        assert_eq!(b.stats().counter("bus.fault.corrupted_responses"), 1);
+    }
+
+    #[test]
+    fn cancel_inflight_purges_slave_inbox() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        let id = b.issue(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        assert!(b.is_inflight(id));
+        assert_eq!(b.cancel_inflight(id), Some(m));
+        assert!(b.slave_peek(s).is_none(), "queued txn removed from inbox");
+        assert!(!b.is_inflight(id));
+        assert_eq!(b.cancel_inflight(id), None, "second cancel is a no-op");
+        assert_eq!(b.stats().counter("bus.cancelled"), 1);
     }
 
     #[test]

@@ -3,29 +3,21 @@
 use core::fmt;
 
 use secbus_sim::Cycle;
-use serde::{Deserialize, Serialize};
-
 /// Identifies a bus master (a processor, DMA engine or dedicated IP).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MasterId(pub u8);
 
 /// Identifies a bus slave (an internal memory, the external-memory bridge,
 /// or the slave port of a dedicated IP).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SlaveId(pub u8);
 
 /// A unique, monotonically increasing transaction identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxnId(pub u64);
 
 /// Read or write — the paper's RWA (Read/Write Access) rules gate on this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Data flows slave → master.
     Read,
@@ -44,7 +36,7 @@ impl fmt::Display for Op {
 
 /// Access width — the paper's ADF (Allowed Data Format) parameter admits
 /// data lengths "8 up to 32 bits" per policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Width {
     /// 8-bit access.
     Byte,
@@ -97,7 +89,7 @@ impl fmt::Display for Width {
 /// bus-occupancy of block transfers (DMA, cache-line-like fills) without
 /// dragging full payload vectors through the interconnect hot path — the
 /// memory models apply burst payloads directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Unique id, assigned by the bus when the master issues the request.
     pub id: TxnId,
@@ -153,7 +145,7 @@ impl fmt::Display for Transaction {
 }
 
 /// Why a transaction failed at the bus or slave level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusError {
     /// No slave is mapped at the requested address.
     Decode,
@@ -166,6 +158,9 @@ pub enum BusError {
     /// Integrity verification failed on an external-memory read: the value
     /// must not be forwarded to the requesting IP.
     IntegrityViolation,
+    /// No completion arrived within the watchdog window; the transaction
+    /// was cancelled and this error response synthesized in its place.
+    Timeout,
 }
 
 impl fmt::Display for BusError {
@@ -175,12 +170,13 @@ impl fmt::Display for BusError {
             BusError::Slave => "slave error",
             BusError::Discarded => "discarded by firewall",
             BusError::IntegrityViolation => "integrity violation",
+            BusError::Timeout => "watchdog timeout",
         })
     }
 }
 
 /// The completion of a transaction, delivered back to the issuing master.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Response {
     /// The transaction this responds to.
     pub txn: TxnId,

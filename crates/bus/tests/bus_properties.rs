@@ -1,14 +1,14 @@
-//! Property tests on the shared bus: every issued transaction completes
+//! Randomized tests on the shared bus: every issued transaction completes
 //! exactly once, per-master ordering holds, and the trace is consistent
 //! with the grant counter — under arbitrary traffic patterns and
-//! arbitration policies.
+//! arbitration policies. Traffic is generated from a seeded [`SimRng`], so
+//! every case is exactly reproducible.
 
-use proptest::prelude::*;
 use secbus_bus::{
     AddrRange, Arbiter, BusConfig, FixedPriority, MasterId, Op, Response, RoundRobin, SharedBus,
     Tdma, Width,
 };
-use secbus_sim::Cycle;
+use secbus_sim::{Cycle, SimRng};
 
 #[derive(Debug, Clone)]
 struct Issue {
@@ -16,22 +16,18 @@ struct Issue {
     addr_sel: u8,
     write: bool,
     burst: u8,
-    at_gap: u8,
 }
 
-fn issue_strategy() -> impl Strategy<Value = Vec<Issue>> {
-    proptest::collection::vec(
-        (0u8..3, any::<u8>(), any::<bool>(), 1u8..4, 0u8..4).prop_map(
-            |(master, addr_sel, write, burst, at_gap)| Issue {
-                master,
-                addr_sel,
-                write,
-                burst,
-                at_gap,
-            },
-        ),
-        1..60,
-    )
+fn random_issues(rng: &mut SimRng) -> Vec<Issue> {
+    let count = 1 + rng.below(59) as usize;
+    (0..count)
+        .map(|_| Issue {
+            master: rng.below(3) as u8,
+            addr_sel: rng.next_u32() as u8,
+            write: rng.chance(0.5),
+            burst: 1 + rng.below(3) as u8,
+        })
+        .collect()
 }
 
 fn arbiter_for(sel: u8) -> Box<dyn Arbiter> {
@@ -42,14 +38,12 @@ fn arbiter_for(sel: u8) -> Box<dyn Arbiter> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_transaction_completes_exactly_once(
-        issues in issue_strategy(),
-        arb_sel in 0u8..3,
-    ) {
+#[test]
+fn every_transaction_completes_exactly_once() {
+    for case in 0u64..64 {
+        let mut rng = SimRng::new(0xb5_0001 + case);
+        let issues = random_issues(&mut rng);
+        let arb_sel = (case % 3) as u8;
         let mut bus = SharedBus::new(BusConfig::default(), arbiter_for(arb_sel));
         let masters: Vec<MasterId> = (0..3).map(|_| bus.add_master()).collect();
         let slave = bus.add_slave();
@@ -63,19 +57,17 @@ proptest! {
 
         let budget = 20_000;
         while cycle < budget && (!pending.is_empty() || !issued.is_empty()) {
-            if let Some(next) = pending.first() {
-                if u64::from(next.at_gap) <= cycle || cycle > 0 {
-                    let i = pending.remove(0);
-                    let m = masters[(i.master % 3) as usize];
-                    let addr = if i.addr_sel < 128 {
-                        u32::from(i.addr_sel % 32) * 4 // mapped
-                    } else {
-                        0x8000_0000 + u32::from(i.addr_sel) // unmapped
-                    };
-                    let op = if i.write { Op::Write } else { Op::Read };
-                    let id = bus.issue(m, op, addr, Width::Word, 0, u16::from(i.burst), Cycle(cycle));
-                    issued.push((m, id));
-                }
+            if !pending.is_empty() {
+                let i = pending.remove(0);
+                let m = masters[(i.master % 3) as usize];
+                let addr = if i.addr_sel < 128 {
+                    u32::from(i.addr_sel % 32) * 4 // mapped
+                } else {
+                    0x8000_0000 + u32::from(i.addr_sel) // unmapped
+                };
+                let op = if i.write { Op::Write } else { Op::Read };
+                let id = bus.issue(m, op, addr, Width::Word, 0, u16::from(i.burst), Cycle(cycle));
+                issued.push((m, id));
             }
             bus.tick(Cycle(cycle));
             while let Some(t) = bus.slave_pop(slave) {
@@ -93,25 +85,24 @@ proptest! {
             cycle += 1;
         }
 
-        prop_assert!(issued.is_empty(), "transactions left in flight: {issued:?}");
+        assert!(issued.is_empty(), "case {case}: transactions left in flight: {issued:?}");
         // No duplicate completions.
         let mut ids: Vec<u64> = responses.iter().map(|(_, r)| r.txn.0).collect();
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), before, "duplicate completion");
+        assert_eq!(ids.len(), before, "case {case}: duplicate completion");
         // Trace length equals the grant counter.
-        prop_assert_eq!(
-            bus.trace().total(),
-            bus.stats().counter("bus.grants")
-        );
+        assert_eq!(bus.trace().total(), bus.stats().counter("bus.grants"), "case {case}");
     }
+}
 
-    #[test]
-    fn per_master_responses_preserve_issue_order(
-        count in 1usize..20,
-        arb_sel in 0u8..3,
-    ) {
+#[test]
+fn per_master_responses_preserve_issue_order() {
+    for case in 0u64..48 {
+        let mut rng = SimRng::new(0xb5_0100 + case);
+        let count = 1 + rng.below(19) as usize;
+        let arb_sel = (case % 3) as u8;
         let mut bus = SharedBus::new(BusConfig::default(), arbiter_for(arb_sel));
         let m = bus.add_master();
         let _m2 = bus.add_master();
@@ -137,6 +128,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(got, ids, "FIFO order per master");
+        assert_eq!(got, ids, "case {case}: FIFO order per master");
     }
 }

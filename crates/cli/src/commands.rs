@@ -112,7 +112,7 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     if has_flag(args, "--audit") || has_flag(args, "--audit-json") {
         let audit = run_audit(&src, cycles, protected, policies)?;
         if has_flag(args, "--audit-json") {
-            out.push_str(&serde_json::to_string_pretty(&audit).expect("serializable"));
+            out.push_str(&audit.to_json().render_pretty());
             out.push('\n');
         } else {
             out.push_str(&audit.render());

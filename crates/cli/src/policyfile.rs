@@ -1,7 +1,6 @@
 //! JSON policy files for the CLI.
 //!
-//! A policy file is a JSON array of Security Policies. The format is the
-//! serde rendering of [`SecurityPolicy`], e.g.:
+//! A policy file is a JSON array of Security Policies, e.g.:
 //!
 //! ```json
 //! [
@@ -15,29 +14,147 @@
 //!
 //! Loading validates the set (region overlaps are rejected) by building a
 //! [`ConfigMemory`] — a malformed policy file fails loudly instead of
-//! silently weakening enforcement.
+//! silently weakening enforcement, and every failure is reported as an
+//! error string, never a panic.
 
-use secbus_core::{ConfigMemory, SecurityPolicy};
+use secbus_bus::AddrRange;
+use secbus_core::{
+    AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy,
+};
+use secbus_sim::Json;
 
 /// Parse and validate a policy file's contents.
 pub fn parse_policies(json: &str) -> Result<ConfigMemory, String> {
-    let policies: Vec<SecurityPolicy> =
-        serde_json::from_str(json).map_err(|e| format!("policy file: {e}"))?;
+    let doc = Json::parse(json).map_err(|e| format!("policy file: {e}"))?;
+    let entries = doc
+        .as_arr()
+        .ok_or("policy file: top level must be a JSON array of policies")?;
+    let mut policies = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        policies.push(
+            policy_from_json(entry).map_err(|e| format!("policy file: entry {i}: {e}"))?,
+        );
+    }
     if policies.is_empty() {
         return Err("policy file: empty policy set (everything would be denied)".into());
     }
     ConfigMemory::with_policies(policies).map_err(|e| format!("policy file: {e}"))
 }
 
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn uint_field(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn policy_from_json(v: &Json) -> Result<SecurityPolicy, String> {
+    let spi = uint_field(v, "spi")?;
+    let spi = u16::try_from(spi).map_err(|_| format!("spi {spi} exceeds 16 bits"))?;
+    let region = field(v, "region")?;
+    let base = uint_field(region, "base")?;
+    let len = uint_field(region, "len")?;
+    let base = u32::try_from(base).map_err(|_| format!("region base {base:#x} exceeds 32 bits"))?;
+    let len = u32::try_from(len).map_err(|_| format!("region len {len:#x} exceeds 32 bits"))?;
+    if len == 0 {
+        return Err("region len must be positive".into());
+    }
+    if u64::from(base) + u64::from(len) > 1 << 32 {
+        return Err(format!("region {base:#x}+{len:#x} wraps the 32-bit address space"));
+    }
+    let rwa = match field(v, "rwa")?.as_str() {
+        Some("ReadOnly") => Rwa::ReadOnly,
+        Some("WriteOnly") => Rwa::WriteOnly,
+        Some("ReadWrite") => Rwa::ReadWrite,
+        other => return Err(format!("rwa must be ReadOnly|WriteOnly|ReadWrite, got {other:?}")),
+    };
+    let adf = uint_field(v, "adf")?;
+    if adf > 7 {
+        return Err(format!("adf bitmask {adf} out of range (0..=7)"));
+    }
+    let adf = AdfSet::from_bits(adf as u8);
+    let cm = match field(v, "cm")?.as_str() {
+        Some("Bypass") => ConfidentialityMode::Bypass,
+        Some("Encrypt") => ConfidentialityMode::Encrypt,
+        other => return Err(format!("cm must be Bypass|Encrypt, got {other:?}")),
+    };
+    let im = match field(v, "im")?.as_str() {
+        Some("Bypass") => IntegrityMode::Bypass,
+        Some("Verify") => IntegrityMode::Verify,
+        other => return Err(format!("im must be Bypass|Verify, got {other:?}")),
+    };
+    let key = match field(v, "key")? {
+        Json::Null => None,
+        Json::Arr(bytes) => {
+            if bytes.len() != 16 {
+                return Err(format!("key must hold 16 bytes, got {}", bytes.len()));
+            }
+            let mut k = [0u8; 16];
+            for (slot, b) in k.iter_mut().zip(bytes.iter()) {
+                let byte = b.as_u64().filter(|&x| x <= 255).ok_or("key bytes must be 0..=255")?;
+                *slot = byte as u8;
+            }
+            Some(k)
+        }
+        _ => return Err("key must be null or an array of 16 bytes".into()),
+    };
+    SecurityPolicy::validated(spi, AddrRange::new(base, len), rwa, adf, cm, im, key)
+        .map_err(|e| e.to_string())
+}
+
+fn policy_to_json(p: &SecurityPolicy) -> Json {
+    Json::Obj(vec![
+        ("spi".into(), Json::uint(u64::from(p.spi.0))),
+        (
+            "region".into(),
+            Json::Obj(vec![
+                ("base".into(), Json::uint(u64::from(p.region.base))),
+                ("len".into(), Json::uint(u64::from(p.region.len))),
+            ]),
+        ),
+        (
+            "rwa".into(),
+            Json::str(match p.rwa {
+                Rwa::ReadOnly => "ReadOnly",
+                Rwa::WriteOnly => "WriteOnly",
+                Rwa::ReadWrite => "ReadWrite",
+            }),
+        ),
+        ("adf".into(), Json::uint(u64::from(p.adf.bits()))),
+        (
+            "cm".into(),
+            Json::str(match p.cm {
+                ConfidentialityMode::Bypass => "Bypass",
+                ConfidentialityMode::Encrypt => "Encrypt",
+            }),
+        ),
+        (
+            "im".into(),
+            Json::str(match p.im {
+                IntegrityMode::Bypass => "Bypass",
+                IntegrityMode::Verify => "Verify",
+            }),
+        ),
+        (
+            "key".into(),
+            match p.key {
+                None => Json::Null,
+                Some(k) => Json::Arr(k.iter().map(|&b| Json::uint(u64::from(b))).collect()),
+            },
+        ),
+    ])
+}
+
 /// Render a policy set back to pretty JSON (the `policy-template` output).
 pub fn render_policies(policies: &[SecurityPolicy]) -> String {
-    serde_json::to_string_pretty(policies).expect("policies are serializable")
+    Json::Arr(policies.iter().map(policy_to_json).collect()).render_pretty()
 }
 
 /// The default template: the `run` sandbox's BRAM + DDR windows.
 pub fn template() -> String {
-    use secbus_bus::AddrRange;
-    use secbus_core::{AdfSet, Rwa};
     render_policies(&[
         SecurityPolicy::internal(
             1,
@@ -86,9 +203,32 @@ mod tests {
     }
 
     #[test]
+    fn bad_field_values_report_not_panic() {
+        let overlong_spi = r#"[{"spi":70000,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
+        assert!(parse_policies(overlong_spi).unwrap_err().contains("16 bits"));
+        let bad_rwa = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"Everything","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
+        assert!(parse_policies(bad_rwa).unwrap_err().contains("rwa"));
+        let empty_region = r#"[{"spi":1,"region":{"base":0,"len":0},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
+        assert!(parse_policies(empty_region).unwrap_err().contains("positive"));
+        let wrapping = r#"[{"spi":1,"region":{"base":4294967295,"len":2},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
+        assert!(parse_policies(wrapping).unwrap_err().contains("wraps"));
+        let short_key = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Encrypt","im":"Bypass","key":[1,2,3]}]"#;
+        assert!(parse_policies(short_key).unwrap_err().contains("16 bytes"));
+        let missing = r#"[{"spi":1}]"#;
+        assert!(parse_policies(missing).unwrap_err().contains("missing field"));
+    }
+
+    #[test]
+    fn inconsistent_crypto_modes_rejected() {
+        let enc_no_key = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Encrypt","im":"Bypass","key":null}]"#;
+        assert!(parse_policies(enc_no_key).unwrap_err().contains("no key"));
+        let verify_no_cipher = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Verify","key":null}]"#;
+        assert!(parse_policies(verify_no_cipher).unwrap_err().contains("integrity"));
+    }
+
+    #[test]
     fn external_policy_with_key_roundtrips() {
-        use secbus_bus::AddrRange;
-        use secbus_core::{AdfSet, ConfidentialityMode, IntegrityMode, Rwa};
+        use secbus_core::{ConfidentialityMode, IntegrityMode};
         let p = SecurityPolicy::external(
             9,
             AddrRange::new(0x8000_0000, 0x1000),

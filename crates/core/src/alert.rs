@@ -12,7 +12,7 @@
 //! adds escalation (blocking a repeatedly-misbehaving IP) and an audit
 //! trail.
 
-use secbus_bus::Transaction;
+use secbus_bus::{Transaction, TxnId};
 use secbus_sim::{Cycle, EventLog, Stats};
 
 use crate::checker::Violation;
@@ -51,6 +51,16 @@ pub enum Reaction {
     },
 }
 
+/// A watched transaction whose completion never arrived in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogExpiry {
+    /// The transaction that timed out.
+    pub txn: Transaction,
+    /// The firewall guarding the issuing IP, if known (the SoC raises the
+    /// timeout alert through it).
+    pub firewall: Option<FirewallId>,
+}
+
 /// Aggregates alerts from every firewall and applies an escalation policy.
 #[derive(Debug)]
 pub struct SecurityMonitor {
@@ -64,6 +74,11 @@ pub struct SecurityMonitor {
     /// per-firewall violation count resets on escalation so the IP gets a
     /// fresh budget after release.
     quarantine_cycles: Option<u64>,
+    /// Outstanding-transaction timeout in cycles (`None` = no watchdog).
+    watchdog_timeout: Option<u64>,
+    /// Watched transactions: (deadline, txn, issuing firewall), insertion
+    /// order preserved so expiries drain deterministically.
+    watched: Vec<(Cycle, Transaction, Option<FirewallId>)>,
 }
 
 impl SecurityMonitor {
@@ -76,6 +91,8 @@ impl SecurityMonitor {
             per_firewall: Vec::new(),
             block_threshold,
             quarantine_cycles: None,
+            watchdog_timeout: None,
+            watched: Vec::new(),
         }
     }
 
@@ -85,13 +102,80 @@ impl SecurityMonitor {
         self
     }
 
+    /// Arm a watchdog on outstanding transactions: anything watched that
+    /// is not resolved within `timeout` cycles expires — the SoC cancels
+    /// it and synthesizes an error response instead of hanging forever.
+    ///
+    /// # Panics
+    /// Panics on a zero timeout.
+    pub fn with_watchdog(mut self, timeout: u64) -> Self {
+        assert!(timeout > 0, "watchdog timeout must be positive");
+        self.watchdog_timeout = Some(timeout);
+        self
+    }
+
+    /// The armed watchdog timeout, if any.
+    pub fn watchdog_timeout(&self) -> Option<u64> {
+        self.watchdog_timeout
+    }
+
+    /// Start watching a transaction issued at `now`. No-op without an
+    /// armed watchdog.
+    pub fn watch(&mut self, txn: &Transaction, firewall: Option<FirewallId>, now: Cycle) {
+        if let Some(timeout) = self.watchdog_timeout {
+            self.watched.push((now + timeout, *txn, firewall));
+        }
+    }
+
+    /// A watched transaction completed (successfully or not); stop its
+    /// timer. Unknown ids are ignored (e.g. discards that were never
+    /// watched).
+    pub fn resolve(&mut self, txn: TxnId) {
+        if let Some(idx) = self.watched.iter().position(|(_, t, _)| t.id == txn) {
+            self.watched.remove(idx);
+        }
+    }
+
+    /// Expire every watched transaction whose deadline has passed, in
+    /// watch order. The caller turns each expiry into a cancellation plus
+    /// a [`Violation::WatchdogTimeout`] alert.
+    pub fn expire(&mut self, now: Cycle) -> Vec<WatchdogExpiry> {
+        let mut expired = Vec::new();
+        self.watched.retain(|&(deadline, txn, firewall)| {
+            if deadline <= now {
+                expired.push(WatchdogExpiry { txn, firewall });
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.add("monitor.watchdog_timeouts", expired.len() as u64);
+        expired
+    }
+
+    /// Number of transactions currently on the watchdog's list.
+    pub fn watched_count(&self) -> usize {
+        self.watched.len()
+    }
+
     /// Feed one alert; returns the reaction the system should apply.
+    ///
+    /// Environment faults ([`Violation::WatchdogTimeout`],
+    /// [`Violation::ConfigCorruption`]) are logged and counted but do not
+    /// burn the IP's violation budget — a flaky fabric must not get an
+    /// innocent IP blocked.
     pub fn observe(&mut self, alert: Alert) -> Reaction {
         let idx = alert.firewall.0 as usize;
         if idx >= self.per_firewall.len() {
             self.per_firewall.resize(idx + 1, 0);
         }
-        self.per_firewall[idx] += 1;
+        let offense = !matches!(
+            alert.violation,
+            Violation::WatchdogTimeout | Violation::ConfigCorruption
+        );
+        if offense {
+            self.per_firewall[idx] += 1;
+        }
         self.stats.incr("monitor.alerts");
         self.stats
             .incr(&format!("monitor.violation.{}", alert.violation.mnemonic()));
@@ -99,7 +183,7 @@ impl SecurityMonitor {
         let fw = alert.firewall;
         self.log.push(at, alert);
 
-        if self.block_threshold > 0 && self.per_firewall[idx] >= self.block_threshold {
+        if offense && self.block_threshold > 0 && self.per_firewall[idx] >= self.block_threshold {
             self.stats.incr("monitor.blocks");
             match self.quarantine_cycles {
                 Some(q) => {
@@ -216,5 +300,102 @@ mod tests {
             assert_eq!(m.observe(alert(0, Violation::NoPolicy, i)), Reaction::None);
         }
         assert_eq!(m.stats().counter("monitor.blocks"), 0);
+    }
+
+    #[test]
+    fn watchdog_expires_only_overdue_transactions() {
+        let mut m = SecurityMonitor::new(0).with_watchdog(50);
+        assert_eq!(m.watchdog_timeout(), Some(50));
+        let a = alert(0, Violation::NoPolicy, 0).txn;
+        let mut b = a;
+        b.id = TxnId(1);
+        m.watch(&a, Some(FirewallId(0)), Cycle(10)); // deadline 60
+        m.watch(&b, None, Cycle(30)); // deadline 80
+        assert_eq!(m.watched_count(), 2);
+        assert!(m.expire(Cycle(59)).is_empty());
+        let expired = m.expire(Cycle(60));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].txn.id, a.id);
+        assert_eq!(expired[0].firewall, Some(FirewallId(0)));
+        assert_eq!(m.watched_count(), 1);
+        let expired = m.expire(Cycle(1000));
+        assert_eq!(expired[0].txn.id, b.id);
+        assert_eq!(m.stats().counter("monitor.watchdog_timeouts"), 2);
+    }
+
+    #[test]
+    fn resolved_transactions_never_expire() {
+        let mut m = SecurityMonitor::new(0).with_watchdog(10);
+        let t = alert(0, Violation::NoPolicy, 0).txn;
+        m.watch(&t, None, Cycle(0));
+        m.resolve(t.id);
+        m.resolve(TxnId(999)); // unknown ids are ignored
+        assert_eq!(m.watched_count(), 0);
+        assert!(m.expire(Cycle(100)).is_empty());
+        assert_eq!(m.stats().counter("monitor.watchdog_timeouts"), 0);
+    }
+
+    #[test]
+    fn watch_without_watchdog_is_a_noop() {
+        let mut m = SecurityMonitor::new(0);
+        let t = alert(0, Violation::NoPolicy, 0).txn;
+        m.watch(&t, None, Cycle(0));
+        assert_eq!(m.watched_count(), 0);
+    }
+
+    #[test]
+    fn environment_faults_do_not_burn_the_violation_budget() {
+        let mut m = SecurityMonitor::new(2).with_quarantine(100);
+        assert_eq!(m.observe(alert(3, Violation::WatchdogTimeout, 1)), Reaction::None);
+        assert_eq!(m.observe(alert(3, Violation::ConfigCorruption, 2)), Reaction::None);
+        assert_eq!(m.observe(alert(3, Violation::WatchdogTimeout, 3)), Reaction::None);
+        assert_eq!(m.alerts_from(FirewallId(3)), 0, "logged but not held against the IP");
+        assert_eq!(m.alert_count(), 3, "still in the audit trail");
+        // Real offenses still escalate at the configured threshold.
+        assert_eq!(m.observe(alert(3, Violation::NoPolicy, 4)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(3, Violation::NoPolicy, 5)),
+            Reaction::Quarantine { firewall: FirewallId(3), until: Cycle(105) }
+        );
+    }
+
+    #[test]
+    fn quarantine_lifts_on_schedule_and_reblocks_on_reoffense() {
+        // Randomized (seed-pinned) sweep: whatever the threshold, the
+        // quarantine length, and the interleaving of offenses, escalation
+        // always fires at exactly the threshold-th offense, the release
+        // cycle is exactly `at + q`, and a re-offending IP re-escalates
+        // after another full budget.
+        let mut rng = secbus_sim::SimRng::new(0x5ec_b05);
+        for _ in 0..200 {
+            let threshold = 1 + rng.below(6);
+            let q = 1 + rng.below(2000);
+            let fw = rng.below(4) as u8;
+            let mut m = SecurityMonitor::new(threshold).with_quarantine(q);
+            let mut at = rng.below(100);
+            for round in 0..2 {
+                for n in 1..=threshold {
+                    let r = m.observe(alert(fw, Violation::UnauthorizedWrite, at));
+                    if n < threshold {
+                        assert_eq!(r, Reaction::None, "round {round}: offense {n}/{threshold}");
+                    } else {
+                        assert_eq!(
+                            r,
+                            Reaction::Quarantine {
+                                firewall: FirewallId(fw),
+                                until: Cycle(at + q)
+                            },
+                            "round {round}: escalation at the {threshold}-th offense"
+                        );
+                    }
+                    at += 1 + rng.below(50);
+                }
+                // Budget reset: immediately after release the IP starts
+                // from zero again (verified by the second round).
+                assert_eq!(m.alerts_from(FirewallId(fw)), 0);
+                at += q; // past the release point
+            }
+            assert_eq!(m.stats().counter("monitor.blocks"), 2);
+        }
     }
 }

@@ -14,12 +14,10 @@
 use core::fmt;
 
 use secbus_bus::Transaction;
-use serde::{Deserialize, Serialize};
-
 use crate::policy::SecurityPolicy;
 
 /// A security-rule violation, as reported on the alert signals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Violation {
     /// No policy covers the requested address: default-deny.
     NoPolicy,
@@ -47,6 +45,13 @@ pub enum Violation {
     /// the threat model's "injecting dummy data to create overwhelming
     /// traffic" DoS with otherwise-authorized requests).
     RateLimited,
+    /// A watched transaction produced no completion within the monitor's
+    /// watchdog window — a hung slave, a lost grant, or a dropped
+    /// handshake; the transaction was cancelled instead of hanging the IP.
+    WatchdogTimeout,
+    /// A Configuration-Memory policy entry failed its parity check (storage
+    /// upset); the entry was re-fetched from the golden image.
+    ConfigCorruption,
 }
 
 impl Violation {
@@ -62,6 +67,8 @@ impl Violation {
             Violation::IntegrityMismatch => "integrity",
             Violation::IpBlocked => "ip_blocked",
             Violation::RateLimited => "rate_limited",
+            Violation::WatchdogTimeout => "watchdog_timeout",
+            Violation::ConfigCorruption => "config_corruption",
         }
     }
 }

@@ -13,8 +13,6 @@
 use core::fmt;
 
 
-use serde::{Deserialize, Serialize};
-
 use crate::policy::{SecurityPolicy, Spi};
 
 /// Error inserting a policy whose region overlaps an existing one.
@@ -39,10 +37,22 @@ impl fmt::Display for PolicyOverlap {
 impl std::error::Error for PolicyOverlap {}
 
 /// An on-chip policy table for one firewall.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Each entry carries a parity byte over its storage image, and every
+/// legitimate table mutation also refreshes a *golden image* of the table.
+/// A storage upset ([`ConfigMemory::corrupt_entry_bit`]) desynchronises an
+/// active entry from its parity; [`ConfigMemory::scrub`] detects that and
+/// re-fetches the entry from the golden image — the resilience answer to
+/// config-memory SEUs, keeping enforcement fail-secure rather than
+/// silently permissive.
+#[derive(Debug, Clone, Default)]
 pub struct ConfigMemory {
     /// Policies sorted by region base.
     policies: Vec<SecurityPolicy>,
+    /// Per-entry parity byte, aligned with `policies`.
+    parity: Vec<u8>,
+    /// Known-good copy refreshed on every legitimate mutation.
+    golden: Vec<SecurityPolicy>,
     /// Bumped on every table swap (reconfiguration).
     generation: u64,
 }
@@ -74,7 +84,14 @@ impl ConfigMemory {
         }
         self.policies.push(policy);
         self.policies.sort_by_key(|p| p.region.base);
+        self.commit();
         Ok(())
+    }
+
+    /// Refresh parity and the golden image after a legitimate mutation.
+    fn commit(&mut self) {
+        self.parity = self.policies.iter().map(SecurityPolicy::storage_parity).collect();
+        self.golden = self.policies.clone();
     }
 
     /// The policy ruling `addr`, if any.
@@ -124,13 +141,52 @@ impl ConfigMemory {
         let staged = Self::with_policies(policies)?;
         self.policies = staged.policies;
         self.generation += 1;
+        self.commit();
         Ok(self.generation)
     }
 
     /// Remove the policy covering `addr`, returning it if there was one.
     pub fn remove_at(&mut self, addr: u32) -> Option<SecurityPolicy> {
         let idx = self.policies.iter().position(|p| p.region.contains(addr))?;
-        Some(self.policies.remove(idx))
+        let removed = self.policies.remove(idx);
+        self.commit();
+        Some(removed)
+    }
+
+    /// Fault injection: flip one storage bit of one active entry, leaving
+    /// parity and the golden image untouched (that is the point — the
+    /// upset is detectable). Selectors are taken modulo the table size and
+    /// [`SecurityPolicy::STORAGE_BITS`]. Returns `false` on an empty table.
+    pub fn corrupt_entry_bit(&mut self, entry: u8, bit: u8) -> bool {
+        if self.policies.is_empty() {
+            return false;
+        }
+        let idx = usize::from(entry) % self.policies.len();
+        self.policies[idx].flip_storage_bit(bit);
+        true
+    }
+
+    /// Whether entry `idx`'s parity still matches its stored image.
+    pub fn entry_parity_ok(&self, idx: usize) -> bool {
+        self.policies
+            .get(idx)
+            .zip(self.parity.get(idx))
+            .is_some_and(|(p, &parity)| p.storage_parity() == parity)
+    }
+
+    /// Parity-scrub the whole table: every entry whose parity mismatches
+    /// is re-fetched from the golden image. Returns the number of entries
+    /// repaired. Models the background scrubbing a hardened Configuration
+    /// Memory performs; the Security Builder runs it ahead of each lookup.
+    pub fn scrub(&mut self) -> usize {
+        let mut repaired = 0;
+        for idx in 0..self.policies.len() {
+            if !self.entry_parity_ok(idx) {
+                self.policies[idx] = self.golden[idx].clone();
+                repaired += 1;
+            }
+        }
+        repaired
     }
 }
 
@@ -216,6 +272,47 @@ mod tests {
         assert_eq!(cm.remove_at(4).unwrap().spi, Spi(1));
         assert!(cm.remove_at(4).is_none());
         assert!(cm.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected_and_scrubbed() {
+        let mut cm = ConfigMemory::with_policies(vec![
+            simple_policy(1, 0x0, 0x100),
+            simple_policy(2, 0x1000, 0x100),
+        ])
+        .unwrap();
+        let pristine = cm.policies().to_vec();
+        assert!(cm.corrupt_entry_bit(1, 3)); // flip bit 3 of entry 1's base
+        assert!(cm.entry_parity_ok(0));
+        assert!(!cm.entry_parity_ok(1));
+        assert_ne!(cm.policies(), &pristine[..]);
+        assert_eq!(cm.scrub(), 1, "one entry repaired from the golden image");
+        assert!(cm.entry_parity_ok(1));
+        assert_eq!(cm.policies(), &pristine[..]);
+        assert_eq!(cm.scrub(), 0, "clean table scrubs to nothing");
+    }
+
+    #[test]
+    fn corrupting_an_empty_table_is_a_noop() {
+        let mut cm = ConfigMemory::new();
+        assert!(!cm.corrupt_entry_bit(0, 0));
+        assert_eq!(cm.scrub(), 0);
+    }
+
+    #[test]
+    fn legitimate_mutations_refresh_the_golden_image() {
+        let mut cm = ConfigMemory::with_policies(vec![simple_policy(1, 0, 16)]).unwrap();
+        cm.swap(vec![simple_policy(2, 0x100, 16)]).unwrap();
+        cm.corrupt_entry_bit(0, 40);
+        cm.scrub();
+        assert_eq!(
+            cm.lookup(0x100).unwrap().spi,
+            Spi(2),
+            "scrub restores the post-swap table, not the pre-swap one"
+        );
+        cm.remove_at(0x100);
+        assert!(cm.is_empty());
+        assert_eq!(cm.scrub(), 0);
     }
 
     #[test]

@@ -19,16 +19,12 @@
 
 use secbus_bus::Transaction;
 use secbus_sim::{Cycle, Stats};
-use serde::{Deserialize, Serialize};
-
 use crate::alert::Alert;
 use crate::checker::{check_all, CheckOutcome, Violation};
 use crate::config::ConfigMemory;
 
 /// Identifies a firewall instance (the `firewall_id` signal of Figure 1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FirewallId(pub u8);
 
 /// Timing of the Security Builder pipeline.
@@ -37,7 +33,7 @@ pub struct FirewallId(pub u8);
 /// reproduces that constant; [`SbTiming::scaled`] models the paper's
 /// observation that "the cost of firewalls is also related to the number
 /// of security rules that must be monitored" for the S-1 ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SbTiming {
     /// Cycles to fetch the SP from the Configuration Memory.
     pub lookup_cycles: u64,
@@ -75,7 +71,7 @@ impl Default for SbTiming {
 /// with [`Violation::RateLimited`] — a firewall-level answer to the
 /// threat model's traffic-flooding DoS that RWA/ADF checks cannot catch
 /// when the flood uses authorized addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateLimit {
     /// Window length in cycles.
     pub window_cycles: u64,
@@ -172,6 +168,15 @@ impl LocalFirewall {
     /// reaching the IP").
     pub fn check(&mut self, txn: &Transaction, now: Cycle) -> Decision {
         self.stats.incr("fw.checked");
+        // Parity-scrub the Configuration Memory ahead of the lookup: a
+        // storage upset must never be *enforced*. Repairs re-fetch from
+        // the golden image and raise an informational alert (the monitor
+        // does not hold environment faults against the IP).
+        let repaired = self.config.scrub();
+        if repaired > 0 {
+            self.stats.add("fw.parity_repairs", repaired as u64);
+            self.raise_alert(txn, Violation::ConfigCorruption, now);
+        }
         if self.blocked {
             return self.deny(txn, Violation::IpBlocked, 1, now);
         }
@@ -218,6 +223,19 @@ impl LocalFirewall {
     /// it, raises the alert, and reports the discard decision.
     pub fn note_violation(&mut self, txn: &Transaction, v: Violation, now: Cycle) -> Decision {
         self.deny(txn, v, 0, now)
+    }
+
+    /// Raise an alert without discarding anything: informational events
+    /// (parity repairs, watchdog cancellations, degraded serves) that must
+    /// reach the monitor's audit trail but are not themselves discards.
+    pub fn raise_alert(&mut self, txn: &Transaction, v: Violation, now: Cycle) {
+        self.stats.incr(&format!("fw.violation.{}", v.mnemonic()));
+        self.pending_alerts.push(Alert {
+            firewall: self.id,
+            violation: v,
+            txn: *txn,
+            at: now,
+        });
     }
 
     /// Administratively block the IP behind this firewall (containment
@@ -401,6 +419,27 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         RateLimit::new(0, 1);
+    }
+
+    #[test]
+    fn corrupted_policy_is_repaired_before_enforcement() {
+        let mut f = fw();
+        // Upset the RWA code of the read-only 0x2000 policy (entry 1):
+        // without the scrub, a write there might be wrongly admitted.
+        assert!(f.config_mut().corrupt_entry_bit(1, 84));
+        let d = f.check(&txn(Op::Write, 0x2000, Width::Word), Cycle(5));
+        assert_eq!(
+            d.violation,
+            Some(Violation::UnauthorizedWrite),
+            "enforcement sees the repaired entry, not the corrupted one"
+        );
+        assert_eq!(f.stats().counter("fw.parity_repairs"), 1);
+        let alerts = f.drain_alerts();
+        assert_eq!(alerts.len(), 2, "config-corruption alert + the denial");
+        assert_eq!(alerts[0].violation, Violation::ConfigCorruption);
+        // The repair sticks: the next check scrubs nothing.
+        f.check(&txn(Op::Read, 0x2000, Width::Word), Cycle(6));
+        assert_eq!(f.stats().counter("fw.parity_repairs"), 1);
     }
 
     #[test]

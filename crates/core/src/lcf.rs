@@ -118,6 +118,21 @@ impl Default for CryptoTiming {
     }
 }
 
+/// Fail-secure degradation policy when the Integrity Core itself fails
+/// (transient mis-computation, glitched verdict) — per region, because the
+/// right trade-off is data-dependent: key material must never leave the
+/// chip on a doubtful verdict, while a frame buffer may prefer liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IcFailureMode {
+    /// Refuse the access (the default): a failed or doubtful verification
+    /// blocks the data exactly like a genuine integrity violation.
+    #[default]
+    BlockReads,
+    /// Serve the data anyway but raise the [`Violation::IntegrityMismatch`]
+    /// alert — degraded operation for availability-critical regions.
+    ServeWithAlert,
+}
+
 /// Explicit region configuration (derived from external policies).
 #[derive(Debug, Clone)]
 pub struct LcfRegionConfig {
@@ -129,6 +144,8 @@ pub struct LcfRegionConfig {
     pub protection: Protection,
     /// AES key when ciphered.
     pub key: Option<[u8; 16]>,
+    /// What to do when integrity verification cannot be trusted.
+    pub ic_failure: IcFailureMode,
 }
 
 struct Region {
@@ -138,6 +155,7 @@ struct Region {
     cipher: Option<MemoryCipher>,
     tree: Option<MerkleTree>,
     timestamps: TimestampTable,
+    ic_failure: IcFailureMode,
 }
 
 impl Region {
@@ -189,6 +207,10 @@ pub struct LocalCipheringFirewall {
     regions: Vec<Region>,
     sealed: bool,
     stats: Stats,
+    /// Fault injection: the next IC verification returns the wrong verdict.
+    ic_glitch: bool,
+    /// Fault injection: the next CC pass produces garbled output.
+    cc_glitch: bool,
 }
 
 impl LocalCipheringFirewall {
@@ -222,6 +244,7 @@ impl LocalCipheringFirewall {
                     cipher: p.key.as_ref().map(MemoryCipher::new),
                     tree: None, // built at seal time
                     timestamps: TimestampTable::new(blocks),
+                    ic_failure: IcFailureMode::default(),
                 }
             })
             .collect();
@@ -232,7 +255,46 @@ impl LocalCipheringFirewall {
             regions,
             sealed: false,
             stats: Stats::new(),
+            ic_glitch: false,
+            cc_glitch: false,
         }
+    }
+
+    /// Fault injection: the next hash-tree verification flips its verdict
+    /// (a clean block looks tampered; a tampered one looks clean).
+    pub fn inject_ic_glitch(&mut self) {
+        self.ic_glitch = true;
+    }
+
+    /// Fault injection: the next cipher pass garbles its output.
+    pub fn inject_cc_glitch(&mut self) {
+        self.cc_glitch = true;
+    }
+
+    /// Set the IC-failure degradation mode of the region containing
+    /// `addr`. Returns `false` if no region covers it.
+    pub fn set_ic_failure_mode(&mut self, addr: u32, mode: IcFailureMode) -> bool {
+        match self.regions.iter_mut().find(|r| r.contains(addr)) {
+            Some(r) => {
+                r.ic_failure = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The current region layout as passive configs (reports, recovery).
+    pub fn region_configs(&self) -> Vec<LcfRegionConfig> {
+        self.regions
+            .iter()
+            .map(|r| LcfRegionConfig {
+                base: r.base,
+                len: r.len,
+                protection: r.protection,
+                key: None, // keys never leave the sealed state
+                ic_failure: r.ic_failure,
+            })
+            .collect()
     }
 
     /// Override the embedded Security Builder timing.
@@ -330,11 +392,29 @@ impl LocalCipheringFirewall {
             let tree = region.tree.as_ref().expect("integrity region has a tree");
             latency += self.timing.ic_verify_cycles(tree.height());
             let expected = leaf_digest(block_idx as u64, ts, &block);
-            if !tree.verify_leaf(block_idx, &expected) {
+            let mut verified = tree.verify_leaf(block_idx, &expected);
+            if self.ic_glitch {
+                // Transient IC mis-computation: the verdict is inverted
+                // for this one verification.
+                self.ic_glitch = false;
+                self.stats.incr("lcf.fault.ic_glitches");
+                verified = !verified;
+            }
+            if !verified {
                 self.stats.incr("lcf.integrity_failures");
-                let d = self.fw.note_violation(txn, Violation::IntegrityMismatch, now);
-                debug_assert!(!d.allowed);
-                return Err((Violation::IntegrityMismatch, latency));
+                match region.ic_failure {
+                    IcFailureMode::BlockReads => {
+                        let d = self.fw.note_violation(txn, Violation::IntegrityMismatch, now);
+                        debug_assert!(!d.allowed);
+                        return Err((Violation::IntegrityMismatch, latency));
+                    }
+                    IcFailureMode::ServeWithAlert => {
+                        // Degraded operation: keep the region live, but the
+                        // monitor hears about every doubtful serve.
+                        self.stats.incr("lcf.degraded_serves");
+                        self.fw.raise_alert(txn, Violation::IntegrityMismatch, now);
+                    }
+                }
             }
         }
 
@@ -343,6 +423,14 @@ impl LocalCipheringFirewall {
         let cipher = region.cipher.as_ref().expect("ciphered region has a key");
         let mut plain = block;
         cipher.apply(u64::from(block_bus_addr), ts, &mut plain);
+        if self.cc_glitch {
+            // Transient CC mis-computation: the decrypted block is garbled.
+            self.cc_glitch = false;
+            self.stats.incr("lcf.fault.cc_glitches");
+            for b in &mut plain {
+                *b ^= 0xA5;
+            }
+        }
 
         let offset_in_block = (txn.addr - block_bus_addr) as usize;
         match txn.op {
@@ -451,6 +539,51 @@ impl LocalCipheringFirewall {
         region.cipher = Some(new_cipher);
         self.stats.incr("lcf.rekeys");
         self.stats.add("lcf.rekey_cycles", cycles);
+        Ok(cycles)
+    }
+
+    /// Rebuild the integrity tree of the region containing `region_addr`
+    /// from the ciphertext currently in memory (quarantine recovery: after
+    /// a burst of faults the tree state is re-baselined rather than left
+    /// permanently poisoned). Returns the IC cycles the rebuild costs;
+    /// cipher-only regions rebuild nothing and cost 0.
+    ///
+    /// Note the trust consequence: whatever is in external memory at
+    /// rebuild time becomes the new baseline. Tampering *after* the
+    /// rebuild is detected as usual, but the rebuild itself cannot tell a
+    /// fault-garbled block from a genuine one — which is why the SoC only
+    /// triggers it as part of an explicit quarantine-recovery policy.
+    pub fn rebuild_region(
+        &mut self,
+        ddr: &mut ExternalDdr,
+        region_addr: u32,
+    ) -> Result<u64, RekeyError> {
+        debug_assert!(self.sealed, "rebuild_region() before seal()");
+        let ddr_base = self.ddr_base;
+        let timing = self.timing;
+        let region_idx = self.region_of(region_addr).ok_or(RekeyError::NoRegion)?;
+        let region = &mut self.regions[region_idx];
+        if region.protection == Protection::None {
+            return Err(RekeyError::NotCiphered);
+        }
+        if region.protection != Protection::CipherIntegrity {
+            return Ok(0);
+        }
+        let dev_off = region.base - ddr_base;
+        let blocks = (region.len / PROTECTION_BLOCK) as usize;
+        let leaves: Vec<_> = (0..blocks)
+            .map(|i| {
+                let block: [u8; 16] = ddr
+                    .snoop(dev_off + i as u32 * PROTECTION_BLOCK, PROTECTION_BLOCK)
+                    .try_into()
+                    .expect("16-byte block");
+                leaf_digest(i as u64, region.timestamps.get(i), &block)
+            })
+            .collect();
+        region.tree = Some(MerkleTree::build(&leaves));
+        let cycles = timing.ic_stream_cycles(u64::from(region.len) * 8);
+        self.stats.incr("lcf.tree_rebuilds");
+        self.stats.add("lcf.rebuild_cycles", cycles);
         Ok(cycles)
     }
 
@@ -832,5 +965,98 @@ mod tests {
     fn double_seal_panics() {
         let (mut lcf, mut ddr) = make_lcf();
         lcf.seal(&mut ddr);
+    }
+
+    #[test]
+    fn ic_glitch_fails_a_clean_read_once() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let t = txn(Op::Read, DDR_BASE + 4, Width::Word, 0);
+        lcf.inject_ic_glitch();
+        let err = lcf.handle(&mut ddr, &t, Cycle(0)).unwrap_err();
+        assert_eq!(err.0, Violation::IntegrityMismatch, "glitched verdict blocks the read");
+        assert_eq!(lcf.stats().counter("lcf.fault.ic_glitches"), 1);
+        // One-shot: the next verification is honest again.
+        assert!(lcf.handle(&mut ddr, &t, Cycle(1)).is_ok());
+    }
+
+    #[test]
+    fn ic_glitch_can_mask_real_tampering() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let mut b = ddr.snoop(0x40, 16).to_vec();
+        b[0] ^= 1;
+        ddr.tamper(0x40, &b);
+        let t = txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0);
+        lcf.inject_ic_glitch();
+        // False negative: the inverted verdict lets the tampered block by
+        // (served garbled, since the ciphertext no longer matches).
+        assert!(lcf.handle(&mut ddr, &t, Cycle(0)).is_ok());
+        // Without the glitch the tampering is caught as usual.
+        assert_eq!(lcf.handle(&mut ddr, &t, Cycle(1)).unwrap_err().0, Violation::IntegrityMismatch);
+    }
+
+    #[test]
+    fn serve_with_alert_keeps_the_region_live() {
+        let (mut lcf, mut ddr) = make_lcf();
+        assert!(lcf.set_ic_failure_mode(DDR_BASE, IcFailureMode::ServeWithAlert));
+        assert!(!lcf.set_ic_failure_mode(DDR_BASE + 0x900, IcFailureMode::ServeWithAlert));
+        lcf.inject_ic_glitch();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 4, Width::Byte, 0), Cycle(0))
+            .expect("degraded mode serves the data");
+        assert_eq!(r.data, 4, "clean block decrypts correctly despite the doubtful verdict");
+        assert_eq!(lcf.stats().counter("lcf.degraded_serves"), 1);
+        let alerts = lcf.drain_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].violation, Violation::IntegrityMismatch);
+        assert_eq!(
+            lcf.region_configs()[0].ic_failure,
+            IcFailureMode::ServeWithAlert,
+            "mode visible in the region configs"
+        );
+    }
+
+    #[test]
+    fn cc_glitch_garbles_one_read() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let t = txn(Op::Read, DDR_BASE + 4, Width::Byte, 0);
+        lcf.inject_cc_glitch();
+        let r = lcf.handle(&mut ddr, &t, Cycle(0)).unwrap();
+        assert_eq!(r.data, 4 ^ 0xA5, "garbled by the glitched cipher pass");
+        assert_eq!(lcf.stats().counter("lcf.fault.cc_glitches"), 1);
+        let r = lcf.handle(&mut ddr, &t, Cycle(1)).unwrap();
+        assert_eq!(r.data, 4, "one-shot: next pass is clean");
+    }
+
+    #[test]
+    fn rebuild_recovers_a_poisoned_tree() {
+        let (mut lcf, mut ddr) = make_lcf();
+        // Fault garbles a stored block (e.g. an SEU on the raw DDR): every
+        // read of it now fails integrity — the region is effectively dead.
+        let mut b = ddr.snoop(0x60, 16).to_vec();
+        b[5] ^= 0x10;
+        ddr.tamper(0x60, &b);
+        let t = txn(Op::Read, DDR_BASE + 0x60, Width::Word, 0);
+        assert!(lcf.handle(&mut ddr, &t, Cycle(0)).is_err());
+        // Recovery: re-baseline the tree over the current ciphertext.
+        let cycles = lcf.rebuild_region(&mut ddr, DDR_BASE).unwrap();
+        assert!(cycles > 0);
+        assert!(lcf.handle(&mut ddr, &t, Cycle(1)).is_ok(), "region live again");
+        assert_eq!(lcf.stats().counter("lcf.tree_rebuilds"), 1);
+        // Tampering after the rebuild is still detected.
+        let mut b = ddr.snoop(0x60, 16).to_vec();
+        b[0] ^= 2;
+        ddr.tamper(0x60, &b);
+        assert_eq!(lcf.handle(&mut ddr, &t, Cycle(2)).unwrap_err().0, Violation::IntegrityMismatch);
+    }
+
+    #[test]
+    fn rebuild_respects_region_kinds() {
+        let (mut lcf, mut ddr) = make_lcf();
+        assert_eq!(lcf.rebuild_region(&mut ddr, DDR_CIPHER_BASE_TEST), Ok(0), "cipher-only");
+        assert_eq!(
+            lcf.rebuild_region(&mut ddr, DDR_BASE + 0x240),
+            Err(RekeyError::NotCiphered)
+        );
+        assert_eq!(lcf.rebuild_region(&mut ddr, DDR_BASE + 0x900), Err(RekeyError::NoRegion));
     }
 }

@@ -36,11 +36,13 @@ pub mod policy;
 pub mod reconfig;
 pub mod thread_policy;
 
-pub use alert::{Alert, Reaction, SecurityMonitor};
+pub use alert::{Alert, Reaction, SecurityMonitor, WatchdogExpiry};
 pub use checker::{CheckOutcome, Violation};
 pub use config::ConfigMemory;
 pub use firewall::{Decision, FirewallId, LocalFirewall, RateLimit, SbTiming};
-pub use lcf::{CryptoTiming, LcfRegionConfig, LocalCipheringFirewall, Protection, RekeyError};
-pub use policy::{AdfSet, ConfidentialityMode, IntegrityMode, Rwa, SecurityPolicy, Spi};
+pub use lcf::{
+    CryptoTiming, IcFailureMode, LcfRegionConfig, LocalCipheringFirewall, Protection, RekeyError,
+};
+pub use policy::{AdfSet, ConfidentialityMode, IntegrityMode, PolicyError, Rwa, SecurityPolicy, Spi};
 pub use reconfig::{PolicyUpdate, ReconfigController};
 pub use thread_policy::{ThreadId, ThreadPolicyTable};

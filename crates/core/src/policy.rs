@@ -12,16 +12,12 @@
 //! * **CK** — the 128-bit cryptographic key for the Confidentiality Core.
 
 use secbus_bus::{AddrRange, Op, Width};
-use serde::{Deserialize, Serialize};
-
 /// Security Policy Identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Spi(pub u16);
 
 /// Read/Write Access rules: "read-only, write-only or read/write".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rwa {
     /// Only reads are authorized.
     ReadOnly,
@@ -44,7 +40,7 @@ impl Rwa {
 
 /// Allowed Data Formats: which access widths a policy admits
 /// ("there can be several data lengths allowed … 8 up to 32 bits").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AdfSet(u8);
 
 impl AdfSet {
@@ -59,6 +55,18 @@ impl AdfSet {
     pub const ALL: AdfSet = AdfSet(Self::BYTE | Self::HALF | Self::WORD);
     /// 32-bit only — typical for register files of dedicated IPs.
     pub const WORD_ONLY: AdfSet = AdfSet(Self::WORD);
+
+    /// Build from a raw bitmask (bit 0 = byte, bit 1 = half, bit 2 = word);
+    /// higher bits are ignored. Inverse of [`AdfSet::bits`], used by the
+    /// policy-file wire format.
+    pub const fn from_bits(bits: u8) -> AdfSet {
+        AdfSet(bits & (Self::BYTE | Self::HALF | Self::WORD))
+    }
+
+    /// The raw format bitmask (the policy-file wire representation).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
 
     /// Build from an explicit width list.
     pub fn of(widths: &[Width]) -> AdfSet {
@@ -93,7 +101,7 @@ impl AdfSet {
 /// Confidentiality Mode: execute or bypass the block cipher
 /// (LCF only — "we consider that all internal communications are not
 /// encrypted as the Local Firewalls protect them").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ConfidentialityMode {
     /// No ciphering for this region.
     #[default]
@@ -103,7 +111,7 @@ pub enum ConfidentialityMode {
 }
 
 /// Integrity Mode: execute or bypass the hash-tree Integrity Core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IntegrityMode {
     /// No integrity checking for this region.
     #[default]
@@ -112,8 +120,39 @@ pub enum IntegrityMode {
     Verify,
 }
 
+/// Why a policy's parameter combination is rejected.
+///
+/// Construction from trusted code uses the asserting [`SecurityPolicy`]
+/// constructors; anything built from *user input* (policy files, future
+/// management interfaces) goes through [`SecurityPolicy::validated`] so a
+/// malformed file reports instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// `cm` is `Encrypt` but no key was supplied.
+    MissingKey,
+    /// A key was supplied but `cm` is `Bypass`.
+    KeyWithoutCipher,
+    /// `im` is `Verify` with `cm` `Bypass` — not a supported LCF mode.
+    IntegrityWithoutCipher,
+}
+
+impl core::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            PolicyError::MissingKey => "ciphering is enabled but no key is present",
+            PolicyError::KeyWithoutCipher => "a key is present but ciphering is bypassed",
+            PolicyError::IntegrityWithoutCipher => {
+                "integrity without ciphering is not a supported LCF mode \
+                 (modes are: unprotected, ciphered, ciphered+authenticated)"
+            }
+        })
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
 /// A complete Security Policy over one address region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecurityPolicy {
     /// SP Identifier.
     pub spi: Spi,
@@ -169,6 +208,30 @@ impl SecurityPolicy {
         SecurityPolicy { spi: Spi(spi), region, rwa, adf, cm, im, key }
     }
 
+    /// Fallible construction for untrusted input: same rules as
+    /// [`SecurityPolicy::external`], but malformed combinations return a
+    /// [`PolicyError`] instead of panicking.
+    #[allow(clippy::too_many_arguments)]
+    pub fn validated(
+        spi: u16,
+        region: AddrRange,
+        rwa: Rwa,
+        adf: AdfSet,
+        cm: ConfidentialityMode,
+        im: IntegrityMode,
+        key: Option<[u8; 16]>,
+    ) -> Result<Self, PolicyError> {
+        match (cm, key.is_some()) {
+            (ConfidentialityMode::Encrypt, false) => return Err(PolicyError::MissingKey),
+            (ConfidentialityMode::Bypass, true) => return Err(PolicyError::KeyWithoutCipher),
+            _ => {}
+        }
+        if im == IntegrityMode::Verify && cm == ConfidentialityMode::Bypass {
+            return Err(PolicyError::IntegrityWithoutCipher);
+        }
+        Ok(SecurityPolicy { spi: Spi(spi), region, rwa, adf, cm, im, key })
+    }
+
     /// Number of elementary rules this policy contributes to its firewall
     /// (used by the area model's rule-count scaling): one for the region
     /// bound, one for RWA, one per allowed format, one per active crypto
@@ -177,6 +240,65 @@ impl SecurityPolicy {
         2 + self.adf.count()
             + u32::from(self.cm == ConfidentialityMode::Encrypt)
             + u32::from(self.im == IntegrityMode::Verify)
+    }
+
+    /// Bits of the Configuration-Memory storage image that parity covers
+    /// (see [`SecurityPolicy::flip_storage_bit`] for the layout).
+    pub const STORAGE_BITS: u8 = 85;
+
+    /// The checked fields as a hardware Configuration-Memory word image:
+    /// `[region.base, region.len, spi | adf << 16 | rwa << 19]`. Parity is
+    /// computed over this image, and storage upsets are modelled against it.
+    /// Keys are intentionally excluded — the LCF holds them in its own
+    /// sealed state, not in the per-firewall policy RAM.
+    pub fn storage_image(&self) -> [u32; 3] {
+        let rwa = match self.rwa {
+            Rwa::ReadOnly => 0u32,
+            Rwa::WriteOnly => 1,
+            Rwa::ReadWrite => 2,
+        };
+        [
+            self.region.base,
+            self.region.len,
+            u32::from(self.spi.0) | (u32::from(self.adf.bits()) << 16) | (rwa << 19),
+        ]
+    }
+
+    /// Even-parity byte over the storage image (XOR fold). A single-bit
+    /// upset always changes it; an even number of upsets that collide
+    /// modulo 8 can escape, as with any real parity byte.
+    pub fn storage_parity(&self) -> u8 {
+        let w = self.storage_image();
+        let x = w[0] ^ w[1] ^ w[2];
+        let x = x ^ (x >> 16);
+        let x = x ^ (x >> 8);
+        x as u8
+    }
+
+    /// Flip one bit of the stored entry (fault injection on the policy
+    /// RAM). `bit` is taken modulo [`SecurityPolicy::STORAGE_BITS`] over
+    /// the layout `[0,32)` region base, `[32,64)` region length, `[64,80)`
+    /// SPI, `[80,83)` ADF mask, `[83,85)` RWA code.
+    pub fn flip_storage_bit(&mut self, bit: u8) {
+        let bit = bit % Self::STORAGE_BITS;
+        match bit {
+            0..=31 => self.region.base ^= 1 << bit,
+            32..=63 => self.region.len ^= 1 << (bit - 32),
+            64..=79 => self.spi.0 ^= 1 << (bit - 64),
+            80..=82 => self.adf = AdfSet::from_bits(self.adf.bits() ^ (1 << (bit - 80))),
+            _ => {
+                let code = match self.rwa {
+                    Rwa::ReadOnly => 0u8,
+                    Rwa::WriteOnly => 1,
+                    Rwa::ReadWrite => 2,
+                } ^ (1 << (bit - 83));
+                self.rwa = match code {
+                    0 => Rwa::ReadOnly,
+                    1 => Rwa::WriteOnly,
+                    _ => Rwa::ReadWrite,
+                };
+            }
+        }
     }
 }
 
@@ -260,6 +382,34 @@ mod tests {
             IntegrityMode::Verify,
             None,
         );
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_parity() {
+        let base = SecurityPolicy::internal(7, region(), Rwa::ReadOnly, AdfSet::WORD_ONLY);
+        let p0 = base.storage_parity();
+        for bit in 0..SecurityPolicy::STORAGE_BITS {
+            let mut p = base.clone();
+            p.flip_storage_bit(bit);
+            if p == base {
+                // Lossy positions (e.g. the RWA code 2 -> 3 -> 2 round
+                // trip) leave the policy untouched — a behavioural no-op.
+                continue;
+            }
+            assert_ne!(p.storage_parity(), p0, "bit {bit} flip undetected");
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution_on_plain_fields() {
+        let base = SecurityPolicy::internal(3, region(), Rwa::ReadWrite, AdfSet::ALL);
+        for bit in [0u8, 17, 40, 64, 81] {
+            let mut p = base.clone();
+            p.flip_storage_bit(bit);
+            assert_ne!(p, base);
+            p.flip_storage_bit(bit);
+            assert_eq!(p, base, "double flip of bit {bit} restores the entry");
+        }
     }
 
     #[test]

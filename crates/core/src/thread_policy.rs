@@ -15,15 +15,11 @@ use std::collections::BTreeMap;
 
 use secbus_bus::Transaction;
 use secbus_sim::{Cycle, Stats};
-use serde::{Deserialize, Serialize};
-
 use crate::checker::{check_all, CheckOutcome, Violation};
 use crate::config::ConfigMemory;
 
 /// A hardware-visible thread identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u32);
 
 /// Per-thread policy tables with a default fallback.

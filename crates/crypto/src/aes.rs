@@ -345,17 +345,21 @@ mod tests {
         assert_eq!(block, start);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn roundtrip_random_blocks(key in proptest::array::uniform16(0u8..), block in proptest::array::uniform16(0u8..)) {
+    /// Randomized: decrypt∘encrypt is identity and encryption is injective
+    /// for random keys and blocks.
+    #[test]
+    fn roundtrip_and_injectivity_on_random_blocks() {
+        let mut state = 0xae55_0000_1234_5678u64;
+        for _ in 0..256 {
+            let mut key = [0u8; 16];
+            let mut a = [0u8; 16];
+            let mut b = [0u8; 16];
+            crate::test_rng::fill(&mut state, &mut key);
+            crate::test_rng::fill(&mut state, &mut a);
+            crate::test_rng::fill(&mut state, &mut b);
             let aes = Aes128::new(&key);
-            proptest::prop_assert_eq!(aes.decrypt(&aes.encrypt(&block)), block);
-        }
-
-        #[test]
-        fn encryption_is_injective(key in proptest::array::uniform16(0u8..), a in proptest::array::uniform16(0u8..), b in proptest::array::uniform16(0u8..)) {
-            let aes = Aes128::new(&key);
-            proptest::prop_assert_eq!(aes.encrypt(&a) == aes.encrypt(&b), a == b);
+            assert_eq!(aes.decrypt(&aes.encrypt(&a)), a);
+            assert_eq!(aes.encrypt(&a) == aes.encrypt(&b), a == b);
         }
     }
 }

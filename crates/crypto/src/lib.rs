@@ -32,3 +32,26 @@ pub use kdf::{derive_key_set, derive_region_key};
 pub use merkle::MerkleTree;
 pub use sha256::{sha256, Sha256};
 pub use timestamp::TimestampTable;
+
+/// Deterministic randomness for this crate's randomized tests (the crate
+/// itself is dependency-free, including in test configuration).
+#[cfg(test)]
+pub(crate) mod test_rng {
+    /// SplitMix64 step — statistically strong enough for test fuzzing and
+    /// identical on every platform.
+    pub fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Fill a buffer with pseudo-random bytes.
+    pub fn fill(state: &mut u64, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = splitmix64(state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! # secbus-fault — deterministic fault injection
+//!
+//! The paper's security features (§III-C) promise *fast reaction* and
+//! *containment at the infected IP's interface* — properties that a
+//! production system must also hold when the fabric itself misbehaves:
+//! radiation-induced bit flips in the external DDR, glitching crypto
+//! cores, stalled or lossy bus handshakes, corrupted Configuration-Memory
+//! entries. This crate models that defective-hardware threat surface as a
+//! **[`FaultPlan`]**: a cycle-stamped, seed-reproducible schedule of
+//! [`FaultEvent`]s that the SoC consumes at the top of each cycle.
+//!
+//! Design rules:
+//!
+//! * **Deterministic.** A plan is a pure function of `(seed, spec)`. The
+//!   SoC applies events at their stamped cycle inside the ordinary tick
+//!   loop, so *same seed + same plan ⇒ same trace*, and the determinism
+//!   tests extend to faulty runs unchanged.
+//! * **Layer-agnostic parameters.** Events carry plain offsets/selectors
+//!   (device offsets, firewall indices) rather than simulator types, so
+//!   the crate depends only on `secbus-sim` and any layer can interpret
+//!   its own events.
+//! * **Resilience lives elsewhere.** This crate only *schedules* faults;
+//!   detection and recovery (watchdog, retry, parity scrub, fail-secure
+//!   degradation) are implemented by the layers under test.
+
+use std::collections::VecDeque;
+
+use secbus_sim::{Cycle, SimRng};
+
+/// One injectable hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Single-event upset: flip `bit` of the DDR byte at device offset
+    /// `offset`, on the raw storage surface (bypasses the access path).
+    DdrBitFlip {
+        /// Device-relative byte offset.
+        offset: u32,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+    /// Arbitration glitch: the next bus grant is lost — the winning
+    /// transaction is consumed but never delivered, so no response will
+    /// ever arrive for it (a hang unless a watchdog intervenes).
+    BusLoseGrant,
+    /// A slave's in-service transaction is stalled for `extra_cycles`
+    /// beyond its modelled latency.
+    SlaveStall {
+        /// Slave selector (taken modulo the slave count).
+        slave: u8,
+        /// Additional service cycles.
+        extra_cycles: u64,
+    },
+    /// Signal glitch on the response path: the data beat of the next
+    /// slave response is XOR-ed with `xor` on its way back to the master.
+    CorruptResponse {
+        /// Bit pattern XOR-ed into the response data.
+        xor: u32,
+    },
+    /// A Configuration-Memory cell upset: flip one bit of one stored
+    /// policy entry of one firewall (selectors taken modulo the actual
+    /// counts). Caught by the Security Builder's parity check.
+    PolicyCorrupt {
+        /// Firewall selector.
+        firewall: u8,
+        /// Policy-entry selector.
+        entry: u8,
+        /// Bit selector within the entry's checked fields.
+        bit: u8,
+    },
+    /// Transient Confidentiality-Core mis-computation: the next cipher
+    /// pass produces garbled output.
+    CcGlitch,
+    /// Transient Integrity-Core mis-computation: the next hash-tree
+    /// verification returns the wrong verdict.
+    IcGlitch,
+}
+
+impl FaultKind {
+    /// Stable short name, used as a stats/report key.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultKind::DdrBitFlip { .. } => "ddr_bitflip",
+            FaultKind::BusLoseGrant => "bus_lost_grant",
+            FaultKind::SlaveStall { .. } => "slave_stall",
+            FaultKind::CorruptResponse { .. } => "corrupt_response",
+            FaultKind::PolicyCorrupt { .. } => "policy_corrupt",
+            FaultKind::CcGlitch => "cc_glitch",
+            FaultKind::IcGlitch => "ic_glitch",
+        }
+    }
+
+    /// All class names, in schedule order (report columns).
+    pub const CLASSES: [&'static str; 7] = [
+        "ddr_bitflip",
+        "bus_lost_grant",
+        "slave_stall",
+        "corrupt_response",
+        "policy_corrupt",
+        "cc_glitch",
+        "ic_glitch",
+    ];
+}
+
+/// A fault stamped with its injection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The cycle at which the SoC applies the fault (start of tick).
+    pub at: Cycle,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// Expected fault counts per class over the plan duration.
+///
+/// Counts are *expected values*: the integer part is injected always, the
+/// fractional part with the corresponding probability (drawn from the
+/// plan's seeded RNG, so still reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// DDR single-event upsets.
+    pub ddr_bitflip: f64,
+    /// Lost bus grants.
+    pub bus_lost_grant: f64,
+    /// Stalled slave responses.
+    pub slave_stall: f64,
+    /// Corrupted response beats.
+    pub corrupt_response: f64,
+    /// Configuration-Memory entry upsets.
+    pub policy_corrupt: f64,
+    /// CC transient mis-computations.
+    pub cc_glitch: f64,
+    /// IC transient mis-computations.
+    pub ic_glitch: f64,
+}
+
+impl FaultRates {
+    /// No faults at all (the control row of a sweep).
+    pub const NONE: FaultRates = FaultRates {
+        ddr_bitflip: 0.0,
+        bus_lost_grant: 0.0,
+        slave_stall: 0.0,
+        corrupt_response: 0.0,
+        policy_corrupt: 0.0,
+        cc_glitch: 0.0,
+        ic_glitch: 0.0,
+    };
+
+    /// Uniform expected count across every class.
+    pub fn uniform(per_class: f64) -> FaultRates {
+        FaultRates {
+            ddr_bitflip: per_class,
+            bus_lost_grant: per_class,
+            slave_stall: per_class,
+            corrupt_response: per_class,
+            policy_corrupt: per_class,
+            cc_glitch: per_class,
+            ic_glitch: per_class,
+        }
+    }
+
+    /// Scale every class by `factor` (fault-rate sweeps).
+    pub fn scaled(self, factor: f64) -> FaultRates {
+        FaultRates {
+            ddr_bitflip: self.ddr_bitflip * factor,
+            bus_lost_grant: self.bus_lost_grant * factor,
+            slave_stall: self.slave_stall * factor,
+            corrupt_response: self.corrupt_response * factor,
+            policy_corrupt: self.policy_corrupt * factor,
+            cc_glitch: self.cc_glitch * factor,
+            ic_glitch: self.ic_glitch * factor,
+        }
+    }
+}
+
+/// What the generator needs to know about the target system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Plan length in cycles; every event lands in `0..duration`.
+    pub duration: u64,
+    /// DDR device size in bytes (bit flips land inside it; 0 disables
+    /// the class).
+    pub ddr_bytes: u32,
+    /// Number of firewalls (policy corruption selector range; 0 disables).
+    pub firewalls: u8,
+    /// Number of bus slaves (stall selector range; 0 disables).
+    pub slaves: u8,
+    /// Expected fault counts per class.
+    pub rates: FaultRates,
+}
+
+/// A cycle-ordered schedule of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: VecDeque<FaultEvent>,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — every run is a clean run).
+    pub fn empty() -> Self {
+        FaultPlan { events: VecDeque::new(), injected: 0 }
+    }
+
+    /// Build a plan from explicit events; they are (stably) sorted by
+    /// injection cycle.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events: events.into(), injected: 0 }
+    }
+
+    /// Generate a plan from a seed and a spec. Pure: the same `(seed,
+    /// spec)` always produces the identical plan.
+    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
+        let mut events = Vec::new();
+        if spec.duration == 0 {
+            return Self::new(events);
+        }
+        let mut class = |label: &str, rate: f64, f: &mut dyn FnMut(&mut SimRng) -> Option<FaultKind>| {
+            // Per-class derived stream: adding a class never perturbs the
+            // schedule of the others.
+            let mut rng = SimRng::new(seed).derive(label);
+            let mut count = rate.max(0.0).floor() as u64;
+            if rng.chance(rate.max(0.0).fract()) {
+                count += 1;
+            }
+            for _ in 0..count {
+                let at = Cycle(rng.below(spec.duration));
+                if let Some(kind) = f(&mut rng) {
+                    events.push(FaultEvent { at, kind });
+                }
+            }
+        };
+        class("ddr_bitflip", spec.rates.ddr_bitflip, &mut |rng| {
+            (spec.ddr_bytes > 0).then(|| FaultKind::DdrBitFlip {
+                offset: rng.below(u64::from(spec.ddr_bytes)) as u32,
+                bit: rng.below(8) as u8,
+            })
+        });
+        class("bus_lost_grant", spec.rates.bus_lost_grant, &mut |_| {
+            Some(FaultKind::BusLoseGrant)
+        });
+        class("slave_stall", spec.rates.slave_stall, &mut |rng| {
+            (spec.slaves > 0).then(|| FaultKind::SlaveStall {
+                slave: rng.below(u64::from(spec.slaves)) as u8,
+                extra_cycles: 64 + rng.below(448),
+            })
+        });
+        class("corrupt_response", spec.rates.corrupt_response, &mut |rng| {
+            Some(FaultKind::CorruptResponse { xor: (rng.next_u32()).max(1) })
+        });
+        class("policy_corrupt", spec.rates.policy_corrupt, &mut |rng| {
+            (spec.firewalls > 0).then(|| FaultKind::PolicyCorrupt {
+                firewall: rng.below(u64::from(spec.firewalls)) as u8,
+                entry: rng.next_u32() as u8,
+                bit: rng.next_u32() as u8,
+            })
+        });
+        class("cc_glitch", spec.rates.cc_glitch, &mut |_| Some(FaultKind::CcGlitch));
+        class("ic_glitch", spec.rates.ic_glitch, &mut |_| Some(FaultKind::IcGlitch));
+        Self::new(events)
+    }
+
+    /// Remove and return every event due at or before `now`.
+    pub fn take_due(&mut self, now: Cycle) -> Vec<FaultEvent> {
+        let mut due = Vec::new();
+        while self.events.front().is_some_and(|e| e.at <= now) {
+            due.push(self.events.pop_front().expect("front checked"));
+        }
+        self.injected += due.len() as u64;
+        due
+    }
+
+    /// Events not yet injected.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events injected so far (consumed via [`FaultPlan::take_due`]).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total events in the plan (remaining + injected).
+    pub fn len(&self) -> usize {
+        self.events.len() + self.injected as usize
+    }
+
+    /// Whether the plan holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the not-yet-injected events in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter()
+    }
+
+    /// Count the scheduled (not-yet-injected) events per class name.
+    pub fn class_count(&self, class: &str) -> usize {
+        self.events.iter().filter(|e| e.kind.class() == class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rates: FaultRates) -> FaultSpec {
+        FaultSpec { duration: 10_000, ddr_bytes: 0x1000, firewalls: 4, slaves: 2, rates }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let s = spec(FaultRates::uniform(5.3));
+        let a = FaultPlan::generate(42, &s);
+        let b = FaultPlan::generate(42, &s);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, &s);
+        assert_ne!(a, c, "different seeds produce different plans");
+    }
+
+    #[test]
+    fn events_come_out_in_cycle_order() {
+        let mut plan = FaultPlan::generate(7, &spec(FaultRates::uniform(20.0)));
+        assert!(plan.len() >= 7 * 20 - 7, "roughly the expected count");
+        let mut last = Cycle(0);
+        let mut drained = 0;
+        for c in 0..10_000u64 {
+            for e in plan.take_due(Cycle(c)) {
+                assert!(e.at >= last && e.at <= Cycle(c));
+                last = e.at;
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, plan.injected());
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_rates_make_an_empty_plan() {
+        let plan = FaultPlan::generate(1, &spec(FaultRates::NONE));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn fractional_rates_round_probabilistically_but_deterministically() {
+        // With a single class at rate 0.5, repeated generation with the
+        // same seed is stable; across seeds the count varies.
+        let s = spec(FaultRates { bus_lost_grant: 0.5, ..FaultRates::NONE });
+        let counts: Vec<usize> =
+            (0..32).map(|seed| FaultPlan::generate(seed, &s).len()).collect();
+        assert!(counts.iter().any(|&c| c > 0), "some seeds inject");
+        assert!(counts.contains(&0), "some seeds do not");
+        assert_eq!(counts[0], FaultPlan::generate(0, &s).len(), "stable per seed");
+    }
+
+    #[test]
+    fn parameters_respect_spec_bounds() {
+        let plan = FaultPlan::generate(9, &spec(FaultRates::uniform(50.0)));
+        for e in plan.iter() {
+            assert!(e.at.get() < 10_000);
+            match e.kind {
+                FaultKind::DdrBitFlip { offset, bit } => {
+                    assert!(offset < 0x1000);
+                    assert!(bit < 8);
+                }
+                FaultKind::SlaveStall { slave, extra_cycles } => {
+                    assert!(slave < 2);
+                    assert!((64..512).contains(&extra_cycles));
+                }
+                FaultKind::CorruptResponse { xor } => assert!(xor != 0),
+                FaultKind::PolicyCorrupt { firewall, .. } => assert!(firewall < 4),
+                FaultKind::BusLoseGrant | FaultKind::CcGlitch | FaultKind::IcGlitch => {}
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_surfaces_suppress_their_classes() {
+        let s = FaultSpec {
+            duration: 1000,
+            ddr_bytes: 0,
+            firewalls: 0,
+            slaves: 0,
+            rates: FaultRates::uniform(10.0),
+        };
+        let plan = FaultPlan::generate(3, &s);
+        assert_eq!(plan.class_count("ddr_bitflip"), 0);
+        assert_eq!(plan.class_count("policy_corrupt"), 0);
+        assert_eq!(plan.class_count("slave_stall"), 0);
+        assert!(plan.class_count("bus_lost_grant") > 0);
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(FaultKind::CLASSES.len(), 7);
+        assert_eq!(FaultKind::DdrBitFlip { offset: 0, bit: 0 }.class(), "ddr_bitflip");
+        assert_eq!(FaultKind::IcGlitch.class(), "ic_glitch");
+    }
+}

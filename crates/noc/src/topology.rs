@@ -153,21 +153,26 @@ mod tests {
         Topology::new(0, 3);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn routes_stay_inside_any_containing_mesh(
-            sx in 0u8..6, sy in 0u8..6, dx in 0u8..6, dy in 0u8..6
-        ) {
-            let t = Topology::new(6, 6);
-            let route = xy_route(NodeId::new(sx, sy), NodeId::new(dx, dy));
-            for hop in &route {
-                proptest::prop_assert!(t.contains(*hop));
+    /// Exhaustive over the 6×6 mesh: routes stay inside the mesh and never
+    /// repeat a node (XY routes are minimal and loop-free).
+    #[test]
+    fn routes_stay_inside_any_containing_mesh() {
+        let t = Topology::new(6, 6);
+        for sx in 0u8..6 {
+            for sy in 0u8..6 {
+                for dx in 0u8..6 {
+                    for dy in 0u8..6 {
+                        let route = xy_route(NodeId::new(sx, sy), NodeId::new(dx, dy));
+                        for hop in &route {
+                            assert!(t.contains(*hop));
+                        }
+                        let mut sorted = route.clone();
+                        sorted.sort();
+                        sorted.dedup();
+                        assert_eq!(sorted.len(), route.len());
+                    }
+                }
             }
-            // No node repeats (XY routes are minimal and loop-free).
-            let mut sorted = route.clone();
-            sorted.sort();
-            sorted.dedup();
-            proptest::prop_assert_eq!(sorted.len(), route.len());
         }
     }
 }

@@ -19,12 +19,14 @@
 
 pub mod clock;
 pub mod cycle;
+pub mod json;
 pub mod log;
 pub mod rng;
 pub mod stats;
 
 pub use clock::Clock;
 pub use cycle::Cycle;
+pub use json::{Json, JsonError};
 pub use log::EventLog;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Stats};

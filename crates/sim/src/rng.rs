@@ -1,29 +1,44 @@
 //! Deterministic randomness for workloads and adversaries.
 //!
 //! All stochastic behaviour in the simulator (synthetic traffic mixes,
-//! adversary timing, DoS payloads) draws from a [`SimRng`] derived from a
-//! single top-level seed, so that a scenario is exactly reproducible from
-//! `(seed, configuration)`. Independent components derive independent
-//! streams with [`SimRng::derive`] to avoid accidental cross-coupling when
-//! a component is added or removed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! adversary timing, DoS payloads, fault schedules) draws from a [`SimRng`]
+//! derived from a single top-level seed, so that a scenario is exactly
+//! reproducible from `(seed, configuration)`. Independent components derive
+//! independent streams with [`SimRng::derive`] to avoid accidental
+//! cross-coupling when a component is added or removed.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64
+//! — no external crates, identical output on every platform, and cheap
+//! enough for per-cycle use.
 
 /// A seeded, splittable random-number generator.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -47,13 +62,25 @@ impl SimRng {
     /// Uniform `u32`.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        (self.next_u64() >> 32) as u32
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -63,18 +90,35 @@ impl SimRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "SimRng::below: bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire-style rejection to keep the draw unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        // 53 uniform mantissa bits → f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p.clamp(0.0, 1.0)
     }
 
     /// Fill a byte slice with uniform random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// Pick a uniformly random element of a non-empty slice.
@@ -129,6 +173,18 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_small_range_uniformly() {
+        let mut r = SimRng::new(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::new(5);
         assert!(!r.chance(0.0));
@@ -143,6 +199,22 @@ mod tests {
         let mut r = SimRng::new(11);
         let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
         assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte() {
+        let mut r = SimRng::new(17);
+        let mut buf = [0u8; 37];
+        // With 37 random bytes the odds that any position is zero in all of
+        // eight attempts are negligible.
+        let mut ever_nonzero = [false; 37];
+        for _ in 0..8 {
+            r.fill_bytes(&mut buf);
+            for (flag, &b) in ever_nonzero.iter_mut().zip(buf.iter()) {
+                *flag |= b != 0;
+            }
+        }
+        assert!(ever_nonzero.iter().all(|&f| f));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use secbus_core::{
 use secbus_cpu::{assemble, Mb32Core, StreamIp};
 use secbus_mem::{Bram, ExternalDdr};
 
-use crate::soc::{Soc, SocBuilder};
+use crate::soc::{RetryPolicy, Soc, SocBuilder};
 
 /// Shared BRAM base address.
 pub const SHARED_BRAM_BASE: u32 = 0x2000_0000;
@@ -68,6 +68,9 @@ pub struct CaseStudyConfig {
     pub programs: Option<[String; 3]>,
     /// Samples the dedicated IP streams (0 = forever).
     pub ip_samples: u64,
+    /// Fault-resilience stack (watchdog, retry, quarantine recovery);
+    /// `None` leaves the platform exactly as the paper describes it.
+    pub resilience: Option<CaseResilience>,
 }
 
 impl Default for CaseStudyConfig {
@@ -77,6 +80,32 @@ impl Default for CaseStudyConfig {
             monitor_threshold: 0,
             programs: None,
             ip_samples: 16,
+            resilience: None,
+        }
+    }
+}
+
+/// The resilience stack applied to the case-study platform when
+/// [`CaseStudyConfig::resilience`] is set.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseResilience {
+    /// Outstanding-transaction watchdog timeout, in cycles.
+    pub watchdog: u64,
+    /// Master-interface retry policy.
+    pub retry: RetryPolicy,
+    /// Monitor blocks become quarantines of this many cycles.
+    pub quarantine: u64,
+    /// Re-key ciphered regions during quarantine recovery.
+    pub rekey: bool,
+}
+
+impl Default for CaseResilience {
+    fn default() -> Self {
+        CaseResilience {
+            watchdog: 512,
+            retry: RetryPolicy::default(),
+            quarantine: 2_048,
+            rekey: false,
         }
     }
 }
@@ -262,6 +291,13 @@ pub fn case_study(config: CaseStudyConfig) -> Soc {
     let mut builder = SocBuilder::new().monitor_threshold(config.monitor_threshold);
     if !config.security {
         builder = builder.without_security();
+    }
+    if let Some(r) = config.resilience {
+        builder = builder
+            .watchdog(r.watchdog)
+            .retry(r.retry)
+            .quarantine(r.quarantine)
+            .auto_recover(r.rekey);
     }
     let policy_sets = [cpu0_policies(), cpu1_policies(), cpu2_policies()];
     for (core, policies) in cores.into_iter().zip(policy_sets) {

@@ -3,8 +3,6 @@
 use std::fmt;
 
 use secbus_sim::Cycle;
-use serde::Serialize;
-
 use crate::soc::Soc;
 
 /// A summary of one simulation run.
@@ -133,7 +131,7 @@ mod tests {
 }
 
 /// One firewall's security-relevant counters.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FirewallAudit {
     /// Display label.
     pub label: String,
@@ -154,7 +152,7 @@ pub struct FirewallAudit {
 }
 
 /// One alert line of the audit trail.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AlertLine {
     /// Detection cycle.
     pub cycle: u64,
@@ -169,7 +167,7 @@ pub struct AlertLine {
 }
 
 /// A serializable security audit of a run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AuditReport {
     /// Cycles simulated when the audit was taken.
     pub now: u64,
@@ -184,6 +182,53 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
+    /// Render as a JSON value (the `--audit-json` machine interface).
+    pub fn to_json(&self) -> secbus_sim::Json {
+        use secbus_sim::Json;
+        Json::Obj(vec![
+            ("now".into(), Json::uint(self.now)),
+            ("alerts".into(), Json::uint(self.alerts)),
+            ("blocks".into(), Json::uint(self.blocks)),
+            (
+                "firewalls".into(),
+                Json::Arr(
+                    self.firewalls
+                        .iter()
+                        .map(|fw| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::str(fw.label.clone())),
+                                ("id".into(), Json::uint(u64::from(fw.id))),
+                                ("checked".into(), Json::uint(fw.checked)),
+                                ("passed".into(), Json::uint(fw.passed)),
+                                ("discarded".into(), Json::uint(fw.discarded)),
+                                ("blocked".into(), Json::Bool(fw.blocked)),
+                                ("generation".into(), Json::uint(fw.generation)),
+                                ("policies".into(), Json::uint(fw.policies as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "trail".into(),
+                Json::Arr(
+                    self.trail
+                        .iter()
+                        .map(|a| {
+                            Json::Obj(vec![
+                                ("cycle".into(), Json::uint(a.cycle)),
+                                ("firewall".into(), Json::uint(u64::from(a.firewall))),
+                                ("violation".into(), Json::str(a.violation.clone())),
+                                ("addr".into(), Json::uint(u64::from(a.addr))),
+                                ("op".into(), Json::str(a.op.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Render as indented text.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -8,15 +8,48 @@ use secbus_bus::{
 };
 use secbus_core::{
     Alert, ConfigMemory, CryptoTiming, FirewallId, LocalCipheringFirewall, LocalFirewall,
-    PolicyUpdate, RateLimit, Reaction, ReconfigController, SbTiming, SecurityMonitor,
+    PolicyUpdate, Protection, RateLimit, Reaction, ReconfigController, SbTiming, SecurityMonitor,
+    Violation,
 };
 use secbus_cpu::{BusMaster, MasterAccess};
+use secbus_fault::{FaultKind, FaultPlan};
 use secbus_mem::{Bram, ExternalDdr, MemDevice};
-use secbus_sim::{Clock, Cycle, Stats};
+use secbus_sim::{Clock, Cycle, SimRng, Stats};
 
 /// A master waiting to be built: device, optional policies, optional
 /// traffic budget.
 type MasterSpec = (Box<dyn BusMaster>, Option<ConfigMemory>, Option<RateLimit>);
+
+/// Bounded retry-with-exponential-backoff at the master interfaces: a
+/// transaction that comes back with a *transient* bus error
+/// ([`BusError::Slave`] or [`BusError::Timeout`]) is silently re-issued by
+/// the interface instead of surfacing to the IP, up to `max_attempts`
+/// times, with the n-th retry becoming bus-eligible only after
+/// `base_backoff << n` cycles.
+///
+/// Permanent outcomes — [`BusError::Discarded`] (a policy denial),
+/// [`BusError::Decode`] (no such slave) and
+/// [`BusError::IntegrityViolation`] — are never retried: repeating them
+/// cannot succeed and would re-trigger the very alert that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed beyond the original attempt.
+    pub max_attempts: u32,
+    /// Backoff of the first retry, in cycles; doubles per attempt.
+    pub base_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff: 8 }
+    }
+}
+
+/// What quarantine recovery does beyond releasing the block.
+#[derive(Debug, Clone, Copy)]
+struct AutoRecover {
+    rekey: bool,
+}
 
 /// Builder for a [`Soc`].
 pub struct SocBuilder {
@@ -28,6 +61,9 @@ pub struct SocBuilder {
     monitor_threshold: u64,
     quarantine_cycles: Option<u64>,
     reconfig_latency: u64,
+    watchdog: Option<u64>,
+    retry: Option<RetryPolicy>,
+    auto_recover: Option<AutoRecover>,
     security: bool,
     masters: Vec<MasterSpec>,
     brams: Vec<(String, AddrRange, Bram, Option<ConfigMemory>)>,
@@ -52,6 +88,9 @@ impl SocBuilder {
             monitor_threshold: 0,
             quarantine_cycles: None,
             reconfig_latency: 32,
+            watchdog: None,
+            retry: None,
+            auto_recover: None,
             security: true,
             masters: Vec::new(),
             brams: Vec::new(),
@@ -105,6 +144,37 @@ impl SocBuilder {
     /// Quiesce window for policy reconfiguration.
     pub fn reconfig_latency(mut self, cycles: u64) -> Self {
         self.reconfig_latency = cycles;
+        self
+    }
+
+    /// Arm the monitor's watchdog: any bus transaction still outstanding
+    /// `timeout` cycles after issue is cancelled everywhere it might live
+    /// and replaced by a synthesized [`BusError::Timeout`] response, so a
+    /// dropped grant or wedged slave degrades to a reported error instead
+    /// of hanging the issuing IP forever.
+    ///
+    /// # Panics
+    /// Panics on a zero timeout.
+    pub fn watchdog(mut self, timeout: u64) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Enable bounded retry-with-exponential-backoff at every master
+    /// interface (see [`RetryPolicy`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Make quarantines self-healing: when the monitor quarantines the
+    /// LCF, its protected regions' integrity trees are rebuilt from the
+    /// ciphertext currently in memory (and re-keyed if `rekey` is set);
+    /// when it quarantines a Local Firewall, that firewall's
+    /// Configuration Memory is parity-scrubbed. Either way the IP comes
+    /// back from quarantine with clean security state.
+    pub fn auto_recover(mut self, rekey: bool) -> Self {
+        self.auto_recover = Some(AutoRecover { rekey });
         self
     }
 
@@ -201,6 +271,8 @@ impl SocBuilder {
                     device: Some(device),
                     firewall,
                     outstanding_reads: HashMap::new(),
+                    issued: HashMap::new(),
+                    retries: HashMap::new(),
                     inbound: VecDeque::new(),
                     ready: VecDeque::new(),
                 }
@@ -226,6 +298,7 @@ impl SocBuilder {
                 kind: SlaveKind::Bram(Box::new(bram)),
                 firewall,
                 pending: None,
+                stall_next: 0,
             });
         }
         if let Some((label, range, mut ddr, lcf_policies)) = self.ddr {
@@ -254,7 +327,16 @@ impl SocBuilder {
                 kind: SlaveKind::Ddr { ddr: Box::new(ddr), lcf: lcf.map(Box::new) },
                 firewall: None,
                 pending: None,
+                stall_next: 0,
             });
+        }
+
+        let mut monitor = SecurityMonitor::new(self.monitor_threshold);
+        if let Some(q) = self.quarantine_cycles {
+            monitor = monitor.with_quarantine(q);
+        }
+        if let Some(w) = self.watchdog {
+            monitor = monitor.with_watchdog(w);
         }
 
         Soc {
@@ -263,13 +345,14 @@ impl SocBuilder {
             bus,
             masters,
             slaves,
-            monitor: if let Some(q) = self.quarantine_cycles {
-                SecurityMonitor::new(self.monitor_threshold).with_quarantine(q)
-            } else {
-                SecurityMonitor::new(self.monitor_threshold)
-            },
+            monitor,
             reconfig: ReconfigController::new(self.reconfig_latency),
             releases: Vec::new(),
+            faults: FaultPlan::empty(),
+            retry: self.retry,
+            auto_recover: self.auto_recover,
+            track_issues: self.watchdog.is_some() || self.retry.is_some(),
+            recovery_rng: SimRng::new(0x5ec_b05).derive("soc.recovery"),
             security: self.security,
             stats: Stats::new(),
         }
@@ -291,6 +374,13 @@ struct MasterSlot {
     /// Reads in flight, kept for the inbound ("before reaching the IP")
     /// check, which needs the transaction's address and width.
     outstanding_reads: HashMap<TxnId, Transaction>,
+    /// Every transaction this interface put on the bus, kept (only when
+    /// the watchdog or retry is armed) until its final response so it can
+    /// be re-issued verbatim on a transient error.
+    issued: HashMap<TxnId, Transaction>,
+    /// Live retries: reissued id -> (original id, attempts so far). The
+    /// IP only ever sees the original id.
+    retries: HashMap<TxnId, (TxnId, u32)>,
     /// Responses maturing through the inbound check delay.
     inbound: VecDeque<(u64, Response)>,
     /// Responses ready for the device.
@@ -305,18 +395,37 @@ struct SlaveSlot {
     firewall: Option<LocalFirewall>,
     /// The single in-service transaction and its completion time.
     pending: Option<(u64, Response)>,
+    /// Stall cycles (from an injected fault) charged to the next service
+    /// when none is pending at injection time.
+    stall_next: u64,
 }
 
 /// The IP-side port: checks writes outbound, records reads for the
 /// inbound check, and synthesizes discard responses for violations.
 struct PortAdapter<'a> {
     bus: &'a mut SharedBus,
+    monitor: &'a mut SecurityMonitor,
     firewall: Option<&'a mut LocalFirewall>,
     master: MasterId,
     outstanding_reads: &'a mut HashMap<TxnId, Transaction>,
+    issued: &'a mut HashMap<TxnId, Transaction>,
     inbound: &'a mut VecDeque<(u64, Response)>,
     ready: &'a mut VecDeque<Response>,
+    /// Whether to remember issued transactions (watchdog/retry armed).
+    track: bool,
     now: Cycle,
+}
+
+impl PortAdapter<'_> {
+    /// Remember a transaction that actually went on the bus and start its
+    /// watchdog timer. Discards synthesized at the interface never come
+    /// through here — nothing is outstanding for them.
+    fn track_issue(&mut self, txn: Transaction, firewall: Option<FirewallId>) {
+        if self.track {
+            self.issued.insert(txn.id, txn);
+            self.monitor.watch(&txn, firewall, self.now);
+        }
+    }
 }
 
 impl MasterAccess for PortAdapter<'_> {
@@ -339,7 +448,8 @@ impl MasterAccess for PortAdapter<'_> {
                 if decision.allowed {
                     // Re-issue through the bus with delayed eligibility; we
                     // burn the probe id to keep the id space monotone.
-                    self.bus.issue_at(
+                    let fw_id = fw.id();
+                    let real = self.bus.issue_at(
                         self.master,
                         op,
                         addr,
@@ -348,7 +458,9 @@ impl MasterAccess for PortAdapter<'_> {
                         burst,
                         self.now,
                         self.now + decision.latency,
-                    )
+                    );
+                    self.track_issue(Transaction { id: real, ..probe }, Some(fw_id));
+                    real
                 } else {
                     // Discarded at the interface: never reaches the bus.
                     self.inbound.push_back((
@@ -364,7 +476,8 @@ impl MasterAccess for PortAdapter<'_> {
                 }
             }
             // Reads: issued immediately; data checked on the way back.
-            (Some(_), Op::Read) => {
+            (Some(fw), Op::Read) => {
+                let fw_id = fw.id();
                 let id = self.bus.issue(self.master, op, addr, width, data, burst, self.now);
                 let txn = Transaction {
                     id,
@@ -377,10 +490,25 @@ impl MasterAccess for PortAdapter<'_> {
                     issued_at: self.now,
                 };
                 self.outstanding_reads.insert(id, txn);
+                self.track_issue(txn, Some(fw_id));
                 id
             }
             // Unprotected master: straight to the bus.
-            (None, _) => self.bus.issue(self.master, op, addr, width, data, burst, self.now),
+            (None, _) => {
+                let id = self.bus.issue(self.master, op, addr, width, data, burst, self.now);
+                let txn = Transaction {
+                    id,
+                    master: self.master,
+                    op,
+                    addr,
+                    width,
+                    data,
+                    burst: burst.max(1),
+                    issued_at: self.now,
+                };
+                self.track_issue(txn, None);
+                id
+            }
         }
     }
 
@@ -400,6 +528,15 @@ pub struct Soc {
     reconfig: ReconfigController,
     /// Scheduled quarantine releases: (cycle, firewall).
     releases: Vec<(u64, FirewallId)>,
+    /// Cycle-stamped environment faults still waiting to fire.
+    faults: FaultPlan,
+    retry: Option<RetryPolicy>,
+    auto_recover: Option<AutoRecover>,
+    /// Whether master interfaces remember issued transactions
+    /// (watchdog/retry armed at build time).
+    track_issues: bool,
+    /// Deterministic key stream for auto-recovery rekeys.
+    recovery_rng: SimRng,
     security: bool,
     stats: Stats,
 }
@@ -409,28 +546,53 @@ impl Soc {
     pub fn tick(&mut self) {
         let now = self.now;
 
-        // 1. Route bus responses through the inbound (read) check.
-        for slot in &mut self.masters {
-            while let Some(mut resp) = self.bus.poll_response(slot.bus_id) {
-                let ready_at = match (slot.firewall.as_mut(), slot.outstanding_reads.remove(&resp.txn)) {
-                    (Some(fw), Some(txn)) => {
-                        // "all data are checked before reaching the IP"
-                        let decision = fw.check(&txn, now);
-                        if !decision.allowed {
-                            resp = Response {
-                                txn: resp.txn,
-                                data: 0,
-                                result: Err(BusError::Discarded),
-                                completed_at: resp.completed_at,
-                            };
-                        }
-                        now.get() + decision.latency
-                    }
-                    _ => now.get(),
-                };
-                slot.inbound.push_back((ready_at, resp));
+        // 0. Fire scheduled environment faults.
+        if !self.faults.is_empty() {
+            for event in self.faults.take_due(now) {
+                self.apply_fault(event.kind);
             }
-            // 2. Mature inbound responses.
+        }
+
+        // 1. Route bus responses through retry handling and the inbound
+        //    (read) check.
+        for midx in 0..self.masters.len() {
+            while let Some(resp) = self.bus.poll_response(self.masters[midx].bus_id) {
+                self.route_response(midx, resp, now);
+            }
+        }
+
+        // 1b. Watchdog: a transaction whose completion never arrived is
+        //     cancelled everywhere it might still live (bus queues, slave
+        //     service) and a synthesized timeout error takes its place,
+        //     so a lost grant or wedged slave degrades to a reported
+        //     error instead of hanging the issuing IP forever.
+        let expired = self.monitor.expire(now);
+        for expiry in expired {
+            let Some(midx) = self.masters.iter().position(|m| m.bus_id == expiry.txn.master)
+            else {
+                continue;
+            };
+            self.stats.incr("soc.watchdog_cancels");
+            self.bus.cancel_inflight(expiry.txn.id);
+            for slave in &mut self.slaves {
+                if slave.pending.as_ref().is_some_and(|(_, r)| r.txn == expiry.txn.id) {
+                    slave.pending = None;
+                }
+            }
+            if let Some(fw) = self.masters[midx].firewall.as_mut() {
+                fw.raise_alert(&expiry.txn, Violation::WatchdogTimeout, now);
+            }
+            let synth = Response {
+                txn: expiry.txn.id,
+                data: 0,
+                result: Err(BusError::Timeout),
+                completed_at: now,
+            };
+            self.route_response(midx, synth, now);
+        }
+
+        // 2. Mature inbound responses.
+        for slot in &mut self.masters {
             while let Some(&(ready_at, resp)) = slot.inbound.front() {
                 if ready_at <= now.get() {
                     slot.inbound.pop_front();
@@ -447,11 +609,14 @@ impl Soc {
             {
                 let mut port = PortAdapter {
                     bus: &mut self.bus,
+                    monitor: &mut self.monitor,
                     firewall: slot.firewall.as_mut(),
                     master: slot.bus_id,
                     outstanding_reads: &mut slot.outstanding_reads,
+                    issued: &mut slot.issued,
                     inbound: &mut slot.inbound,
                     ready: &mut slot.ready,
+                    track: self.track_issues,
                     now,
                 };
                 device.tick(&mut port, now);
@@ -474,7 +639,10 @@ impl Soc {
             }
             if slot.pending.is_none() {
                 if let Some(txn) = self.bus.slave_pop(slot.bus_id) {
-                    slot.pending = Some(Self::service(slot, &txn, now));
+                    let (mut completes_at, resp) = Self::service(slot, &txn, now);
+                    // Charge any injected stall accrued while idle.
+                    completes_at += std::mem::take(&mut slot.stall_next);
+                    slot.pending = Some((completes_at, resp));
                 }
             }
         }
@@ -498,8 +666,16 @@ impl Soc {
             match self.monitor.observe(alert) {
                 Reaction::BlockIp(fw_id) => self.block_firewall(fw_id),
                 Reaction::Quarantine { firewall, until } => {
+                    // Re-escalations while already quarantined (the
+                    // blocked IP keeps knocking) extend the block but do
+                    // not re-run recovery: one recovery per episode.
+                    let already_quarantined =
+                        self.releases.iter().any(|(_, f)| *f == firewall);
                     self.block_firewall(firewall);
                     self.releases.push((until.get(), firewall));
+                    if !already_quarantined {
+                        self.recover(firewall);
+                    }
                 }
                 Reaction::None => {}
             }
@@ -526,6 +702,202 @@ impl Soc {
 
         self.now = now.next();
         self.stats.incr("soc.cycles");
+    }
+
+    /// Deliver one response (from the bus or synthesized by the watchdog)
+    /// to master `midx`, applying the retry policy first: a transient
+    /// error on a transaction the interface still remembers is re-issued
+    /// with exponential backoff instead of surfacing to the IP.
+    fn route_response(&mut self, midx: usize, mut resp: Response, now: Cycle) {
+        let slot = &mut self.masters[midx];
+        let arrived = resp.txn;
+        // A reissued transaction completes under its retry id; fold it
+        // back onto the original so the IP only ever sees the id it
+        // issued (and the inbound check finds its outstanding read).
+        let attempts = match slot.retries.remove(&arrived) {
+            Some((orig, attempts)) => {
+                resp.txn = orig;
+                attempts
+            }
+            None => 0,
+        };
+        self.monitor.resolve(arrived);
+        let transient = matches!(resp.result, Err(BusError::Slave) | Err(BusError::Timeout));
+        if transient {
+            if let Some(policy) = self.retry {
+                if attempts < policy.max_attempts {
+                    if let Some(&orig_txn) = slot.issued.get(&resp.txn) {
+                        let backoff = policy.base_backoff << attempts.min(32);
+                        let retry_id = self.bus.issue_at(
+                            slot.bus_id,
+                            orig_txn.op,
+                            orig_txn.addr,
+                            orig_txn.width,
+                            orig_txn.data,
+                            orig_txn.burst,
+                            now,
+                            now + backoff,
+                        );
+                        let retry_txn = Transaction { id: retry_id, issued_at: now, ..orig_txn };
+                        slot.retries.insert(retry_id, (resp.txn, attempts + 1));
+                        let fw = slot.firewall.as_ref().map(|f| f.id());
+                        self.monitor.watch(&retry_txn, fw, now);
+                        self.stats.incr("soc.retries");
+                        return;
+                    }
+                }
+            }
+        }
+        // Final delivery: account the retry outcome, then run the inbound
+        // ("before reaching the IP") check as usual.
+        let issued = slot.issued.remove(&resp.txn);
+        if attempts > 0 {
+            if let Some(orig) = issued {
+                self.stats.record("soc.retry_latency", now.saturating_since(orig.issued_at));
+            }
+            if resp.result.is_ok() {
+                self.stats.incr("soc.retry_successes");
+            }
+        }
+        let ready_at = match (slot.firewall.as_mut(), slot.outstanding_reads.remove(&resp.txn)) {
+            (Some(fw), Some(txn)) => {
+                // "all data are checked before reaching the IP"
+                let decision = fw.check(&txn, now);
+                if !decision.allowed {
+                    resp = Response {
+                        txn: resp.txn,
+                        data: 0,
+                        result: Err(BusError::Discarded),
+                        completed_at: resp.completed_at,
+                    };
+                }
+                now.get() + decision.latency
+            }
+            _ => now.get(),
+        };
+        slot.inbound.push_back((ready_at, resp));
+    }
+
+    /// Apply one scheduled fault to the hardware it targets. Selectors
+    /// are reduced modulo the matching population, so any generated plan
+    /// applies to any topology; a fault class with no possible target in
+    /// this system (e.g. a CC glitch without an LCF) fizzles silently.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.stats.incr(&format!("soc.fault.{}", kind.class()));
+        match kind {
+            FaultKind::DdrBitFlip { offset, bit } => {
+                for slot in &mut self.slaves {
+                    if let SlaveKind::Ddr { ddr, .. } = &mut slot.kind {
+                        if ddr.size() == 0 {
+                            return;
+                        }
+                        let off = offset % ddr.size();
+                        let byte = ddr.snoop(off, 1)[0] ^ (1 << (bit % 8));
+                        ddr.tamper(off, &[byte]);
+                        return;
+                    }
+                }
+            }
+            FaultKind::BusLoseGrant => self.bus.inject_lose_grant(),
+            FaultKind::SlaveStall { slave, extra_cycles } => {
+                if self.slaves.is_empty() {
+                    return;
+                }
+                let idx = usize::from(slave) % self.slaves.len();
+                match &mut self.slaves[idx].pending {
+                    Some((completes_at, _)) => *completes_at += extra_cycles,
+                    None => self.slaves[idx].stall_next += extra_cycles,
+                }
+            }
+            FaultKind::CorruptResponse { xor } => self.bus.inject_corrupt_response(xor),
+            FaultKind::PolicyCorrupt { firewall, entry, bit } => {
+                let mut configs: Vec<&mut ConfigMemory> = Vec::new();
+                for slot in &mut self.masters {
+                    if let Some(fw) = slot.firewall.as_mut() {
+                        configs.push(fw.config_mut());
+                    }
+                }
+                for slot in &mut self.slaves {
+                    if let Some(fw) = slot.firewall.as_mut() {
+                        configs.push(fw.config_mut());
+                    }
+                    if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                        configs.push(lcf.firewall_mut().config_mut());
+                    }
+                }
+                if !configs.is_empty() {
+                    let idx = usize::from(firewall) % configs.len();
+                    configs[idx].corrupt_entry_bit(entry, bit);
+                }
+            }
+            FaultKind::CcGlitch => {
+                for slot in &mut self.slaves {
+                    if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                        lcf.inject_cc_glitch();
+                    }
+                }
+            }
+            FaultKind::IcGlitch => {
+                for slot in &mut self.slaves {
+                    if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                        lcf.inject_ic_glitch();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quarantine recovery (armed via [`SocBuilder::auto_recover`]): a
+    /// quarantined LCF rebuilds every protected region's integrity tree
+    /// from the ciphertext currently in memory — and re-keys the regions
+    /// when configured — so residual fault damage to the tree state does
+    /// not outlive the quarantine; a quarantined Local Firewall
+    /// parity-scrubs its Configuration Memory.
+    fn recover(&mut self, id: FirewallId) {
+        let Some(policy) = self.auto_recover else { return };
+        for slot in &mut self.slaves {
+            if let SlaveKind::Ddr { ddr, lcf: Some(lcf) } = &mut slot.kind {
+                if lcf.firewall().id() != id {
+                    continue;
+                }
+                let mut cycles = 0u64;
+                for region in lcf.region_configs() {
+                    if region.protection == Protection::None {
+                        continue;
+                    }
+                    if let Ok(c) = lcf.rebuild_region(ddr, region.base) {
+                        cycles += c;
+                    }
+                    if policy.rekey {
+                        let mut key = [0u8; 16];
+                        key[..8].copy_from_slice(&self.recovery_rng.next_u64().to_le_bytes());
+                        key[8..].copy_from_slice(&self.recovery_rng.next_u64().to_le_bytes());
+                        if let Ok(c) = lcf.rekey(ddr, region.base, key) {
+                            cycles += c;
+                        }
+                    }
+                }
+                self.stats.incr("soc.recoveries");
+                self.stats.add("soc.recovery_cycles", cycles);
+                return;
+            }
+        }
+        for slot in &mut self.masters {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
+                self.stats.incr("soc.recoveries");
+                self.stats.add("soc.recovery_scrubs", repaired as u64);
+                return;
+            }
+        }
+        for slot in &mut self.slaves {
+            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
+                let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
+                self.stats.incr("soc.recoveries");
+                self.stats.add("soc.recovery_scrubs", repaired as u64);
+                return;
+            }
+        }
     }
 
     fn service(slot: &mut SlaveSlot, txn: &Transaction, now: Cycle) -> (u64, Response) {
@@ -635,6 +1007,13 @@ impl Soc {
                 self.stats.incr("soc.quarantine_releases");
                 return;
             }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                if lcf.firewall().id() == id {
+                    lcf.firewall_mut().unblock();
+                    self.stats.incr("soc.quarantine_releases");
+                    return;
+                }
+            }
         }
     }
 
@@ -684,6 +1063,42 @@ impl Soc {
             self.tick();
         }
         self.now.get() - start
+    }
+
+    /// Attach (replacing any previous plan) the fault plan whose events
+    /// fire at the top of each matching cycle. Attaching the same plan to
+    /// the same system always replays the same faults — chaos runs stay
+    /// seed-reproducible.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Faults still scheduled to fire.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The merged stats of every firewall in the system — the Local
+    /// Firewalls, the LCF's embedded firewall and the LCF's crypto-side
+    /// counters — for fleet-wide metrics (parity repairs, integrity
+    /// failures, tree rebuilds, …).
+    pub fn firewall_stats(&self) -> Stats {
+        let mut merged = Stats::new();
+        for slot in &self.masters {
+            if let Some(fw) = &slot.firewall {
+                merged.merge(fw.stats());
+            }
+        }
+        for slot in &self.slaves {
+            if let Some(fw) = &slot.firewall {
+                merged.merge(fw.stats());
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &slot.kind {
+                merged.merge(lcf.firewall().stats());
+                merged.merge(lcf.stats());
+            }
+        }
+        merged
     }
 
     /// Current simulated time.
@@ -1122,5 +1537,153 @@ mod tests {
         assert!(cycles < 20_000, "core escaped the spin after reconfig");
         let core = soc.master_as::<Mb32Core>(0).unwrap();
         assert_eq!(core.reg(secbus_cpu::Reg(2)), 7);
+    }
+
+    const STORE_LOAD_SRC: &str = r"
+        li  r1, 0x20000000
+        addi r2, r0, 42
+        sw  r2, 0(r1)
+        lw  r3, 0(r1)
+        halt
+    ";
+
+    fn store_load_soc(b: SocBuilder) -> Soc {
+        let program = assemble(STORE_LOAD_SRC).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        b.add_master(Box::new(core))
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build()
+    }
+
+    #[test]
+    fn watchdog_unwedges_a_lost_grant() {
+        use secbus_fault::{FaultEvent, FaultKind};
+        let mut soc = store_load_soc(SocBuilder::new().watchdog(50));
+        // The first grant the arbiter hands out vanishes (the core's sw):
+        // without the watchdog the core would wait for its response
+        // forever.
+        soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at: Cycle(1),
+            kind: FaultKind::BusLoseGrant,
+        }]));
+        let cycles = soc.run_until_halt(10_000);
+        assert!(cycles < 10_000, "watchdog must unwedge the core");
+        assert_eq!(soc.stats().counter("soc.watchdog_cancels"), 1);
+        let core = soc.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.stats().counter("core.access_errors"), 1, "sw surfaced as an error");
+        // The store was dropped, so the subsequent load reads zero.
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 0);
+    }
+
+    #[test]
+    fn retry_masks_a_lost_grant_from_the_ip() {
+        use secbus_fault::{FaultEvent, FaultKind};
+        let mut soc = store_load_soc(
+            SocBuilder::new().watchdog(50).retry(RetryPolicy::default()),
+        );
+        soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at: Cycle(1),
+            kind: FaultKind::BusLoseGrant,
+        }]));
+        let cycles = soc.run_until_halt(10_000);
+        assert!(cycles < 10_000);
+        // The interface re-issued the timed-out store behind the IP's
+        // back: the program completes as if nothing happened.
+        let core = soc.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.stats().counter("core.access_errors"), 0);
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 42);
+        assert_eq!(soc.bram_contents().unwrap()[0], 42);
+        assert_eq!(soc.stats().counter("soc.retries"), 1);
+        assert_eq!(soc.stats().counter("soc.retry_successes"), 1);
+    }
+
+    #[test]
+    fn quarantine_triggers_auto_recovery() {
+        use secbus_cpu::{SyntheticConfig, SyntheticMaster};
+        use secbus_sim::SimRng;
+        let rogue = SyntheticMaster::new(
+            "rogue",
+            SyntheticConfig {
+                windows: vec![(BRAM_BASE + 0x800, 0x100, 1)], // out of policy
+                read_ratio: 0.0,
+                widths: vec![secbus_bus::Width::Word],
+                burst: 1,
+                period: 4,
+                total_ops: 0,
+            },
+            SimRng::new(1),
+        );
+        let mut soc = SocBuilder::new()
+            .monitor_threshold(3)
+            .quarantine(100)
+            .auto_recover(false)
+            .add_protected_master(
+                Box::new(rogue),
+                ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
+            )
+            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .build();
+        soc.run(2_000);
+        let blocks = soc.monitor().stats().counter("monitor.blocks");
+        let recoveries = soc.stats().counter("soc.recoveries");
+        let releases = soc.stats().counter("soc.quarantine_releases");
+        assert!(blocks >= 1);
+        assert!(recoveries >= 1, "a quarantine episode ran its recovery hook");
+        assert!(
+            recoveries <= releases + 1,
+            "recovery runs once per episode, not per re-escalation \
+             ({recoveries} recoveries, {releases} releases)"
+        );
+    }
+
+    #[test]
+    fn fault_plan_application_is_reproducible() {
+        use secbus_cpu::{SyntheticConfig, SyntheticMaster};
+        use secbus_fault::{FaultRates, FaultSpec};
+        use secbus_sim::SimRng;
+        let build = || {
+            let ip = SyntheticMaster::new(
+                "ip",
+                SyntheticConfig {
+                    windows: vec![(BRAM_BASE, 0x400, 1)],
+                    read_ratio: 0.5,
+                    widths: vec![secbus_bus::Width::Word],
+                    burst: 1,
+                    period: 3,
+                    total_ops: 0,
+                },
+                SimRng::new(9),
+            );
+            let mut soc = SocBuilder::new()
+                .watchdog(64)
+                .retry(RetryPolicy::default())
+                .add_protected_master(
+                    Box::new(ip),
+                    ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 0x400)]).unwrap(),
+                )
+                .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+                .build();
+            let spec = FaultSpec {
+                duration: 5_000,
+                ddr_bytes: 0,
+                firewalls: 1,
+                slaves: 1,
+                rates: FaultRates::uniform(4.0),
+            };
+            soc.attach_fault_plan(FaultPlan::generate(0xC0FFEE, &spec));
+            soc.run(5_000);
+            let mut counters: Vec<(String, u64)> = soc
+                .stats()
+                .counters()
+                .chain(soc.bus().stats().counters())
+                .chain(soc.monitor().stats().counters())
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            counters.sort();
+            counters
+        };
+        let a = build();
+        assert!(a.iter().any(|(k, _)| k.starts_with("soc.fault.")), "faults actually fired");
+        assert_eq!(a, build(), "same seed + same plan => identical counters");
     }
 }

@@ -1,15 +1,15 @@
-//! Property-based tests of the cryptographic protection as seen through
+//! Randomized tests of the cryptographic protection as seen through
 //! the whole system: random write/read workloads against the LCF must
 //! round-trip exactly, leak nothing, and detect arbitrary tampering.
+//! Workloads come from a seeded [`SimRng`], so each case is reproducible.
 
-use proptest::prelude::*;
 use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
 use secbus_core::{
     AdfSet, ConfidentialityMode, ConfigMemory, CryptoTiming, FirewallId, IntegrityMode,
     LocalCipheringFirewall, Rwa, SecurityPolicy, Violation,
 };
 use secbus_mem::ExternalDdr;
-use secbus_sim::Cycle;
+use secbus_sim::{Cycle, SimRng};
 
 const BASE: u32 = 0x8000_0000;
 const REGION: u32 = 0x1000;
@@ -53,20 +53,20 @@ fn width_of(sel: u8) -> Width {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random aligned write/read sequences round-trip exactly through the
-    /// cipher + integrity machinery.
-    #[test]
-    fn protected_memory_roundtrips(
-        ops in proptest::collection::vec((0u32..0x400, any::<u8>(), any::<u32>()), 1..60)
-    ) {
+/// Randomized: aligned write/read sequences round-trip exactly through
+/// the cipher + integrity machinery.
+#[test]
+fn protected_memory_roundtrips() {
+    for case in 0u64..48 {
+        let mut rng = SimRng::new(0xc0de_0000 + case);
         let (mut lcf, mut ddr) = lcf_pair();
         let mut shadow = vec![0u8; REGION as usize];
         let mut cycle = 0u64;
-        for (slot, wsel, value) in ops {
-            let width = width_of(wsel);
+        let ops = 1 + rng.below(59);
+        for _ in 0..ops {
+            let slot = rng.below(0x400) as u32;
+            let width = width_of(rng.next_u32() as u8);
+            let value = rng.next_u32();
             let addr = BASE + slot * 4; // word-aligned base, ok for all widths
             let t = txn(Op::Write, addr, width, value);
             lcf.handle(&mut ddr, &t, Cycle(cycle)).expect("write admitted");
@@ -81,26 +81,30 @@ proptest! {
                 .expect("read admitted");
             let mut raw = [0u8; 4];
             raw[..n].copy_from_slice(&shadow[off..off + n]);
-            prop_assert_eq!(r.data, u32::from_le_bytes(raw));
+            assert_eq!(r.data, u32::from_le_bytes(raw), "case {case}");
             cycle += 1;
         }
     }
+}
 
-    /// Any single tampered byte in the protected region is detected on
-    /// the next read of its block, wherever it lands.
-    #[test]
-    fn any_byte_tamper_is_detected(
-        writes in proptest::collection::vec((0u32..0x100, any::<u32>()), 1..10),
-        victim in 0u32..0x1000,
-        flip in 1u8..=255,
-    ) {
+/// Randomized: any single tampered byte in the protected region is
+/// detected on the next read of its block, wherever it lands.
+#[test]
+fn any_byte_tamper_is_detected() {
+    for case in 0u64..48 {
+        let mut rng = SimRng::new(0x7a3b_0000 + case);
         let (mut lcf, mut ddr) = lcf_pair();
         let mut cycle = 0;
-        for (slot, value) in writes {
+        let writes = 1 + rng.below(9);
+        for _ in 0..writes {
+            let slot = rng.below(0x100) as u32;
+            let value = rng.next_u32();
             let t = txn(Op::Write, BASE + slot * 4, Width::Word, value);
             lcf.handle(&mut ddr, &t, Cycle(cycle)).unwrap();
             cycle += 1;
         }
+        let victim = rng.below(0x1000) as u32;
+        let flip = 1 + rng.below(255) as u8;
         // Tamper one stored byte.
         let mut b = ddr.snoop(victim, 1).to_vec();
         b[0] ^= flip;
@@ -110,20 +114,25 @@ proptest! {
         let err = lcf
             .handle(&mut ddr, &txn(Op::Read, read_addr, Width::Word, 0), Cycle(cycle))
             .expect_err("tamper must be detected");
-        prop_assert_eq!(err.0, Violation::IntegrityMismatch);
+        assert_eq!(err.0, Violation::IntegrityMismatch, "case {case}");
     }
+}
 
-    /// The raw external bytes never contain a 4-byte window equal to a
-    /// (non-trivial) plaintext word that was written.
-    #[test]
-    fn no_plaintext_word_at_rest(value in 0x01000000u32..0xffffffff, slot in 0u32..0x100) {
+/// Randomized: the raw external bytes never contain a 4-byte window equal
+/// to a (non-trivial) plaintext word that was written.
+#[test]
+fn no_plaintext_word_at_rest() {
+    for case in 0u64..48 {
+        let mut rng = SimRng::new(0x9e57_0000 + case);
         let (mut lcf, mut ddr) = lcf_pair();
+        let value = 0x0100_0000 + rng.below(u64::from(0xffff_ffffu32 - 0x0100_0000)) as u32;
+        let slot = rng.below(0x100) as u32;
         lcf.handle(&mut ddr, &txn(Op::Write, BASE + slot * 4, Width::Word, value), Cycle(0))
             .unwrap();
         let needle = value.to_le_bytes();
         let raw = ddr.snoop(0, REGION);
         let leaked = raw.windows(4).any(|w| w == needle);
-        prop_assert!(!leaked, "plaintext {value:#x} visible at rest");
+        assert!(!leaked, "case {case}: plaintext {value:#x} visible at rest");
     }
 }
 

@@ -1,9 +1,10 @@
 //! Determinism: same seed + same configuration ⇒ cycle-exact identical
 //! behaviour. Every experiment in EXPERIMENTS.md relies on this.
 
+use secbus_fault::{FaultPlan, FaultRates, FaultSpec};
 use secbus_integration_tests::synthetic_soc;
 use secbus_sim::Cycle;
-use secbus_soc::casestudy::{case_study, CaseStudyConfig};
+use secbus_soc::casestudy::{case_study, CaseResilience, CaseStudyConfig};
 use secbus_soc::Report;
 
 #[test]
@@ -39,6 +40,49 @@ fn case_study_is_deterministic() {
     let a = run();
     let b = run();
     assert_eq!(a, b);
+}
+
+/// Same seed + same fault plan ⇒ identical faulty run, including every
+/// watchdog cancel, retry and quarantine recovery along the way.
+#[test]
+fn fault_injected_runs_are_seed_reproducible() {
+    let spec = FaultSpec {
+        duration: 15_000,
+        ddr_bytes: 0x10_0000,
+        firewalls: 5,
+        slaves: 2,
+        rates: FaultRates::uniform(6.0),
+    };
+    let run = |fault_seed: u64| {
+        let mut soc = case_study(CaseStudyConfig {
+            monitor_threshold: 8,
+            resilience: Some(CaseResilience::default()),
+            ..Default::default()
+        });
+        soc.attach_fault_plan(FaultPlan::generate(fault_seed, &spec));
+        soc.run(15_000);
+        let trace: Vec<(u64, u32, bool)> = soc
+            .bus()
+            .trace()
+            .iter()
+            .map(|(c, t)| (c.get(), t.addr, t.op == secbus_bus::Op::Write))
+            .collect();
+        let mut counters: Vec<(String, u64)> = soc
+            .stats()
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .chain(soc.monitor().stats().counters().map(|(k, v)| (k.to_string(), v)))
+            .collect();
+        counters.sort();
+        (trace, counters, soc.monitor().alert_count())
+    };
+    let a = run(0xFEED);
+    let b = run(0xFEED);
+    assert_eq!(a.0, b.0, "bus trace");
+    assert_eq!(a.1, b.1, "soc + monitor counters");
+    assert_eq!(a.2, b.2, "alerts");
+    let c = run(0xBEEF);
+    assert_ne!(a.1, c.1, "a different fault seed perturbs the run");
 }
 
 #[test]
