@@ -86,12 +86,18 @@ impl EnergyModel {
             ("BRAM", self.bram_access_pj * a.bram_accesses as f64),
             ("DDR", self.ddr_access_pj * a.ddr_accesses as f64),
         ];
-        let breakdown: Vec<(String, f64)> =
-            items.iter().map(|(n, pj)| (n.to_string(), pj / 1000.0)).collect();
+        let breakdown: Vec<(String, f64)> = items
+            .iter()
+            .map(|(n, pj)| (n.to_string(), pj / 1000.0))
+            .collect();
         let dynamic_nj = breakdown.iter().map(|(_, nj)| nj).sum();
         // static: mW at 100 MHz -> 10 ns/cycle -> pJ/cycle = mW * 10.
         let static_nj = self.static_mw * 10.0 * a.cycles as f64 / 1000.0;
-        EnergyReport { breakdown, dynamic_nj, static_nj }
+        EnergyReport {
+            breakdown,
+            dynamic_nj,
+            static_nj,
+        }
     }
 }
 

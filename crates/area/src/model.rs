@@ -73,7 +73,12 @@ pub struct SystemShape {
 
 impl SystemShape {
     /// The paper's case study: 3 MicroBlaze + 1 BRAM + 1 DDR + 1 IP.
-    pub const CASE_STUDY: SystemShape = SystemShape { cpus: 3, brams: 1, ddrs: 1, ips: 1 };
+    pub const CASE_STUDY: SystemShape = SystemShape {
+        cpus: 3,
+        brams: 1,
+        ddrs: 1,
+        ips: 1,
+    };
 
     /// IPs that receive a *Local* Firewall: the bus masters (processors
     /// and dedicated IPs). The internal shared memory is protected by the
@@ -142,12 +147,8 @@ mod tests {
     #[test]
     fn residual_split_is_consistent() {
         // 4×LFCB_LF + LFCB_LCF must equal the solved residual.
-        let residual = GENERIC_WITH
-            - GENERIC_WITHOUT
-            - (MODULE_LF * 4)
-            - MODULE_SB
-            - MODULE_CC
-            - MODULE_IC;
+        let residual =
+            GENERIC_WITH - GENERIC_WITHOUT - (MODULE_LF * 4) - MODULE_SB - MODULE_CC - MODULE_IC;
         let glue = LFCB_LF * 4 + LFCB_LCF;
         assert_eq!(glue, residual);
     }
@@ -164,7 +165,11 @@ mod tests {
         let base = m.generic_system(SystemShape::CASE_STUDY);
         let with = m.system_with_firewalls(SystemShape::CASE_STUDY, DEFAULT_RULES_PER_FIREWALL);
         let pct = with.overhead_pct(&base);
-        assert!((pct[3] - 18.87).abs() < 0.01, "BRAM overhead {:.2}%", pct[3]);
+        assert!(
+            (pct[3] - 18.87).abs() < 0.01,
+            "BRAM overhead {:.2}%",
+            pct[3]
+        );
     }
 
     #[test]
@@ -176,7 +181,10 @@ mod tests {
         assert!(b.slice_luts > a.slice_luts);
         assert!(c.slice_luts > b.slice_luts);
         // Linear growth: equal steps.
-        assert_eq!(c.slice_luts - b.slice_luts, (64 - 16) / 8 * (b.slice_luts - a.slice_luts));
+        assert_eq!(
+            c.slice_luts - b.slice_luts,
+            (64 - 16) / 8 * (b.slice_luts - a.slice_luts)
+        );
     }
 
     #[test]
@@ -200,8 +208,18 @@ mod tests {
     #[test]
     fn larger_systems_scale_linearly() {
         let m = AreaModel;
-        let small = SystemShape { cpus: 2, brams: 1, ddrs: 1, ips: 0 };
-        let big = SystemShape { cpus: 8, brams: 1, ddrs: 1, ips: 0 };
+        let small = SystemShape {
+            cpus: 2,
+            brams: 1,
+            ddrs: 1,
+            ips: 0,
+        };
+        let big = SystemShape {
+            cpus: 8,
+            brams: 1,
+            ddrs: 1,
+            ips: 0,
+        };
         let delta = m.generic_system(big) - m.generic_system(small);
         assert_eq!(delta, COMP_CPU * 6);
     }

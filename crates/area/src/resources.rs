@@ -23,7 +23,12 @@ impl Resources {
 
     /// Construct a vector.
     pub const fn new(slice_regs: u32, slice_luts: u32, lutff_pairs: u32, brams: u32) -> Self {
-        Resources { slice_regs, slice_luts, lutff_pairs, brams }
+        Resources {
+            slice_regs,
+            slice_luts,
+            lutff_pairs,
+            brams,
+        }
     }
 
     /// Per-column overhead of `self` relative to `baseline`, in percent.

@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn render_contains_all_rows_and_numbers() {
         let s = Table1::case_study().render();
-        for needle in ["12895", "15833", "11474", "19554", "393", "986", "1404", "403", "63"] {
+        for needle in [
+            "12895", "15833", "11474", "19554", "393", "986", "1404", "403", "63",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
         assert!(s.contains("Generic w/o firewalls"));

@@ -118,7 +118,13 @@ impl BusMaster for HijackedMaster {
         match self.phase(now) {
             HijackPhase::Done => {}
             HijackPhase::Benign => {
-                let txn = mem.issue(Op::Write, self.benign_addr, Width::Word, now.get() as u32, 1);
+                let txn = mem.issue(
+                    Op::Write,
+                    self.benign_addr,
+                    Width::Word,
+                    now.get() as u32,
+                    1,
+                );
                 self.outstanding = Some(txn);
             }
             HijackPhase::Attacking => {
@@ -233,7 +239,12 @@ mod tests {
 
     #[test]
     fn hijacked_master_turns_at_schedule() {
-        let script = vec![AttackOp { op: Op::Write, addr: 0x40, width: Width::Word, data: 1 }];
+        let script = vec![AttackOp {
+            op: Op::Write,
+            addr: 0x40,
+            width: Width::Word,
+            data: 1,
+        }];
         let mut h = HijackedMaster::new("mal", 0x0, 2, 10, script);
         let mut mem = InstantMem::new(0x100);
         assert_eq!(h.phase(Cycle(0)), HijackPhase::Benign);
@@ -245,13 +256,22 @@ mod tests {
         assert!(attack_issue.get() >= 10);
         assert!(h.stats().counter("hijack.benign_ok") > 0);
         assert_eq!(h.stats().counter("hijack.attacks_issued"), 1);
-        assert_eq!(h.stats().counter("hijack.attack_succeeded"), 1, "no firewall here");
+        assert_eq!(
+            h.stats().counter("hijack.attack_succeeded"),
+            1,
+            "no firewall here"
+        );
     }
 
     #[test]
     fn rejected_attack_is_counted() {
         // InstantMem errors on out-of-range -> models a firewall discard.
-        let script = vec![AttackOp { op: Op::Read, addr: 0x9999, width: Width::Word, data: 0 }];
+        let script = vec![AttackOp {
+            op: Op::Read,
+            addr: 0x9999,
+            width: Width::Word,
+            data: 0,
+        }];
         let mut h = HijackedMaster::new("mal", 0x0, 1, 0, script);
         let mut mem = InstantMem::new(0x100);
         for c in 0..10 {

@@ -22,6 +22,6 @@ pub mod hijack;
 pub mod scenario;
 pub mod tamper;
 
-pub use hijack::{AttackOp, DosFlooder, HijackedMaster, HijackPhase};
+pub use hijack::{AttackOp, DosFlooder, HijackPhase, HijackedMaster};
 pub use scenario::{run_all_scenarios, AttackOutcome, Scenario};
 pub use tamper::Adversary;

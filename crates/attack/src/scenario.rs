@@ -104,8 +104,18 @@ impl AttackOutcome {
 /// Reader policy over one DDR window plus a benign BRAM window.
 fn reader_policies(window_base: u32, window_len: u32) -> ConfigMemory {
     ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(window_base, window_len), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(2, AddrRange::new(SHARED_BRAM_BASE, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(window_base, window_len),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(SHARED_BRAM_BASE, 0x1000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
     ])
     .unwrap()
 }
@@ -125,18 +135,28 @@ fn tamper_soc(read_addr: u32, write_addr: Option<u32>, seed: u64) -> Soc {
         },
         SimRng::new(seed),
     );
-    let mut builder = SocBuilder::new()
-        .add_protected_master(Box::new(reader), reader_policies(read_addr & !0xfff, 0x1000));
+    let mut builder = SocBuilder::new().add_protected_master(
+        Box::new(reader),
+        reader_policies(read_addr & !0xfff, 0x1000),
+    );
     if let Some(addr) = write_addr {
         let writer = StreamIp::new("writer", addr, 64, 0);
-        builder = builder.add_protected_master(
-            Box::new(writer),
-            reader_policies(addr & !0xfff, 0x1000),
-        );
+        builder =
+            builder.add_protected_master(Box::new(writer), reader_policies(addr & !0xfff, 0x1000));
     }
     builder
-        .add_bram("bram", AddrRange::new(SHARED_BRAM_BASE, 0x1000), Bram::new(0x1000), None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ExternalDdr::new(DDR_LEN), Some(lcf_policies()))
+        .add_bram(
+            "bram",
+            AddrRange::new(SHARED_BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ExternalDdr::new(DDR_LEN),
+            Some(lcf_policies()),
+        )
         .build()
 }
 
@@ -173,7 +193,11 @@ fn run_tamper(scenario: Scenario, seed: u64) -> AttackOutcome {
 
     // Warm-up: benign reads (and writes) flow.
     soc.run(2_000);
-    assert_eq!(soc.monitor().alert_count(), 0, "benign warm-up must be clean");
+    assert_eq!(
+        soc.monitor().alert_count(),
+        0,
+        "benign warm-up must be clean"
+    );
 
     let dev_off = read_addr - DDR_BASE;
     let block_off = dev_off & !15;
@@ -232,12 +256,27 @@ fn run_hijack(seed: u64) -> AttackOutcome {
     let turn_at = 1_000;
     let script = vec![
         // Unauthorized address (no policy).
-        AttackOp { op: Op::Write, addr: SHARED_BRAM_BASE + 0x8000, width: Width::Word, data: 1 },
+        AttackOp {
+            op: Op::Write,
+            addr: SHARED_BRAM_BASE + 0x8000,
+            width: Width::Word,
+            data: 1,
+        },
         // Direction violation: read a write-only window? — policy below is
         // rw on the benign block only, so this is NoPolicy again at +0x4000.
-        AttackOp { op: Op::Read, addr: SHARED_BRAM_BASE + 0x4000, width: Width::Word, data: 0 },
+        AttackOp {
+            op: Op::Read,
+            addr: SHARED_BRAM_BASE + 0x4000,
+            width: Width::Word,
+            data: 0,
+        },
         // Format violation inside the allowed window.
-        AttackOp { op: Op::Write, addr: benign_addr, width: Width::Byte, data: 0xEE },
+        AttackOp {
+            op: Op::Write,
+            addr: benign_addr,
+            width: Width::Byte,
+            data: 0xEE,
+        },
     ];
     let mal = HijackedMaster::new("mal-ip", benign_addr, 8, turn_at, script);
     let policies = ConfigMemory::with_policies(vec![SecurityPolicy::internal(
@@ -249,7 +288,12 @@ fn run_hijack(seed: u64) -> AttackOutcome {
     .unwrap();
     let mut soc = SocBuilder::new()
         .add_protected_master(Box::new(mal), policies)
-        .add_bram("bram", AddrRange::new(SHARED_BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(SHARED_BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
         .build();
     let _ = seed;
     soc.run(8_000);
@@ -268,7 +312,10 @@ fn run_hijack(seed: u64) -> AttackOutcome {
             && (t.addr == SHARED_BRAM_BASE + 0x8000
                 || (t.addr == SHARED_BRAM_BASE && t.width == Width::Byte))
     });
-    let rejections = soc.master_as::<HijackedMaster>(0).unwrap().attack_rejections();
+    let rejections = soc
+        .master_as::<HijackedMaster>(0)
+        .unwrap()
+        .attack_rejections();
     finish(
         Scenario::HijackedIp,
         &soc,
@@ -310,8 +357,13 @@ fn run_dos(seed: u64) -> AttackOutcome {
             let flooder = DosFlooder::new("flooder", SHARED_BRAM_BASE + 0x8000, 0);
             b = b.add_protected_master(Box::new(flooder), ConfigMemory::new());
         }
-        b.add_bram("bram", AddrRange::new(SHARED_BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
-            .build()
+        b.add_bram(
+            "bram",
+            AddrRange::new(SHARED_BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
+        .build()
     };
 
     let mut clean = build(false);
@@ -366,15 +418,35 @@ fn run_code_injection(seed: u64) -> AttackOutcome {
     let core = Mb32Core::with_bus_fetch("cpu0", code_base);
     let policies = ConfigMemory::with_policies(vec![
         // Fetch window: read-only over the public code region.
-        SecurityPolicy::internal(1, AddrRange::new(code_base, 0x1000), Rwa::ReadOnly, AdfSet::WORD_ONLY),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(code_base, 0x1000),
+            Rwa::ReadOnly,
+            AdfSet::WORD_ONLY,
+        ),
         // Data window: the one allowed BRAM word block.
-        SecurityPolicy::internal(2, AddrRange::new(SHARED_BRAM_BASE, 0x10), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(SHARED_BRAM_BASE, 0x10),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
     ])
     .unwrap();
     let mut soc = SocBuilder::new()
         .add_protected_master(Box::new(core), policies)
-        .add_bram("bram", AddrRange::new(SHARED_BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .add_bram(
+            "bram",
+            AddrRange::new(SHARED_BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ddr,
+            Some(lcf_policies()),
+        )
         .build();
 
     soc.run(5_000);
@@ -383,7 +455,13 @@ fn run_code_injection(seed: u64) -> AttackOutcome {
     // The attacker rewrites `sw r2, 0(r1)` into `sw r2, 0(r0)` — the
     // store now targets address 0, which no policy covers.
     use secbus_cpu::isa::{Instr, MemSize, Reg};
-    let evil = Instr::Store { size: MemSize::Word, rb: Reg(2), ra: Reg(0), off: 0 }.encode();
+    let evil = Instr::Store {
+        size: MemSize::Word,
+        rb: Reg(2),
+        ra: Reg(0),
+        off: 0,
+    }
+    .encode();
     let injected_at = soc.now();
     let mut adversary = Adversary::new(SimRng::new(seed));
     {
@@ -395,8 +473,18 @@ fn run_code_injection(seed: u64) -> AttackOutcome {
 
     let detected = soc.monitor().alert_count() > 0;
     // Containment: no store to address 0 on the bus.
-    let leaked = soc.bus().trace().iter().any(|(_, t)| t.op == Op::Write && t.addr < 0x10);
-    finish(Scenario::CodeInjection, &soc, injected_at, detected && !leaked, false)
+    let leaked = soc
+        .bus()
+        .trace()
+        .iter()
+        .any(|(_, t)| t.op == Op::Write && t.addr < 0x10);
+    finish(
+        Scenario::CodeInjection,
+        &soc,
+        injected_at,
+        detected && !leaked,
+        false,
+    )
 }
 
 /// Run one scenario.
@@ -415,7 +503,10 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> AttackOutcome {
 
 /// Run every scenario with one seed.
 pub fn run_all_scenarios(seed: u64) -> Vec<AttackOutcome> {
-    Scenario::ALL.iter().map(|&s| run_scenario(s, seed)).collect()
+    Scenario::ALL
+        .iter()
+        .map(|&s| run_scenario(s, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -467,7 +558,10 @@ mod tests {
         assert!(o.detected());
         assert!(o.contained, "no attack transaction may reach the bus");
         assert_eq!(o.alerts, 3, "one alert per scripted attack");
-        assert!(o.detection_latency.unwrap() <= 24, "detected within the SB pass");
+        assert!(
+            o.detection_latency.unwrap() <= 24,
+            "detected within the SB pass"
+        );
     }
 
     #[test]
@@ -490,8 +584,14 @@ mod tests {
         let outcomes = run_all_scenarios(7);
         assert_eq!(outcomes.len(), Scenario::ALL.len());
         // Exactly the two unprotected/cipher-only cases go undetected.
-        let undetected: Vec<_> =
-            outcomes.iter().filter(|o| !o.detected()).map(|o| o.scenario).collect();
-        assert_eq!(undetected, vec![Scenario::SpoofCipherOnly, Scenario::SpoofPublic]);
+        let undetected: Vec<_> = outcomes
+            .iter()
+            .filter(|o| !o.detected())
+            .map(|o| o.scenario)
+            .collect();
+        assert_eq!(
+            undetected,
+            vec![Scenario::SpoofCipherOnly, Scenario::SpoofPublic]
+        );
     }
 }

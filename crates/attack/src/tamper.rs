@@ -42,7 +42,10 @@ pub struct Adversary {
 impl Adversary {
     /// A deterministic adversary.
     pub fn new(rng: SimRng) -> Self {
-        Adversary { rng, log: Vec::new() }
+        Adversary {
+            rng,
+            log: Vec::new(),
+        }
     }
 
     /// Record the current bytes at `[offset, offset+len)` — the bus probe
@@ -65,7 +68,11 @@ impl Adversary {
     pub fn relocate(&mut self, ddr: &mut ExternalDdr, src: u32, dst: u32, len: u32) {
         let bytes = ddr.snoop(src, len).to_vec();
         ddr.tamper(dst, &bytes);
-        self.log.push(TamperRecord { kind: TamperKind::Relocation, offset: dst, len });
+        self.log.push(TamperRecord {
+            kind: TamperKind::Relocation,
+            offset: dst,
+            len,
+        });
     }
 
     /// Overwrite with attacker-chosen bytes (spoofing).
@@ -83,7 +90,11 @@ impl Adversary {
         let mut bytes = vec![0u8; len as usize];
         self.rng.fill_bytes(&mut bytes);
         ddr.tamper(offset, &bytes);
-        self.log.push(TamperRecord { kind: TamperKind::Spoofing, offset, len });
+        self.log.push(TamperRecord {
+            kind: TamperKind::Spoofing,
+            offset,
+            len,
+        });
     }
 
     /// Everything done so far.

@@ -21,7 +21,11 @@ pub struct SemConfig {
 
 impl Default for SemConfig {
     fn default() -> Self {
-        SemConfig { check_cycles: 12, bus_trip_cycles: 4, queue_capacity: 64 }
+        SemConfig {
+            check_cycles: 12,
+            bus_trip_cycles: 4,
+            queue_capacity: 64,
+        }
     }
 }
 
@@ -39,7 +43,12 @@ pub struct CentralManager {
 impl CentralManager {
     /// A fresh SEM.
     pub fn new(config: SemConfig) -> Self {
-        CentralManager { config, busy_until: 0, queue: VecDeque::new(), stats: Stats::new() }
+        CentralManager {
+            config,
+            busy_until: 0,
+            queue: VecDeque::new(),
+            stats: Stats::new(),
+        }
     }
 
     /// Submit a check request issued by an SEI at `now`; returns the cycle
@@ -132,7 +141,10 @@ mod tests {
 
     #[test]
     fn full_queue_stalls() {
-        let mut sem = CentralManager::new(SemConfig { queue_capacity: 0, ..Default::default() });
+        let mut sem = CentralManager::new(SemConfig {
+            queue_capacity: 0,
+            ..Default::default()
+        });
         assert!(sem.admit(Cycle(0)).is_none());
         assert_eq!(sem.stats().counter("sem.stalls"), 1);
     }
@@ -159,6 +171,9 @@ mod tests {
         assert!(a8.slice_luts > a4.slice_luts);
         let delta_regs = a8.slice_regs - a4.slice_regs;
         // 4 more SEIs + 32 more rules.
-        assert_eq!(delta_regs, SEI_COST.slice_regs * 4 + PER_RULE.slice_regs * 32);
+        assert_eq!(
+            delta_regs,
+            SEI_COST.slice_regs * 4 + PER_RULE.slice_regs * 32
+        );
     }
 }

@@ -22,9 +22,14 @@ fn bench_ctr() {
     let cipher = MemoryCipher::new(&[9; 16]);
     for size in [64usize, 1024, 16 * 1024] {
         let mut buf = vec![0xA5u8; size];
-        bench("memory_cipher", &format!("apply_{size}B"), size as u64, || {
-            cipher.apply(0x1000, 3, observe(&mut buf));
-        });
+        bench(
+            "memory_cipher",
+            &format!("apply_{size}B"),
+            size as u64,
+            || {
+                cipher.apply(0x1000, 3, observe(&mut buf));
+            },
+        );
     }
 }
 
@@ -39,7 +44,9 @@ fn bench_sha() {
 
 fn bench_merkle() {
     for leaves in [256usize, 4096] {
-        let init: Vec<_> = (0..leaves).map(|i| leaf_digest(i as u64, 0, &[0; 16])).collect();
+        let init: Vec<_> = (0..leaves)
+            .map(|i| leaf_digest(i as u64, 0, &[0; 16]))
+            .collect();
         let tree = MerkleTree::build(&init);
         let mut t = tree.clone();
         let d = leaf_digest(0, 1, &[1; 16]);

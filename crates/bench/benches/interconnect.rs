@@ -3,8 +3,7 @@
 use secbus_bench::bench;
 use secbus_bench::timing::observe;
 use secbus_bus::{
-    AddrRange, Arbiter, BusConfig, FixedPriority, MasterId, Op, RoundRobin, SharedBus, Tdma,
-    Width,
+    AddrRange, Arbiter, BusConfig, FixedPriority, MasterId, Op, RoundRobin, SharedBus, Tdma, Width,
 };
 use secbus_sim::Cycle;
 

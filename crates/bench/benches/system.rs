@@ -7,19 +7,30 @@ use std::time::Instant;
 
 fn main() {
     for security in [false, true] {
-        let label = if security { "protected_10k_cycles" } else { "generic_10k_cycles" };
+        let label = if security {
+            "protected_10k_cycles"
+        } else {
+            "generic_10k_cycles"
+        };
         // Each run consumes its SoC, so time explicit fresh-build runs
         // rather than going through the re-entrant harness.
         const RUNS: usize = 5;
         let mut samples = Vec::with_capacity(RUNS);
         for _ in 0..RUNS {
-            let mut soc = case_study(CaseStudyConfig { security, ip_samples: 0, ..Default::default() });
+            let mut soc = case_study(CaseStudyConfig {
+                security,
+                ip_samples: 0,
+                ..Default::default()
+            });
             let start = Instant::now();
             soc.run(10_000);
             samples.push(start.elapsed().as_secs_f64() * 1e3);
             observe(soc);
         }
         samples.sort_by(|a, b| a.total_cmp(b));
-        println!("case_study/{label:<28} {:>9.2} ms (median of {RUNS})", samples[RUNS / 2]);
+        println!(
+            "case_study/{label:<28} {:>9.2} ms (median of {RUNS})",
+            samples[RUNS / 2]
+        );
     }
 }

@@ -47,8 +47,18 @@ fn run(cache: Option<CacheConfig>, protected: bool) -> (u64, u64, Option<f64>) {
         None => Box::new(core),
     };
     let policies = ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, 0x1000), Rwa::ReadOnly, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(DDR_BASE, 0x1000),
+            Rwa::ReadOnly,
+            AdfSet::ALL,
+        ),
     ])
     .unwrap();
     let mut ddr = ExternalDdr::new(DDR_LEN);
@@ -61,8 +71,18 @@ fn run(cache: Option<CacheConfig>, protected: bool) -> (u64, u64, Option<f64>) {
     }
     let mut soc = b
         .add_protected_master(device, policies)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ddr,
+            Some(lcf_policies()),
+        )
         .build();
     let cycles = soc.run_until_halt(10_000_000);
     // Validate the computation survived the cache: sum(1..=16)*64 reps.
@@ -73,9 +93,7 @@ fn run(cache: Option<CacheConfig>, protected: bool) -> (u64, u64, Option<f64>) {
         .lcf()
         .map(|l| l.stats().counter("lcf.protected_reads"))
         .unwrap_or(0);
-    let hit_rate = soc
-        .master_as::<CachedMaster>(0)
-        .and_then(|c| c.hit_rate());
+    let hit_rate = soc.master_as::<CachedMaster>(0).and_then(|c| c.hit_rate());
     (cycles, protected_reads, hit_rate)
 }
 
@@ -87,10 +105,31 @@ fn main() {
     );
     let rows: [(&str, Option<CacheConfig>, bool); 5] = [
         ("generic, no cache", None, false),
-        ("generic, 1KiB cache", Some(CacheConfig { lines: 16, line_words: 4 }), false),
+        (
+            "generic, 1KiB cache",
+            Some(CacheConfig {
+                lines: 16,
+                line_words: 4,
+            }),
+            false,
+        ),
         ("protected, no cache", None, true),
-        ("protected, 1KiB cache", Some(CacheConfig { lines: 16, line_words: 4 }), true),
-        ("protected, 4KiB cache", Some(CacheConfig { lines: 64, line_words: 4 }), true),
+        (
+            "protected, 1KiB cache",
+            Some(CacheConfig {
+                lines: 16,
+                line_words: 4,
+            }),
+            true,
+        ),
+        (
+            "protected, 4KiB cache",
+            Some(CacheConfig {
+                lines: 64,
+                line_words: 4,
+            }),
+            true,
+        ),
     ];
     // Overhead is reported against the like-for-like generic baseline:
     // uncached configs against the uncached generic, cached against the

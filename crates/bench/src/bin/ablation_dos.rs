@@ -3,8 +3,8 @@
 //! victim's latency under (a) no mitigation, (b) the rate-limit extension
 //! at the flooder's Local Firewall, (c) TDMA arbitration.
 
-use secbus_bus::{AddrRange, MasterId, Tdma, Width};
 use secbus_attack::DosFlooder;
+use secbus_bus::{AddrRange, MasterId, Tdma, Width};
 use secbus_core::{AdfSet, ConfigMemory, RateLimit, Rwa, SecurityPolicy};
 use secbus_cpu::{SyntheticConfig, SyntheticMaster};
 use secbus_mem::Bram;
@@ -66,7 +66,12 @@ fn run(mitigation: Mitigation) -> (Option<f64>, u64, u64) {
     };
     let mut soc = b
         .add_protected_master(Box::new(victim), victim_policy)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .build();
     soc.run(30_000);
     let victim_latency = soc

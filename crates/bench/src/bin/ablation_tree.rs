@@ -44,7 +44,9 @@ fn read_latency(region_len: u32, per_level: u64) -> u64 {
         burst: 1,
         issued_at: Cycle(0),
     };
-    lcf.handle(&mut ddr, &txn, Cycle(0)).expect("clean read").latency
+    lcf.handle(&mut ddr, &txn, Cycle(0))
+        .expect("clean read")
+        .latency
 }
 
 fn main() {

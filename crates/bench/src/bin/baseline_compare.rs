@@ -9,7 +9,14 @@ fn main() {
         "{:>4} {:>7} {:>14} {:>14} {:>10} {:>12} {:>10}",
         "IPs", "load", "distrib mean", "central mean", "slowdown", "central p99", "bus txns"
     );
-    for (ips, load) in [(2u32, 0.01), (4, 0.01), (4, 0.04), (8, 0.04), (8, 0.08), (16, 0.08)] {
+    for (ips, load) in [
+        (2u32, 0.01),
+        (4, 0.01),
+        (4, 0.04),
+        (8, 0.04),
+        (8, 0.08),
+        (16, 0.08),
+    ] {
         let row = compare_check_latency(ips, load, 50_000, 7);
         println!(
             "{:>4} {:>7.2} {:>14.1} {:>14.1} {:>9.1}x {:>12} {:>10}",

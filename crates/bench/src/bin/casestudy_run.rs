@@ -7,12 +7,19 @@ use secbus_soc::Report;
 
 fn main() {
     for security in [false, true] {
-        let mut soc = case_study(CaseStudyConfig { security, ..Default::default() });
+        let mut soc = case_study(CaseStudyConfig {
+            security,
+            ..Default::default()
+        });
         let cycles = soc.run_until_halt(5_000_000);
         let report = Report::collect(&soc, Cycle(0));
         println!(
             "== case study, {} ==",
-            if security { "WITH firewalls" } else { "without firewalls (generic)" }
+            if security {
+                "WITH firewalls"
+            } else {
+                "without firewalls (generic)"
+            }
         );
         println!("completed in {cycles} cycles");
         println!("{report}");

@@ -42,9 +42,21 @@ struct Mode {
 }
 
 const MODES: &[Mode] = &[
-    Mode { name: "generic", security: false, resilient: false },
-    Mode { name: "detect-only", security: true, resilient: false },
-    Mode { name: "hardened", security: true, resilient: true },
+    Mode {
+        name: "generic",
+        security: false,
+        resilient: false,
+    },
+    Mode {
+        name: "detect-only",
+        security: true,
+        resilient: false,
+    },
+    Mode {
+        name: "hardened",
+        security: true,
+        resilient: true,
+    },
 ];
 
 /// Rewrite a core program to loop forever instead of halting, so memory
@@ -56,7 +68,11 @@ fn looping(src: &str) -> String {
 fn build(mode: &Mode) -> Soc {
     case_study(CaseStudyConfig {
         security: mode.security,
-        programs: Some([looping(CPU0_PROGRAM), looping(CPU1_PROGRAM), looping(CPU2_PROGRAM)]),
+        programs: Some([
+            looping(CPU0_PROGRAM),
+            looping(CPU1_PROGRAM),
+            looping(CPU2_PROGRAM),
+        ]),
         // Escalate after a burst of violations so quarantine recovery
         // actually exercises; detect-only keeps the paper's log-only
         // monitor to show the contrast.
@@ -120,12 +136,27 @@ fn run_cell(mode: &Mode, factor: f64, seed: u64) -> (Json, u64) {
         ("integrity_alerts".into(), Json::uint(integrity)),
         ("false_negatives".into(), Json::uint(false_negatives)),
         ("retries".into(), Json::uint(counter(&soc, "soc.retries"))),
-        ("retry_successes".into(), Json::uint(counter(&soc, "soc.retry_successes"))),
+        (
+            "retry_successes".into(),
+            Json::uint(counter(&soc, "soc.retry_successes")),
+        ),
         ("mean_retry_latency".into(), Json::Num(retry_latency)),
-        ("quarantines".into(), Json::uint(soc.monitor().stats().counter("monitor.blocks"))),
-        ("recoveries".into(), Json::uint(counter(&soc, "soc.recoveries"))),
-        ("quarantine_releases".into(), Json::uint(counter(&soc, "soc.quarantine_releases"))),
+        (
+            "quarantines".into(),
+            Json::uint(soc.monitor().stats().counter("monitor.blocks")),
+        ),
+        (
+            "recoveries".into(),
+            Json::uint(counter(&soc, "soc.recoveries")),
+        ),
+        (
+            "quarantine_releases".into(),
+            Json::uint(counter(&soc, "soc.quarantine_releases")),
+        ),
         ("bus_completions".into(), Json::uint(completions)),
+        // The cores loop forever: a cell with zero completions means the
+        // whole system deadlocked under fault injection.
+        ("wedged".into(), Json::Bool(completions == 0)),
     ]);
     (cell, completions)
 }
@@ -138,12 +169,14 @@ fn main() {
         .unwrap_or(0xC4A05);
 
     let mut cells = Vec::new();
+    let mut wedged = false;
     for mode in MODES {
         let mut baseline_completions = None;
         for (fi, &factor) in FACTORS.iter().enumerate() {
             // Same plan seed per factor across modes: every mode faces
             // the identical fault schedule.
             let (mut cell, completions) = run_cell(mode, factor, seed + fi as u64);
+            wedged |= completions == 0;
             let base = *baseline_completions.get_or_insert(completions);
             let degradation = if base == 0 {
                 0.0
@@ -163,6 +196,11 @@ fn main() {
         ("seed".into(), Json::uint(seed)),
         ("base_rate_per_class".into(), Json::Num(BASE_RATE)),
         ("cells".into(), Json::Arr(cells)),
+        ("wedged".into(), Json::Bool(wedged)),
     ]);
     println!("{}", report.render_pretty());
+    if wedged {
+        eprintln!("chaos_soak: wedged cell detected (zero bus completions)");
+        std::process::exit(1);
+    }
 }

@@ -9,7 +9,11 @@ fn main() {
         let (activity, report) = case_study_energy(security);
         println!(
             "== {} ==",
-            if security { "with firewalls" } else { "generic" }
+            if security {
+                "with firewalls"
+            } else {
+                "generic"
+            }
         );
         println!(
             "  activity: {} grants, {} checks, {} AES blocks, {} hashes, {} DDR accesses",
@@ -20,7 +24,10 @@ fn main() {
             activity.ddr_accesses
         );
         for (name, nj) in &report.breakdown {
-            println!("  {name:<16} {nj:>10.2} nJ ({:>4.1}%)", report.share(name) * 100.0);
+            println!(
+                "  {name:<16} {nj:>10.2} nJ ({:>4.1}%)",
+                report.share(name) * 100.0
+            );
         }
         println!(
             "  dynamic total    {:>10.2} nJ | static over run {:>10.2} nJ\n",

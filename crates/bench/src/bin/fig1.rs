@@ -7,6 +7,9 @@ fn main() {
     let soc = case_study(CaseStudyConfig::default());
     println!("{}", render_topology(&soc));
     println!("Baseline (generic, no firewalls) variant:\n");
-    let base = case_study(CaseStudyConfig { security: false, ..Default::default() });
+    let base = case_study(CaseStudyConfig {
+        security: false,
+        ..Default::default()
+    });
     println!("{}", render_topology(&base));
 }

@@ -46,7 +46,12 @@ fn run_bus_workload(n: usize, period: u64, cycles: u64, protected: bool) -> (Opt
         b = b.add_protected_master(Box::new(master), policies);
     }
     let mut soc = b
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x10000), Bram::new(0x10000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x10000),
+            Bram::new(0x10000),
+            None,
+        )
         .build();
     soc.run(cycles);
     let mut total = 0.0;

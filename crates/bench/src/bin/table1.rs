@@ -12,7 +12,11 @@ fn main() {
     let ok = t.without == GENERIC_WITHOUT && t.with == GENERIC_WITH;
     println!(
         "paper check: system rows {} the published Table I values",
-        if ok { "REPRODUCE EXACTLY" } else { "DIVERGE FROM" }
+        if ok {
+            "REPRODUCE EXACTLY"
+        } else {
+            "DIVERGE FROM"
+        }
     );
     println!(
         "note: overhead percentages are derived from the absolute counts; the\n\

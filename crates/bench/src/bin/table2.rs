@@ -8,7 +8,5 @@ fn main() {
     println!("(SB measured in-system; CC/IC streamed through the functional cores\n at the 100 MHz case-study clock)\n");
     print!("{}", t.render());
     println!();
-    println!(
-        "paper: SB 12 cycles | CC 11 cycles, 450 Mb/s | IC 20 cycles, 131 Mb/s"
-    );
+    println!("paper: SB 12 cycles | CC 11 cycles, 450 Mb/s | IC 20 cycles, 131 Mb/s");
 }

@@ -14,8 +14,18 @@ const BRAM_BASE: u32 = 0x2000_0000;
 fn run(src: &str, protected: bool, init: &[(u32, Vec<u8>)]) -> u64 {
     let core = Mb32Core::with_local_program("cpu0", 0, assemble(src).expect("assembles"));
     let policies = ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x4000), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(2, AddrRange::new(DDR_PRIVATE_BASE, 0x4000), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(BRAM_BASE, 0x4000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(DDR_PRIVATE_BASE, 0x4000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
     ])
     .unwrap();
     let mut bram = Bram::new(0x4000);
@@ -34,7 +44,12 @@ fn run(src: &str, protected: bool, init: &[(u32, Vec<u8>)]) -> u64 {
     let mut soc = b
         .add_protected_master(Box::new(core), policies)
         .add_bram("bram", AddrRange::new(BRAM_BASE, 0x4000), bram, None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ddr,
+            Some(lcf_policies()),
+        )
         .build();
     let cycles = soc.run_until_halt(20_000_000);
     assert!(cycles < 20_000_000, "workload did not halt");
@@ -49,12 +64,26 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
         "workload", "int base", "int prot", "int ovh", "ext base", "ext prot", "ext ovh"
     );
-    let data: Vec<u8> = (0..64u32).flat_map(|i| (i * 13 + 5).to_le_bytes()).collect();
+    let data: Vec<u8> = (0..64u32)
+        .flat_map(|i| (i * 13 + 5).to_le_bytes())
+        .collect();
     let cases: Vec<(&str, ProgramFor)> = vec![
-        ("memcpy64", Box::new(|base| workloads::memcpy(base, BRAM_BASE + 0x2000, 64))),
-        ("matmul4", Box::new(|base| workloads::matmul4(base, base + 0x40, BRAM_BASE + 0x2000))),
-        ("fletcher16", Box::new(|base| workloads::fletcher16(base, BRAM_BASE + 0x2000, 64))),
-        ("histogram", Box::new(|base| workloads::histogram(base, BRAM_BASE + 0x1000, 64))),
+        (
+            "memcpy64",
+            Box::new(|base| workloads::memcpy(base, BRAM_BASE + 0x2000, 64)),
+        ),
+        (
+            "matmul4",
+            Box::new(|base| workloads::matmul4(base, base + 0x40, BRAM_BASE + 0x2000)),
+        ),
+        (
+            "fletcher16",
+            Box::new(|base| workloads::fletcher16(base, BRAM_BASE + 0x2000, 64)),
+        ),
+        (
+            "histogram",
+            Box::new(|base| workloads::histogram(base, BRAM_BASE + 0x1000, 64)),
+        ),
     ];
     for (name, prog) in cases {
         let mut row = Vec::new();

@@ -48,7 +48,10 @@ pub fn collect_activity(soc: &Soc, since: Cycle) -> ActivityCounts {
 /// Run the case study (protected / unprotected) and estimate its energy.
 pub fn case_study_energy(security: bool) -> (ActivityCounts, EnergyReport) {
     use secbus_soc::casestudy::{case_study, CaseStudyConfig};
-    let mut soc = case_study(CaseStudyConfig { security, ..Default::default() });
+    let mut soc = case_study(CaseStudyConfig {
+        security,
+        ..Default::default()
+    });
     let start = soc.now();
     soc.run_until_halt(5_000_000);
     let activity = collect_activity(&soc, start);

@@ -30,13 +30,17 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len().max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
     let total = items.len();
-    let work: Vec<std::sync::Mutex<Option<T>>> =
-        items.into_iter().map(|item| std::sync::Mutex::new(Some(item))).collect();
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
     let mut slots: Vec<std::sync::Mutex<Option<R>>> = Vec::with_capacity(total);
     slots.resize_with(total, || std::sync::Mutex::new(None));
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -48,7 +52,11 @@ where
                 if i >= total {
                     break;
                 }
-                let item = work_ref[i].lock().unwrap().take().expect("each index claimed once");
+                let item = work_ref[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each index claimed once");
                 *slots_ref[i].lock().unwrap() = Some(f_ref(item));
             });
         }
@@ -62,4 +70,6 @@ where
 pub use energy::{case_study_energy, collect_activity};
 pub use table2::{measure_table2, Table2};
 pub use timing::{bench, measure, Measurement};
-pub use traffic::{sweep_traffic, traffic_overhead, traffic_overhead_multi, OverheadRow, OverheadStat};
+pub use traffic::{
+    sweep_traffic, traffic_overhead, traffic_overhead_multi, OverheadRow, OverheadStat,
+};

@@ -65,7 +65,12 @@ fn one_core_soc(protected: bool, accesses: u32) -> Soc {
         )])
         .unwrap(),
     )
-    .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+    .add_bram(
+        "bram",
+        AddrRange::new(BRAM_BASE, 0x1000),
+        Bram::new(0x1000),
+        None,
+    )
     .build()
 }
 

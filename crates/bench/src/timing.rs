@@ -64,7 +64,10 @@ pub fn measure<F: FnMut()>(mut f: F) -> Measurement {
         })
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
-    Measurement { ns_per_iter: samples[SAMPLES / 2], iters }
+    Measurement {
+        ns_per_iter: samples[SAMPLES / 2],
+        iters,
+    }
 }
 
 /// Run one named benchmark and print a `group/name  time  [throughput]`
@@ -73,7 +76,10 @@ pub fn bench<F: FnMut()>(group: &str, name: &str, bytes_per_iter: u64, f: F) {
     let m = measure(f);
     let time = format_ns(m.ns_per_iter);
     if bytes_per_iter > 0 {
-        println!("{group}/{name:<28} {time:>12}   {:>10.1} MiB/s", m.mib_per_s(bytes_per_iter));
+        println!(
+            "{group}/{name:<28} {time:>12}   {:>10.1} MiB/s",
+            m.mib_per_s(bytes_per_iter)
+        );
     } else {
         println!("{group}/{name:<28} {time:>12}");
     }

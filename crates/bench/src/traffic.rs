@@ -67,7 +67,12 @@ fn build_soc(period: u64, external_pct: u32, total_ops: u64, protected: bool, se
         SimRng::new(seed),
     );
     let policies = ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
         SecurityPolicy::internal(
             2,
             AddrRange::new(DDR_PRIVATE_BASE, 0x1000),
@@ -81,7 +86,12 @@ fn build_soc(period: u64, external_pct: u32, total_ops: u64, protected: bool, se
         b = b.without_security();
     }
     b.add_protected_master(Box::new(master), policies)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .set_ddr(
             "ddr",
             AddrRange::new(DDR_BASE, DDR_LEN),
@@ -98,8 +108,16 @@ pub fn traffic_overhead(period: u64, external_pct: u32, total_ops: u64, seed: u6
     let baseline_cycles = base.run_until_halt(budget);
     let mut prot = build_soc(period, external_pct, total_ops, true, seed);
     let protected_cycles = prot.run_until_halt(budget);
-    assert!(baseline_cycles < budget && protected_cycles < budget, "workload did not finish");
-    OverheadRow { period, external_pct, baseline_cycles, protected_cycles }
+    assert!(
+        baseline_cycles < budget && protected_cycles < budget,
+        "workload did not finish"
+    );
+    OverheadRow {
+        period,
+        external_pct,
+        baseline_cycles,
+        protected_cycles,
+    }
 }
 
 /// Multi-seed statistics for one sweep point.

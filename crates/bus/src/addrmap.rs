@@ -230,9 +230,12 @@ mod tests {
     #[test]
     fn map_decode_hits_correct_slave() {
         let mut m = AddressMap::new();
-        m.insert(AddrRange::new(0x0000_0000, 0x1_0000), SlaveId(0)).unwrap();
-        m.insert(AddrRange::new(0x4000_0000, 0x1000), SlaveId(1)).unwrap();
-        m.insert(AddrRange::new(0x8000_0000, 0x800_0000), SlaveId(2)).unwrap();
+        m.insert(AddrRange::new(0x0000_0000, 0x1_0000), SlaveId(0))
+            .unwrap();
+        m.insert(AddrRange::new(0x4000_0000, 0x1000), SlaveId(1))
+            .unwrap();
+        m.insert(AddrRange::new(0x8000_0000, 0x800_0000), SlaveId(2))
+            .unwrap();
         assert_eq!(m.decode(0x0000_0004), Some(SlaveId(0)));
         assert_eq!(m.decode(0x4000_0fff), Some(SlaveId(1)));
         assert_eq!(m.decode(0x87ff_ffff), Some(SlaveId(2)));
@@ -244,7 +247,8 @@ mod tests {
     #[test]
     fn map_rejects_overlap() {
         let mut m = AddressMap::new();
-        m.insert(AddrRange::new(0x1000, 0x1000), SlaveId(0)).unwrap();
+        m.insert(AddrRange::new(0x1000, 0x1000), SlaveId(0))
+            .unwrap();
         let err = m
             .insert(AddrRange::new(0x1800, 0x1000), SlaveId(1))
             .unwrap_err();

@@ -183,7 +183,9 @@ impl SharedBus {
             burst: burst.max(1),
             issued_at,
         };
-        self.masters[master.0 as usize].requests.push_back((ready_at, txn));
+        self.masters[master.0 as usize]
+            .requests
+            .push_back((ready_at, txn));
         self.stats.incr("bus.issued");
         id
     }
@@ -200,7 +202,9 @@ impl SharedBus {
     /// Deliver a response directly to `master`'s response queue (firewall
     /// discard synthesis); arrives on the next tick like any completion.
     pub fn push_response(&mut self, master: MasterId, response: Response) {
-        self.masters[master.0 as usize].responses.push_back(response);
+        self.masters[master.0 as usize]
+            .responses
+            .push_back(response);
     }
 
     /// Pop the next completed response for `master`, if any.
@@ -229,7 +233,9 @@ impl SharedBus {
         let master = self
             .take_inflight(response.txn)
             .expect("slave_complete: unknown or already-completed transaction");
-        self.slaves[slave.0 as usize].outbox.push_back((master, response));
+        self.slaves[slave.0 as usize]
+            .outbox
+            .push_back((master, response));
     }
 
     fn take_inflight(&mut self, txn: TxnId) -> Option<MasterId> {
@@ -336,12 +342,14 @@ impl SharedBus {
             }
             None => {
                 self.stats.incr("bus.decode_errors");
-                self.masters[txn.master.0 as usize].responses.push_back(Response {
-                    txn: txn.id,
-                    data: 0,
-                    result: Err(BusError::Decode),
-                    completed_at: now,
-                });
+                self.masters[txn.master.0 as usize]
+                    .responses
+                    .push_back(Response {
+                        txn: txn.id,
+                        data: 0,
+                        result: Err(BusError::Decode),
+                        completed_at: now,
+                    });
             }
         }
     }
@@ -598,7 +606,12 @@ mod tests {
         let t = b.slave_pop(s).unwrap();
         b.slave_complete(
             s,
-            Response { txn: t.id, data: 0x1234_5678, result: Ok(()), completed_at: Cycle(1) },
+            Response {
+                txn: t.id,
+                data: 0x1234_5678,
+                result: Ok(()),
+                completed_at: Cycle(1),
+            },
         );
         b.inject_corrupt_response(0xff);
         b.tick(Cycle(2));

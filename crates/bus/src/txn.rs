@@ -124,7 +124,8 @@ impl Transaction {
 
     /// Whether every byte touched lies within `[base, base+len)`.
     pub fn within(&self, base: u32, len: u32) -> bool {
-        u64::from(self.addr) >= u64::from(base) && self.end_addr() <= u64::from(base) + u64::from(len)
+        u64::from(self.addr) >= u64::from(base)
+            && self.end_addr() <= u64::from(base) + u64::from(len)
     }
 
     /// Whether the address is naturally aligned for the access width.

@@ -66,14 +66,27 @@ fn every_transaction_completes_exactly_once() {
                     0x8000_0000 + u32::from(i.addr_sel) // unmapped
                 };
                 let op = if i.write { Op::Write } else { Op::Read };
-                let id = bus.issue(m, op, addr, Width::Word, 0, u16::from(i.burst), Cycle(cycle));
+                let id = bus.issue(
+                    m,
+                    op,
+                    addr,
+                    Width::Word,
+                    0,
+                    u16::from(i.burst),
+                    Cycle(cycle),
+                );
                 issued.push((m, id));
             }
             bus.tick(Cycle(cycle));
             while let Some(t) = bus.slave_pop(slave) {
                 bus.slave_complete(
                     slave,
-                    Response { txn: t.id, data: t.addr, result: Ok(()), completed_at: Cycle(cycle) },
+                    Response {
+                        txn: t.id,
+                        data: t.addr,
+                        result: Ok(()),
+                        completed_at: Cycle(cycle),
+                    },
                 );
             }
             for &m in &masters {
@@ -85,7 +98,10 @@ fn every_transaction_completes_exactly_once() {
             cycle += 1;
         }
 
-        assert!(issued.is_empty(), "case {case}: transactions left in flight: {issued:?}");
+        assert!(
+            issued.is_empty(),
+            "case {case}: transactions left in flight: {issued:?}"
+        );
         // No duplicate completions.
         let mut ids: Vec<u64> = responses.iter().map(|(_, r)| r.txn.0).collect();
         let before = ids.len();
@@ -93,7 +109,11 @@ fn every_transaction_completes_exactly_once() {
         ids.dedup();
         assert_eq!(ids.len(), before, "case {case}: duplicate completion");
         // Trace length equals the grant counter.
-        assert_eq!(bus.trace().total(), bus.stats().counter("bus.grants"), "case {case}");
+        assert_eq!(
+            bus.trace().total(),
+            bus.stats().counter("bus.grants"),
+            "case {case}"
+        );
     }
 }
 
@@ -110,7 +130,17 @@ fn per_master_responses_preserve_issue_order() {
         let slave = bus.add_slave();
         bus.map_range(slave, AddrRange::new(0, 0x1000)).unwrap();
         let ids: Vec<_> = (0..count)
-            .map(|i| bus.issue(m, Op::Read, (i as u32 % 64) * 4, Width::Word, 0, 1, Cycle(0)))
+            .map(|i| {
+                bus.issue(
+                    m,
+                    Op::Read,
+                    (i as u32 % 64) * 4,
+                    Width::Word,
+                    0,
+                    1,
+                    Cycle(0),
+                )
+            })
             .collect();
         let mut got = Vec::new();
         for c in 0..50_000u64 {
@@ -118,7 +148,12 @@ fn per_master_responses_preserve_issue_order() {
             while let Some(t) = bus.slave_pop(slave) {
                 bus.slave_complete(
                     slave,
-                    Response { txn: t.id, data: 0, result: Ok(()), completed_at: Cycle(c) },
+                    Response {
+                        txn: t.id,
+                        data: 0,
+                        result: Ok(()),
+                        completed_at: Cycle(c),
+                    },
                 );
             }
             while let Some(r) = bus.poll_response(m) {

@@ -48,7 +48,9 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("run") => cmd_run(&args[1..]),
         Some("attacks") => cmd_attacks(&args[1..]),
         Some("table1") => Ok(secbus_area::Table1::case_study().render()),
-        Some("table2") => Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into()),
+        Some("table2") => {
+            Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into())
+        }
         Some("policy-template") => Ok(crate::policyfile::template() + "\n"),
         Some("fig1") => {
             let soc = secbus_soc::casestudy::case_study(Default::default());
@@ -143,7 +145,12 @@ fn run_audit(
                 Rwa::ReadWrite,
                 AdfSet::ALL,
             ),
-            SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+            SecurityPolicy::internal(
+                2,
+                AddrRange::new(DDR_BASE, DDR_LEN),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
         ])
         .map_err(|e| e.to_string())?,
     };
@@ -153,7 +160,12 @@ fn run_audit(
     }
     let mut soc = builder
         .add_protected_master(Box::new(core), policies)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
         .set_ddr(
             "ddr",
             AddrRange::new(DDR_BASE, DDR_LEN),
@@ -174,7 +186,12 @@ fn run_trace(src: &str, cycles: u64, protected: bool) -> Result<String, String> 
     }
     let mut soc = builder
         .add_master(Box::new(core))
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
         .set_ddr(
             "ddr",
             AddrRange::new(DDR_BASE, DDR_LEN),
@@ -223,7 +240,12 @@ pub fn run_program_image(
                 Rwa::ReadWrite,
                 AdfSet::ALL,
             ),
-            SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+            SecurityPolicy::internal(
+                2,
+                AddrRange::new(DDR_BASE, DDR_LEN),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
         ])
         .map_err(|e| e.to_string())?,
     };
@@ -243,8 +265,18 @@ pub fn run_program_image(
     }
     let mut soc = builder
         .add_protected_master(Box::new(core), policies)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ddr,
+            Some(lcf_policies()),
+        )
         .build();
     let ran = soc.run_until_halt(cycles);
     let core = soc.master_as::<Mb32Core>(0).expect("cpu0");
@@ -252,7 +284,12 @@ pub fn run_program_image(
     if secbus_cpu::BusMaster::halted(core) {
         writeln!(out, "halted after {ran} cycles").unwrap();
     } else {
-        writeln!(out, "cycle budget ({cycles}) exhausted; pc = {:#010x}", core.pc()).unwrap();
+        writeln!(
+            out,
+            "cycle budget ({cycles}) exhausted; pc = {:#010x}",
+            core.pc()
+        )
+        .unwrap();
     }
     writeln!(out, "registers:").unwrap();
     for i in 0..16 {
@@ -393,7 +430,8 @@ mod tests {
     fn run_with_image_boots_from_loaded_data() {
         // Image drops a word into the public DDR region; the program reads
         // it back into r2.
-        let image = secbus_mem::encode_ihex(&[(0x8008_0000, 0xCAFE_F00Du32.to_le_bytes().to_vec())]);
+        let image =
+            secbus_mem::encode_ihex(&[(0x8008_0000, 0xCAFE_F00Du32.to_le_bytes().to_vec())]);
         let img = parse_ihex(&image).unwrap();
         let out = run_program_image(
             "li r1, 0x80080000\nlw r2, 0(r1)\nhalt",
@@ -417,11 +455,17 @@ mod tests {
     fn run_with_audit_reports_firewalls() {
         let dir = std::env::temp_dir();
         let path = dir.join("secbus_cli_audit_test.s");
-        fs::write(&path, "li r1, 0x20000000\nsw r0, 0(r1)\nli r2, 0x30000000\nsw r0, 0(r2)\nhalt\n")
-            .unwrap();
+        fs::write(
+            &path,
+            "li r1, 0x20000000\nsw r0, 0(r1)\nli r2, 0x30000000\nsw r0, 0(r2)\nhalt\n",
+        )
+        .unwrap();
         let out = dispatch(&argv(&["run", path.to_str().unwrap(), "--audit"])).unwrap();
         assert!(out.contains("security audit"), "{out}");
-        assert!(out.contains("no_policy"), "the 0x30000000 write shows up: {out}");
+        assert!(
+            out.contains("no_policy"),
+            "the 0x30000000 write shows up: {out}"
+        );
         let out = dispatch(&argv(&["run", path.to_str().unwrap(), "--audit-json"])).unwrap();
         assert!(out.contains("\"violation\""), "{out}");
     }

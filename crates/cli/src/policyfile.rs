@@ -18,9 +18,7 @@
 //! error string, never a panic.
 
 use secbus_bus::AddrRange;
-use secbus_core::{
-    AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy,
-};
+use secbus_core::{AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy};
 use secbus_sim::Json;
 
 /// Parse and validate a policy file's contents.
@@ -31,9 +29,7 @@ pub fn parse_policies(json: &str) -> Result<ConfigMemory, String> {
         .ok_or("policy file: top level must be a JSON array of policies")?;
     let mut policies = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
-        policies.push(
-            policy_from_json(entry).map_err(|e| format!("policy file: entry {i}: {e}"))?,
-        );
+        policies.push(policy_from_json(entry).map_err(|e| format!("policy file: entry {i}: {e}"))?);
     }
     if policies.is_empty() {
         return Err("policy file: empty policy set (everything would be denied)".into());
@@ -63,13 +59,19 @@ fn policy_from_json(v: &Json) -> Result<SecurityPolicy, String> {
         return Err("region len must be positive".into());
     }
     if u64::from(base) + u64::from(len) > 1 << 32 {
-        return Err(format!("region {base:#x}+{len:#x} wraps the 32-bit address space"));
+        return Err(format!(
+            "region {base:#x}+{len:#x} wraps the 32-bit address space"
+        ));
     }
     let rwa = match field(v, "rwa")?.as_str() {
         Some("ReadOnly") => Rwa::ReadOnly,
         Some("WriteOnly") => Rwa::WriteOnly,
         Some("ReadWrite") => Rwa::ReadWrite,
-        other => return Err(format!("rwa must be ReadOnly|WriteOnly|ReadWrite, got {other:?}")),
+        other => {
+            return Err(format!(
+                "rwa must be ReadOnly|WriteOnly|ReadWrite, got {other:?}"
+            ))
+        }
     };
     let adf = uint_field(v, "adf")?;
     if adf > 7 {
@@ -94,7 +96,10 @@ fn policy_from_json(v: &Json) -> Result<SecurityPolicy, String> {
             }
             let mut k = [0u8; 16];
             for (slot, b) in k.iter_mut().zip(bytes.iter()) {
-                let byte = b.as_u64().filter(|&x| x <= 255).ok_or("key bytes must be 0..=255")?;
+                let byte = b
+                    .as_u64()
+                    .filter(|&x| x <= 255)
+                    .ok_or("key bytes must be 0..=255")?;
                 *slot = byte as u8;
             }
             Some(k)
@@ -205,17 +210,23 @@ mod tests {
     #[test]
     fn bad_field_values_report_not_panic() {
         let overlong_spi = r#"[{"spi":70000,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
-        assert!(parse_policies(overlong_spi).unwrap_err().contains("16 bits"));
+        assert!(parse_policies(overlong_spi)
+            .unwrap_err()
+            .contains("16 bits"));
         let bad_rwa = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"Everything","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
         assert!(parse_policies(bad_rwa).unwrap_err().contains("rwa"));
         let empty_region = r#"[{"spi":1,"region":{"base":0,"len":0},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
-        assert!(parse_policies(empty_region).unwrap_err().contains("positive"));
+        assert!(parse_policies(empty_region)
+            .unwrap_err()
+            .contains("positive"));
         let wrapping = r#"[{"spi":1,"region":{"base":4294967295,"len":2},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Bypass","key":null}]"#;
         assert!(parse_policies(wrapping).unwrap_err().contains("wraps"));
         let short_key = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Encrypt","im":"Bypass","key":[1,2,3]}]"#;
         assert!(parse_policies(short_key).unwrap_err().contains("16 bytes"));
         let missing = r#"[{"spi":1}]"#;
-        assert!(parse_policies(missing).unwrap_err().contains("missing field"));
+        assert!(parse_policies(missing)
+            .unwrap_err()
+            .contains("missing field"));
     }
 
     #[test]
@@ -223,7 +234,9 @@ mod tests {
         let enc_no_key = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Encrypt","im":"Bypass","key":null}]"#;
         assert!(parse_policies(enc_no_key).unwrap_err().contains("no key"));
         let verify_no_cipher = r#"[{"spi":1,"region":{"base":0,"len":32},"rwa":"ReadWrite","adf":7,"cm":"Bypass","im":"Verify","key":null}]"#;
-        assert!(parse_policies(verify_no_cipher).unwrap_err().contains("integrity"));
+        assert!(parse_policies(verify_no_cipher)
+            .unwrap_err()
+            .contains("integrity"));
     }
 
     #[test]

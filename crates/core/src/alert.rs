@@ -149,7 +149,8 @@ impl SecurityMonitor {
                 true
             }
         });
-        self.stats.add("monitor.watchdog_timeouts", expired.len() as u64);
+        self.stats
+            .add("monitor.watchdog_timeouts", expired.len() as u64);
         expired
     }
 
@@ -189,7 +190,10 @@ impl SecurityMonitor {
                 Some(q) => {
                     // Fresh violation budget after release.
                     self.per_firewall[idx] = 0;
-                    Reaction::Quarantine { firewall: fw, until: at + q }
+                    Reaction::Quarantine {
+                        firewall: fw,
+                        until: at + q,
+                    }
                 }
                 None => Reaction::BlockIp(fw),
             }
@@ -250,7 +254,10 @@ mod tests {
     #[test]
     fn observe_counts_and_logs() {
         let mut m = SecurityMonitor::new(0);
-        assert_eq!(m.observe(alert(0, Violation::FormatViolation, 5)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(0, Violation::FormatViolation, 5)),
+            Reaction::None
+        );
         assert_eq!(m.observe(alert(1, Violation::NoPolicy, 9)), Reaction::None);
         assert_eq!(m.alert_count(), 2);
         assert_eq!(m.alerts_from(FirewallId(0)), 1);
@@ -263,8 +270,14 @@ mod tests {
     #[test]
     fn threshold_escalates_to_block() {
         let mut m = SecurityMonitor::new(3);
-        assert_eq!(m.observe(alert(2, Violation::UnauthorizedWrite, 1)), Reaction::None);
-        assert_eq!(m.observe(alert(2, Violation::UnauthorizedWrite, 2)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(2, Violation::UnauthorizedWrite, 1)),
+            Reaction::None
+        );
+        assert_eq!(
+            m.observe(alert(2, Violation::UnauthorizedWrite, 2)),
+            Reaction::None
+        );
         assert_eq!(
             m.observe(alert(2, Violation::UnauthorizedWrite, 3)),
             Reaction::BlockIp(FirewallId(2))
@@ -273,7 +286,10 @@ mod tests {
         let mut m = SecurityMonitor::new(2);
         assert_eq!(m.observe(alert(0, Violation::NoPolicy, 1)), Reaction::None);
         assert_eq!(m.observe(alert(1, Violation::NoPolicy, 2)), Reaction::None);
-        assert_eq!(m.observe(alert(0, Violation::NoPolicy, 3)), Reaction::BlockIp(FirewallId(0)));
+        assert_eq!(
+            m.observe(alert(0, Violation::NoPolicy, 3)),
+            Reaction::BlockIp(FirewallId(0))
+        );
     }
 
     #[test]
@@ -282,13 +298,22 @@ mod tests {
         assert_eq!(m.observe(alert(1, Violation::NoPolicy, 10)), Reaction::None);
         assert_eq!(
             m.observe(alert(1, Violation::NoPolicy, 20)),
-            Reaction::Quarantine { firewall: FirewallId(1), until: Cycle(520) }
+            Reaction::Quarantine {
+                firewall: FirewallId(1),
+                until: Cycle(520)
+            }
         );
         // The budget resets: two more violations re-escalate.
-        assert_eq!(m.observe(alert(1, Violation::NoPolicy, 600)), Reaction::None);
+        assert_eq!(
+            m.observe(alert(1, Violation::NoPolicy, 600)),
+            Reaction::None
+        );
         assert_eq!(
             m.observe(alert(1, Violation::NoPolicy, 610)),
-            Reaction::Quarantine { firewall: FirewallId(1), until: Cycle(1110) }
+            Reaction::Quarantine {
+                firewall: FirewallId(1),
+                until: Cycle(1110)
+            }
         );
         assert_eq!(m.stats().counter("monitor.blocks"), 2);
     }
@@ -346,16 +371,32 @@ mod tests {
     #[test]
     fn environment_faults_do_not_burn_the_violation_budget() {
         let mut m = SecurityMonitor::new(2).with_quarantine(100);
-        assert_eq!(m.observe(alert(3, Violation::WatchdogTimeout, 1)), Reaction::None);
-        assert_eq!(m.observe(alert(3, Violation::ConfigCorruption, 2)), Reaction::None);
-        assert_eq!(m.observe(alert(3, Violation::WatchdogTimeout, 3)), Reaction::None);
-        assert_eq!(m.alerts_from(FirewallId(3)), 0, "logged but not held against the IP");
+        assert_eq!(
+            m.observe(alert(3, Violation::WatchdogTimeout, 1)),
+            Reaction::None
+        );
+        assert_eq!(
+            m.observe(alert(3, Violation::ConfigCorruption, 2)),
+            Reaction::None
+        );
+        assert_eq!(
+            m.observe(alert(3, Violation::WatchdogTimeout, 3)),
+            Reaction::None
+        );
+        assert_eq!(
+            m.alerts_from(FirewallId(3)),
+            0,
+            "logged but not held against the IP"
+        );
         assert_eq!(m.alert_count(), 3, "still in the audit trail");
         // Real offenses still escalate at the configured threshold.
         assert_eq!(m.observe(alert(3, Violation::NoPolicy, 4)), Reaction::None);
         assert_eq!(
             m.observe(alert(3, Violation::NoPolicy, 5)),
-            Reaction::Quarantine { firewall: FirewallId(3), until: Cycle(105) }
+            Reaction::Quarantine {
+                firewall: FirewallId(3),
+                until: Cycle(105)
+            }
         );
     }
 

@@ -13,8 +13,8 @@
 
 use core::fmt;
 
-use secbus_bus::Transaction;
 use crate::policy::SecurityPolicy;
+use secbus_bus::Transaction;
 
 /// A security-rule violation, as reported on the alert signals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -195,10 +195,16 @@ mod tests {
         let ro = policy(Rwa::ReadOnly, AdfSet::ALL);
         let t = txn(Op::Write, 0x1000, Width::Word, 1);
         assert_eq!(check_rwa(&ro, &t), Some(Violation::UnauthorizedWrite));
-        assert_eq!(check_all(&ro, &t), CheckOutcome::Fail(Violation::UnauthorizedWrite));
+        assert_eq!(
+            check_all(&ro, &t),
+            CheckOutcome::Fail(Violation::UnauthorizedWrite)
+        );
         let wo = policy(Rwa::WriteOnly, AdfSet::ALL);
         let t = txn(Op::Read, 0x1000, Width::Word, 1);
-        assert_eq!(check_all(&wo, &t), CheckOutcome::Fail(Violation::UnauthorizedRead));
+        assert_eq!(
+            check_all(&wo, &t),
+            CheckOutcome::Fail(Violation::UnauthorizedRead)
+        );
     }
 
     #[test]
@@ -230,7 +236,10 @@ mod tests {
     fn start_outside_region_is_overrun() {
         let p = policy(Rwa::ReadWrite, AdfSet::ALL);
         let t = txn(Op::Read, 0x0fff, Width::Byte, 1);
-        assert_eq!(check_all(&p, &t), CheckOutcome::Fail(Violation::RegionOverrun));
+        assert_eq!(
+            check_all(&p, &t),
+            CheckOutcome::Fail(Violation::RegionOverrun)
+        );
     }
 
     #[test]
@@ -250,7 +259,10 @@ mod tests {
         // region violation (module order is fixed, as in hardware).
         let p = policy(Rwa::ReadOnly, AdfSet::ALL);
         let t = txn(Op::Write, 0x2000, Width::Word, 1);
-        assert_eq!(check_all(&p, &t), CheckOutcome::Fail(Violation::RegionOverrun));
+        assert_eq!(
+            check_all(&p, &t),
+            CheckOutcome::Fail(Violation::RegionOverrun)
+        );
     }
 
     #[test]

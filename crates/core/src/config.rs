@@ -12,7 +12,6 @@
 
 use core::fmt;
 
-
 use crate::policy::{SecurityPolicy, Spi};
 
 /// Error inserting a policy whose region overlaps an existing one.
@@ -90,7 +89,11 @@ impl ConfigMemory {
 
     /// Refresh parity and the golden image after a legitimate mutation.
     fn commit(&mut self) {
-        self.parity = self.policies.iter().map(SecurityPolicy::storage_parity).collect();
+        self.parity = self
+            .policies
+            .iter()
+            .map(SecurityPolicy::storage_parity)
+            .collect();
         self.golden = self.policies.clone();
     }
 

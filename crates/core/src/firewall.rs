@@ -17,11 +17,11 @@
 //! forward the transaction or synthesize a discard response — this split
 //! matches the LFCB/SB/FI structure in Figure 1.
 
-use secbus_bus::Transaction;
-use secbus_sim::{Cycle, Stats};
 use crate::alert::Alert;
 use crate::checker::{check_all, CheckOutcome, Violation};
 use crate::config::ConfigMemory;
+use secbus_bus::Transaction;
+use secbus_sim::{Cycle, Stats};
 
 /// Identifies a firewall instance (the `firewall_id` signal of Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -43,7 +43,10 @@ pub struct SbTiming {
 
 impl SbTiming {
     /// The paper's measured checking latency: 12 cycles total.
-    pub const PAPER: SbTiming = SbTiming { lookup_cycles: 6, module_cycles: 6 };
+    pub const PAPER: SbTiming = SbTiming {
+        lookup_cycles: 6,
+        module_cycles: 6,
+    };
 
     /// Rule-count-dependent timing: lookup grows with the depth of the
     /// policy CAM (log2 of the rule count), module time is fixed. At the
@@ -51,7 +54,10 @@ impl SbTiming {
     pub fn scaled(total_rules: u32) -> SbTiming {
         let n = total_rules.max(1);
         let depth = u64::from(32 - (n - 1).leading_zeros().min(31));
-        SbTiming { lookup_cycles: 3 + depth.max(1), module_cycles: 6 }
+        SbTiming {
+            lookup_cycles: 3 + depth.max(1),
+            module_cycles: 6,
+        }
     }
 
     /// Total check latency in cycles.
@@ -87,7 +93,10 @@ impl RateLimit {
     pub fn new(window_cycles: u64, max_requests: u32) -> Self {
         assert!(window_cycles > 0, "rate-limit window must be positive");
         assert!(max_requests > 0, "rate-limit budget must be positive");
-        RateLimit { window_cycles, max_requests }
+        RateLimit {
+            window_cycles,
+            max_requests,
+        }
     }
 }
 
@@ -200,7 +209,11 @@ impl LocalFirewall {
         match outcome {
             CheckOutcome::Pass => {
                 self.stats.incr("fw.passed");
-                Decision { allowed: true, latency, violation: None }
+                Decision {
+                    allowed: true,
+                    latency,
+                    violation: None,
+                }
             }
             CheckOutcome::Fail(v) => self.deny(txn, v, latency, now),
         }
@@ -215,7 +228,11 @@ impl LocalFirewall {
             txn: *txn,
             at: now,
         });
-        Decision { allowed: false, latency, violation: Some(v) }
+        Decision {
+            allowed: false,
+            latency,
+            violation: Some(v),
+        }
     }
 
     /// Record a violation detected *outside* the Security Builder pipeline
@@ -284,7 +301,12 @@ mod tests {
 
     fn fw() -> LocalFirewall {
         let config = ConfigMemory::with_policies(vec![
-            SecurityPolicy::internal(1, AddrRange::new(0x1000, 0x100), Rwa::ReadWrite, AdfSet::ALL),
+            SecurityPolicy::internal(
+                1,
+                AddrRange::new(0x1000, 0x100),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
             SecurityPolicy::internal(
                 2,
                 AddrRange::new(0x2000, 0x100),
@@ -366,7 +388,10 @@ mod tests {
         assert_eq!(d.violation, Some(Violation::IpBlocked));
         assert_eq!(d.latency, 1, "block short-circuits the SB pipeline");
         f.unblock();
-        assert!(f.check(&txn(Op::Read, 0x1000, Width::Word), Cycle(1)).allowed);
+        assert!(
+            f.check(&txn(Op::Read, 0x1000, Width::Word), Cycle(1))
+                .allowed
+        );
     }
 
     #[test]

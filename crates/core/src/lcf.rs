@@ -29,7 +29,11 @@
 
 use secbus_bus::{Op, Transaction};
 use secbus_crypto::merkle::leaf_digest;
-use secbus_crypto::{MemoryCipher, MerkleTree, TimestampTable};
+use secbus_crypto::sha256::Digest;
+use secbus_crypto::{
+    IntentRecord, MemoryCipher, MerkleTree, MonotonicCounter, RegionImage, SecureStateImage,
+    TimestampTable, WriteAheadJournal,
+};
 use secbus_mem::{ExternalDdr, MemDevice};
 use secbus_sim::{Cycle, Stats};
 
@@ -38,9 +42,14 @@ use crate::checker::Violation;
 use crate::config::ConfigMemory;
 use crate::firewall::{FirewallId, LocalFirewall, SbTiming};
 use crate::policy::{ConfidentialityMode, IntegrityMode, SecurityPolicy};
+use crate::recovery::{PersistentState, RecoveryOutcome, RecoveryReport, TamperEvidence};
 
 /// Protection granularity: one AES block.
 pub const PROTECTION_BLOCK: u32 = 16;
+
+/// Modeled cycles for one persistence operation (journal append, commit
+/// mark, image slot write) on the LCF's NVRAM-backed state store.
+pub const JOURNAL_PERSIST_CYCLES: u64 = 4;
 
 /// Protection level of an external-memory region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +102,10 @@ impl CryptoTiming {
 
     /// Table II timing with an explicit per-tree-level cost (ablation).
     pub fn with_tree_cost(per_level: u64) -> CryptoTiming {
-        CryptoTiming { ic_per_level_cycles: per_level, ..CryptoTiming::PAPER }
+        CryptoTiming {
+            ic_per_level_cycles: per_level,
+            ..CryptoTiming::PAPER
+        }
     }
 
     /// IC cycles for one block verification against a tree of `levels`.
@@ -197,6 +209,18 @@ pub struct LcfAccess {
     pub latency: u64,
 }
 
+/// The crash-consistency state of a journaling LCF: the on-chip key and
+/// counter plus the persisted image/journal pair.
+struct JournalState {
+    key: [u8; 16],
+    /// Commits between checkpoints (journal-fold interval).
+    interval: u64,
+    commits_since: u64,
+    image: SecureStateImage,
+    journal: WriteAheadJournal,
+    counter: MonotonicCounter,
+}
+
 /// The Local Ciphering Firewall guarding the external memory.
 pub struct LocalCipheringFirewall {
     fw: LocalFirewall,
@@ -211,6 +235,11 @@ pub struct LocalCipheringFirewall {
     ic_glitch: bool,
     /// Fault injection: the next CC pass produces garbled output.
     cc_glitch: bool,
+    /// Crash-consistency layer (None = the paper's volatile-only model).
+    journal: Option<JournalState>,
+    /// Set when power died mid-burst (torn write): no further accesses
+    /// happen on this boot.
+    crashed: bool,
 }
 
 impl LocalCipheringFirewall {
@@ -257,7 +286,95 @@ impl LocalCipheringFirewall {
             stats: Stats::new(),
             ic_glitch: false,
             cc_glitch: false,
+            journal: None,
+            crashed: false,
         }
+    }
+
+    /// Turn on the crash-consistency layer: a write-ahead journal with
+    /// shadow-root two-phase commit, folded into a MAC-sealed
+    /// [`SecureStateImage`] every `interval` commits, guarded by a
+    /// monotonic anti-rollback counter. `state_key` never leaves the
+    /// chip. Call before [`LocalCipheringFirewall::seal`] (the seal then
+    /// takes the initial checkpoint); enabling after seal checkpoints
+    /// immediately.
+    pub fn enable_journal(&mut self, interval: u64, state_key: [u8; 16]) {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.journal = Some(JournalState {
+            key: state_key,
+            interval,
+            commits_since: 0,
+            image: SecureStateImage::seal(&state_key, 0, Vec::new()),
+            journal: WriteAheadJournal::new(state_key),
+            counter: MonotonicCounter::new(),
+        });
+        if self.sealed {
+            self.checkpoint_inner();
+        }
+    }
+
+    /// Whether the crash-consistency layer is on.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Whether a torn burst killed this boot (power died mid-write).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The persisted surface (image + journal) as it would be found
+    /// after a power cut. `None` when journaling is off.
+    pub fn persistent_state(&self) -> Option<PersistentState> {
+        self.journal.as_ref().map(|js| PersistentState {
+            image: js.image.clone(),
+            journal: js.journal.clone(),
+        })
+    }
+
+    /// The on-chip monotonic counter (survives power cuts by
+    /// construction). `None` when journaling is off.
+    pub fn anti_rollback_counter(&self) -> Option<&MonotonicCounter> {
+        self.journal.as_ref().map(|js| &js.counter)
+    }
+
+    /// Force a checkpoint now (SoC-level secure-state capture). Returns
+    /// the modeled cycles, 0 when journaling is off.
+    pub fn force_checkpoint(&mut self) -> u64 {
+        if self.journal.is_some() && self.sealed {
+            self.checkpoint_inner()
+        } else {
+            0
+        }
+    }
+
+    /// Fold the current volatile state into a fresh image, ratchet the
+    /// counter, truncate the journal.
+    fn checkpoint_inner(&mut self) -> u64 {
+        let regions: Vec<RegionImage> = self
+            .regions
+            .iter()
+            .map(|r| match r.protection {
+                Protection::None => RegionImage {
+                    root: None,
+                    timestamps: Vec::new(),
+                },
+                _ => RegionImage {
+                    root: r.tree.as_ref().map(|t| t.root()),
+                    timestamps: r.timestamps.tags().to_vec(),
+                },
+            })
+            .collect();
+        let js = self.journal.as_mut().expect("checkpoint without journal");
+        let seq = js.counter.value() + 1;
+        js.image = SecureStateImage::seal(&js.key, seq, regions);
+        let ratcheted = js.counter.ratchet_to(seq);
+        debug_assert!(ratcheted, "counter+1 is always forward");
+        js.journal.truncate();
+        js.commits_since = 0;
+        self.stats.incr("lcf.checkpoints");
+        // One image-slot write plus the counter ratchet.
+        JOURNAL_PERSIST_CYCLES * 2
     }
 
     /// Fault injection: the next hash-tree verification flips its verdict
@@ -334,6 +451,9 @@ impl LocalCipheringFirewall {
             }
         }
         self.sealed = true;
+        if self.journal.is_some() {
+            cycles += self.checkpoint_inner();
+        }
         self.stats.add("lcf.seal_cycles", cycles);
         cycles
     }
@@ -361,7 +481,10 @@ impl LocalCipheringFirewall {
         let decision = self.fw.check(txn, now);
         let mut latency = decision.latency;
         if !decision.allowed {
-            return Err((decision.violation.expect("denied without violation"), latency));
+            return Err((
+                decision.violation.expect("denied without violation"),
+                latency,
+            ));
         }
 
         let Some(region_idx) = self.region_of(txn.addr) else {
@@ -404,7 +527,9 @@ impl LocalCipheringFirewall {
                 self.stats.incr("lcf.integrity_failures");
                 match region.ic_failure {
                     IcFailureMode::BlockReads => {
-                        let d = self.fw.note_violation(txn, Violation::IntegrityMismatch, now);
+                        let d = self
+                            .fw
+                            .note_violation(txn, Violation::IntegrityMismatch, now);
                         debug_assert!(!d.allowed);
                         return Err((Violation::IntegrityMismatch, latency));
                     }
@@ -439,7 +564,10 @@ impl LocalCipheringFirewall {
                 let n = txn.width.bytes() as usize;
                 raw[..n].copy_from_slice(&plain[offset_in_block..offset_in_block + n]);
                 self.stats.incr("lcf.protected_reads");
-                Ok(LcfAccess { data: u32::from_le_bytes(raw), latency })
+                Ok(LcfAccess {
+                    data: u32::from_le_bytes(raw),
+                    latency,
+                })
             }
             Op::Write => {
                 // Read-modify-write: patch, bump the time-stamp, re-seal.
@@ -450,13 +578,65 @@ impl LocalCipheringFirewall {
                 block = plain;
                 cipher.apply(u64::from(block_bus_addr), new_ts, &mut block);
                 latency += self.timing.cc_latency; // re-encryption pass
-                ddr.tamper(dev_off, &block);
-                latency += ddr.latency(dev_off, true);
+
+                // Volatile tree update *before* the DDR burst: the
+                // shadow root must exist when the journal intent is
+                // persisted, so recovery always has a post-state root.
+                let mut new_root = None;
                 if region.protection == Protection::CipherIntegrity {
                     let tree = region.tree.as_mut().expect("integrity region has a tree");
-                    let levels = tree.update_leaf(block_idx, leaf_digest(block_idx as u64, new_ts, &block));
+                    let levels =
+                        tree.update_leaf(block_idx, leaf_digest(block_idx as u64, new_ts, &block));
                     latency += self.timing.ic_verify_cycles(levels);
+                    new_root = Some(tree.root());
                 }
+
+                // Phase 1: persist the intent before any DDR bit moves.
+                let write_id = match self.journal.as_mut() {
+                    Some(js) => {
+                        let id = js.journal.begin(IntentRecord {
+                            seq: js.image.seq,
+                            write_id: 0, // assigned by the journal
+                            region: region_idx,
+                            block: block_idx,
+                            new_ts,
+                            new_leaf: leaf_digest(block_idx as u64, new_ts, &block),
+                            new_root,
+                        });
+                        latency += JOURNAL_PERSIST_CYCLES;
+                        self.stats.incr("lcf.journal_appends");
+                        Some(id)
+                    }
+                    None => None,
+                };
+
+                // The DDR burst — the one window a torn write can hit.
+                if let Some(keep) = ddr.take_tear() {
+                    // Power died mid-burst: a prefix lands, the rest of
+                    // the block keeps its old bits, and the commit mark
+                    // is never written.
+                    let keep = (keep as usize).min(block.len());
+                    ddr.tamper(dev_off, &block[..keep]);
+                    self.crashed = true;
+                    self.stats.incr("lcf.torn_bursts");
+                    return Ok(LcfAccess { data: 0, latency });
+                }
+                ddr.tamper(dev_off, &block);
+                latency += ddr.latency(dev_off, true);
+
+                // Phase 2: the commit mark, and maybe a checkpoint fold.
+                if let Some(id) = write_id {
+                    let js = self.journal.as_mut().expect("journal present in phase 1");
+                    js.journal.commit(id);
+                    js.commits_since += 1;
+                    latency += JOURNAL_PERSIST_CYCLES;
+                    self.stats.incr("lcf.journal_commits");
+                    let due = js.commits_since >= js.interval;
+                    if due {
+                        latency += self.checkpoint_inner();
+                    }
+                }
+
                 self.stats.incr("lcf.protected_writes");
                 Ok(LcfAccess { data: 0, latency })
             }
@@ -504,9 +684,7 @@ impl LocalCipheringFirewall {
         debug_assert!(self.sealed, "rekey() before seal()");
         let ddr_base = self.ddr_base;
         let timing = self.timing;
-        let region_idx = self
-            .region_of(region_addr)
-            .ok_or(RekeyError::NoRegion)?;
+        let region_idx = self.region_of(region_addr).ok_or(RekeyError::NoRegion)?;
         let region = &mut self.regions[region_idx];
         if region.protection == Protection::None {
             return Err(RekeyError::NotCiphered);
@@ -522,8 +700,10 @@ impl LocalCipheringFirewall {
             let block_off = dev_off + i as u32 * PROTECTION_BLOCK;
             let bus_addr = u64::from(region.base) + u64::from(i as u32 * PROTECTION_BLOCK);
             let ts = region.timestamps.get(i);
-            let mut block: [u8; 16] =
-                ddr.snoop(block_off, PROTECTION_BLOCK).try_into().expect("16-byte block");
+            let mut block: [u8; 16] = ddr
+                .snoop(block_off, PROTECTION_BLOCK)
+                .try_into()
+                .expect("16-byte block");
             old_cipher.apply(bus_addr, ts, &mut block); // decrypt
             new_cipher.apply(bus_addr, ts, &mut block); // re-encrypt
             ddr.tamper(block_off, &block);
@@ -589,7 +769,334 @@ impl LocalCipheringFirewall {
 
     /// The protection level at `addr`, if a region covers it.
     pub fn protection_at(&self, addr: u32) -> Option<Protection> {
-        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.protection)
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.protection)
+    }
+
+    /// Number of protection blocks in region `idx` (0 for unprotected).
+    fn region_blocks(region: &Region) -> usize {
+        match region.protection {
+            Protection::None => 0,
+            _ => (region.len / PROTECTION_BLOCK).max(1) as usize,
+        }
+    }
+
+    /// Does the image's shape match this LCF's region layout?
+    fn image_shape_ok(&self, image: &SecureStateImage) -> bool {
+        image.regions.len() == self.regions.len()
+            && self.regions.iter().zip(&image.regions).all(|(r, ri)| {
+                ri.timestamps.len() == Self::region_blocks(r)
+                    && ri.root.is_some() == (r.protection == Protection::CipherIntegrity)
+            })
+    }
+
+    /// Build placeholder volatile state from whatever is in DDR (used on
+    /// a quarantined boot so the object stays consistent while blocked).
+    fn adopt_ddr_state(&mut self, ddr: &ExternalDdr) {
+        let ddr_base = self.ddr_base;
+        for region in &mut self.regions {
+            if region.protection != Protection::CipherIntegrity {
+                continue;
+            }
+            let dev_off = region.base - ddr_base;
+            let leaves: Vec<Digest> = (0..Self::region_blocks(region))
+                .map(|i| {
+                    let block: [u8; 16] = ddr
+                        .snoop(dev_off + i as u32 * PROTECTION_BLOCK, PROTECTION_BLOCK)
+                        .try_into()
+                        .expect("16-byte block");
+                    leaf_digest(i as u64, region.timestamps.get(i), &block)
+                })
+                .collect();
+            region.tree = Some(MerkleTree::build(&leaves));
+        }
+    }
+
+    /// Fail-secure end of a recovery boot: adopt placeholder state,
+    /// block the firewall, record why.
+    fn quarantine_boot(
+        &mut self,
+        ddr: &ExternalDdr,
+        mut report: RecoveryReport,
+        evidence: TamperEvidence,
+    ) -> RecoveryReport {
+        self.adopt_ddr_state(ddr);
+        self.sealed = true;
+        self.fw.block();
+        self.stats.incr("lcf.recovery_quarantines");
+        self.stats
+            .incr(&format!("lcf.recovery_quarantine.{}", evidence.mnemonic()));
+        report.outcome = RecoveryOutcome::Quarantined(evidence);
+        report
+    }
+
+    /// Boot-time recovery: reconstruct the secure state from the
+    /// persisted surface instead of sealing a fresh boot image.
+    ///
+    /// This replaces [`LocalCipheringFirewall::seal`] on a resume boot:
+    /// `ddr` holds the ciphertext that survived the power cut, `state`
+    /// is the (attacker-reachable) image + journal, `state_key` is the
+    /// on-chip key and `counter` the on-chip anti-rollback ratchet
+    /// (`None` models a journal-less design, which skips the rollback
+    /// check and has no journal to replay).
+    ///
+    /// The procedure distinguishes crash artifacts from tampering:
+    ///
+    /// 1. authenticate the image (MAC + shape) — else quarantine;
+    /// 2. compare `image.seq` with the counter — behind = rollback
+    ///    attack, far ahead = forgery, one ahead = crash mid-checkpoint
+    ///    (ratchet and continue);
+    /// 3. replay the journal under *our* key: a torn tail is discarded
+    ///    (crash artifact), a protocol violation is forgery;
+    /// 4. fold committed records into the image state; the at-most-one
+    ///    dangling intent is resolved against DDR via Merkle-proof
+    ///    surgery — burst absent → roll back, complete → roll forward,
+    ///    half-landed with every *other* block consistent → repair the
+    ///    single torn block (bounded, logged data loss); anything else
+    ///    is tampering;
+    /// 5. rebuild the volatile trees and, when a counter was supplied,
+    ///    open a fresh checkpoint epoch.
+    ///
+    /// On success the region state is live; on quarantine the embedded
+    /// firewall is blocked and every access is refused until an
+    /// explicit administrative release.
+    pub fn recover_from(
+        &mut self,
+        ddr: &mut ExternalDdr,
+        state: &PersistentState,
+        state_key: [u8; 16],
+        counter: Option<MonotonicCounter>,
+        interval: u64,
+    ) -> RecoveryReport {
+        assert!(
+            !self.sealed,
+            "recover_from() replaces seal() on a resume boot"
+        );
+        let mut report = RecoveryReport {
+            outcome: RecoveryOutcome::Clean,
+            replayed: 0,
+            rolled_forward: 0,
+            rolled_back: 0,
+            repaired_blocks: 0,
+            torn_discarded: 0,
+            stale_discarded: 0,
+            cycles: 0,
+        };
+
+        // 1. Authenticate the image.
+        if !state.image.verify(&state_key) || !self.image_shape_ok(&state.image) {
+            return self.quarantine_boot(ddr, report, TamperEvidence::BadImage);
+        }
+
+        // 2. Anti-rollback.
+        let mut counter = counter;
+        if let Some(c) = counter.as_mut() {
+            if state.image.seq < c.value() {
+                return self.quarantine_boot(ddr, report, TamperEvidence::RolledBackImage);
+            }
+            if state.image.seq > c.value() + 1 {
+                return self.quarantine_boot(ddr, report, TamperEvidence::ForgedSequence);
+            }
+            // Equal, or one ahead (crash between image write and
+            // ratchet): bring the ratchet up to date.
+            c.ratchet_to(state.image.seq);
+        }
+
+        // 3. Replay the journal under OUR key — never the journal's.
+        let replay = state.journal.replay_with(&state_key);
+        report.torn_discarded = replay.torn_discarded as u64;
+        report.cycles += JOURNAL_PERSIST_CYCLES * state.journal.len() as u64;
+        if replay.forged {
+            return self.quarantine_boot(ddr, report, TamperEvidence::ForgedJournal);
+        }
+
+        // 4a. Fold records into the image state.
+        let mut ts: Vec<Vec<u64>> = state
+            .image
+            .regions
+            .iter()
+            .map(|r| r.timestamps.clone())
+            .collect();
+        let mut roots: Vec<Option<Digest>> = state.image.regions.iter().map(|r| r.root).collect();
+        let mut dangling: Option<IntentRecord> = None;
+        for (rec, committed) in &replay.writes {
+            if rec.seq < state.image.seq {
+                // Folded into the image by the checkpoint that bumped
+                // seq; a crash between ratchet and truncate leaves them.
+                report.stale_discarded += 1;
+                continue;
+            }
+            let in_range = rec.seq == state.image.seq
+                && rec.region < self.regions.len()
+                && rec.block < ts[rec.region].len()
+                && (self.regions[rec.region].protection == Protection::CipherIntegrity)
+                    == rec.new_root.is_some();
+            if !in_range {
+                return self.quarantine_boot(ddr, report, TamperEvidence::ForgedJournal);
+            }
+            if *committed {
+                ts[rec.region][rec.block] = rec.new_ts;
+                if let Some(r) = rec.new_root {
+                    roots[rec.region] = Some(r);
+                }
+                report.replayed += 1;
+            } else {
+                // replay() guarantees only the final write can dangle.
+                dangling = Some(rec.clone());
+            }
+        }
+
+        // 4b. Reconcile every region with the DDR contents.
+        let ddr_base = self.ddr_base;
+        let timing = self.timing;
+        let mut repairs: Vec<(usize, usize, u64)> = Vec::new();
+        let mut evidence: Option<TamperEvidence> = None;
+        for (idx, region) in self.regions.iter().enumerate() {
+            let in_flight = dangling.as_ref().filter(|r| r.region == idx);
+            match region.protection {
+                Protection::None => {}
+                Protection::CipherOnly => {
+                    if in_flight.is_some() {
+                        // No tree: whether the burst landed is not
+                        // observable. Roll back deterministically — the
+                        // write was never acknowledged; if the burst did
+                        // land the block reads garbled, which is inside
+                        // the cipher-only threat model.
+                        report.rolled_back += 1;
+                    }
+                }
+                Protection::CipherIntegrity => {
+                    let expected_root = roots[idx].expect("shape-checked above");
+                    let dev_off = region.base - ddr_base;
+                    let blocks = Self::region_blocks(region);
+                    let leaf_at = |i: usize, t: u64| {
+                        let block: [u8; 16] = ddr
+                            .snoop(dev_off + i as u32 * PROTECTION_BLOCK, PROTECTION_BLOCK)
+                            .try_into()
+                            .expect("16-byte block");
+                        leaf_digest(i as u64, t, &block)
+                    };
+                    let ddr_leaves: Vec<Digest> =
+                        (0..blocks).map(|i| leaf_at(i, ts[idx][i])).collect();
+                    report.cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
+                    let Some(rec) = in_flight else {
+                        if MerkleTree::build(&ddr_leaves).root() != expected_root {
+                            evidence = Some(TamperEvidence::RootMismatch { region: idx });
+                            break;
+                        }
+                        continue;
+                    };
+                    // One write was in flight at the crash. Its sibling
+                    // path is a function of the OTHER blocks only, so it
+                    // can arbitrate all three crash windows.
+                    let b = rec.block;
+                    let shadow_root = rec.new_root.expect("checked in 4a");
+                    let path = MerkleTree::build(&ddr_leaves).proof(b);
+                    let ddr_leaf_old = ddr_leaves[b];
+                    let ddr_leaf_new = leaf_at(b, rec.new_ts);
+                    let others_match_shadow =
+                        MerkleTree::verify_proof(&shadow_root, b, &rec.new_leaf, &path);
+                    if MerkleTree::verify_proof(&expected_root, b, &ddr_leaf_old, &path) {
+                        // Burst never started: pre-state intact.
+                        report.rolled_back += 1;
+                    } else if ddr_leaf_new == rec.new_leaf && others_match_shadow {
+                        // Burst completed: finish the commit.
+                        ts[idx][b] = rec.new_ts;
+                        roots[idx] = Some(shadow_root);
+                        report.rolled_forward += 1;
+                    } else if others_match_shadow {
+                        // Every block EXCEPT the in-flight one is
+                        // consistent with the shadow root: the burst
+                        // half-landed. Crash artifact, confined to block
+                        // `b` — repair it, count the loss.
+                        repairs.push((idx, b, rec.new_ts));
+                        ts[idx][b] = rec.new_ts;
+                        report.repaired_blocks += 1;
+                    } else {
+                        // Neither pre- nor post-state explains the other
+                        // blocks: tampering, not a crash.
+                        evidence = Some(TamperEvidence::RootMismatch { region: idx });
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(ev) = evidence {
+            return self.quarantine_boot(ddr, report, ev);
+        }
+
+        // 5a. Repair torn blocks: deterministic re-initialization (zero
+        // plaintext sealed under the recorded tag). The content is lost
+        // — and logged — but confidentiality and freshness are not.
+        for &(ridx, b, new_ts) in &repairs {
+            let region = &self.regions[ridx];
+            let cipher = region.cipher.as_ref().expect("integrity region has a key");
+            let dev_off = region.base - ddr_base + b as u32 * PROTECTION_BLOCK;
+            let bus_addr = u64::from(region.base) + u64::from(b as u32 * PROTECTION_BLOCK);
+            let mut block = [0u8; PROTECTION_BLOCK as usize];
+            cipher.apply(bus_addr, new_ts, &mut block);
+            ddr.tamper(dev_off, &block);
+            report.cycles += timing.cc_latency + JOURNAL_PERSIST_CYCLES;
+        }
+
+        // 5b. Install the recovered volatile state.
+        for (idx, region) in self.regions.iter_mut().enumerate() {
+            if region.protection == Protection::None {
+                continue;
+            }
+            region.timestamps = TimestampTable::from_tags(ts[idx].clone());
+            if region.protection == Protection::CipherIntegrity {
+                let dev_off = region.base - ddr_base;
+                let leaves: Vec<Digest> = (0..Self::region_blocks(region))
+                    .map(|i| {
+                        let block: [u8; 16] = ddr
+                            .snoop(dev_off + i as u32 * PROTECTION_BLOCK, PROTECTION_BLOCK)
+                            .try_into()
+                            .expect("16-byte block");
+                        leaf_digest(i as u64, region.timestamps.get(i), &block)
+                    })
+                    .collect();
+                let tree = MerkleTree::build(&leaves);
+                debug_assert!(
+                    !repairs.is_empty() || roots[idx].is_none_or(|r| r == tree.root()),
+                    "non-repaired region must reproduce its authenticated root"
+                );
+                region.tree = Some(tree);
+                report.cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
+            }
+        }
+        self.sealed = true;
+        let disturbed = report.rolled_forward
+            + report.rolled_back
+            + report.repaired_blocks
+            + report.torn_discarded
+            + report.stale_discarded;
+        report.outcome = if disturbed > 0 {
+            RecoveryOutcome::Repaired
+        } else {
+            RecoveryOutcome::Clean
+        };
+        self.stats.incr("lcf.recoveries");
+        if report.repaired_blocks > 0 {
+            self.stats
+                .add("lcf.recovery_repaired_blocks", report.repaired_blocks);
+        }
+
+        // 5c. Open a fresh checkpoint epoch under the surviving counter.
+        if let Some(c) = counter {
+            self.journal = Some(JournalState {
+                key: state_key,
+                interval,
+                commits_since: 0,
+                image: SecureStateImage::seal(&state_key, 0, Vec::new()),
+                journal: WriteAheadJournal::new(state_key),
+                counter: c,
+            });
+            report.cycles += self.checkpoint_inner();
+        }
+        report
     }
 
     /// Alerts raised since the last drain (policy + integrity).
@@ -627,7 +1134,7 @@ mod tests {
     const DDR_BASE: u32 = 0x8000_0000;
     const KEY: [u8; 16] = [0xAA; 16];
 
-    fn make_lcf() -> (LocalCipheringFirewall, ExternalDdr) {
+    fn make_unsealed() -> (LocalCipheringFirewall, ExternalDdr) {
         // 0x000..0x100: cipher+integrity, rw
         // 0x100..0x200: cipher only, rw
         // 0x200..0x300: unprotected, rw
@@ -676,15 +1183,43 @@ mod tests {
         for i in 0..0x400u32 {
             ddr.load(i, &[(i % 251) as u8]);
         }
-        let mut lcf = LocalCipheringFirewall::new(
+        let lcf = LocalCipheringFirewall::new(
             FirewallId(9),
             "LCF ext-mem",
             config,
             DDR_BASE,
             CryptoTiming::PAPER,
         );
+        (lcf, ddr)
+    }
+
+    fn make_lcf() -> (LocalCipheringFirewall, ExternalDdr) {
+        let (mut lcf, mut ddr) = make_unsealed();
         lcf.seal(&mut ddr);
         (lcf, ddr)
+    }
+
+    const STATE_KEY: [u8; 16] = [0xCC; 16];
+
+    /// A journaled LCF (checkpoint every `interval` commits), sealed.
+    fn make_journaled(interval: u64) -> (LocalCipheringFirewall, ExternalDdr) {
+        let (mut lcf, mut ddr) = make_unsealed();
+        lcf.enable_journal(interval, STATE_KEY);
+        lcf.seal(&mut ddr);
+        (lcf, ddr)
+    }
+
+    /// Model a reboot: capture the persisted surface + on-chip counter,
+    /// build a fresh (unsealed) LCF and recover on the surviving DDR.
+    fn reboot_and_recover(
+        lcf: &LocalCipheringFirewall,
+        ddr: &mut ExternalDdr,
+        state: &PersistentState,
+    ) -> (LocalCipheringFirewall, RecoveryReport) {
+        let counter = lcf.anti_rollback_counter().expect("journaled").clone();
+        let (mut fresh, _) = make_unsealed();
+        let report = fresh.recover_from(ddr, state, STATE_KEY, Some(counter), 1024);
+        (fresh, report)
     }
 
     fn txn(op: Op, addr: u32, width: Width, data: u32) -> Transaction {
@@ -704,7 +1239,10 @@ mod tests {
     fn seal_encrypts_protected_regions_only() {
         let (_lcf, ddr) = make_lcf();
         // Protected region bytes no longer equal the boot image...
-        assert_ne!(ddr.snoop(0, 16), &(0..16).map(|i| (i % 251) as u8).collect::<Vec<_>>()[..]);
+        assert_ne!(
+            ddr.snoop(0, 16),
+            &(0..16).map(|i| (i % 251) as u8).collect::<Vec<_>>()[..]
+        );
         // ...but the unprotected region is untouched plaintext.
         let expect: Vec<u8> = (0x200..0x210).map(|i| (i % 251) as u8).collect();
         assert_eq!(ddr.snoop(0x200, 16), &expect[..]);
@@ -714,7 +1252,11 @@ mod tests {
     fn read_decrypts_sealed_contents() {
         let (mut lcf, mut ddr) = make_lcf();
         let r = lcf
-            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 4, Width::Byte, 0), Cycle(0))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + 4, Width::Byte, 0),
+                Cycle(0),
+            )
             .unwrap();
         assert_eq!(r.data, 4);
         // SB (12) + DDR + IC (20) + CC (11) at least.
@@ -725,9 +1267,15 @@ mod tests {
     fn write_then_read_roundtrip_protected() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x20;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 0xfeed_f00d), Cycle(1))
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0xfeed_f00d),
+            Cycle(1),
+        )
+        .unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(2))
             .unwrap();
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(2)).unwrap();
         assert_eq!(r.data, 0xfeed_f00d);
         // The stored ciphertext is NOT the plaintext.
         assert_ne!(ddr.snoop(0x20, 4), &0xfeed_f00du32.to_le_bytes());
@@ -737,8 +1285,15 @@ mod tests {
     fn cipher_only_region_roundtrips() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x140;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Half, 0xbeef), Cycle(0)).unwrap();
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Half, 0), Cycle(1)).unwrap();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Half, 0xbeef),
+            Cycle(0),
+        )
+        .unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Half, 0), Cycle(1))
+            .unwrap();
         assert_eq!(r.data, 0xbeef);
     }
 
@@ -746,9 +1301,12 @@ mod tests {
     fn unprotected_region_is_plain_and_cheap() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x240;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 77), Cycle(0)).unwrap();
+        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 77), Cycle(0))
+            .unwrap();
         assert_eq!(ddr.snoop(0x240, 4), &77u32.to_le_bytes());
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1)).unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
         assert_eq!(r.data, 77);
         // No crypto charge: latency < SB + IC.
         assert!(r.latency < 12 + 20, "latency {}", r.latency);
@@ -762,7 +1320,11 @@ mod tests {
         b[3] ^= 0x80;
         ddr.tamper(0x40, &b);
         let err = lcf
-            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0), Cycle(5))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0),
+                Cycle(5),
+            )
             .unwrap_err();
         assert_eq!(err.0, Violation::IntegrityMismatch);
         assert_eq!(lcf.stats().counter("lcf.integrity_failures"), 1);
@@ -776,10 +1338,12 @@ mod tests {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x10;
         // Genuine v1 ciphertext.
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 1), Cycle(0)).unwrap();
+        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 1), Cycle(0))
+            .unwrap();
         let old = ddr.snoop(0x10, 16).to_vec();
         // Genuine v2 write.
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 2), Cycle(1)).unwrap();
+        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 2), Cycle(1))
+            .unwrap();
         // Attacker replays v1 ciphertext.
         ddr.tamper(0x10, &old);
         let err = lcf
@@ -795,7 +1359,11 @@ mod tests {
         let src = ddr.snoop(0x00, 16).to_vec();
         ddr.tamper(0x40, &src);
         let err = lcf
-            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0), Cycle(0))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0),
+                Cycle(0),
+            )
             .unwrap_err();
         assert_eq!(err.0, Violation::IntegrityMismatch);
     }
@@ -804,13 +1372,19 @@ mod tests {
     fn cipher_only_tamper_garbles_but_is_not_detected() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x100;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 0x1234_5678), Cycle(0))
-            .unwrap();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0x1234_5678),
+            Cycle(0),
+        )
+        .unwrap();
         let mut b = ddr.snoop(0x100, 16).to_vec();
         b[0] ^= 0xff;
         ddr.tamper(0x100, &b);
         // The read "succeeds" (no integrity core on this region)…
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1)).unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
         // …but the attacker could not choose the plaintext: it is garbled.
         assert_ne!(r.data, 0x1234_5678);
         assert_ne!(r.data, 0x1234_56FF);
@@ -820,7 +1394,11 @@ mod tests {
     fn readonly_policy_blocks_writes_before_crypto() {
         let (mut lcf, mut ddr) = make_lcf();
         let err = lcf
-            .handle(&mut ddr, &txn(Op::Write, DDR_BASE + 0x300, Width::Word, 9), Cycle(0))
+            .handle(
+                &mut ddr,
+                &txn(Op::Write, DDR_BASE + 0x300, Width::Word, 9),
+                Cycle(0),
+            )
             .unwrap_err();
         assert_eq!(err.0, Violation::UnauthorizedWrite);
         assert_eq!(err.1, 12, "discarded after the SB check only");
@@ -830,7 +1408,11 @@ mod tests {
     fn unmapped_address_denied() {
         let (mut lcf, mut ddr) = make_lcf();
         let err = lcf
-            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 0x800, Width::Word, 0), Cycle(0))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + 0x800, Width::Word, 0),
+                Cycle(0),
+            )
             .unwrap_err();
         assert_eq!(err.0, Violation::NoPolicy);
     }
@@ -850,8 +1432,14 @@ mod tests {
     #[test]
     fn protection_levels_reported() {
         let (lcf, _) = make_lcf();
-        assert_eq!(lcf.protection_at(DDR_BASE), Some(Protection::CipherIntegrity));
-        assert_eq!(lcf.protection_at(DDR_BASE + 0x180), Some(Protection::CipherOnly));
+        assert_eq!(
+            lcf.protection_at(DDR_BASE),
+            Some(Protection::CipherIntegrity)
+        );
+        assert_eq!(
+            lcf.protection_at(DDR_BASE + 0x180),
+            Some(Protection::CipherOnly)
+        );
         assert_eq!(lcf.protection_at(DDR_BASE + 0x2ff), Some(Protection::None));
         assert_eq!(lcf.protection_at(DDR_BASE + 0x900), None);
     }
@@ -883,10 +1471,18 @@ mod tests {
         let (mut small, mut sddr) = make(0x100); // 16 blocks -> 4 levels
         let (mut big, mut bddr) = make(0x10000); // 4096 blocks -> 12 levels
         let rs = small
-            .handle(&mut sddr, &txn(Op::Read, DDR_BASE, Width::Word, 0), Cycle(0))
+            .handle(
+                &mut sddr,
+                &txn(Op::Read, DDR_BASE, Width::Word, 0),
+                Cycle(0),
+            )
             .unwrap();
         let rb = big
-            .handle(&mut bddr, &txn(Op::Read, DDR_BASE, Width::Word, 0), Cycle(0))
+            .handle(
+                &mut bddr,
+                &txn(Op::Read, DDR_BASE, Width::Word, 0),
+                Cycle(0),
+            )
             .unwrap();
         assert!(
             rb.latency > rs.latency,
@@ -908,15 +1504,21 @@ mod tests {
     fn rekey_preserves_data_and_changes_ciphertext() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x30;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 0xabc0_0123), Cycle(0))
-            .unwrap();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0xabc0_0123),
+            Cycle(0),
+        )
+        .unwrap();
         let old_ct = ddr.snoop(0x30, 16).to_vec();
         let cycles = lcf.rekey(&mut ddr, DDR_BASE, *b"fresh-new-key-01").unwrap();
         assert!(cycles > 0);
         // Ciphertext rotated…
         assert_ne!(ddr.snoop(0x30, 16), &old_ct[..]);
         // …but the plaintext still reads back, integrity intact.
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1)).unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
         assert_eq!(r.data, 0xabc0_0123);
         assert_eq!(lcf.stats().counter("lcf.rekeys"), 1);
     }
@@ -927,12 +1529,14 @@ mod tests {
         // replay it after the roll: the tree covers the new ciphertext.
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x50;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 7), Cycle(0)).unwrap();
+        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 7), Cycle(0))
+            .unwrap();
         let snapshot = ddr.snoop(0x50, 16).to_vec();
         lcf.rekey(&mut ddr, DDR_BASE, *b"fresh-new-key-02").unwrap();
         ddr.tamper(0x50, &snapshot); // replay pre-rekey ciphertext
-        let err =
-            lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1)).unwrap_err();
+        let err = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap_err();
         assert_eq!(err.0, Violation::IntegrityMismatch);
     }
 
@@ -940,10 +1544,17 @@ mod tests {
     fn rekey_cipher_only_region_roundtrips() {
         let (mut lcf, mut ddr) = make_lcf();
         let addr = DDR_BASE + 0x180;
-        lcf.handle(&mut ddr, &txn(Op::Write, addr, Width::Word, 0x51ca_ffee), Cycle(0))
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0x51ca_ffee),
+            Cycle(0),
+        )
+        .unwrap();
+        lcf.rekey(&mut ddr, DDR_CIPHER_BASE_TEST, *b"fresh-new-key-03")
             .unwrap();
-        lcf.rekey(&mut ddr, DDR_CIPHER_BASE_TEST, *b"fresh-new-key-03").unwrap();
-        let r = lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1)).unwrap();
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
         assert_eq!(r.data, 0x51ca_ffee);
     }
 
@@ -954,7 +1565,10 @@ mod tests {
             lcf.rekey(&mut ddr, DDR_BASE + 0x240, [0; 16]),
             Err(RekeyError::NotCiphered)
         );
-        assert_eq!(lcf.rekey(&mut ddr, DDR_BASE + 0x900, [0; 16]), Err(RekeyError::NoRegion));
+        assert_eq!(
+            lcf.rekey(&mut ddr, DDR_BASE + 0x900, [0; 16]),
+            Err(RekeyError::NoRegion)
+        );
         assert!(RekeyError::NoRegion.to_string().contains("no LCF region"));
     }
 
@@ -973,7 +1587,11 @@ mod tests {
         let t = txn(Op::Read, DDR_BASE + 4, Width::Word, 0);
         lcf.inject_ic_glitch();
         let err = lcf.handle(&mut ddr, &t, Cycle(0)).unwrap_err();
-        assert_eq!(err.0, Violation::IntegrityMismatch, "glitched verdict blocks the read");
+        assert_eq!(
+            err.0,
+            Violation::IntegrityMismatch,
+            "glitched verdict blocks the read"
+        );
         assert_eq!(lcf.stats().counter("lcf.fault.ic_glitches"), 1);
         // One-shot: the next verification is honest again.
         assert!(lcf.handle(&mut ddr, &t, Cycle(1)).is_ok());
@@ -991,7 +1609,10 @@ mod tests {
         // (served garbled, since the ciphertext no longer matches).
         assert!(lcf.handle(&mut ddr, &t, Cycle(0)).is_ok());
         // Without the glitch the tampering is caught as usual.
-        assert_eq!(lcf.handle(&mut ddr, &t, Cycle(1)).unwrap_err().0, Violation::IntegrityMismatch);
+        assert_eq!(
+            lcf.handle(&mut ddr, &t, Cycle(1)).unwrap_err().0,
+            Violation::IntegrityMismatch
+        );
     }
 
     #[test]
@@ -1001,9 +1622,16 @@ mod tests {
         assert!(!lcf.set_ic_failure_mode(DDR_BASE + 0x900, IcFailureMode::ServeWithAlert));
         lcf.inject_ic_glitch();
         let r = lcf
-            .handle(&mut ddr, &txn(Op::Read, DDR_BASE + 4, Width::Byte, 0), Cycle(0))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + 4, Width::Byte, 0),
+                Cycle(0),
+            )
             .expect("degraded mode serves the data");
-        assert_eq!(r.data, 4, "clean block decrypts correctly despite the doubtful verdict");
+        assert_eq!(
+            r.data, 4,
+            "clean block decrypts correctly despite the doubtful verdict"
+        );
         assert_eq!(lcf.stats().counter("lcf.degraded_serves"), 1);
         let alerts = lcf.drain_alerts();
         assert_eq!(alerts.len(), 1);
@@ -1040,23 +1668,368 @@ mod tests {
         // Recovery: re-baseline the tree over the current ciphertext.
         let cycles = lcf.rebuild_region(&mut ddr, DDR_BASE).unwrap();
         assert!(cycles > 0);
-        assert!(lcf.handle(&mut ddr, &t, Cycle(1)).is_ok(), "region live again");
+        assert!(
+            lcf.handle(&mut ddr, &t, Cycle(1)).is_ok(),
+            "region live again"
+        );
         assert_eq!(lcf.stats().counter("lcf.tree_rebuilds"), 1);
         // Tampering after the rebuild is still detected.
         let mut b = ddr.snoop(0x60, 16).to_vec();
         b[0] ^= 2;
         ddr.tamper(0x60, &b);
-        assert_eq!(lcf.handle(&mut ddr, &t, Cycle(2)).unwrap_err().0, Violation::IntegrityMismatch);
+        assert_eq!(
+            lcf.handle(&mut ddr, &t, Cycle(2)).unwrap_err().0,
+            Violation::IntegrityMismatch
+        );
     }
 
     #[test]
     fn rebuild_respects_region_kinds() {
         let (mut lcf, mut ddr) = make_lcf();
-        assert_eq!(lcf.rebuild_region(&mut ddr, DDR_CIPHER_BASE_TEST), Ok(0), "cipher-only");
+        assert_eq!(
+            lcf.rebuild_region(&mut ddr, DDR_CIPHER_BASE_TEST),
+            Ok(0),
+            "cipher-only"
+        );
         assert_eq!(
             lcf.rebuild_region(&mut ddr, DDR_BASE + 0x240),
             Err(RekeyError::NotCiphered)
         );
-        assert_eq!(lcf.rebuild_region(&mut ddr, DDR_BASE + 0x900), Err(RekeyError::NoRegion));
+        assert_eq!(
+            lcf.rebuild_region(&mut ddr, DDR_BASE + 0x900),
+            Err(RekeyError::NoRegion)
+        );
+    }
+
+    // ---- crash consistency: journal, checkpoints, recovery ----
+
+    #[test]
+    fn journaled_write_is_two_phase() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        assert!(lcf.journal_enabled());
+        let addr = DDR_BASE + 0x20;
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0xfeed_f00d),
+            Cycle(1),
+        )
+        .unwrap();
+        assert_eq!(lcf.stats().counter("lcf.journal_appends"), 1);
+        assert_eq!(lcf.stats().counter("lcf.journal_commits"), 1);
+        // Intent + commit mark.
+        assert_eq!(lcf.persistent_state().unwrap().journal.len(), 2);
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(2))
+            .unwrap();
+        assert_eq!(r.data, 0xfeed_f00d);
+    }
+
+    #[test]
+    fn checkpoint_folds_the_journal() {
+        let (mut lcf, mut ddr) = make_journaled(2);
+        // Seal performed the initial checkpoint (seq 1).
+        assert_eq!(lcf.persistent_state().unwrap().image.seq, 1);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x10, Width::Word, 1),
+            Cycle(0),
+        )
+        .unwrap();
+        assert_eq!(lcf.persistent_state().unwrap().journal.len(), 2);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x14, Width::Word, 2),
+            Cycle(1),
+        )
+        .unwrap();
+        // Second commit hit the interval: journal folded into image seq 2.
+        let state = lcf.persistent_state().unwrap();
+        assert!(state.journal.is_empty());
+        assert_eq!(state.image.seq, 2);
+        assert_eq!(lcf.anti_rollback_counter().unwrap().value(), 2);
+        assert_eq!(lcf.stats().counter("lcf.checkpoints"), 2);
+    }
+
+    #[test]
+    fn recovery_from_checkpoint_is_clean() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x30, Width::Word, 42),
+            Cycle(0),
+        )
+        .unwrap();
+        lcf.force_checkpoint();
+        let state = lcf.persistent_state().unwrap();
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(report.outcome, RecoveryOutcome::Clean);
+        assert!(report.cycles > 0);
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x30, Width::Word, 0),
+            Cycle(1),
+        );
+        assert_eq!(r.unwrap().data, 42);
+        assert_eq!(fresh.stats().counter("lcf.recoveries"), 1);
+    }
+
+    #[test]
+    fn recovery_replays_committed_journal_writes() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        for (i, v) in [(0u32, 7u32), (4, 8), (0x44, 9)] {
+            lcf.handle(
+                &mut ddr,
+                &txn(Op::Write, DDR_BASE + i, Width::Word, v),
+                Cycle(0),
+            )
+            .unwrap();
+        }
+        let state = lcf.persistent_state().unwrap();
+        assert!(!state.journal.is_empty(), "no checkpoint since the writes");
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::Clean,
+            "all writes committed"
+        );
+        assert_eq!(report.replayed, 3);
+        for (i, v) in [(0u32, 7u32), (4, 8), (0x44, 9)] {
+            let r = fresh.handle(
+                &mut ddr,
+                &txn(Op::Read, DDR_BASE + i, Width::Word, 0),
+                Cycle(1),
+            );
+            assert_eq!(r.unwrap().data, v);
+        }
+    }
+
+    #[test]
+    fn recovery_rolls_forward_a_dangling_intent_whose_burst_landed() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x50, Width::Word, 0xd00d),
+            Cycle(0),
+        )
+        .unwrap();
+        let mut state = lcf.persistent_state().unwrap();
+        // Crash between the DDR burst and the commit mark.
+        state.journal.drop_tail(1);
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(report.outcome, RecoveryOutcome::Repaired);
+        assert_eq!(report.rolled_forward, 1);
+        assert_eq!(report.repaired_blocks, 0);
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x50, Width::Word, 0),
+            Cycle(1),
+        );
+        assert_eq!(r.unwrap().data, 0xd00d);
+    }
+
+    #[test]
+    fn recovery_rolls_back_a_dangling_intent_whose_burst_never_started() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x50, Width::Word, 1),
+            Cycle(0),
+        )
+        .unwrap();
+        lcf.force_checkpoint();
+        let pre = ddr.snoop(0x50, 16).to_vec();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x50, Width::Word, 2),
+            Cycle(1),
+        )
+        .unwrap();
+        let mut state = lcf.persistent_state().unwrap();
+        // Crash after the intent persisted but before the burst: undo the
+        // DDR write and drop the commit mark.
+        ddr.tamper(0x50, &pre);
+        state.journal.drop_tail(1);
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(report.outcome, RecoveryOutcome::Repaired);
+        assert_eq!(report.rolled_back, 1);
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x50, Width::Word, 0),
+            Cycle(2),
+        );
+        assert_eq!(r.unwrap().data, 1, "pre-crash value back in force");
+    }
+
+    #[test]
+    fn torn_burst_is_repaired_not_quarantined() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x70, Width::Word, 5),
+            Cycle(0),
+        )
+        .unwrap();
+        // Power dies mid-burst on the next store: only 6 bytes land.
+        ddr.tear_next_store(6);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x70, Width::Word, 6),
+            Cycle(1),
+        )
+        .unwrap();
+        assert!(lcf.crashed());
+        assert_eq!(lcf.stats().counter("lcf.torn_bursts"), 1);
+        let state = lcf.persistent_state().unwrap();
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(report.outcome, RecoveryOutcome::Repaired);
+        assert_eq!(
+            report.repaired_blocks, 1,
+            "torn block repaired, not quarantined"
+        );
+        assert!(!report.is_quarantined());
+        // The block was deterministically re-initialized (bounded loss)
+        // and the region is fully live again.
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x70, Width::Word, 0),
+            Cycle(2),
+        );
+        assert_eq!(r.unwrap().data, 0, "repaired block reads as zero fill");
+        let r2 = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x40, Width::Word, 0),
+            Cycle(3),
+        );
+        assert!(r2.is_ok(), "other blocks unaffected");
+    }
+
+    #[test]
+    fn recovery_quarantines_a_rolled_back_image() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE, Width::Word, 1),
+            Cycle(0),
+        )
+        .unwrap();
+        lcf.force_checkpoint();
+        let old_state = lcf.persistent_state().unwrap();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE, Width::Word, 2),
+            Cycle(1),
+        )
+        .unwrap();
+        lcf.force_checkpoint();
+        // Attacker restores the older (validly MAC'd) image + journal.
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &old_state);
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::Quarantined(TamperEvidence::RolledBackImage)
+        );
+        // Quarantine blocks the embedded firewall outright.
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x240, Width::Word, 0),
+            Cycle(2),
+        );
+        assert!(r.is_err(), "quarantined LCF refuses even unprotected reads");
+        assert_eq!(fresh.stats().counter("lcf.recovery_quarantines"), 1);
+        assert_eq!(
+            fresh
+                .stats()
+                .counter("lcf.recovery_quarantine.rolled_back_image"),
+            1
+        );
+    }
+
+    #[test]
+    fn recovery_quarantines_a_doctored_image() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.force_checkpoint();
+        let mut state = lcf.persistent_state().unwrap();
+        // Attacker edits the image without the key: MAC no longer holds.
+        state.image.seq += 1;
+        let (_fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::Quarantined(TamperEvidence::BadImage)
+        );
+    }
+
+    #[test]
+    fn recovery_quarantines_offline_ddr_tampering() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x10, Width::Word, 3),
+            Cycle(0),
+        )
+        .unwrap();
+        lcf.force_checkpoint();
+        let state = lcf.persistent_state().unwrap();
+        // While power is off, the attacker flips a stored bit.
+        let mut b = ddr.snoop(0x80, 16).to_vec();
+        b[0] ^= 1;
+        ddr.tamper(0x80, &b);
+        let (_fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::Quarantined(TamperEvidence::RootMismatch { region: 0 })
+        );
+    }
+
+    #[test]
+    fn recovery_discards_a_torn_journal_tail() {
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x10, Width::Word, 3),
+            Cycle(0),
+        )
+        .unwrap();
+        let pre = ddr.snoop(0x10, 16).to_vec();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x10, Width::Word, 4),
+            Cycle(1),
+        )
+        .unwrap();
+        let mut state = lcf.persistent_state().unwrap();
+        // Crash tore the intent append itself; its burst never ran.
+        ddr.tamper(0x10, &pre);
+        state.journal.drop_tail(1); // commit mark
+        state.journal.corrupt_entry(state.journal.len() - 1); // torn intent
+        let (mut fresh, report) = reboot_and_recover(&lcf, &mut ddr, &state);
+        assert_eq!(report.outcome, RecoveryOutcome::Repaired);
+        assert_eq!(report.torn_discarded, 1);
+        assert_eq!(report.replayed, 1, "first write survives");
+        let r = fresh.handle(
+            &mut ddr,
+            &txn(Op::Read, DDR_BASE + 0x10, Width::Word, 0),
+            Cycle(2),
+        );
+        assert_eq!(r.unwrap().data, 3);
+    }
+
+    #[test]
+    fn journal_off_recovery_false_alarms_on_legitimate_writes() {
+        // The ablation the journal exists to fix: persist only a seal-time
+        // image, write normally, crash — recovery cannot tell legitimate
+        // post-image writes from tampering.
+        let (mut lcf, mut ddr) = make_journaled(1024);
+        let stale = lcf.persistent_state().unwrap(); // journal empty: image only
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, DDR_BASE + 0x10, Width::Word, 9),
+            Cycle(0),
+        )
+        .unwrap();
+        let (_fresh, report) = reboot_and_recover(&lcf, &mut ddr, &stale);
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::Quarantined(TamperEvidence::RootMismatch { region: 0 }),
+            "journal-off boot cannot explain its own legitimate writes"
+        );
     }
 }

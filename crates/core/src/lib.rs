@@ -34,6 +34,7 @@ pub mod firewall;
 pub mod lcf;
 pub mod policy;
 pub mod reconfig;
+pub mod recovery;
 pub mod thread_policy;
 
 pub use alert::{Alert, Reaction, SecurityMonitor, WatchdogExpiry};
@@ -43,6 +44,11 @@ pub use firewall::{Decision, FirewallId, LocalFirewall, RateLimit, SbTiming};
 pub use lcf::{
     CryptoTiming, IcFailureMode, LcfRegionConfig, LocalCipheringFirewall, Protection, RekeyError,
 };
-pub use policy::{AdfSet, ConfidentialityMode, IntegrityMode, PolicyError, Rwa, SecurityPolicy, Spi};
-pub use reconfig::{PolicyUpdate, ReconfigController};
+pub use policy::{
+    AdfSet, ConfidentialityMode, IntegrityMode, PolicyError, Rwa, SecurityPolicy, Spi,
+};
+pub use reconfig::{EpochError, EpochFailure, PolicyUpdate, ReconfigController};
+pub use recovery::{
+    PersistentState, RecoveryOutcome, RecoveryReport, SecureCheckpoint, TamperEvidence,
+};
 pub use thread_policy::{ThreadId, ThreadPolicyTable};

@@ -205,7 +205,15 @@ impl SecurityPolicy {
             "integrity without ciphering is not a supported LCF mode \
              (the paper's modes are: unprotected, ciphered, ciphered+authenticated)"
         );
-        SecurityPolicy { spi: Spi(spi), region, rwa, adf, cm, im, key }
+        SecurityPolicy {
+            spi: Spi(spi),
+            region,
+            rwa,
+            adf,
+            cm,
+            im,
+            key,
+        }
     }
 
     /// Fallible construction for untrusted input: same rules as
@@ -229,7 +237,15 @@ impl SecurityPolicy {
         if im == IntegrityMode::Verify && cm == ConfidentialityMode::Bypass {
             return Err(PolicyError::IntegrityWithoutCipher);
         }
-        Ok(SecurityPolicy { spi: Spi(spi), region, rwa, adf, cm, im, key })
+        Ok(SecurityPolicy {
+            spi: Spi(spi),
+            region,
+            rwa,
+            adf,
+            cm,
+            im,
+            key,
+        })
     }
 
     /// Number of elementary rules this policy contributes to its firewall

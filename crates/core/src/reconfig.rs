@@ -10,10 +10,17 @@
 //! and then the whole table is swapped atomically. A failed validation
 //! (overlapping regions) leaves the old table in force — a half-applied
 //! security policy would be worse than a stale one.
+//!
+//! Multi-firewall batches get the same guarantee through **policy
+//! epochs** ([`ReconfigController::commit_epoch`]): every staged table is
+//! validated against every target firewall first (*prepare*), and only if
+//! all of them pass does a single commit point swap them all and bump the
+//! epoch counter. One bad table means *no* firewall moves — the fleet is
+//! never left straddling two security postures.
 
 use secbus_sim::{Cycle, EventLog, Stats};
 
-use crate::config::PolicyOverlap;
+use crate::config::{ConfigMemory, PolicyOverlap};
 use crate::firewall::{FirewallId, LocalFirewall};
 use crate::policy::SecurityPolicy;
 
@@ -26,6 +33,25 @@ pub struct PolicyUpdate {
     pub policies: Vec<SecurityPolicy>,
 }
 
+/// Why one firewall's staged table failed the prepare phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochFailure {
+    /// The firewall whose staged table was rejected.
+    pub firewall: FirewallId,
+    /// The validation error (overlapping regions).
+    pub cause: PolicyOverlap,
+}
+
+/// Why an epoch commit was refused — in every case, *no* firewall was
+/// modified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochError {
+    /// A staged table failed validation during prepare.
+    Validation(EpochFailure),
+    /// An update targets a firewall that is not in the commit set.
+    UnknownFirewall(FirewallId),
+}
+
 /// Orchestrates staged policy swaps.
 #[derive(Debug)]
 pub struct ReconfigController {
@@ -33,6 +59,8 @@ pub struct ReconfigController {
     queue: Vec<(Cycle, PolicyUpdate)>,
     log: EventLog<(FirewallId, u64)>,
     stats: Stats,
+    epoch: u64,
+    firewall_epochs: Vec<(FirewallId, u64)>,
 }
 
 impl ReconfigController {
@@ -44,7 +72,30 @@ impl ReconfigController {
             queue: Vec::new(),
             log: EventLog::new(256),
             stats: Stats::new(),
+            epoch: 0,
+            firewall_epochs: Vec::new(),
         }
+    }
+
+    /// The current committed policy epoch (0 = boot configuration).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch in which `fw`'s table was last swapped (0 if never).
+    pub fn firewall_epoch(&self, fw: FirewallId) -> u64 {
+        self.firewall_epochs
+            .iter()
+            .find(|(id, _)| *id == fw)
+            .map_or(0, |(_, e)| *e)
+    }
+
+    /// Resume epoch numbering from a checkpoint (boot-time restore):
+    /// epochs committed after the restore continue the old sequence
+    /// instead of reusing numbers already handed out.
+    pub fn resume_epoch(&mut self, epoch: u64) {
+        debug_assert_eq!(self.epoch, 0, "resume before committing anything");
+        self.epoch = epoch;
     }
 
     /// The configured quiesce window.
@@ -82,10 +133,28 @@ impl ReconfigController {
         self.queue.len()
     }
 
+    /// Record that `firewall` swapped in the just-opened epoch.
+    fn note_swap(&mut self, firewall: FirewallId) {
+        match self
+            .firewall_epochs
+            .iter_mut()
+            .find(|(id, _)| *id == firewall)
+        {
+            Some((_, e)) => *e = self.epoch,
+            None => self.firewall_epochs.push((firewall, self.epoch)),
+        }
+    }
+
     /// Apply a ready update to its firewall, recording the new generation.
     ///
     /// Also lifts an administrative block: reconfiguration is the paper's
     /// envisioned recovery path after an attack forced a lockdown.
+    ///
+    /// A single-firewall update is its own (degenerate) epoch: the swap
+    /// either happens entirely or not at all, so success bumps the epoch
+    /// counter. For multi-firewall batches use
+    /// [`ReconfigController::commit_epoch`] — looping over `apply_to`
+    /// would apply a prefix of the batch before discovering a bad table.
     pub fn apply_to(
         &mut self,
         fw: &mut LocalFirewall,
@@ -94,9 +163,63 @@ impl ReconfigController {
         debug_assert_eq!(fw.id(), update.firewall, "update routed to wrong firewall");
         let generation = fw.config_mut().swap(update.policies)?;
         fw.unblock();
+        self.epoch += 1;
+        self.note_swap(update.firewall);
         self.stats.incr("reconfig.applied");
-        self.log.push(Cycle(generation), (update.firewall, generation));
+        self.log
+            .push(Cycle(generation), (update.firewall, generation));
         Ok(generation)
+    }
+
+    /// Two-phase commit of a multi-firewall batch.
+    ///
+    /// **Prepare**: every update must target a firewall in `fws` and its
+    /// staged table must validate. **Commit**: only when every table
+    /// passed, swap them all and bump the epoch once. On `Err`, no
+    /// firewall was touched and the error names the firewall that failed
+    /// — the caller can drop just that update and retry the rest.
+    ///
+    /// Returns the new epoch on success.
+    pub fn commit_epoch(
+        &mut self,
+        fws: &mut [&mut LocalFirewall],
+        updates: Vec<PolicyUpdate>,
+    ) -> Result<u64, EpochError> {
+        // Phase 1: prepare. Validate every staged table against a
+        // scratch Configuration Memory; nothing live is modified.
+        for update in &updates {
+            if !fws.iter().any(|f| f.id() == update.firewall) {
+                self.stats.incr("reconfig.epoch_aborts");
+                return Err(EpochError::UnknownFirewall(update.firewall));
+            }
+            if let Err(cause) = ConfigMemory::with_policies(update.policies.clone()) {
+                self.stats.incr("reconfig.epoch_aborts");
+                return Err(EpochError::Validation(EpochFailure {
+                    firewall: update.firewall,
+                    cause,
+                }));
+            }
+        }
+        // Phase 2: commit. Every swap below is infallible (validated
+        // above), so the batch cannot stop halfway.
+        self.epoch += 1;
+        for update in updates {
+            let fw = fws
+                .iter_mut()
+                .find(|f| f.id() == update.firewall)
+                .expect("presence checked in prepare");
+            let generation = fw
+                .config_mut()
+                .swap(update.policies)
+                .expect("table validated in prepare");
+            fw.unblock();
+            self.note_swap(update.firewall);
+            self.stats.incr("reconfig.applied");
+            self.log
+                .push(Cycle(generation), (update.firewall, generation));
+        }
+        self.stats.incr("reconfig.epochs_committed");
+        Ok(self.epoch)
     }
 
     /// Audit log of applied swaps `(firewall, generation)`.
@@ -114,11 +237,16 @@ impl ReconfigController {
 mod tests {
     use super::*;
     use crate::config::ConfigMemory;
-    use crate::policy::{AdfSet, Rwa, SecurityPolicy};
+    use crate::policy::{AdfSet, Rwa, SecurityPolicy, Spi};
     use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
 
     fn policy(spi: u16, base: u32) -> SecurityPolicy {
-        SecurityPolicy::internal(spi, AddrRange::new(base, 0x100), Rwa::ReadWrite, AdfSet::ALL)
+        SecurityPolicy::internal(
+            spi,
+            AddrRange::new(base, 0x100),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        )
     }
 
     fn fw() -> LocalFirewall {
@@ -145,8 +273,13 @@ mod tests {
     #[test]
     fn update_waits_for_quiesce_window() {
         let mut rc = ReconfigController::new(50);
-        let ready_at =
-            rc.schedule(PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(2, 0x2000)] }, Cycle(10));
+        let ready_at = rc.schedule(
+            PolicyUpdate {
+                firewall: FirewallId(3),
+                policies: vec![policy(2, 0x2000)],
+            },
+            Cycle(10),
+        );
         assert_eq!(ready_at, Cycle(60));
         assert!(rc.take_ready(Cycle(59)).is_empty());
         assert_eq!(rc.pending(), 1);
@@ -163,14 +296,23 @@ mod tests {
         assert!(!f.check(&txn(0x2000), Cycle(0)).allowed);
 
         rc.schedule(
-            PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(2, 0x2000)] },
+            PolicyUpdate {
+                firewall: FirewallId(3),
+                policies: vec![policy(2, 0x2000)],
+            },
             Cycle(0),
         );
         for update in rc.take_ready(Cycle(0)) {
             rc.apply_to(&mut f, update).unwrap();
         }
-        assert!(!f.check(&txn(0x1000), Cycle(1)).allowed, "old policy revoked");
-        assert!(f.check(&txn(0x2000), Cycle(1)).allowed, "new policy in force");
+        assert!(
+            !f.check(&txn(0x1000), Cycle(1)).allowed,
+            "old policy revoked"
+        );
+        assert!(
+            f.check(&txn(0x2000), Cycle(1)).allowed,
+            "new policy in force"
+        );
         assert_eq!(rc.stats().counter("reconfig.applied"), 1);
     }
 
@@ -181,7 +323,10 @@ mod tests {
         f.block();
         assert!(!f.check(&txn(0x1000), Cycle(0)).allowed);
         rc.schedule(
-            PolicyUpdate { firewall: FirewallId(3), policies: vec![policy(1, 0x1000)] },
+            PolicyUpdate {
+                firewall: FirewallId(3),
+                policies: vec![policy(1, 0x1000)],
+            },
             Cycle(0),
         );
         for u in rc.take_ready(Cycle(0)) {
@@ -209,11 +354,109 @@ mod tests {
         assert_eq!(f.config().generation(), 0);
     }
 
+    fn fw_with_id(id: u8, base: u32) -> LocalFirewall {
+        LocalFirewall::new(
+            FirewallId(id),
+            "LF",
+            ConfigMemory::with_policies(vec![policy(1, base)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn epoch_commit_is_all_or_nothing() {
+        let mut rc = ReconfigController::new(0);
+        let mut a = fw_with_id(0, 0x1000);
+        let mut b = fw_with_id(1, 0x1000);
+        let bad = PolicyUpdate {
+            firewall: FirewallId(1),
+            policies: vec![policy(2, 0x2000), policy(3, 0x2080)], // overlap
+        };
+        let good = PolicyUpdate {
+            firewall: FirewallId(0),
+            policies: vec![policy(2, 0x2000)],
+        };
+        let err = rc
+            .commit_epoch(&mut [&mut a, &mut b], vec![good.clone(), bad])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EpochError::Validation(EpochFailure {
+                firewall: FirewallId(1),
+                cause: PolicyOverlap {
+                    attempted: Spi(3),
+                    existing: Spi(2)
+                },
+            }),
+            "the error names the firewall whose table failed"
+        );
+        // The GOOD update earlier in the batch was not applied either.
+        assert!(a.check(&txn(0x1000), Cycle(1)).allowed);
+        assert!(!a.check(&txn(0x2000), Cycle(1)).allowed);
+        assert_eq!(rc.epoch(), 0);
+        assert_eq!(rc.stats().counter("reconfig.applied"), 0);
+
+        // Retrying without the bad table commits one epoch for the rest.
+        let epoch = rc.commit_epoch(&mut [&mut a, &mut b], vec![good]).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(a.check(&txn(0x2000), Cycle(2)).allowed);
+        assert_eq!(rc.firewall_epoch(FirewallId(0)), 1);
+        assert_eq!(
+            rc.firewall_epoch(FirewallId(1)),
+            0,
+            "untouched firewall keeps its epoch"
+        );
+    }
+
+    #[test]
+    fn epoch_commit_rejects_unknown_firewall() {
+        let mut rc = ReconfigController::new(0);
+        let mut a = fw_with_id(0, 0x1000);
+        let err = rc
+            .commit_epoch(
+                &mut [&mut a],
+                vec![PolicyUpdate {
+                    firewall: FirewallId(9),
+                    policies: vec![],
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err, EpochError::UnknownFirewall(FirewallId(9)));
+        assert_eq!(rc.epoch(), 0);
+    }
+
+    #[test]
+    fn single_firewall_apply_is_a_degenerate_epoch() {
+        let mut rc = ReconfigController::new(0);
+        let mut f = fw();
+        rc.apply_to(
+            &mut f,
+            PolicyUpdate {
+                firewall: FirewallId(3),
+                policies: vec![policy(2, 0x2000)],
+            },
+        )
+        .unwrap();
+        assert_eq!(rc.epoch(), 1);
+        assert_eq!(rc.firewall_epoch(FirewallId(3)), 1);
+    }
+
     #[test]
     fn multiple_updates_order_preserved() {
         let mut rc = ReconfigController::new(10);
-        rc.schedule(PolicyUpdate { firewall: FirewallId(0), policies: vec![] }, Cycle(0));
-        rc.schedule(PolicyUpdate { firewall: FirewallId(1), policies: vec![] }, Cycle(5));
+        rc.schedule(
+            PolicyUpdate {
+                firewall: FirewallId(0),
+                policies: vec![],
+            },
+            Cycle(0),
+        );
+        rc.schedule(
+            PolicyUpdate {
+                firewall: FirewallId(1),
+                policies: vec![],
+            },
+            Cycle(5),
+        );
         let ready = rc.take_ready(Cycle(20));
         assert_eq!(ready.len(), 2);
         assert_eq!(ready[0].firewall, FirewallId(0));

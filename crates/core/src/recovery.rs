@@ -1,0 +1,128 @@
+//! Boot-time recovery types for the LCF's crash-consistent state.
+//!
+//! The recovery procedure itself lives on
+//! [`crate::lcf::LocalCipheringFirewall::recover_from`] (it needs the
+//! LCF's private region state); this module defines what goes in and
+//! what comes out.
+//!
+//! The central design point is **classification**: after a power cut
+//! the persisted surface (DDR ciphertext + [`SecureStateImage`] +
+//! write-ahead journal + monotonic counter) can disagree with itself in
+//! exactly two ways, and they must be told apart:
+//!
+//! * **Crash artifacts** — a dangling journal intent whose DDR burst
+//!   never started / completed / half-landed, or a torn journal tail.
+//!   These are *explainable* by the two-phase write protocol, confined
+//!   to the single in-flight block, and are repaired (roll back, roll
+//!   forward, or deterministic block repair with logged data loss).
+//! * **Tamper evidence** — a forged or rolled-back image, a journal
+//!   that violates the sequential protocol, or DDR contents that fail
+//!   to reproduce any authenticated root even after accounting for the
+//!   in-flight write. No crash produces these; the region is
+//!   quarantined, never silently re-baselined.
+
+use secbus_crypto::{MonotonicCounter, SecureStateImage, WriteAheadJournal};
+
+/// Evidence that persisted state was tampered with (not merely torn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperEvidence {
+    /// The [`SecureStateImage`] fails its MAC, or its shape does not
+    /// match the LCF's region layout.
+    BadImage,
+    /// The image's sequence number is behind the monotonic counter:
+    /// someone restored an old checkpoint (rollback attack).
+    RolledBackImage,
+    /// The image claims a sequence number this chip never ratcheted to
+    /// (forged future state).
+    ForgedSequence,
+    /// The journal violates the sequential write protocol (a commit
+    /// with no intent, an abandoned non-final intent, an out-of-epoch
+    /// record): a crash cannot produce this shape, a forger can.
+    ForgedJournal,
+    /// A region's DDR contents do not reproduce the authenticated root,
+    /// and no crash window explains the difference.
+    RootMismatch {
+        /// Index of the offending region.
+        region: usize,
+    },
+}
+
+impl TamperEvidence {
+    /// Stable short name for stats/report keys.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            TamperEvidence::BadImage => "bad_image",
+            TamperEvidence::RolledBackImage => "rolled_back_image",
+            TamperEvidence::ForgedSequence => "forged_sequence",
+            TamperEvidence::ForgedJournal => "forged_journal",
+            TamperEvidence::RootMismatch { .. } => "root_mismatch",
+        }
+    }
+}
+
+/// How a recovery run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// State reconstructed exactly; nothing was in flight.
+    Clean,
+    /// State reconstructed after resolving crash artifacts (rolled a
+    /// write forward/back, discarded a torn journal tail, or repaired a
+    /// torn block with bounded data loss).
+    Repaired,
+    /// Tamper evidence found: the LCF is blocked, the region state must
+    /// not be trusted.
+    Quarantined(TamperEvidence),
+}
+
+/// What recovery did, for logs, benches and the SoC monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub outcome: RecoveryOutcome,
+    /// Committed journal writes folded into the recovered state.
+    pub replayed: u64,
+    /// Dangling intents whose DDR burst had completed (rolled forward).
+    pub rolled_forward: u64,
+    /// Dangling intents whose DDR burst never started (rolled back).
+    pub rolled_back: u64,
+    /// Blocks whose burst half-landed and were deterministically
+    /// re-initialized — the bounded data loss of a torn write.
+    pub repaired_blocks: u64,
+    /// Journal entries discarded because their MAC failed (torn tail).
+    pub torn_discarded: u64,
+    /// Journal records from an older checkpoint epoch, skipped.
+    pub stale_discarded: u64,
+    /// Modeled recovery latency in cycles (journal scan + tree
+    /// rebuilds + repair passes).
+    pub cycles: u64,
+}
+
+impl RecoveryReport {
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self.outcome, RecoveryOutcome::Quarantined(_))
+    }
+}
+
+/// The LCF state that survives a power cut: everything recovery needs
+/// except the DDR itself and the on-chip key/counter.
+///
+/// This is what [`crate::lcf::LocalCipheringFirewall::persistent_state`]
+/// hands out and what a reboot passes back in. It is attacker-reachable
+/// storage: both halves are authenticated, so the worst an attacker can
+/// do without the key is make them *invalid* (or roll them back, which
+/// the counter catches).
+#[derive(Debug, Clone)]
+pub struct PersistentState {
+    pub image: SecureStateImage,
+    pub journal: WriteAheadJournal,
+}
+
+/// A full secure-state checkpoint as captured by the SoC for
+/// deterministic resume: the persisted surface plus the (on-chip,
+/// crash-surviving) monotonic counter.
+#[derive(Debug, Clone)]
+pub struct SecureCheckpoint {
+    pub state: PersistentState,
+    pub counter: MonotonicCounter,
+    /// Policy epoch in force when the checkpoint was taken.
+    pub policy_epoch: u64,
+}

@@ -13,10 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use secbus_bus::Transaction;
-use secbus_sim::{Cycle, Stats};
 use crate::checker::{check_all, CheckOutcome, Violation};
 use crate::config::ConfigMemory;
+use secbus_bus::Transaction;
+use secbus_sim::{Cycle, Stats};
 
 /// A hardware-visible thread identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

@@ -39,12 +39,19 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// One source item after pass 1.
 enum Item {
-    Instr { line: usize, mnemonic: String, args: Vec<String> },
+    Instr {
+        line: usize,
+        mnemonic: String,
+        args: Vec<String>,
+    },
     Word(u32),
 }
 
@@ -144,9 +151,17 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
                     mnemonic: "li_hi".into(),
                     args: args.clone(),
                 });
-                items.push(Item::Instr { line: line_no, mnemonic: "li_lo".into(), args });
+                items.push(Item::Instr {
+                    line: line_no,
+                    mnemonic: "li_lo".into(),
+                    args,
+                });
             }
-            _ => items.push(Item::Instr { line: line_no, mnemonic, args }),
+            _ => items.push(Item::Instr {
+                line: line_no,
+                mnemonic,
+                args,
+            }),
         }
     }
 
@@ -155,7 +170,11 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
     for (pc, item) in items.iter().enumerate() {
         match item {
             Item::Word(w) => out.push(*w),
-            Item::Instr { line, mnemonic, args } => {
+            Item::Instr {
+                line,
+                mnemonic,
+                args,
+            } => {
                 let args: Vec<String> = args
                     .iter()
                     .map(|a| match consts.get(a.trim()) {
@@ -175,7 +194,10 @@ fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
     let body = s
         .strip_prefix('r')
         .or_else(|| s.strip_prefix('R'))
-        .ok_or(AsmError { line, msg: format!("expected register, got {s:?}") })?;
+        .ok_or(AsmError {
+            line,
+            msg: format!("expected register, got {s:?}"),
+        })?;
     match body.parse::<u8>() {
         Ok(n) if n < 16 => Ok(Reg(n)),
         _ => err(line, format!("bad register {s:?}")),
@@ -197,7 +219,10 @@ fn parse_imm(s: &str) -> Option<i64> {
 }
 
 fn imm16(line: usize, s: &str) -> Result<i16, AsmError> {
-    let v = parse_imm(s).ok_or(AsmError { line, msg: format!("bad immediate {s:?}") })?;
+    let v = parse_imm(s).ok_or(AsmError {
+        line,
+        msg: format!("bad immediate {s:?}"),
+    })?;
     // Accept both signed (-32768..=32767) and unsigned (..=65535) spellings.
     if (-(1 << 15)..(1 << 16)).contains(&v) {
         Ok(v as u16 as i16)
@@ -208,12 +233,19 @@ fn imm16(line: usize, s: &str) -> Result<i16, AsmError> {
 
 /// Parse `off(reg)` memory operands.
 fn parse_mem(line: usize, s: &str) -> Result<(i16, Reg), AsmError> {
-    let open = s.find('(').ok_or(AsmError { line, msg: format!("expected off(reg), got {s:?}") })?;
+    let open = s.find('(').ok_or(AsmError {
+        line,
+        msg: format!("expected off(reg), got {s:?}"),
+    })?;
     if !s.ends_with(')') {
         return err(line, format!("expected off(reg), got {s:?}"));
     }
     let off_str = s[..open].trim();
-    let off = if off_str.is_empty() { 0 } else { imm16(line, off_str)? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        imm16(line, off_str)?
+    };
     let reg = parse_reg(line, s[open + 1..s.len() - 1].trim())?;
     Ok((off, reg))
 }
@@ -235,7 +267,10 @@ fn branch_target(
         return err(line, format!("unknown label {s:?}"));
     };
     let off = target - (pc as i64 + 1);
-    i16::try_from(off).map_err(|_| AsmError { line, msg: format!("branch to {s:?} out of range") })
+    i16::try_from(off).map_err(|_| AsmError {
+        line,
+        msg: format!("branch to {s:?} out of range"),
+    })
 }
 
 fn encode_one(
@@ -249,7 +284,10 @@ fn encode_one(
         if args.len() == n {
             Ok(())
         } else {
-            err(line, format!("{mnemonic} takes {n} operand(s), got {}", args.len()))
+            err(
+                line,
+                format!("{mnemonic} takes {n} operand(s), got {}", args.len()),
+            )
         }
     };
 
@@ -271,11 +309,22 @@ fn encode_one(
     };
     let load = |size: MemSize, signed: bool, args: &[String]| -> Result<Instr, AsmError> {
         let (off, ra) = parse_mem(line, &args[1])?;
-        Ok(Instr::Load { size, signed, rd: parse_reg(line, &args[0])?, ra, off })
+        Ok(Instr::Load {
+            size,
+            signed,
+            rd: parse_reg(line, &args[0])?,
+            ra,
+            off,
+        })
     };
     let store = |size: MemSize, args: &[String]| -> Result<Instr, AsmError> {
         let (off, ra) = parse_mem(line, &args[1])?;
-        Ok(Instr::Store { size, rb: parse_reg(line, &args[0])?, ra, off })
+        Ok(Instr::Store {
+            size,
+            rb: parse_reg(line, &args[0])?,
+            ra,
+            off,
+        })
     };
     let branch = |cond: Cond, args: &[String]| -> Result<Instr, AsmError> {
         Ok(Instr::Branch {
@@ -300,20 +349,38 @@ fn encode_one(
             argc(2)?;
             let v = parse_imm(&args[1])
                 .filter(|&v| (0..65536).contains(&v))
-                .ok_or(AsmError { line, msg: format!("bad lui immediate {:?}", args[1]) })?;
-            Ok(Instr::Lui { rd: parse_reg(line, &args[0])?, imm: v as u16 })
+                .ok_or(AsmError {
+                    line,
+                    msg: format!("bad lui immediate {:?}", args[1]),
+                })?;
+            Ok(Instr::Lui {
+                rd: parse_reg(line, &args[0])?,
+                imm: v as u16,
+            })
         }
         "li_hi" => {
             let v = parse_imm(&args[1])
-                .filter(|&v| (0..=u32::MAX as i64).contains(&v) || (i32::MIN as i64..0).contains(&v))
-                .ok_or(AsmError { line, msg: format!("bad li immediate {:?}", args[1]) })?
-                as u32;
-            Ok(Instr::Lui { rd: parse_reg(line, &args[0])?, imm: (v >> 16) as u16 })
+                .filter(|&v| {
+                    (0..=u32::MAX as i64).contains(&v) || (i32::MIN as i64..0).contains(&v)
+                })
+                .ok_or(AsmError {
+                    line,
+                    msg: format!("bad li immediate {:?}", args[1]),
+                })? as u32;
+            Ok(Instr::Lui {
+                rd: parse_reg(line, &args[0])?,
+                imm: (v >> 16) as u16,
+            })
         }
         "li_lo" => {
             let v = parse_imm(&args[1]).unwrap_or(0) as u32;
             let rd = parse_reg(line, &args[0])?;
-            Ok(Instr::AluImm { op: AluOp::Or, rd, ra: rd, imm: (v & 0xffff) as u16 as i16 })
+            Ok(Instr::AluImm {
+                op: AluOp::Or,
+                rd,
+                ra: rd,
+                imm: (v & 0xffff) as u16 as i16,
+            })
         }
         "mv" => {
             argc(2)?;
@@ -324,18 +391,54 @@ fn encode_one(
                 imm: 0,
             })
         }
-        "lb" => { argc(2)?; load(MemSize::Byte, true, args) }
-        "lbu" => { argc(2)?; load(MemSize::Byte, false, args) }
-        "lh" => { argc(2)?; load(MemSize::Half, true, args) }
-        "lhu" => { argc(2)?; load(MemSize::Half, false, args) }
-        "lw" => { argc(2)?; load(MemSize::Word, true, args) }
-        "sb" => { argc(2)?; store(MemSize::Byte, args) }
-        "sh" => { argc(2)?; store(MemSize::Half, args) }
-        "sw" => { argc(2)?; store(MemSize::Word, args) }
-        "beq" => { argc(3)?; branch(Cond::Eq, args) }
-        "bne" => { argc(3)?; branch(Cond::Ne, args) }
-        "blt" => { argc(3)?; branch(Cond::Lt, args) }
-        "bge" => { argc(3)?; branch(Cond::Ge, args) }
+        "lb" => {
+            argc(2)?;
+            load(MemSize::Byte, true, args)
+        }
+        "lbu" => {
+            argc(2)?;
+            load(MemSize::Byte, false, args)
+        }
+        "lh" => {
+            argc(2)?;
+            load(MemSize::Half, true, args)
+        }
+        "lhu" => {
+            argc(2)?;
+            load(MemSize::Half, false, args)
+        }
+        "lw" => {
+            argc(2)?;
+            load(MemSize::Word, true, args)
+        }
+        "sb" => {
+            argc(2)?;
+            store(MemSize::Byte, args)
+        }
+        "sh" => {
+            argc(2)?;
+            store(MemSize::Half, args)
+        }
+        "sw" => {
+            argc(2)?;
+            store(MemSize::Word, args)
+        }
+        "beq" => {
+            argc(3)?;
+            branch(Cond::Eq, args)
+        }
+        "bne" => {
+            argc(3)?;
+            branch(Cond::Ne, args)
+        }
+        "blt" => {
+            argc(3)?;
+            branch(Cond::Lt, args)
+        }
+        "bge" => {
+            argc(3)?;
+            branch(Cond::Ge, args)
+        }
         // Pseudo-branches: swap the operands of blt/bge.
         "bgt" => {
             argc(3)?;
@@ -356,14 +459,26 @@ fn encode_one(
         }
         "j" | "b" => {
             argc(1)?;
-            Ok(Instr::Jal { rd: Reg::ZERO, off: branch_target(line, &args[0], pc, labels)? })
+            Ok(Instr::Jal {
+                rd: Reg::ZERO,
+                off: branch_target(line, &args[0], pc, labels)?,
+            })
         }
         "jalr" => {
             argc(2)?;
-            Ok(Instr::Jalr { rd: parse_reg(line, &args[0])?, ra: parse_reg(line, &args[1])? })
+            Ok(Instr::Jalr {
+                rd: parse_reg(line, &args[0])?,
+                ra: parse_reg(line, &args[1])?,
+            })
         }
-        "halt" => { argc(0)?; Ok(Instr::Halt) }
-        "nop" => { argc(0)?; Ok(Instr::Nop) }
+        "halt" => {
+            argc(0)?;
+            Ok(Instr::Halt)
+        }
+        "nop" => {
+            argc(0)?;
+            Ok(Instr::Nop)
+        }
         other => err(line, format!("unknown mnemonic {other:?}")),
     }
 }
@@ -408,8 +523,18 @@ mod tests {
         assert_eq!(
             decode_all(&words),
             vec![
-                Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(0), imm: 10 },
-                Instr::Alu { op: AluOp::Add, rd: Reg(2), ra: Reg(1), rb: Reg(1) },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    ra: Reg(0),
+                    imm: 10
+                },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    ra: Reg(1),
+                    rb: Reg(1)
+                },
                 Instr::Halt,
             ]
         );
@@ -421,9 +546,26 @@ mod tests {
         assert_eq!(
             decode_all(&words),
             vec![
-                Instr::Load { size: MemSize::Word, signed: true, rd: Reg(1), ra: Reg(2), off: 4 },
-                Instr::Store { size: MemSize::Word, rb: Reg(1), ra: Reg(3), off: -8 },
-                Instr::Load { size: MemSize::Byte, signed: false, rd: Reg(4), ra: Reg(5), off: 0 },
+                Instr::Load {
+                    size: MemSize::Word,
+                    signed: true,
+                    rd: Reg(1),
+                    ra: Reg(2),
+                    off: 4
+                },
+                Instr::Store {
+                    size: MemSize::Word,
+                    rb: Reg(1),
+                    ra: Reg(3),
+                    off: -8
+                },
+                Instr::Load {
+                    size: MemSize::Byte,
+                    signed: false,
+                    rd: Reg(4),
+                    ra: Reg(5),
+                    off: 0
+                },
             ]
         );
     }
@@ -444,9 +586,25 @@ mod tests {
         .unwrap();
         let instrs = decode_all(&words);
         // bne at pc=1 targets 0: off = 0 - 2 = -2
-        assert_eq!(instrs[1], Instr::Branch { cond: Cond::Ne, ra: Reg(1), rb: Reg(2), off: -2 });
+        assert_eq!(
+            instrs[1],
+            Instr::Branch {
+                cond: Cond::Ne,
+                ra: Reg(1),
+                rb: Reg(2),
+                off: -2
+            }
+        );
         // beq at pc=2 targets 4: off = 4 - 3 = 1
-        assert_eq!(instrs[2], Instr::Branch { cond: Cond::Eq, ra: Reg(0), rb: Reg(0), off: 1 });
+        assert_eq!(
+            instrs[2],
+            Instr::Branch {
+                cond: Cond::Eq,
+                ra: Reg(0),
+                rb: Reg(0),
+                off: 1
+            }
+        );
     }
 
     #[test]
@@ -456,8 +614,16 @@ mod tests {
         assert_eq!(
             decode_all(&words)[..2],
             [
-                Instr::Lui { rd: Reg(1), imm: 0x44A0 },
-                Instr::AluImm { op: AluOp::Or, rd: Reg(1), ra: Reg(1), imm: 0x1234 },
+                Instr::Lui {
+                    rd: Reg(1),
+                    imm: 0x44A0
+                },
+                Instr::AluImm {
+                    op: AluOp::Or,
+                    rd: Reg(1),
+                    ra: Reg(1),
+                    imm: 0x1234
+                },
             ]
         );
     }
@@ -476,7 +642,12 @@ mod tests {
         .unwrap();
         assert_eq!(
             decode_all(&words)[0],
-            Instr::Branch { cond: Cond::Eq, ra: Reg(0), rb: Reg(0), off: 2 }
+            Instr::Branch {
+                cond: Cond::Eq,
+                ra: Reg(0),
+                rb: Reg(0),
+                off: 2
+            }
         );
     }
 
@@ -494,7 +665,15 @@ mod tests {
     fn pseudo_mv_and_j() {
         let words = assemble("mv r3, r7\nj next\nnop\nnext: halt").unwrap();
         let instrs = decode_all(&words);
-        assert_eq!(instrs[0], Instr::AluImm { op: AluOp::Add, rd: Reg(3), ra: Reg(7), imm: 0 });
+        assert_eq!(
+            instrs[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(3),
+                ra: Reg(7),
+                imm: 0
+            }
+        );
         assert_eq!(instrs[1], Instr::Jal { rd: Reg(0), off: 1 });
     }
 
@@ -519,8 +698,18 @@ mod tests {
         assert_eq!(
             decode_all(&words)[..2],
             [
-                Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(0), imm: 48 },
-                Instr::AluImm { op: AluOp::Add, rd: Reg(2), ra: Reg(0), imm: -5 },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    ra: Reg(0),
+                    imm: 48
+                },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(2),
+                    ra: Reg(0),
+                    imm: -5
+                },
             ]
         );
     }
@@ -528,19 +717,41 @@ mod tests {
     #[test]
     fn equ_errors() {
         assert!(assemble(".equ 1BAD, 3").is_err());
-        assert!(assemble(".equ A, 1
-.equ A, 2").is_err());
+        assert!(assemble(
+            ".equ A, 1
+.equ A, 2"
+        )
+        .is_err());
         assert!(assemble(".equ A, zz").is_err());
     }
 
     #[test]
     fn bgt_ble_swap_operands() {
-        let words = assemble("loop: bgt r1, r2, loop
+        let words = assemble(
+            "loop: bgt r1, r2, loop
 ble r1, r2, loop
-halt").unwrap();
+halt",
+        )
+        .unwrap();
         let instrs = decode_all(&words);
-        assert_eq!(instrs[0], Instr::Branch { cond: Cond::Lt, ra: Reg(2), rb: Reg(1), off: -1 });
-        assert_eq!(instrs[1], Instr::Branch { cond: Cond::Ge, ra: Reg(2), rb: Reg(1), off: -2 });
+        assert_eq!(
+            instrs[0],
+            Instr::Branch {
+                cond: Cond::Lt,
+                ra: Reg(2),
+                rb: Reg(1),
+                off: -1
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::Branch {
+                cond: Cond::Ge,
+                ra: Reg(2),
+                rb: Reg(1),
+                off: -2
+            }
+        );
     }
 
     #[test]

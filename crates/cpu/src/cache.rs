@@ -37,7 +37,10 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { lines: 64, line_words: 4 }
+        CacheConfig {
+            lines: 64,
+            line_words: 4,
+        }
     }
 }
 
@@ -54,11 +57,20 @@ struct CacheArray {
 
 impl CacheArray {
     fn new(config: CacheConfig) -> Self {
-        assert!(config.lines.is_power_of_two(), "lines must be a power of two");
-        assert!(config.line_words.is_power_of_two(), "line words must be a power of two");
+        assert!(
+            config.lines.is_power_of_two(),
+            "lines must be a power of two"
+        );
+        assert!(
+            config.line_words.is_power_of_two(),
+            "line words must be a power of two"
+        );
         CacheArray {
             lines: (0..config.lines)
-                .map(|_| Line { tag: None, words: vec![0; config.line_words] })
+                .map(|_| Line {
+                    tag: None,
+                    words: vec![0; config.line_words],
+                })
                 .collect(),
             config,
         }
@@ -84,7 +96,10 @@ impl CacheArray {
     fn install(&mut self, line_base: u32, words: Vec<u32>) {
         let (_, index, _) = self.split(line_base);
         debug_assert_eq!(words.len(), self.config.line_words);
-        self.lines[index] = Line { tag: Some(line_base), words };
+        self.lines[index] = Line {
+            tag: Some(line_base),
+            words,
+        };
     }
 
     fn update_word(&mut self, addr: u32, value: u32) {
@@ -196,7 +211,11 @@ impl CachePort<'_> {
         }
         if let Some(resp) = self.real.poll() {
             let fill = self.fill.as_mut().expect("fill in progress");
-            debug_assert_eq!(Some(resp.txn), fill.outstanding, "single outstanding fill word");
+            debug_assert_eq!(
+                Some(resp.txn),
+                fill.outstanding,
+                "single outstanding fill word"
+            );
             fill.outstanding = None;
             if !resp.is_ok() {
                 // A fill word was refused (firewall discard, decode…):
@@ -373,7 +392,13 @@ mod tests {
             halt
         ";
         let core = Mb32Core::with_local_program("c", 0, assemble(src).unwrap());
-        let mut cached = CachedMaster::new(Box::new(core), CacheConfig { lines: 4, line_words: 4 });
+        let mut cached = CachedMaster::new(
+            Box::new(core),
+            CacheConfig {
+                lines: 4,
+                line_words: 4,
+            },
+        );
         let mut mem = InstantMem::new(64);
         mem.load(16, &0x4433_2211u32.to_le_bytes());
         mem.load(20, &0x8877_6655u32.to_le_bytes());
@@ -464,7 +489,13 @@ mod tests {
             halt
         ";
         let core = Mb32Core::with_local_program("c", 0, assemble(src).unwrap());
-        let mut cached = CachedMaster::new(Box::new(core), CacheConfig { lines: 4, line_words: 4 });
+        let mut cached = CachedMaster::new(
+            Box::new(core),
+            CacheConfig {
+                lines: 4,
+                line_words: 4,
+            },
+        );
         let mut mem = InstantMem::new(128);
         run(&mut cached, &mut mem, 10_000);
         assert_eq!(cached.misses(), 3);

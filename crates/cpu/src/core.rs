@@ -63,7 +63,10 @@ impl Mb32Core {
             label: label.into(),
             regs: [0; 16],
             pc: base,
-            fetch: FetchSource::Local { base, words: program },
+            fetch: FetchSource::Local {
+                base,
+                words: program,
+            },
             state: State::Fetch,
             stats: Stats::new(),
         }
@@ -149,12 +152,24 @@ impl Mb32Core {
                 self.write_rd(rd, u32::from(imm) << 16);
                 self.pc = next_pc;
             }
-            Instr::Load { size, signed, rd, ra, off } => {
+            Instr::Load {
+                size,
+                signed,
+                rd,
+                ra,
+                off,
+            } => {
                 let addr = self.reg(ra).wrapping_add(off as i32 as u32);
                 let width = width_of(size);
                 let txn = mem.issue(Op::Read, addr, width, 0, 1);
                 self.stats.incr("core.loads");
-                self.state = State::WaitMem { txn, rd: Some(rd), size, signed, issued_at: now };
+                self.state = State::WaitMem {
+                    txn,
+                    rd: Some(rd),
+                    size,
+                    signed,
+                    issued_at: now,
+                };
                 self.pc = next_pc;
                 return;
             }
@@ -164,7 +179,13 @@ impl Mb32Core {
                 let data = self.reg(rb) & width.mask();
                 let txn = mem.issue(Op::Write, addr, width, data, 1);
                 self.stats.incr("core.stores");
-                self.state = State::WaitMem { txn, rd: None, size, signed: false, issued_at: now };
+                self.state = State::WaitMem {
+                    txn,
+                    rd: None,
+                    size,
+                    signed: false,
+                    issued_at: now,
+                };
                 self.pc = next_pc;
                 return;
             }
@@ -232,7 +253,8 @@ impl Mb32Core {
             };
             self.write_rd(rd, v);
         }
-        self.stats.record("core.mem_latency", now.saturating_since(issued_at));
+        self.stats
+            .record("core.mem_latency", now.saturating_since(issued_at));
         self.state = State::Fetch;
     }
 }
@@ -300,7 +322,13 @@ impl BusMaster for Mb32Core {
                     }
                 }
             }
-            State::WaitMem { txn, rd, size, signed, issued_at } => {
+            State::WaitMem {
+                txn,
+                rd,
+                size,
+                signed,
+                issued_at,
+            } => {
                 if let Some(resp) = mem.poll() {
                     debug_assert_eq!(resp.txn, txn, "single outstanding access");
                     self.complete_mem(resp, rd, size, signed, issued_at, now);

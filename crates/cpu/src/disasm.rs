@@ -58,7 +58,13 @@ pub fn disasm_instr(i: Instr) -> String {
             format!("{}i {rd}, {ra}, {imm}", alu_name(op))
         }
         Instr::Lui { rd, imm } => format!("lui {rd}, {imm}"),
-        Instr::Load { size, signed, rd, ra, off } => {
+        Instr::Load {
+            size,
+            signed,
+            rd,
+            ra,
+            off,
+        } => {
             format!("{} {rd}, {off}({ra})", load_name(size, signed))
         }
         Instr::Store { size, rb, ra, off } => {
@@ -84,7 +90,12 @@ pub fn disasm(word: u32) -> String {
 pub fn disasm_listing(base: u32, words: &[u32]) -> String {
     let mut out = String::new();
     for (i, &w) in words.iter().enumerate() {
-        out.push_str(&format!("{:#010x}: {:08x}  {}\n", base + 4 * i as u32, w, disasm(w)));
+        out.push_str(&format!(
+            "{:#010x}: {:08x}  {}\n",
+            base + 4 * i as u32,
+            w,
+            disasm(w)
+        ));
     }
     out
 }
@@ -98,7 +109,12 @@ mod tests {
     fn representative_forms() {
         use crate::isa::Reg;
         assert_eq!(
-            disasm_instr(Instr::Alu { op: AluOp::Add, rd: Reg(1), ra: Reg(2), rb: Reg(3) }),
+            disasm_instr(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                ra: Reg(2),
+                rb: Reg(3)
+            }),
             "add r1, r2, r3"
         );
         assert_eq!(

@@ -92,17 +92,43 @@ pub enum MemSize {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// `op rd, ra, rb`
-    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// `opi rd, ra, imm` (imm sign-extended; shifts use low 5 bits)
-    AluImm { op: AluOp, rd: Reg, ra: Reg, imm: i16 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        imm: i16,
+    },
     /// `lui rd, imm` — load `imm << 16`.
     Lui { rd: Reg, imm: u16 },
     /// `l{b,h,w}[u] rd, off(ra)`
-    Load { size: MemSize, signed: bool, rd: Reg, ra: Reg, off: i16 },
+    Load {
+        size: MemSize,
+        signed: bool,
+        rd: Reg,
+        ra: Reg,
+        off: i16,
+    },
     /// `s{b,h,w} rb, off(ra)`
-    Store { size: MemSize, rb: Reg, ra: Reg, off: i16 },
+    Store {
+        size: MemSize,
+        rb: Reg,
+        ra: Reg,
+        off: i16,
+    },
     /// `b{eq,ne,lt,ge} ra, rb, off` — signed word offset from pc+4.
-    Branch { cond: Cond, ra: Reg, rb: Reg, off: i16 },
+    Branch {
+        cond: Cond,
+        ra: Reg,
+        rb: Reg,
+        off: i16,
+    },
     /// `jal rd, off` — rd = pc+4, pc += 4 + off*4.
     Jal { rd: Reg, off: i16 },
     /// `jalr rd, ra` — rd = pc+4, pc = ra.
@@ -195,11 +221,15 @@ impl Instr {
         };
         match self {
             Instr::Alu { op, rd, ra, rb } => r(OP_ALU_BASE + alu_code(op), rd, ra, rb),
-            Instr::AluImm { op, rd, ra, imm } => {
-                i(OP_ALUI_BASE + alu_code(op), rd, ra, imm as u16)
-            }
+            Instr::AluImm { op, rd, ra, imm } => i(OP_ALUI_BASE + alu_code(op), rd, ra, imm as u16),
             Instr::Lui { rd, imm } => i(OP_LUI, rd, Reg::ZERO, imm),
-            Instr::Load { size, signed, rd, ra, off } => {
+            Instr::Load {
+                size,
+                signed,
+                rd,
+                ra,
+                off,
+            } => {
                 let op = OP_LOAD_BASE + size_code(size) * 2 + u32::from(!signed);
                 i(op, rd, ra, off as u16)
             }
@@ -224,9 +254,12 @@ impl Instr {
         let rb = Reg(((word >> 14) & 0xf) as u8);
         let imm = (word & 0xffff) as u16;
         Some(match op {
-            o if o < OP_ALUI_BASE && alu_from(o).is_some() => {
-                Instr::Alu { op: alu_from(o)?, rd, ra, rb }
-            }
+            o if o < OP_ALUI_BASE && alu_from(o).is_some() => Instr::Alu {
+                op: alu_from(o)?,
+                rd,
+                ra,
+                rb,
+            },
             o if (OP_ALUI_BASE..OP_ALUI_BASE + 11).contains(&o) => Instr::AluImm {
                 op: alu_from(o - OP_ALUI_BASE)?,
                 rd,
@@ -240,7 +273,13 @@ impl Instr {
                 // Word loads have no sign distinction; canonicalise so
                 // decode(encode(x)) is the identity on `Instr`.
                 let signed = code.is_multiple_of(2) || size == MemSize::Word;
-                Instr::Load { size, signed, rd, ra, off: imm as i16 }
+                Instr::Load {
+                    size,
+                    signed,
+                    rd,
+                    ra,
+                    off: imm as i16,
+                }
             }
             o if (OP_STORE_BASE..OP_STORE_BASE + 3).contains(&o) => Instr::Store {
                 size: size_from(o - OP_STORE_BASE)?,
@@ -255,9 +294,17 @@ impl Instr {
                     2 => Cond::Lt,
                     _ => Cond::Ge,
                 };
-                Instr::Branch { cond, ra: rd, rb: ra, off: imm as i16 }
+                Instr::Branch {
+                    cond,
+                    ra: rd,
+                    rb: ra,
+                    off: imm as i16,
+                }
             }
-            OP_JAL => Instr::Jal { rd, off: imm as i16 },
+            OP_JAL => Instr::Jal {
+                rd,
+                off: imm as i16,
+            },
             OP_JALR => Instr::Jalr { rd, ra },
             OP_HALT => Instr::Halt,
             OP_NOP => Instr::Nop,
@@ -288,23 +335,64 @@ mod tests {
             AluOp::Slt,
             AluOp::Sltu,
         ] {
-            v.push(Instr::Alu { op, rd: r1, ra: r2, rb: r3 });
-            v.push(Instr::AluImm { op, rd: r3, ra: r1, imm: -42 });
+            v.push(Instr::Alu {
+                op,
+                rd: r1,
+                ra: r2,
+                rb: r3,
+            });
+            v.push(Instr::AluImm {
+                op,
+                rd: r3,
+                ra: r1,
+                imm: -42,
+            });
         }
         for size in [MemSize::Byte, MemSize::Half, MemSize::Word] {
-            v.push(Instr::Load { size, signed: true, rd: r1, ra: r2, off: 16 });
+            v.push(Instr::Load {
+                size,
+                signed: true,
+                rd: r1,
+                ra: r2,
+                off: 16,
+            });
             if size != MemSize::Word {
                 // Word loads canonicalise to signed (no sign distinction).
-                v.push(Instr::Load { size, signed: false, rd: r1, ra: r2, off: -4 });
+                v.push(Instr::Load {
+                    size,
+                    signed: false,
+                    rd: r1,
+                    ra: r2,
+                    off: -4,
+                });
             }
-            v.push(Instr::Store { size, rb: r3, ra: r2, off: 8 });
+            v.push(Instr::Store {
+                size,
+                rb: r3,
+                ra: r2,
+                off: 8,
+            });
         }
         for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge] {
-            v.push(Instr::Branch { cond, ra: r1, rb: r2, off: -3 });
+            v.push(Instr::Branch {
+                cond,
+                ra: r1,
+                rb: r2,
+                off: -3,
+            });
         }
-        v.push(Instr::Lui { rd: r2, imm: 0x4400 });
-        v.push(Instr::Jal { rd: Reg::LINK, off: 100 });
-        v.push(Instr::Jalr { rd: Reg::ZERO, ra: Reg::LINK });
+        v.push(Instr::Lui {
+            rd: r2,
+            imm: 0x4400,
+        });
+        v.push(Instr::Jal {
+            rd: Reg::LINK,
+            off: 100,
+        });
+        v.push(Instr::Jalr {
+            rd: Reg::ZERO,
+            ra: Reg::LINK,
+        });
         v.push(Instr::Halt);
         v.push(Instr::Nop);
         v
@@ -330,14 +418,21 @@ mod tests {
 
     #[test]
     fn illegal_opcodes_decode_to_none() {
-        for op in [0x0b_u32, 0x0f, 0x1b, 0x1e, 0x26, 0x27, 0x2b, 0x2f, 0x34, 0x3a, 0x3d] {
+        for op in [
+            0x0b_u32, 0x0f, 0x1b, 0x1e, 0x26, 0x27, 0x2b, 0x2f, 0x34, 0x3a, 0x3d,
+        ] {
             assert_eq!(Instr::decode(op << 26), None, "opcode {op:#x}");
         }
     }
 
     #[test]
     fn negative_immediates_survive() {
-        let i = Instr::AluImm { op: AluOp::Add, rd: Reg(1), ra: Reg(1), imm: -1 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            ra: Reg(1),
+            imm: -1,
+        };
         match Instr::decode(i.encode()).unwrap() {
             Instr::AluImm { imm, .. } => assert_eq!(imm, -1),
             other => panic!("{other:?}"),

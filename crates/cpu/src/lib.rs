@@ -22,8 +22,8 @@
 
 pub mod asm;
 pub mod cache;
-pub mod disasm;
 pub mod core;
+pub mod disasm;
 pub mod isa;
 pub mod master;
 pub mod traffic;

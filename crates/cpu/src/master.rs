@@ -25,7 +25,6 @@ pub trait BusMaster: Send {
     /// callers (e.g. reading a core's registers after a run).
     fn as_any(&self) -> &dyn std::any::Any;
 
-
     /// Advance one cycle; `mem` is the IP's view of the interconnect.
     fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle);
 

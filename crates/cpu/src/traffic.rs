@@ -58,7 +58,10 @@ pub struct SyntheticMaster {
 impl SyntheticMaster {
     /// Create a generator with its own RNG stream.
     pub fn new(label: impl Into<String>, config: SyntheticConfig, rng: SimRng) -> Self {
-        assert!(!config.windows.is_empty(), "need at least one address window");
+        assert!(
+            !config.windows.is_empty(),
+            "need at least one address window"
+        );
         assert!(!config.widths.is_empty(), "need at least one width");
         SyntheticMaster {
             label: label.into(),
@@ -104,7 +107,8 @@ impl BusMaster for SyntheticMaster {
         if let Some((txn, issued_at)) = self.outstanding {
             if let Some(resp) = mem.poll() {
                 debug_assert_eq!(resp.txn, txn);
-                self.stats.record("traffic.latency", now.saturating_since(issued_at));
+                self.stats
+                    .record("traffic.latency", now.saturating_since(issued_at));
                 if resp.is_ok() {
                     self.stats.incr("traffic.ok");
                 } else {
@@ -137,7 +141,9 @@ impl BusMaster for SyntheticMaster {
     }
 
     fn halted(&self) -> bool {
-        self.config.total_ops != 0 && self.issued >= self.config.total_ops && self.outstanding.is_none()
+        self.config.total_ops != 0
+            && self.issued >= self.config.total_ops
+            && self.outstanding.is_none()
     }
 
     fn label(&self) -> &str {
@@ -176,8 +182,14 @@ impl DmaEngine {
     /// # Panics
     /// Panics unless addresses and length are word-aligned and non-empty.
     pub fn new(label: impl Into<String>, src: u32, dst: u32, len_bytes: u32, burst: u16) -> Self {
-        assert!(len_bytes > 0 && len_bytes.is_multiple_of(4), "length must be words");
-        assert!(src.is_multiple_of(4) && dst.is_multiple_of(4), "addresses must be aligned");
+        assert!(
+            len_bytes > 0 && len_bytes.is_multiple_of(4),
+            "length must be words"
+        );
+        assert!(
+            src.is_multiple_of(4) && dst.is_multiple_of(4),
+            "addresses must be aligned"
+        );
         DmaEngine {
             label: label.into(),
             src,
@@ -222,7 +234,13 @@ impl BusMaster for DmaEngine {
                         return;
                     }
                     let beats = (self.chunk_bytes() / 4) as u16;
-                    let t = mem.issue(Op::Write, self.dst + self.moved, Width::Word, resp.data, beats);
+                    let t = mem.issue(
+                        Op::Write,
+                        self.dst + self.moved,
+                        Width::Word,
+                        resp.data,
+                        beats,
+                    );
                     self.phase = DmaPhase::WaitWrite(t);
                 }
             }
@@ -352,7 +370,10 @@ mod tests {
 
     #[test]
     fn synthetic_respects_total_ops() {
-        let cfg = SyntheticConfig { total_ops: 10, ..Default::default() };
+        let cfg = SyntheticConfig {
+            total_ops: 10,
+            ..Default::default()
+        };
         let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(1));
         let mut mem = InstantMem::new(0x1000);
         drive(&mut m, &mut mem, 1000);
@@ -398,7 +419,11 @@ mod tests {
 
     #[test]
     fn synthetic_period_spaces_requests() {
-        let cfg = SyntheticConfig { period: 10, total_ops: 5, ..Default::default() };
+        let cfg = SyntheticConfig {
+            period: 10,
+            total_ops: 5,
+            ..Default::default()
+        };
         let mut m = SyntheticMaster::new("syn", cfg, SimRng::new(5));
         let mut mem = InstantMem::new(0x1000);
         let mut issue_cycles = Vec::new();

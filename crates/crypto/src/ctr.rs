@@ -73,14 +73,24 @@ impl MemoryCipher {
     }
 
     /// Convenience: encrypt a copy of a single 16-byte block.
-    pub fn seal_block(&self, addr: u64, timestamp: u64, plain: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+    pub fn seal_block(
+        &self,
+        addr: u64,
+        timestamp: u64,
+        plain: &[u8; BLOCK_BYTES],
+    ) -> [u8; BLOCK_BYTES] {
         let mut out = *plain;
         self.apply(addr, timestamp, &mut out);
         out
     }
 
     /// Convenience: decrypt a copy of a single 16-byte block.
-    pub fn open_block(&self, addr: u64, timestamp: u64, cipher: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+    pub fn open_block(
+        &self,
+        addr: u64,
+        timestamp: u64,
+        cipher: &[u8; BLOCK_BYTES],
+    ) -> [u8; BLOCK_BYTES] {
         // XOR keystream is its own inverse.
         self.seal_block(addr, timestamp, cipher)
     }
@@ -179,9 +189,7 @@ mod tests {
             let addr = (next() % 1_000_000) * 16;
             let ts = next();
             let blocks = 1 + (next() % 7) as usize;
-            let mut buf: Vec<u8> = (0..blocks)
-                .flat_map(|_| [next() as u8; 16])
-                .collect();
+            let mut buf: Vec<u8> = (0..blocks).flat_map(|_| [next() as u8; 16]).collect();
             let original = buf.clone();
             c.apply(addr, ts, &mut buf);
             assert_ne!(buf, original, "keystream must change the data");

@@ -1,0 +1,558 @@
+//! Crash-consistent persistence for the LCF's security metadata.
+//!
+//! The paper keeps the hash-tree root and the time-stamp tags on-chip,
+//! which is fine while power stays up — but a crash or power cut leaves
+//! external DDR and the (volatile) on-chip metadata divergent, and a
+//! naive reboot either loses all protection state or false-alarms every
+//! protected region. This module supplies the three persistent pieces a
+//! crash-consistent LCF needs:
+//!
+//! * [`SecureStateImage`] — a MAC-sealed checkpoint of every region's
+//!   root + time-stamp table, stamped with a sequence number.
+//! * [`WriteAheadJournal`] — an append-only log of per-write intents and
+//!   commit marks (shadow-root two-phase commit). The intent is persisted
+//!   *before* the DDR burst and already carries the post-write ("shadow")
+//!   root; the commit mark lands after the burst. Recovery can therefore
+//!   classify any crash window: no record → nothing happened; dangling
+//!   intent → the burst may be absent (roll back), complete (roll
+//!   forward) or torn (repair); committed → the write definitely landed.
+//! * [`MonotonicCounter`] — a fuse-style ratchet, bumped at every
+//!   checkpoint, that detects a rolled-back image.
+//!
+//! Every persisted structure is authenticated with a key that never
+//! leaves the chip, so an attacker who can rewrite the persistence
+//! medium can only produce *invalid* records (indistinguishable from a
+//! torn tail, hence discarded) — never forge a root.
+//!
+//! Known limitation (documented in DESIGN.md §6): the counter ratchets
+//! per *checkpoint*, not per write, so an attacker who atomically rolls
+//! back DDR **and** the journal tail can undo writes since the last
+//! checkpoint. Shortening the checkpoint interval bounds that window.
+//!
+//! Journal appends and commit marks are individually tearable (a torn
+//! entry fails its MAC and is discarded with everything after it);
+//! image and counter writes are modeled as atomic, standing in for the
+//! double-buffered NVRAM slot a real design would use.
+
+use crate::sha256::{Digest, Sha256};
+
+/// Domain-separation tags for the keyed MACs.
+const IMAGE_TAG: u8 = 0x10;
+const INTENT_TAG: u8 = 0x11;
+const COMMIT_TAG: u8 = 0x12;
+
+fn keyed_mac(key: &[u8; 16], domain: u8, payload: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(key);
+    h.update(&[domain]);
+    h.update(payload);
+    h.update(key);
+    h.finalize()
+}
+
+/// Persistent snapshot of one protected region: its tree root (absent
+/// for cipher-only regions, which have no tree) and every block's
+/// time-stamp tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionImage {
+    pub root: Option<Digest>,
+    pub timestamps: Vec<u64>,
+}
+
+impl RegionImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match &self.root {
+            Some(r) => {
+                out.push(1);
+                out.extend_from_slice(r);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.timestamps.len() as u64).to_be_bytes());
+        for ts in &self.timestamps {
+            out.extend_from_slice(&ts.to_be_bytes());
+        }
+    }
+}
+
+/// A MAC-sealed checkpoint of the LCF's full secure state.
+///
+/// The public fields can be freely inspected (and tampered with, by an
+/// attacker model); [`SecureStateImage::verify`] only passes if the MAC
+/// was produced by [`SecureStateImage::seal`] under the same key over
+/// exactly these contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureStateImage {
+    /// Checkpoint sequence number; must match the monotonic counter.
+    pub seq: u64,
+    pub regions: Vec<RegionImage>,
+    mac: Digest,
+}
+
+impl SecureStateImage {
+    fn mac_of(key: &[u8; 16], seq: u64, regions: &[RegionImage]) -> Digest {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.extend_from_slice(&(regions.len() as u64).to_be_bytes());
+        for r in regions {
+            r.encode(&mut buf);
+        }
+        keyed_mac(key, IMAGE_TAG, &buf)
+    }
+
+    /// Seal a checkpoint under the on-chip state key.
+    pub fn seal(key: &[u8; 16], seq: u64, regions: Vec<RegionImage>) -> Self {
+        let mac = Self::mac_of(key, seq, &regions);
+        SecureStateImage { seq, regions, mac }
+    }
+
+    /// Authenticate the image. A forged or bit-flipped image fails.
+    pub fn verify(&self, key: &[u8; 16]) -> bool {
+        Self::mac_of(key, self.seq, &self.regions) == self.mac
+    }
+}
+
+/// Fuse-style monotonic counter: can only move forward. Survives power
+/// cuts by construction (a real design burns fuses or uses an RPMB-like
+/// replay-protected cell).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonotonicCounter {
+    value: u64,
+}
+
+impl MonotonicCounter {
+    pub fn new() -> Self {
+        MonotonicCounter { value: 0 }
+    }
+
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Advance to `v`. Returns `false` (and leaves the counter alone) on
+    /// any attempt to move backwards — the ratchet cannot rewind.
+    pub fn ratchet_to(&mut self, v: u64) -> bool {
+        if v < self.value {
+            return false;
+        }
+        self.value = v;
+        true
+    }
+}
+
+/// Intent record: persisted *before* the DDR burst of a protected
+/// write, carrying everything recovery needs to finish or undo it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Image sequence number this record extends.
+    pub seq: u64,
+    /// Per-journal write id (monotonic).
+    pub write_id: u64,
+    /// Region index within the LCF.
+    pub region: usize,
+    /// Block index within the region.
+    pub block: usize,
+    /// Time-stamp tag the block will carry after the write.
+    pub new_ts: u64,
+    /// Leaf digest of the post-write ciphertext (zeroed for
+    /// cipher-only regions, which have no tree).
+    pub new_leaf: Digest,
+    /// The shadow root: what the region root becomes once the write
+    /// lands. `None` for cipher-only regions.
+    pub new_root: Option<Digest>,
+}
+
+impl IntentRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.write_id.to_be_bytes());
+        buf.extend_from_slice(&(self.region as u64).to_be_bytes());
+        buf.extend_from_slice(&(self.block as u64).to_be_bytes());
+        buf.extend_from_slice(&self.new_ts.to_be_bytes());
+        buf.extend_from_slice(&self.new_leaf);
+        match &self.new_root {
+            Some(r) => {
+                buf.push(1);
+                buf.extend_from_slice(r);
+            }
+            None => buf.push(0),
+        }
+        buf
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EntryKind {
+    Intent(IntentRecord),
+    Commit { write_id: u64 },
+}
+
+/// One persisted journal entry with its MAC and the persistence step at
+/// which it was appended (used by crash modeling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JournalEntry {
+    kind: EntryKind,
+    mac: Digest,
+    step: u64,
+}
+
+impl JournalEntry {
+    fn mac_of(key: &[u8; 16], kind: &EntryKind) -> Digest {
+        match kind {
+            EntryKind::Intent(rec) => keyed_mac(key, INTENT_TAG, &rec.encode()),
+            EntryKind::Commit { write_id } => keyed_mac(key, COMMIT_TAG, &write_id.to_be_bytes()),
+        }
+    }
+}
+
+/// The decoded, authenticated view of a journal that recovery consumes.
+#[derive(Debug, Clone)]
+pub struct JournalReplay {
+    /// Writes in order, each with its committed flag. At most the final
+    /// write may be uncommitted (the one in flight at the crash).
+    pub writes: Vec<(IntentRecord, bool)>,
+    /// Entries dropped because their MAC failed (torn tail — everything
+    /// at and after the first bad entry is discarded).
+    pub torn_discarded: usize,
+    /// Protocol-violation evidence: a commit mark with no matching
+    /// intent, or an *earlier* write left uncommitted while later writes
+    /// follow. A crash cannot produce this; a forged journal can.
+    pub forged: bool,
+}
+
+/// Append-only write-ahead journal over [`IntentRecord`]s and commit
+/// marks. Each append is one persistence *step*; [`Self::crash_at_step`]
+/// reconstructs what a power cut at any step would leave behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteAheadJournal {
+    key: [u8; 16],
+    entries: Vec<JournalEntry>,
+    next_write_id: u64,
+    step: u64,
+}
+
+impl WriteAheadJournal {
+    pub fn new(key: [u8; 16]) -> Self {
+        WriteAheadJournal {
+            key,
+            entries: Vec::new(),
+            next_write_id: 0,
+            step: 0,
+        }
+    }
+
+    /// Number of entries currently persisted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total persistence steps performed so far. Steps `0..persist_ops()`
+    /// are valid crash points for [`Self::crash_at_step`].
+    pub fn persist_ops(&self) -> u64 {
+        self.step
+    }
+
+    /// Phase 1: persist the intent (with its shadow root) *before* the
+    /// DDR burst. Returns the write id to pass to [`Self::commit`].
+    pub fn begin(&mut self, mut intent: IntentRecord) -> u64 {
+        let write_id = self.next_write_id;
+        self.next_write_id += 1;
+        intent.write_id = write_id;
+        let kind = EntryKind::Intent(intent);
+        let mac = JournalEntry::mac_of(&self.key, &kind);
+        self.entries.push(JournalEntry {
+            kind,
+            mac,
+            step: self.step,
+        });
+        self.step += 1;
+        write_id
+    }
+
+    /// Phase 2: persist the commit mark after the DDR burst completed.
+    pub fn commit(&mut self, write_id: u64) {
+        let kind = EntryKind::Commit { write_id };
+        let mac = JournalEntry::mac_of(&self.key, &kind);
+        self.entries.push(JournalEntry {
+            kind,
+            mac,
+            step: self.step,
+        });
+        self.step += 1;
+    }
+
+    /// Checkpoint fold: the image now covers everything, drop the log.
+    pub fn truncate(&mut self) {
+        self.entries.clear();
+    }
+
+    /// What a power cut at persistence step `step` leaves behind:
+    /// entries appended at earlier steps survive intact; if `torn`, the
+    /// entry being appended *at* `step` survives with a corrupted MAC
+    /// (a torn journal write); later entries never existed.
+    pub fn crash_at_step(&self, step: u64, torn: bool) -> WriteAheadJournal {
+        let mut out = WriteAheadJournal::new(self.key);
+        for e in &self.entries {
+            if e.step < step {
+                out.entries.push(e.clone());
+            } else if e.step == step && torn {
+                let mut torn_entry = e.clone();
+                torn_entry.mac[0] ^= 0xff;
+                out.entries.push(torn_entry);
+            }
+        }
+        out.next_write_id = self.next_write_id;
+        out.step = step;
+        out
+    }
+
+    /// Attacker surface: flip a bit in entry `idx`'s payload MAC. The
+    /// entry (and everything after it) will be discarded on replay.
+    pub fn corrupt_entry(&mut self, idx: usize) -> bool {
+        match self.entries.get_mut(idx) {
+            Some(e) => {
+                e.mac[1] ^= 0x01;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attacker surface: drop the last `n` entries (journal rollback).
+    pub fn drop_tail(&mut self, n: usize) {
+        let keep = self.entries.len().saturating_sub(n);
+        self.entries.truncate(keep);
+    }
+
+    /// Authenticate and decode the journal for recovery, using the
+    /// journal's own key. See [`Self::replay_with`].
+    pub fn replay(&self) -> JournalReplay {
+        self.replay_with(&self.key)
+    }
+
+    /// Authenticate and decode the journal under the *verifier's* key —
+    /// recovery must pass the on-chip state key here, never trust a key
+    /// travelling with the (attacker-reachable) journal itself.
+    ///
+    /// The first entry whose MAC fails marks the torn tail: it and every
+    /// later entry are discarded (a crash tears at most the final
+    /// append, but an attacker may corrupt anywhere — either way nothing
+    /// after the first invalid entry can be trusted).
+    pub fn replay_with(&self, key: &[u8; 16]) -> JournalReplay {
+        let mut writes: Vec<(IntentRecord, bool)> = Vec::new();
+        let mut torn_discarded = 0;
+        let mut forged = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if JournalEntry::mac_of(key, &e.kind) != e.mac {
+                torn_discarded = self.entries.len() - i;
+                break;
+            }
+            match &e.kind {
+                EntryKind::Intent(rec) => {
+                    // A new intent while the previous write is still
+                    // uncommitted cannot happen under the sequential
+                    // write protocol.
+                    if writes.last().is_some_and(|(_, committed)| !committed) {
+                        forged = true;
+                    }
+                    writes.push((rec.clone(), false));
+                }
+                EntryKind::Commit { write_id } => match writes.last_mut() {
+                    Some((rec, committed)) if rec.write_id == *write_id && !*committed => {
+                        *committed = true;
+                    }
+                    _ => forged = true,
+                },
+            }
+        }
+        JournalReplay {
+            writes,
+            torn_discarded,
+            forged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = *b"journal-test-key";
+
+    fn intent(seq: u64, block: usize, ts: u64) -> IntentRecord {
+        IntentRecord {
+            seq,
+            write_id: 0, // assigned by begin()
+            region: 0,
+            block,
+            new_ts: ts,
+            new_leaf: [ts as u8; 32],
+            new_root: Some([block as u8; 32]),
+        }
+    }
+
+    #[test]
+    fn image_seals_and_verifies() {
+        let regions = vec![RegionImage {
+            root: Some([7; 32]),
+            timestamps: vec![1, 2, 3],
+        }];
+        let img = SecureStateImage::seal(&KEY, 4, regions);
+        assert!(img.verify(&KEY));
+        assert!(!img.verify(b"some-other-key!!"));
+    }
+
+    #[test]
+    fn tampered_image_fails_verification() {
+        let mut img = SecureStateImage::seal(
+            &KEY,
+            1,
+            vec![RegionImage {
+                root: Some([7; 32]),
+                timestamps: vec![9],
+            }],
+        );
+        img.regions[0].timestamps[0] = 8;
+        assert!(!img.verify(&KEY));
+        let mut img2 = SecureStateImage::seal(&KEY, 1, vec![]);
+        img2.seq = 0;
+        assert!(!img2.verify(&KEY));
+    }
+
+    #[test]
+    fn counter_only_ratchets_forward() {
+        let mut c = MonotonicCounter::new();
+        assert!(c.ratchet_to(3));
+        assert!(c.ratchet_to(3), "idempotent re-ratchet is allowed");
+        assert!(!c.ratchet_to(2), "rewind must be refused");
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn begin_commit_replays_in_order() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        let b = j.begin(intent(0, 2, 1));
+        j.commit(b);
+        let r = j.replay();
+        assert_eq!(r.writes.len(), 2);
+        assert!(r.writes.iter().all(|(_, c)| *c));
+        assert_eq!(r.torn_discarded, 0);
+        assert!(!r.forged);
+        assert_eq!(r.writes[0].0.block, 1);
+        assert_eq!(r.writes[1].0.block, 2);
+    }
+
+    #[test]
+    fn dangling_final_intent_is_not_forgery() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        j.begin(intent(0, 2, 1)); // crashed before commit
+        let r = j.replay();
+        assert_eq!(r.writes.len(), 2);
+        assert!(r.writes[0].1);
+        assert!(!r.writes[1].1);
+        assert!(!r.forged);
+    }
+
+    #[test]
+    fn non_final_uncommitted_intent_is_forgery() {
+        let mut j = WriteAheadJournal::new(KEY);
+        j.begin(intent(0, 1, 1)); // never committed
+        let b = j.begin(intent(0, 2, 1));
+        j.commit(b);
+        assert!(j.replay().forged);
+    }
+
+    #[test]
+    fn commit_without_intent_is_forgery() {
+        let mut j = WriteAheadJournal::new(KEY);
+        j.commit(42);
+        assert!(j.replay().forged);
+    }
+
+    #[test]
+    fn corrupted_entry_discards_tail() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        let b = j.begin(intent(0, 2, 1));
+        j.commit(b);
+        assert!(j.corrupt_entry(2));
+        let r = j.replay();
+        assert_eq!(r.writes.len(), 1, "only the first write survives");
+        assert!(r.writes[0].1);
+        assert_eq!(r.torn_discarded, 2);
+        assert!(!r.forged, "a torn tail is not forgery evidence");
+    }
+
+    #[test]
+    fn crash_at_step_reconstructs_every_window() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1)); // step 0
+        j.commit(a); // step 1
+        let b = j.begin(intent(0, 2, 1)); // step 2
+        j.commit(b); // step 3
+        assert_eq!(j.persist_ops(), 4);
+
+        // Crash before anything persisted.
+        assert_eq!(j.crash_at_step(0, false).replay().writes.len(), 0);
+        // Crash after the first intent: one dangling write.
+        let r = j.crash_at_step(1, false).replay();
+        assert_eq!(r.writes.len(), 1);
+        assert!(!r.writes[0].1);
+        // Crash tearing the first commit mark: same dangling write, one
+        // discarded entry — NOT a lost record.
+        let r = j.crash_at_step(1, true).replay();
+        assert_eq!(r.writes.len(), 1);
+        assert!(!r.writes[0].1);
+        assert_eq!(r.torn_discarded, 1);
+        // Crash after everything: both committed.
+        let r = j.crash_at_step(4, false).replay();
+        assert_eq!(r.writes.len(), 2);
+        assert!(r.writes.iter().all(|(_, c)| *c));
+    }
+
+    #[test]
+    fn truncate_clears_but_keeps_write_ids_monotonic() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        j.truncate();
+        assert!(j.is_empty());
+        let b = j.begin(intent(1, 1, 2));
+        assert!(b > a, "write ids keep increasing across checkpoints");
+    }
+
+    #[test]
+    fn replay_under_wrong_key_trusts_nothing() {
+        // An attacker-fabricated journal self-verifies under the
+        // attacker's key, but the chip replays under ITS key.
+        let mut j = WriteAheadJournal::new(*b"attacker-key-00!");
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        let r = j.replay_with(&KEY);
+        assert!(r.writes.is_empty());
+        assert_eq!(r.torn_discarded, 2);
+    }
+
+    #[test]
+    fn drop_tail_rolls_back_entries() {
+        let mut j = WriteAheadJournal::new(KEY);
+        let a = j.begin(intent(0, 1, 1));
+        j.commit(a);
+        let b = j.begin(intent(0, 2, 1));
+        j.commit(b);
+        j.drop_tail(2);
+        let r = j.replay();
+        assert_eq!(r.writes.len(), 1);
+        assert!(!r.forged, "a clean rollback looks like a short journal");
+    }
+}

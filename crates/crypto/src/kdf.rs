@@ -34,7 +34,10 @@ pub fn derive_region_key(master: &[u8; 32], label: &str, region_base: u32) -> [u
 
 /// Derive the whole key set for a list of region bases.
 pub fn derive_key_set(master: &[u8; 32], label: &str, bases: &[u32]) -> Vec<[u8; 16]> {
-    bases.iter().map(|&b| derive_region_key(master, label, b)).collect()
+    bases
+        .iter()
+        .map(|&b| derive_region_key(master, label, b))
+        .collect()
 }
 
 #[cfg(test)]
@@ -56,7 +59,10 @@ mod tests {
         assert_ne!(base, derive_region_key(&MASTER, "epoch-1", 0x8004_0000));
         assert_ne!(base, derive_region_key(&MASTER, "epoch-2", 0x8000_0000));
         let other_master = [0x22; 32];
-        assert_ne!(base, derive_region_key(&other_master, "epoch-1", 0x8000_0000));
+        assert_ne!(
+            base,
+            derive_region_key(&other_master, "epoch-1", 0x8000_0000)
+        );
     }
 
     #[test]

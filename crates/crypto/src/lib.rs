@@ -21,6 +21,7 @@
 
 pub mod aes;
 pub mod ctr;
+pub mod journal;
 pub mod kdf;
 pub mod merkle;
 pub mod sha256;
@@ -28,6 +29,9 @@ pub mod timestamp;
 
 pub use aes::Aes128;
 pub use ctr::MemoryCipher;
+pub use journal::{
+    IntentRecord, JournalReplay, MonotonicCounter, RegionImage, SecureStateImage, WriteAheadJournal,
+};
 pub use kdf::{derive_key_set, derive_region_key};
 pub use merkle::MerkleTree;
 pub use sha256::{sha256, Sha256};

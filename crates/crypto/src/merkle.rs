@@ -115,7 +115,10 @@ impl MerkleTree {
         let mut hops = 0;
         while idx > 1 {
             idx /= 2;
-            self.nodes[idx] = node_digest(&self.nodes[2 * idx].clone(), &self.nodes[2 * idx + 1].clone());
+            self.nodes[idx] = node_digest(
+                &self.nodes[2 * idx].clone(),
+                &self.nodes[2 * idx + 1].clone(),
+            );
             hops += 1;
         }
         hops
@@ -163,7 +166,9 @@ mod tests {
     use super::*;
 
     fn leaves(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| leaf_digest(i as u64, 0, &[i as u8; 16])).collect()
+        (0..n)
+            .map(|i| leaf_digest(i as u64, 0, &[i as u8; 16]))
+            .collect()
     }
 
     #[test]
@@ -292,7 +297,10 @@ mod tests {
             let tree = MerkleTree::build(&init);
             let mut tampered = init[idx];
             tampered[byte] ^= 1 << bit;
-            assert!(!tree.verify_leaf(idx, &tampered), "n={n} idx={idx} byte={byte} bit={bit}");
+            assert!(
+                !tree.verify_leaf(idx, &tampered),
+                "n={n} idx={idx} byte={byte} bit={bit}"
+            );
         }
     }
 

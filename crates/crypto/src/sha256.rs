@@ -178,7 +178,9 @@ mod tests {
     fn two_block_vector() {
         // FIPS-180-4 "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -211,9 +213,7 @@ mod tests {
     fn padding_boundary_lengths() {
         // Lengths around the 55/56/64-byte padding edges must all differ
         // and be stable.
-        let digests: Vec<Digest> = (50..70)
-            .map(|n| sha256(&vec![0xabu8; n]))
-            .collect();
+        let digests: Vec<Digest> = (50..70).map(|n| sha256(&vec![0xabu8; n])).collect();
         for (i, a) in digests.iter().enumerate() {
             for b in digests.iter().skip(i + 1) {
                 assert_ne!(a, b);

@@ -57,6 +57,25 @@ impl TimestampTable {
     pub fn total_writes(&self) -> u64 {
         self.tags.iter().sum()
     }
+
+    /// The full tag vector (checkpointing: the persistence layer seals
+    /// these into a [`crate::SecureStateImage`]).
+    pub fn tags(&self) -> &[u64] {
+        &self.tags
+    }
+
+    /// Rebuild a table from persisted tags (boot-time recovery).
+    pub fn from_tags(tags: Vec<u64>) -> Self {
+        TimestampTable { tags }
+    }
+
+    /// Overwrite one tag (recovery rolling a block forward/back).
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn set(&mut self, block: usize, tag: u64) {
+        self.tags[block] = tag;
+    }
 }
 
 #[cfg(test)]

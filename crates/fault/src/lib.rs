@@ -73,6 +73,20 @@ pub enum FaultKind {
     /// Transient Integrity-Core mis-computation: the next hash-tree
     /// verification returns the wrong verdict.
     IcGlitch,
+    /// Supply failure: the SoC loses power at the stamped cycle. All
+    /// volatile state (registers, on-chip trees, in-flight transactions)
+    /// is gone; only external DDR and the LCF's persistence surface
+    /// (image, journal, monotonic counter) survive. The simulation stops
+    /// progressing — recovery happens on the *next* boot.
+    PowerCut,
+    /// Power dies in the middle of a DDR burst: only the first
+    /// `keep_bytes` of the in-flight store land, the rest of the block
+    /// keeps its old contents, and the SoC powers off with the write's
+    /// journal intent dangling (never committed).
+    TornWrite {
+        /// Leading bytes of the burst that reach the array (1..16).
+        keep_bytes: u8,
+    },
 }
 
 impl FaultKind {
@@ -86,11 +100,13 @@ impl FaultKind {
             FaultKind::PolicyCorrupt { .. } => "policy_corrupt",
             FaultKind::CcGlitch => "cc_glitch",
             FaultKind::IcGlitch => "ic_glitch",
+            FaultKind::PowerCut => "power_cut",
+            FaultKind::TornWrite { .. } => "torn_write",
         }
     }
 
     /// All class names, in schedule order (report columns).
-    pub const CLASSES: [&'static str; 7] = [
+    pub const CLASSES: [&'static str; 9] = [
         "ddr_bitflip",
         "bus_lost_grant",
         "slave_stall",
@@ -98,6 +114,8 @@ impl FaultKind {
         "policy_corrupt",
         "cc_glitch",
         "ic_glitch",
+        "power_cut",
+        "torn_write",
     ];
 }
 
@@ -131,6 +149,10 @@ pub struct FaultRates {
     pub cc_glitch: f64,
     /// IC transient mis-computations.
     pub ic_glitch: f64,
+    /// Power cuts (terminal: the run stops at the first one).
+    pub power_cut: f64,
+    /// Torn DDR bursts (terminal: power dies mid-burst).
+    pub torn_write: f64,
 }
 
 impl FaultRates {
@@ -143,9 +165,14 @@ impl FaultRates {
         policy_corrupt: 0.0,
         cc_glitch: 0.0,
         ic_glitch: 0.0,
+        power_cut: 0.0,
+        torn_write: 0.0,
     };
 
-    /// Uniform expected count across every class.
+    /// Uniform expected count across every *transient* class. The
+    /// terminal classes (`power_cut`, `torn_write`) end the run, so a
+    /// soak never wants them uniformly sprinkled — set them explicitly
+    /// when a sweep calls for them.
     pub fn uniform(per_class: f64) -> FaultRates {
         FaultRates {
             ddr_bitflip: per_class,
@@ -155,6 +182,8 @@ impl FaultRates {
             policy_corrupt: per_class,
             cc_glitch: per_class,
             ic_glitch: per_class,
+            power_cut: 0.0,
+            torn_write: 0.0,
         }
     }
 
@@ -168,6 +197,8 @@ impl FaultRates {
             policy_corrupt: self.policy_corrupt * factor,
             cc_glitch: self.cc_glitch * factor,
             ic_glitch: self.ic_glitch * factor,
+            power_cut: self.power_cut * factor,
+            torn_write: self.torn_write * factor,
         }
     }
 }
@@ -198,14 +229,20 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (no faults — every run is a clean run).
     pub fn empty() -> Self {
-        FaultPlan { events: VecDeque::new(), injected: 0 }
+        FaultPlan {
+            events: VecDeque::new(),
+            injected: 0,
+        }
     }
 
     /// Build a plan from explicit events; they are (stably) sorted by
     /// injection cycle.
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by_key(|e| e.at);
-        FaultPlan { events: events.into(), injected: 0 }
+        FaultPlan {
+            events: events.into(),
+            injected: 0,
+        }
     }
 
     /// Generate a plan from a seed and a spec. Pure: the same `(seed,
@@ -215,21 +252,22 @@ impl FaultPlan {
         if spec.duration == 0 {
             return Self::new(events);
         }
-        let mut class = |label: &str, rate: f64, f: &mut dyn FnMut(&mut SimRng) -> Option<FaultKind>| {
-            // Per-class derived stream: adding a class never perturbs the
-            // schedule of the others.
-            let mut rng = SimRng::new(seed).derive(label);
-            let mut count = rate.max(0.0).floor() as u64;
-            if rng.chance(rate.max(0.0).fract()) {
-                count += 1;
-            }
-            for _ in 0..count {
-                let at = Cycle(rng.below(spec.duration));
-                if let Some(kind) = f(&mut rng) {
-                    events.push(FaultEvent { at, kind });
+        let mut class =
+            |label: &str, rate: f64, f: &mut dyn FnMut(&mut SimRng) -> Option<FaultKind>| {
+                // Per-class derived stream: adding a class never perturbs the
+                // schedule of the others.
+                let mut rng = SimRng::new(seed).derive(label);
+                let mut count = rate.max(0.0).floor() as u64;
+                if rng.chance(rate.max(0.0).fract()) {
+                    count += 1;
                 }
-            }
-        };
+                for _ in 0..count {
+                    let at = Cycle(rng.below(spec.duration));
+                    if let Some(kind) = f(&mut rng) {
+                        events.push(FaultEvent { at, kind });
+                    }
+                }
+            };
         class("ddr_bitflip", spec.rates.ddr_bitflip, &mut |rng| {
             (spec.ddr_bytes > 0).then(|| FaultKind::DdrBitFlip {
                 offset: rng.below(u64::from(spec.ddr_bytes)) as u32,
@@ -245,9 +283,15 @@ impl FaultPlan {
                 extra_cycles: 64 + rng.below(448),
             })
         });
-        class("corrupt_response", spec.rates.corrupt_response, &mut |rng| {
-            Some(FaultKind::CorruptResponse { xor: (rng.next_u32()).max(1) })
-        });
+        class(
+            "corrupt_response",
+            spec.rates.corrupt_response,
+            &mut |rng| {
+                Some(FaultKind::CorruptResponse {
+                    xor: (rng.next_u32()).max(1),
+                })
+            },
+        );
         class("policy_corrupt", spec.rates.policy_corrupt, &mut |rng| {
             (spec.firewalls > 0).then(|| FaultKind::PolicyCorrupt {
                 firewall: rng.below(u64::from(spec.firewalls)) as u8,
@@ -255,8 +299,20 @@ impl FaultPlan {
                 bit: rng.next_u32() as u8,
             })
         });
-        class("cc_glitch", spec.rates.cc_glitch, &mut |_| Some(FaultKind::CcGlitch));
-        class("ic_glitch", spec.rates.ic_glitch, &mut |_| Some(FaultKind::IcGlitch));
+        class("cc_glitch", spec.rates.cc_glitch, &mut |_| {
+            Some(FaultKind::CcGlitch)
+        });
+        class("ic_glitch", spec.rates.ic_glitch, &mut |_| {
+            Some(FaultKind::IcGlitch)
+        });
+        class("power_cut", spec.rates.power_cut, &mut |_| {
+            Some(FaultKind::PowerCut)
+        });
+        class("torn_write", spec.rates.torn_write, &mut |rng| {
+            Some(FaultKind::TornWrite {
+                keep_bytes: 1 + rng.below(15) as u8,
+            })
+        });
         Self::new(events)
     }
 
@@ -297,7 +353,10 @@ impl FaultPlan {
 
     /// Count the scheduled (not-yet-injected) events per class name.
     pub fn class_count(&self, class: &str) -> usize {
-        self.events.iter().filter(|e| e.kind.class() == class).count()
+        self.events
+            .iter()
+            .filter(|e| e.kind.class() == class)
+            .count()
     }
 }
 
@@ -306,7 +365,13 @@ mod tests {
     use super::*;
 
     fn spec(rates: FaultRates) -> FaultSpec {
-        FaultSpec { duration: 10_000, ddr_bytes: 0x1000, firewalls: 4, slaves: 2, rates }
+        FaultSpec {
+            duration: 10_000,
+            ddr_bytes: 0x1000,
+            firewalls: 4,
+            slaves: 2,
+            rates,
+        }
     }
 
     #[test]
@@ -346,12 +411,20 @@ mod tests {
     fn fractional_rates_round_probabilistically_but_deterministically() {
         // With a single class at rate 0.5, repeated generation with the
         // same seed is stable; across seeds the count varies.
-        let s = spec(FaultRates { bus_lost_grant: 0.5, ..FaultRates::NONE });
-        let counts: Vec<usize> =
-            (0..32).map(|seed| FaultPlan::generate(seed, &s).len()).collect();
+        let s = spec(FaultRates {
+            bus_lost_grant: 0.5,
+            ..FaultRates::NONE
+        });
+        let counts: Vec<usize> = (0..32)
+            .map(|seed| FaultPlan::generate(seed, &s).len())
+            .collect();
         assert!(counts.iter().any(|&c| c > 0), "some seeds inject");
         assert!(counts.contains(&0), "some seeds do not");
-        assert_eq!(counts[0], FaultPlan::generate(0, &s).len(), "stable per seed");
+        assert_eq!(
+            counts[0],
+            FaultPlan::generate(0, &s).len(),
+            "stable per seed"
+        );
     }
 
     #[test]
@@ -364,13 +437,22 @@ mod tests {
                     assert!(offset < 0x1000);
                     assert!(bit < 8);
                 }
-                FaultKind::SlaveStall { slave, extra_cycles } => {
+                FaultKind::SlaveStall {
+                    slave,
+                    extra_cycles,
+                } => {
                     assert!(slave < 2);
                     assert!((64..512).contains(&extra_cycles));
                 }
                 FaultKind::CorruptResponse { xor } => assert!(xor != 0),
                 FaultKind::PolicyCorrupt { firewall, .. } => assert!(firewall < 4),
-                FaultKind::BusLoseGrant | FaultKind::CcGlitch | FaultKind::IcGlitch => {}
+                FaultKind::TornWrite { keep_bytes } => {
+                    assert!((1..16).contains(&keep_bytes));
+                }
+                FaultKind::BusLoseGrant
+                | FaultKind::CcGlitch
+                | FaultKind::IcGlitch
+                | FaultKind::PowerCut => {}
             }
         }
     }
@@ -393,8 +475,56 @@ mod tests {
 
     #[test]
     fn class_names_are_stable() {
-        assert_eq!(FaultKind::CLASSES.len(), 7);
-        assert_eq!(FaultKind::DdrBitFlip { offset: 0, bit: 0 }.class(), "ddr_bitflip");
+        assert_eq!(FaultKind::CLASSES.len(), 9);
+        assert_eq!(
+            FaultKind::DdrBitFlip { offset: 0, bit: 0 }.class(),
+            "ddr_bitflip"
+        );
         assert_eq!(FaultKind::IcGlitch.class(), "ic_glitch");
+        assert_eq!(FaultKind::PowerCut.class(), "power_cut");
+        assert_eq!(FaultKind::TornWrite { keep_bytes: 4 }.class(), "torn_write");
+    }
+
+    #[test]
+    fn uniform_rates_exclude_terminal_classes() {
+        // A soak with uniform rates must never be silently power-cut:
+        // the terminal classes are opt-in.
+        let plan = FaultPlan::generate(11, &spec(FaultRates::uniform(50.0)));
+        assert_eq!(plan.class_count("power_cut"), 0);
+        assert_eq!(plan.class_count("torn_write"), 0);
+    }
+
+    #[test]
+    fn terminal_classes_generate_when_requested() {
+        let rates = FaultRates {
+            power_cut: 3.0,
+            torn_write: 2.0,
+            ..FaultRates::NONE
+        };
+        let plan = FaultPlan::generate(5, &spec(rates));
+        assert_eq!(plan.class_count("power_cut"), 3);
+        assert_eq!(plan.class_count("torn_write"), 2);
+    }
+
+    #[test]
+    fn new_classes_do_not_perturb_existing_streams() {
+        // Per-class derived RNG streams: enabling the terminal classes
+        // must leave every other class's schedule untouched.
+        let base = FaultPlan::generate(21, &spec(FaultRates::uniform(10.0)));
+        let with_terminal = FaultPlan::generate(
+            21,
+            &spec(FaultRates {
+                power_cut: 1.0,
+                torn_write: 1.0,
+                ..FaultRates::uniform(10.0)
+            }),
+        );
+        for class in ["ddr_bitflip", "bus_lost_grant", "slave_stall", "cc_glitch"] {
+            assert_eq!(
+                base.class_count(class),
+                with_terminal.class_count(class),
+                "{class}"
+            );
+        }
     }
 }

@@ -50,6 +50,10 @@ pub struct ExternalDdr {
     open_rows: Vec<Option<u32>>,
     row_hits: u64,
     row_misses: u64,
+    /// Armed torn-burst fault: the next store lands only its first
+    /// `keep` bytes (power dies mid-burst).
+    torn_next: Option<u8>,
+    torn_stores: u64,
 }
 
 impl ExternalDdr {
@@ -63,7 +67,10 @@ impl ExternalDdr {
     /// # Panics
     /// Panics if `banks` is not a power of two or `row_bytes` is zero.
     pub fn with_timing(size: u32, timing: DdrTiming) -> Self {
-        assert!(timing.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            timing.banks.is_power_of_two(),
+            "banks must be a power of two"
+        );
         assert!(timing.row_bytes > 0, "row_bytes must be positive");
         ExternalDdr {
             data: vec![0; size as usize],
@@ -71,6 +78,8 @@ impl ExternalDdr {
             timing,
             row_hits: 0,
             row_misses: 0,
+            torn_next: None,
+            torn_stores: 0,
         }
     }
 
@@ -119,6 +128,43 @@ impl ExternalDdr {
     pub fn load(&mut self, offset: u32, bytes: &[u8]) {
         self.tamper(offset, bytes);
     }
+
+    /// Full raw contents — the persisted surface a reboot starts from.
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+
+    // ------------------------------------------------------------------
+    // Torn-burst fault surface (power dies mid-store).
+    // ------------------------------------------------------------------
+
+    /// Arm a torn burst: the next store through the functional path (or
+    /// the next consumer of [`ExternalDdr::take_tear`], for block-level
+    /// writers like the LCF) lands only its first `keep` bytes.
+    pub fn tear_next_store(&mut self, keep: u8) {
+        self.torn_next = Some(keep);
+    }
+
+    /// Whether a torn burst is currently armed.
+    pub fn tear_armed(&self) -> bool {
+        self.torn_next.is_some()
+    }
+
+    /// Consume the armed tear, if any. Block-level writers (the LCF's
+    /// protected-write path) call this before issuing their burst so the
+    /// tear applies to the whole ciphertext block, not a 4-byte beat.
+    pub fn take_tear(&mut self) -> Option<u8> {
+        let keep = self.torn_next.take();
+        if keep.is_some() {
+            self.torn_stores += 1;
+        }
+        keep
+    }
+
+    /// Stores torn so far (fired tears, via either path).
+    pub fn torn_stores(&self) -> u64 {
+        self.torn_stores
+    }
 }
 
 impl MemDevice for ExternalDdr {
@@ -133,6 +179,14 @@ impl MemDevice for ExternalDdr {
 
     fn write(&mut self, offset: u32, width: Width, value: u32) -> Result<(), MemError> {
         self.check(offset, width)?;
+        if let Some(keep) = self.take_tear() {
+            // Power died mid-beat: only the first `keep` bytes land.
+            let full = value.to_le_bytes();
+            let n = (keep as usize).min(width.bytes() as usize);
+            let start = offset as usize;
+            self.data[start..start + n].copy_from_slice(&full[..n]);
+            return Ok(());
+        }
         store_le(&mut self.data, offset as usize, width, value);
         Ok(())
     }
@@ -188,8 +242,8 @@ mod tests {
         let t = DdrTiming::default();
         let mut d = ExternalDdr::new(1 << 20);
         let _ = d.latency(0, false); // open row 0 in bank 0
-        // Same bank, different row: rows map to banks by low bits, so row 8
-        // (offset 8*1024) also lands in bank 0.
+                                     // Same bank, different row: rows map to banks by low bits, so row 8
+                                     // (offset 8*1024) also lands in bank 0.
         let conflict = d.latency(8 * t.row_bytes, false);
         assert_eq!(conflict, t.trp + t.trcd + t.cas);
     }
@@ -229,6 +283,31 @@ mod tests {
     }
 
     #[test]
+    fn torn_store_lands_partially() {
+        let mut d = ExternalDdr::new(64);
+        d.write(0, Width::Word, 0x1111_1111).unwrap();
+        d.tear_next_store(2);
+        assert!(d.tear_armed());
+        d.write(0, Width::Word, 0xaabb_ccdd).unwrap();
+        // Little-endian: the first two bytes of the new value land, the
+        // high half keeps its old contents.
+        assert_eq!(d.read(0, Width::Word).unwrap(), 0x1111_ccdd);
+        assert_eq!(d.torn_stores(), 1);
+        // The tear is one-shot.
+        d.write(0, Width::Word, 0xaabb_ccdd).unwrap();
+        assert_eq!(d.read(0, Width::Word).unwrap(), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn take_tear_hands_the_fault_to_block_writers() {
+        let mut d = ExternalDdr::new(64);
+        d.tear_next_store(5);
+        assert_eq!(d.take_tear(), Some(5));
+        assert_eq!(d.take_tear(), None);
+        assert_eq!(d.torn_stores(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "outside device")]
     fn tamper_out_of_range_panics() {
         ExternalDdr::new(8).tamper(4, &[0; 8]);
@@ -237,6 +316,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_bank_count_panics() {
-        ExternalDdr::with_timing(64, DdrTiming { banks: 3, ..Default::default() });
+        ExternalDdr::with_timing(
+            64,
+            DdrTiming {
+                banks: 3,
+                ..Default::default()
+            },
+        );
     }
 }

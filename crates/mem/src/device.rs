@@ -120,9 +120,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = MemError::OutOfRange { offset: 0x20, size: 0x10 };
+        let e = MemError::OutOfRange {
+            offset: 0x20,
+            size: 0x10,
+        };
         assert!(e.to_string().contains("out of range"));
-        let e = MemError::Misaligned { offset: 3, width: Width::Word };
+        let e = MemError::Misaligned {
+            offset: 3,
+            width: Width::Word,
+        };
         assert!(e.to_string().contains("misaligned"));
     }
 }

@@ -66,7 +66,10 @@ impl fmt::Display for HexError {
 impl std::error::Error for HexError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, HexError> {
-    Err(HexError { line, msg: msg.into() })
+    Err(HexError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Parse Intel HEX text.
@@ -94,10 +97,16 @@ pub fn parse_ihex(text: &str) -> Result<HexImage, HexError> {
             .step_by(2)
             .map(|i| u8::from_str_radix(&body[i..i + 2], 16))
             .collect::<Result<_, _>>()
-            .map_err(|e| HexError { line: line_no, msg: format!("bad hex: {e}") })?;
+            .map_err(|e| HexError {
+                line: line_no,
+                msg: format!("bad hex: {e}"),
+            })?;
         let count = bytes[0] as usize;
         if bytes.len() != count + 5 {
-            return err(line_no, format!("length field {count} does not match record size"));
+            return err(
+                line_no,
+                format!("length field {count} does not match record size"),
+            );
         }
         let sum: u8 = bytes.iter().fold(0u8, |a, &b| a.wrapping_add(b));
         if sum != 0 {

@@ -53,7 +53,10 @@ pub struct NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig { router_cycles: 3, flit_cycles: 1 }
+        NocConfig {
+            router_cycles: 3,
+            flit_cycles: 1,
+        }
     }
 }
 
@@ -131,10 +134,20 @@ impl Mesh {
         if route.len() == 1 {
             // Local delivery: just the router pipeline once.
             let at = now.get() + self.config.router_cycles;
-            self.flights.push(Flight { packet, route, hop: 1, ready_at: at });
+            self.flights.push(Flight {
+                packet,
+                route,
+                hop: 1,
+                ready_at: at,
+            });
             return;
         }
-        self.flights.push(Flight { packet, route, hop: 1, ready_at: now.get() });
+        self.flights.push(Flight {
+            packet,
+            route,
+            hop: 1,
+            ready_at: now.get(),
+        });
     }
 
     /// Advance the network one cycle: move every flight whose current hop
@@ -166,7 +179,9 @@ impl Mesh {
         // Deliver completed flights (iterate back to front for swap_remove).
         for idx in finished.into_iter().rev() {
             let flight = self.flights.swap_remove(idx);
-            let node = self.topology.index(*flight.route.last().expect("non-empty route"));
+            let node = self
+                .topology
+                .index(*flight.route.last().expect("non-empty route"));
             self.stats.incr("noc.delivered");
             self.delivered[node].push_back(flight.packet);
         }

@@ -39,7 +39,12 @@ pub struct NetworkInterface {
 impl NetworkInterface {
     /// Create an NI whose APU enforces `policies`.
     pub fn new(node: NodeId, policies: ConfigMemory) -> Self {
-        NetworkInterface { node, apu: policies, timing: SbTiming::PAPER, stats: Stats::new() }
+        NetworkInterface {
+            node,
+            apu: policies,
+            timing: SbTiming::PAPER,
+            stats: Stats::new(),
+        }
     }
 
     /// Override the checking latency.
@@ -81,9 +86,7 @@ impl NetworkInterface {
         let by_kind = self
             .stats
             .counters()
-            .filter_map(|(k, v)| {
-                k.strip_prefix("ni.violation.").map(|m| (m.to_owned(), v))
-            })
+            .filter_map(|(k, v)| k.strip_prefix("ni.violation.").map(|m| (m.to_owned(), v)))
             .collect();
         ProbeReport {
             node: self.node,
@@ -132,10 +135,17 @@ mod tests {
     #[test]
     fn apu_admits_and_rejects_like_a_local_firewall() {
         let mut ni = ni();
-        assert_eq!(ni.check(&txn(Op::Read, 0x1004, Width::Word), Cycle(0)), Ok(12));
-        let err = ni.check(&txn(Op::Read, 0x9000, Width::Word), Cycle(0)).unwrap_err();
+        assert_eq!(
+            ni.check(&txn(Op::Read, 0x1004, Width::Word), Cycle(0)),
+            Ok(12)
+        );
+        let err = ni
+            .check(&txn(Op::Read, 0x9000, Width::Word), Cycle(0))
+            .unwrap_err();
         assert_eq!(err.0, Violation::NoPolicy);
-        let err = ni.check(&txn(Op::Write, 0x1000, Width::Byte), Cycle(0)).unwrap_err();
+        let err = ni
+            .check(&txn(Op::Write, 0x1000, Width::Byte), Cycle(0))
+            .unwrap_err();
         assert_eq!(err.0, Violation::FormatViolation);
     }
 

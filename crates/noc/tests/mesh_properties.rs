@@ -53,9 +53,16 @@ fn every_packet_delivers_exactly_once() {
                 break;
             }
         }
-        assert_eq!(mesh.in_flight(), 0, "case {case}: packets stuck in the mesh");
+        assert_eq!(
+            mesh.in_flight(),
+            0,
+            "case {case}: packets stuck in the mesh"
+        );
         delivered.sort_unstable_by_key(|&(_, id)| id);
         expected.sort_unstable_by_key(|&(_, id)| id);
-        assert_eq!(delivered, expected, "case {case}: every packet exactly once, at its dst");
+        assert_eq!(
+            delivered, expected,
+            "case {case}: every packet exactly once, at its dst"
+        );
     }
 }

@@ -111,7 +111,10 @@ impl Json {
     /// Parse a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -230,7 +233,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, message: msg.into() }
+        JsonError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -386,9 +392,7 @@ impl<'a> Parser<'a> {
                             s.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
                         }
                         other => {
-                            return Err(
-                                self.err(format!("invalid escape '\\{}'", other as char))
-                            )
+                            return Err(self.err(format!("invalid escape '\\{}'", other as char)))
                         }
                     }
                 }
@@ -436,9 +440,10 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { offset: start, message: format!("invalid number {text:?}") })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number {text:?}"),
+        })
     }
 }
 
@@ -504,7 +509,10 @@ mod tests {
             ("empty".into(), Json::Arr(vec![])),
         ]);
         let out = v.render_pretty();
-        assert_eq!(out, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ],\n  \"empty\": []\n}");
+        assert_eq!(
+            out,
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ],\n  \"empty\": []\n}"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
     }
 
@@ -227,10 +231,7 @@ impl Stats {
             self.add(k, c.get());
         }
         for (k, h) in &other.histograms {
-            self.histograms
-                .entry(k.clone())
-                .or_default()
-                .merge(h);
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
 }

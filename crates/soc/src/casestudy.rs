@@ -20,9 +20,7 @@
 //! the LCF.
 
 use secbus_bus::AddrRange;
-use secbus_core::{
-    AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy,
-};
+use secbus_core::{AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy};
 use secbus_cpu::{assemble, Mb32Core, StreamIp};
 use secbus_mem::{Bram, ExternalDdr};
 
@@ -229,26 +227,66 @@ pub fn lcf_policies() -> ConfigMemory {
 
 fn cpu0_policies() -> ConfigMemory {
     ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(SHARED_BRAM_BASE, SHARED_BRAM_LEN), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(2, AddrRange::new(DDR_PRIVATE_BASE, DDR_PRIVATE_LEN), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(3, AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN), Rwa::ReadOnly, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(SHARED_BRAM_BASE, SHARED_BRAM_LEN),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(DDR_PRIVATE_BASE, DDR_PRIVATE_LEN),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            3,
+            AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN),
+            Rwa::ReadOnly,
+            AdfSet::ALL,
+        ),
     ])
     .expect("cpu0 policies are disjoint")
 }
 
 fn cpu1_policies() -> ConfigMemory {
     ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(4, AddrRange::new(SHARED_BRAM_BASE, 0x8000), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(5, AddrRange::new(DDR_CIPHER_BASE, DDR_CIPHER_LEN), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(6, AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN), Rwa::ReadOnly, AdfSet::ALL),
+        SecurityPolicy::internal(
+            4,
+            AddrRange::new(SHARED_BRAM_BASE, 0x8000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            5,
+            AddrRange::new(DDR_CIPHER_BASE, DDR_CIPHER_LEN),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            6,
+            AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN),
+            Rwa::ReadOnly,
+            AdfSet::ALL,
+        ),
     ])
     .expect("cpu1 policies are disjoint")
 }
 
 fn cpu2_policies() -> ConfigMemory {
     ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(7, AddrRange::new(SHARED_BRAM_BASE, SHARED_BRAM_LEN), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(8, AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN), Rwa::ReadOnly, AdfSet::ALL),
+        SecurityPolicy::internal(
+            7,
+            AddrRange::new(SHARED_BRAM_BASE, SHARED_BRAM_LEN),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            8,
+            AddrRange::new(DDR_PUBLIC_BASE, DDR_PUBLIC_LEN),
+            Rwa::ReadOnly,
+            AdfSet::ALL,
+        ),
     ])
     .expect("cpu2 policies are disjoint")
 }
@@ -265,9 +303,13 @@ fn ip_policies() -> ConfigMemory {
 
 /// Assemble the case-study SoC.
 pub fn case_study(config: CaseStudyConfig) -> Soc {
-    let sources = config
-        .programs
-        .unwrap_or_else(|| [CPU0_PROGRAM.into(), CPU1_PROGRAM.into(), CPU2_PROGRAM.into()]);
+    let sources = config.programs.unwrap_or_else(|| {
+        [
+            CPU0_PROGRAM.into(),
+            CPU1_PROGRAM.into(),
+            CPU2_PROGRAM.into(),
+        ]
+    });
     let cores: Vec<Mb32Core> = sources
         .iter()
         .enumerate()
@@ -383,7 +425,10 @@ mod tests {
     fn protected_run_is_slower_than_baseline() {
         let mut protected = case_study(CaseStudyConfig::default());
         let protected_cycles = protected.run_until_halt(2_000_000);
-        let mut baseline = case_study(CaseStudyConfig { security: false, ..Default::default() });
+        let mut baseline = case_study(CaseStudyConfig {
+            security: false,
+            ..Default::default()
+        });
         let baseline_cycles = baseline.run_until_halt(2_000_000);
         assert!(
             protected_cycles > baseline_cycles,
@@ -415,7 +460,10 @@ mod tests {
         assert_eq!(soc.monitor().alert_count(), 1);
         // The public region still holds the boot value (1).
         let ddr = soc.ddr().unwrap();
-        assert_eq!(ddr.snoop(DDR_PUBLIC_BASE - DDR_BASE, 4), &1u32.to_le_bytes());
+        assert_eq!(
+            ddr.snoop(DDR_PUBLIC_BASE - DDR_BASE, 4),
+            &1u32.to_le_bytes()
+        );
     }
 
     #[test]

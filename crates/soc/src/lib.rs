@@ -25,7 +25,10 @@ pub mod topology;
 pub mod tracefile;
 pub mod workloads;
 
-pub use casestudy::{case_study, CaseResilience, CaseStudyConfig, DDR_BASE, DDR_CIPHER_BASE, DDR_PRIVATE_BASE, DDR_PUBLIC_BASE, IP_FIFO_ADDR, SHARED_BRAM_BASE};
+pub use casestudy::{
+    case_study, CaseResilience, CaseStudyConfig, DDR_BASE, DDR_CIPHER_BASE, DDR_PRIVATE_BASE,
+    DDR_PUBLIC_BASE, IP_FIFO_ADDR, SHARED_BRAM_BASE,
+};
 pub use report::{AlertLine, AuditReport, FirewallAudit, Report};
 pub use soc::{RetryPolicy, Soc, SocBuilder};
 pub use topology::render_topology;

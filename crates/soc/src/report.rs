@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use secbus_sim::Cycle;
 use crate::soc::Soc;
+use secbus_sim::Cycle;
 
 /// A summary of one simulation run.
 #[derive(Debug, Clone)]
@@ -51,13 +51,19 @@ impl Report {
                     .counter("core.instructions")
                     .max(st.counter("traffic.issued"))
                     .max(st.counter("stream.acked"));
-                let errors = st.counter("core.access_errors") + st.counter("traffic.err")
+                let errors = st.counter("core.access_errors")
+                    + st.counter("traffic.err")
                     + st.counter("stream.rejected");
                 let mean_mem_latency = st
                     .histogram("core.mem_latency")
                     .or_else(|| st.histogram("traffic.latency"))
                     .and_then(|h| h.mean());
-                MasterLine { label: dev.label().to_owned(), work, errors, mean_mem_latency }
+                MasterLine {
+                    label: dev.label().to_owned(),
+                    work,
+                    errors,
+                    mean_mem_latency,
+                }
             })
             .collect();
         Report {
@@ -93,7 +99,11 @@ impl fmt::Display for Report {
             self.bus_utilisation() * 100.0,
             self.contended_cycles
         )?;
-        writeln!(f, "security: {} alerts, {} IP blocks", self.alerts, self.blocks)?;
+        writeln!(
+            f,
+            "security: {} alerts, {} IP blocks",
+            self.alerts, self.blocks
+        )?;
         for m in &self.masters {
             match m.mean_mem_latency {
                 Some(lat) => writeln!(
@@ -234,7 +244,12 @@ impl AuditReport {
         let mut out = String::new();
         use std::fmt::Write as _;
         writeln!(out, "security audit at cycle {}", self.now).unwrap();
-        writeln!(out, "  alerts: {}  escalations: {}", self.alerts, self.blocks).unwrap();
+        writeln!(
+            out,
+            "  alerts: {}  escalations: {}",
+            self.alerts, self.blocks
+        )
+        .unwrap();
         for fw in &self.firewalls {
             writeln!(
                 out,

@@ -7,9 +7,9 @@ use secbus_bus::{
     SlaveId, Transaction, TxnId, Width,
 };
 use secbus_core::{
-    Alert, ConfigMemory, CryptoTiming, FirewallId, LocalCipheringFirewall, LocalFirewall,
-    PolicyUpdate, Protection, RateLimit, Reaction, ReconfigController, SbTiming, SecurityMonitor,
-    Violation,
+    Alert, ConfigMemory, CryptoTiming, EpochError, FirewallId, LocalCipheringFirewall,
+    LocalFirewall, PolicyUpdate, Protection, RateLimit, Reaction, ReconfigController,
+    RecoveryReport, SbTiming, SecureCheckpoint, SecurityMonitor, Violation,
 };
 use secbus_cpu::{BusMaster, MasterAccess};
 use secbus_fault::{FaultKind, FaultPlan};
@@ -41,7 +41,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 3, base_backoff: 8 }
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 8,
+        }
     }
 }
 
@@ -68,6 +71,8 @@ pub struct SocBuilder {
     masters: Vec<MasterSpec>,
     brams: Vec<(String, AddrRange, Bram, Option<ConfigMemory>)>,
     ddr: Option<(String, AddrRange, ExternalDdr, Option<ConfigMemory>)>,
+    journal: Option<(u64, [u8; 16])>,
+    resume: Option<SecureCheckpoint>,
 }
 
 impl Default for SocBuilder {
@@ -95,7 +100,30 @@ impl SocBuilder {
             masters: Vec::new(),
             brams: Vec::new(),
             ddr: None,
+            journal: None,
+            resume: None,
         }
+    }
+
+    /// Arm the LCF's crash-consistency layer: every protected write is
+    /// journaled (two-phase) and the secure state is checkpointed to the
+    /// authenticated [`SecureStateImage`] slot every `interval` commits.
+    ///
+    /// [`SecureStateImage`]: secbus_crypto::SecureStateImage
+    pub fn journal(mut self, interval: u64, state_key: [u8; 16]) -> Self {
+        self.journal = Some((interval, state_key));
+        self
+    }
+
+    /// Boot by *recovering* the supplied checkpoint against the (already
+    /// sealed, crash-surviving) DDR contents instead of sealing a fresh
+    /// boot image. Requires [`SocBuilder::journal`] with the same state
+    /// key that produced the checkpoint. The outcome is reported by
+    /// [`Soc::recovery_report`]; a quarantined outcome leaves the LCF
+    /// blocked.
+    pub fn resume_from(mut self, checkpoint: SecureCheckpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
     }
 
     /// Override the system clock.
@@ -256,8 +284,9 @@ impl SocBuilder {
                 let bus_id = bus.add_master();
                 let firewall = if self.security {
                     policies.map(|p| {
-                        let fw = LocalFirewall::new(alloc_fw(), format!("LF {}", device.label()), p)
-                            .with_timing(self.sb_timing);
+                        let fw =
+                            LocalFirewall::new(alloc_fw(), format!("LF {}", device.label()), p)
+                                .with_timing(self.sb_timing);
                         match limit {
                             Some(l) => fw.with_rate_limit(l),
                             None => fw,
@@ -282,7 +311,8 @@ impl SocBuilder {
         let mut slaves: Vec<SlaveSlot> = Vec::new();
         for (label, range, bram, policies) in self.brams {
             let bus_id = bus.add_slave();
-            bus.map_range(bus_id, range).expect("overlapping BRAM range");
+            bus.map_range(bus_id, range)
+                .expect("overlapping BRAM range");
             let firewall = if self.security {
                 policies.map(|p| {
                     LocalFirewall::new(alloc_fw(), format!("LF {label}"), p)
@@ -301,6 +331,7 @@ impl SocBuilder {
                 stall_next: 0,
             });
         }
+        let mut recovery = None;
         if let Some((label, range, mut ddr, lcf_policies)) = self.ddr {
             let bus_id = bus.add_slave();
             bus.map_range(bus_id, range).expect("overlapping DDR range");
@@ -314,7 +345,26 @@ impl SocBuilder {
                         self.crypto_timing,
                     )
                     .with_sb_timing(self.sb_timing);
-                    lcf.seal(&mut ddr);
+                    if let Some((interval, key)) = self.journal {
+                        lcf.enable_journal(interval, key);
+                    }
+                    match &self.resume {
+                        Some(cp) => {
+                            let (interval, key) = self
+                                .journal
+                                .expect("resume_from requires SocBuilder::journal");
+                            recovery = Some(lcf.recover_from(
+                                &mut ddr,
+                                &cp.state,
+                                key,
+                                Some(cp.counter.clone()),
+                                interval,
+                            ));
+                        }
+                        None => {
+                            lcf.seal(&mut ddr);
+                        }
+                    }
                     lcf
                 })
             } else {
@@ -324,7 +374,10 @@ impl SocBuilder {
                 bus_id,
                 label,
                 base: range.base,
-                kind: SlaveKind::Ddr { ddr: Box::new(ddr), lcf: lcf.map(Box::new) },
+                kind: SlaveKind::Ddr {
+                    ddr: Box::new(ddr),
+                    lcf: lcf.map(Box::new),
+                },
                 firewall: None,
                 pending: None,
                 stall_next: 0,
@@ -339,6 +392,11 @@ impl SocBuilder {
             monitor = monitor.with_watchdog(w);
         }
 
+        let mut reconfig = ReconfigController::new(self.reconfig_latency);
+        if let Some(cp) = &self.resume {
+            reconfig.resume_epoch(cp.policy_epoch);
+        }
+
         Soc {
             clock: self.clock,
             now: Cycle::ZERO,
@@ -346,7 +404,7 @@ impl SocBuilder {
             masters,
             slaves,
             monitor,
-            reconfig: ReconfigController::new(self.reconfig_latency),
+            reconfig,
             releases: Vec::new(),
             faults: FaultPlan::empty(),
             retry: self.retry,
@@ -355,6 +413,9 @@ impl SocBuilder {
             recovery_rng: SimRng::new(0x5ec_b05).derive("soc.recovery"),
             security: self.security,
             stats: Stats::new(),
+            powered_off: false,
+            torn_seen: 0,
+            recovery,
         }
     }
 }
@@ -478,7 +539,9 @@ impl MasterAccess for PortAdapter<'_> {
             // Reads: issued immediately; data checked on the way back.
             (Some(fw), Op::Read) => {
                 let fw_id = fw.id();
-                let id = self.bus.issue(self.master, op, addr, width, data, burst, self.now);
+                let id = self
+                    .bus
+                    .issue(self.master, op, addr, width, data, burst, self.now);
                 let txn = Transaction {
                     id,
                     master: self.master,
@@ -495,7 +558,9 @@ impl MasterAccess for PortAdapter<'_> {
             }
             // Unprotected master: straight to the bus.
             (None, _) => {
-                let id = self.bus.issue(self.master, op, addr, width, data, burst, self.now);
+                let id = self
+                    .bus
+                    .issue(self.master, op, addr, width, data, burst, self.now);
                 let txn = Transaction {
                     id,
                     master: self.master,
@@ -539,12 +604,28 @@ pub struct Soc {
     recovery_rng: SimRng,
     security: bool,
     stats: Stats,
+    /// Power is gone: the clock still counts (wall time) but no device,
+    /// bus or firewall does any work until the system is rebuilt.
+    powered_off: bool,
+    /// DDR torn-store count already accounted for (edge detection).
+    torn_seen: u64,
+    /// What boot-time recovery did, when built with
+    /// [`SocBuilder::resume_from`].
+    recovery: Option<RecoveryReport>,
 }
 
 impl Soc {
     /// Advance the whole system by one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+
+        // Power gone: wall time still passes (so bounded runs terminate)
+        // but nothing computes. The system stays down until rebuilt via
+        // [`SocBuilder::resume_from`].
+        if self.powered_off {
+            self.now = now.next();
+            return;
+        }
 
         // 0. Fire scheduled environment faults.
         if !self.faults.is_empty() {
@@ -568,14 +649,21 @@ impl Soc {
         //     error instead of hanging the issuing IP forever.
         let expired = self.monitor.expire(now);
         for expiry in expired {
-            let Some(midx) = self.masters.iter().position(|m| m.bus_id == expiry.txn.master)
+            let Some(midx) = self
+                .masters
+                .iter()
+                .position(|m| m.bus_id == expiry.txn.master)
             else {
                 continue;
             };
             self.stats.incr("soc.watchdog_cancels");
             self.bus.cancel_inflight(expiry.txn.id);
             for slave in &mut self.slaves {
-                if slave.pending.as_ref().is_some_and(|(_, r)| r.txn == expiry.txn.id) {
+                if slave
+                    .pending
+                    .as_ref()
+                    .is_some_and(|(_, r)| r.txn == expiry.txn.id)
+                {
                     slave.pending = None;
                 }
             }
@@ -669,8 +757,7 @@ impl Soc {
                     // Re-escalations while already quarantined (the
                     // blocked IP keeps knocking) extend the block but do
                     // not re-run recovery: one recovery per episode.
-                    let already_quarantined =
-                        self.releases.iter().any(|(_, f)| *f == firewall);
+                    let already_quarantined = self.releases.iter().any(|(_, f)| *f == firewall);
                     self.block_firewall(firewall);
                     self.releases.push((until.get(), firewall));
                     if !already_quarantined {
@@ -700,8 +787,46 @@ impl Soc {
             self.apply_update(update);
         }
 
+        // 8. A torn DDR burst means the power died mid-store: the moment
+        //    the tear lands anywhere (LCF block write or raw store), the
+        //    whole system goes dark with it.
+        let mut died = false;
+        for slot in &self.slaves {
+            if let SlaveKind::Ddr { ddr, lcf } = &slot.kind {
+                let crashed = lcf.as_ref().is_some_and(|l| l.crashed());
+                if crashed || ddr.torn_stores() > self.torn_seen {
+                    died = true;
+                }
+            }
+        }
+        if died {
+            self.torn_seen = self
+                .slaves
+                .iter()
+                .filter_map(|s| match &s.kind {
+                    SlaveKind::Ddr { ddr, .. } => Some(ddr.torn_stores()),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            self.power_cut();
+        }
+
         self.now = now.next();
         self.stats.incr("soc.cycles");
+    }
+
+    /// Kill power now: every subsequent cycle is dead time. Volatile
+    /// state (tree roots, timestamp tables, in-flight transactions) is
+    /// lost; only the DDR ciphertext, the [`PersistentState`] and the
+    /// monotonic counter survive for the next boot.
+    ///
+    /// [`PersistentState`]: secbus_core::PersistentState
+    fn power_cut(&mut self) {
+        if !self.powered_off {
+            self.powered_off = true;
+            self.stats.incr("soc.power_cuts");
+        }
     }
 
     /// Deliver one response (from the bus or synthesized by the watchdog)
@@ -738,7 +863,11 @@ impl Soc {
                             now,
                             now + backoff,
                         );
-                        let retry_txn = Transaction { id: retry_id, issued_at: now, ..orig_txn };
+                        let retry_txn = Transaction {
+                            id: retry_id,
+                            issued_at: now,
+                            ..orig_txn
+                        };
                         slot.retries.insert(retry_id, (resp.txn, attempts + 1));
                         let fw = slot.firewall.as_ref().map(|f| f.id());
                         self.monitor.watch(&retry_txn, fw, now);
@@ -753,13 +882,17 @@ impl Soc {
         let issued = slot.issued.remove(&resp.txn);
         if attempts > 0 {
             if let Some(orig) = issued {
-                self.stats.record("soc.retry_latency", now.saturating_since(orig.issued_at));
+                self.stats
+                    .record("soc.retry_latency", now.saturating_since(orig.issued_at));
             }
             if resp.result.is_ok() {
                 self.stats.incr("soc.retry_successes");
             }
         }
-        let ready_at = match (slot.firewall.as_mut(), slot.outstanding_reads.remove(&resp.txn)) {
+        let ready_at = match (
+            slot.firewall.as_mut(),
+            slot.outstanding_reads.remove(&resp.txn),
+        ) {
             (Some(fw), Some(txn)) => {
                 // "all data are checked before reaching the IP"
                 let decision = fw.check(&txn, now);
@@ -799,7 +932,10 @@ impl Soc {
                 }
             }
             FaultKind::BusLoseGrant => self.bus.inject_lose_grant(),
-            FaultKind::SlaveStall { slave, extra_cycles } => {
+            FaultKind::SlaveStall {
+                slave,
+                extra_cycles,
+            } => {
                 if self.slaves.is_empty() {
                     return;
                 }
@@ -810,7 +946,11 @@ impl Soc {
                 }
             }
             FaultKind::CorruptResponse { xor } => self.bus.inject_corrupt_response(xor),
-            FaultKind::PolicyCorrupt { firewall, entry, bit } => {
+            FaultKind::PolicyCorrupt {
+                firewall,
+                entry,
+                bit,
+            } => {
                 let mut configs: Vec<&mut ConfigMemory> = Vec::new();
                 for slot in &mut self.masters {
                     if let Some(fw) = slot.firewall.as_mut() {
@@ -844,6 +984,17 @@ impl Soc {
                     }
                 }
             }
+            FaultKind::PowerCut => self.power_cut(),
+            FaultKind::TornWrite { keep_bytes } => {
+                for slot in &mut self.slaves {
+                    if let SlaveKind::Ddr { ddr, .. } = &mut slot.kind {
+                        ddr.tear_next_store(keep_bytes);
+                        return;
+                    }
+                }
+                // No DDR to tear: the power still dies.
+                self.power_cut();
+            }
         }
     }
 
@@ -854,9 +1005,15 @@ impl Soc {
     /// not outlive the quarantine; a quarantined Local Firewall
     /// parity-scrubs its Configuration Memory.
     fn recover(&mut self, id: FirewallId) {
-        let Some(policy) = self.auto_recover else { return };
+        let Some(policy) = self.auto_recover else {
+            return;
+        };
         for slot in &mut self.slaves {
-            if let SlaveKind::Ddr { ddr, lcf: Some(lcf) } = &mut slot.kind {
+            if let SlaveKind::Ddr {
+                ddr,
+                lcf: Some(lcf),
+            } = &mut slot.kind
+            {
                 if lcf.firewall().id() != id {
                     continue;
                 }
@@ -932,13 +1089,26 @@ impl Soc {
                 };
                 (
                     now.get() + latency,
-                    Response { txn: txn.id, data, result, completed_at: now },
+                    Response {
+                        txn: txn.id,
+                        data,
+                        result,
+                        completed_at: now,
+                    },
                 )
             }
-            SlaveKind::Ddr { ddr, lcf: Some(lcf) } => match lcf.handle(ddr, txn, now) {
+            SlaveKind::Ddr {
+                ddr,
+                lcf: Some(lcf),
+            } => match lcf.handle(ddr, txn, now) {
                 Ok(access) => (
                     now.get() + access.latency,
-                    Response { txn: txn.id, data: access.data, result: Ok(()), completed_at: now },
+                    Response {
+                        txn: txn.id,
+                        data: access.data,
+                        result: Ok(()),
+                        completed_at: now,
+                    },
                 ),
                 Err((violation, latency)) => {
                     let err = match violation {
@@ -947,7 +1117,12 @@ impl Soc {
                     };
                     (
                         now.get() + latency,
-                        Response { txn: txn.id, data: 0, result: Err(err), completed_at: now },
+                        Response {
+                            txn: txn.id,
+                            data: 0,
+                            result: Err(err),
+                            completed_at: now,
+                        },
                     )
                 }
             },
@@ -966,7 +1141,12 @@ impl Soc {
                 };
                 (
                     now.get() + latency,
-                    Response { txn: txn.id, data, result, completed_at: now },
+                    Response {
+                        txn: txn.id,
+                        data,
+                        result,
+                        completed_at: now,
+                    },
                 )
             }
         }
@@ -1189,13 +1369,76 @@ impl Soc {
         self.reconfig.schedule(update, self.now)
     }
 
+    /// Atomically swap several firewalls' policy tables in one versioned
+    /// epoch: every staged table is validated first, and either all of
+    /// them take effect or none does (the `Err` names the offender).
+    pub fn commit_policy_epoch(&mut self, updates: Vec<PolicyUpdate>) -> Result<u64, EpochError> {
+        let mut fws: Vec<&mut LocalFirewall> = Vec::new();
+        for slot in &mut self.masters {
+            if let Some(fw) = slot.firewall.as_mut() {
+                fws.push(fw);
+            }
+        }
+        for slot in &mut self.slaves {
+            if let Some(fw) = slot.firewall.as_mut() {
+                fws.push(fw);
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                fws.push(lcf.firewall_mut());
+            }
+        }
+        self.reconfig.commit_epoch(&mut fws, updates)
+    }
+
+    /// The policy epoch currently in force.
+    pub fn policy_epoch(&self) -> u64 {
+        self.reconfig.epoch()
+    }
+
+    /// Whether a power cut (scheduled or torn-store-induced) has taken
+    /// the system down. A powered-off SoC only counts wall-clock cycles.
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Capture the full secure state for a later deterministic resume:
+    /// fold the journal into a fresh checkpoint, then hand out the
+    /// persisted surface + monotonic counter + policy epoch. `None` when
+    /// the LCF is absent or not journaled — there is nothing durable to
+    /// capture.
+    pub fn checkpoint(&mut self) -> Option<SecureCheckpoint> {
+        let epoch = self.reconfig.epoch();
+        for slot in &mut self.slaves {
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                if !lcf.journal_enabled() {
+                    return None;
+                }
+                if !self.powered_off {
+                    lcf.force_checkpoint();
+                }
+                return Some(SecureCheckpoint {
+                    state: lcf.persistent_state()?,
+                    counter: lcf.anti_rollback_counter()?.clone(),
+                    policy_epoch: epoch,
+                });
+            }
+        }
+        None
+    }
+
+    /// What boot-time recovery did (present only on a
+    /// [`SocBuilder::resume_from`] boot).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     /// Descriptions of every slave: (label, base address, protected?).
     pub fn slave_summary(&self) -> Vec<(String, u32, bool)> {
         self.slaves
             .iter()
             .map(|s| {
-                let protected = s.firewall.is_some()
-                    || matches!(&s.kind, SlaveKind::Ddr { lcf: Some(_), .. });
+                let protected =
+                    s.firewall.is_some() || matches!(&s.kind, SlaveKind::Ddr { lcf: Some(_), .. });
                 (s.label.clone(), s.base, protected)
             })
             .collect()
@@ -1279,10 +1522,9 @@ mod tests {
             None,
         );
         b = match policies {
-            Some(p) => b.add_protected_master(
-                Box::new(core),
-                ConfigMemory::with_policies(p).unwrap(),
-            ),
+            Some(p) => {
+                b.add_protected_master(Box::new(core), ConfigMemory::with_policies(p).unwrap())
+            }
             None => b.add_master(Box::new(core)),
         };
         b.build()
@@ -1319,8 +1561,7 @@ mod tests {
         let mut plain = small_soc(None, src);
         let base_cycles = plain.run_until_halt(10_000);
 
-        let mut protected =
-            small_soc(Some(vec![rw_policy(1, BRAM_BASE, 0x1000)]), src);
+        let mut protected = small_soc(Some(vec![rw_policy(1, BRAM_BASE, 0x1000)]), src);
         let prot_cycles = protected.run_until_halt(10_000);
 
         let core = protected.master_as::<Mb32Core>(0).unwrap();
@@ -1331,7 +1572,11 @@ mod tests {
         );
         // One checked write + one checked read = 2 × 12 cycles of added
         // latency, serialised with everything else.
-        assert!(prot_cycles - base_cycles >= 20, "delta {}", prot_cycles - base_cycles);
+        assert!(
+            prot_cycles - base_cycles >= 20,
+            "delta {}",
+            prot_cycles - base_cycles
+        );
     }
 
     #[test]
@@ -1356,7 +1601,11 @@ mod tests {
             .filter(|(_, t)| t.op == Op::Write)
             .map(|(_, t)| t.addr)
             .collect();
-        assert_eq!(writes, vec![BRAM_BASE], "only the allowed write was granted");
+        assert_eq!(
+            writes,
+            vec![BRAM_BASE],
+            "only the allowed write was granted"
+        );
         // The BRAM was not modified at the forbidden offset.
         assert_eq!(soc.bram_contents().unwrap()[64], 0);
         // And the alert reached the monitor.
@@ -1409,7 +1658,12 @@ mod tests {
                 Box::new(core),
                 ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
             )
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run_until_halt(20_000);
         assert!(soc.master_firewall(0).unwrap().is_blocked());
@@ -1440,7 +1694,12 @@ mod tests {
                 Box::new(rogue),
                 ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
             )
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run(10_000);
         // Multiple quarantine cycles must have happened: blocked more than
@@ -1465,11 +1724,20 @@ mod tests {
                 Box::new(core),
                 ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
             )
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run_until_halt(10_000);
         assert!(!soc.security_enabled());
-        assert_eq!(soc.bram_contents().unwrap()[256], 5, "no firewall: write lands");
+        assert_eq!(
+            soc.bram_contents().unwrap()[256],
+            5,
+            "no firewall: write lands"
+        );
         assert_eq!(soc.monitor().alert_count(), 0);
     }
 
@@ -1488,7 +1756,12 @@ mod tests {
                 )])
                 .unwrap(),
             )
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run_until_halt(5_000);
         let ip = soc.master_as::<StreamIp>(0).unwrap();
@@ -1551,7 +1824,12 @@ mod tests {
         let program = assemble(STORE_LOAD_SRC).unwrap();
         let core = Mb32Core::with_local_program("cpu0", 0, program);
         b.add_master(Box::new(core))
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build()
     }
 
@@ -1570,7 +1848,11 @@ mod tests {
         assert!(cycles < 10_000, "watchdog must unwedge the core");
         assert_eq!(soc.stats().counter("soc.watchdog_cancels"), 1);
         let core = soc.master_as::<Mb32Core>(0).unwrap();
-        assert_eq!(core.stats().counter("core.access_errors"), 1, "sw surfaced as an error");
+        assert_eq!(
+            core.stats().counter("core.access_errors"),
+            1,
+            "sw surfaced as an error"
+        );
         // The store was dropped, so the subsequent load reads zero.
         assert_eq!(core.reg(secbus_cpu::Reg(3)), 0);
     }
@@ -1578,9 +1860,7 @@ mod tests {
     #[test]
     fn retry_masks_a_lost_grant_from_the_ip() {
         use secbus_fault::{FaultEvent, FaultKind};
-        let mut soc = store_load_soc(
-            SocBuilder::new().watchdog(50).retry(RetryPolicy::default()),
-        );
+        let mut soc = store_load_soc(SocBuilder::new().watchdog(50).retry(RetryPolicy::default()));
         soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
             at: Cycle(1),
             kind: FaultKind::BusLoseGrant,
@@ -1621,14 +1901,22 @@ mod tests {
                 Box::new(rogue),
                 ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 16)]).unwrap(),
             )
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run(2_000);
         let blocks = soc.monitor().stats().counter("monitor.blocks");
         let recoveries = soc.stats().counter("soc.recoveries");
         let releases = soc.stats().counter("soc.quarantine_releases");
         assert!(blocks >= 1);
-        assert!(recoveries >= 1, "a quarantine episode ran its recovery hook");
+        assert!(
+            recoveries >= 1,
+            "a quarantine episode ran its recovery hook"
+        );
         assert!(
             recoveries <= releases + 1,
             "recovery runs once per episode, not per re-escalation \
@@ -1661,7 +1949,12 @@ mod tests {
                     Box::new(ip),
                     ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 0x400)]).unwrap(),
                 )
-                .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+                .add_bram(
+                    "bram",
+                    AddrRange::new(BRAM_BASE, 0x1000),
+                    Bram::new(0x1000),
+                    None,
+                )
                 .build();
             let spec = FaultSpec {
                 duration: 5_000,
@@ -1683,7 +1976,183 @@ mod tests {
             counters
         };
         let a = build();
-        assert!(a.iter().any(|(k, _)| k.starts_with("soc.fault.")), "faults actually fired");
+        assert!(
+            a.iter().any(|(k, _)| k.starts_with("soc.fault.")),
+            "faults actually fired"
+        );
         assert_eq!(a, build(), "same seed + same plan => identical counters");
+    }
+
+    // ---- crash consistency: power cuts, torn writes, resume ----
+
+    const CRASH_DDR_BASE: u32 = 0x8000_0000;
+    const STATE_KEY: [u8; 16] = *b"secbus-statekey!";
+
+    fn crash_lcf_policies() -> ConfigMemory {
+        ConfigMemory::with_policies(vec![SecurityPolicy::external(
+            7,
+            AddrRange::new(CRASH_DDR_BASE, 0x100),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            secbus_core::ConfidentialityMode::Encrypt,
+            secbus_core::IntegrityMode::Verify,
+            Some(*b"secbus-ddr-key!!"),
+        )])
+        .unwrap()
+    }
+
+    /// A journaled DDR SoC running `program`, optionally on surviving
+    /// DDR contents + checkpoint from a previous life.
+    fn crash_soc(program: &str, previous: Option<(&[u8], SecureCheckpoint)>) -> Soc {
+        let program = assemble(program).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        let mut ddr = ExternalDdr::new(0x1000);
+        let mut b = SocBuilder::new()
+            .add_master(Box::new(core))
+            .journal(1024, STATE_KEY);
+        if let Some((contents, cp)) = previous {
+            ddr.load(0, contents);
+            b = b.resume_from(cp);
+        }
+        b.set_ddr(
+            "ddr",
+            AddrRange::new(CRASH_DDR_BASE, 0x1000),
+            ddr,
+            Some(crash_lcf_policies()),
+        )
+        .build()
+    }
+
+    #[test]
+    fn power_cut_stops_all_work_but_not_the_clock() {
+        use secbus_fault::{FaultEvent, FaultKind};
+        let mut soc = crash_soc(
+            r"
+            li  r1, 0x80000000
+            addi r2, r0, 1
+        loop:
+            sw  r2, 0(r1)
+            addi r2, r2, 1
+            j loop
+            ",
+            None,
+        );
+        soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at: Cycle(300),
+            kind: FaultKind::PowerCut,
+        }]));
+        soc.run(600);
+        assert!(soc.powered_off());
+        assert_eq!(soc.stats().counter("soc.power_cuts"), 1);
+        assert_eq!(soc.now().get(), 600, "wall clock keeps counting");
+        let completed_at_cut = soc.bus().trace().len();
+        soc.run(500);
+        assert_eq!(
+            soc.bus().trace().len(),
+            completed_at_cut,
+            "no traffic after the cut"
+        );
+    }
+
+    #[test]
+    fn checkpointed_state_survives_a_power_cut_and_resume() {
+        use secbus_fault::{FaultEvent, FaultKind};
+        let mut soc = crash_soc(
+            r"
+            li  r1, 0x80000000
+            addi r2, r0, 42
+            sw  r2, 0(r1)
+            halt
+            ",
+            None,
+        );
+        soc.run_until_halt(10_000);
+        let cp = soc.checkpoint().expect("journaled LCF");
+        // Power dies after the checkpoint.
+        soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at: soc.now(),
+            kind: FaultKind::PowerCut,
+        }]));
+        soc.run(10);
+        assert!(soc.powered_off());
+        let survived = soc.ddr().unwrap().contents().to_vec();
+
+        // Next life: recover instead of sealing, then read the value back.
+        let mut next = crash_soc(
+            r"
+            li  r1, 0x80000000
+            lw  r3, 0(r1)
+            halt
+            ",
+            Some((&survived, cp)),
+        );
+        let report = *next.recovery_report().expect("resume boot recovers");
+        assert_eq!(report.outcome, secbus_core::RecoveryOutcome::Clean);
+        next.run_until_halt(10_000);
+        let core = next.master_as::<Mb32Core>(0).unwrap();
+        assert_eq!(core.reg(secbus_cpu::Reg(3)), 42, "pre-crash write survived");
+    }
+
+    #[test]
+    fn torn_write_kills_power_and_recovery_repairs_it() {
+        use secbus_fault::{FaultEvent, FaultKind};
+        let mut soc = crash_soc(
+            r"
+            li  r1, 0x80000000
+            addi r2, r0, 1
+        loop:
+            sw  r2, 0(r1)
+            addi r2, r2, 1
+            j loop
+            ",
+            None,
+        );
+        let cp_early = soc.checkpoint().expect("journaled");
+        // Seal checkpointed at seq 1; capturing folds a fresh one.
+        assert_eq!(cp_early.state.image.seq, 2);
+        assert!(cp_early.state.journal.is_empty());
+        soc.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            at: Cycle(200),
+            kind: FaultKind::TornWrite { keep_bytes: 5 },
+        }]));
+        soc.run(2_000);
+        assert!(soc.powered_off(), "a torn store takes the power with it");
+        let cp = soc.checkpoint().expect("persistent surface still readable");
+        let survived = soc.ddr().unwrap().contents().to_vec();
+
+        let next = crash_soc("halt", Some((&survived, cp)));
+        let report = *next.recovery_report().unwrap();
+        assert!(
+            !report.is_quarantined(),
+            "a torn write is a crash, not tampering: {report:?}"
+        );
+        assert_eq!(report.outcome, secbus_core::RecoveryOutcome::Repaired);
+        assert_eq!(
+            report.repaired_blocks + report.rolled_back + report.rolled_forward,
+            1
+        );
+    }
+
+    #[test]
+    fn epoch_commit_swaps_all_firewalls_or_none() {
+        let mut soc = crash_soc("halt", None);
+        // The LCF's embedded firewall is the only one in this system.
+        let lcf_id = soc.lcf().unwrap().firewall().id();
+        let err = soc
+            .commit_policy_epoch(vec![PolicyUpdate {
+                firewall: FirewallId(99),
+                policies: vec![],
+            }])
+            .unwrap_err();
+        assert_eq!(err, EpochError::UnknownFirewall(FirewallId(99)));
+        assert_eq!(soc.policy_epoch(), 0);
+        let epoch = soc
+            .commit_policy_epoch(vec![PolicyUpdate {
+                firewall: lcf_id,
+                policies: crash_lcf_policies().policies().to_vec(),
+            }])
+            .unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(soc.policy_epoch(), 1);
     }
 }

@@ -88,8 +88,17 @@ mod tests {
         let soc = case_study(CaseStudyConfig::default());
         let s = super::render_topology(&soc);
         for needle in [
-            "cpu0", "cpu1", "cpu2", "ip0", "shared-bram", "LCF", "Confidentiality Core",
-            "Integrity Core", "Security Builder", "Configuration Memory", "alert_signals",
+            "cpu0",
+            "cpu1",
+            "cpu2",
+            "ip0",
+            "shared-bram",
+            "LCF",
+            "Confidentiality Core",
+            "Integrity Core",
+            "Security Builder",
+            "Configuration Memory",
+            "alert_signals",
             "secpol_req",
         ] {
             assert!(s.contains(needle), "missing {needle} in topology:\n{s}");
@@ -98,7 +107,10 @@ mod tests {
 
     #[test]
     fn baseline_topology_shows_no_firewalls() {
-        let soc = case_study(CaseStudyConfig { security: false, ..Default::default() });
+        let soc = case_study(CaseStudyConfig {
+            security: false,
+            ..Default::default()
+        });
         let s = super::render_topology(&soc);
         assert!(s.contains("no firewall"));
         assert!(s.contains("no LCF"));

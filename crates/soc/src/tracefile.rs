@@ -22,7 +22,12 @@ pub fn render_trace(soc: &Soc) -> String {
         trace.dropped()
     )
     .unwrap();
-    writeln!(out, "{:>10} {:>3} {:>2} {:>12} {:>5} {:>5} {:>10}", "cycle", "mst", "op", "addr", "width", "burst", "data").unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>3} {:>2} {:>12} {:>5} {:>5} {:>10}",
+        "cycle", "mst", "op", "addr", "width", "burst", "data"
+    )
+    .unwrap();
     for (cycle, t) in trace.iter() {
         writeln!(
             out,
@@ -57,7 +62,14 @@ pub fn trace_summary(soc: &Soc) -> String {
     let mut out = String::new();
     writeln!(out, "{:<10} {:>8} {:>8}", "master", "reads", "writes").unwrap();
     for (i, (r, w)) in per_master.iter().enumerate() {
-        writeln!(out, "{:<10} {:>8} {:>8}", soc.master_device(i).label(), r, w).unwrap();
+        writeln!(
+            out,
+            "{:<10} {:>8} {:>8}",
+            soc.master_device(i).label(),
+            r,
+            w
+        )
+        .unwrap();
     }
     out
 }

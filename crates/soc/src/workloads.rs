@@ -235,13 +235,18 @@ mod tests {
             &matmul4(BRAM_BASE, BRAM_BASE + 0x40, BRAM_BASE + 0x80),
             &[(BRAM_BASE, pack(&a)), (BRAM_BASE + 0x40, pack(&b))],
         );
-        let got: Vec<i32> = words(&soc, BRAM_BASE + 0x80, 16).iter().map(|&w| w as i32).collect();
+        let got: Vec<i32> = words(&soc, BRAM_BASE + 0x80, 16)
+            .iter()
+            .map(|&w| w as i32)
+            .collect();
         assert_eq!(got, expect);
     }
 
     #[test]
     fn fletcher16_matches_host_reference() {
-        let data: Vec<u8> = (0..32u32).flat_map(|i| [(i * 7 + 3) as u8, 0, 0, 0]).collect();
+        let data: Vec<u8> = (0..32u32)
+            .flat_map(|i| [(i * 7 + 3) as u8, 0, 0, 0])
+            .collect();
         let stream: Vec<u8> = data.chunks_exact(4).map(|c| c[0]).collect();
         let soc = run_on_bram(
             &fletcher16(BRAM_BASE, BRAM_BASE + 0x800, 32),
@@ -254,7 +259,9 @@ mod tests {
     #[test]
     fn histogram_counts_low_bytes() {
         // 16 words whose low bytes repeat 0,1,2,3.
-        let data: Vec<u8> = (0..16u32).flat_map(|i| [(i % 4) as u8, 0xAA, 0xBB, 0xCC]).collect();
+        let data: Vec<u8> = (0..16u32)
+            .flat_map(|i| [(i % 4) as u8, 0xAA, 0xBB, 0xCC])
+            .collect();
         let soc = run_on_bram(
             &histogram(BRAM_BASE, BRAM_BASE + 0x1000, 16),
             &[(BRAM_BASE, data)],

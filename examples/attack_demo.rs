@@ -14,13 +14,20 @@ fn main() {
     for outcome in run_all_scenarios(2026) {
         println!("── {}", outcome.scenario.name());
         match outcome.detection_latency {
-            Some(lat) => println!("   detected {lat} cycles after injection ({} alerts)", outcome.alerts),
+            Some(lat) => println!(
+                "   detected {lat} cycles after injection ({} alerts)",
+                outcome.alerts
+            ),
             None => println!("   NOT detected ({} alerts)", outcome.alerts),
         }
         println!(
             "   contained: {} | attacker-chosen data delivered: {}",
             if outcome.contained { "yes" } else { "NO" },
-            if outcome.data_compromised { "YES" } else { "no" }
+            if outcome.data_compromised {
+                "YES"
+            } else {
+                "no"
+            }
         );
         let note = match outcome.scenario {
             Scenario::SpoofPrivate | Scenario::ReplayPrivate | Scenario::RelocatePrivate => {

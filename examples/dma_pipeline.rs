@@ -24,8 +24,18 @@ const BYTES: u32 = 1024;
 fn build(protected: bool, src: u32) -> secbus_soc::Soc {
     let dma = DmaEngine::new("dma0", src, BRAM_BASE, BYTES, 4);
     let policies = ConfigMemory::with_policies(vec![
-        SecurityPolicy::internal(1, AddrRange::new(BRAM_BASE, 0x1_0000), Rwa::ReadWrite, AdfSet::ALL),
-        SecurityPolicy::internal(2, AddrRange::new(DDR_BASE, DDR_LEN), Rwa::ReadWrite, AdfSet::ALL),
+        SecurityPolicy::internal(
+            1,
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
+        SecurityPolicy::internal(
+            2,
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ),
     ])
     .unwrap();
     let mut ddr = ExternalDdr::new(DDR_LEN);
@@ -37,8 +47,18 @@ fn build(protected: bool, src: u32) -> secbus_soc::Soc {
         b = b.without_security();
     }
     b.add_protected_master(Box::new(dma), policies)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
-        .set_ddr("ddr", AddrRange::new(DDR_BASE, DDR_LEN), ddr, Some(lcf_policies()))
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
+        .set_ddr(
+            "ddr",
+            AddrRange::new(DDR_BASE, DDR_LEN),
+            ddr,
+            Some(lcf_policies()),
+        )
         .build()
 }
 
@@ -62,7 +82,11 @@ fn main() {
     let base_private = run("generic, src = private region", false, DDR_BASE);
     let prot_private = run("protected, src = private region (CC+IC)", true, DDR_BASE);
     let base_public = run("generic, src = public region", false, DDR_BASE + 0x8_0000);
-    let prot_public = run("protected, src = public region (checks only)", true, DDR_BASE + 0x8_0000);
+    let prot_public = run(
+        "protected, src = public region (checks only)",
+        true,
+        DDR_BASE + 0x8_0000,
+    );
 
     let over_private = (prot_private as f64 / base_private as f64 - 1.0) * 100.0;
     let over_public = (prot_public as f64 / base_public as f64 - 1.0) * 100.0;

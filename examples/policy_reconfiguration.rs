@@ -7,8 +7,8 @@
 //! cargo run -p secbus-examples --bin policy_reconfiguration
 //! ```
 
-use secbus_bus::{AddrRange, Op, Width};
 use secbus_attack::{AttackOp, HijackedMaster};
+use secbus_bus::{AddrRange, Op, Width};
 use secbus_core::{AdfSet, ConfigMemory, PolicyUpdate, Rwa, SecurityPolicy};
 use secbus_cpu::StreamIp;
 use secbus_mem::Bram;
@@ -54,14 +54,22 @@ fn main() {
             )])
             .unwrap(),
         )
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
         .build();
 
     soc.run(2_000);
     let rogue_fw = soc.master_firewall_id(0).unwrap();
     println!("after the rogue burst:");
     println!("  alerts        = {}", soc.monitor().alert_count());
-    println!("  rogue blocked = {}", soc.master_firewall(0).unwrap().is_blocked());
+    println!(
+        "  rogue blocked = {}",
+        soc.master_firewall(0).unwrap().is_blocked()
+    );
     println!(
         "  bystander acks = {} (unaffected)",
         soc.master_device(1).stats().counter("stream.acked")
@@ -82,8 +90,14 @@ fn main() {
     println!("\nreconfiguration scheduled, applies at {apply_at}");
     soc.run(200);
     println!("after reconfiguration:");
-    println!("  rogue blocked = {}", soc.master_firewall(0).unwrap().is_blocked());
-    println!("  policy generation = {}", soc.master_firewall(0).unwrap().config().generation());
+    println!(
+        "  rogue blocked = {}",
+        soc.master_firewall(0).unwrap().is_blocked()
+    );
+    println!(
+        "  policy generation = {}",
+        soc.master_firewall(0).unwrap().config().generation()
+    );
     assert!(!soc.master_firewall(0).unwrap().is_blocked());
     assert_eq!(soc.master_firewall(0).unwrap().config().generation(), 1);
 

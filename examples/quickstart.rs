@@ -44,7 +44,12 @@ fn main() {
             Box::new(Mb32Core::with_local_program("cpu0", 0, program)),
             ConfigMemory::with_policies(vec![policy]).unwrap(),
         )
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .build();
 
     // 4. Run to completion.
@@ -54,17 +59,33 @@ fn main() {
     // 5. Inspect the outcome.
     let core = soc.master_as::<Mb32Core>(0).expect("cpu0 is an MB32");
     println!("r3 (allowed read-back)     = {}", core.reg(Reg(3)));
-    println!("BRAM[0]   (allowed write)  = {}", soc.bram_contents().unwrap()[0]);
-    println!("BRAM[512] (blocked write)  = {}", soc.bram_contents().unwrap()[512]);
-    println!("alerts at the monitor      = {}", soc.monitor().alert_count());
+    println!(
+        "BRAM[0]   (allowed write)  = {}",
+        soc.bram_contents().unwrap()[0]
+    );
+    println!(
+        "BRAM[512] (blocked write)  = {}",
+        soc.bram_contents().unwrap()[512]
+    );
+    println!(
+        "alerts at the monitor      = {}",
+        soc.monitor().alert_count()
+    );
     if let Some((cycle, alert)) = soc.monitor().first_alert() {
-        println!("first alert: {} -> {} at {}", alert.firewall.0, alert.violation, cycle);
+        println!(
+            "first alert: {} -> {} at {}",
+            alert.firewall.0, alert.violation, cycle
+        );
     }
 
     println!("\n{}", Report::collect(&soc, Cycle(0)));
 
     assert_eq!(core.reg(Reg(3)), 123);
-    assert_eq!(soc.bram_contents().unwrap()[512], 0, "the violation was contained");
+    assert_eq!(
+        soc.bram_contents().unwrap()[512],
+        0,
+        "the violation was contained"
+    );
     assert_eq!(soc.monitor().alert_count(), 1);
     println!("quickstart OK: the violating write was discarded at the interface.");
 }

@@ -29,12 +29,19 @@ fn main() {
     println!("private region at rest : {private_at_rest:02x?}");
     println!("public  region at rest : {public_at_rest:02x?} (plaintext table 1,2,…)");
     let plain_first: Vec<u8> = 100u32.to_le_bytes().to_vec();
-    assert_ne!(&private_at_rest[..4], &plain_first[..], "ciphertext at rest");
+    assert_ne!(
+        &private_at_rest[..4],
+        &plain_first[..],
+        "ciphertext at rest"
+    );
 
     // The checksum cpu0 computed THROUGH the LCF is correct plaintext:
     let bram = soc.bram_contents().unwrap();
     let checksum = u32::from_le_bytes(bram[0x1000..0x1004].try_into().unwrap());
-    println!("cpu0 checksum through the LCF = {checksum} (expected {})", (100..116).sum::<u32>());
+    println!(
+        "cpu0 checksum through the LCF = {checksum} (expected {})",
+        (100..116).sum::<u32>()
+    );
     assert_eq!(checksum, (100..116).sum::<u32>());
 
     // (b) Integrity: a physical attacker flips bits in the private image…
@@ -76,7 +83,10 @@ fn main() {
     soc2.run_until_halt(1_000_000);
     let cpu0 = soc2.master_as::<Mb32Core>(0).unwrap();
     println!("tampered read returned      = {}", cpu0.reg(Reg(2)));
-    println!("integrity alerts raised     = {}", soc2.monitor().alert_count());
+    println!(
+        "integrity alerts raised     = {}",
+        soc2.monitor().alert_count()
+    );
     assert_eq!(cpu0.reg(Reg(2)), 0, "tampered data never reaches the core");
     assert!(soc2.monitor().alert_count() >= 1);
     println!("\nsecure_boot OK: ciphertext at rest, tampering detected before use.");

@@ -52,15 +52,30 @@ fn main() {
     threads.set_table(
         ThreadId(1),
         table(vec![
-            SecurityPolicy::internal(1, AddrRange::new(SHARED, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
-            SecurityPolicy::internal(2, AddrRange::new(SECRET, 0x100), Rwa::ReadWrite, AdfSet::ALL),
+            SecurityPolicy::internal(
+                1,
+                AddrRange::new(SHARED, 0x1000),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
+            SecurityPolicy::internal(
+                2,
+                AddrRange::new(SECRET, 0x100),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
         ]),
     );
     // Thread 2 — the app: shared region read/write, secret region read-only.
     threads.set_table(
         ThreadId(2),
         table(vec![
-            SecurityPolicy::internal(3, AddrRange::new(SHARED, 0x1000), Rwa::ReadWrite, AdfSet::ALL),
+            SecurityPolicy::internal(
+                3,
+                AddrRange::new(SHARED, 0x1000),
+                Rwa::ReadWrite,
+                AdfSet::ALL,
+            ),
             SecurityPolicy::internal(4, AddrRange::new(SECRET, 0x100), Rwa::ReadOnly, AdfSet::ALL),
         ]),
     );

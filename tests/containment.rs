@@ -41,7 +41,12 @@ fn no_violating_write_is_ever_granted_the_bus() {
             builder = builder.add_protected_master(Box::new(master), cm);
         }
         let mut soc = builder
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run_until_halt(500_000);
 
@@ -57,7 +62,10 @@ fn no_violating_write_is_ever_granted_the_bus() {
             );
         }
         // And plenty of violations were attempted (the generator roams).
-        assert!(soc.monitor().alert_count() > 0, "seed {seed}: no violations generated");
+        assert!(
+            soc.monitor().alert_count() > 0,
+            "seed {seed}: no violations generated"
+        );
     }
 }
 
@@ -86,7 +94,12 @@ fn blocked_ip_issues_nothing_after_the_block() {
     let mut soc = SocBuilder::new()
         .monitor_threshold(5)
         .add_protected_master(Box::new(master), cm)
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .build();
     soc.run(5_000);
     assert!(soc.master_firewall(0).unwrap().is_blocked());
@@ -163,7 +176,12 @@ fn slave_side_firewall_guards_the_ip() {
     .unwrap();
     let mut soc = SocBuilder::new()
         .add_master(Box::new(master)) // no master-side firewall at all
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), Some(guard))
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            Some(guard),
+        )
         .build();
     soc.run_until_halt(100_000);
     // Writes to 0x100..0x200 were discarded at the slave interface.

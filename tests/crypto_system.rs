@@ -69,7 +69,8 @@ fn protected_memory_roundtrips() {
             let value = rng.next_u32();
             let addr = BASE + slot * 4; // word-aligned base, ok for all widths
             let t = txn(Op::Write, addr, width, value);
-            lcf.handle(&mut ddr, &t, Cycle(cycle)).expect("write admitted");
+            lcf.handle(&mut ddr, &t, Cycle(cycle))
+                .expect("write admitted");
             let n = width.bytes() as usize;
             let off = (addr - BASE) as usize;
             shadow[off..off + n].copy_from_slice(&value.to_le_bytes()[..n]);
@@ -112,7 +113,11 @@ fn any_byte_tamper_is_detected() {
         // Read the containing word: must be refused with an integrity error.
         let read_addr = BASE + (victim & !3);
         let err = lcf
-            .handle(&mut ddr, &txn(Op::Read, read_addr, Width::Word, 0), Cycle(cycle))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, read_addr, Width::Word, 0),
+                Cycle(cycle),
+            )
             .expect_err("tamper must be detected");
         assert_eq!(err.0, Violation::IntegrityMismatch, "case {case}");
     }
@@ -127,8 +132,12 @@ fn no_plaintext_word_at_rest() {
         let (mut lcf, mut ddr) = lcf_pair();
         let value = 0x0100_0000 + rng.below(u64::from(0xffff_ffffu32 - 0x0100_0000)) as u32;
         let slot = rng.below(0x100) as u32;
-        lcf.handle(&mut ddr, &txn(Op::Write, BASE + slot * 4, Width::Word, value), Cycle(0))
-            .unwrap();
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, BASE + slot * 4, Width::Word, value),
+            Cycle(0),
+        )
+        .unwrap();
         let needle = value.to_le_bytes();
         let raw = ddr.snoop(0, REGION);
         let leaked = raw.windows(4).any(|w| w == needle);
@@ -142,13 +151,22 @@ fn full_region_sweep_roundtrip() {
     let (mut lcf, mut ddr) = lcf_pair();
     let mut cycle = 0;
     for i in 0..(REGION / 4) {
-        let t = txn(Op::Write, BASE + i * 4, Width::Word, i.wrapping_mul(0x9e3779b9));
+        let t = txn(
+            Op::Write,
+            BASE + i * 4,
+            Width::Word,
+            i.wrapping_mul(0x9e3779b9),
+        );
         lcf.handle(&mut ddr, &t, Cycle(cycle)).unwrap();
         cycle += 1;
     }
     for i in 0..(REGION / 4) {
         let r = lcf
-            .handle(&mut ddr, &txn(Op::Read, BASE + i * 4, Width::Word, 0), Cycle(cycle))
+            .handle(
+                &mut ddr,
+                &txn(Op::Read, BASE + i * 4, Width::Word, 0),
+                Cycle(cycle),
+            )
             .unwrap();
         assert_eq!(r.data, i.wrapping_mul(0x9e3779b9));
         cycle += 1;

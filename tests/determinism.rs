@@ -71,7 +71,12 @@ fn fault_injected_runs_are_seed_reproducible() {
             .stats()
             .counters()
             .map(|(k, v)| (k.to_string(), v))
-            .chain(soc.monitor().stats().counters().map(|(k, v)| (k.to_string(), v)))
+            .chain(
+                soc.monitor()
+                    .stats()
+                    .counters()
+                    .map(|(k, v)| (k.to_string(), v)),
+            )
             .collect();
         counters.sort();
         (trace, counters, soc.monitor().alert_count())

@@ -2,8 +2,8 @@
 //! attack, and across reconfiguration — all through the public API only.
 
 use secbus_attack::Adversary;
-use secbus_core::{AdfSet, PolicyUpdate, Rwa, SecurityPolicy};
 use secbus_bus::AddrRange;
+use secbus_core::{AdfSet, PolicyUpdate, Rwa, SecurityPolicy};
 use secbus_cpu::{BusMaster, Mb32Core, Reg};
 use secbus_sim::{Cycle, SimRng};
 use secbus_soc::casestudy::{
@@ -124,7 +124,9 @@ fn reconfig_extends_a_core_written_region_mid_run() {
     // After the swap, writes land in the public region.
     let ddr = soc.ddr().unwrap();
     let word = u32::from_le_bytes(
-        ddr.snoop(DDR_PUBLIC_BASE - 0x8000_0000, 4).try_into().unwrap(),
+        ddr.snoop(DDR_PUBLIC_BASE - 0x8000_0000, 4)
+            .try_into()
+            .unwrap(),
     );
     assert!(word > 0, "a write landed after reconfiguration");
     assert_eq!(soc.master_firewall(0).unwrap().config().generation(), 1);

@@ -54,7 +54,12 @@ fn no_violating_write_reaches_the_bus_under_fault_storm() {
             builder = builder.add_protected_master(Box::new(master), cm);
         }
         let mut soc = builder
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.attach_fault_plan(FaultPlan::generate(
             seed ^ 0xFA_017,
@@ -68,7 +73,10 @@ fn no_violating_write_reaches_the_bus_under_fault_storm() {
         ));
         soc.run(20_000);
 
-        assert!(soc.fault_plan().injected() > 0, "seed {seed}: storm never fired");
+        assert!(
+            soc.fault_plan().injected() > 0,
+            "seed {seed}: storm never fired"
+        );
         for (_, txn) in soc.bus().trace().iter() {
             if txn.op != Op::Write {
                 continue;
@@ -79,7 +87,10 @@ fn no_violating_write_reaches_the_bus_under_fault_storm() {
                 "seed {seed}: violating write {txn} was granted the bus under faults"
             );
         }
-        assert!(soc.monitor().alert_count() > 0, "seed {seed}: no violations generated");
+        assert!(
+            soc.monitor().alert_count() > 0,
+            "seed {seed}: no violations generated"
+        );
     }
 }
 
@@ -97,7 +108,10 @@ fn hardened_case_study_survives_a_fault_storm() {
         ]),
         monitor_threshold: 8,
         ip_samples: 0,
-        resilience: Some(CaseResilience { rekey: true, ..CaseResilience::default() }),
+        resilience: Some(CaseResilience {
+            rekey: true,
+            ..CaseResilience::default()
+        }),
         ..Default::default()
     });
     let plan = FaultPlan::generate(
@@ -115,7 +129,11 @@ fn hardened_case_study_survives_a_fault_storm() {
     soc.attach_fault_plan(plan);
     soc.run(30_000);
 
-    assert_eq!(soc.fault_plan().injected(), planned, "every fault was applied");
+    assert_eq!(
+        soc.fault_plan().injected(),
+        planned,
+        "every fault was applied"
+    );
     assert_eq!(soc.fault_plan().remaining(), 0);
 
     // Fail-secure bookkeeping: a quarantine can only be released after it
@@ -123,7 +141,10 @@ fn hardened_case_study_survives_a_fault_storm() {
     let blocks = soc.monitor().stats().counter("monitor.blocks");
     let releases = soc.stats().counter("soc.quarantine_releases");
     let recoveries = soc.stats().counter("soc.recoveries");
-    assert!(releases <= blocks, "releases ({releases}) must not exceed blocks ({blocks})");
+    assert!(
+        releases <= blocks,
+        "releases ({releases}) must not exceed blocks ({blocks})"
+    );
     assert!(
         recoveries <= blocks,
         "recoveries ({recoveries}) run at most once per quarantine episode ({blocks})"
@@ -132,7 +153,10 @@ fn hardened_case_study_survives_a_fault_storm() {
     // The retry layer never reports more successes than attempts.
     let retries = soc.stats().counter("soc.retries");
     let retry_ok = soc.stats().counter("soc.retry_successes");
-    assert!(retry_ok <= retries, "retry successes ({retry_ok}) exceed retries ({retries})");
+    assert!(
+        retry_ok <= retries,
+        "retry successes ({retry_ok}) exceed retries ({retries})"
+    );
 }
 
 /// An Integrity-Core glitch is detected (not silently trusted) and the
@@ -162,7 +186,10 @@ fn ic_glitch_is_detected_and_contained() {
         fw.counter("lcf.integrity_failures") >= 1,
         "the glitched verification must surface as an integrity failure"
     );
-    assert!(soc.monitor().alert_count() >= 1, "the monitor heard about it");
+    assert!(
+        soc.monitor().alert_count() >= 1,
+        "the monitor heard about it"
+    );
     // Fail-secure, not fail-stop: traffic kept flowing afterwards.
     assert!(soc.bus().stats().counter("bus.completions") > 100);
 }

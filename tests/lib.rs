@@ -44,7 +44,12 @@ pub fn synthetic_soc(n: usize, period: u64, total_ops: u64, seed: u64) -> Soc {
         builder = builder.add_protected_master(Box::new(master), policies);
     }
     builder
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1_0000), Bram::new(0x1_0000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1_0000),
+            Bram::new(0x1_0000),
+            None,
+        )
         .set_ddr(
             "ddr",
             AddrRange::new(DDR_BASE, DDR_LEN),

@@ -87,7 +87,9 @@ fn rule_scaling_is_monotone_in_both_axes() {
     let mut last_area = 0;
     let mut last_latency = 0;
     for rules in [8u32, 16, 32, 64, 128] {
-        let area = m.system_with_firewalls(SystemShape::CASE_STUDY, rules).slice_luts;
+        let area = m
+            .system_with_firewalls(SystemShape::CASE_STUDY, rules)
+            .slice_luts;
         let latency = secbus_core::SbTiming::scaled(rules).total();
         assert!(area > last_area);
         assert!(latency >= last_latency);

@@ -50,7 +50,12 @@ fn tdma_guarantees_progress_under_asymmetric_load() {
         .arbiter(Box::new(Tdma::new(vec![MasterId(0), MasterId(1)], 8)))
         .add_protected_master(Box::new(greedy), rw(1, BRAM_BASE, 0x100))
         .add_protected_master(Box::new(modest), rw(2, BRAM_BASE + 0x100, 0x100))
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .build();
     soc.run(20_000);
     let greedy_ok = soc.master_device(0).stats().counter("traffic.ok");
@@ -94,8 +99,9 @@ fn ddr_row_locality_shows_through_the_system() {
     };
     // One tight window (sequential-ish) vs scattered windows.
     let (seq_hits, seq_misses) = run(vec![(0x8000_0000, 0x400, 1)], 3);
-    let scattered: Vec<(u32, u32, u32)> =
-        (0..16).map(|i| (0x8000_0000 + i * 0x10000, 0x40, 1)).collect();
+    let scattered: Vec<(u32, u32, u32)> = (0..16)
+        .map(|i| (0x8000_0000 + i * 0x10000, 0x40, 1))
+        .collect();
     let (rnd_hits, rnd_misses) = run(scattered, 3);
     let seq_rate = seq_hits as f64 / (seq_hits + seq_misses) as f64;
     let rnd_rate = rnd_hits as f64 / (rnd_hits + rnd_misses) as f64;
@@ -123,7 +129,12 @@ fn burst_overrun_is_rejected_atomically() {
     );
     let mut soc = SocBuilder::new()
         .add_protected_master(Box::new(master), rw(1, BRAM_BASE, 0x100))
-        .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+        .add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        )
         .build();
     soc.run_until_halt(100_000);
     assert_eq!(soc.master_device(0).stats().counter("traffic.ok"), 0);
@@ -157,7 +168,12 @@ fn burst_occupancy_slows_competitors() {
             .arbiter(Box::new(secbus_bus::RoundRobin::default()))
             .add_protected_master(Box::new(burster), rw(1, BRAM_BASE, 0x100))
             .add_protected_master(Box::new(victim), rw(2, BRAM_BASE + 0x100, 0x100))
-            .add_bram("bram", AddrRange::new(BRAM_BASE, 0x1000), Bram::new(0x1000), None)
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
             .build();
         soc.run(30_000);
         soc.master_device(1)
@@ -234,7 +250,11 @@ fn noc_apu_stops_traffic_before_the_mesh() {
         }
     }
     assert_eq!(injected, 1);
-    assert_eq!(mesh.stats().counter("noc.injected"), 1, "rejects never touch the mesh");
+    assert_eq!(
+        mesh.stats().counter("noc.injected"),
+        1,
+        "rejects never touch the mesh"
+    );
     let probe = ni.probe();
     assert_eq!(probe.rejected, 3);
 }
@@ -281,7 +301,10 @@ fn cache_absorbs_protected_rereads() {
             )
             .build();
         let cycles = soc.run_until_halt(5_000_000);
-        (cycles, soc.lcf().unwrap().stats().counter("lcf.protected_reads"))
+        (
+            cycles,
+            soc.lcf().unwrap().stats().counter("lcf.protected_reads"),
+        )
     };
     let (plain_cycles, plain_reads) = run(false);
     let (cached_cycles, cached_reads) = run(true);
@@ -339,15 +362,29 @@ fn kdf_provisioned_lcf_roundtrips() {
         burst: 1,
         issued_at: Cycle(0),
     };
-    let read = |addr: u32| Transaction { op: Op::Read, data: 0, ..write(addr, 0) };
+    let read = |addr: u32| Transaction {
+        op: Op::Read,
+        data: 0,
+        ..write(addr, 0)
+    };
 
-    lcf.handle(&mut ddr, &write(base_a, 0xAAAA_0001), Cycle(0)).unwrap();
-    lcf.handle(&mut ddr, &write(base_b, 0xBBBB_0002), Cycle(1)).unwrap();
-    assert_eq!(lcf.handle(&mut ddr, &read(base_a), Cycle(2)).unwrap().data, 0xAAAA_0001);
-    assert_eq!(lcf.handle(&mut ddr, &read(base_b), Cycle(3)).unwrap().data, 0xBBBB_0002);
+    lcf.handle(&mut ddr, &write(base_a, 0xAAAA_0001), Cycle(0))
+        .unwrap();
+    lcf.handle(&mut ddr, &write(base_b, 0xBBBB_0002), Cycle(1))
+        .unwrap();
+    assert_eq!(
+        lcf.handle(&mut ddr, &read(base_a), Cycle(2)).unwrap().data,
+        0xAAAA_0001
+    );
+    assert_eq!(
+        lcf.handle(&mut ddr, &read(base_b), Cycle(3)).unwrap().data,
+        0xBBBB_0002
+    );
     // Identical plaintext at the same region offset ciphers differently
     // under the two derived keys.
-    lcf.handle(&mut ddr, &write(base_a + 0x20, 0x1234_5678), Cycle(4)).unwrap();
-    lcf.handle(&mut ddr, &write(base_b + 0x20, 0x1234_5678), Cycle(5)).unwrap();
+    lcf.handle(&mut ddr, &write(base_a + 0x20, 0x1234_5678), Cycle(4))
+        .unwrap();
+    lcf.handle(&mut ddr, &write(base_b + 0x20, 0x1234_5678), Cycle(5))
+        .unwrap();
     assert_ne!(ddr.snoop(0x20, 16), ddr.snoop(0x1020, 16));
 }
