@@ -96,6 +96,7 @@ fn run_cell(mode: &Mode, factor: f64, seed: u64) -> (Json, u64) {
         ddr_bytes: 0x10_0000,
         firewalls: if mode.security { 5 } else { 0 }, // 4 LFs + the LCF
         slaves: 2,
+        noc_nodes: 0, // bus-only target: the NoC classes land in S-15
         rates: FaultRates::uniform(BASE_RATE * factor),
     };
     let plan = FaultPlan::generate(seed, &spec);

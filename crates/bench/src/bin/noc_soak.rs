@@ -1,0 +1,184 @@
+//! S-15: NoC soak — the mesh hot-spot workload under seed-reproducible
+//! link/router faults, swept over fault rate × mesh size × protection.
+//!
+//! Each cell runs the same workload twice — bare transport vs the
+//! fault-tolerant transport (flit CRC + ack/nack retransmission,
+//! heartbeat router detection, fault-region-aware rerouting, NI ingress
+//! enforcement) — against the *identical* fault schedule, so every
+//! difference in the report is the protection, not the luck of the draw.
+//! The whole report is byte-identical for a given `--seed`.
+//!
+//! Fault pressure is specified per flit transfer (the unit the CRC
+//! actually protects) and converted to an expected event count from the
+//! cell's deterministic traffic volume. The top-rate cells additionally
+//! inject structural faults: a dropped link and a stuck router.
+//!
+//! The protected transport's contract is delivery-or-alert: a protected
+//! cell that still has unresolved traffic after the drain window is
+//! *wedged*, and the bench exits non-zero with `"wedged": true`.
+//!
+//! `--smoke` runs the smallest mesh only (CI-sized).
+
+use secbus_fault::{FaultPlan, FaultRates, FaultSpec};
+use secbus_noc::{run_noc_soak, NocSoakConfig, NocSoakReport};
+use secbus_sim::Json;
+
+/// Issue window per cell, in cycles.
+const CYCLES: u64 = 8_000;
+/// Grace period for in-flight traffic to deliver-or-alert.
+const DRAIN: u64 = 2_000;
+/// Cycles between round trips per initiator.
+const PERIOD: u64 = 16;
+/// Flits per packet (matches the workload's request/response framing).
+const FLITS: f64 = 2.0;
+
+/// Link bit-flip pressure, per flit transfer.
+const RATES: &[f64] = &[0.0, 1e-4, 1e-3];
+/// Initiator counts; the mesh is sized to fit them (2→2x2, 6→3x3,
+/// 12→4x4).
+const SIZES: &[usize] = &[2, 6, 12];
+
+/// Mesh shape for an initiator count — mirrors the workload's sizing.
+fn mesh_dims(initiators: usize) -> (u8, u8) {
+    let rows = (initiators as f64).sqrt().ceil() as u8;
+    let cols = (initiators as u8).div_ceil(rows) + 1;
+    (cols, rows)
+}
+
+/// Expected bit-flip count for a per-flit rate, from the cell's
+/// deterministic traffic volume: round trips × two packets × flits per
+/// packet × mean XY hop count.
+fn expected_flips(rate_per_flit: f64, initiators: usize) -> f64 {
+    let (cols, rows) = mesh_dims(initiators);
+    let round_trips = (CYCLES / PERIOD) as f64 * initiators as f64;
+    let mean_hops = f64::from(cols) / 2.0 + f64::from(rows) / 2.0;
+    round_trips * 2.0 * FLITS * mean_hops * rate_per_flit
+}
+
+fn run_cell(
+    initiators: usize,
+    rate: f64,
+    structural: bool,
+    protected: bool,
+    seed: u64,
+) -> NocSoakReport {
+    let (cols, rows) = mesh_dims(initiators);
+    let spec = FaultSpec {
+        duration: CYCLES,
+        ddr_bytes: 0,
+        firewalls: 0,
+        slaves: 0,
+        noc_nodes: u16::from(cols) * u16::from(rows),
+        rates: FaultRates {
+            link_bitflip: expected_flips(rate, initiators),
+            link_drop: if structural { 1.0 } else { 0.0 },
+            router_stuck: if structural { 1.0 } else { 0.0 },
+            ..FaultRates::NONE
+        },
+    };
+    let cfg = NocSoakConfig {
+        initiators,
+        period: PERIOD,
+        cycles: CYCLES,
+        drain_cycles: DRAIN,
+        protected,
+    };
+    run_noc_soak(&cfg, FaultPlan::generate(seed, &spec))
+}
+
+fn cell_json(r: &NocSoakReport, rate: f64, structural: bool) -> Json {
+    let (cols, rows) = mesh_dims(r.initiators);
+    let alerts_by_reason = r
+        .alerts_by_reason
+        .iter()
+        .map(|(name, count)| ((*name).to_string(), Json::uint(*count)))
+        .collect();
+    Json::Obj(vec![
+        ("mesh".into(), Json::str(format!("{cols}x{rows}"))),
+        ("initiators".into(), Json::uint(r.initiators as u64)),
+        (
+            "mode".into(),
+            Json::str(if r.protected { "protected" } else { "bare" }),
+        ),
+        ("bitflip_rate_per_flit".into(), Json::Num(rate)),
+        ("structural_faults".into(), Json::Bool(structural)),
+        ("faults_applied".into(), Json::uint(r.faults_applied)),
+        ("issued".into(), Json::uint(r.issued)),
+        ("completed".into(), Json::uint(r.completed)),
+        (
+            "mean_latency".into(),
+            Json::Num(r.mean_latency.unwrap_or(0.0)),
+        ),
+        ("alerts".into(), Json::uint(r.alerts)),
+        ("alerts_by_reason".into(), Json::Obj(alerts_by_reason)),
+        ("crc_detected".into(), Json::uint(r.crc_detected)),
+        ("retransmissions".into(), Json::uint(r.retransmissions)),
+        ("reroutes".into(), Json::uint(r.reroutes)),
+        (
+            "link_failures_detected".into(),
+            Json::uint(r.link_failures_detected),
+        ),
+        (
+            "router_failures_detected".into(),
+            Json::uint(r.router_failures_detected),
+        ),
+        ("wire_corruptions".into(), Json::uint(r.wire_corruptions)),
+        ("silent_drops".into(), Json::uint(r.silent_drops)),
+        (
+            "undetected_corruptions".into(),
+            Json::uint(r.delivered_corrupt),
+        ),
+        ("security_bypasses".into(), Json::uint(r.security_bypasses)),
+        ("ingress_rejected".into(), Json::uint(r.ingress_rejected)),
+        ("unresolved".into(), Json::uint(r.unresolved)),
+        ("stuck_in_mesh".into(), Json::uint(r.stuck_in_mesh)),
+        ("wedged".into(), Json::Bool(r.wedged)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .skip_while(|a| a.as_str() != "--seed")
+        .nth(1)
+        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
+        .unwrap_or(0x50C15);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &SIZES[..1] } else { SIZES };
+
+    let mut cells = Vec::new();
+    let mut wedged = false;
+    for (si, &initiators) in sizes.iter().enumerate() {
+        for (ri, &rate) in RATES.iter().enumerate() {
+            // Structural faults ride the top-rate cells: the sweep ends
+            // with bit flips, a dropped link and a stuck router at once.
+            let structural = ri == RATES.len() - 1;
+            // One plan seed per (size, rate): bare and protected face
+            // the identical schedule.
+            let cell_seed = seed + (si * RATES.len() + ri) as u64;
+            for &protected in &[false, true] {
+                let r = run_cell(initiators, rate, structural, protected, cell_seed);
+                wedged |= r.wedged;
+                cells.push(cell_json(&r, rate, structural));
+            }
+        }
+    }
+
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("S-15 noc soak")),
+        ("issue_cycles".into(), Json::uint(CYCLES)),
+        ("drain_cycles".into(), Json::uint(DRAIN)),
+        ("seed".into(), Json::uint(seed)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("cells".into(), Json::Arr(cells)),
+        ("wedged".into(), Json::Bool(wedged)),
+    ]);
+    println!("{}", report.render_pretty());
+    if wedged {
+        eprintln!(
+            "noc_soak: wedged cell detected (protected traffic neither delivered nor alerted)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -87,6 +87,40 @@ pub enum FaultKind {
         /// Leading bytes of the burst that reach the array (1..16).
         keep_bytes: u8,
     },
+    /// Transient NoC wire upset: the next flit crossing the directed mesh
+    /// link leaving router `node` in direction `dir` (N=0,S=1,E=2,W=3) is
+    /// XOR-ed with `xor` on the wire. `header` steers the burst into the
+    /// packet header (the target address) instead of the data word —
+    /// exactly the corruption a degraded fabric could turn into a
+    /// firewall bypass. Selectors are taken modulo the mesh's actual
+    /// node count and the 4 directions.
+    LinkBitFlip {
+        /// Router selector (modulo the mesh node count).
+        node: u16,
+        /// Outgoing direction selector (modulo 4).
+        dir: u8,
+        /// Bit pattern XOR-ed into the flit on the wire.
+        xor: u32,
+        /// Corrupt the header (address) instead of the payload word.
+        header: bool,
+    },
+    /// Permanent NoC link failure: the directed link leaving router
+    /// `node` in direction `dir` stops carrying flits (and acks) from the
+    /// stamped cycle on. Detected by the link layer's consecutive
+    /// CRC/ack-failure threshold.
+    LinkDrop {
+        /// Router selector (modulo the mesh node count).
+        node: u16,
+        /// Outgoing direction selector (modulo 4).
+        dir: u8,
+    },
+    /// A mesh router dies: it stops forwarding, acking and emitting
+    /// heartbeats. Packets resident in it are lost; neighbors detect the
+    /// missing heartbeat and route around the dead region.
+    RouterStuck {
+        /// Router selector (modulo the mesh node count).
+        node: u16,
+    },
 }
 
 impl FaultKind {
@@ -102,11 +136,14 @@ impl FaultKind {
             FaultKind::IcGlitch => "ic_glitch",
             FaultKind::PowerCut => "power_cut",
             FaultKind::TornWrite { .. } => "torn_write",
+            FaultKind::LinkBitFlip { .. } => "link_bitflip",
+            FaultKind::LinkDrop { .. } => "link_drop",
+            FaultKind::RouterStuck { .. } => "router_stuck",
         }
     }
 
     /// All class names, in schedule order (report columns).
-    pub const CLASSES: [&'static str; 9] = [
+    pub const CLASSES: [&'static str; 12] = [
         "ddr_bitflip",
         "bus_lost_grant",
         "slave_stall",
@@ -116,6 +153,9 @@ impl FaultKind {
         "ic_glitch",
         "power_cut",
         "torn_write",
+        "link_bitflip",
+        "link_drop",
+        "router_stuck",
     ];
 }
 
@@ -153,6 +193,12 @@ pub struct FaultRates {
     pub power_cut: f64,
     /// Torn DDR bursts (terminal: power dies mid-burst).
     pub torn_write: f64,
+    /// Transient NoC flit corruptions on mesh links.
+    pub link_bitflip: f64,
+    /// Permanent NoC link failures (structural: the mesh stays degraded).
+    pub link_drop: f64,
+    /// Dead mesh routers (structural: the mesh stays degraded).
+    pub router_stuck: f64,
 }
 
 impl FaultRates {
@@ -167,12 +213,16 @@ impl FaultRates {
         ic_glitch: 0.0,
         power_cut: 0.0,
         torn_write: 0.0,
+        link_bitflip: 0.0,
+        link_drop: 0.0,
+        router_stuck: 0.0,
     };
 
     /// Uniform expected count across every *transient* class. The
-    /// terminal classes (`power_cut`, `torn_write`) end the run, so a
-    /// soak never wants them uniformly sprinkled — set them explicitly
-    /// when a sweep calls for them.
+    /// terminal classes (`power_cut`, `torn_write`) end the run and the
+    /// structural NoC classes (`link_drop`, `router_stuck`) permanently
+    /// degrade the mesh, so a soak never wants them uniformly sprinkled —
+    /// set them explicitly when a sweep calls for them.
     pub fn uniform(per_class: f64) -> FaultRates {
         FaultRates {
             ddr_bitflip: per_class,
@@ -182,8 +232,8 @@ impl FaultRates {
             policy_corrupt: per_class,
             cc_glitch: per_class,
             ic_glitch: per_class,
-            power_cut: 0.0,
-            torn_write: 0.0,
+            link_bitflip: per_class,
+            ..FaultRates::NONE
         }
     }
 
@@ -199,6 +249,9 @@ impl FaultRates {
             ic_glitch: self.ic_glitch * factor,
             power_cut: self.power_cut * factor,
             torn_write: self.torn_write * factor,
+            link_bitflip: self.link_bitflip * factor,
+            link_drop: self.link_drop * factor,
+            router_stuck: self.router_stuck * factor,
         }
     }
 }
@@ -215,6 +268,9 @@ pub struct FaultSpec {
     pub firewalls: u8,
     /// Number of bus slaves (stall selector range; 0 disables).
     pub slaves: u8,
+    /// Number of NoC mesh nodes (link/router selector range for the NoC
+    /// classes; 0 disables them — a bus-only target).
+    pub noc_nodes: u16,
     /// Expected fault counts per class.
     pub rates: FaultRates,
 }
@@ -313,6 +369,25 @@ impl FaultPlan {
                 keep_bytes: 1 + rng.below(15) as u8,
             })
         });
+        class("link_bitflip", spec.rates.link_bitflip, &mut |rng| {
+            (spec.noc_nodes > 0).then(|| FaultKind::LinkBitFlip {
+                node: rng.below(u64::from(spec.noc_nodes)) as u16,
+                dir: rng.below(4) as u8,
+                xor: rng.next_u32().max(1),
+                header: rng.chance(0.5),
+            })
+        });
+        class("link_drop", spec.rates.link_drop, &mut |rng| {
+            (spec.noc_nodes > 0).then(|| FaultKind::LinkDrop {
+                node: rng.below(u64::from(spec.noc_nodes)) as u16,
+                dir: rng.below(4) as u8,
+            })
+        });
+        class("router_stuck", spec.rates.router_stuck, &mut |rng| {
+            (spec.noc_nodes > 0).then(|| FaultKind::RouterStuck {
+                node: rng.below(u64::from(spec.noc_nodes)) as u16,
+            })
+        });
         Self::new(events)
     }
 
@@ -370,6 +445,7 @@ mod tests {
             ddr_bytes: 0x1000,
             firewalls: 4,
             slaves: 2,
+            noc_nodes: 9,
             rates,
         }
     }
@@ -449,6 +525,16 @@ mod tests {
                 FaultKind::TornWrite { keep_bytes } => {
                     assert!((1..16).contains(&keep_bytes));
                 }
+                FaultKind::LinkBitFlip { node, dir, xor, .. } => {
+                    assert!(node < 9);
+                    assert!(dir < 4);
+                    assert!(xor != 0);
+                }
+                FaultKind::LinkDrop { node, dir } => {
+                    assert!(node < 9);
+                    assert!(dir < 4);
+                }
+                FaultKind::RouterStuck { node } => assert!(node < 9),
                 FaultKind::BusLoseGrant
                 | FaultKind::CcGlitch
                 | FaultKind::IcGlitch
@@ -464,18 +550,26 @@ mod tests {
             ddr_bytes: 0,
             firewalls: 0,
             slaves: 0,
-            rates: FaultRates::uniform(10.0),
+            noc_nodes: 0,
+            rates: FaultRates {
+                link_drop: 10.0,
+                router_stuck: 10.0,
+                ..FaultRates::uniform(10.0)
+            },
         };
         let plan = FaultPlan::generate(3, &s);
         assert_eq!(plan.class_count("ddr_bitflip"), 0);
         assert_eq!(plan.class_count("policy_corrupt"), 0);
         assert_eq!(plan.class_count("slave_stall"), 0);
+        assert_eq!(plan.class_count("link_bitflip"), 0);
+        assert_eq!(plan.class_count("link_drop"), 0);
+        assert_eq!(plan.class_count("router_stuck"), 0);
         assert!(plan.class_count("bus_lost_grant") > 0);
     }
 
     #[test]
     fn class_names_are_stable() {
-        assert_eq!(FaultKind::CLASSES.len(), 9);
+        assert_eq!(FaultKind::CLASSES.len(), 12);
         assert_eq!(
             FaultKind::DdrBitFlip { offset: 0, bit: 0 }.class(),
             "ddr_bitflip"
@@ -483,6 +577,18 @@ mod tests {
         assert_eq!(FaultKind::IcGlitch.class(), "ic_glitch");
         assert_eq!(FaultKind::PowerCut.class(), "power_cut");
         assert_eq!(FaultKind::TornWrite { keep_bytes: 4 }.class(), "torn_write");
+        assert_eq!(
+            FaultKind::LinkBitFlip {
+                node: 0,
+                dir: 0,
+                xor: 1,
+                header: false
+            }
+            .class(),
+            "link_bitflip"
+        );
+        assert_eq!(FaultKind::LinkDrop { node: 0, dir: 0 }.class(), "link_drop");
+        assert_eq!(FaultKind::RouterStuck { node: 0 }.class(), "router_stuck");
     }
 
     #[test]
@@ -492,6 +598,25 @@ mod tests {
         let plan = FaultPlan::generate(11, &spec(FaultRates::uniform(50.0)));
         assert_eq!(plan.class_count("power_cut"), 0);
         assert_eq!(plan.class_count("torn_write"), 0);
+        // The structural NoC classes are opt-in for the same reason.
+        assert_eq!(plan.class_count("link_drop"), 0);
+        assert_eq!(plan.class_count("router_stuck"), 0);
+        // The transient NoC class rides along with the other transients.
+        assert!(plan.class_count("link_bitflip") > 0);
+    }
+
+    #[test]
+    fn noc_structural_classes_generate_when_requested() {
+        let rates = FaultRates {
+            link_drop: 4.0,
+            router_stuck: 2.0,
+            link_bitflip: 3.0,
+            ..FaultRates::NONE
+        };
+        let plan = FaultPlan::generate(17, &spec(rates));
+        assert_eq!(plan.class_count("link_drop"), 4);
+        assert_eq!(plan.class_count("router_stuck"), 2);
+        assert_eq!(plan.class_count("link_bitflip"), 3);
     }
 
     #[test]

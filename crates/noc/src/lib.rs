@@ -8,22 +8,35 @@
 //! interface vs firewall at a network interface — can be *measured*
 //! instead of cited:
 //!
-//! * [`topology`] — 2D mesh coordinates and deterministic XY routing;
-//! * [`network`] — a packet-level mesh with per-output-link contention
-//!   and per-hop router latency;
+//! * [`topology`] — 2D mesh coordinates, deterministic XY routing, the
+//!   [`topology::FaultMap`] of *detected* link/router failures and the
+//!   fault-region-aware [`topology::adaptive_route`] that detours
+//!   around them;
+//! * [`link`] — the flit-level link protocol: CRC-32 framing,
+//!   ack/nack sequencing and bounded retransmission;
+//! * [`network`] — a packet-level mesh with per-output-link contention,
+//!   per-hop router latency and (when protected) the fault-tolerant
+//!   transport: CRC detection, retransmission, heartbeat router-failure
+//!   detection, adaptive rerouting and fail-secure
+//!   [`network::NocAlert`]s for anything undeliverable;
 //! * [`ni`] — the network interface, embedding the *same*
 //!   `secbus-core` policy machinery as the bus firewalls (that is the
-//!   point of the comparison) plus Fiorin-style event probes;
+//!   point of the comparison) plus Fiorin-style event probes, enforced
+//!   at egress *and* at the destination's ingress so rerouted traffic
+//!   cannot bypass it;
 //! * [`system`] — request/response workloads over the mesh, with and
 //!   without NI protection, producing latency/throughput numbers the
-//!   `noc_compare` bench puts side by side with the shared bus.
+//!   `noc_compare` bench puts side by side with the shared bus, and a
+//!   fault-plan-driven soak runner the `noc_soak` bench builds on.
 
+pub mod link;
 pub mod network;
 pub mod ni;
 pub mod system;
 pub mod topology;
 
-pub use network::{Mesh, NocConfig, Packet, PacketId};
+pub use link::{crc32, Flit, LinkReply, LinkRx, LinkTx, TxStatus};
+pub use network::{DeliveryInfo, LossReason, Mesh, NocAlert, NocConfig, Packet, PacketId};
 pub use ni::{NetworkInterface, ProbeReport};
-pub use system::{run_noc_workload, NocRunReport};
-pub use topology::{xy_route, NodeId, Topology};
+pub use system::{run_noc_soak, run_noc_workload, NocRunReport, NocSoakConfig, NocSoakReport};
+pub use topology::{adaptive_route, xy_route, FaultMap, NodeId, Topology};

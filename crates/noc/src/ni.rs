@@ -24,6 +24,10 @@ pub struct ProbeReport {
     pub checked: u64,
     /// Requests rejected by the APU.
     pub rejected: u64,
+    /// Arriving requests examined at the destination side.
+    pub ingress_checked: u64,
+    /// Arriving requests rejected at the destination side.
+    pub ingress_rejected: u64,
     /// Violations by kind (mnemonic, count), sorted by mnemonic.
     pub by_kind: Vec<(String, u64)>,
 }
@@ -81,6 +85,37 @@ impl NetworkInterface {
         }
     }
 
+    /// Check an arriving request at the destination interface — the
+    /// enforcement point that rerouted traffic cannot avoid. A packet
+    /// may reach this node over *any* path the adaptive router picks;
+    /// whatever the route, it is only serviced if the destination's own
+    /// APU admits it, so a detour can never become a policy bypass.
+    /// Returns `Ok(latency)` to service, `Err((violation, latency))` to
+    /// refuse.
+    pub fn check_ingress(
+        &mut self,
+        txn: &Transaction,
+        _now: Cycle,
+    ) -> Result<u64, (Violation, u64)> {
+        self.stats.incr("ni.ingress_checked");
+        let latency = self.timing.total();
+        let outcome = match self.apu.lookup(txn.addr) {
+            None => CheckOutcome::Fail(Violation::NoPolicy),
+            Some(policy) => secbus_core::checker::check_all(policy, txn),
+        };
+        match outcome {
+            CheckOutcome::Pass => {
+                self.stats.incr("ni.ingress_passed");
+                Ok(latency)
+            }
+            CheckOutcome::Fail(v) => {
+                self.stats.incr("ni.ingress_rejected");
+                self.stats.incr(&format!("ni.violation.{}", v.mnemonic()));
+                Err((v, latency))
+            }
+        }
+    }
+
     /// Read the probe counters (non-destructive).
     pub fn probe(&self) -> ProbeReport {
         let by_kind = self
@@ -92,6 +127,8 @@ impl NetworkInterface {
             node: self.node,
             checked: self.stats.counter("ni.checked"),
             rejected: self.stats.counter("ni.rejected"),
+            ingress_checked: self.stats.counter("ni.ingress_checked"),
+            ingress_rejected: self.stats.counter("ni.ingress_rejected"),
             by_kind,
         }
     }
@@ -160,6 +197,25 @@ mod tests {
         assert_eq!(report.checked, 3);
         assert_eq!(report.rejected, 2);
         assert_eq!(report.by_kind, vec![("no_policy".to_string(), 2)]);
+    }
+
+    #[test]
+    fn ingress_check_enforces_the_same_policy_as_egress() {
+        let mut ni = ni();
+        assert_eq!(
+            ni.check_ingress(&txn(Op::Read, 0x1004, Width::Word), Cycle(0)),
+            Ok(12)
+        );
+        let err = ni
+            .check_ingress(&txn(Op::Write, 0x9000, Width::Word), Cycle(1))
+            .unwrap_err();
+        assert_eq!(err.0, Violation::NoPolicy);
+        let report = ni.probe();
+        assert_eq!(report.ingress_checked, 2);
+        assert_eq!(report.ingress_rejected, 1);
+        // Egress counters are untouched by ingress traffic.
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.rejected, 0);
     }
 
     #[test]

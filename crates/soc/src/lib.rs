@@ -31,5 +31,5 @@ pub use casestudy::{
 };
 pub use report::{AlertLine, AuditReport, FirewallAudit, Report};
 pub use soc::{RetryPolicy, Soc, SocBuilder};
-pub use topology::render_topology;
+pub use topology::{render_noc_topology, render_topology};
 pub use tracefile::{render_trace, trace_summary};

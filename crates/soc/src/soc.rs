@@ -995,6 +995,12 @@ impl Soc {
                 // No DDR to tear: the power still dies.
                 self.power_cut();
             }
+            // NoC-layer faults: this SoC's interconnect is the shared
+            // bus, so the mesh classes have no surface to land on here
+            // (the `secbus-noc` mesh consumes them via `Mesh::apply_fault`).
+            FaultKind::LinkBitFlip { .. }
+            | FaultKind::LinkDrop { .. }
+            | FaultKind::RouterStuck { .. } => {}
         }
     }
 
@@ -1961,6 +1967,7 @@ mod tests {
                 ddr_bytes: 0,
                 firewalls: 1,
                 slaves: 1,
+                noc_nodes: 0,
                 rates: FaultRates::uniform(4.0),
             };
             soc.attach_fault_plan(FaultPlan::generate(0xC0FFEE, &spec));

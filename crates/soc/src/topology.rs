@@ -9,6 +9,7 @@
 //! that ran, not a hand-maintained picture.
 
 use crate::soc::Soc;
+use secbus_noc::{Mesh, NodeId};
 
 /// Render the architecture diagram of a live system.
 pub fn render_topology(soc: &Soc) -> String {
@@ -79,6 +80,67 @@ pub fn render_topology(soc: &Soc) -> String {
     out
 }
 
+/// Render the NoC alternative's live state: the mesh grid with every
+/// *detected* link/router failure crossed out, plus the NI enforcement
+/// points. Like [`render_topology`], this documents the actual system
+/// that ran — the fault map drawn here is the one the adaptive router
+/// consulted, not a hand-maintained picture.
+pub fn render_noc_topology(mesh: &Mesh) -> String {
+    let t = mesh.topology();
+    let map = mesh.fault_map();
+    let protected = mesh.config().protected;
+    let mut out = String::new();
+    out.push_str("NoC alternative: 2D mesh with network-interface firewalls\n");
+    out.push_str(&format!(
+        "({}x{} mesh, {} transport, {} failed link(s) and {} failed router(s) detected)\n\n",
+        t.cols,
+        t.rows,
+        if protected { "fault-tolerant" } else { "bare" },
+        map.failed_link_count(),
+        map.failed_router_count(),
+    ));
+    for y in 0..t.rows {
+        let mut row = String::from("  ");
+        for x in 0..t.cols {
+            let n = NodeId::new(x, y);
+            if map.router_ok(n) {
+                row.push_str(&format!("[{x},{y}]"));
+            } else {
+                row.push_str("[✗✗✗]");
+            }
+            if x + 1 < t.cols {
+                let e = NodeId::new(x + 1, y);
+                let ok = map.link_ok(n, e) && map.link_ok(e, n);
+                row.push_str(if ok { "──" } else { "╳╳" });
+            }
+        }
+        row.push('\n');
+        out.push_str(&row);
+        if y + 1 < t.rows {
+            let mut vrow = String::from("  ");
+            for x in 0..t.cols {
+                let n = NodeId::new(x, y);
+                let s = NodeId::new(x, y + 1);
+                let ok = map.link_ok(n, s) && map.link_ok(s, n);
+                vrow.push_str(if ok { "  │  " } else { "  ╳  " });
+                if x + 1 < t.cols {
+                    vrow.push_str("  ");
+                }
+            }
+            vrow.push('\n');
+            out.push_str(&vrow);
+        }
+    }
+    out.push_str("\nEvery endpoint attaches through a Network Interface:\n");
+    out.push_str("  IP ⇄ [NI  APU egress+ingress checks (Fiorin-style) + probes] ⇄ router\n");
+    if protected {
+        out.push_str("  link layer: flit CRC-32, ack/nack + bounded retransmission\n");
+        out.push_str("  fault handling: heartbeat router detection, consecutive-failure\n");
+        out.push_str("  link detection, fault-region-aware rerouting (delivery-or-alert)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::casestudy::{case_study, CaseStudyConfig};
@@ -103,6 +165,32 @@ mod tests {
         ] {
             assert!(s.contains(needle), "missing {needle} in topology:\n{s}");
         }
+    }
+
+    #[test]
+    fn noc_topology_draws_detected_failures() {
+        use secbus_fault::FaultKind;
+        use secbus_noc::{Mesh, NocConfig, Topology};
+        use secbus_sim::Cycle;
+
+        let mut clean = Mesh::new(Topology::new(3, 3), NocConfig::default());
+        clean.tick(Cycle(0));
+        let s = super::render_noc_topology(&clean);
+        assert!(s.contains("3x3 mesh"), "{s}");
+        assert!(s.contains("bare"), "{s}");
+        assert!(!s.contains('✗'), "clean mesh draws no failures:\n{s}");
+
+        let mut mesh = Mesh::new(Topology::new(3, 3), NocConfig::protected());
+        mesh.apply_fault(&FaultKind::RouterStuck { node: 4 }, Cycle(0));
+        // Run past the heartbeat timeout so the failure is *detected*.
+        for c in 0..60 {
+            mesh.tick(Cycle(c));
+        }
+        let s = super::render_noc_topology(&mesh);
+        assert!(s.contains("fault-tolerant"), "{s}");
+        assert!(s.contains("[✗✗✗]"), "dead router crossed out:\n{s}");
+        assert!(s.contains("1 failed router"), "{s}");
+        assert!(s.contains("Network Interface"), "{s}");
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn fault_injected_runs_are_seed_reproducible() {
         ddr_bytes: 0x10_0000,
         firewalls: 5,
         slaves: 2,
+        noc_nodes: 0,
         rates: FaultRates::uniform(6.0),
     };
     let run = |fault_seed: u64| {

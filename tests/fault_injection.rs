@@ -68,6 +68,7 @@ fn no_violating_write_reaches_the_bus_under_fault_storm() {
                 ddr_bytes: 0, // no DDR in this system
                 firewalls: 2,
                 slaves: 1,
+                noc_nodes: 0,
                 rates: FaultRates::uniform(12.0),
             },
         ));
@@ -121,6 +122,7 @@ fn hardened_case_study_survives_a_fault_storm() {
             ddr_bytes: 0x10_0000,
             firewalls: 5,
             slaves: 2,
+            noc_nodes: 0,
             rates: FaultRates::uniform(16.0),
         },
     );
