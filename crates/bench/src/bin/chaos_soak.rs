@@ -82,6 +82,7 @@ fn build(mode: &Mode) -> Soc {
             rekey: true,
             ..CaseResilience::default()
         }),
+        ic_cache: None,
     })
 }
 
@@ -169,14 +170,26 @@ fn main() {
         .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
         .unwrap_or(0xC4A05);
 
+    // Every (mode, factor) cell is a pure function of its inputs, so the
+    // sweep fans out across threads and merges back in input order — the
+    // JSON is byte-identical to a serial run (`--serial` to force one).
+    let specs: Vec<(usize, usize)> = (0..MODES.len())
+        .flat_map(|mi| (0..FACTORS.len()).map(move |fi| (mi, fi)))
+        .collect();
+    let results = secbus_bench::par_map_with(secbus_bench::sweep_threads(), specs, |(mi, fi)| {
+        // Same plan seed per factor across modes: every mode faces the
+        // identical fault schedule.
+        run_cell(&MODES[mi], FACTORS[fi], seed + fi as u64)
+    });
+
     let mut cells = Vec::new();
     let mut wedged = false;
-    for mode in MODES {
+    let mut results = results.into_iter();
+    for _ in MODES {
+        // The first factor of each mode is its zero-fault baseline.
         let mut baseline_completions = None;
-        for (fi, &factor) in FACTORS.iter().enumerate() {
-            // Same plan seed per factor across modes: every mode faces
-            // the identical fault schedule.
-            let (mut cell, completions) = run_cell(mode, factor, seed + fi as u64);
+        for _ in FACTORS {
+            let (mut cell, completions) = results.next().expect("one result per spec");
             wedged |= completions == 0;
             let base = *baseline_completions.get_or_insert(completions);
             let degradation = if base == 0 {

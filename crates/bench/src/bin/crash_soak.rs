@@ -458,35 +458,48 @@ fn main() {
         .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
         .unwrap_or(0xC4A06);
 
+    // Every cell is a pure function of (mode, journal, crash cycle, seed):
+    // fan the sweep out across threads, merge in input order, aggregate
+    // afterwards — the JSON is byte-identical to `--serial`.
+    let threads = secbus_bench::sweep_threads();
+    let specs: Vec<(usize, bool, u64)> = (0..MODES.len())
+        .flat_map(|mi| {
+            [true, false]
+                .into_iter()
+                .flat_map(move |journaled| CRASH_CYCLES.iter().map(move |&k| (mi, journaled, k)))
+        })
+        .collect();
+    let lcf_cells = secbus_bench::par_map_with(threads, specs, |(mi, journaled, k)| {
+        (journaled, run_cell(&MODES[mi], k, journaled, seed))
+    });
+
     let mut cells = Vec::new();
     let mut summary: Vec<(bool, u64, u64, u64, u64, u64)> = vec![
         (true, 0, 0, 0, 0, 0),  // journal-on totals
         (false, 0, 0, 0, 0, 0), // journal-off totals
     ];
     let mut wedged = false;
-    for mode in MODES {
-        for &journaled in &[true, false] {
-            for &k in CRASH_CYCLES {
-                let cell = run_cell(mode, k, journaled, seed);
-                let row = summary.iter_mut().find(|(j, ..)| *j == journaled).unwrap();
-                row.1 += cell.false_alarms;
-                row.2 += cell.undetected;
-                row.3 += cell.lost_writes;
-                row.4 += cell.recovery_cycles;
-                row.5 += 1;
-                wedged |= cell.wedged;
-                cells.push(cell.json);
-            }
-        }
+    for (journaled, cell) in lcf_cells {
+        let row = summary.iter_mut().find(|(j, ..)| *j == journaled).unwrap();
+        row.1 += cell.false_alarms;
+        row.2 += cell.undetected;
+        row.3 += cell.lost_writes;
+        row.4 += cell.recovery_cycles;
+        row.5 += 1;
+        wedged |= cell.wedged;
+        cells.push(cell.json);
     }
 
+    let soc_specs: Vec<(&str, u64)> = ["power_cut", "torn_write"]
+        .into_iter()
+        .flat_map(|kind| [150u64, 400, 1_200].into_iter().map(move |cut| (kind, cut)))
+        .collect();
     let mut soc_cells = Vec::new();
-    for kind in ["power_cut", "torn_write"] {
-        for &cut in &[150u64, 400, 1_200] {
-            let cell = run_soc_cell(kind, cut);
-            wedged |= cell.wedged;
-            soc_cells.push(cell.json);
-        }
+    for cell in
+        secbus_bench::par_map_with(threads, soc_specs, |(kind, cut)| run_soc_cell(kind, cut))
+    {
+        wedged |= cell.wedged;
+        soc_cells.push(cell.json);
     }
 
     let summary_json = Json::Arr(

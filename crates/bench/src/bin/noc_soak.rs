@@ -147,8 +147,10 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let sizes: &[usize] = if smoke { &SIZES[..1] } else { SIZES };
 
-    let mut cells = Vec::new();
-    let mut wedged = false;
+    // Each (size, rate, mode) cell is a pure function of its spec: fan
+    // out across threads and merge in input order, so the JSON is
+    // byte-identical to a serial run (`--serial` to force one).
+    let mut specs = Vec::new();
     for (si, &initiators) in sizes.iter().enumerate() {
         for (ri, &rate) in RATES.iter().enumerate() {
             // Structural faults ride the top-rate cells: the sweep ends
@@ -158,11 +160,24 @@ fn main() {
             // the identical schedule.
             let cell_seed = seed + (si * RATES.len() + ri) as u64;
             for &protected in &[false, true] {
-                let r = run_cell(initiators, rate, structural, protected, cell_seed);
-                wedged |= r.wedged;
-                cells.push(cell_json(&r, rate, structural));
+                specs.push((initiators, rate, structural, protected, cell_seed));
             }
         }
+    }
+    let results = secbus_bench::par_map_with(
+        secbus_bench::sweep_threads(),
+        specs,
+        |(initiators, rate, structural, protected, cell_seed)| {
+            let r = run_cell(initiators, rate, structural, protected, cell_seed);
+            let json = cell_json(&r, rate, structural);
+            (json, r.wedged)
+        },
+    );
+    let mut cells = Vec::new();
+    let mut wedged = false;
+    for (json, cell_wedged) in results {
+        wedged |= cell_wedged;
+        cells.push(json);
     }
 
     let report = Json::Obj(vec![

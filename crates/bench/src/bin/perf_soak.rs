@@ -1,0 +1,168 @@
+//! S-16: performance soak — cached-vs-uncached Integrity Core, batched
+//! vs per-block Confidentiality Core, serial vs parallel harness.
+//!
+//! Full mode runs the sweep-sized workloads and (re)writes
+//! `BENCH_PERF.json`, the repo's perf-trajectory artifact. `--smoke`
+//! runs CI-sized workloads and *asserts* instead:
+//!
+//! * the optimized paths produce identical security outcomes (outcome
+//!   digests, alert counts, ciphertexts, merged harness results);
+//! * no measured speedup regressed more than 20 % against the recorded
+//!   `BENCH_PERF.json` baseline. The gates compare *ratios* (cached vs
+//!   uncached on the same host), so they hold across machines; the
+//!   parallel-harness gate only applies on multi-core hosts.
+//!
+//! `--seed N` reseeds the IC workload; the IC section is byte-identical
+//! per seed (host wall-times of course are not).
+
+use secbus_bench::perf::{compare_cc, compare_harness, compare_ic, IcWorkload};
+use secbus_sim::Json;
+
+const BASELINE: &str = "BENCH_PERF.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .skip_while(|a| a.as_str() != "--seed")
+        .nth(1)
+        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
+        .unwrap_or(0x516);
+
+    let ic_workload = if smoke {
+        IcWorkload::smoke(seed)
+    } else {
+        IcWorkload::full(seed)
+    };
+    let ic = compare_ic(&ic_workload);
+    // CC reps are NOT scaled down in smoke mode: the comparison is host
+    // time, and each timed window must be long enough (~0.5 s) for the
+    // paired-round median to see past scheduler noise; short runs trip
+    // the 20 % gate.
+    let cc = compare_cc(4096, 8_000);
+    let harness = if smoke {
+        compare_harness(4, 128)
+    } else {
+        compare_harness(8, 1_024)
+    };
+
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("S-16 perf soak")),
+        ("seed".into(), Json::uint(seed)),
+        ("smoke".into(), Json::Bool(smoke)),
+        (
+            "ic".into(),
+            Json::Obj(vec![
+                ("accesses".into(), Json::uint(ic_workload.accesses)),
+                (
+                    "per_level_cycles".into(),
+                    Json::uint(ic_workload.per_level_cycles),
+                ),
+                (
+                    "cache_entries".into(),
+                    Json::uint(ic_workload.cache_entries as u64),
+                ),
+                ("uncached_cycles".into(), Json::uint(ic.uncached.ic_cycles)),
+                ("cached_cycles".into(), Json::uint(ic.cached.ic_cycles)),
+                ("cycles_saved".into(), Json::uint(ic.cached.cycles_saved)),
+                ("cache_hits".into(), Json::uint(ic.cached.cache_hits)),
+                ("cache_misses".into(), Json::uint(ic.cached.cache_misses)),
+                ("alerts".into(), Json::uint(ic.cached.alerts)),
+                ("simulated_speedup".into(), Json::Num(ic.speedup())),
+                ("equivalent".into(), Json::Bool(ic.equivalent())),
+            ]),
+        ),
+        (
+            "cc".into(),
+            Json::Obj(vec![
+                ("per_block_ns".into(), Json::uint(cc.per_block_ns)),
+                ("batched_ns".into(), Json::uint(cc.batched_ns)),
+                ("host_speedup".into(), Json::Num(cc.speedup())),
+                ("outputs_match".into(), Json::Bool(cc.outputs_match)),
+            ]),
+        ),
+        (
+            "harness".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::uint(harness.threads as u64)),
+                ("serial_ns".into(), Json::uint(harness.serial_ns)),
+                ("parallel_ns".into(), Json::uint(harness.parallel_ns)),
+                ("host_speedup".into(), Json::Num(harness.speedup())),
+                ("identical".into(), Json::Bool(harness.identical)),
+            ]),
+        ),
+    ]);
+    println!("{}", report.render_pretty());
+
+    // Security equivalence is non-negotiable in every mode.
+    let mut failures = Vec::new();
+    if !ic.equivalent() {
+        failures.push("cached IC outcome differs from uncached".to_string());
+    }
+    if ic.cached.alerts == 0 {
+        failures.push("IC workload raised no alerts (tampering not exercised)".to_string());
+    }
+    if !cc.outputs_match {
+        failures.push("batched CC ciphertext differs from per-block".to_string());
+    }
+    if !harness.identical {
+        failures.push("parallel harness merge differs from serial".to_string());
+    }
+
+    if smoke {
+        // Regression gates against the recorded baseline, as ratios so
+        // they transfer across hosts. >20 % regression fails.
+        match std::fs::read_to_string(BASELINE) {
+            Ok(text) => {
+                let base = Json::parse(&text).expect("BENCH_PERF.json parses");
+                let gate = |what: &str, current: f64, recorded: Option<f64>| {
+                    let Some(recorded) = recorded else {
+                        return Some(format!("baseline missing {what}"));
+                    };
+                    (current < 0.8 * recorded).then(|| {
+                        format!("{what} regressed >20%: {current:.2}x vs recorded {recorded:.2}x")
+                    })
+                };
+                let baseline_speedup = |section: &str| {
+                    base.get(section)?
+                        .get(if section == "ic" {
+                            "simulated_speedup"
+                        } else {
+                            "host_speedup"
+                        })?
+                        .as_f64()
+                };
+                failures.extend(gate(
+                    "IC simulated speedup",
+                    ic.speedup(),
+                    baseline_speedup("ic"),
+                ));
+                failures.extend(gate(
+                    "CC host speedup",
+                    cc.speedup(),
+                    baseline_speedup("cc"),
+                ));
+                if harness.threads > 1 {
+                    failures.extend(gate(
+                        "harness host speedup",
+                        harness.speedup(),
+                        baseline_speedup("harness"),
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("cannot read {BASELINE} baseline: {e}")),
+        }
+    } else {
+        std::fs::write(BASELINE, format!("{}\n", report.render_pretty()))
+            .expect("write BENCH_PERF.json");
+        eprintln!("perf_soak: wrote {BASELINE}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("perf_soak: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

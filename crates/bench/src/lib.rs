@@ -11,11 +11,19 @@
 //! | S-2 traffic-mix overhead | `ablation_traffic` |
 //! | S-3 attack detection & containment | `attacks` |
 //! | S-4 distributed vs centralized | `baseline_compare` |
+//! | S-13 chaos soak (faults × resilience) | `chaos_soak` |
+//! | S-14 crash soak (power cuts × journal) | `crash_soak` |
+//! | S-15 NoC soak (mesh faults × transport) | `noc_soak` |
+//! | S-16 perf soak (IC cache, CC batching, parallel harness) | `perf_soak` |
 //!
 //! The measurement logic lives here (unit-tested); the binaries only
-//! format. Criterion micro-benches are under `benches/`.
+//! format. The soak sweeps fan their cells across threads via
+//! [`par_map_with`] and merge in input order, so their JSON reports are
+//! byte-identical to a serial run (`--serial` forces one). Criterion
+//! micro-benches are under `benches/`.
 
 pub mod energy;
+pub mod perf;
 pub mod table2;
 pub mod timing;
 pub mod traffic;
@@ -30,10 +38,22 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(items.len().max(1));
-    if threads <= 1 {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    par_map_with(threads, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 = run inline). The result
+/// is identical for every `threads` value — the determinism the soak
+/// harnesses rely on for byte-identical serial/parallel JSON — so the
+/// count only chooses a wall-time/CPU trade-off.
+pub fn par_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
         return items.into_iter().map(f).collect();
     }
     let total = items.len();
@@ -67,9 +87,45 @@ where
         .collect()
 }
 
+/// Worker count for a soak sweep: 1 when `--serial` is on the command
+/// line (the reference serial run), else the host's parallelism. The
+/// sweeps are deterministic either way — `--serial` only exists so the
+/// byte-identical-JSON claim can be checked against an actual serial run.
+pub fn sweep_threads() -> usize {
+    if std::env::args().any(|a| a == "--serial") {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
 pub use energy::{case_study_energy, collect_activity};
 pub use table2::{measure_table2, Table2};
 pub use timing::{bench, measure, Measurement};
 pub use traffic::{
     sweep_traffic, traffic_overhead, traffic_overhead_multi, OverheadRow, OverheadStat,
 };
+
+#[cfg(test)]
+mod par_map_tests {
+    use super::{par_map, par_map_with};
+
+    /// Results land in input order and match the sequential map for any
+    /// worker count, including counts above the item count.
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let work: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = work.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = par_map_with(threads, work.clone(), |x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert_eq!(par_map(work, |x| x * x + 1), expected);
+    }
+
+    #[test]
+    fn par_map_handles_empty_input() {
+        let got: Vec<u32> = par_map_with(4, Vec::<u32>::new(), |x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -147,12 +147,19 @@ pub fn check_alignment(_policy: &SecurityPolicy, txn: &Transaction) -> Option<Vi
 /// fetched the policy from the Configuration Memory), run every module in
 /// a fixed order, report the first violation.
 pub fn check_all(policy: &SecurityPolicy, txn: &Transaction) -> CheckOutcome {
-    const MODULES: [fn(&SecurityPolicy, &Transaction) -> Option<Violation>; 4] =
-        [check_region, check_rwa, check_adf, check_alignment];
-    for module in MODULES {
-        if let Some(v) = module(policy, txn) {
-            return CheckOutcome::Fail(v);
-        }
+    // Direct calls in the fixed module order — a fn-pointer table here
+    // defeats inlining on the hottest per-transaction path.
+    if let Some(v) = check_region(policy, txn) {
+        return CheckOutcome::Fail(v);
+    }
+    if let Some(v) = check_rwa(policy, txn) {
+        return CheckOutcome::Fail(v);
+    }
+    if let Some(v) = check_adf(policy, txn) {
+        return CheckOutcome::Fail(v);
+    }
+    if let Some(v) = check_alignment(policy, txn) {
+        return CheckOutcome::Fail(v);
     }
     CheckOutcome::Pass
 }

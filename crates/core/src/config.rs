@@ -107,6 +107,29 @@ impl ConfigMemory {
         p.region.contains(addr).then_some(p)
     }
 
+    /// [`ConfigMemory::lookup`] with a caller-held last-hit slot: bursts
+    /// overwhelmingly stay under one policy, so the hinted index is
+    /// probed before the binary search. `hint` is refreshed on every
+    /// search-path hit; a stale (out-of-range or mismatched) hint is
+    /// harmless because regions never overlap — any policy containing
+    /// `addr` *is* the ruling policy.
+    pub fn lookup_hinted(&self, addr: u32, hint: &mut usize) -> Option<&SecurityPolicy> {
+        if let Some(p) = self.policies.get(*hint) {
+            if p.region.contains(addr) {
+                return Some(p);
+            }
+        }
+        let idx = self.policies.partition_point(|p| p.region.base <= addr);
+        let i = idx.checked_sub(1)?;
+        let p = &self.policies[i];
+        if p.region.contains(addr) {
+            *hint = i;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
     /// The policy with identifier `spi`, if present.
     pub fn by_spi(&self, spi: Spi) -> Option<&SecurityPolicy> {
         self.policies.iter().find(|p| p.spi == spi)
@@ -223,6 +246,34 @@ mod tests {
         assert!(cm.lookup(0x200).is_none());
         assert!(cm.lookup(0x1100).is_none());
         assert_eq!(cm.len(), 2);
+    }
+
+    /// `lookup_hinted` agrees with `lookup` for every address and any
+    /// hint state, including hints stale after a table swap.
+    #[test]
+    fn hinted_lookup_matches_plain_lookup() {
+        let mut cm = ConfigMemory::with_policies(vec![
+            simple_policy(1, 0x0, 0x100),
+            simple_policy(2, 0x1000, 0x100),
+            simple_policy(3, 0x2000, 0x40),
+        ])
+        .unwrap();
+        let mut hint = usize::MAX; // deliberately out of range
+        for addr in [0x80u32, 0x81, 0x1000, 0x10ff, 0x200, 0x2000, 0x203f, 0x2040] {
+            assert_eq!(
+                cm.lookup_hinted(addr, &mut hint).map(|p| p.spi),
+                cm.lookup(addr).map(|p| p.spi),
+                "addr {addr:#x}"
+            );
+        }
+        cm.swap(vec![simple_policy(9, 0x500, 0x20)]).unwrap();
+        for addr in [0x80u32, 0x500, 0x51f, 0x520] {
+            assert_eq!(
+                cm.lookup_hinted(addr, &mut hint).map(|p| p.spi),
+                cm.lookup(addr).map(|p| p.spi),
+                "post-swap addr {addr:#x}"
+            );
+        }
     }
 
     #[test]

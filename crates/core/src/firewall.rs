@@ -124,6 +124,8 @@ pub struct LocalFirewall {
     window_count: u32,
     stats: Stats,
     pending_alerts: Vec<Alert>,
+    /// Last-hit policy index for [`ConfigMemory::lookup_hinted`].
+    last_policy: usize,
 }
 
 impl LocalFirewall {
@@ -140,6 +142,7 @@ impl LocalFirewall {
             window_count: 0,
             stats: Stats::new(),
             pending_alerts: Vec::new(),
+            last_policy: 0,
         }
     }
 
@@ -202,7 +205,7 @@ impl LocalFirewall {
             }
         }
         let latency = self.timing.total();
-        let outcome = match self.config.lookup(txn.addr) {
+        let outcome = match self.config.lookup_hinted(txn.addr, &mut self.last_policy) {
             None => CheckOutcome::Fail(Violation::NoPolicy),
             Some(policy) => check_all(policy, txn),
         };

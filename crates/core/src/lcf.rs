@@ -31,8 +31,8 @@ use secbus_bus::{Op, Transaction};
 use secbus_crypto::merkle::leaf_digest;
 use secbus_crypto::sha256::Digest;
 use secbus_crypto::{
-    IntentRecord, MemoryCipher, MerkleTree, MonotonicCounter, RegionImage, SecureStateImage,
-    TimestampTable, WriteAheadJournal,
+    IntentRecord, MemoryCipher, MerkleTree, MonotonicCounter, NodeCache, RegionImage,
+    SecureStateImage, TimestampTable, WriteAheadJournal,
 };
 use secbus_mem::{ExternalDdr, MemDevice};
 use secbus_sim::{Cycle, Stats};
@@ -168,6 +168,9 @@ struct Region {
     tree: Option<MerkleTree>,
     timestamps: TimestampTable,
     ic_failure: IcFailureMode,
+    /// AEGIS-style trusted interior-node cache (cost model only — the
+    /// verdict is identical to an uncached root walk).
+    ic_cache: Option<NodeCache>,
 }
 
 impl Region {
@@ -240,6 +243,13 @@ pub struct LocalCipheringFirewall {
     /// Set when power died mid-burst (torn write): no further accesses
     /// happen on this boot.
     crashed: bool,
+    /// Trusted-node cache capacity per integrity region (None = the
+    /// paper's uncached root walk). Fresh caches are issued wherever a
+    /// tree is (re)built.
+    ic_cache_entries: Option<usize>,
+    /// Last-hit region slot: bursts overwhelmingly land in the region of
+    /// the previous access, so try it before the binary search.
+    last_region: Option<usize>,
 }
 
 impl LocalCipheringFirewall {
@@ -274,9 +284,14 @@ impl LocalCipheringFirewall {
                     tree: None, // built at seal time
                     timestamps: TimestampTable::new(blocks),
                     ic_failure: IcFailureMode::default(),
+                    ic_cache: None,
                 }
             })
             .collect();
+        debug_assert!(
+            regions.windows(2).all(|w| w[0].base < w[1].base),
+            "ConfigMemory keeps policies sorted and non-overlapping"
+        );
         LocalCipheringFirewall {
             fw: LocalFirewall::new(id, label, config),
             timing,
@@ -288,7 +303,32 @@ impl LocalCipheringFirewall {
             cc_glitch: false,
             journal: None,
             crashed: false,
+            ic_cache_entries: None,
+            last_region: None,
         }
+    }
+
+    /// Turn on the AEGIS-style Integrity-Core node cache: every
+    /// integrity-protected region gets a bounded LRU cache of `entries`
+    /// trusted interior nodes, so a verification stops at the first
+    /// cached ancestor instead of walking to the root. This is purely a
+    /// *cost* model — the volatile tree stays fully current and the
+    /// cache is kept coherent on writes, so verdicts, roots and alerts
+    /// are identical to the uncached walk. May be called at any time;
+    /// existing caches are reset.
+    pub fn enable_ic_cache(&mut self, entries: usize) {
+        assert!(entries > 0, "IC node cache needs a positive capacity");
+        self.ic_cache_entries = Some(entries);
+        for region in &mut self.regions {
+            if region.protection == Protection::CipherIntegrity {
+                region.ic_cache = Some(NodeCache::new(entries));
+            }
+        }
+    }
+
+    /// Whether the Integrity-Core node cache is enabled.
+    pub fn ic_cache_enabled(&self) -> bool {
+        self.ic_cache_entries.is_some()
     }
 
     /// Turn on the crash-consistency layer: a write-ahead journal with
@@ -391,9 +431,9 @@ impl LocalCipheringFirewall {
     /// Set the IC-failure degradation mode of the region containing
     /// `addr`. Returns `false` if no region covers it.
     pub fn set_ic_failure_mode(&mut self, addr: u32, mode: IcFailureMode) -> bool {
-        match self.regions.iter_mut().find(|r| r.contains(addr)) {
-            Some(r) => {
-                r.ic_failure = mode;
+        match self.region_of(addr) {
+            Some(i) => {
+                self.regions[i].ic_failure = mode;
                 true
             }
             None => false,
@@ -429,6 +469,7 @@ impl LocalCipheringFirewall {
     /// Returns the cycles the operation would take (boot-time cost).
     pub fn seal(&mut self, ddr: &mut ExternalDdr) -> u64 {
         assert!(!self.sealed, "seal() must run exactly once");
+        let cache_entries = self.ic_cache_entries;
         let mut cycles = 0;
         for region in &mut self.regions {
             if region.protection == Protection::None {
@@ -447,6 +488,7 @@ impl LocalCipheringFirewall {
                     .map(|(i, chunk)| leaf_digest(i as u64, 0, chunk))
                     .collect();
                 region.tree = Some(MerkleTree::build(&leaves));
+                region.ic_cache = cache_entries.map(NodeCache::new);
                 cycles += self.timing.ic_stream_cycles(u64::from(region.len) * 8);
             }
         }
@@ -463,8 +505,27 @@ impl LocalCipheringFirewall {
         self.sealed
     }
 
+    /// Index of the region containing `addr`: the last-hit slot first
+    /// (bursts overwhelmingly stay in one region), then a binary search
+    /// over the base-sorted, non-overlapping region table.
     fn region_of(&mut self, addr: u32) -> Option<usize> {
-        self.regions.iter().position(|r| r.contains(addr))
+        if let Some(i) = self.last_region {
+            if self.regions[i].contains(addr) {
+                return Some(i);
+            }
+        }
+        let found = Self::region_index(&self.regions, addr);
+        if found.is_some() {
+            self.last_region = found;
+        }
+        found
+    }
+
+    /// Binary search over regions sorted by base (the order
+    /// [`ConfigMemory`] maintains for its policies).
+    fn region_index(regions: &[Region], addr: u32) -> Option<usize> {
+        let idx = regions.partition_point(|r| r.base <= addr);
+        idx.checked_sub(1).filter(|&i| regions[i].contains(addr))
     }
 
     /// Handle one transaction against the external memory.
@@ -512,10 +573,31 @@ impl LocalCipheringFirewall {
 
         // Integrity Core: verify the stored ciphertext against the tree.
         if region.protection == Protection::CipherIntegrity {
-            let tree = region.tree.as_ref().expect("integrity region has a tree");
-            latency += self.timing.ic_verify_cycles(tree.height());
             let expected = leaf_digest(block_idx as u64, ts, &block);
-            let mut verified = tree.verify_leaf(block_idx, &expected);
+            let tree = region.tree.as_ref().expect("integrity region has a tree");
+            let full_levels = tree.height();
+            let (raw_verdict, levels) = match region.ic_cache.as_mut() {
+                Some(cache) => {
+                    let v = tree.verify_leaf_cached(block_idx, &expected, cache);
+                    self.stats.incr(if v.cache_hit {
+                        "lcf.ic_cache_hits"
+                    } else {
+                        "lcf.ic_cache_misses"
+                    });
+                    (v.verified, v.levels_hashed)
+                }
+                None => (tree.verify_leaf(block_idx, &expected), full_levels),
+            };
+            let charged = self.timing.ic_verify_cycles(levels);
+            latency += charged;
+            self.stats.add("lcf.ic_cycles", charged);
+            if region.ic_cache.is_some() {
+                self.stats.add(
+                    "lcf.ic_cycles_saved",
+                    self.timing.ic_verify_cycles(full_levels) - charged,
+                );
+            }
+            let mut verified = raw_verdict;
             if self.ic_glitch {
                 // Transient IC mis-computation: the verdict is inverted
                 // for this one verification.
@@ -584,10 +666,22 @@ impl LocalCipheringFirewall {
                 // persisted, so recovery always has a post-state root.
                 let mut new_root = None;
                 if region.protection == Protection::CipherIntegrity {
+                    let new_leaf = leaf_digest(block_idx as u64, new_ts, &block);
                     let tree = region.tree.as_mut().expect("integrity region has a tree");
-                    let levels =
-                        tree.update_leaf(block_idx, leaf_digest(block_idx as u64, new_ts, &block));
-                    latency += self.timing.ic_verify_cycles(levels);
+                    let full_levels = tree.height();
+                    let levels = match region.ic_cache.as_mut() {
+                        Some(cache) => tree.update_leaf_cached(block_idx, new_leaf, cache),
+                        None => tree.update_leaf(block_idx, new_leaf),
+                    };
+                    let charged = self.timing.ic_verify_cycles(levels);
+                    latency += charged;
+                    self.stats.add("lcf.ic_cycles", charged);
+                    if region.ic_cache.is_some() {
+                        self.stats.add(
+                            "lcf.ic_cycles_saved",
+                            self.timing.ic_verify_cycles(full_levels) - charged,
+                        );
+                    }
                     new_root = Some(tree.root());
                 }
 
@@ -714,6 +808,7 @@ impl LocalCipheringFirewall {
         cycles += 2 * timing.cc_stream_cycles(u64::from(region.len) * 8);
         if region.protection == Protection::CipherIntegrity {
             region.tree = Some(MerkleTree::build(&new_leaves));
+            region.ic_cache = self.ic_cache_entries.map(NodeCache::new);
             cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
         }
         region.cipher = Some(new_cipher);
@@ -761,6 +856,7 @@ impl LocalCipheringFirewall {
             })
             .collect();
         region.tree = Some(MerkleTree::build(&leaves));
+        region.ic_cache = self.ic_cache_entries.map(NodeCache::new);
         let cycles = timing.ic_stream_cycles(u64::from(region.len) * 8);
         self.stats.incr("lcf.tree_rebuilds");
         self.stats.add("lcf.rebuild_cycles", cycles);
@@ -769,10 +865,7 @@ impl LocalCipheringFirewall {
 
     /// The protection level at `addr`, if a region covers it.
     pub fn protection_at(&self, addr: u32) -> Option<Protection> {
-        self.regions
-            .iter()
-            .find(|r| r.contains(addr))
-            .map(|r| r.protection)
+        Self::region_index(&self.regions, addr).map(|i| self.regions[i].protection)
     }
 
     /// Number of protection blocks in region `idx` (0 for unprotected).
@@ -796,6 +889,7 @@ impl LocalCipheringFirewall {
     /// a quarantined boot so the object stays consistent while blocked).
     fn adopt_ddr_state(&mut self, ddr: &ExternalDdr) {
         let ddr_base = self.ddr_base;
+        let cache_entries = self.ic_cache_entries;
         for region in &mut self.regions {
             if region.protection != Protection::CipherIntegrity {
                 continue;
@@ -811,6 +905,7 @@ impl LocalCipheringFirewall {
                 })
                 .collect();
             region.tree = Some(MerkleTree::build(&leaves));
+            region.ic_cache = cache_entries.map(NodeCache::new);
         }
     }
 
@@ -948,10 +1043,14 @@ impl LocalCipheringFirewall {
             }
         }
 
-        // 4b. Reconcile every region with the DDR contents.
+        // 4b. Reconcile every region with the DDR contents. Each
+        // integrity region's tree is built from DDR exactly once here and
+        // kept for installation in 5b (with at most one leaf patched),
+        // instead of being rebuilt from scratch a second time.
         let ddr_base = self.ddr_base;
         let timing = self.timing;
         let mut repairs: Vec<(usize, usize, u64)> = Vec::new();
+        let mut rebuilt: Vec<Option<MerkleTree>> = (0..self.regions.len()).map(|_| None).collect();
         let mut evidence: Option<TamperEvidence> = None;
         for (idx, region) in self.regions.iter().enumerate() {
             let in_flight = dangling.as_ref().filter(|r| r.region == idx);
@@ -981,11 +1080,13 @@ impl LocalCipheringFirewall {
                     let ddr_leaves: Vec<Digest> =
                         (0..blocks).map(|i| leaf_at(i, ts[idx][i])).collect();
                     report.cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
+                    let mut ddr_tree = MerkleTree::build(&ddr_leaves);
                     let Some(rec) = in_flight else {
-                        if MerkleTree::build(&ddr_leaves).root() != expected_root {
+                        if ddr_tree.root() != expected_root {
                             evidence = Some(TamperEvidence::RootMismatch { region: idx });
                             break;
                         }
+                        rebuilt[idx] = Some(ddr_tree);
                         continue;
                     };
                     // One write was in flight at the crash. Its sibling
@@ -993,7 +1094,7 @@ impl LocalCipheringFirewall {
                     // can arbitrate all three crash windows.
                     let b = rec.block;
                     let shadow_root = rec.new_root.expect("checked in 4a");
-                    let path = MerkleTree::build(&ddr_leaves).proof(b);
+                    let path = ddr_tree.proof(b);
                     let ddr_leaf_old = ddr_leaves[b];
                     let ddr_leaf_new = leaf_at(b, rec.new_ts);
                     let others_match_shadow =
@@ -1006,11 +1107,14 @@ impl LocalCipheringFirewall {
                         ts[idx][b] = rec.new_ts;
                         roots[idx] = Some(shadow_root);
                         report.rolled_forward += 1;
+                        ddr_tree.update_leaf(b, rec.new_leaf);
                     } else if others_match_shadow {
                         // Every block EXCEPT the in-flight one is
                         // consistent with the shadow root: the burst
                         // half-landed. Crash artifact, confined to block
-                        // `b` — repair it, count the loss.
+                        // `b` — repair it, count the loss. The stored
+                        // tree gets its `b` leaf patched in 5a once the
+                        // repaired ciphertext exists.
                         repairs.push((idx, b, rec.new_ts));
                         ts[idx][b] = rec.new_ts;
                         report.repaired_blocks += 1;
@@ -1020,6 +1124,7 @@ impl LocalCipheringFirewall {
                         evidence = Some(TamperEvidence::RootMismatch { region: idx });
                         break;
                     }
+                    rebuilt[idx] = Some(ddr_tree);
                 }
             }
         }
@@ -1038,33 +1143,31 @@ impl LocalCipheringFirewall {
             let mut block = [0u8; PROTECTION_BLOCK as usize];
             cipher.apply(bus_addr, new_ts, &mut block);
             ddr.tamper(dev_off, &block);
+            rebuilt[ridx]
+                .as_mut()
+                .expect("repaired region was reconciled in 4b")
+                .update_leaf(b, leaf_digest(b as u64, new_ts, &block));
             report.cycles += timing.cc_latency + JOURNAL_PERSIST_CYCLES;
         }
 
-        // 5b. Install the recovered volatile state.
+        // 5b. Install the recovered volatile state — the trees built
+        // during reconciliation, not a second from-scratch rebuild.
+        let cache_entries = self.ic_cache_entries;
         for (idx, region) in self.regions.iter_mut().enumerate() {
             if region.protection == Protection::None {
                 continue;
             }
             region.timestamps = TimestampTable::from_tags(ts[idx].clone());
             if region.protection == Protection::CipherIntegrity {
-                let dev_off = region.base - ddr_base;
-                let leaves: Vec<Digest> = (0..Self::region_blocks(region))
-                    .map(|i| {
-                        let block: [u8; 16] = ddr
-                            .snoop(dev_off + i as u32 * PROTECTION_BLOCK, PROTECTION_BLOCK)
-                            .try_into()
-                            .expect("16-byte block");
-                        leaf_digest(i as u64, region.timestamps.get(i), &block)
-                    })
-                    .collect();
-                let tree = MerkleTree::build(&leaves);
+                let tree = rebuilt[idx]
+                    .take()
+                    .expect("integrity region was reconciled in 4b");
                 debug_assert!(
                     !repairs.is_empty() || roots[idx].is_none_or(|r| r == tree.root()),
                     "non-repaired region must reproduce its authenticated root"
                 );
                 region.tree = Some(tree);
-                report.cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
+                region.ic_cache = cache_entries.map(NodeCache::new);
             }
         }
         self.sealed = true;

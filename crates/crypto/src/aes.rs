@@ -26,18 +26,17 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// The inverse AES S-box, derived from [`SBOX`] at first use.
-fn inv_sbox() -> &'static [u8; 256] {
-    use std::sync::OnceLock;
-    static INV: OnceLock<[u8; 256]> = OnceLock::new();
-    INV.get_or_init(|| {
-        let mut inv = [0u8; 256];
-        for (i, &s) in SBOX.iter().enumerate() {
-            inv[s as usize] = i as u8;
-        }
-        inv
-    })
-}
+/// The inverse AES S-box, computed from [`SBOX`] at compile time — no
+/// first-use branch or synchronisation on the decryption path.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
 
 /// Round constants for the key schedule.
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
@@ -119,9 +118,8 @@ impl Aes128 {
     }
 
     fn inv_sub_bytes(state: &mut [u8; 16]) {
-        let inv = inv_sbox();
         for b in state.iter_mut() {
-            *b = inv[*b as usize];
+            *b = INV_SBOX[*b as usize];
         }
     }
 
@@ -208,6 +206,48 @@ impl Aes128 {
         Self::inv_shift_rows(block);
         Self::inv_sub_bytes(block);
         Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt every 16-byte block of `buf` in place, in one batched pass.
+    ///
+    /// Identical output to calling [`Aes128::encrypt_block`] per block (the
+    /// blocks are independent — this is ECB over the caller's counter
+    /// inputs, exactly what CTR keystream generation needs), but the round
+    /// loop is hoisted outside the block loop: each round key is loaded
+    /// once per *burst* instead of once per *block*, which is the
+    /// key-schedule-reuse batching the Confidentiality Core's burst path
+    /// relies on.
+    ///
+    /// # Panics
+    /// Panics unless `buf.len()` is a multiple of 16.
+    pub fn encrypt_blocks(&self, buf: &mut [u8]) {
+        assert!(
+            buf.len().is_multiple_of(16),
+            "batched encryption needs whole 16-byte blocks"
+        );
+        let rk0 = &self.round_keys[0];
+        for chunk in buf.chunks_exact_mut(16) {
+            for (b, k) in chunk.iter_mut().zip(rk0.iter()) {
+                *b ^= k;
+            }
+        }
+        for round in 1..10 {
+            let rk = &self.round_keys[round];
+            for chunk in buf.chunks_exact_mut(16) {
+                let block: &mut [u8; 16] = chunk.try_into().expect("16-byte chunk");
+                Self::sub_bytes(block);
+                Self::shift_rows(block);
+                Self::mix_columns(block);
+                Self::add_round_key(block, rk);
+            }
+        }
+        let rk10 = &self.round_keys[10];
+        for chunk in buf.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("16-byte chunk");
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::add_round_key(block, rk10);
+        }
     }
 
     /// Encrypt a copy of `block` and return the ciphertext.
@@ -317,10 +357,37 @@ mod tests {
 
     #[test]
     fn inv_sbox_is_inverse() {
-        let inv = inv_sbox();
         for i in 0..=255u8 {
-            assert_eq!(inv[SBOX[i as usize] as usize], i);
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
         }
+    }
+
+    /// Batched encryption is byte-identical to the per-block path for
+    /// random keys and burst lengths (including the empty burst).
+    #[test]
+    fn encrypt_blocks_matches_per_block() {
+        let mut state = 0xbabc_0000_5eed_0001u64;
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            crate::test_rng::fill(&mut state, &mut key);
+            let aes = Aes128::new(&key);
+            let blocks = (crate::test_rng::splitmix64(&mut state) % 9) as usize;
+            let mut buf = vec![0u8; 16 * blocks];
+            crate::test_rng::fill(&mut state, &mut buf);
+            let mut expected = buf.clone();
+            for chunk in expected.chunks_exact_mut(16) {
+                let block: &mut [u8; 16] = chunk.try_into().unwrap();
+                aes.encrypt_block(block);
+            }
+            aes.encrypt_blocks(&mut buf);
+            assert_eq!(buf, expected, "burst of {blocks} blocks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 16-byte blocks")]
+    fn encrypt_blocks_rejects_partial_block() {
+        Aes128::new(&[0; 16]).encrypt_blocks(&mut [0u8; 24]);
     }
 
     #[test]

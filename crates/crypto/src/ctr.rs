@@ -20,6 +20,11 @@ use crate::aes::Aes128;
 /// AES block size in bytes.
 pub const BLOCK_BYTES: usize = 16;
 
+/// Keystream blocks generated per batched AES pass. A stack buffer of
+/// this many blocks keeps the burst path allocation-free while still
+/// amortising the round-key loads across a whole batch.
+const KEYSTREAM_BATCH: usize = 16;
+
 /// The Confidentiality Core's cipher: AES-128 in address/timestamp-tweaked
 /// counter mode.
 #[derive(Debug, Clone)]
@@ -64,9 +69,28 @@ impl MemoryCipher {
             "cipher length must be a multiple of 16"
         );
         let base_block = addr / BLOCK_BYTES as u64;
-        for (i, chunk) in buf.chunks_exact_mut(BLOCK_BYTES).enumerate() {
-            let ks = self.keystream(base_block + i as u64, timestamp);
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+        if buf.len() == BLOCK_BYTES {
+            // Single-block fast path: no batching setup.
+            let ks = self.keystream(base_block, timestamp);
+            for (b, k) in buf.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            return;
+        }
+        // Burst path: fill a batch of counter inputs and cipher them in
+        // one [`Aes128::encrypt_blocks`] pass (key-schedule reuse), then
+        // XOR. Stack buffer — the hot path never allocates.
+        let mut ks = [0u8; KEYSTREAM_BATCH * BLOCK_BYTES];
+        let mut block = base_block;
+        for batch in buf.chunks_mut(KEYSTREAM_BATCH * BLOCK_BYTES) {
+            let ks = &mut ks[..batch.len()];
+            for input in ks.chunks_exact_mut(BLOCK_BYTES) {
+                input[..8].copy_from_slice(&block.to_be_bytes());
+                input[8..].copy_from_slice(&timestamp.to_be_bytes());
+                block += 1;
+            }
+            self.aes.encrypt_blocks(ks);
+            for (b, k) in batch.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
         }
@@ -160,6 +184,25 @@ mod tests {
         let a = MemoryCipher::new(&[1; 16]);
         let b = MemoryCipher::new(&[2; 16]);
         assert_ne!(a.seal_block(0, 0, &[0; 16]), b.seal_block(0, 0, &[0; 16]));
+    }
+
+    /// The batched burst path matches the per-block reference across
+    /// batch boundaries (lengths below, at and above [`KEYSTREAM_BATCH`]).
+    #[test]
+    fn batched_bursts_match_per_block_across_batch_boundaries() {
+        let c = MemoryCipher::new(&KEY);
+        for blocks in [1usize, 2, 15, 16, 17, 33, 40] {
+            let mut bulk = vec![0x5au8; BLOCK_BYTES * blocks];
+            c.apply(0x2_0000, 11, &mut bulk);
+            for i in 0..blocks {
+                let sealed = c.seal_block(0x2_0000 + (BLOCK_BYTES * i) as u64, 11, &[0x5a; 16]);
+                assert_eq!(
+                    &bulk[BLOCK_BYTES * i..BLOCK_BYTES * (i + 1)],
+                    &sealed,
+                    "block {i} of {blocks}"
+                );
+            }
+        }
     }
 
     #[test]

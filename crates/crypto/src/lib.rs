@@ -33,7 +33,7 @@ pub use journal::{
     IntentRecord, JournalReplay, MonotonicCounter, RegionImage, SecureStateImage, WriteAheadJournal,
 };
 pub use kdf::{derive_key_set, derive_region_key};
-pub use merkle::MerkleTree;
+pub use merkle::{CachedVerify, MerkleTree, NodeCache};
 pub use sha256::{sha256, Sha256};
 pub use timestamp::TimestampTable;
 

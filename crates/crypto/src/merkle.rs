@@ -9,8 +9,145 @@
 //!
 //! Leaf and interior hashes are domain-separated (`0x00` / `0x01` prefixes)
 //! so an attacker cannot pass an interior node off as a leaf.
+//!
+//! ## Cached verification
+//!
+//! The AEGIS observation: an interior node whose value is held in trusted
+//! on-chip storage is as good a verification anchor as the root itself. A
+//! bounded [`NodeCache`] models that storage; [`MerkleTree::verify_leaf_cached`]
+//! walks leaf-to-root but stops at the first cached ancestor, and
+//! [`MerkleTree::update_leaf_cached`] charges a write only up to its first
+//! cached ancestor. The functional state (every node, the root) stays
+//! exactly what the uncached tree computes — the cache changes *cost*, not
+//! *verdicts* — which is what lets the Integrity Core's timing model claim
+//! the savings without perturbing a single alert.
 
 use crate::sha256::{sha256, Digest, Sha256};
+
+/// A bounded, deterministically-evicted cache of trusted interior nodes.
+///
+/// Keys are 1-based heap indices into a [`MerkleTree`]'s node array; the
+/// value is the node digest as last seen by the owning tree. Eviction is
+/// strict LRU on a monotonic access tick — the simulator is
+/// single-threaded per instance, so the tick order (and therefore every
+/// hit, miss and eviction) is a pure function of the access sequence.
+#[derive(Debug, Clone)]
+pub struct NodeCache {
+    capacity: usize,
+    tick: u64,
+    /// `(node index, digest, last-use tick)`, unordered.
+    entries: Vec<(usize, Digest, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl NodeCache {
+    /// A cache holding at most `capacity` interior nodes.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity (an always-miss cache is a footgun —
+    /// model "no cache" by not constructing one).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "node cache capacity must be positive");
+        NodeCache {
+            capacity,
+            tick: 0,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of cached nodes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently cached nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count (full walks to the root).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The cached digest for node `idx`, bumping its recency.
+    fn get(&mut self, idx: usize) -> Option<Digest> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.0 == idx).map(|e| {
+            e.2 = tick;
+            e.1
+        })
+    }
+
+    /// Insert (or refresh) node `idx`, evicting the least-recently-used
+    /// entry when full.
+    fn insert(&mut self, idx: usize, digest: Digest) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == idx) {
+            e.1 = digest;
+            e.2 = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            self.entries.swap_remove(lru);
+            self.evictions += 1;
+        }
+        self.entries.push((idx, digest, self.tick));
+    }
+
+    /// Refresh the stored value of node `idx` if present, without touching
+    /// recency (a coherence write-through, not a use). Returns whether the
+    /// node was cached.
+    fn refresh(&mut self, idx: usize, digest: Digest) -> bool {
+        match self.entries.iter_mut().find(|e| e.0 == idx) {
+            Some(e) => {
+                e.1 = digest;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Outcome of one cached path verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedVerify {
+    /// Whether the leaf verified (identical to the uncached verdict).
+    pub verified: bool,
+    /// Interior hashes actually computed (≤ tree height); this is what
+    /// the Integrity Core's timing model charges.
+    pub levels_hashed: u32,
+    /// Whether the walk stopped at a cached trusted ancestor.
+    pub cache_hit: bool,
+}
 
 /// Domain-separation prefix for leaf hashes.
 const LEAF_TAG: u8 = 0x00;
@@ -64,7 +201,9 @@ impl MerkleTree {
             nodes[capacity + i] = if i < leaves { initial[i] } else { pad };
         }
         for i in (1..capacity).rev() {
-            nodes[i] = node_digest(&nodes[2 * i].clone(), &nodes[2 * i + 1].clone());
+            // Digests are Copy: split the slice instead of cloning them.
+            let (upper, lower) = nodes.split_at_mut(2 * i);
+            upper[i] = node_digest(&lower[0], &lower[1]);
         }
         MerkleTree {
             nodes,
@@ -115,13 +254,106 @@ impl MerkleTree {
         let mut hops = 0;
         while idx > 1 {
             idx /= 2;
-            self.nodes[idx] = node_digest(
-                &self.nodes[2 * idx].clone(),
-                &self.nodes[2 * idx + 1].clone(),
-            );
+            let (upper, lower) = self.nodes.split_at_mut(2 * idx);
+            upper[idx] = node_digest(&lower[0], &lower[1]);
             hops += 1;
         }
         hops
+    }
+
+    /// Like [`MerkleTree::update_leaf`], but charges the update only as
+    /// far as its first cached trusted ancestor: the returned hop count is
+    /// what the Integrity Core pays, while the tree itself (including the
+    /// root) is still brought fully up to date, so roots and verdicts are
+    /// identical to the uncached tree. Cached ancestors on the path are
+    /// refreshed in place (the "dirty only the affected cached nodes"
+    /// rule); nothing is inserted or evicted by an update.
+    pub fn update_leaf_cached(&mut self, i: usize, digest: Digest, cache: &mut NodeCache) -> u32 {
+        assert!(i < self.leaves, "leaf index out of range");
+        let mut idx = self.capacity + i;
+        self.nodes[idx] = digest;
+        let mut hops = 0;
+        let mut charged = None;
+        while idx > 1 {
+            idx /= 2;
+            let (upper, lower) = self.nodes.split_at_mut(2 * idx);
+            upper[idx] = node_digest(&lower[0], &lower[1]);
+            hops += 1;
+            if cache.refresh(idx, self.nodes[idx]) && charged.is_none() {
+                charged = Some(hops);
+            }
+        }
+        charged.unwrap_or(hops)
+    }
+
+    /// Verify leaf `i` against the tree, stopping at the first cached
+    /// trusted ancestor instead of walking to the root.
+    ///
+    /// The verdict is **identical** to [`MerkleTree::verify_leaf`] as long
+    /// as the cache only ever holds values this tree wrote into it (which
+    /// the `_cached` methods guarantee); what changes is
+    /// [`CachedVerify::levels_hashed`]. Every *successful* verification
+    /// (full walk or early exit at a trusted ancestor) re-inserts the
+    /// leaf's path into the cache: the walked segment is authenticated
+    /// either way, and without the re-insert on hits, unrelated cold
+    /// traffic steadily evicts a hot set's low anchors and hit walks get
+    /// permanently longer. With the re-insert, repeated traffic to a
+    /// working set converges to (and stays at) one-level walks.
+    pub fn verify_leaf_cached(
+        &self,
+        i: usize,
+        candidate: &Digest,
+        cache: &mut NodeCache,
+    ) -> CachedVerify {
+        assert!(i < self.leaves, "leaf index out of range");
+        let mut acc = *candidate;
+        let mut idx = self.capacity + i;
+        let mut levels = 0u32;
+        while idx > 1 {
+            let sib = self.nodes[idx ^ 1];
+            acc = if idx.is_multiple_of(2) {
+                node_digest(&acc, &sib)
+            } else {
+                node_digest(&sib, &acc)
+            };
+            levels += 1;
+            idx /= 2;
+            if idx > 1 {
+                if let Some(trusted) = cache.get(idx) {
+                    cache.hits += 1;
+                    let verified = acc == trusted;
+                    if verified {
+                        self.cache_path(i, cache);
+                    }
+                    return CachedVerify {
+                        verified,
+                        levels_hashed: levels,
+                        cache_hit: true,
+                    };
+                }
+            }
+        }
+        let verified = acc == self.root();
+        cache.misses += 1;
+        if verified {
+            self.cache_path(i, cache);
+        }
+        CachedVerify {
+            verified,
+            levels_hashed: levels,
+            cache_hit: false,
+        }
+    }
+
+    /// Insert leaf `i`'s interior path (excluding the root, which is
+    /// on-chip and free) into the cache. Only called after the path was
+    /// authenticated, so every inserted value is trusted.
+    fn cache_path(&self, i: usize, cache: &mut NodeCache) {
+        let mut fill = self.capacity + i;
+        while fill > 3 {
+            fill /= 2;
+            cache.insert(fill, self.nodes[fill]);
+        }
     }
 
     /// Membership proof for leaf `i`: the sibling digests from leaf level
@@ -280,6 +512,118 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_leaf_panics() {
         MerkleTree::build(&leaves(3)).leaf(3);
+    }
+
+    /// Cached verification returns the exact verdict of the uncached walk
+    /// for random trees, access patterns, updates and tampered leaves,
+    /// while never hashing more levels than the tree height.
+    #[test]
+    fn cached_verify_is_verdict_equivalent() {
+        let mut state = 0xcac4_e000_0000_0001u64;
+        let mut next = move || crate::test_rng::splitmix64(&mut state);
+        for round in 0..64 {
+            let n = 1 + (next() % 63) as usize;
+            let mut tree = MerkleTree::build(&leaves(n));
+            let mut cache = NodeCache::new(1 + (next() % 16) as usize);
+            let mut current: Vec<Digest> = (0..n).map(|i| tree.leaf(i)).collect();
+            for op in 0..48 {
+                let idx = (next() % n as u64) as usize;
+                match next() % 3 {
+                    0 => {
+                        // Update through the cached path.
+                        let d = leaf_digest(idx as u64, next(), &[op as u8; 16]);
+                        let hops = tree.update_leaf_cached(idx, d, &mut cache);
+                        assert!(hops <= tree.height().max(1));
+                        current[idx] = d;
+                    }
+                    1 => {
+                        // Clean read: must verify both ways.
+                        let r = tree.verify_leaf_cached(idx, &current[idx], &mut cache);
+                        assert!(r.verified, "round {round} op {op}");
+                        assert!(r.levels_hashed <= tree.height());
+                        assert!(tree.verify_leaf(idx, &current[idx]));
+                    }
+                    _ => {
+                        // Tampered read: must fail both ways.
+                        let mut bad = current[idx];
+                        bad[(next() % 32) as usize] ^= 1 << (next() % 8);
+                        let r = tree.verify_leaf_cached(idx, &bad, &mut cache);
+                        assert_eq!(r.verified, tree.verify_leaf(idx, &bad));
+                        assert!(!r.verified, "round {round} op {op}");
+                    }
+                }
+            }
+            assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// A hot working set converges to short walks: after warm-up, repeated
+    /// reads of the same leaf stop at a cached ancestor.
+    #[test]
+    fn cached_verify_hits_after_warmup() {
+        let tree = MerkleTree::build(&leaves(256)); // height 8
+        let mut cache = NodeCache::new(32);
+        let leaf = tree.leaf(7);
+        let cold = tree.verify_leaf_cached(7, &leaf, &mut cache);
+        assert!(cold.verified && !cold.cache_hit);
+        assert_eq!(cold.levels_hashed, tree.height());
+        let warm = tree.verify_leaf_cached(7, &leaf, &mut cache);
+        assert!(warm.verified && warm.cache_hit);
+        assert!(warm.levels_hashed < cold.levels_hashed);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    /// Updates keep cached ancestors coherent: a cached verify after an
+    /// update must accept the new leaf and reject the old one.
+    #[test]
+    fn cache_stays_coherent_across_updates() {
+        let mut tree = MerkleTree::build(&leaves(64));
+        let mut cache = NodeCache::new(16);
+        let old = tree.leaf(5);
+        // Warm the cache on leaf 5's path.
+        assert!(tree.verify_leaf_cached(5, &old, &mut cache).verified);
+        let new = leaf_digest(5, 99, &[0xEE; 16]);
+        let charged = tree.update_leaf_cached(5, new, &mut cache);
+        assert!(
+            charged < tree.height(),
+            "warmed path must stop at a cached ancestor (charged {charged})"
+        );
+        let r = tree.verify_leaf_cached(5, &new, &mut cache);
+        assert!(r.verified && r.cache_hit);
+        assert!(!tree.verify_leaf_cached(5, &old, &mut cache).verified);
+        assert_eq!(tree.root(), {
+            // The cached-update tree root equals a scratch uncached tree's.
+            let mut scratch = MerkleTree::build(&leaves(64));
+            scratch.update_leaf(5, new);
+            scratch.root()
+        });
+    }
+
+    /// Eviction is deterministic: two caches fed the identical access
+    /// sequence are identical in hits, misses and evictions.
+    #[test]
+    fn cache_eviction_is_deterministic() {
+        let tree = MerkleTree::build(&leaves(128));
+        let run = || {
+            let mut cache = NodeCache::new(4);
+            let mut state = 0x0dde_7e12_3456_789au64;
+            for _ in 0..200 {
+                let idx = (crate::test_rng::splitmix64(&mut state) % 128) as usize;
+                tree.verify_leaf_cached(idx, &tree.leaf(idx), &mut cache);
+            }
+            (cache.hits(), cache.misses(), cache.evictions(), cache.len())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.2 > 0, "a 4-entry cache under 128 leaves must evict");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_cache_rejected() {
+        NodeCache::new(0);
     }
 
     /// Randomized: any single flipped bit in any leaf of any tree size is

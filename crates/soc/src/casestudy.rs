@@ -69,6 +69,9 @@ pub struct CaseStudyConfig {
     /// Fault-resilience stack (watchdog, retry, quarantine recovery);
     /// `None` leaves the platform exactly as the paper describes it.
     pub resilience: Option<CaseResilience>,
+    /// Integrity-Core trusted-node cache entries per region (`None` =
+    /// the paper's uncached root walk).
+    pub ic_cache: Option<usize>,
 }
 
 impl Default for CaseStudyConfig {
@@ -79,6 +82,7 @@ impl Default for CaseStudyConfig {
             programs: None,
             ip_samples: 16,
             resilience: None,
+            ic_cache: None,
         }
     }
 }
@@ -340,6 +344,9 @@ pub fn case_study(config: CaseStudyConfig) -> Soc {
             .retry(r.retry)
             .quarantine(r.quarantine)
             .auto_recover(r.rekey);
+    }
+    if let Some(entries) = config.ic_cache {
+        builder = builder.ic_cache(entries);
     }
     let policy_sets = [cpu0_policies(), cpu1_policies(), cpu2_policies()];
     for (core, policies) in cores.into_iter().zip(policy_sets) {

@@ -73,6 +73,7 @@ pub struct SocBuilder {
     ddr: Option<(String, AddrRange, ExternalDdr, Option<ConfigMemory>)>,
     journal: Option<(u64, [u8; 16])>,
     resume: Option<SecureCheckpoint>,
+    ic_cache: Option<usize>,
 }
 
 impl Default for SocBuilder {
@@ -102,7 +103,17 @@ impl SocBuilder {
             ddr: None,
             journal: None,
             resume: None,
+            ic_cache: None,
         }
+    }
+
+    /// Give every integrity-protected LCF region an AEGIS-style cache of
+    /// `entries` trusted hash-tree nodes. Verification stops at the first
+    /// cached ancestor; verdicts and alerts are identical to the uncached
+    /// walk — only the modeled Integrity-Core cycle cost changes.
+    pub fn ic_cache(mut self, entries: usize) -> Self {
+        self.ic_cache = Some(entries);
+        self
     }
 
     /// Arm the LCF's crash-consistency layer: every protected write is
@@ -345,6 +356,9 @@ impl SocBuilder {
                         self.crypto_timing,
                     )
                     .with_sb_timing(self.sb_timing);
+                    if let Some(entries) = self.ic_cache {
+                        lcf.enable_ic_cache(entries);
+                    }
                     if let Some((interval, key)) = self.journal {
                         lcf.enable_journal(interval, key);
                     }

@@ -1,0 +1,269 @@
+//! S-16 equivalence suite: the Integrity-Core trusted-node cache is a
+//! *cost* optimization only — every security-visible outcome (read
+//! data, verdicts, alerts, Merkle roots, persisted state, recovery
+//! behavior) must be bit-identical with the cache on and off, across
+//! randomized workload shapes, the full case-study SoC, a fault storm,
+//! and a crash/recovery cycle.
+
+use secbus_bench::perf::{compare_ic, IcWorkload};
+use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
+use secbus_core::{
+    AdfSet, ConfidentialityMode, ConfigMemory, CryptoTiming, FirewallId, IntegrityMode,
+    LocalCipheringFirewall, PersistentState, Rwa, SecurityPolicy,
+};
+use secbus_crypto::MonotonicCounter;
+use secbus_fault::{FaultPlan, FaultRates, FaultSpec};
+use secbus_mem::ExternalDdr;
+use secbus_sim::Cycle;
+use secbus_soc::casestudy::{
+    case_study, CaseResilience, CaseStudyConfig, CPU0_PROGRAM, CPU1_PROGRAM, CPU2_PROGRAM,
+};
+
+/// Cached and uncached runs of every workload shape must agree on the
+/// outcome digest (data + verdicts + alerts + roots), and the cache's
+/// saved cycles must account exactly for the cycle difference.
+#[test]
+fn randomized_workload_shapes_are_outcome_identical() {
+    let base = IcWorkload {
+        accesses: 1_200,
+        tamper_every: 251,
+        ..IcWorkload::smoke(0)
+    };
+    let shapes = [
+        ("read-heavy hot set", IcWorkload { seed: 0xA1, ..base }),
+        (
+            "write-heavy",
+            IcWorkload {
+                write_permille: 500,
+                seed: 0xA2,
+                ..base
+            },
+        ),
+        (
+            "uniform cold traffic",
+            IcWorkload {
+                hot_permille: 0,
+                seed: 0xA3,
+                ..base
+            },
+        ),
+        (
+            "thrashing 2-entry cache",
+            IcWorkload {
+                cache_entries: 2,
+                seed: 0xA4,
+                ..base
+            },
+        ),
+        (
+            "tamper-heavy",
+            IcWorkload {
+                tamper_every: 37,
+                seed: 0xA5,
+                ..base
+            },
+        ),
+        (
+            "single hot leaf, read-only",
+            IcWorkload {
+                hot_blocks: 1,
+                write_permille: 0,
+                seed: 0xA6,
+                ..base
+            },
+        ),
+    ];
+    for (label, w) in shapes {
+        let perf = compare_ic(&w);
+        assert!(
+            perf.equivalent(),
+            "{label}: cached outcome diverged from uncached ({w:?})"
+        );
+        assert_eq!(
+            perf.cached.ic_cycles + perf.cached.cycles_saved,
+            perf.uncached.ic_cycles,
+            "{label}: saved cycles must account exactly for the cycle delta"
+        );
+        assert!(
+            perf.cached.ic_cycles <= perf.uncached.ic_cycles,
+            "{label}: the cache must never add simulated cycles"
+        );
+    }
+}
+
+/// One full case-study boot-to-halt run, with and without the cache:
+/// same halt point, byte-identical audit report.
+#[test]
+fn case_study_audit_is_byte_identical_with_cache() {
+    let run = |ic_cache: Option<usize>| {
+        let mut soc = case_study(CaseStudyConfig {
+            ic_cache,
+            ..Default::default()
+        });
+        let cycles = soc.run_until_halt(200_000);
+        (cycles, soc.audit().to_json().render_pretty())
+    };
+    let (cycles_off, audit_off) = run(None);
+    let (cycles_on, audit_on) = run(Some(64));
+    assert_eq!(cycles_off, cycles_on, "cache changed the halt cycle");
+    assert_eq!(audit_off, audit_on, "cache changed the audit report");
+}
+
+/// The hardened case study under an identical fault storm (config
+/// upsets, DDR corruption, response tampering — everything the plan
+/// generator covers): quarantine recovery re-seals regions and resets
+/// the cache, and the audit trail must still be byte-identical.
+#[test]
+fn fault_storm_audit_is_byte_identical_with_cache() {
+    let looping = |src: &str| format!("top:\n{}", src.replace("halt", "beq  r0, r0, top"));
+    let run = |ic_cache: Option<usize>| {
+        let mut soc = case_study(CaseStudyConfig {
+            programs: Some([
+                looping(CPU0_PROGRAM),
+                looping(CPU1_PROGRAM),
+                looping(CPU2_PROGRAM),
+            ]),
+            monitor_threshold: 8,
+            ip_samples: 0,
+            resilience: Some(CaseResilience {
+                rekey: true,
+                ..CaseResilience::default()
+            }),
+            ic_cache,
+            ..Default::default()
+        });
+        soc.attach_fault_plan(FaultPlan::generate(
+            0x5EED_FA17,
+            &FaultSpec {
+                duration: 12_000,
+                ddr_bytes: 0x10_0000,
+                firewalls: 5,
+                slaves: 2,
+                noc_nodes: 0,
+                rates: FaultRates::uniform(10.0),
+            },
+        ));
+        soc.run(12_000);
+        soc.audit().to_json().render_pretty()
+    };
+    assert_eq!(
+        run(None),
+        run(Some(32)),
+        "cache changed security outcomes under the fault storm"
+    );
+}
+
+// --- crash/recovery cycle with the cache enabled ---------------------
+
+const DDR_BASE: u32 = 0x8000_0000;
+const DDR_LEN: u32 = 0x1000;
+const KEY: [u8; 16] = [0x5A; 16];
+const STATE_KEY: [u8; 16] = *b"perf-state-key.!";
+
+/// One write per 16-byte protection block, like the crash-recovery
+/// suite's workload.
+const WRITES: [(u32, u32); 3] = [
+    (DDR_BASE + 0x10, 0x1111_0001),
+    (DDR_BASE + 0x40, 0x2222_0002),
+    (DDR_BASE + 0x80, 0x3333_0003),
+];
+
+fn fresh_lcf(ic_cache: Option<usize>) -> LocalCipheringFirewall {
+    let config = ConfigMemory::with_policies(vec![SecurityPolicy::external(
+        1,
+        AddrRange::new(DDR_BASE, 0x100),
+        Rwa::ReadWrite,
+        AdfSet::ALL,
+        ConfidentialityMode::Encrypt,
+        IntegrityMode::Verify,
+        Some(KEY),
+    )])
+    .unwrap();
+    let mut lcf = LocalCipheringFirewall::new(
+        FirewallId(7),
+        "LCF perf-crash",
+        config,
+        DDR_BASE,
+        CryptoTiming::PAPER,
+    );
+    if let Some(entries) = ic_cache {
+        lcf.enable_ic_cache(entries);
+    }
+    lcf
+}
+
+fn txn(op: Op, addr: u32, data: u32) -> Transaction {
+    Transaction {
+        id: TxnId(0),
+        master: MasterId(0),
+        op,
+        addr,
+        width: Width::Word,
+        data,
+        burst: 1,
+        issued_at: Cycle(0),
+    }
+}
+
+/// Seal, run [`WRITES`], and return the persisted surface a crash at
+/// the end would leave behind.
+fn run_writes(ic_cache: Option<usize>) -> (PersistentState, Vec<u8>, MonotonicCounter) {
+    let mut lcf = fresh_lcf(ic_cache);
+    let mut ddr = ExternalDdr::new(DDR_LEN);
+    for i in 0..0x100u32 {
+        ddr.load(i, &[(i % 251) as u8]);
+    }
+    lcf.enable_journal(1024, STATE_KEY);
+    lcf.seal(&mut ddr);
+    for (i, &(addr, data)) in WRITES.iter().enumerate() {
+        lcf.handle(&mut ddr, &txn(Op::Write, addr, data), Cycle(i as u64))
+            .unwrap();
+    }
+    (
+        lcf.persistent_state().unwrap(),
+        ddr.contents().to_vec(),
+        lcf.anti_rollback_counter().unwrap().clone(),
+    )
+}
+
+/// The persisted surface (checkpoint image, journal, DDR ciphertext)
+/// must not depend on whether the run that produced it was cached, and
+/// recovery must succeed in all four (producer, recoverer) cache
+/// combinations with every written word intact.
+#[test]
+fn crash_recovery_is_cache_agnostic() {
+    let (state_off, ddr_off, counter_off) = run_writes(None);
+    let (state_on, ddr_on, _) = run_writes(Some(8));
+    assert_eq!(ddr_off, ddr_on, "cache changed the DDR ciphertext");
+    assert_eq!(
+        format!("{state_off:?}"),
+        format!("{state_on:?}"),
+        "cache leaked into the persisted state"
+    );
+
+    for (label, state, contents) in [
+        ("uncached producer", &state_off, &ddr_off),
+        ("cached producer", &state_on, &ddr_on),
+    ] {
+        for recoverer_cache in [None, Some(8)] {
+            let mut ddr = ExternalDdr::new(DDR_LEN);
+            ddr.load(0, contents);
+            let mut lcf = fresh_lcf(recoverer_cache);
+            let report =
+                lcf.recover_from(&mut ddr, state, STATE_KEY, Some(counter_off.clone()), 1024);
+            assert!(
+                !report.is_quarantined(),
+                "{label} -> cache {recoverer_cache:?}: honest crash quarantined: {report:?}"
+            );
+            for &(addr, data) in &WRITES {
+                let r = lcf
+                    .handle(&mut ddr, &txn(Op::Read, addr, 0), Cycle(100))
+                    .unwrap();
+                assert_eq!(
+                    r.data, data,
+                    "{label} -> cache {recoverer_cache:?}: word at {addr:#x} wrong after recovery"
+                );
+            }
+        }
+    }
+}
