@@ -83,6 +83,7 @@ fn build(mode: &Mode) -> Soc {
             ..CaseResilience::default()
         }),
         ic_cache: None,
+        trace: None,
     })
 }
 
@@ -159,6 +160,9 @@ fn run_cell(mode: &Mode, factor: f64, seed: u64) -> (Json, u64) {
         // The cores loop forever: a cell with zero completions means the
         // whole system deadlocked under fault injection.
         ("wedged".into(), Json::Bool(completions == 0)),
+        // The unified observability snapshot: key-sorted and, per seed,
+        // byte-identical whether the sweep ran serial or parallel.
+        ("metrics".into(), soc.metrics_snapshot().to_json()),
     ]);
     (cell, completions)
 }

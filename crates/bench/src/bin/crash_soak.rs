@@ -332,6 +332,12 @@ fn run_cell(mode: &Mode, crash_after: u64, journaled: bool, seed: u64) -> Cell {
     ];
     fields.extend(attacks);
     fields.push(("undetected_tampering".to_string(), Json::uint(undetected)));
+    // Pre-crash LCF accounting as one key-sorted snapshot (the firewall
+    // and crypto bags merge under a single "lcf" component).
+    let mut registry = secbus_sim::MetricsRegistry::new();
+    registry.insert("lcf", lcf.firewall().stats());
+    registry.insert("lcf", lcf.stats());
+    fields.push(("metrics".to_string(), registry.to_json()));
 
     Cell {
         json: Json::Obj(fields),
@@ -440,6 +446,7 @@ fn run_soc_cell(kind: &str, cut: u64) -> Cell {
         ("wedged".to_string(), Json::Bool(wedged)),
     ];
     fields.extend(resume_fields);
+    fields.push(("metrics".to_string(), soc.metrics_snapshot().to_json()));
 
     Cell {
         json: Json::Obj(fields),

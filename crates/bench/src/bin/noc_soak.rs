@@ -133,6 +133,10 @@ fn cell_json(r: &NocSoakReport, rate: f64, structural: bool) -> Json {
         ("unresolved".into(), Json::uint(r.unresolved)),
         ("stuck_in_mesh".into(), Json::uint(r.stuck_in_mesh)),
         ("wedged".into(), Json::Bool(r.wedged)),
+        (
+            "metrics".into(),
+            Json::parse(&r.metrics_json).expect("metrics snapshot parses"),
+        ),
     ])
 }
 

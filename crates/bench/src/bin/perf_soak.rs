@@ -17,6 +17,7 @@
 
 use secbus_bench::perf::{compare_cc, compare_harness, compare_ic, IcWorkload};
 use secbus_sim::Json;
+use secbus_soc::{case_study, CaseStudyConfig};
 
 const BASELINE: &str = "BENCH_PERF.json";
 
@@ -45,6 +46,24 @@ fn main() {
         compare_harness(4, 128)
     } else {
         compare_harness(8, 1_024)
+    };
+
+    // Observability cell: the case-study workload with the trace spine
+    // armed. Entirely simulated time — no host wall-clock leaks in — so
+    // the whole section is byte-identical run to run.
+    let observe = {
+        let mut soc = case_study(CaseStudyConfig {
+            trace: Some(8_192),
+            ..Default::default()
+        });
+        let cycles = soc.run_until_halt(2_000_000);
+        let tracer = soc.tracer().expect("trace armed");
+        Json::Obj(vec![
+            ("cycles".into(), Json::uint(cycles)),
+            ("trace_events".into(), Json::uint(tracer.total())),
+            ("trace_dropped".into(), Json::uint(tracer.dropped())),
+            ("metrics".into(), soc.metrics_snapshot().to_json()),
+        ])
     };
 
     let report = Json::Obj(vec![
@@ -92,6 +111,7 @@ fn main() {
                 ("identical".into(), Json::Bool(harness.identical)),
             ]),
         ),
+        ("observe".into(), observe),
     ]);
     println!("{}", report.render_pretty());
 

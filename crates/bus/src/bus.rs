@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 
-use secbus_sim::{Cycle, EventLog, Stats};
+use secbus_sim::{Cycle, EventLog, Stats, TraceEvent, Tracer};
 
 use crate::addrmap::{AddrRange, AddressMap, OverlapError};
 use crate::arbiter::Arbiter;
@@ -86,6 +86,8 @@ pub struct SharedBus {
     lose_next_grant: bool,
     /// Fault injection: XOR pattern applied to the next routed response.
     corrupt_next_response: Option<u32>,
+    /// Observability spine, if attached.
+    tracer: Option<Tracer>,
 }
 
 impl SharedBus {
@@ -104,7 +106,14 @@ impl SharedBus {
             stats: Stats::new(),
             lose_next_grant: false,
             corrupt_next_response: None,
+            tracer: None,
         }
+    }
+
+    /// Attach the observability spine; the bus records a
+    /// [`TraceEvent::BusHop`] for every grant.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Register a new master port; returns its id.
@@ -328,8 +337,18 @@ impl SharedBus {
             return;
         }
         self.stats.incr("bus.grants");
-        self.stats
-            .record("bus.grant_wait", now.saturating_since(txn.issued_at));
+        let wait = now.saturating_since(txn.issued_at);
+        self.stats.record("bus.grant_wait", wait);
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::BusHop {
+                    txn: txn.id.0,
+                    master: txn.master.0,
+                    wait,
+                },
+            );
+        }
         self.trace.push(now, txn);
 
         let occupancy = self.config.grant_cycles + self.config.beat_cycles * u64::from(txn.burst);

@@ -9,13 +9,17 @@ use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
 use secbus_cpu::{assemble, disasm_listing, Mb32Core, Reg};
 use secbus_mem::{parse_ihex, Bram, ExternalDdr, HexImage};
 use secbus_sim::Cycle;
-use secbus_soc::casestudy::{lcf_policies, DDR_BASE, DDR_LEN};
+use secbus_soc::casestudy::{
+    case_study, lcf_policies, CaseStudyConfig, CPU1_PROGRAM, CPU2_PROGRAM, DDR_BASE, DDR_LEN,
+};
 use secbus_soc::{render_topology, Report, SocBuilder};
 
-const USAGE: &str = "usage: secbus <asm|disasm|run|attacks|table1|fig1|policy-template> …
+const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|table1|fig1|policy-template> …
   secbus asm <file.s>               assemble MB32 source to hex words
   secbus disasm <file.hex>          disassemble hex words (one per line)
   secbus run <file.s> [--cycles N] [--unprotected] [--policy <file.json>]\n             [--image <boot.ihex>] [--trace] [--audit[-json]]
+  secbus observe [--metrics] [--trace-out <file.json>] [--tail N]\n             [--attack] [--cycles N]
+                                    run the case study with the observability\n                                    spine armed; export metrics / Chrome trace
   secbus attacks [--seed N]
   secbus table1 | fig1
   secbus policy-template            print a JSON policy-file skeleton
@@ -46,6 +50,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("asm") => cmd_asm(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("observe") => cmd_observe(&args[1..]),
         Some("attacks") => cmd_attacks(&args[1..]),
         Some("table1") => Ok(secbus_area::Table1::case_study().render()),
         Some("table2") => {
@@ -302,6 +307,76 @@ pub fn run_program_image(
     Ok(out)
 }
 
+/// Run the case-study workload with the observability spine armed and
+/// export what it saw: a summary line always, plus `--metrics` (the
+/// key-sorted metrics snapshot), `--trace-out <file>` (Chrome
+/// `trace_event` JSON for chrome://tracing / Perfetto) and `--tail N`
+/// (the last N retained trace events as text). `--attack` hijacks cpu0
+/// into an out-of-policy write so the timeline shows an alert. Output is
+/// entirely simulated time: two runs of the same command are
+/// byte-identical.
+fn cmd_observe(args: &[String]) -> Result<String, String> {
+    let cycles: u64 = opt_value(args, "--cycles")?
+        .map(|v| v.parse().map_err(|e| format!("--cycles: {e}")))
+        .transpose()?
+        .unwrap_or(2_000_000);
+    let tail: Option<usize> = opt_value(args, "--tail")?
+        .map(|v| v.parse().map_err(|e| format!("--tail: {e}")))
+        .transpose()?;
+    let programs = has_flag(args, "--attack").then(|| {
+        [
+            r"
+            li  r1, 0x80080000
+            addi r2, r0, 99
+            sw  r2, 0(r1)   ; violates cpu0's read-only rule -> alert
+            halt
+            "
+            .to_string(),
+            CPU1_PROGRAM.to_string(),
+            CPU2_PROGRAM.to_string(),
+        ]
+    });
+    let mut soc = case_study(CaseStudyConfig {
+        programs,
+        trace: Some(16_384),
+        ..Default::default()
+    });
+    let ran = soc.run_until_halt(cycles);
+    let tracer = soc.tracer().expect("observe arms the trace spine");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "observed {ran} cycles: {} trace events ({} retained, {} dropped), {} alerts",
+        tracer.total(),
+        tracer.len(),
+        tracer.dropped(),
+        soc.monitor().alert_count()
+    )
+    .unwrap();
+    if let Some(path) = opt_value(args, "--trace-out")? {
+        let doc = soc.chrome_trace().expect("trace armed");
+        fs::write(path, doc.render()).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "chrome trace written to {path} (open in chrome://tracing or Perfetto)"
+        )
+        .unwrap();
+    }
+    if let Some(n) = tail {
+        let events = tracer.snapshot();
+        let skip = events.len().saturating_sub(n);
+        writeln!(out, "last {} trace events:", events.len() - skip).unwrap();
+        for (cycle, ev) in &events[skip..] {
+            writeln!(out, "  {:>10}  {:<14} {ev:?}", cycle.get(), ev.kind()).unwrap();
+        }
+    }
+    if has_flag(args, "--metrics") {
+        out.push_str(&soc.metrics_snapshot().to_json().render_pretty());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn cmd_attacks(args: &[String]) -> Result<String, String> {
     let seed: u64 = opt_value(args, "--seed")?
         .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
@@ -487,6 +562,46 @@ mod tests {
         .unwrap();
         assert!(out.contains("bus trace:"), "{out}");
         assert!(out.contains("cpu0"));
+    }
+
+    #[test]
+    fn observe_metrics_snapshot_is_key_sorted_and_stable() {
+        let run = || dispatch(&argv(&["observe", "--metrics", "--cycles", "200000"])).unwrap();
+        let out = run();
+        assert!(out.contains("observed"), "{out}");
+        // Everything after the summary line is the snapshot JSON.
+        let json = &out[out.find('{').unwrap()..];
+        let doc = secbus_sim::Json::parse(json.trim()).expect("snapshot parses");
+        assert!(secbus_sim::metrics::is_key_sorted(&doc));
+        for section in ["soc", "bus", "monitor", "trace"] {
+            assert!(doc.get(section).is_some(), "missing {section}");
+        }
+        assert_eq!(out, run(), "observe output is byte-identical per config");
+    }
+
+    #[test]
+    fn observe_attack_trace_shows_the_alert() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_observe_trace.json");
+        let out = dispatch(&argv(&[
+            "observe",
+            "--attack",
+            "--tail",
+            "5",
+            "--trace-out",
+            path.to_str().unwrap(),
+            "--cycles",
+            "200000",
+        ]))
+        .unwrap();
+        assert!(out.contains("1 alerts"), "{out}");
+        assert!(out.contains("last 5 trace events"), "{out}");
+        let text = fs::read_to_string(&path).unwrap();
+        let doc = secbus_sim::Json::parse(&text).expect("chrome trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("alert")));
     }
 
     #[test]

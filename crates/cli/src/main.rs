@@ -10,6 +10,11 @@
 //!     --image <boot.ihex>          preload the external DDR
 //!     --trace                      append the bus trace
 //!     --audit | --audit-json       append the security audit
+//! secbus observe [opts]            run the case study with tracing armed
+//!     --metrics                    print the key-sorted metrics snapshot
+//!     --trace-out <file.json>      write a Chrome trace_event timeline
+//!     --tail <n>                   print the last n trace events
+//!     --attack                     hijack cpu0 so the timeline shows an alert
 //! secbus attacks [--seed <n>]      run the §III threat-model scenarios
 //! secbus table1                    regenerate the paper's Table I
 //! secbus fig1                      regenerate the architecture figure

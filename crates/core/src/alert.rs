@@ -13,7 +13,7 @@
 //! trail.
 
 use secbus_bus::{Transaction, TxnId};
-use secbus_sim::{Cycle, EventLog, Stats};
+use secbus_sim::{Cycle, EventLog, Stats, TraceEvent, Tracer};
 
 use crate::checker::Violation;
 use crate::firewall::FirewallId;
@@ -66,8 +66,15 @@ pub struct WatchdogExpiry {
 pub struct SecurityMonitor {
     log: EventLog<Alert>,
     stats: Stats,
-    /// Alerts per firewall id (index = FirewallId.0).
+    /// Violation *budget* per firewall id (index = FirewallId.0): counts
+    /// offenses toward the block threshold and resets on quarantine
+    /// escalation. Not an audit total — see `alerts_total`.
     per_firewall: Vec<u64>,
+    /// Monotonic alerts-observed total per firewall id, environment
+    /// faults included; never reset.
+    alerts_total: Vec<u64>,
+    /// Observability spine, if attached.
+    tracer: Option<Tracer>,
     /// Block an IP after this many violations (0 = never block).
     block_threshold: u64,
     /// If set, blocks become quarantines of this many cycles, and the
@@ -89,6 +96,8 @@ impl SecurityMonitor {
             log: EventLog::new(4096),
             stats: Stats::new(),
             per_firewall: Vec::new(),
+            alerts_total: Vec::new(),
+            tracer: None,
             block_threshold,
             quarantine_cycles: None,
             watchdog_timeout: None,
@@ -119,11 +128,24 @@ impl SecurityMonitor {
         self.watchdog_timeout
     }
 
+    /// Attach the observability spine; the monitor records a
+    /// [`TraceEvent::Reaction`] for every escalation it decides.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
     /// Start watching a transaction issued at `now`. No-op without an
-    /// armed watchdog.
+    /// armed watchdog. Watching an id that is already on the list
+    /// *re-arms* it (the retry path re-issues the same `TxnId`); keeping
+    /// both entries would leave an orphan that `resolve` never clears and
+    /// that later fires a spurious `WatchdogTimeout`.
     pub fn watch(&mut self, txn: &Transaction, firewall: Option<FirewallId>, now: Cycle) {
         if let Some(timeout) = self.watchdog_timeout {
-            self.watched.push((now + timeout, *txn, firewall));
+            let entry = (now + timeout, *txn, firewall);
+            match self.watched.iter().position(|(_, t, _)| t.id == txn.id) {
+                Some(idx) => self.watched[idx] = entry,
+                None => self.watched.push(entry),
+            }
         }
     }
 
@@ -149,8 +171,13 @@ impl SecurityMonitor {
                 true
             }
         });
-        self.stats
-            .add("monitor.watchdog_timeouts", expired.len() as u64);
+        // Only record when something actually expired: materializing a
+        // zero-valued key on every watchdog-armed tick would make
+        // otherwise-identical metrics snapshots differ by key set.
+        if !expired.is_empty() {
+            self.stats
+                .add("monitor.watchdog_timeouts", expired.len() as u64);
+        }
         expired
     }
 
@@ -169,7 +196,9 @@ impl SecurityMonitor {
         let idx = alert.firewall.0 as usize;
         if idx >= self.per_firewall.len() {
             self.per_firewall.resize(idx + 1, 0);
+            self.alerts_total.resize(idx + 1, 0);
         }
+        self.alerts_total[idx] += 1;
         let offense = !matches!(
             alert.violation,
             Violation::WatchdogTimeout | Violation::ConfigCorruption
@@ -178,8 +207,9 @@ impl SecurityMonitor {
             self.per_firewall[idx] += 1;
         }
         self.stats.incr("monitor.alerts");
-        self.stats
-            .incr(&format!("monitor.violation.{}", alert.violation.mnemonic()));
+        // Precomputed full key: this is the per-alert hot path and a
+        // `format!` here showed up in the chaos-soak profile.
+        self.stats.incr(alert.violation.monitor_key());
         let at = alert.at;
         let fw = alert.firewall;
         self.log.push(at, alert);
@@ -190,12 +220,32 @@ impl SecurityMonitor {
                 Some(q) => {
                     // Fresh violation budget after release.
                     self.per_firewall[idx] = 0;
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            at,
+                            TraceEvent::Reaction {
+                                firewall: fw.0,
+                                kind: "quarantine",
+                            },
+                        );
+                    }
                     Reaction::Quarantine {
                         firewall: fw,
                         until: at + q,
                     }
                 }
-                None => Reaction::BlockIp(fw),
+                None => {
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            at,
+                            TraceEvent::Reaction {
+                                firewall: fw.0,
+                                kind: "block",
+                            },
+                        );
+                    }
+                    Reaction::BlockIp(fw)
+                }
             }
         } else {
             Reaction::None
@@ -207,8 +257,17 @@ impl SecurityMonitor {
         self.stats.counter("monitor.alerts")
     }
 
-    /// Alerts observed from one firewall.
+    /// Alerts observed from one firewall: a monotonic audit total that
+    /// includes environment faults and survives quarantine escalations.
     pub fn alerts_from(&self, fw: FirewallId) -> u64 {
+        self.alerts_total.get(fw.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Offenses currently counted toward `fw`'s block threshold. Resets
+    /// to zero on quarantine escalation and excludes environment faults
+    /// ([`Violation::WatchdogTimeout`], [`Violation::ConfigCorruption`]) —
+    /// the escalation-policy view, not the audit total.
+    pub fn violation_budget(&self, fw: FirewallId) -> u64 {
         self.per_firewall.get(fw.0 as usize).copied().unwrap_or(0)
     }
 
@@ -384,9 +443,14 @@ mod tests {
             Reaction::None
         );
         assert_eq!(
-            m.alerts_from(FirewallId(3)),
+            m.violation_budget(FirewallId(3)),
             0,
             "logged but not held against the IP"
+        );
+        assert_eq!(
+            m.alerts_from(FirewallId(3)),
+            3,
+            "the audit total still counts them"
         );
         assert_eq!(m.alert_count(), 3, "still in the audit trail");
         // Real offenses still escalate at the configured threshold.
@@ -414,7 +478,7 @@ mod tests {
             let fw = rng.below(4) as u8;
             let mut m = SecurityMonitor::new(threshold).with_quarantine(q);
             let mut at = rng.below(100);
-            for round in 0..2 {
+            for round in 0u64..2 {
                 for n in 1..=threshold {
                     let r = m.observe(alert(fw, Violation::UnauthorizedWrite, at));
                     if n < threshold {
@@ -433,10 +497,118 @@ mod tests {
                 }
                 // Budget reset: immediately after release the IP starts
                 // from zero again (verified by the second round).
-                assert_eq!(m.alerts_from(FirewallId(fw)), 0);
+                assert_eq!(m.violation_budget(FirewallId(fw)), 0);
+                // The audit total keeps counting through the reset.
+                assert_eq!(m.alerts_from(FirewallId(fw)), (round + 1) * threshold);
                 at += q; // past the release point
             }
             assert_eq!(m.stats().counter("monitor.blocks"), 2);
         }
+    }
+
+    /// Regression (accounting bug #1): `alerts_from` used to return the
+    /// quarantine budget, which resets to zero on escalation and skips
+    /// environment faults — so after a quarantine the audit claimed the
+    /// offending IP had never alerted.
+    #[test]
+    fn alerts_from_is_monotonic_across_quarantine_rounds() {
+        let mut m = SecurityMonitor::new(2).with_quarantine(100);
+        m.observe(alert(1, Violation::WatchdogTimeout, 1)); // env fault
+        m.observe(alert(1, Violation::UnauthorizedWrite, 2));
+        assert_eq!(
+            m.observe(alert(1, Violation::UnauthorizedWrite, 3)),
+            Reaction::Quarantine {
+                firewall: FirewallId(1),
+                until: Cycle(103)
+            }
+        );
+        assert_eq!(m.violation_budget(FirewallId(1)), 0, "budget reset");
+        assert_eq!(m.alerts_from(FirewallId(1)), 3, "audit total survives");
+        m.observe(alert(1, Violation::UnauthorizedWrite, 200));
+        assert_eq!(m.alerts_from(FirewallId(1)), 4);
+        assert_eq!(m.violation_budget(FirewallId(1)), 1);
+    }
+
+    /// Regression (accounting bug #2): `watch` used to append a second
+    /// entry for an already-watched id (the bounded-retry path re-issues
+    /// the same `TxnId`), while `resolve` removed only the first — the
+    /// orphan later fired a spurious `WatchdogTimeout`.
+    #[test]
+    fn rewatching_a_txn_rearms_instead_of_duplicating() {
+        let mut m = SecurityMonitor::new(0).with_watchdog(50);
+        let t = alert(0, Violation::NoPolicy, 0).txn;
+        m.watch(&t, Some(FirewallId(0)), Cycle(0)); // deadline 50
+        m.watch(&t, Some(FirewallId(0)), Cycle(40)); // retry: re-arm to 90
+        assert_eq!(m.watched_count(), 1, "one entry per id");
+        assert!(m.expire(Cycle(60)).is_empty(), "old deadline re-armed away");
+        m.resolve(t.id);
+        assert_eq!(m.watched_count(), 0);
+        assert!(
+            m.expire(Cycle(1000)).is_empty(),
+            "no orphan fires after resolve"
+        );
+        assert_eq!(m.stats().counter("monitor.watchdog_timeouts"), 0);
+    }
+
+    /// Regression (snapshot determinism): an empty expiry sweep must not
+    /// materialize a zero-valued `monitor.watchdog_timeouts` key, or
+    /// watchdog-armed runs differ from unarmed ones by key set alone.
+    #[test]
+    fn empty_expiry_records_no_counter_key() {
+        let mut m = SecurityMonitor::new(0).with_watchdog(10);
+        let t = alert(0, Violation::NoPolicy, 0).txn;
+        m.watch(&t, None, Cycle(0));
+        assert!(m.expire(Cycle(5)).is_empty());
+        assert!(
+            m.stats()
+                .counters()
+                .all(|(k, _)| k != "monitor.watchdog_timeouts"),
+            "no key materialized by a no-op sweep"
+        );
+        assert_eq!(m.expire(Cycle(100)).len(), 1);
+        assert_eq!(m.stats().counter("monitor.watchdog_timeouts"), 1);
+    }
+
+    /// The precomputed violation keys must match what the old `format!`
+    /// produced, for every variant (metrics-key compatibility).
+    #[test]
+    fn static_violation_keys_match_format() {
+        for v in [
+            Violation::NoPolicy,
+            Violation::UnauthorizedRead,
+            Violation::UnauthorizedWrite,
+            Violation::FormatViolation,
+            Violation::RegionOverrun,
+            Violation::Misaligned,
+            Violation::IntegrityMismatch,
+            Violation::IpBlocked,
+            Violation::RateLimited,
+            Violation::WatchdogTimeout,
+            Violation::ConfigCorruption,
+        ] {
+            assert_eq!(
+                v.monitor_key(),
+                format!("monitor.violation.{}", v.mnemonic())
+            );
+            assert_eq!(v.fw_key(), format!("fw.violation.{}", v.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn monitor_traces_reactions() {
+        let tracer = secbus_sim::Tracer::new(32);
+        let mut m = SecurityMonitor::new(1).with_quarantine(10);
+        m.set_tracer(tracer.clone());
+        m.observe(alert(2, Violation::NoPolicy, 7));
+        let snap = tracer.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, Cycle(7));
+        assert_eq!(
+            snap[0].1,
+            secbus_sim::TraceEvent::Reaction {
+                firewall: 2,
+                kind: "quarantine"
+            }
+        );
     }
 }

@@ -71,6 +71,42 @@ impl Violation {
             Violation::ConfigCorruption => "config_corruption",
         }
     }
+
+    /// Full monitor stats key (`monitor.violation.<mnemonic>`),
+    /// precomputed so the per-alert hot path never allocates.
+    pub fn monitor_key(self) -> &'static str {
+        match self {
+            Violation::NoPolicy => "monitor.violation.no_policy",
+            Violation::UnauthorizedRead => "monitor.violation.unauth_read",
+            Violation::UnauthorizedWrite => "monitor.violation.unauth_write",
+            Violation::FormatViolation => "monitor.violation.bad_format",
+            Violation::RegionOverrun => "monitor.violation.region_overrun",
+            Violation::Misaligned => "monitor.violation.misaligned",
+            Violation::IntegrityMismatch => "monitor.violation.integrity",
+            Violation::IpBlocked => "monitor.violation.ip_blocked",
+            Violation::RateLimited => "monitor.violation.rate_limited",
+            Violation::WatchdogTimeout => "monitor.violation.watchdog_timeout",
+            Violation::ConfigCorruption => "monitor.violation.config_corruption",
+        }
+    }
+
+    /// Full firewall stats key (`fw.violation.<mnemonic>`), precomputed
+    /// for the same reason as [`Violation::monitor_key`].
+    pub fn fw_key(self) -> &'static str {
+        match self {
+            Violation::NoPolicy => "fw.violation.no_policy",
+            Violation::UnauthorizedRead => "fw.violation.unauth_read",
+            Violation::UnauthorizedWrite => "fw.violation.unauth_write",
+            Violation::FormatViolation => "fw.violation.bad_format",
+            Violation::RegionOverrun => "fw.violation.region_overrun",
+            Violation::Misaligned => "fw.violation.misaligned",
+            Violation::IntegrityMismatch => "fw.violation.integrity",
+            Violation::IpBlocked => "fw.violation.ip_blocked",
+            Violation::RateLimited => "fw.violation.rate_limited",
+            Violation::WatchdogTimeout => "fw.violation.watchdog_timeout",
+            Violation::ConfigCorruption => "fw.violation.config_corruption",
+        }
+    }
 }
 
 impl fmt::Display for Violation {

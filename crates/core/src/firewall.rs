@@ -21,7 +21,7 @@ use crate::alert::Alert;
 use crate::checker::{check_all, CheckOutcome, Violation};
 use crate::config::ConfigMemory;
 use secbus_bus::Transaction;
-use secbus_sim::{Cycle, Stats};
+use secbus_sim::{Cycle, Stats, TraceEvent, Tracer};
 
 /// Identifies a firewall instance (the `firewall_id` signal of Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -126,6 +126,8 @@ pub struct LocalFirewall {
     pending_alerts: Vec<Alert>,
     /// Last-hit policy index for [`ConfigMemory::lookup_hinted`].
     last_policy: usize,
+    /// Observability spine, if attached.
+    tracer: Option<Tracer>,
 }
 
 impl LocalFirewall {
@@ -143,7 +145,15 @@ impl LocalFirewall {
             stats: Stats::new(),
             pending_alerts: Vec::new(),
             last_policy: 0,
+            tracer: None,
         }
+    }
+
+    /// Attach the observability spine; the firewall records a
+    /// [`TraceEvent::FwVerdict`] per check and a [`TraceEvent::Alert`]
+    /// per alert it raises.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Attach a traffic budget (DoS mitigation extension).
@@ -212,6 +222,17 @@ impl LocalFirewall {
         match outcome {
             CheckOutcome::Pass => {
                 self.stats.incr("fw.passed");
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        now,
+                        TraceEvent::FwVerdict {
+                            txn: txn.id.0,
+                            firewall: self.id.0,
+                            passed: true,
+                            latency,
+                        },
+                    );
+                }
                 Decision {
                     allowed: true,
                     latency,
@@ -224,7 +245,26 @@ impl LocalFirewall {
 
     fn deny(&mut self, txn: &Transaction, v: Violation, latency: u64, now: Cycle) -> Decision {
         self.stats.incr("fw.discarded");
-        self.stats.incr(&format!("fw.violation.{}", v.mnemonic()));
+        // Precomputed full key: `deny` is on the per-transaction hot path.
+        self.stats.incr(v.fw_key());
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::FwVerdict {
+                    txn: txn.id.0,
+                    firewall: self.id.0,
+                    passed: false,
+                    latency,
+                },
+            );
+            t.record(
+                now,
+                TraceEvent::Alert {
+                    firewall: self.id.0,
+                    violation: v.mnemonic(),
+                },
+            );
+        }
         self.pending_alerts.push(Alert {
             firewall: self.id,
             violation: v,
@@ -249,7 +289,16 @@ impl LocalFirewall {
     /// (parity repairs, watchdog cancellations, degraded serves) that must
     /// reach the monitor's audit trail but are not themselves discards.
     pub fn raise_alert(&mut self, txn: &Transaction, v: Violation, now: Cycle) {
-        self.stats.incr(&format!("fw.violation.{}", v.mnemonic()));
+        self.stats.incr(v.fw_key());
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::Alert {
+                    firewall: self.id.0,
+                    violation: v.mnemonic(),
+                },
+            );
+        }
         self.pending_alerts.push(Alert {
             firewall: self.id,
             violation: v,

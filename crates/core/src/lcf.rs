@@ -35,7 +35,7 @@ use secbus_crypto::{
     SecureStateImage, TimestampTable, WriteAheadJournal,
 };
 use secbus_mem::{ExternalDdr, MemDevice};
-use secbus_sim::{Cycle, Stats};
+use secbus_sim::{Cycle, Stats, TraceEvent, Tracer};
 
 use crate::alert::Alert;
 use crate::checker::Violation;
@@ -250,6 +250,8 @@ pub struct LocalCipheringFirewall {
     /// Last-hit region slot: bursts overwhelmingly land in the region of
     /// the previous access, so try it before the binary search.
     last_region: Option<usize>,
+    /// Observability spine, if attached.
+    tracer: Option<Tracer>,
 }
 
 impl LocalCipheringFirewall {
@@ -305,7 +307,15 @@ impl LocalCipheringFirewall {
             crashed: false,
             ic_cache_entries: None,
             last_region: None,
+            tracer: None,
         }
+    }
+
+    /// Attach the observability spine to the LCF and its embedded
+    /// firewall: records cipher, IC-verify, and journal-commit events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fw.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     /// Turn on the AEGIS-style Integrity-Core node cache: every
@@ -576,7 +586,7 @@ impl LocalCipheringFirewall {
             let expected = leaf_digest(block_idx as u64, ts, &block);
             let tree = region.tree.as_ref().expect("integrity region has a tree");
             let full_levels = tree.height();
-            let (raw_verdict, levels) = match region.ic_cache.as_mut() {
+            let (raw_verdict, levels, cache_hit) = match region.ic_cache.as_mut() {
                 Some(cache) => {
                     let v = tree.verify_leaf_cached(block_idx, &expected, cache);
                     self.stats.incr(if v.cache_hit {
@@ -584,13 +594,24 @@ impl LocalCipheringFirewall {
                     } else {
                         "lcf.ic_cache_misses"
                     });
-                    (v.verified, v.levels_hashed)
+                    (v.verified, v.levels_hashed, v.cache_hit)
                 }
-                None => (tree.verify_leaf(block_idx, &expected), full_levels),
+                None => (tree.verify_leaf(block_idx, &expected), full_levels, false),
             };
             let charged = self.timing.ic_verify_cycles(levels);
             latency += charged;
             self.stats.add("lcf.ic_cycles", charged);
+            self.stats.record("lcf.ic_verify_cycles", charged);
+            if let Some(t) = &self.tracer {
+                t.record(
+                    now,
+                    TraceEvent::IcVerify {
+                        txn: txn.id.0,
+                        cycles: charged,
+                        cache_hit,
+                    },
+                );
+            }
             if region.ic_cache.is_some() {
                 self.stats.add(
                     "lcf.ic_cycles_saved",
@@ -627,6 +648,16 @@ impl LocalCipheringFirewall {
 
         // Confidentiality Core: decrypt.
         latency += self.timing.cc_latency;
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::CcCipher {
+                    txn: txn.id.0,
+                    encrypt: false,
+                    latency: self.timing.cc_latency,
+                },
+            );
+        }
         let cipher = region.cipher.as_ref().expect("ciphered region has a key");
         let mut plain = block;
         cipher.apply(u64::from(block_bus_addr), ts, &mut plain);
@@ -660,6 +691,16 @@ impl LocalCipheringFirewall {
                 block = plain;
                 cipher.apply(u64::from(block_bus_addr), new_ts, &mut block);
                 latency += self.timing.cc_latency; // re-encryption pass
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        now,
+                        TraceEvent::CcCipher {
+                            txn: txn.id.0,
+                            encrypt: true,
+                            latency: self.timing.cc_latency,
+                        },
+                    );
+                }
 
                 // Volatile tree update *before* the DDR burst: the
                 // shadow root must exist when the journal intent is
@@ -676,10 +717,21 @@ impl LocalCipheringFirewall {
                     let charged = self.timing.ic_verify_cycles(levels);
                     latency += charged;
                     self.stats.add("lcf.ic_cycles", charged);
+                    self.stats.record("lcf.ic_verify_cycles", charged);
                     if region.ic_cache.is_some() {
                         self.stats.add(
                             "lcf.ic_cycles_saved",
                             self.timing.ic_verify_cycles(full_levels) - charged,
+                        );
+                    }
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            now,
+                            TraceEvent::IcVerify {
+                                txn: txn.id.0,
+                                cycles: charged,
+                                cache_hit: levels < full_levels,
+                            },
                         );
                     }
                     new_root = Some(tree.root());
@@ -725,6 +777,9 @@ impl LocalCipheringFirewall {
                     js.commits_since += 1;
                     latency += JOURNAL_PERSIST_CYCLES;
                     self.stats.incr("lcf.journal_commits");
+                    if let Some(t) = &self.tracer {
+                        t.record(now, TraceEvent::JournalCommit { txn: txn.id.0 });
+                    }
                     let due = js.commits_since >= js.interval;
                     if due {
                         latency += self.checkpoint_inner();

@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 
 use secbus_bus::{Op, Width};
 use secbus_fault::FaultKind;
-use secbus_sim::{Cycle, Stats};
+use secbus_sim::{Cycle, Stats, TraceEvent, Tracer};
 
 use crate::link::crc32;
 use crate::topology::{adaptive_route, direction_index, xy_route, FaultMap, NodeId, Topology};
@@ -154,6 +154,19 @@ impl LossReason {
         }
     }
 
+    /// Full stats key (`noc.alert.<mnemonic>`), precomputed so the alert
+    /// path never allocates.
+    pub fn stat_key(&self) -> &'static str {
+        match self {
+            LossReason::Unroutable => "noc.alert.unroutable",
+            LossReason::RouterFailed => "noc.alert.router_failed",
+            LossReason::RetriesExhausted => "noc.alert.retries_exhausted",
+            LossReason::RerouteBudgetExhausted => "noc.alert.reroute_budget",
+            LossReason::EmptyRoute => "noc.alert.empty_route",
+            LossReason::Misrouted => "noc.alert.misrouted",
+        }
+    }
+
     /// Every reason, in report-column order.
     pub const ALL: [LossReason; 6] = [
         LossReason::Unroutable,
@@ -258,7 +271,12 @@ pub struct Mesh {
     alerts: VecDeque<NocAlert>,
     next_id: u64,
     stats: Stats,
+    /// Observability spine, if attached.
+    tracer: Option<Tracer>,
 }
+
+/// Trace lane used for NoC-raised alerts (no firewall id applies).
+const NOC_ALERT_LANE: u8 = u8::MAX;
 
 impl Mesh {
     /// Create a mesh.
@@ -274,7 +292,14 @@ impl Mesh {
             alerts: VecDeque::new(),
             next_id: 0,
             stats: Stats::new(),
+            tracer: None,
         }
+    }
+
+    /// Attach the observability spine; the mesh records per-hop,
+    /// retransmission, and containment-alert events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// The mesh shape.
@@ -334,7 +359,16 @@ impl Mesh {
 
     fn raise_alert(&mut self, packet: Packet, reason: LossReason, at: Cycle) {
         self.stats.incr("noc.alerts");
-        self.stats.incr(&format!("noc.alert.{}", reason.mnemonic()));
+        self.stats.incr(reason.stat_key());
+        if let Some(t) = &self.tracer {
+            t.record(
+                at,
+                TraceEvent::Alert {
+                    firewall: NOC_ALERT_LANE,
+                    violation: reason.mnemonic(),
+                },
+            );
+        }
         self.alerts.push_back(NocAlert { packet, reason, at });
     }
 
@@ -515,6 +549,17 @@ impl Mesh {
                         flight.ready_at = now.get() + hop_cost;
                         flight.hop += 1;
                         self.stats.incr("noc.hops");
+                        self.stats.record("noc.hop_latency", hop_cost);
+                        if let Some(t) = &self.tracer {
+                            t.record(
+                                now,
+                                TraceEvent::NocHop {
+                                    packet: flight.packet.id.0,
+                                    node: from_idx as u16,
+                                    latency: hop_cost,
+                                },
+                            );
+                        }
                     }
                     continue;
                 }
@@ -525,6 +570,15 @@ impl Mesh {
                 flight.retransmissions += 1;
                 self.stats.incr("noc.ack_timeouts");
                 self.stats.incr("noc.retransmissions");
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        now,
+                        TraceEvent::Retransmit {
+                            id: flight.packet.id.0,
+                            layer: "noc",
+                        },
+                    );
+                }
                 self.links[link].streak += 1;
                 if self.links[link].streak >= self.config.link_fail_streak {
                     let dir = direction_index(from, to);
@@ -546,6 +600,15 @@ impl Mesh {
                     flight.retransmissions += 1;
                     self.stats.incr("noc.crc_detected");
                     self.stats.incr("noc.retransmissions");
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            now,
+                            TraceEvent::Retransmit {
+                                id: flight.packet.id.0,
+                                layer: "noc",
+                            },
+                        );
+                    }
                     self.links[link].streak += 1;
                     if flight.retx_hop >= self.config.max_retx_per_hop {
                         outcomes.push(Outcome::Lost(idx, LossReason::RetriesExhausted));
@@ -568,6 +631,17 @@ impl Mesh {
             flight.ready_at = now.get() + hop_cost;
             flight.hop += 1;
             self.stats.incr("noc.hops");
+            self.stats.record("noc.hop_latency", hop_cost);
+            if let Some(t) = &self.tracer {
+                t.record(
+                    now,
+                    TraceEvent::NocHop {
+                        packet: flight.packet.id.0,
+                        node: from_idx as u16,
+                        latency: hop_cost,
+                    },
+                );
+            }
         }
         // Apply outcomes back to front so swap_remove indices stay valid.
         for outcome in outcomes.into_iter().rev() {

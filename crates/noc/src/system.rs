@@ -354,6 +354,10 @@ pub struct NocSoakReport {
     /// Protected-mode guarantee violated: traffic neither delivered nor
     /// alerted within the drain window (livelock/deadlock/lost-update).
     pub wedged: bool,
+    /// Rendered [`secbus_sim::MetricsRegistry`] snapshot of the mesh's
+    /// counters and histograms (key-sorted JSON, byte-identical per
+    /// seed). A string so the report stays `PartialEq`-comparable.
+    pub metrics_json: String,
 }
 
 /// Run the hot-spot workload under a fault plan and audit the outcome.
@@ -596,13 +600,10 @@ pub fn run_noc_soak(cfg: &NocSoakConfig, mut plan: FaultPlan) -> NocSoakReport {
     let stats = mesh.stats();
     let alerts_by_reason = LossReason::ALL
         .iter()
-        .map(|r| {
-            (
-                r.mnemonic(),
-                stats.counter(&format!("noc.alert.{}", r.mnemonic())),
-            )
-        })
+        .map(|r| (r.mnemonic(), stats.counter(r.stat_key())))
         .collect();
+    let mut registry = secbus_sim::MetricsRegistry::new();
+    registry.insert("noc", stats);
     let unresolved = inits.iter().filter(|i| i.outstanding.is_some()).count() as u64;
     let stuck_in_mesh = mesh.in_flight() as u64 + mem_queue.len() as u64;
     // The protected transport promises delivery-or-alert: anything still
@@ -635,6 +636,7 @@ pub fn run_noc_soak(cfg: &NocSoakConfig, mut plan: FaultPlan) -> NocSoakReport {
         unresolved,
         stuck_in_mesh,
         wedged,
+        metrics_json: registry.render(),
     }
 }
 

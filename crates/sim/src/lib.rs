@@ -21,12 +21,16 @@ pub mod clock;
 pub mod cycle;
 pub mod json;
 pub mod log;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use clock::Clock;
 pub use cycle::Cycle;
 pub use json::{Json, JsonError};
 pub use log::EventLog;
+pub use metrics::MetricsRegistry;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Stats};
+pub use trace::{TraceBuffer, TraceEvent, Tracer};

@@ -1,0 +1,197 @@
+//! The metrics registry: one hierarchical, deterministically-ordered
+//! snapshot of every component's counters and histograms.
+//!
+//! Components keep accounting in their own [`Stats`] bags; the registry
+//! collects those bags under stable component names and renders a single
+//! JSON document. Both levels are `BTreeMap`-ordered, so the rendered
+//! snapshot is key-sorted and byte-identical for identical simulations —
+//! the property the soak harnesses assert (serial == parallel, same seed
+//! == same bytes).
+//!
+//! Histograms are summarized (`count`/`sum`/`min`/`max`/`mean`/`p50`/`p99`)
+//! rather than dumped bucket-by-bucket; the summaries are computed from
+//! exact integer state, so they are as deterministic as the counters.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::stats::{Histogram, Stats};
+
+/// A named collection of component [`Stats`], rendered as one snapshot.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    components: BTreeMap<String, Stats>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `stats` under `component`. Inserting the same component
+    /// twice merges (sums) — useful when one logical component keeps
+    /// several bags (e.g. the LCF's firewall + crypto stats).
+    pub fn insert(&mut self, component: &str, stats: &Stats) {
+        self.components
+            .entry(component.to_string())
+            .or_default()
+            .merge(stats);
+    }
+
+    /// The collected stats for `component`, if present.
+    pub fn component(&self, component: &str) -> Option<&Stats> {
+        self.components.get(component)
+    }
+
+    /// Component names in sorted order.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.components.keys().map(|k| k.as_str())
+    }
+
+    /// Read one counter across the `component.key` hierarchy (0 if absent).
+    pub fn counter(&self, component: &str, key: &str) -> u64 {
+        self.components.get(component).map_or(0, |s| s.counter(key))
+    }
+
+    /// The full snapshot: `{component: {"counters": {...}, "histograms":
+    /// {...}}}`, every object key-sorted.
+    pub fn to_json(&self) -> Json {
+        let components = self
+            .components
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats_json(stats)))
+            .collect();
+        Json::Obj(components)
+    }
+
+    /// Compact rendering of [`MetricsRegistry::to_json`].
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// One component's stats bag as key-sorted JSON.
+fn stats_json(stats: &Stats) -> Json {
+    let counters = stats
+        .counters()
+        .map(|(k, v)| (k.to_string(), Json::uint(v)))
+        .collect();
+    let histograms = stats
+        .histograms()
+        .map(|(k, h)| (k.to_string(), histogram_json(h)))
+        .collect();
+    Json::Obj(vec![
+        ("counters".to_string(), Json::Obj(counters)),
+        ("histograms".to_string(), Json::Obj(histograms)),
+    ])
+}
+
+/// Histogram summary with alphabetically-ordered keys (the snapshot's
+/// key-sorted invariant applies to every nesting level).
+fn histogram_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), Json::uint(h.count())),
+        ("max".to_string(), Json::uint(h.max().unwrap_or(0))),
+        ("mean".to_string(), Json::Num(h.mean().unwrap_or(0.0))),
+        ("min".to_string(), Json::uint(h.min().unwrap_or(0))),
+        ("p50".to_string(), Json::uint(h.quantile(0.5).unwrap_or(0))),
+        ("p99".to_string(), Json::uint(h.quantile(0.99).unwrap_or(0))),
+        ("sum".to_string(), Json::uint(h.sum())),
+    ])
+}
+
+/// Whether every object in `doc` has strictly sorted keys — the invariant
+/// the CI observe-smoke asserts on rendered snapshots.
+pub fn is_key_sorted(doc: &Json) -> bool {
+    match doc {
+        Json::Obj(fields) => {
+            fields.windows(2).all(|w| w[0].0 < w[1].0)
+                && fields.iter().all(|(_, v)| is_key_sorted(v))
+        }
+        Json::Arr(items) => items.iter().all(is_key_sorted),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> Stats {
+        let mut s = Stats::new();
+        s.add("z.last", 3);
+        s.incr("a.first");
+        s.record("lat", 4);
+        s.record("lat", 8);
+        s
+    }
+
+    #[test]
+    fn snapshot_is_key_sorted_and_parses() {
+        let mut reg = MetricsRegistry::new();
+        reg.insert("soc", &sample_stats());
+        reg.insert("bus", &sample_stats());
+        let doc = reg.to_json();
+        assert!(is_key_sorted(&doc));
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Components come out in sorted order regardless of insert order.
+        let names: Vec<&str> = reg.components().collect();
+        assert_eq!(names, vec!["bus", "soc"]);
+    }
+
+    #[test]
+    fn duplicate_insert_merges() {
+        let mut reg = MetricsRegistry::new();
+        reg.insert("lcf", &sample_stats());
+        reg.insert("lcf", &sample_stats());
+        assert_eq!(reg.counter("lcf", "z.last"), 6);
+        let h = reg.component("lcf").unwrap().histogram("lat").unwrap();
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_summary_fields() {
+        let mut reg = MetricsRegistry::new();
+        reg.insert("x", &sample_stats());
+        let doc = reg.to_json();
+        let lat = doc
+            .get("x")
+            .and_then(|c| c.get("histograms"))
+            .and_then(|h| h.get("lat"))
+            .unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(lat.get("min").unwrap().as_u64(), Some(4));
+        assert_eq!(lat.get("max").unwrap().as_u64(), Some(8));
+        assert_eq!(lat.get("sum").unwrap().as_u64(), Some(12));
+        assert!((lat.get("mean").unwrap().as_f64().unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_key_sorted_rejects_unsorted() {
+        let bad = Json::Obj(vec![
+            ("b".to_string(), Json::uint(1)),
+            ("a".to_string(), Json::uint(2)),
+        ]);
+        assert!(!is_key_sorted(&bad));
+        let nested_bad = Json::Obj(vec![("a".to_string(), bad)]);
+        assert!(!is_key_sorted(&nested_bad));
+        let dup = Json::Obj(vec![
+            ("a".to_string(), Json::uint(1)),
+            ("a".to_string(), Json::uint(2)),
+        ]);
+        assert!(!is_key_sorted(&dup), "duplicate keys are not sorted");
+    }
+
+    #[test]
+    fn identical_inputs_render_identically() {
+        let make = || {
+            let mut reg = MetricsRegistry::new();
+            reg.insert("monitor", &sample_stats());
+            reg.insert("fw.cpu0", &sample_stats());
+            reg.render()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -72,6 +72,9 @@ pub struct CaseStudyConfig {
     /// Integrity-Core trusted-node cache entries per region (`None` =
     /// the paper's uncached root walk).
     pub ic_cache: Option<usize>,
+    /// Observability spine capacity in retained trace events (`None` =
+    /// tracing off; behaviour is identical either way).
+    pub trace: Option<usize>,
 }
 
 impl Default for CaseStudyConfig {
@@ -83,6 +86,7 @@ impl Default for CaseStudyConfig {
             ip_samples: 16,
             resilience: None,
             ic_cache: None,
+            trace: None,
         }
     }
 }
@@ -347,6 +351,9 @@ pub fn case_study(config: CaseStudyConfig) -> Soc {
     }
     if let Some(entries) = config.ic_cache {
         builder = builder.ic_cache(entries);
+    }
+    if let Some(capacity) = config.trace {
+        builder = builder.trace(capacity);
     }
     let policy_sets = [cpu0_policies(), cpu1_policies(), cpu2_policies()];
     for (core, policies) in cores.into_iter().zip(policy_sets) {

@@ -14,7 +14,7 @@ use secbus_core::{
 use secbus_cpu::{BusMaster, MasterAccess};
 use secbus_fault::{FaultKind, FaultPlan};
 use secbus_mem::{Bram, ExternalDdr, MemDevice};
-use secbus_sim::{Clock, Cycle, SimRng, Stats};
+use secbus_sim::{Clock, Cycle, Json, MetricsRegistry, SimRng, Stats, TraceEvent, Tracer};
 
 /// A master waiting to be built: device, optional policies, optional
 /// traffic budget.
@@ -74,6 +74,7 @@ pub struct SocBuilder {
     journal: Option<(u64, [u8; 16])>,
     resume: Option<SecureCheckpoint>,
     ic_cache: Option<usize>,
+    trace_capacity: Option<usize>,
 }
 
 impl Default for SocBuilder {
@@ -104,7 +105,19 @@ impl SocBuilder {
             journal: None,
             resume: None,
             ic_cache: None,
+            trace_capacity: None,
         }
+    }
+
+    /// Arm the observability spine: every component (bus, Local
+    /// Firewalls, LCF, Security Monitor and the master ports) records
+    /// cycle-stamped [`TraceEvent`]s into one shared ring retaining at
+    /// most `capacity` events. Off by default — tracing changes no
+    /// simulated behaviour, only what is observable afterwards via
+    /// [`Soc::tracer`] and [`Soc::chrome_trace`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
     }
 
     /// Give every integrity-protected LCF region an AEGIS-style cache of
@@ -281,6 +294,7 @@ impl SocBuilder {
     /// Assemble and seal the system.
     pub fn build(self) -> Soc {
         let mut bus = SharedBus::new(self.bus_config, self.arbiter);
+        let tracer = self.trace_capacity.map(Tracer::new);
         let mut next_fw = 0u8;
         let mut alloc_fw = || {
             let id = FirewallId(next_fw);
@@ -288,7 +302,7 @@ impl SocBuilder {
             id
         };
 
-        let masters: Vec<MasterSlot> = self
+        let mut masters: Vec<MasterSlot> = self
             .masters
             .into_iter()
             .map(|(device, policies, limit)| {
@@ -313,6 +327,7 @@ impl SocBuilder {
                     outstanding_reads: HashMap::new(),
                     issued: HashMap::new(),
                     retries: HashMap::new(),
+                    verdicts: HashMap::new(),
                     inbound: VecDeque::new(),
                     ready: VecDeque::new(),
                 }
@@ -406,6 +421,24 @@ impl SocBuilder {
             monitor = monitor.with_watchdog(w);
         }
 
+        if let Some(t) = &tracer {
+            bus.set_tracer(t.clone());
+            monitor.set_tracer(t.clone());
+            for slot in &mut masters {
+                if let Some(fw) = slot.firewall.as_mut() {
+                    fw.set_tracer(t.clone());
+                }
+            }
+            for slot in &mut slaves {
+                if let Some(fw) = slot.firewall.as_mut() {
+                    fw.set_tracer(t.clone());
+                }
+                if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                    lcf.set_tracer(t.clone());
+                }
+            }
+        }
+
         let mut reconfig = ReconfigController::new(self.reconfig_latency);
         if let Some(cp) = &self.resume {
             reconfig.resume_epoch(cp.policy_epoch);
@@ -427,6 +460,7 @@ impl SocBuilder {
             recovery_rng: SimRng::new(0x5ec_b05).derive("soc.recovery"),
             security: self.security,
             stats: Stats::new(),
+            tracer,
             powered_off: false,
             torn_seen: 0,
             recovery,
@@ -456,6 +490,10 @@ struct MasterSlot {
     /// Live retries: reissued id -> (original id, attempts so far). The
     /// IP only ever sees the original id.
     retries: HashMap<TxnId, (TxnId, u32)>,
+    /// Cycle at which each in-flight transaction's firewall verdict was
+    /// rendered (write-path checks happen at issue; read-path verdicts
+    /// land on final delivery). Feeds `txn.verdict_to_complete`.
+    verdicts: HashMap<TxnId, u64>,
     /// Responses maturing through the inbound check delay.
     inbound: VecDeque<(u64, Response)>,
     /// Responses ready for the device.
@@ -484,8 +522,13 @@ struct PortAdapter<'a> {
     master: MasterId,
     outstanding_reads: &'a mut HashMap<TxnId, Transaction>,
     issued: &'a mut HashMap<TxnId, Transaction>,
+    /// Verdict cycles for the lifecycle histograms (see [`MasterSlot`]).
+    verdicts: &'a mut HashMap<TxnId, u64>,
     inbound: &'a mut VecDeque<(u64, Response)>,
     ready: &'a mut VecDeque<Response>,
+    /// System stats, for the txn-lifecycle latency histograms.
+    stats: &'a mut Stats,
+    tracer: Option<&'a Tracer>,
     /// Whether to remember issued transactions (watchdog/retry armed).
     track: bool,
     now: Cycle,
@@ -520,6 +563,7 @@ impl MasterAccess for PortAdapter<'_> {
                     issued_at: self.now,
                 };
                 let decision = fw.check(&probe, self.now);
+                self.stats.record("txn.issue_to_verdict", decision.latency);
                 if decision.allowed {
                     // Re-issue through the bus with delayed eligibility; we
                     // burn the probe id to keep the id space monotone.
@@ -534,10 +578,44 @@ impl MasterAccess for PortAdapter<'_> {
                         self.now,
                         self.now + decision.latency,
                     );
+                    if let Some(t) = self.tracer {
+                        t.record(
+                            self.now,
+                            TraceEvent::TxnIssued {
+                                txn: real.0,
+                                master: self.master.0,
+                                addr,
+                                write: true,
+                            },
+                        );
+                    }
+                    self.verdicts
+                        .insert(real, self.now.get() + decision.latency);
                     self.track_issue(Transaction { id: real, ..probe }, Some(fw_id));
                     real
                 } else {
                     // Discarded at the interface: never reaches the bus.
+                    if let Some(t) = self.tracer {
+                        t.record(
+                            self.now,
+                            TraceEvent::TxnIssued {
+                                txn: id.0,
+                                master: self.master.0,
+                                addr,
+                                write: true,
+                            },
+                        );
+                        t.record(
+                            self.now,
+                            TraceEvent::TxnComplete {
+                                txn: id.0,
+                                master: self.master.0,
+                                ok: false,
+                                latency: decision.latency,
+                            },
+                        );
+                    }
+                    self.stats.record("txn.verdict_to_complete", 0);
                     self.inbound.push_back((
                         self.now.get() + decision.latency,
                         Response {
@@ -566,6 +644,17 @@ impl MasterAccess for PortAdapter<'_> {
                     burst: burst.max(1),
                     issued_at: self.now,
                 };
+                if let Some(t) = self.tracer {
+                    t.record(
+                        self.now,
+                        TraceEvent::TxnIssued {
+                            txn: id.0,
+                            master: self.master.0,
+                            addr,
+                            write: false,
+                        },
+                    );
+                }
                 self.outstanding_reads.insert(id, txn);
                 self.track_issue(txn, Some(fw_id));
                 id
@@ -585,6 +674,17 @@ impl MasterAccess for PortAdapter<'_> {
                     burst: burst.max(1),
                     issued_at: self.now,
                 };
+                if let Some(t) = self.tracer {
+                    t.record(
+                        self.now,
+                        TraceEvent::TxnIssued {
+                            txn: id.0,
+                            master: self.master.0,
+                            addr,
+                            write: op == Op::Write,
+                        },
+                    );
+                }
                 self.track_issue(txn, None);
                 id
             }
@@ -618,6 +718,8 @@ pub struct Soc {
     recovery_rng: SimRng,
     security: bool,
     stats: Stats,
+    /// The shared observability spine, when armed via [`SocBuilder::trace`].
+    tracer: Option<Tracer>,
     /// Power is gone: the clock still counts (wall time) but no device,
     /// bus or firewall does any work until the system is rebuilt.
     powered_off: bool,
@@ -716,8 +818,11 @@ impl Soc {
                     master: slot.bus_id,
                     outstanding_reads: &mut slot.outstanding_reads,
                     issued: &mut slot.issued,
+                    verdicts: &mut slot.verdicts,
                     inbound: &mut slot.inbound,
                     ready: &mut slot.ready,
+                    stats: &mut self.stats,
+                    tracer: self.tracer.as_ref(),
                     track: self.track_issues,
                     now,
                 };
@@ -886,6 +991,15 @@ impl Soc {
                         let fw = slot.firewall.as_ref().map(|f| f.id());
                         self.monitor.watch(&retry_txn, fw, now);
                         self.stats.incr("soc.retries");
+                        if let Some(t) = &self.tracer {
+                            t.record(
+                                now,
+                                TraceEvent::Retransmit {
+                                    id: resp.txn.0,
+                                    layer: "soc",
+                                },
+                            );
+                        }
                         return;
                     }
                 }
@@ -903,13 +1017,19 @@ impl Soc {
                 self.stats.incr("soc.retry_successes");
             }
         }
-        let ready_at = match (
-            slot.firewall.as_mut(),
-            slot.outstanding_reads.remove(&resp.txn),
-        ) {
+        let mut verdict_at = slot.verdicts.remove(&resp.txn);
+        let outstanding = slot.outstanding_reads.remove(&resp.txn);
+        let issued_at = issued.or(outstanding).map(|t| t.issued_at);
+        let ready_at = match (slot.firewall.as_mut(), outstanding) {
             (Some(fw), Some(txn)) => {
                 // "all data are checked before reaching the IP"
                 let decision = fw.check(&txn, now);
+                let at = now.get() + decision.latency;
+                self.stats.record(
+                    "txn.issue_to_verdict",
+                    at.saturating_sub(txn.issued_at.get()),
+                );
+                verdict_at = Some(at);
                 if !decision.allowed {
                     resp = Response {
                         txn: resp.txn,
@@ -918,10 +1038,26 @@ impl Soc {
                         completed_at: resp.completed_at,
                     };
                 }
-                now.get() + decision.latency
+                at
             }
             _ => now.get(),
         };
+        if let Some(at) = verdict_at {
+            self.stats
+                .record("txn.verdict_to_complete", ready_at.saturating_sub(at));
+        }
+        if let Some(t) = &self.tracer {
+            let latency = issued_at.map_or(0, |at| ready_at.saturating_sub(at.get()));
+            t.record(
+                now,
+                TraceEvent::TxnComplete {
+                    txn: resp.txn.0,
+                    master: slot.bus_id.0,
+                    ok: resp.result.is_ok(),
+                    latency,
+                },
+            );
+        }
         slot.inbound.push_back((ready_at, resp));
     }
 
@@ -1056,6 +1192,15 @@ impl Soc {
                 }
                 self.stats.incr("soc.recoveries");
                 self.stats.add("soc.recovery_cycles", cycles);
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        self.now,
+                        TraceEvent::Recovery {
+                            firewall: id.0,
+                            cycles,
+                        },
+                    );
+                }
                 return;
             }
         }
@@ -1064,6 +1209,15 @@ impl Soc {
                 let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
                 self.stats.incr("soc.recoveries");
                 self.stats.add("soc.recovery_scrubs", repaired as u64);
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        self.now,
+                        TraceEvent::Recovery {
+                            firewall: id.0,
+                            cycles: 0,
+                        },
+                    );
+                }
                 return;
             }
         }
@@ -1072,6 +1226,15 @@ impl Soc {
                 let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
                 self.stats.incr("soc.recoveries");
                 self.stats.add("soc.recovery_scrubs", repaired as u64);
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        self.now,
+                        TraceEvent::Recovery {
+                            firewall: id.0,
+                            cycles: 0,
+                        },
+                    );
+                }
                 return;
             }
         }
@@ -1467,6 +1630,58 @@ impl Soc {
     /// System-level statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The observability spine's tracer, when armed via
+    /// [`SocBuilder::trace`].
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Chrome `trace_event` JSON of the retained trace window (load with
+    /// `chrome://tracing` or Perfetto). `None` when tracing is off.
+    pub fn chrome_trace(&self) -> Option<Json> {
+        self.tracer.as_ref().map(|t| t.chrome_trace())
+    }
+
+    /// One hierarchical snapshot of every component's counters and
+    /// histograms: the SoC's own lifecycle stats, the bus, the monitor,
+    /// every Local Firewall (keyed by its label), the LCF (its embedded
+    /// firewall merged with its crypto/journal counters) and — when
+    /// tracing is armed — the trace buffer's own accounting. Rendering
+    /// is key-sorted and byte-identical for identical simulations.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        registry.insert("soc", &self.stats);
+        registry.insert("bus", self.bus.stats());
+        registry.insert("monitor", self.monitor.stats());
+        for slot in &self.masters {
+            if let Some(fw) = &slot.firewall {
+                registry.insert(fw.label(), fw.stats());
+            }
+        }
+        for slot in &self.slaves {
+            if let Some(fw) = &slot.firewall {
+                registry.insert(fw.label(), fw.stats());
+            }
+            if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &slot.kind {
+                registry.insert(lcf.firewall().label(), lcf.firewall().stats());
+                registry.insert(lcf.firewall().label(), lcf.stats());
+            }
+        }
+        if let Some(t) = &self.tracer {
+            let mut trace = Stats::new();
+            trace.add("trace.dropped", t.dropped());
+            trace.add("trace.retained", t.len() as u64);
+            trace.add("trace.total", t.total());
+            registry.insert("trace", &trace);
+        }
+        registry
+    }
+
+    /// Compact key-sorted JSON rendering of [`Soc::metrics_snapshot`].
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().render()
     }
 
     /// Take a security audit snapshot (per-firewall counters + the
@@ -2175,5 +2390,124 @@ mod tests {
             .unwrap();
         assert_eq!(epoch, 1);
         assert_eq!(soc.policy_epoch(), 1);
+    }
+
+    fn traced_soc(policies: Option<Vec<SecurityPolicy>>, program: &str) -> Soc {
+        let program = assemble(program).unwrap();
+        let core = Mb32Core::with_local_program("cpu0", 0, program);
+        let mut b = SocBuilder::new().trace(4096).add_bram(
+            "bram",
+            AddrRange::new(BRAM_BASE, 0x1000),
+            Bram::new(0x1000),
+            None,
+        );
+        b = match policies {
+            Some(p) => {
+                b.add_protected_master(Box::new(core), ConfigMemory::with_policies(p).unwrap())
+            }
+            None => b.add_master(Box::new(core)),
+        };
+        b.build()
+    }
+
+    #[test]
+    fn trace_spine_follows_a_transaction_lifecycle() {
+        let mut soc = traced_soc(
+            Some(vec![rw_policy(1, BRAM_BASE, 16)]),
+            r"
+            li  r1, 0x20000000
+            addi r2, r0, 7
+            sw  r2, 0(r1)     ; allowed
+            sw  r2, 64(r1)    ; out of policy -> alert
+            halt
+            ",
+        );
+        soc.run_until_halt(10_000);
+        let events = soc.tracer().unwrap().snapshot();
+        let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
+        for expected in [
+            "txn_issued",
+            "fw_verdict",
+            "bus_hop",
+            "alert",
+            "txn_complete",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        // The alert appears at the raising firewall's cycle: it must sit
+        // between the issue of the violating write and the run's end, and
+        // the retained window stays cycle-ordered.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        let alert_at = events
+            .iter()
+            .find(|(_, e)| e.kind() == "alert")
+            .map(|(c, _)| *c)
+            .unwrap();
+        assert!(alert_at > Cycle::ZERO && alert_at < soc.now());
+        // The lifecycle histograms saw every issued transaction.
+        let snapshot = soc.metrics_snapshot();
+        let soc_stats = snapshot.component("soc").unwrap();
+        assert!(soc_stats.histogram("txn.issue_to_verdict").is_some());
+        assert!(soc_stats.histogram("txn.verdict_to_complete").is_some());
+    }
+
+    #[test]
+    fn metrics_snapshot_is_key_sorted_and_reproducible() {
+        let build = || {
+            let mut soc = traced_soc(
+                Some(vec![rw_policy(1, BRAM_BASE, 16)]),
+                r"
+                li  r1, 0x20000000
+                addi r2, r0, 7
+                sw  r2, 0(r1)
+                sw  r2, 64(r1)
+                halt
+                ",
+            );
+            soc.run_until_halt(10_000);
+            soc.metrics_json()
+        };
+        let a = build();
+        let doc = Json::parse(&a).unwrap();
+        assert!(secbus_sim::metrics::is_key_sorted(&doc));
+        // Covers the LF (by label), bus, monitor, soc and trace sections.
+        for section in ["LF cpu0", "bus", "monitor", "soc", "trace"] {
+            assert!(doc.get(section).is_some(), "missing section {section}");
+        }
+        assert_eq!(a, build(), "identical runs render identical snapshots");
+    }
+
+    #[test]
+    fn chrome_trace_export_parses_and_places_the_alert() {
+        let mut soc = traced_soc(
+            Some(vec![rw_policy(1, BRAM_BASE, 16)]),
+            r"
+            li  r1, 0x20000000
+            addi r2, r0, 7
+            sw  r2, 64(r1)    ; out of policy -> alert
+            halt
+            ",
+        );
+        soc.run_until_halt(10_000);
+        let doc = soc.chrome_trace().unwrap();
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let alert = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("alert"))
+            .expect("alert event exported");
+        // The alert sits on the raising firewall's lane (16 + fw id 0).
+        assert_eq!(alert.get("tid").unwrap().as_u64(), Some(16));
+        assert!(alert.get("ts").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn untraced_soc_exposes_no_spine() {
+        let mut soc = small_soc(None, "halt");
+        soc.run_until_halt(1_000);
+        assert!(soc.tracer().is_none());
+        assert!(soc.chrome_trace().is_none());
+        assert!(soc.metrics_snapshot().component("trace").is_none());
     }
 }
