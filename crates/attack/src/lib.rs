@@ -17,11 +17,19 @@
 //! * [`scenario`] — canned end-to-end scenarios against the case study,
 //!   each reporting detection latency, containment and data compromise —
 //!   the three security features of §III-C, measured.
+//! * [`campaign`] — seed-deterministic multi-stage campaigns (pivot,
+//!   impersonation, epoch race, coordinated tamper) with DIFT taint
+//!   accounting and cycle-stamped kill chains.
 
+pub mod campaign;
 pub mod hijack;
 pub mod scenario;
 pub mod tamper;
 
+pub use campaign::{
+    run_all_campaigns, run_campaign, CampaignConfig, CampaignKind, CampaignOutcome, KillChainEvent,
+    StageReport,
+};
 pub use hijack::{AttackOp, DosFlooder, HijackPhase, HijackedMaster};
 pub use scenario::{run_all_scenarios, AttackOutcome, Scenario};
 pub use tamper::Adversary;

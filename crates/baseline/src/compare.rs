@@ -60,7 +60,7 @@ pub fn compare_check_latency(ips: u32, load: f64, cycles: u64, seed: u64) -> Com
             distributed.record(sb.total());
             // Centralized: round trip + serialized engine.
             if let Some(verdict_at) = sem.admit(Cycle(cycle)) {
-                centralized.record(verdict_at.since(Cycle(cycle)));
+                centralized.record(verdict_at.saturating_since(Cycle(cycle)));
                 bus_txns += sem.bus_transactions_per_check();
             }
         }

@@ -1,0 +1,187 @@
+//! S-18: campaign soak — the full adversarial-campaign matrix
+//! (campaign kind × protection mode × seed), with DIFT kill-chain
+//! accounting.
+//!
+//! Every cell runs one seed-deterministic staged campaign from
+//! `secbus-attack` and reports its kill chain (`foothold → pivot →
+//! detection → reaction`), taint counters and damage. The report is
+//! byte-identical for a given `--seed`, serial or parallel.
+//!
+//! The S-18 gate (exit code 1 on failure):
+//! * **protected mode** must show 0 undetected policy bypasses and
+//!   0 unalerted tainted-sink reaches across the whole matrix, and every
+//!   detection must carry a complete kill chain;
+//! * a protected campaign that strands (aborts before its kill chain
+//!   completes) marks the report `"wedged": true`.
+//!
+//! Bare mode is the contrast column: bypasses and damage words are
+//! *expected* there and never gate.
+//!
+//! `--smoke` shrinks the seed sweep to CI size.
+
+use secbus_attack::{run_campaign, CampaignConfig, CampaignKind, CampaignOutcome};
+use secbus_sim::Json;
+
+/// Seeds per (campaign, mode) cell in the full sweep.
+const FULL_SEEDS: u64 = 4;
+/// Seeds in `--smoke` mode.
+const SMOKE_SEEDS: u64 = 1;
+
+const MODES: &[(&str, bool)] = &[("protected", true), ("bare", false)];
+
+fn outcome_json(o: &CampaignOutcome) -> Json {
+    let stages = o
+        .stages
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("label".into(), Json::str(s.label)),
+                ("fired".into(), Json::Bool(s.fired)),
+                ("foothold".into(), Json::Bool(s.foothold)),
+            ])
+        })
+        .collect();
+    let chain = o
+        .kill_chain
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("cycle".into(), Json::uint(e.cycle)),
+                ("stage".into(), Json::str(e.stage)),
+                ("phase".into(), Json::str(e.phase)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("campaign".into(), Json::str(o.kind.name())),
+        (
+            "mode".into(),
+            Json::str(if o.protected { "protected" } else { "bare" }),
+        ),
+        ("seed".into(), Json::uint(o.seed)),
+        ("stages".into(), Json::Arr(stages)),
+        ("aborted".into(), Json::Bool(o.aborted)),
+        ("detected".into(), Json::Bool(o.detected)),
+        (
+            "detection_cycle".into(),
+            o.detection_cycle.map_or(Json::Null, Json::uint),
+        ),
+        ("reaction".into(), Json::str(o.reaction)),
+        ("alerts".into(), Json::uint(o.alerts)),
+        ("policy_bypasses".into(), Json::uint(o.policy_bypasses)),
+        ("sinks_blocked".into(), Json::uint(o.sinks_blocked)),
+        ("sinks_unalerted".into(), Json::uint(o.sinks_unalerted)),
+        ("faults_injected".into(), Json::uint(o.faults_injected)),
+        (
+            "orphan_completions".into(),
+            Json::uint(o.orphan_completions),
+        ),
+        ("damage_words".into(), Json::uint(o.damage_words)),
+        (
+            "kill_chain_complete".into(),
+            Json::Bool(kill_chain_complete(o)),
+        ),
+        ("kill_chain".into(), Json::Arr(chain)),
+    ])
+}
+
+/// A detection's kill chain is complete when all four phases appear in
+/// cycle order.
+fn kill_chain_complete(o: &CampaignOutcome) -> bool {
+    let mut last = 0u64;
+    for want in ["foothold", "pivot", "detection", "reaction"] {
+        match o.kill_chain.iter().find(|e| e.phase == want) {
+            Some(e) if e.cycle >= last => last = e.cycle,
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .skip_while(|a| a.as_str() != "--seed")
+        .nth(1)
+        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
+        .unwrap_or(0x5_EC18);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seeds = if smoke { SMOKE_SEEDS } else { FULL_SEEDS };
+
+    // Every cell is a pure function of (kind, mode, seed): the sweep fans
+    // out across threads and merges in input order, so the JSON matches a
+    // serial run byte for byte (`--serial` forces one).
+    let specs: Vec<CampaignConfig> = CampaignKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            MODES.iter().flat_map(move |&(_, protected)| {
+                (0..seeds).map(move |s| CampaignConfig {
+                    kind,
+                    seed: seed + s,
+                    protected,
+                })
+            })
+        })
+        .collect();
+    let outcomes = secbus_bench::par_map_with(secbus_bench::sweep_threads(), specs, run_campaign);
+
+    let mut bypasses = 0u64;
+    let mut unalerted = 0u64;
+    let mut undetected_protected = 0u64;
+    let mut incomplete_chains = 0u64;
+    let mut wedged = false;
+    let mut bare_damage = 0u64;
+    for o in &outcomes {
+        if o.protected {
+            bypasses += o.policy_bypasses;
+            unalerted += o.sinks_unalerted;
+            if !o.detected {
+                undetected_protected += 1;
+            }
+            if o.detected && !kill_chain_complete(o) {
+                incomplete_chains += 1;
+            }
+            // A protected campaign that aborted mid-chain left its
+            // traffic stranded: the gate treats that as a wedge.
+            wedged |= o.aborted;
+        } else {
+            bare_damage += o.damage_words;
+        }
+    }
+    let gate_failed =
+        bypasses > 0 || unalerted > 0 || undetected_protected > 0 || incomplete_chains > 0;
+
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("S-18 campaign soak")),
+        ("seed".into(), Json::uint(seed)),
+        ("seeds_per_cell".into(), Json::uint(seeds)),
+        ("smoke".into(), Json::Bool(smoke)),
+        (
+            "cells".into(),
+            Json::Arr(outcomes.iter().map(outcome_json).collect()),
+        ),
+        ("protected_policy_bypasses".into(), Json::uint(bypasses)),
+        ("protected_unalerted_sinks".into(), Json::uint(unalerted)),
+        (
+            "protected_undetected".into(),
+            Json::uint(undetected_protected),
+        ),
+        (
+            "incomplete_kill_chains".into(),
+            Json::uint(incomplete_chains),
+        ),
+        ("bare_damage_words".into(), Json::uint(bare_damage)),
+        ("wedged".into(), Json::Bool(wedged)),
+    ]);
+    println!("{}", report.render_pretty());
+    if wedged || gate_failed {
+        eprintln!(
+            "campaign_soak: gate failed \
+             (bypasses={bypasses}, unalerted_sinks={unalerted}, \
+             undetected={undetected_protected}, \
+             incomplete_chains={incomplete_chains}, wedged={wedged})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -84,6 +84,7 @@ fn build(mode: &Mode) -> Soc {
         }),
         ic_cache: None,
         trace: None,
+        taint: false,
     })
 }
 

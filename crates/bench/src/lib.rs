@@ -15,6 +15,7 @@
 //! | S-14 crash soak (power cuts × journal) | `crash_soak` |
 //! | S-15 NoC soak (mesh faults × transport) | `noc_soak` |
 //! | S-16 perf soak (IC cache, CC batching, parallel harness) | `perf_soak` |
+//! | S-18 campaign soak (staged attacks × DIFT × kill chains) | `campaign_soak` |
 //!
 //! The measurement logic lives here (unit-tested); the binaries only
 //! format. The soak sweeps fan their cells across threads via

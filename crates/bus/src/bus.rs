@@ -55,6 +55,20 @@ impl Default for BusConfig {
 /// communication architecture") is asserted against this trace.
 pub type BusTrace = EventLog<Transaction>;
 
+/// A slave completion the bus could not attribute to any in-flight
+/// transaction: the id is unknown, already completed, or was cancelled by
+/// the watchdog before the slave finished. Such a response is *dropped*
+/// fail-secure (routing it anywhere would hand unrequested data to a
+/// master — the bus-level shape of a DMA-style impersonation) and
+/// surfaced through [`SharedBus::drain_orphans`] for the system to audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrphanCompletion {
+    /// The slave that produced the unattributable response.
+    pub slave: SlaveId,
+    /// The transaction id the response claimed to complete.
+    pub txn: TxnId,
+}
+
 #[derive(Debug, Default)]
 struct MasterState {
     /// Queued requests with the cycle from which each may arbitrate
@@ -86,6 +100,9 @@ pub struct SharedBus {
     lose_next_grant: bool,
     /// Fault injection: XOR pattern applied to the next routed response.
     corrupt_next_response: Option<u32>,
+    /// Completions with no in-flight owner, dropped fail-secure and held
+    /// for [`SharedBus::drain_orphans`].
+    orphans: Vec<OrphanCompletion>,
     /// Observability spine, if attached.
     tracer: Option<Tracer>,
 }
@@ -106,6 +123,7 @@ impl SharedBus {
             stats: Stats::new(),
             lose_next_grant: false,
             corrupt_next_response: None,
+            orphans: Vec::new(),
             tracer: None,
         }
     }
@@ -238,13 +256,33 @@ impl SharedBus {
 
     /// Complete a transaction on behalf of `slave`; the response is routed
     /// back to the issuing master on the next [`SharedBus::tick`].
+    ///
+    /// A response with no in-flight owner — unknown id, duplicate
+    /// completion, or a late answer to a watchdog-cancelled transaction —
+    /// is dropped fail-secure and recorded as an [`OrphanCompletion`]
+    /// instead of being routed (or panicking): an impersonation campaign
+    /// can legitimately provoke this, and the safe outcome is that the
+    /// data reaches nobody.
     pub fn slave_complete(&mut self, slave: SlaveId, response: Response) {
-        let master = self
-            .take_inflight(response.txn)
-            .expect("slave_complete: unknown or already-completed transaction");
-        self.slaves[slave.0 as usize]
-            .outbox
-            .push_back((master, response));
+        match self.take_inflight(response.txn) {
+            Some(master) => {
+                self.slaves[slave.0 as usize]
+                    .outbox
+                    .push_back((master, response));
+            }
+            None => {
+                self.stats.incr("bus.orphan_completions");
+                self.orphans.push(OrphanCompletion {
+                    slave,
+                    txn: response.txn,
+                });
+            }
+        }
+    }
+
+    /// Take the orphaned completions dropped since the last drain.
+    pub fn drain_orphans(&mut self) -> Vec<OrphanCompletion> {
+        std::mem::take(&mut self.orphans)
     }
 
     fn take_inflight(&mut self, txn: TxnId) -> Option<MasterId> {
@@ -273,7 +311,8 @@ impl SharedBus {
     /// in flight; the caller synthesizes the timeout response.
     ///
     /// After cancellation a late [`SharedBus::slave_complete`] for the same
-    /// id would panic — the SoC must also purge the slave's service state.
+    /// id is dropped fail-secure as an [`OrphanCompletion`]; the SoC also
+    /// purges the slave's service state so the stale answer never forms.
     pub fn cancel_inflight(&mut self, txn: TxnId) -> Option<MasterId> {
         let master = self.take_inflight(txn)?;
         for slave in &mut self.slaves {
@@ -581,19 +620,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown or already-completed")]
-    fn completing_unknown_txn_panics() {
+    fn completing_unknown_txn_is_dropped_fail_secure() {
         let mut b = bus();
+        let m = b.add_master();
         let s = b.add_slave();
         b.slave_complete(
             s,
             Response {
                 txn: TxnId(99),
-                data: 0,
+                data: 0xbad,
                 result: Ok(()),
                 completed_at: Cycle(0),
             },
         );
+        b.tick(Cycle(0));
+        assert!(b.poll_response(m).is_none(), "orphan data reaches nobody");
+        assert_eq!(b.stats().counter("bus.orphan_completions"), 1);
+        assert_eq!(
+            b.drain_orphans(),
+            vec![OrphanCompletion {
+                slave: s,
+                txn: TxnId(99)
+            }]
+        );
+        assert!(b.drain_orphans().is_empty(), "drain consumes the backlog");
+    }
+
+    #[test]
+    fn late_completion_after_cancel_is_an_orphan() {
+        let mut b = bus();
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        let id = b.issue(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0));
+        b.tick(Cycle(0));
+        let t = b.slave_pop(s).unwrap();
+        // Watchdog cancels while the slave still holds the transaction.
+        assert_eq!(b.cancel_inflight(id), Some(m));
+        b.slave_complete(
+            s,
+            Response {
+                txn: t.id,
+                data: 1,
+                result: Ok(()),
+                completed_at: Cycle(5),
+            },
+        );
+        b.tick(Cycle(6));
+        assert!(b.poll_response(m).is_none(), "stale answer dropped");
+        assert_eq!(b.drain_orphans().len(), 1);
     }
 
     #[test]

@@ -21,6 +21,8 @@ const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|table1|fig1|p
   secbus observe [--metrics] [--trace-out <file.json>] [--tail N]\n             [--attack] [--cycles N]
                                     run the case study with the observability\n                                    spine armed; export metrics / Chrome trace
   secbus attacks [--seed N]
+  secbus campaign [--seed N] [--bare]
+                                    run the staged adversarial campaigns and\n                                    print each kill chain
   secbus table1 | fig1
   secbus policy-template            print a JSON policy-file skeleton
 ";
@@ -52,6 +54,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("run") => cmd_run(&args[1..]),
         Some("observe") => cmd_observe(&args[1..]),
         Some("attacks") => cmd_attacks(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("table1") => Ok(secbus_area::Table1::case_study().render()),
         Some("table2") => {
             Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into())
@@ -403,6 +406,48 @@ fn cmd_attacks(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_campaign(args: &[String]) -> Result<String, String> {
+    let seed: u64 = opt_value(args, "--seed")?
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let protected = !has_flag(args, "--bare");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "campaigns ({} mode, seed {seed})",
+        if protected { "protected" } else { "bare" }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>8} {:>9} {:>8} {:>13} {:>7}",
+        "campaign", "detected", "reaction", "bypasses", "sinks_blocked", "damage"
+    )
+    .unwrap();
+    let outcomes = secbus_attack::run_all_campaigns(seed, protected);
+    for o in &outcomes {
+        writeln!(
+            out,
+            "{:<20} {:>8} {:>9} {:>8} {:>13} {:>7}",
+            o.kind.name(),
+            if o.detected { "yes" } else { "NO" },
+            o.reaction,
+            o.policy_bypasses,
+            o.sinks_blocked,
+            o.damage_words,
+        )
+        .unwrap();
+    }
+    for o in &outcomes {
+        writeln!(out, "\nkill chain: {}", o.kind.name()).unwrap();
+        for e in &o.kill_chain {
+            writeln!(out, "  cycle {:>6}  {:<16} {}", e.cycle, e.stage, e.phase).unwrap();
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +462,16 @@ mod tests {
         assert!(dispatch(&argv(&["help"])).unwrap().contains("usage"));
         let err = dispatch(&argv(&["bogus"])).unwrap_err();
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn campaign_prints_kill_chains() {
+        let out = dispatch(&argv(&["campaign", "--seed", "3"])).unwrap();
+        assert!(out.contains("protected mode"));
+        assert!(out.contains("ip_pivot"));
+        assert!(out.contains("epoch_refused"));
+        assert!(out.contains("foothold"));
+        assert!(out.contains("detection"));
     }
 
     #[test]

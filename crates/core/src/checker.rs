@@ -52,6 +52,11 @@ pub enum Violation {
     /// A Configuration-Memory policy entry failed its parity check (storage
     /// upset); the entry was re-fetched from the golden image.
     ConfigCorruption,
+    /// DIFT: data tainted by an unprotected or cipher-only source reached
+    /// a protected-region write or a configuration store — an information
+    /// flow the address-based rules alone cannot see (e.g. a compromised
+    /// master laundering attacker-controlled words into protected memory).
+    TaintedSink,
 }
 
 impl Violation {
@@ -69,6 +74,7 @@ impl Violation {
             Violation::RateLimited => "rate_limited",
             Violation::WatchdogTimeout => "watchdog_timeout",
             Violation::ConfigCorruption => "config_corruption",
+            Violation::TaintedSink => "tainted_sink",
         }
     }
 
@@ -87,6 +93,7 @@ impl Violation {
             Violation::RateLimited => "monitor.violation.rate_limited",
             Violation::WatchdogTimeout => "monitor.violation.watchdog_timeout",
             Violation::ConfigCorruption => "monitor.violation.config_corruption",
+            Violation::TaintedSink => "monitor.violation.tainted_sink",
         }
     }
 
@@ -105,6 +112,7 @@ impl Violation {
             Violation::RateLimited => "fw.violation.rate_limited",
             Violation::WatchdogTimeout => "fw.violation.watchdog_timeout",
             Violation::ConfigCorruption => "fw.violation.config_corruption",
+            Violation::TaintedSink => "fw.violation.tainted_sink",
         }
     }
 }

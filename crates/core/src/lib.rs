@@ -35,6 +35,7 @@ pub mod lcf;
 pub mod policy;
 pub mod reconfig;
 pub mod recovery;
+pub mod taint;
 pub mod thread_policy;
 
 pub use alert::{Alert, Reaction, SecurityMonitor, WatchdogExpiry};
@@ -51,4 +52,5 @@ pub use reconfig::{EpochError, EpochFailure, PolicyUpdate, ReconfigController};
 pub use recovery::{
     PersistentState, RecoveryOutcome, RecoveryReport, SecureCheckpoint, TamperEvidence,
 };
+pub use taint::{TaintEngine, TaintTag, WriteVerdict};
 pub use thread_policy::{ThreadId, ThreadPolicyTable};

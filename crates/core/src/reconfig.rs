@@ -50,6 +50,10 @@ pub enum EpochError {
     Validation(EpochFailure),
     /// An update targets a firewall that is not in the commit set.
     UnknownFirewall(FirewallId),
+    /// The master initiating the commit carries a taint tag: data from an
+    /// unprotected source must never reach the policy configuration path
+    /// (the config store is a DIFT sink), so the whole epoch is refused.
+    TaintedInitiator(FirewallId),
 }
 
 /// Orchestrates staged policy swaps.

@@ -1,0 +1,350 @@
+//! DIFT-style taint tracking over the firewall fabric.
+//!
+//! The paper's firewalls are *address-based*: they decide per transaction
+//! whether a master may touch a region. What they cannot see is an
+//! *information flow* — a compromised master reading attacker-reachable
+//! data from an unprotected region and then writing it, fully within its
+//! own access rights, into protected memory or into the Configuration
+//! Memory. The taint layer closes that gap with a classic dynamic
+//! information-flow-tracking (DIFT) discipline:
+//!
+//! * every word *entering* a master is tagged by the protection level of
+//!   its source region ([`TaintTag`], a three-point lattice);
+//! * tags accumulate on the master (conservative read-modify-write: once a
+//!   core has consumed tainted data, everything it writes is suspect until
+//!   it is recovered) and on shared-memory words it writes;
+//! * a tainted write reaching a *sink* — a confidentiality+integrity
+//!   protected region, or the policy configuration path — raises the typed
+//!   [`crate::Violation::TaintedSink`] alert through the ordinary firewall
+//!   alert network.
+//!
+//! The engine is deliberately over-approximate (per-master accumulation,
+//! word-granular memory tags, join = max): false positives cost a blocked
+//! write and an alert, false negatives cost the security property S-18
+//! gates on. It is pure bookkeeping — the SoC decides what to block.
+
+use std::collections::HashMap;
+
+/// Taint lattice: `Clean < CipherOnly < Unprotected`, join = max.
+///
+/// `CipherOnly` data is confidential but malleable (no integrity check —
+/// an external attacker can flip its ciphertext), so it is still a flow
+/// risk into integrity-protected regions, just a weaker one than plaintext
+/// from a fully unprotected region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TaintTag {
+    /// Data from integrity-verified or on-chip sources.
+    #[default]
+    Clean,
+    /// Data from encrypt-only (no integrity) regions: malleable.
+    CipherOnly,
+    /// Data from unprotected regions: attacker-controlled in the threat
+    /// model ("the attacker has full access to the external memory").
+    Unprotected,
+}
+
+impl TaintTag {
+    /// Lattice join (least upper bound): the more-suspect tag wins.
+    #[inline]
+    pub fn join(self, other: TaintTag) -> TaintTag {
+        self.max(other)
+    }
+
+    /// Anything above [`TaintTag::Clean`].
+    #[inline]
+    pub fn is_tainted(self) -> bool {
+        self != TaintTag::Clean
+    }
+
+    /// Stable short name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaintTag::Clean => "clean",
+            TaintTag::CipherOnly => "cipher_only",
+            TaintTag::Unprotected => "unprotected",
+        }
+    }
+}
+
+/// Verdict for a proposed write, computed *before* the write happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteVerdict {
+    /// The writing master is clean; nothing to do.
+    Clean,
+    /// The master is tainted and the target is ordinary memory: the write
+    /// may proceed but the touched words inherit the tag.
+    Spread(TaintTag),
+    /// The master is tainted and the target is a protected sink: raise
+    /// [`crate::Violation::TaintedSink`]. Whether the write is also
+    /// blocked is the SoC's call (protected vs bare mode).
+    Sink(TaintTag),
+}
+
+/// The SoC-wide taint state: source/sink maps plus per-master and
+/// per-word tags.
+///
+/// Addresses are bus addresses; word tags are kept at 32-bit granularity
+/// (the paper's bus width), sparsely — only tainted words occupy space.
+#[derive(Debug, Clone, Default)]
+pub struct TaintEngine {
+    /// `(base, len, tag)` — regions whose *reads* tag the reader.
+    sources: Vec<(u32, u32, TaintTag)>,
+    /// `(base, len)` — regions whose *writes* are taint sinks.
+    sinks: Vec<(u32, u32)>,
+    /// Accumulated tag per master index.
+    masters: Vec<TaintTag>,
+    /// Sparse word-aligned address → tag map for shared-memory flow.
+    words: HashMap<u32, TaintTag>,
+    /// Total tainted-sink verdicts handed out (alerted or not).
+    sink_hits: u64,
+    /// Total spread commits (words tagged by tainted writes).
+    spreads: u64,
+}
+
+#[inline]
+fn word_span(addr: u32, bytes: u32) -> impl Iterator<Item = u32> {
+    let start = addr & !3;
+    let end = addr.saturating_add(bytes.max(1));
+    (start..end).step_by(4).map(|a| a & !3)
+}
+
+#[inline]
+fn overlaps(base: u32, len: u32, addr: u32, bytes: u32) -> bool {
+    let end = base as u64 + len as u64;
+    let a_end = addr as u64 + bytes.max(1) as u64;
+    (addr as u64) < end && (base as u64) < a_end
+}
+
+impl TaintEngine {
+    /// An engine tracking `masters` masters with no sources or sinks yet.
+    pub fn new(masters: usize) -> Self {
+        TaintEngine {
+            masters: vec![TaintTag::Clean; masters],
+            ..TaintEngine::default()
+        }
+    }
+
+    /// Declare a source region: reads from it tag the reader with `tag`.
+    pub fn add_source(&mut self, base: u32, len: u32, tag: TaintTag) {
+        if tag.is_tainted() && len > 0 {
+            self.sources.push((base, len, tag));
+        }
+    }
+
+    /// Declare a sink region: tainted writes into it are violations.
+    pub fn add_sink(&mut self, base: u32, len: u32) {
+        if len > 0 {
+            self.sinks.push((base, len));
+        }
+    }
+
+    /// The source tag for an access at `addr` spanning `bytes` bytes —
+    /// the join over every overlapping source region.
+    pub fn classify(&self, addr: u32, bytes: u32) -> TaintTag {
+        self.sources
+            .iter()
+            .filter(|(b, l, _)| overlaps(*b, *l, addr, bytes))
+            .fold(TaintTag::Clean, |acc, (_, _, t)| acc.join(*t))
+    }
+
+    /// Whether `addr..addr+bytes` touches a declared sink region.
+    pub fn is_sink(&self, addr: u32, bytes: u32) -> bool {
+        self.sinks
+            .iter()
+            .any(|(b, l)| overlaps(*b, *l, addr, bytes))
+    }
+
+    /// The accumulated tag of master `m` (Clean when out of range).
+    pub fn master_tag(&self, m: usize) -> TaintTag {
+        self.masters.get(m).copied().unwrap_or_default()
+    }
+
+    /// Record a read by master `m`: the master joins the source tag of the
+    /// range and the tags of any previously tainted words in it.
+    /// Returns the master's tag *after* the read.
+    pub fn note_read(&mut self, m: usize, addr: u32, bytes: u32) -> TaintTag {
+        let mut tag = self.classify(addr, bytes);
+        for w in word_span(addr, bytes) {
+            if let Some(t) = self.words.get(&w) {
+                tag = tag.join(*t);
+            }
+        }
+        if let Some(slot) = self.masters.get_mut(m) {
+            *slot = slot.join(tag);
+            *slot
+        } else {
+            tag
+        }
+    }
+
+    /// Judge a proposed write by master `m` without committing anything.
+    pub fn write_verdict(&mut self, m: usize, addr: u32, bytes: u32) -> WriteVerdict {
+        let tag = self.master_tag(m);
+        if !tag.is_tainted() {
+            return WriteVerdict::Clean;
+        }
+        if self.is_sink(addr, bytes) {
+            self.sink_hits += 1;
+            WriteVerdict::Sink(tag)
+        } else {
+            WriteVerdict::Spread(tag)
+        }
+    }
+
+    /// Commit a write that actually landed: tainted masters tag the
+    /// touched words; clean masters scrub them (overwritten data is gone).
+    pub fn commit_write(&mut self, m: usize, addr: u32, bytes: u32) {
+        let tag = self.master_tag(m);
+        if tag.is_tainted() {
+            self.spreads += 1;
+            for w in word_span(addr, bytes) {
+                let slot = self.words.entry(w).or_default();
+                *slot = slot.join(tag);
+            }
+        } else {
+            for w in word_span(addr, bytes) {
+                self.words.remove(&w);
+            }
+        }
+    }
+
+    /// Reset master `m` to clean — the recovery path (reset + golden-image
+    /// reload) discards whatever tainted state the IP held.
+    pub fn scrub_master(&mut self, m: usize) {
+        if let Some(slot) = self.masters.get_mut(m) {
+            *slot = TaintTag::Clean;
+        }
+    }
+
+    /// Number of masters currently carrying taint.
+    pub fn tainted_masters(&self) -> usize {
+        self.masters.iter().filter(|t| t.is_tainted()).count()
+    }
+
+    /// Number of tainted words currently tracked.
+    pub fn tainted_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total sink verdicts handed out so far.
+    pub fn sink_hits(&self) -> u64 {
+        self.sink_hits
+    }
+
+    /// Total spread commits so far.
+    pub fn spreads(&self) -> u64 {
+        self.spreads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TaintEngine {
+        let mut e = TaintEngine::new(3);
+        e.add_source(0x8000_0000, 0x100, TaintTag::Unprotected);
+        e.add_source(0x9000_0000, 0x100, TaintTag::CipherOnly);
+        e.add_sink(0xa000_0000, 0x100);
+        e
+    }
+
+    #[test]
+    fn lattice_join_is_max_and_clean_is_bottom() {
+        use TaintTag::*;
+        assert_eq!(Clean.join(Clean), Clean);
+        assert_eq!(Clean.join(CipherOnly), CipherOnly);
+        assert_eq!(CipherOnly.join(Unprotected), Unprotected);
+        assert_eq!(Unprotected.join(Clean), Unprotected);
+        assert!(!Clean.is_tainted());
+        assert!(CipherOnly.is_tainted());
+        assert!(Unprotected.is_tainted());
+    }
+
+    #[test]
+    fn reads_from_sources_taint_the_master() {
+        let mut e = engine();
+        assert_eq!(e.master_tag(0), TaintTag::Clean);
+        assert_eq!(e.note_read(0, 0x9000_0010, 4), TaintTag::CipherOnly);
+        // Taint only ratchets up, never down, until a scrub.
+        assert_eq!(e.note_read(0, 0x1000, 4), TaintTag::CipherOnly);
+        assert_eq!(e.note_read(0, 0x8000_0000, 4), TaintTag::Unprotected);
+        assert_eq!(e.tainted_masters(), 1);
+    }
+
+    #[test]
+    fn tainted_write_to_sink_is_flagged_and_elsewhere_spreads() {
+        let mut e = engine();
+        e.note_read(1, 0x8000_0000, 4);
+        assert_eq!(
+            e.write_verdict(1, 0xa000_0000, 4),
+            WriteVerdict::Sink(TaintTag::Unprotected)
+        );
+        assert_eq!(
+            e.write_verdict(1, 0x2000, 4),
+            WriteVerdict::Spread(TaintTag::Unprotected)
+        );
+        assert_eq!(e.sink_hits(), 1);
+    }
+
+    #[test]
+    fn clean_master_writes_freely_even_into_sinks() {
+        let mut e = engine();
+        assert_eq!(e.write_verdict(0, 0xa000_0000, 4), WriteVerdict::Clean);
+        assert_eq!(e.sink_hits(), 0);
+    }
+
+    #[test]
+    fn taint_flows_through_shared_memory() {
+        let mut e = engine();
+        // Master 0 reads unprotected data and parks it in shared memory.
+        e.note_read(0, 0x8000_0000, 4);
+        e.commit_write(0, 0x2000_0000, 4);
+        assert_eq!(e.tainted_words(), 1);
+        // Master 1 reads the shared word and inherits the taint.
+        assert_eq!(e.note_read(1, 0x2000_0000, 4), TaintTag::Unprotected);
+        assert_eq!(
+            e.write_verdict(1, 0xa000_0010, 4),
+            WriteVerdict::Sink(TaintTag::Unprotected)
+        );
+    }
+
+    #[test]
+    fn clean_overwrite_scrubs_word_tags() {
+        let mut e = engine();
+        e.note_read(0, 0x8000_0000, 4);
+        e.commit_write(0, 0x2000_0000, 8);
+        assert_eq!(e.tainted_words(), 2);
+        e.commit_write(2, 0x2000_0000, 8); // master 2 is clean
+        assert_eq!(e.tainted_words(), 0);
+        assert_eq!(e.note_read(1, 0x2000_0000, 4), TaintTag::Clean);
+    }
+
+    #[test]
+    fn scrub_master_is_the_recovery_path() {
+        let mut e = engine();
+        e.note_read(0, 0x8000_0000, 4);
+        assert_eq!(e.tainted_masters(), 1);
+        e.scrub_master(0);
+        assert_eq!(e.master_tag(0), TaintTag::Clean);
+        assert_eq!(e.write_verdict(0, 0xa000_0000, 4), WriteVerdict::Clean);
+    }
+
+    #[test]
+    fn burst_overlapping_a_source_edge_still_classifies() {
+        let e = engine();
+        // Burst starts below the source but runs into it.
+        assert_eq!(e.classify(0x7fff_fff8, 16), TaintTag::Unprotected);
+        assert_eq!(e.classify(0x7fff_fff8, 8), TaintTag::Clean);
+        assert!(e.is_sink(0x9fff_fffc, 8));
+        assert!(!e.is_sink(0x9fff_fffc, 4));
+    }
+
+    #[test]
+    fn out_of_range_master_is_clean_and_harmless() {
+        let mut e = engine();
+        assert_eq!(e.note_read(99, 0x8000_0000, 4), TaintTag::Unprotected);
+        assert_eq!(e.master_tag(99), TaintTag::Clean);
+        assert_eq!(e.write_verdict(99, 0xa000_0000, 4), WriteVerdict::Clean);
+    }
+}

@@ -433,6 +433,173 @@ impl FaultPlan {
             .filter(|e| e.kind.class() == class)
             .count()
     }
+
+    /// Shift every scheduled event `delta` cycles later — composition
+    /// helper for building a late stage from a `0..duration` plan.
+    /// Compose *before* attaching to a SoC (injection counters reset).
+    pub fn offset(self, delta: u64) -> Self {
+        FaultPlan::new(
+            self.events
+                .into_iter()
+                .map(|e| FaultEvent {
+                    at: e.at + delta,
+                    kind: e.kind,
+                })
+                .collect(),
+        )
+    }
+
+    /// Merge another plan's scheduled events into this one, re-sorted by
+    /// cycle. Like [`FaultPlan::offset`], compose before attaching.
+    pub fn concat(self, other: FaultPlan) -> Self {
+        FaultPlan::new(self.events.into_iter().chain(other.events).collect())
+    }
+}
+
+/// One stage of a [`StagedPlan`]: a label, its fault schedule, and
+/// whether it only fires if the previous stage established a foothold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStage {
+    /// Stable stage label (also the seed-derivation label).
+    pub label: &'static str,
+    /// The faults this stage injects (cycles are absolute).
+    pub plan: FaultPlan,
+    /// Precondition: this stage is skipped — along with everything after
+    /// it — unless the stage before it reported a foothold.
+    pub gated: bool,
+}
+
+/// A multi-stage attack schedule: stage N+1's faults only ever fire after
+/// the campaign runner *advances* past stage N, and a gated stage (and
+/// all its successors) is abandoned when the prior stage failed to
+/// establish its foothold. This is the fault-injection backbone of the
+/// campaign engine: each stage is still a deterministic [`FaultPlan`],
+/// so a staged campaign replays byte-identically per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedPlan {
+    stages: Vec<PlanStage>,
+    active: usize,
+    aborted: bool,
+}
+
+impl Default for StagedPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StagedPlan {
+    /// An empty staged plan.
+    pub fn new() -> Self {
+        StagedPlan {
+            stages: Vec::new(),
+            active: 0,
+            aborted: false,
+        }
+    }
+
+    /// Append an ungated stage (fires whenever it becomes active).
+    pub fn stage(mut self, label: &'static str, plan: FaultPlan) -> Self {
+        self.stages.push(PlanStage {
+            label,
+            plan,
+            gated: false,
+        });
+        self
+    }
+
+    /// Append a gated stage: it (and everything after it) is abandoned
+    /// unless the preceding stage reports a foothold on advance.
+    pub fn gated_stage(mut self, label: &'static str, plan: FaultPlan) -> Self {
+        self.stages.push(PlanStage {
+            label,
+            plan,
+            gated: true,
+        });
+        self
+    }
+
+    /// Generate one plan per `(label, spec)` stage from per-stage derived
+    /// seeds: editing one stage's spec never perturbs another stage's
+    /// schedule, and the same `(seed, stages)` always yields the same
+    /// staged plan. `gated` marks stages that require the previous
+    /// stage's foothold.
+    pub fn generate(seed: u64, stages: &[(&'static str, FaultSpec, bool)]) -> Self {
+        let mut plan = StagedPlan::new();
+        for (label, spec, gated) in stages {
+            let stage_seed = SimRng::new(seed).derive(label).next_u64();
+            let p = FaultPlan::generate(stage_seed, spec);
+            plan = if *gated {
+                plan.gated_stage(label, p)
+            } else {
+                plan.stage(label, p)
+            };
+        }
+        plan
+    }
+
+    /// Remove and return the *active* stage's events due at or before
+    /// `now`. Later stages never leak out early, and an aborted plan
+    /// yields nothing.
+    pub fn take_due(&mut self, now: Cycle) -> Vec<FaultEvent> {
+        if self.aborted {
+            return Vec::new();
+        }
+        match self.stages.get_mut(self.active) {
+            Some(stage) => stage.plan.take_due(now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Finish the active stage and move on. `foothold` reports whether
+    /// the stage achieved its goal: when the *next* stage is gated and
+    /// the foothold failed, the whole remainder of the campaign is
+    /// abandoned (stage N+1 only fires if stage N succeeded).
+    pub fn advance(&mut self, foothold: bool) {
+        if self.aborted || self.active >= self.stages.len() {
+            return;
+        }
+        self.active += 1;
+        if let Some(next) = self.stages.get(self.active) {
+            if next.gated && !foothold {
+                self.aborted = true;
+            }
+        }
+    }
+
+    /// The active stage's label, `None` once the plan is exhausted or
+    /// aborted.
+    pub fn active_stage(&self) -> Option<&'static str> {
+        if self.aborted {
+            return None;
+        }
+        self.stages.get(self.active).map(|s| s.label)
+    }
+
+    /// Whether a failed foothold abandoned the remaining stages.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Total faults injected across all stages so far.
+    pub fn injected(&self) -> u64 {
+        self.stages.iter().map(|s| s.plan.injected()).sum()
+    }
+
+    /// Stage count.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the plan has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages, in order.
+    pub fn stages(&self) -> &[PlanStage] {
+        &self.stages
+    }
 }
 
 #[cfg(test)]
@@ -651,5 +818,130 @@ mod tests {
                 "{class}"
             );
         }
+    }
+
+    #[test]
+    fn offset_shifts_every_event_and_preserves_order() {
+        let plan = FaultPlan::generate(9, &spec(FaultRates::uniform(8.0)));
+        let original: Vec<Cycle> = plan.iter().map(|e| e.at).collect();
+        let shifted = plan.offset(5_000);
+        let moved: Vec<Cycle> = shifted.iter().map(|e| e.at).collect();
+        assert_eq!(original.len(), moved.len());
+        for (a, b) in original.iter().zip(&moved) {
+            assert_eq!(a.0 + 5_000, b.0);
+        }
+        assert!(moved.windows(2).all(|w| w[0] <= w[1]), "still sorted");
+    }
+
+    #[test]
+    fn concatenated_plans_replay_deterministically_per_seed() {
+        let early = spec(FaultRates::uniform(6.0));
+        let late = spec(FaultRates {
+            slave_stall: 4.0,
+            ..FaultRates::NONE
+        });
+        let build = |seed: u64| {
+            FaultPlan::generate(seed, &early)
+                .concat(FaultPlan::generate(seed.wrapping_add(1), &late).offset(10_000))
+        };
+        let a = build(33);
+        let b = build(33);
+        assert_eq!(a, b, "same seed, byte-identical composed plan");
+        assert_ne!(a, build(34), "different seed diverges");
+        let merged: Vec<Cycle> = a.iter().map(|e| e.at).collect();
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]), "concat re-sorts");
+        assert_eq!(
+            a.len(),
+            a.class_count("slave_stall") + {
+                let early_only = FaultPlan::generate(33, &early);
+                early_only.len() - early_only.class_count("slave_stall")
+            }
+        );
+    }
+
+    #[test]
+    fn staged_generation_is_reproducible_and_per_stage_independent() {
+        let stages = [
+            ("foothold", spec(FaultRates::uniform(3.0)), false),
+            (
+                "pivot",
+                spec(FaultRates {
+                    ddr_bitflip: 5.0,
+                    ..FaultRates::NONE
+                }),
+                true,
+            ),
+        ];
+        let a = StagedPlan::generate(77, &stages);
+        let b = StagedPlan::generate(77, &stages);
+        assert_eq!(a, b, "same seed replays byte-identically");
+        assert_ne!(a, StagedPlan::generate(78, &stages));
+
+        // Per-stage derived seeds: editing one stage's spec leaves the
+        // other stage's schedule untouched.
+        let hotter_pivot = [
+            stages[0],
+            (
+                "pivot",
+                spec(FaultRates {
+                    ddr_bitflip: 9.0,
+                    ..FaultRates::NONE
+                }),
+                true,
+            ),
+        ];
+        let c = StagedPlan::generate(77, &hotter_pivot);
+        assert_eq!(a.stages()[0].plan, c.stages()[0].plan);
+    }
+
+    #[test]
+    fn stage_preconditions_gate_firing_order() {
+        let stages = [
+            ("foothold", spec(FaultRates::uniform(2.0)), false),
+            (
+                "pivot",
+                spec(FaultRates {
+                    slave_stall: 3.0,
+                    ..FaultRates::NONE
+                }),
+                true,
+            ),
+        ];
+        // Successful foothold: the gated stage fires after advance.
+        let mut ok = StagedPlan::generate(11, &stages);
+        assert_eq!(ok.active_stage(), Some("foothold"));
+        let first = ok.take_due(Cycle(10_000));
+        assert!(!first.is_empty());
+        assert!(
+            ok.take_due(Cycle(u64::MAX)).is_empty(),
+            "later stages never leak out before advance"
+        );
+        ok.advance(true);
+        assert_eq!(ok.active_stage(), Some("pivot"));
+        assert!(!ok.take_due(Cycle(u64::MAX)).is_empty());
+        assert!(!ok.aborted());
+
+        // Failed foothold: the gated stage (and the campaign) aborts.
+        let mut lost = StagedPlan::generate(11, &stages);
+        lost.take_due(Cycle(u64::MAX));
+        lost.advance(false);
+        assert!(lost.aborted());
+        assert_eq!(lost.active_stage(), None);
+        assert!(lost.take_due(Cycle(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn ungated_stage_advances_even_without_foothold() {
+        let stages = [
+            ("a", spec(FaultRates::uniform(1.0)), false),
+            ("b", spec(FaultRates::uniform(1.0)), false),
+        ];
+        let mut plan = StagedPlan::generate(3, &stages);
+        plan.advance(false);
+        assert_eq!(plan.active_stage(), Some("b"), "ungated stage still runs");
+        assert!(!plan.aborted());
+        plan.advance(true);
+        assert_eq!(plan.active_stage(), None, "exhausted");
+        assert!(!plan.aborted());
     }
 }

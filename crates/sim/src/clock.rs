@@ -75,7 +75,7 @@ impl Clock {
     /// Cycles elapsed between two timestamps, as wall time in seconds.
     #[inline]
     pub fn elapsed_seconds(self, from: Cycle, to: Cycle) -> f64 {
-        self.seconds(to.since(from))
+        self.seconds(to.saturating_since(from))
     }
 }
 

@@ -24,16 +24,15 @@ impl Cycle {
         self.0
     }
 
-    /// Span from `earlier` to `self`.
-    ///
-    /// # Panics
-    /// Panics if `earlier` is later than `self`; elapsed time is always
-    /// measured forward.
+    /// Span from `earlier` to `self`, or `None` when `earlier` is in the
+    /// future. Timestamps legitimately invert across recovery and resume
+    /// boundaries (a checkpointed cycle replayed against a rebooted
+    /// clock), so trace correlation gets a typed answer instead of an
+    /// abort; use [`Cycle::saturating_since`] when 0 is an acceptable
+    /// span for a reversed pair.
     #[inline]
-    pub fn since(self, earlier: Cycle) -> u64 {
-        self.0
-            .checked_sub(earlier.0)
-            .expect("Cycle::since: earlier timestamp is in the future")
+    pub fn since(self, earlier: Cycle) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
     }
 
     /// Saturating span from `earlier` to `self` (0 if `earlier` is later).
@@ -112,7 +111,7 @@ mod tests {
     fn add_and_since_roundtrip() {
         let start = Cycle(100);
         let end = start + 42;
-        assert_eq!(end.since(start), 42);
+        assert_eq!(end.since(start), Some(42));
         assert_eq!(end.get(), 142);
     }
 
@@ -130,9 +129,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "earlier timestamp is in the future")]
-    fn since_panics_on_reversed_order() {
-        let _ = Cycle(1).since(Cycle(2));
+    fn since_is_none_on_reversed_order() {
+        // A reversed pair (resume/recovery clock skew) is a typed
+        // non-answer, never an abort.
+        assert_eq!(Cycle(1).since(Cycle(2)), None);
+        assert_eq!(Cycle(2).since(Cycle(2)), Some(0));
     }
 
     #[test]

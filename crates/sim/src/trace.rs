@@ -135,6 +135,39 @@ pub enum TraceEvent {
         /// Issue-to-completion latency in cycles.
         latency: u64,
     },
+    /// DIFT: a master's accumulated taint tag increased (it consumed data
+    /// from a less-trusted source than anything it had touched before).
+    TaintSpread {
+        /// Bus master index that became (more) tainted.
+        master: u8,
+        /// Address of the read that raised the tag.
+        addr: u32,
+        /// New tag mnemonic (`"cipher_only"` or `"unprotected"`).
+        tag: &'static str,
+    },
+    /// DIFT: tainted data reached a protected sink (protected-region
+    /// write or configuration store).
+    TaintSink {
+        /// Bus transaction id (0 for config-path sinks).
+        txn: u64,
+        /// Writing bus master index.
+        master: u8,
+        /// Sink address.
+        addr: u32,
+        /// Whether the write was blocked (protected mode) or let through
+        /// for damage accounting (bare mode).
+        blocked: bool,
+    },
+    /// A campaign stage crossed a kill-chain phase boundary
+    /// (`"foothold"`, `"pivot"`, `"detection"`, `"reaction"`).
+    CampaignPhase {
+        /// Campaign correlation id (stable per campaign kind + seed).
+        campaign: u8,
+        /// Stage index within the campaign plan.
+        stage: u8,
+        /// Phase mnemonic.
+        phase: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -153,17 +186,22 @@ impl TraceEvent {
             TraceEvent::JournalCommit { .. } => "journal_commit",
             TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::TxnComplete { .. } => "txn_complete",
+            TraceEvent::TaintSpread { .. } => "taint_spread",
+            TraceEvent::TaintSink { .. } => "taint_sink",
+            TraceEvent::CampaignPhase { .. } => "campaign_phase",
         }
     }
 
     /// Chrome trace `tid` lane: one per component so the timeline groups
     /// events by who recorded them. Masters occupy 0..16, firewalls
-    /// 16..48, the bus 48, the LCF 49, the monitor 50, NoC nodes 64+.
+    /// 16..48, the bus 48, the LCF 49, the monitor 50, the campaign
+    /// runner 51, NoC nodes 64+.
     fn lane(&self) -> u64 {
         match self {
-            TraceEvent::TxnIssued { master, .. } | TraceEvent::TxnComplete { master, .. } => {
-                u64::from(*master)
-            }
+            TraceEvent::TxnIssued { master, .. }
+            | TraceEvent::TxnComplete { master, .. }
+            | TraceEvent::TaintSpread { master, .. }
+            | TraceEvent::TaintSink { master, .. } => u64::from(*master),
             TraceEvent::FwVerdict { firewall, .. }
             | TraceEvent::Alert { firewall, .. }
             | TraceEvent::Reaction { firewall, .. }
@@ -172,6 +210,7 @@ impl TraceEvent {
             TraceEvent::CcCipher { .. }
             | TraceEvent::IcVerify { .. }
             | TraceEvent::JournalCommit { .. } => 49,
+            TraceEvent::CampaignPhase { .. } => 51,
             TraceEvent::NocHop { node, .. } => 64 + u64::from(*node),
         }
     }
@@ -283,6 +322,31 @@ impl TraceEvent {
                 put("master", Json::uint(u64::from(master)));
                 put("ok", Json::Bool(ok));
                 put("latency", Json::uint(latency));
+            }
+            TraceEvent::TaintSpread { master, addr, tag } => {
+                put("master", Json::uint(u64::from(master)));
+                put("addr", Json::str(format!("{addr:#010x}")));
+                put("tag", Json::str(tag));
+            }
+            TraceEvent::TaintSink {
+                txn,
+                master,
+                addr,
+                blocked,
+            } => {
+                put("txn", Json::uint(txn));
+                put("master", Json::uint(u64::from(master)));
+                put("addr", Json::str(format!("{addr:#010x}")));
+                put("blocked", Json::Bool(blocked));
+            }
+            TraceEvent::CampaignPhase {
+                campaign,
+                stage,
+                phase,
+            } => {
+                put("campaign", Json::uint(u64::from(campaign)));
+                put("stage", Json::uint(u64::from(stage)));
+                put("phase", Json::str(phase));
             }
         }
         Json::Obj(fields)
@@ -563,6 +627,25 @@ mod tests {
                 master: 0,
                 ok: true,
                 latency: 0,
+            }
+            .kind(),
+            TraceEvent::TaintSpread {
+                master: 0,
+                addr: 0,
+                tag: "unprotected",
+            }
+            .kind(),
+            TraceEvent::TaintSink {
+                txn: 0,
+                master: 0,
+                addr: 0,
+                blocked: true,
+            }
+            .kind(),
+            TraceEvent::CampaignPhase {
+                campaign: 0,
+                stage: 0,
+                phase: "foothold",
             }
             .kind(),
         ];

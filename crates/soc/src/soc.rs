@@ -7,9 +7,10 @@ use secbus_bus::{
     SlaveId, Transaction, TxnId, Width,
 };
 use secbus_core::{
-    Alert, ConfigMemory, CryptoTiming, EpochError, FirewallId, LocalCipheringFirewall,
-    LocalFirewall, PolicyUpdate, Protection, RateLimit, Reaction, ReconfigController,
-    RecoveryReport, SbTiming, SecureCheckpoint, SecurityMonitor, Violation,
+    Alert, ConfidentialityMode, ConfigMemory, CryptoTiming, EpochError, FirewallId, IntegrityMode,
+    LocalCipheringFirewall, LocalFirewall, PolicyUpdate, Protection, RateLimit, Reaction,
+    ReconfigController, RecoveryReport, SbTiming, SecureCheckpoint, SecurityMonitor, TaintEngine,
+    TaintTag, Violation, WriteVerdict,
 };
 use secbus_cpu::{BusMaster, MasterAccess};
 use secbus_fault::{FaultKind, FaultPlan};
@@ -75,6 +76,7 @@ pub struct SocBuilder {
     resume: Option<SecureCheckpoint>,
     ic_cache: Option<usize>,
     trace_capacity: Option<usize>,
+    taint: bool,
 }
 
 impl Default for SocBuilder {
@@ -106,7 +108,20 @@ impl SocBuilder {
             resume: None,
             ic_cache: None,
             trace_capacity: None,
+            taint: false,
         }
+    }
+
+    /// Arm DIFT-style taint tracking: data entering a master from an
+    /// unprotected or cipher-only DDR region (per the LCF policies) tags
+    /// the master; tags propagate through shared-memory writes; a tainted
+    /// write reaching a confidentiality+integrity region — or a tainted
+    /// master initiating a policy-epoch commit — raises
+    /// [`Violation::TaintedSink`]. Off by default; the taint layer only
+    /// *adds* denials and alerts, it never admits anything new.
+    pub fn taint_tracking(mut self) -> Self {
+        self.taint = true;
+        self
     }
 
     /// Arm the observability spine: every component (bus, Local
@@ -358,7 +373,40 @@ impl SocBuilder {
             });
         }
         let mut recovery = None;
+        let mut taint = self.taint.then(|| TaintEngine::new(masters.len()));
         if let Some((label, range, mut ddr, lcf_policies)) = self.ddr {
+            // Taint sources and sinks come straight from the LCF's policy
+            // table: what the paper protects is what DIFT must guard, and
+            // what it leaves in the clear is where taint enters. Without
+            // an LCF the whole external memory is attacker-reachable.
+            if let Some(te) = taint.as_mut() {
+                match &lcf_policies {
+                    Some(policies) => {
+                        for pol in policies.policies() {
+                            match (pol.cm, pol.im) {
+                                (ConfidentialityMode::Encrypt, IntegrityMode::Verify) => {
+                                    te.add_sink(pol.region.base, pol.region.len);
+                                }
+                                (ConfidentialityMode::Encrypt, IntegrityMode::Bypass) => {
+                                    te.add_source(
+                                        pol.region.base,
+                                        pol.region.len,
+                                        TaintTag::CipherOnly,
+                                    );
+                                }
+                                (ConfidentialityMode::Bypass, _) => {
+                                    te.add_source(
+                                        pol.region.base,
+                                        pol.region.len,
+                                        TaintTag::Unprotected,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    None => te.add_source(range.base, range.len, TaintTag::Unprotected),
+                }
+            }
             let bus_id = bus.add_slave();
             bus.map_range(bus_id, range).expect("overlapping DDR range");
             let lcf = if self.security {
@@ -464,6 +512,7 @@ impl SocBuilder {
             powered_off: false,
             torn_seen: 0,
             recovery,
+            taint,
         }
     }
 }
@@ -529,6 +578,8 @@ struct PortAdapter<'a> {
     /// System stats, for the txn-lifecycle latency histograms.
     stats: &'a mut Stats,
     tracer: Option<&'a Tracer>,
+    /// DIFT taint state, when armed.
+    taint: Option<&'a mut TaintEngine>,
     /// Whether to remember issued transactions (watchdog/retry armed).
     track: bool,
     now: Cycle,
@@ -544,6 +595,50 @@ impl PortAdapter<'_> {
             self.monitor.watch(&txn, firewall, self.now);
         }
     }
+
+    /// DIFT read hook: the master joins the source tag of what it just
+    /// asked for. Tagging at issue time (not delivery) is conservative —
+    /// a discarded read still taints — which only ever errs toward alerts.
+    fn taint_read(&mut self, addr: u32, bytes: u32) {
+        let master = self.master.0;
+        let Some(te) = self.taint.as_deref_mut() else {
+            return;
+        };
+        let m = usize::from(master);
+        let before = te.master_tag(m);
+        let after = te.note_read(m, addr, bytes);
+        if after > before {
+            self.stats.incr("soc.taint.tainted_reads");
+            if let Some(t) = self.tracer {
+                t.record(
+                    self.now,
+                    TraceEvent::TaintSpread {
+                        master,
+                        addr,
+                        tag: after.name(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// DIFT write commit for a write that will land: tainted masters tag
+    /// the touched words, clean masters scrub them.
+    fn taint_commit_write(&mut self, addr: u32, bytes: u32) {
+        let m = usize::from(self.master.0);
+        if let Some(te) = self.taint.as_deref_mut() {
+            if te.master_tag(m).is_tainted() {
+                self.stats.incr("soc.taint.spread_writes");
+            }
+            te.commit_write(m, addr, bytes);
+        }
+    }
+}
+
+/// Byte span of one access: width × burst beats.
+#[inline]
+fn span_bytes(width: Width, burst: u16) -> u32 {
+    width.bytes() * u32::from(burst.max(1))
 }
 
 impl MasterAccess for PortAdapter<'_> {
@@ -564,10 +659,69 @@ impl MasterAccess for PortAdapter<'_> {
                 };
                 let decision = fw.check(&probe, self.now);
                 self.stats.record("txn.issue_to_verdict", decision.latency);
+                // DIFT: the address rules passed — now the information-flow
+                // rule. A tainted master writing into a protected sink is
+                // denied at the interface exactly like a policy violation.
+                let tainted_sink = decision.allowed
+                    && self.taint.as_deref_mut().is_some_and(|te| {
+                        matches!(
+                            te.write_verdict(
+                                usize::from(probe.master.0),
+                                addr,
+                                span_bytes(width, burst)
+                            ),
+                            WriteVerdict::Sink(_)
+                        )
+                    });
+                if tainted_sink {
+                    fw.note_violation(&probe, Violation::TaintedSink, self.now);
+                    self.stats.incr("soc.taint.sink_blocked");
+                    if let Some(t) = self.tracer {
+                        t.record(
+                            self.now,
+                            TraceEvent::TxnIssued {
+                                txn: id.0,
+                                master: self.master.0,
+                                addr,
+                                write: true,
+                            },
+                        );
+                        t.record(
+                            self.now,
+                            TraceEvent::TaintSink {
+                                txn: id.0,
+                                master: self.master.0,
+                                addr,
+                                blocked: true,
+                            },
+                        );
+                        t.record(
+                            self.now,
+                            TraceEvent::TxnComplete {
+                                txn: id.0,
+                                master: self.master.0,
+                                ok: false,
+                                latency: decision.latency,
+                            },
+                        );
+                    }
+                    self.stats.record("txn.verdict_to_complete", 0);
+                    self.inbound.push_back((
+                        self.now.get() + decision.latency,
+                        Response {
+                            txn: id,
+                            data: 0,
+                            result: Err(BusError::Discarded),
+                            completed_at: self.now,
+                        },
+                    ));
+                    return id;
+                }
                 if decision.allowed {
                     // Re-issue through the bus with delayed eligibility; we
                     // burn the probe id to keep the id space monotone.
                     let fw_id = fw.id();
+                    self.taint_commit_write(addr, span_bytes(width, burst));
                     let real = self.bus.issue_at(
                         self.master,
                         op,
@@ -655,6 +809,7 @@ impl MasterAccess for PortAdapter<'_> {
                         },
                     );
                 }
+                self.taint_read(addr, span_bytes(width, burst));
                 self.outstanding_reads.insert(id, txn);
                 self.track_issue(txn, Some(fw_id));
                 id
@@ -684,6 +839,35 @@ impl MasterAccess for PortAdapter<'_> {
                             write: op == Op::Write,
                         },
                     );
+                }
+                // DIFT without a firewall: taint is still tracked, but
+                // there is nothing to raise an alert through and nothing
+                // to block with — a sink reach is *counted* and let
+                // through, which is exactly the bare-mode damage metric.
+                match op {
+                    Op::Read => self.taint_read(addr, span_bytes(width, burst)),
+                    Op::Write => {
+                        let bytes = span_bytes(width, burst);
+                        let m = usize::from(self.master.0);
+                        let reached_sink = self.taint.as_deref_mut().is_some_and(|te| {
+                            matches!(te.write_verdict(m, addr, bytes), WriteVerdict::Sink(_))
+                        });
+                        if reached_sink {
+                            self.stats.incr("soc.taint.unalerted_sinks");
+                            if let Some(t) = self.tracer {
+                                t.record(
+                                    self.now,
+                                    TraceEvent::TaintSink {
+                                        txn: id.0,
+                                        master: self.master.0,
+                                        addr,
+                                        blocked: false,
+                                    },
+                                );
+                            }
+                        }
+                        self.taint_commit_write(addr, bytes);
+                    }
                 }
                 self.track_issue(txn, None);
                 id
@@ -728,6 +912,8 @@ pub struct Soc {
     /// What boot-time recovery did, when built with
     /// [`SocBuilder::resume_from`].
     recovery: Option<RecoveryReport>,
+    /// DIFT taint state, when armed via [`SocBuilder::taint_tracking`].
+    taint: Option<TaintEngine>,
 }
 
 impl Soc {
@@ -823,6 +1009,7 @@ impl Soc {
                     ready: &mut slot.ready,
                     stats: &mut self.stats,
                     tracer: self.tracer.as_ref(),
+                    taint: self.taint.as_mut(),
                     track: self.track_issues,
                     now,
                 };
@@ -852,6 +1039,14 @@ impl Soc {
                     slot.pending = Some((completes_at, resp));
                 }
             }
+        }
+
+        // 5b. Account for fail-secure-dropped orphan completions (late
+        // answers to watchdog-cancelled transactions and the like).
+        let orphans = self.bus.drain_orphans();
+        if !orphans.is_empty() {
+            self.stats
+                .add("soc.orphan_completions", orphans.len() as u64);
         }
 
         // 6. Alert network: firewalls -> monitor -> reactions.
@@ -1207,6 +1402,11 @@ impl Soc {
         for slot in &mut self.masters {
             if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
                 let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
+                // Recovery reloads the IP from its golden image, so any
+                // tainted data it held is gone with the reset.
+                if let Some(te) = self.taint.as_mut() {
+                    te.scrub_master(usize::from(slot.bus_id.0));
+                }
                 self.stats.incr("soc.recoveries");
                 self.stats.add("soc.recovery_scrubs", repaired as u64);
                 if let Some(t) = &self.tracer {
@@ -1571,6 +1771,68 @@ impl Soc {
             }
         }
         self.reconfig.commit_epoch(&mut fws, updates)
+    }
+
+    /// Like [`Soc::commit_policy_epoch`], but attributed to the master
+    /// (by index) driving the commit — in the case study the runtime
+    /// reconfiguration path is software on one of the CPUs. When taint
+    /// tracking is armed and that master carries a taint tag, the commit
+    /// is refused before validation even starts: the policy configuration
+    /// path is a DIFT sink, and tainted data must never decide what the
+    /// firewalls enforce. The refusal raises [`Violation::TaintedSink`]
+    /// through the initiator's own firewall so the monitor sees it.
+    pub fn commit_policy_epoch_as(
+        &mut self,
+        initiator: usize,
+        updates: Vec<PolicyUpdate>,
+    ) -> Result<u64, EpochError> {
+        let tainted = self
+            .taint
+            .as_ref()
+            .is_some_and(|te| te.master_tag(initiator).is_tainted());
+        if tainted {
+            let now = self.now;
+            self.stats.incr("soc.taint.config_sink_refusals");
+            self.stats.incr("reconfig.tainted_refusals");
+            let slot = &mut self.masters[initiator];
+            let master = slot.bus_id;
+            let fw_id = slot
+                .firewall
+                .as_ref()
+                .map(|f| f.id())
+                .unwrap_or(FirewallId(u8::MAX));
+            if let Some(fw) = slot.firewall.as_mut() {
+                let probe = Transaction {
+                    id: TxnId(0),
+                    master,
+                    op: Op::Write,
+                    addr: 0,
+                    width: Width::Word,
+                    data: 0,
+                    burst: 1,
+                    issued_at: now,
+                };
+                fw.raise_alert(&probe, Violation::TaintedSink, now);
+            }
+            if let Some(t) = &self.tracer {
+                t.record(
+                    now,
+                    TraceEvent::TaintSink {
+                        txn: 0,
+                        master: master.0,
+                        addr: 0,
+                        blocked: true,
+                    },
+                );
+            }
+            return Err(EpochError::TaintedInitiator(fw_id));
+        }
+        self.commit_policy_epoch(updates)
+    }
+
+    /// The DIFT taint state, when armed via [`SocBuilder::taint_tracking`].
+    pub fn taint(&self) -> Option<&TaintEngine> {
+        self.taint.as_ref()
     }
 
     /// The policy epoch currently in force.
