@@ -99,14 +99,7 @@ fn kill_chain_complete(o: &CampaignOutcome) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .skip_while(|a| a.as_str() != "--seed")
-        .nth(1)
-        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
-        .unwrap_or(0x5_EC18);
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let secbus_bench::SoakArgs { seed, smoke } = secbus_bench::SoakArgs::parse(0x5_EC18);
     let seeds = if smoke { SMOKE_SEEDS } else { FULL_SEEDS };
 
     // Every cell is a pure function of (kind, mode, seed): the sweep fans
@@ -174,14 +167,14 @@ fn main() {
         ("bare_damage_words".into(), Json::uint(bare_damage)),
         ("wedged".into(), Json::Bool(wedged)),
     ]);
-    println!("{}", report.render_pretty());
-    if wedged || gate_failed {
-        eprintln!(
-            "campaign_soak: gate failed \
-             (bypasses={bypasses}, unalerted_sinks={unalerted}, \
+    secbus_bench::finish(
+        "campaign_soak",
+        &report,
+        wedged || gate_failed,
+        &format!(
+            "gate failed (bypasses={bypasses}, unalerted_sinks={unalerted}, \
              undetected={undetected_protected}, \
              incomplete_chains={incomplete_chains}, wedged={wedged})"
-        );
-        std::process::exit(1);
-    }
+        ),
+    )
 }

@@ -169,11 +169,7 @@ fn run_cell(mode: &Mode, factor: f64, seed: u64) -> (Json, u64) {
 }
 
 fn main() {
-    let seed = std::env::args()
-        .skip_while(|a| a != "--seed")
-        .nth(1)
-        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
-        .unwrap_or(0xC4A05);
+    let seed = secbus_bench::SoakArgs::parse(0xC4A05).seed;
 
     // Every (mode, factor) cell is a pure function of its inputs, so the
     // sweep fans out across threads and merges back in input order — the
@@ -217,9 +213,10 @@ fn main() {
         ("cells".into(), Json::Arr(cells)),
         ("wedged".into(), Json::Bool(wedged)),
     ]);
-    println!("{}", report.render_pretty());
-    if wedged {
-        eprintln!("chaos_soak: wedged cell detected (zero bus completions)");
-        std::process::exit(1);
-    }
+    secbus_bench::finish(
+        "chaos_soak",
+        &report,
+        wedged,
+        "wedged cell detected (zero bus completions)",
+    )
 }

@@ -459,11 +459,7 @@ fn run_soc_cell(kind: &str, cut: u64) -> Cell {
 }
 
 fn main() {
-    let seed = std::env::args()
-        .skip_while(|a| a != "--seed")
-        .nth(1)
-        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
-        .unwrap_or(0xC4A06);
+    let seed = secbus_bench::SoakArgs::parse(0xC4A06).seed;
 
     // Every cell is a pure function of (mode, journal, crash cycle, seed):
     // fan the sweep out across threads, merge in input order, aggregate
@@ -544,9 +540,10 @@ fn main() {
         ("soc_cells".into(), Json::Arr(soc_cells)),
         ("wedged".into(), Json::Bool(wedged)),
     ]);
-    println!("{}", report.render_pretty());
-    if wedged {
-        eprintln!("crash_soak: wedged cell detected (no completions before the cut)");
-        std::process::exit(1);
-    }
+    secbus_bench::finish(
+        "crash_soak",
+        &report,
+        wedged,
+        "wedged cell detected (no completions before the cut)",
+    )
 }

@@ -141,14 +141,7 @@ fn cell_json(r: &NocSoakReport, rate: f64, structural: bool) -> Json {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .skip_while(|a| a.as_str() != "--seed")
-        .nth(1)
-        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
-        .unwrap_or(0x50C15);
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let secbus_bench::SoakArgs { seed, smoke } = secbus_bench::SoakArgs::parse(0x50C15);
     let sizes: &[usize] = if smoke { &SIZES[..1] } else { SIZES };
 
     // Each (size, rate, mode) cell is a pure function of its spec: fan
@@ -193,11 +186,10 @@ fn main() {
         ("cells".into(), Json::Arr(cells)),
         ("wedged".into(), Json::Bool(wedged)),
     ]);
-    println!("{}", report.render_pretty());
-    if wedged {
-        eprintln!(
-            "noc_soak: wedged cell detected (protected traffic neither delivered nor alerted)"
-        );
-        std::process::exit(1);
-    }
+    secbus_bench::finish(
+        "noc_soak",
+        &report,
+        wedged,
+        "wedged cell detected (protected traffic neither delivered nor alerted)",
+    )
 }

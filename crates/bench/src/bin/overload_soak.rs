@@ -1,0 +1,290 @@
+//! S-19: overload soak — open-loop load against bounded queues, credit
+//! backpressure, admission control and graceful degradation.
+//!
+//! Two fabrics face the same discipline:
+//!
+//! * **NoC cells** sweep arrival intensity × burst shape × mesh size ×
+//!   protection over [`run_overload`]: a seed-deterministic workload
+//!   schedule is replayed verbatim (arrivals never wait for the fabric),
+//!   and the mesh must resolve the excess through source-side admission
+//!   control backed by per-router buffer credits.
+//! * **SoC cells** sweep flood rate × protection over
+//!   [`run_soc_overload`]: an open-loop master floods the DDR through a
+//!   bounded bus request queue; excess arrivals are refused with typed
+//!   alerts, and sustained pressure steps the LCF down the brownout
+//!   lattice (verify → cipher-only) until the burst drains.
+//!
+//! Gates (exit 1 on any failure, report printed regardless):
+//!
+//! 1. **no wedge** — protected residue after the drain window, or any
+//!    protected silent drop, fails the run;
+//! 2. **conservation** — every cell must balance its books:
+//!    offered == delivered + alerted + silent (bare only) + residue;
+//! 3. **monotone shedding** — within each (pattern, mesh, mode) group
+//!    the ingress shed *fraction* must be non-decreasing in offered
+//!    intensity (more load never makes refusal less likely);
+//! 4. **bounded drain** — every protected NoC cell must empty within
+//!    its drain window, and every degraded SoC cell must have exited
+//!    the brownout by the end of the run.
+//!
+//! Same `--seed` → byte-identical JSON, serial (`--serial`) or parallel.
+//! `--smoke` shrinks the sweep to CI size.
+
+use secbus_noc::{run_overload, OverloadConfig, OverloadReport};
+use secbus_sim::Json;
+use secbus_soc::{run_soc_overload, DegradeConfig, SocOverloadConfig, SocOverloadReport};
+use secbus_workload::Pattern;
+
+/// NoC injection window per cell, in cycles.
+const CYCLES: u64 = 4_000;
+/// NoC drain window.
+const DRAIN: u64 = 3_000;
+/// Buffer credits per router.
+const NODE_CAPACITY: usize = 8;
+
+/// Arrival intensities (expected arrivals per node per active cycle),
+/// sorted ascending — the monotone-shed gate leans on the order.
+const INTENSITIES: &[f64] = &[0.05, 0.3, 0.8];
+/// Mesh sizes (cols, rows).
+const MESHES: &[(u8, u8)] = &[(2, 2), (4, 4)];
+/// SoC flood rates (arrivals per cycle into one port).
+const SOC_RATES: &[u32] = &[1, 2, 4];
+
+/// Burst shapes the sweep exercises. Hotspot aims everything at the far
+/// corner; transpose is the classic adversarial permutation.
+fn patterns(cols: u8, rows: u8) -> Vec<(&'static str, Pattern)> {
+    let dests = usize::from(cols) * usize::from(rows);
+    vec![
+        ("poisson", Pattern::Poisson),
+        (
+            "bursty",
+            Pattern::Bursty {
+                burst_len: 32,
+                gap_len: 96,
+            },
+        ),
+        (
+            "hotspot",
+            Pattern::Hotspot {
+                hot: dests - 1,
+                fraction: 0.8,
+            },
+        ),
+        ("transpose", Pattern::Transpose),
+    ]
+}
+
+fn noc_cell_json(name: &str, intensity: f64, r: &OverloadReport) -> Json {
+    let alerts_by_reason = r
+        .alerts_by_reason
+        .iter()
+        .map(|(reason, count)| ((*reason).to_string(), Json::uint(*count)))
+        .collect();
+    Json::Obj(vec![
+        ("fabric".into(), Json::str("noc")),
+        ("mesh".into(), Json::str(format!("{}x{}", r.cols, r.rows))),
+        ("pattern".into(), Json::str(name)),
+        ("intensity".into(), Json::Num(intensity)),
+        (
+            "mode".into(),
+            Json::str(if r.protected { "protected" } else { "bare" }),
+        ),
+        ("offered".into(), Json::uint(r.offered)),
+        ("delivered".into(), Json::uint(r.delivered)),
+        ("shed_at_ingress".into(), Json::uint(r.shed_at_ingress)),
+        ("alerts".into(), Json::uint(r.alerts)),
+        ("alerts_by_reason".into(), Json::Obj(alerts_by_reason)),
+        ("silent_drops".into(), Json::uint(r.silent_drops)),
+        (
+            "credit_wait_cycles".into(),
+            Json::uint(r.credit_wait_cycles),
+        ),
+        ("max_in_flight".into(), Json::uint(r.max_in_flight)),
+        (
+            "drain_cycles_used".into(),
+            match r.drain_cycles_used {
+                Some(d) => Json::uint(d),
+                None => Json::Null,
+            },
+        ),
+        ("residue".into(), Json::uint(r.residue)),
+        ("conservation_ok".into(), Json::Bool(r.conservation_ok)),
+        ("wedged".into(), Json::Bool(r.wedged)),
+        (
+            "metrics".into(),
+            Json::parse(&r.metrics_json).expect("metrics snapshot parses"),
+        ),
+    ])
+}
+
+fn soc_cell_json(per_tick: u32, r: &SocOverloadReport) -> Json {
+    Json::Obj(vec![
+        ("fabric".into(), Json::str("soc")),
+        ("per_tick".into(), Json::uint(u64::from(per_tick))),
+        (
+            "mode".into(),
+            Json::str(if r.protected { "protected" } else { "bare" }),
+        ),
+        ("issued".into(), Json::uint(r.issued)),
+        ("completed".into(), Json::uint(r.completed)),
+        ("shed".into(), Json::uint(r.shed)),
+        ("errors".into(), Json::uint(r.errors)),
+        ("shed_alerts".into(), Json::uint(r.shed_alerts)),
+        ("degrade_enters".into(), Json::uint(r.degrade_enters)),
+        ("degrade_exits".into(), Json::uint(r.degrade_exits)),
+        (
+            "brownout_skipped_verifies".into(),
+            Json::uint(r.brownout_skipped_verifies),
+        ),
+        ("still_degraded".into(), Json::Bool(r.still_degraded)),
+        ("conservation_ok".into(), Json::Bool(r.conservation_ok)),
+        ("wedged".into(), Json::Bool(r.wedged)),
+        (
+            "metrics".into(),
+            Json::parse(&r.metrics_json).expect("metrics snapshot parses"),
+        ),
+    ])
+}
+
+/// Shed fraction of a NoC cell, for the monotonicity gate.
+fn shed_rate(r: &OverloadReport) -> f64 {
+    if r.offered == 0 {
+        0.0
+    } else {
+        r.shed_at_ingress as f64 / r.offered as f64
+    }
+}
+
+fn main() {
+    let secbus_bench::SoakArgs { seed, smoke } = secbus_bench::SoakArgs::parse(0x0E_71_0A_D5);
+    let meshes: &[(u8, u8)] = if smoke { &MESHES[..1] } else { MESHES };
+    let cycles = if smoke { CYCLES / 4 } else { CYCLES };
+    let soc_cycles: u64 = if smoke { 800 } else { 2_000 };
+
+    // NoC sweep: every (mesh, pattern, intensity, mode) cell is a pure
+    // function of its spec — fan out, merge in input order, so the JSON
+    // is byte-identical to a serial run (`--serial` forces one).
+    let mut noc_specs: Vec<(&'static str, OverloadConfig)> = Vec::new();
+    for (mi, &(cols, rows)) in meshes.iter().enumerate() {
+        for (pi, (name, pattern)) in patterns(cols, rows).into_iter().enumerate() {
+            for (ii, &intensity) in INTENSITIES.iter().enumerate() {
+                // One schedule seed per (mesh, pattern, intensity): bare
+                // and protected face identical arrivals.
+                let cell_seed = seed + (((mi * 8) + pi) * INTENSITIES.len() + ii) as u64;
+                for &protected in &[false, true] {
+                    noc_specs.push((
+                        name,
+                        OverloadConfig {
+                            cols,
+                            rows,
+                            pattern,
+                            intensity,
+                            cycles,
+                            drain_cycles: DRAIN,
+                            protected,
+                            node_capacity: NODE_CAPACITY,
+                            seed: cell_seed,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    let threads = secbus_bench::sweep_threads();
+    let noc_results = secbus_bench::par_map_with(threads, noc_specs.clone(), |(name, cfg)| {
+        (name, cfg, run_overload(&cfg))
+    });
+
+    // SoC sweep.
+    let soc_specs: Vec<SocOverloadConfig> = SOC_RATES
+        .iter()
+        .flat_map(|&per_tick| {
+            [false, true]
+                .into_iter()
+                .map(move |protected| SocOverloadConfig {
+                    per_tick,
+                    cycles: soc_cycles,
+                    drain_cycles: 20_000,
+                    master_queue_capacity: 8,
+                    protected,
+                    degrade: protected.then_some(DegradeConfig {
+                        high_watermark: 6,
+                        low_watermark: 0,
+                        enter_after: 8,
+                        exit_after: 32,
+                    }),
+                    seed,
+                })
+        })
+        .collect();
+    let soc_results =
+        secbus_bench::par_map_with(threads, soc_specs, |cfg| (cfg, run_soc_overload(&cfg)));
+
+    // Gates.
+    let mut wedged = false;
+    let mut conservation_failures = 0u64;
+    let mut unbounded_drains = 0u64;
+    let mut monotonicity_breaks = 0u64;
+    let mut cells = Vec::new();
+
+    // Group NoC cells by (mesh, pattern, mode) to check the shed rate is
+    // monotone in intensity; the sweep order guarantees intensity
+    // ascends within each group.
+    let mut last_rate: std::collections::HashMap<(u8, u8, &str, bool), f64> =
+        std::collections::HashMap::new();
+    for (name, cfg, r) in &noc_results {
+        wedged |= r.wedged;
+        conservation_failures += u64::from(!r.conservation_ok);
+        if r.protected && r.drain_cycles_used.is_none() {
+            unbounded_drains += 1;
+        }
+        let key = (cfg.cols, cfg.rows, *name, cfg.protected);
+        let rate = shed_rate(r);
+        if let Some(&prev) = last_rate.get(&key) {
+            // Tiny slack absorbs schedule-level noise between adjacent
+            // intensities; a real inversion is far larger.
+            if rate + 0.01 < prev {
+                monotonicity_breaks += 1;
+            }
+        }
+        last_rate.insert(key, rate);
+        cells.push(noc_cell_json(name, cfg.intensity, r));
+    }
+    for (cfg, r) in &soc_results {
+        wedged |= r.wedged;
+        conservation_failures += u64::from(!r.conservation_ok);
+        unbounded_drains += u64::from(r.still_degraded);
+        cells.push(soc_cell_json(cfg.per_tick, r));
+    }
+
+    let gate_failed =
+        wedged || conservation_failures > 0 || unbounded_drains > 0 || monotonicity_breaks > 0;
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("S-19 overload soak")),
+        ("seed".into(), Json::uint(seed)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("noc_cycles".into(), Json::uint(cycles)),
+        ("noc_drain_cycles".into(), Json::uint(DRAIN)),
+        ("node_capacity".into(), Json::uint(NODE_CAPACITY as u64)),
+        ("cells".into(), Json::Arr(cells)),
+        (
+            "conservation_failures".into(),
+            Json::uint(conservation_failures),
+        ),
+        ("unbounded_drains".into(), Json::uint(unbounded_drains)),
+        (
+            "monotonicity_breaks".into(),
+            Json::uint(monotonicity_breaks),
+        ),
+        ("wedged".into(), Json::Bool(wedged)),
+    ]);
+    secbus_bench::finish(
+        "overload_soak",
+        &report,
+        gate_failed,
+        &format!(
+            "gate failed (wedged={wedged}, conservation_failures={conservation_failures}, \
+             unbounded_drains={unbounded_drains}, monotonicity_breaks={monotonicity_breaks})"
+        ),
+    )
+}

@@ -22,14 +22,7 @@ use secbus_soc::{case_study, CaseStudyConfig};
 const BASELINE: &str = "BENCH_PERF.json";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let seed = args
-        .iter()
-        .skip_while(|a| a.as_str() != "--seed")
-        .nth(1)
-        .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
-        .unwrap_or(0x516);
+    let secbus_bench::SoakArgs { seed, smoke } = secbus_bench::SoakArgs::parse(0x516);
 
     let ic_workload = if smoke {
         IcWorkload::smoke(seed)

@@ -1,0 +1,101 @@
+//! Shared scaffolding for the soak binaries.
+//!
+//! Every soak (S-13 chaos, S-14 crash, S-15 NoC, S-16 perf, S-18
+//! campaign, S-19 overload) speaks the same tiny CLI dialect — `--seed
+//! N`, `--smoke`, `--serial` — and ends the same way: print the JSON
+//! report, exit non-zero iff a wedge (or gate failure) was detected. The
+//! parsing and exit logic live here so the binaries only describe their
+//! sweep, and so a new soak can't drift from the dialect by accident.
+
+use secbus_sim::Json;
+
+/// The arguments every soak binary understands. `--serial` is consumed
+/// separately by [`crate::sweep_threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakArgs {
+    /// Sweep seed: same seed → byte-identical JSON.
+    pub seed: u64,
+    /// CI-sized subset of the sweep.
+    pub smoke: bool,
+}
+
+impl SoakArgs {
+    /// Parse `--seed N` / `--smoke` from the process arguments; an
+    /// absent `--seed` falls back to the binary's default.
+    ///
+    /// # Panics
+    /// Panics (with a usage message) when `--seed` is present without a
+    /// parseable u64 — a soak silently running the wrong seed would
+    /// defeat the reproducibility contract.
+    pub fn parse(default_seed: u64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_slice(&args, default_seed)
+    }
+
+    /// Testable core of [`SoakArgs::parse`].
+    pub fn from_slice(args: &[String], default_seed: u64) -> Self {
+        let seed = args
+            .iter()
+            .skip_while(|a| a.as_str() != "--seed")
+            .nth(1)
+            .map(|s| s.parse::<u64>().expect("--seed takes a u64"))
+            .unwrap_or(default_seed);
+        let smoke = args.iter().any(|a| a == "--smoke");
+        SoakArgs { seed, smoke }
+    }
+}
+
+/// Print the report and terminate: exit code 1 with `reason` on stderr
+/// when the sweep detected a wedge or gate failure, 0 otherwise. The
+/// report is printed either way — a failing soak still hands CI its
+/// evidence.
+pub fn finish(bin: &str, report: &Json, failed: bool, reason: &str) -> ! {
+    println!("{}", report.render_pretty());
+    if failed {
+        eprintln!("{bin}: {reason}");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_are_absent() {
+        let a = SoakArgs::from_slice(&argv(&["soak"]), 0xABC);
+        assert_eq!(
+            a,
+            SoakArgs {
+                seed: 0xABC,
+                smoke: false
+            }
+        );
+    }
+
+    #[test]
+    fn seed_and_smoke_are_parsed_anywhere_in_the_line() {
+        let a = SoakArgs::from_slice(&argv(&["soak", "--smoke", "--seed", "42"]), 1);
+        assert_eq!(
+            a,
+            SoakArgs {
+                seed: 42,
+                smoke: true
+            }
+        );
+        let b = SoakArgs::from_slice(&argv(&["soak", "--seed", "7"]), 1);
+        assert_eq!(b.seed, 7);
+        assert!(!b.smoke);
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed takes a u64")]
+    fn a_malformed_seed_is_refused_loudly() {
+        SoakArgs::from_slice(&argv(&["soak", "--seed", "banana"]), 1);
+    }
+}

@@ -24,6 +24,7 @@
 //! micro-benches are under `benches/`.
 
 pub mod energy;
+pub mod harness;
 pub mod perf;
 pub mod table2;
 pub mod timing;
@@ -101,6 +102,7 @@ pub fn sweep_threads() -> usize {
 }
 
 pub use energy::{case_study_energy, collect_activity};
+pub use harness::{finish, SoakArgs};
 pub use table2::{measure_table2, Table2};
 pub use timing::{bench, measure, Measurement};
 pub use traffic::{

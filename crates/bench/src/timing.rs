@@ -34,7 +34,7 @@ impl Measurement {
 }
 
 /// Time `f`, scaling the iteration count so each sample runs for roughly
-/// [`SAMPLE_TARGET`], and return the median over [`SAMPLES`] samples.
+/// `SAMPLE_TARGET`, and return the median over `SAMPLES` samples.
 pub fn measure<F: FnMut()>(mut f: F) -> Measurement {
     // Calibrate: find an iteration count filling the sample target.
     let mut iters: u64 = 1;

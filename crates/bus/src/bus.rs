@@ -37,6 +37,16 @@ pub struct BusConfig {
     pub beat_cycles: u64,
     /// Capacity of the bus-side transaction trace.
     pub trace_capacity: usize,
+    /// Bound on each master's request queue. [`SharedBus::try_issue_at`]
+    /// refuses (returns `None`) once a master has this many requests
+    /// queued but not yet granted — the admission-control seam the SoC's
+    /// port adapters shed at. Must be > 0.
+    pub master_queue_capacity: usize,
+    /// Bound on each slave's inbox. A master whose head-of-queue request
+    /// targets a full slave is *not eligible* for arbitration that cycle
+    /// (credit-style backpressure: the request waits at the master, it is
+    /// never dropped), counted in `bus.backpressure_stalls`. Must be > 0.
+    pub slave_queue_capacity: usize,
 }
 
 impl Default for BusConfig {
@@ -45,6 +55,8 @@ impl Default for BusConfig {
             grant_cycles: 1,
             beat_cycles: 1,
             trace_capacity: 4096,
+            master_queue_capacity: 64,
+            slave_queue_capacity: 16,
         }
     }
 }
@@ -187,6 +199,12 @@ impl SharedBus {
     /// Enqueue a request that becomes eligible for arbitration only at
     /// `ready_at` — how the SoC models the Security Builder's check delay
     /// between an IP and the bus.
+    ///
+    /// # Panics
+    /// Panics if `master`'s bounded request queue is full. Callers without
+    /// their own admission control must either size
+    /// [`BusConfig::master_queue_capacity`] for their worst case or use
+    /// [`SharedBus::try_issue_at`] and shed on `None`.
     #[allow(clippy::too_many_arguments)]
     pub fn issue_at(
         &mut self,
@@ -199,6 +217,34 @@ impl SharedBus {
         issued_at: Cycle,
         ready_at: Cycle,
     ) -> TxnId {
+        self.try_issue_at(master, op, addr, width, data, burst, issued_at, ready_at)
+            .expect(
+                "master request queue full — shed via try_issue_at or raise master_queue_capacity",
+            )
+    }
+
+    /// [`SharedBus::issue_at`] with explicit admission control: returns
+    /// `None` (and counts a `bus.issue_refused`) instead of queueing when
+    /// the master's bounded request queue is full. The caller owns the
+    /// refusal — the SoC's port adapters turn it into a typed
+    /// `Violation::Shed` alert so no transaction is ever silently lost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_issue_at(
+        &mut self,
+        master: MasterId,
+        op: Op,
+        addr: u32,
+        width: Width,
+        data: u32,
+        burst: u16,
+        issued_at: Cycle,
+        ready_at: Cycle,
+    ) -> Option<TxnId> {
+        let queue = &self.masters[master.0 as usize].requests;
+        if queue.len() >= self.config.master_queue_capacity {
+            self.stats.incr("bus.issue_refused");
+            return None;
+        }
         let id = self.alloc_txn_id();
         let txn = Transaction {
             id,
@@ -214,7 +260,20 @@ impl SharedBus {
             .requests
             .push_back((ready_at, txn));
         self.stats.incr("bus.issued");
-        id
+        Some(id)
+    }
+
+    /// Free request-queue slots left before `master` hits its bound.
+    pub fn master_queue_free(&self, master: MasterId) -> usize {
+        self.config
+            .master_queue_capacity
+            .saturating_sub(self.masters[master.0 as usize].requests.len())
+    }
+
+    /// Total requests queued across every master — the fabric-pressure
+    /// signal the SecurityMonitor's overload hysteresis watches.
+    pub fn total_pending_requests(&self) -> usize {
+        self.masters.iter().map(|m| m.requests.len()).sum()
     }
 
     /// Allocate a transaction id from the bus id space without queueing
@@ -348,24 +407,58 @@ impl SharedBus {
             return;
         }
 
-        // 3. Arbitrate among masters whose head request is eligible.
+        // 3. Arbitrate among masters whose head request is eligible. A
+        // head request targeting a full slave inbox keeps its master OUT
+        // of arbitration this cycle (credit-style backpressure: the
+        // request waits at the master's queue, never dropped); decode
+        // misses stay eligible because they complete immediately.
+        let mut backpressured = false;
         let requesting: Vec<MasterId> = self
             .masters
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.requests.front().is_some_and(|(ready, _)| *ready <= now))
+            .filter(|(_, m)| {
+                let Some((ready, txn)) = m.requests.front() else {
+                    return false;
+                };
+                if *ready > now {
+                    return false;
+                }
+                match self.map.decode(txn.addr) {
+                    Some(slave) => {
+                        let ok = self.slaves[slave.0 as usize].inbox.len()
+                            < self.config.slave_queue_capacity;
+                        backpressured |= !ok;
+                        ok
+                    }
+                    None => true,
+                }
+            })
             .map(|(i, _)| MasterId(i as u8))
             .collect();
+        if backpressured {
+            self.stats.incr("bus.backpressure_stalls");
+        }
         if requesting.len() > 1 {
             self.stats.add("bus.contended_cycles", 1);
         }
         let Some(winner) = self.arbiter.grant(&requesting, now) else {
             return;
         };
-        let (_, txn) = self.masters[winner.0 as usize]
-            .requests
-            .pop_front()
-            .expect("arbiter granted a master with no request");
+        // A defective arbiter can name a master outside the requesting
+        // set; under overload that must surface as an accounted misgrant,
+        // not a panic that takes the fabric down.
+        let Some((_, txn)) =
+            self.masters
+                .get_mut(winner.0 as usize)
+                .and_then(|m| match m.requests.front() {
+                    Some((ready, _)) if *ready <= now => m.requests.pop_front(),
+                    _ => None,
+                })
+        else {
+            self.stats.incr("bus.arbiter_misgrants");
+            return;
+        };
         if self.lose_next_grant {
             // Fault: the grant pulse is glitched away. The address phase
             // consumed the bus but the transaction never reaches a slave
@@ -728,6 +821,86 @@ mod tests {
         assert!(!b.is_inflight(id));
         assert_eq!(b.cancel_inflight(id), None, "second cancel is a no-op");
         assert_eq!(b.stats().counter("bus.cancelled"), 1);
+    }
+
+    #[test]
+    fn full_master_queue_refuses_instead_of_growing() {
+        let mut b = SharedBus::new(
+            BusConfig {
+                master_queue_capacity: 2,
+                ..BusConfig::default()
+            },
+            Box::new(FixedPriority),
+        );
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        assert!(b
+            .try_issue_at(m, Op::Read, 0x0, Width::Word, 0, 1, Cycle(0), Cycle(0))
+            .is_some());
+        assert!(b
+            .try_issue_at(m, Op::Read, 0x4, Width::Word, 0, 1, Cycle(0), Cycle(0))
+            .is_some());
+        assert_eq!(b.master_queue_free(m), 0);
+        assert!(
+            b.try_issue_at(m, Op::Read, 0x8, Width::Word, 0, 1, Cycle(0), Cycle(0))
+                .is_none(),
+            "third request refused at capacity 2"
+        );
+        assert_eq!(b.stats().counter("bus.issue_refused"), 1);
+        assert_eq!(b.pending_requests(m), 2, "queue never exceeds its bound");
+        // Draining one grant frees a slot again.
+        b.tick(Cycle(0));
+        assert!(b
+            .try_issue_at(m, Op::Read, 0x8, Width::Word, 0, 1, Cycle(1), Cycle(1))
+            .is_some());
+    }
+
+    #[test]
+    fn full_slave_inbox_backpressures_without_loss() {
+        let mut b = SharedBus::new(
+            BusConfig {
+                grant_cycles: 1,
+                beat_cycles: 0, // every cycle grantable
+                slave_queue_capacity: 1,
+                ..BusConfig::default()
+            },
+            Box::new(FixedPriority),
+        );
+        let m = b.add_master();
+        let s = b.add_slave();
+        b.map_range(s, AddrRange::new(0, 0x1000)).unwrap();
+        for i in 0..3 {
+            b.issue(m, Op::Read, i * 4, Width::Word, 0, 1, Cycle(0));
+        }
+        // First grant fills the inbox; while the slave does not service
+        // it, no further grant happens — the requests wait, unharmed.
+        for c in 0..10 {
+            b.tick(Cycle(c));
+        }
+        assert_eq!(b.trace().len(), 1, "inbox bound holds grants back");
+        assert_eq!(b.pending_requests(m), 2, "ungranted requests still queued");
+        assert!(b.stats().counter("bus.backpressure_stalls") > 0);
+        // Conservation: servicing the inbox releases the stalled queue.
+        let mut completed = 0;
+        for c in 10..40 {
+            while let Some(t) = b.slave_pop(s) {
+                b.slave_complete(
+                    s,
+                    Response {
+                        txn: t.id,
+                        data: 0,
+                        result: Ok(()),
+                        completed_at: Cycle(c),
+                    },
+                );
+            }
+            b.tick(Cycle(c));
+            while b.poll_response(m).is_some() {
+                completed += 1;
+            }
+        }
+        assert_eq!(completed, 3, "every backpressured request completes");
     }
 
     #[test]

@@ -162,6 +162,10 @@ pub enum BusError {
     /// No completion arrived within the watchdog window; the transaction
     /// was cancelled and this error response synthesized in its place.
     Timeout,
+    /// The master's bounded request queue was full: the access was refused
+    /// at admission (load shedding) and never reached arbitration. The
+    /// refusal is always accompanied by a counted alert — never silent.
+    Overload,
 }
 
 impl fmt::Display for BusError {
@@ -172,6 +176,7 @@ impl fmt::Display for BusError {
             BusError::Discarded => "discarded by firewall",
             BusError::IntegrityViolation => "integrity violation",
             BusError::Timeout => "watchdog timeout",
+            BusError::Overload => "shed at admission (queue full)",
         })
     }
 }

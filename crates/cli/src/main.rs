@@ -16,6 +16,9 @@
 //!     --tail <n>                   print the last n trace events
 //!     --attack                     hijack cpu0 so the timeline shows an alert
 //! secbus attacks [--seed <n>]      run the §III threat-model scenarios
+//! secbus overload [--seed <n>] [--rate <n>]
+//!                                  flood the SoC and a 4x4 mesh open-loop;
+//!                                  show shedding, brownout and conservation
 //! secbus table1                    regenerate the paper's Table I
 //! secbus fig1                      regenerate the architecture figure
 //! secbus policy-template           print a JSON policy skeleton

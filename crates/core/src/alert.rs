@@ -189,9 +189,11 @@ impl SecurityMonitor {
     /// Feed one alert; returns the reaction the system should apply.
     ///
     /// Environment faults ([`Violation::WatchdogTimeout`],
-    /// [`Violation::ConfigCorruption`]) are logged and counted but do not
-    /// burn the IP's violation budget — a flaky fabric must not get an
-    /// innocent IP blocked.
+    /// [`Violation::ConfigCorruption`]) and overload sheds
+    /// ([`Violation::Shed`]) are logged and counted but do not burn the
+    /// IP's violation budget — a flaky or overloaded fabric must not get
+    /// an innocent IP blocked (deliberate flooding escalates through
+    /// [`Violation::RateLimited`] instead).
     pub fn observe(&mut self, alert: Alert) -> Reaction {
         let idx = alert.firewall.0 as usize;
         if idx >= self.per_firewall.len() {
@@ -201,7 +203,7 @@ impl SecurityMonitor {
         self.alerts_total[idx] += 1;
         let offense = !matches!(
             alert.violation,
-            Violation::WatchdogTimeout | Violation::ConfigCorruption
+            Violation::WatchdogTimeout | Violation::ConfigCorruption | Violation::Shed
         );
         if offense {
             self.per_firewall[idx] += 1;
@@ -442,6 +444,8 @@ mod tests {
             m.observe(alert(3, Violation::WatchdogTimeout, 3)),
             Reaction::None
         );
+        // Overload sheds are environment pressure too, not IP malice.
+        assert_eq!(m.observe(alert(3, Violation::Shed, 4)), Reaction::None);
         assert_eq!(
             m.violation_budget(FirewallId(3)),
             0,
@@ -449,10 +453,10 @@ mod tests {
         );
         assert_eq!(
             m.alerts_from(FirewallId(3)),
-            3,
+            4,
             "the audit total still counts them"
         );
-        assert_eq!(m.alert_count(), 3, "still in the audit trail");
+        assert_eq!(m.alert_count(), 4, "still in the audit trail");
         // Real offenses still escalate at the configured threshold.
         assert_eq!(m.observe(alert(3, Violation::NoPolicy, 4)), Reaction::None);
         assert_eq!(
@@ -585,6 +589,8 @@ mod tests {
             Violation::RateLimited,
             Violation::WatchdogTimeout,
             Violation::ConfigCorruption,
+            Violation::TaintedSink,
+            Violation::Shed,
         ] {
             assert_eq!(
                 v.monitor_key(),

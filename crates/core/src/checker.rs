@@ -57,6 +57,11 @@ pub enum Violation {
     /// flow the address-based rules alone cannot see (e.g. a compromised
     /// master laundering attacker-controlled words into protected memory).
     TaintedSink,
+    /// Admission control refused the transaction because the fabric's
+    /// bounded queues were full (overload shedding). Fail-secure: the
+    /// transaction is *refused with this alert*, never silently dropped —
+    /// under overload a shed must be as visible as a blocked attack.
+    Shed,
 }
 
 impl Violation {
@@ -75,6 +80,7 @@ impl Violation {
             Violation::WatchdogTimeout => "watchdog_timeout",
             Violation::ConfigCorruption => "config_corruption",
             Violation::TaintedSink => "tainted_sink",
+            Violation::Shed => "shed",
         }
     }
 
@@ -94,6 +100,7 @@ impl Violation {
             Violation::WatchdogTimeout => "monitor.violation.watchdog_timeout",
             Violation::ConfigCorruption => "monitor.violation.config_corruption",
             Violation::TaintedSink => "monitor.violation.tainted_sink",
+            Violation::Shed => "monitor.violation.shed",
         }
     }
 
@@ -113,6 +120,7 @@ impl Violation {
             Violation::WatchdogTimeout => "fw.violation.watchdog_timeout",
             Violation::ConfigCorruption => "fw.violation.config_corruption",
             Violation::TaintedSink => "fw.violation.tainted_sink",
+            Violation::Shed => "fw.violation.shed",
         }
     }
 }

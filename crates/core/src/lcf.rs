@@ -250,8 +250,28 @@ pub struct LocalCipheringFirewall {
     /// Last-hit region slot: bursts overwhelmingly land in the region of
     /// the previous access, so try it before the binary search.
     last_region: Option<usize>,
+    /// Brownout (graceful degradation under overload): read-path
+    /// integrity verification is skipped — the cheaper
+    /// [`Protection::CipherOnly`] posture — while the cipher stays on
+    /// and every write still updates the tree, so re-tightening after
+    /// the burst drains is sound and tampering during the brownout is
+    /// still caught by the first post-brownout verify.
+    brownout: bool,
     /// Observability spine, if attached.
     tracer: Option<Tracer>,
+}
+
+/// The declared-safe degradation lattice: under overload a region may
+/// step down exactly one posture, from full integrity verification to
+/// cipher-only. Ciphering is never dropped — there is no edge to
+/// [`Protection::None`], so a brownout can weaken freshness checking but
+/// never expose plaintext or lift enforcement entirely.
+pub fn brownout_posture(p: Protection) -> Protection {
+    match p {
+        Protection::CipherIntegrity => Protection::CipherOnly,
+        // Already at (or below) the cipher floor: no further step exists.
+        other => other,
+    }
 }
 
 impl LocalCipheringFirewall {
@@ -307,8 +327,21 @@ impl LocalCipheringFirewall {
             crashed: false,
             ic_cache_entries: None,
             last_region: None,
+            brownout: false,
             tracer: None,
         }
+    }
+
+    /// Enter or leave the brownout posture (see [`brownout_posture`]).
+    /// The SecurityMonitor drives this from its overload hysteresis; the
+    /// LCF itself just applies the cheaper read path while set.
+    pub fn set_brownout(&mut self, on: bool) {
+        self.brownout = on;
+    }
+
+    /// Whether the brownout posture is active.
+    pub fn brownout(&self) -> bool {
+        self.brownout
     }
 
     /// Attach the observability spine to the LCF and its embedded
@@ -582,7 +615,14 @@ impl LocalCipheringFirewall {
             .expect("16-byte block");
 
         // Integrity Core: verify the stored ciphertext against the tree.
-        if region.protection == Protection::CipherIntegrity {
+        // Under brownout the read-path verification (and its IC cycles)
+        // is skipped — the CipherOnly posture — while writes below still
+        // keep the tree current, so leaving the brownout restores full
+        // verification with no rebuild, and a tamper landed during the
+        // brownout fails the first post-brownout verify of its block.
+        if region.protection == Protection::CipherIntegrity && self.brownout {
+            self.stats.incr("lcf.brownout_skipped_verifies");
+        } else if region.protection == Protection::CipherIntegrity {
             let expected = leaf_digest(block_idx as u64, ts, &block);
             let tree = region.tree.as_ref().expect("integrity region has a tree");
             let full_levels = tree.height();
@@ -2189,5 +2229,96 @@ mod tests {
             RecoveryOutcome::Quarantined(TamperEvidence::RootMismatch { region: 0 }),
             "journal-off boot cannot explain its own legitimate writes"
         );
+    }
+
+    #[test]
+    fn brownout_lattice_never_reaches_bypass() {
+        assert_eq!(
+            brownout_posture(Protection::CipherIntegrity),
+            Protection::CipherOnly
+        );
+        // The lattice has no edge that drops the cipher.
+        assert_eq!(
+            brownout_posture(Protection::CipherOnly),
+            Protection::CipherOnly
+        );
+        assert_eq!(brownout_posture(Protection::None), Protection::None);
+        // Iterating the lattice from full protection can never lift the
+        // cipher, no matter how long the overload lasts.
+        let mut p = Protection::CipherIntegrity;
+        for _ in 0..10 {
+            p = brownout_posture(p);
+            assert_ne!(p, Protection::None);
+        }
+    }
+
+    #[test]
+    fn brownout_skips_read_verify_but_keeps_the_cipher() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let addr = DDR_BASE + 0x10;
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0xFEED_BEEF),
+            Cycle(0),
+        )
+        .unwrap();
+        let full = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
+        lcf.set_brownout(true);
+        let cheap = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(2))
+            .unwrap();
+        assert_eq!(cheap.data, 0xFEED_BEEF, "cipher still on: data intact");
+        assert!(
+            cheap.latency < full.latency,
+            "brownout must be cheaper: {} vs {}",
+            cheap.latency,
+            full.latency
+        );
+        assert_eq!(lcf.stats().counter("lcf.brownout_skipped_verifies"), 1);
+        // Ciphertext in DDR is still not plaintext.
+        assert_ne!(ddr.snoop(0x10, 4), 0xFEED_BEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn writes_during_brownout_keep_the_tree_current() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let addr = DDR_BASE + 0x20;
+        lcf.set_brownout(true);
+        lcf.handle(
+            &mut ddr,
+            &txn(Op::Write, addr, Width::Word, 0x1234_5678),
+            Cycle(0),
+        )
+        .unwrap();
+        // Re-tighten: the very next verified read must pass (the write
+        // updated the tree even while verification was off).
+        lcf.set_brownout(false);
+        let r = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap();
+        assert_eq!(r.data, 0x1234_5678);
+        assert_eq!(lcf.stats().counter("lcf.integrity_failures"), 0);
+    }
+
+    #[test]
+    fn tamper_during_brownout_is_caught_after_exit() {
+        let (mut lcf, mut ddr) = make_lcf();
+        let addr = DDR_BASE + 0x40;
+        lcf.set_brownout(true);
+        // Attacker flips stored ciphertext while verification is off: the
+        // brownout read serves it without noticing (the accepted risk)...
+        ddr.tamper(0x40, &[0xFF; 16]);
+        lcf.handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(0))
+            .unwrap();
+        assert_eq!(lcf.stats().counter("lcf.integrity_failures"), 0);
+        // ...but the first verified read after re-tightening catches it.
+        lcf.set_brownout(false);
+        let err = lcf
+            .handle(&mut ddr, &txn(Op::Read, addr, Width::Word, 0), Cycle(1))
+            .unwrap_err();
+        assert_eq!(err.0, Violation::IntegrityMismatch);
+        assert_eq!(lcf.stats().counter("lcf.integrity_failures"), 1);
     }
 }

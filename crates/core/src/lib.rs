@@ -43,7 +43,8 @@ pub use checker::{CheckOutcome, Violation};
 pub use config::ConfigMemory;
 pub use firewall::{Decision, FirewallId, LocalFirewall, RateLimit, SbTiming};
 pub use lcf::{
-    CryptoTiming, IcFailureMode, LcfRegionConfig, LocalCipheringFirewall, Protection, RekeyError,
+    brownout_posture, CryptoTiming, IcFailureMode, LcfRegionConfig, LocalCipheringFirewall,
+    Protection, RekeyError,
 };
 pub use policy::{
     AdfSet, ConfidentialityMode, IntegrityMode, PolicyError, Rwa, SecurityPolicy, Spi,

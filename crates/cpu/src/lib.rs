@@ -34,4 +34,6 @@ pub use cache::{CacheConfig, CachedMaster};
 pub use disasm::{disasm, disasm_listing};
 pub use isa::{Instr, Reg};
 pub use master::{BusMaster, MasterAccess};
-pub use traffic::{DmaEngine, StreamIp, SyntheticConfig, SyntheticMaster};
+pub use traffic::{
+    DmaEngine, OpenLoopConfig, OpenLoopMaster, StreamIp, SyntheticConfig, SyntheticMaster,
+};

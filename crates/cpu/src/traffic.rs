@@ -354,6 +354,151 @@ impl BusMaster for StreamIp {
     }
 }
 
+/// Configuration for an [`OpenLoopMaster`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Address window the accesses land in (base, length in bytes).
+    pub window: (u32, u32),
+    /// Probability an access is a read (vs write).
+    pub read_ratio: f64,
+    /// Accesses issued every cycle of the window, regardless of
+    /// completions.
+    pub per_tick: u32,
+    /// Last issue cycle (exclusive); after it the source only drains
+    /// responses.
+    pub until: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            window: (0, 0x1000),
+            read_ratio: 0.5,
+            per_tick: 1,
+            until: 1_000,
+        }
+    }
+}
+
+/// An *open-loop* source: it issues [`OpenLoopConfig::per_tick`] accesses
+/// every cycle of its window whether or not earlier ones completed — the
+/// offered load does not slow down when the fabric does. The closed-loop
+/// masters above can never overflow a bounded queue (they wait for each
+/// response), so overload experiments need one of these. Refusals
+/// ([`secbus_bus::BusError::Overload`]) are counted separately from
+/// completions and other errors, which is exactly the conservation law
+/// the S-19 soak checks: issued == completed + shed + errors.
+pub struct OpenLoopMaster {
+    label: String,
+    config: OpenLoopConfig,
+    rng: SimRng,
+    stats: Stats,
+    issued: u64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+}
+
+impl OpenLoopMaster {
+    /// Create a source with its own RNG stream.
+    ///
+    /// # Panics
+    /// Panics on an empty address window.
+    pub fn new(label: impl Into<String>, config: OpenLoopConfig, rng: SimRng) -> Self {
+        assert!(config.window.1 >= 4, "window must hold at least one word");
+        OpenLoopMaster {
+            label: label.into(),
+            config,
+            rng,
+            stats: Stats::new(),
+            issued: 0,
+            completed: 0,
+            shed: 0,
+            errors: 0,
+        }
+    }
+
+    /// Accesses issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Responses that completed OK.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Refusals at admission ([`secbus_bus::BusError::Overload`]).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Any other error outcome (discards, decode errors, timeouts).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Whether every issued access has resolved one way or another.
+    pub fn resolved(&self) -> bool {
+        self.issued == self.completed + self.shed + self.errors
+    }
+}
+
+impl BusMaster for OpenLoopMaster {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
+        while let Some(resp) = mem.poll() {
+            match resp.result {
+                Ok(()) => {
+                    self.completed += 1;
+                    self.stats.incr("openloop.completed");
+                }
+                Err(secbus_bus::BusError::Overload) => {
+                    self.shed += 1;
+                    self.stats.incr("openloop.shed");
+                }
+                Err(_) => {
+                    self.errors += 1;
+                    self.stats.incr("openloop.errors");
+                }
+            }
+        }
+        if now.get() >= self.config.until {
+            return;
+        }
+        for _ in 0..self.config.per_tick {
+            let (base, len) = self.config.window;
+            let slot = self.rng.below(u64::from((len / 4).max(1))) as u32;
+            let op = if self.rng.chance(self.config.read_ratio) {
+                Op::Read
+            } else {
+                Op::Write
+            };
+            let data = self.rng.next_u32();
+            mem.issue(op, base + slot * 4, Width::Word, data, 1);
+            self.issued += 1;
+            self.stats.incr("openloop.issued");
+        }
+    }
+
+    fn halted(&self) -> bool {
+        // The window may have closed, but the source never *finishes*:
+        // stragglers keep draining as long as the system runs.
+        false
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +613,23 @@ mod tests {
     #[should_panic(expected = "aligned")]
     fn dma_rejects_unaligned() {
         DmaEngine::new("dma", 2, 0, 4, 1);
+    }
+
+    #[test]
+    fn open_loop_source_does_not_wait_for_completions() {
+        let mut mem = InstantMem::new(0x100);
+        let cfg = OpenLoopConfig {
+            window: (0, 0x100),
+            read_ratio: 0.0,
+            per_tick: 3,
+            until: 10,
+        };
+        let mut m = OpenLoopMaster::new("flood", cfg, SimRng::new(7));
+        drive(&mut m, &mut mem, 40);
+        assert_eq!(m.issued(), 30, "3 per cycle for 10 cycles, no throttling");
+        assert!(m.resolved(), "all stragglers drained after the window");
+        assert_eq!(m.completed(), 30);
+        assert_eq!(m.shed() + m.errors(), 0);
     }
 
     #[test]

@@ -32,11 +32,13 @@
 pub mod link;
 pub mod network;
 pub mod ni;
+pub mod overload;
 pub mod system;
 pub mod topology;
 
 pub use link::{crc32, Flit, LinkReply, LinkRx, LinkTx, TxStatus};
 pub use network::{DeliveryInfo, LossReason, Mesh, NocAlert, NocConfig, Packet, PacketId};
 pub use ni::{NetworkInterface, ProbeReport};
+pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use system::{run_noc_soak, run_noc_workload, NocRunReport, NocSoakConfig, NocSoakReport};
 pub use topology::{adaptive_route, xy_route, FaultMap, NodeId, Topology};

@@ -92,6 +92,16 @@ pub struct NocConfig {
     pub max_reroutes: u32,
     /// Cycles without a heartbeat before neighbors declare a router dead.
     pub heartbeat_timeout: u64,
+    /// Buffer credits per router: the maximum number of packets resident
+    /// in one node. Injection at a full source is refused (admission
+    /// control) and a hop into a full downstream router waits for a
+    /// credit, so mesh memory is bounded by `nodes × node_capacity`.
+    pub node_capacity: usize,
+    /// Protected mode only: cycles a flight may wait for a downstream
+    /// credit before it escalates to a [`LossReason::CreditStall`] alert
+    /// (the anti-wedge bound; the bare mesh waits forever, like
+    /// hardware without a timeout).
+    pub max_credit_wait: u64,
 }
 
 impl Default for NocConfig {
@@ -104,6 +114,8 @@ impl Default for NocConfig {
             max_retx_per_hop: 8,
             max_reroutes: 8,
             heartbeat_timeout: 48,
+            node_capacity: 64,
+            max_credit_wait: 256,
         }
     }
 }
@@ -139,6 +151,10 @@ pub enum LossReason {
     /// packet was withheld rather than delivered past its enforcement
     /// point.
     Misrouted,
+    /// Buffer credits ran out: admission was refused at a full source
+    /// node, or a flight waited longer than
+    /// [`NocConfig::max_credit_wait`] for a downstream credit.
+    CreditStall,
 }
 
 impl LossReason {
@@ -151,6 +167,7 @@ impl LossReason {
             LossReason::RerouteBudgetExhausted => "reroute_budget",
             LossReason::EmptyRoute => "empty_route",
             LossReason::Misrouted => "misrouted",
+            LossReason::CreditStall => "credit_stall",
         }
     }
 
@@ -164,17 +181,19 @@ impl LossReason {
             LossReason::RerouteBudgetExhausted => "noc.alert.reroute_budget",
             LossReason::EmptyRoute => "noc.alert.empty_route",
             LossReason::Misrouted => "noc.alert.misrouted",
+            LossReason::CreditStall => "noc.alert.credit_stall",
         }
     }
 
     /// Every reason, in report-column order.
-    pub const ALL: [LossReason; 6] = [
+    pub const ALL: [LossReason; 7] = [
         LossReason::Unroutable,
         LossReason::RouterFailed,
         LossReason::RetriesExhausted,
         LossReason::RerouteBudgetExhausted,
         LossReason::EmptyRoute,
         LossReason::Misrouted,
+        LossReason::CreditStall,
     ];
 }
 
@@ -218,6 +237,8 @@ struct Flight {
     retransmissions: u32,
     /// Reroutes taken.
     reroutes: u32,
+    /// Consecutive cycles spent waiting for a downstream buffer credit.
+    credit_wait: u64,
     /// Wedged inside a stuck router (unprotected mode only).
     parked: bool,
 }
@@ -267,6 +288,9 @@ pub struct Mesh {
     routers: Vec<RouterState>,
     fault_map: FaultMap,
     flights: Vec<Flight>,
+    /// Packets resident per node — the credit counter backing
+    /// [`NocConfig::node_capacity`].
+    occupancy: Vec<u32>,
     delivered: Vec<VecDeque<(Packet, DeliveryInfo)>>,
     alerts: VecDeque<NocAlert>,
     next_id: u64,
@@ -285,6 +309,7 @@ impl Mesh {
             links: vec![LinkState::default(); topology.len() * 4],
             routers: vec![RouterState::default(); topology.len()],
             fault_map: FaultMap::new(topology),
+            occupancy: vec![0; topology.len()],
             delivered: (0..topology.len()).map(|_| VecDeque::new()).collect(),
             topology,
             config,
@@ -377,7 +402,38 @@ impl Mesh {
         self.alerts.pop_front()
     }
 
-    /// Inject a packet at its source node at time `now`.
+    /// Inject a packet, refusing admission when the source node's buffer
+    /// credits are exhausted. Returns `true` when the packet entered the
+    /// mesh (or failed secure into an alert), `false` when it was
+    /// refused.
+    ///
+    /// A refusal at a protected source raises a
+    /// [`LossReason::CreditStall`] alert — the caller gets a typed
+    /// overload signal, never a silent loss. The bare mesh drops the
+    /// packet on the floor (ground truth counted in
+    /// `noc.silent_drops`), which is exactly the wedge/loss behavior the
+    /// protected transport exists to prevent.
+    ///
+    /// # Panics
+    /// Panics if source or destination are outside the mesh.
+    pub fn try_inject(&mut self, packet: Packet, now: Cycle) -> bool {
+        assert!(self.topology.contains(packet.src), "src outside mesh");
+        let src = self.topology.index(packet.src);
+        if self.occupancy[src] >= self.config.node_capacity as u32 {
+            self.stats.incr("noc.ingress_refused");
+            if self.config.protected {
+                self.raise_alert(packet, LossReason::CreditStall, now);
+            } else {
+                self.stats.incr("noc.silent_drops");
+            }
+            return false;
+        }
+        self.inject(packet, now);
+        true
+    }
+
+    /// Inject a packet at its source node at time `now`, bypassing
+    /// admission control (the closed-loop harnesses self-limit).
     ///
     /// In protected mode an already-unroutable destination fails secure
     /// immediately: the packet becomes a [`NocAlert`] instead of entering
@@ -402,6 +458,7 @@ impl Mesh {
         };
         let stamp = content_stamp(&packet);
         let local = route.len() == 1;
+        self.occupancy[self.topology.index(packet.src)] += 1;
         self.flights.push(Flight {
             ready_at: if local {
                 // Local delivery: just the router pipeline once.
@@ -416,8 +473,19 @@ impl Mesh {
             retx_hop: 0,
             retransmissions: 0,
             reroutes: 0,
+            credit_wait: 0,
             parked: false,
         });
+    }
+
+    /// Remove a flight, returning its node's buffer credit.
+    fn remove_flight(&mut self, idx: usize) -> Flight {
+        let flight = self.flights.swap_remove(idx);
+        if let Some(pos) = flight.position() {
+            let n = self.topology.index(pos);
+            self.occupancy[n] = self.occupancy[n].saturating_sub(1);
+        }
+        flight
     }
 
     /// Heartbeat detector: `heartbeat_timeout` cycles after a router
@@ -453,6 +521,7 @@ impl Mesh {
                     i += 1;
                 }
             }
+            self.occupancy[idx] = self.occupancy[idx].saturating_sub(lost.len() as u32);
             for flight in lost {
                 self.raise_alert(flight.packet, LossReason::RouterFailed, now);
             }
@@ -526,6 +595,19 @@ impl Mesh {
                 }
                 continue;
             }
+            let to_idx = self.topology.index(to);
+            // Credit-based flow control: do not transmit into a router
+            // with no free buffer slot. Protected flights escalate to a
+            // CreditStall alert after `max_credit_wait` cycles (anti-
+            // wedge bound); the bare mesh waits indefinitely.
+            if self.occupancy[to_idx] >= self.config.node_capacity as u32 {
+                self.stats.incr("noc.credit_wait_cycles");
+                flight.credit_wait += 1;
+                if self.config.protected && flight.credit_wait > self.config.max_credit_wait {
+                    outcomes.push(Outcome::Lost(idx, LossReason::CreditStall));
+                }
+                continue;
+            }
             let link = from_idx * 4 + direction_index(from, to);
             if self.links[link].free_at > now.get() {
                 self.stats.incr("noc.link_wait_cycles");
@@ -533,7 +615,7 @@ impl Mesh {
             }
             let hop_cost = self.config.router_cycles
                 + self.config.flit_cycles * u64::from(flight.packet.flits.max(1));
-            let to_dead = self.routers[self.topology.index(to)].stuck_since.is_some();
+            let to_dead = self.routers[to_idx].stuck_since.is_some();
             let broken = self.links[link].broken;
             if broken || to_dead {
                 // Ground truth: nothing on the far side acks this
@@ -548,6 +630,9 @@ impl Mesh {
                         // router and parks there (handled next tick).
                         flight.ready_at = now.get() + hop_cost;
                         flight.hop += 1;
+                        flight.credit_wait = 0;
+                        self.occupancy[from_idx] = self.occupancy[from_idx].saturating_sub(1);
+                        self.occupancy[to_idx] += 1;
                         self.stats.incr("noc.hops");
                         self.stats.record("noc.hop_latency", hop_cost);
                         if let Some(t) = &self.tracer {
@@ -628,8 +713,11 @@ impl Mesh {
             self.links[link].streak = 0;
             self.links[link].tx_seq += 1;
             flight.retx_hop = 0;
+            flight.credit_wait = 0;
             flight.ready_at = now.get() + hop_cost;
             flight.hop += 1;
+            self.occupancy[from_idx] = self.occupancy[from_idx].saturating_sub(1);
+            self.occupancy[to_idx] += 1;
             self.stats.incr("noc.hops");
             self.stats.record("noc.hop_latency", hop_cost);
             if let Some(t) = &self.tracer {
@@ -647,15 +735,15 @@ impl Mesh {
         for outcome in outcomes.into_iter().rev() {
             match outcome {
                 Outcome::Finished(idx) => {
-                    let flight = self.flights.swap_remove(idx);
+                    let flight = self.remove_flight(idx);
                     self.finish(flight, now);
                 }
                 Outcome::Lost(idx, reason) => {
-                    let flight = self.flights.swap_remove(idx);
+                    let flight = self.remove_flight(idx);
                     self.raise_alert(flight.packet, reason, now);
                 }
                 Outcome::SilentDrop(idx) => {
-                    let _ = self.flights.swap_remove(idx);
+                    let _ = self.remove_flight(idx);
                     // Ground truth only: nothing in the system knows.
                     self.stats.incr("noc.silent_drops");
                 }
@@ -713,6 +801,12 @@ impl Mesh {
     /// transport converts these into alerts).
     pub fn parked(&self) -> usize {
         self.flights.iter().filter(|f| f.parked).count()
+    }
+
+    /// Packets resident at `node` — the consumed buffer credits out of
+    /// [`NocConfig::node_capacity`].
+    pub fn node_occupancy(&self, node: NodeId) -> u32 {
+        self.occupancy[self.topology.index(node)]
     }
 
     /// Network statistics.
@@ -1049,5 +1143,126 @@ mod tests {
         // Non-NoC classes are not consumed.
         assert!(!mesh.apply_fault(&FaultKind::BusLoseGrant, Cycle(0)));
         assert!(!mesh.apply_fault(&FaultKind::DdrBitFlip { offset: 0, bit: 0 }, Cycle(0)));
+    }
+
+    fn try_packet(mesh: &mut Mesh, src: NodeId, dst: NodeId, now: Cycle) -> bool {
+        let id = mesh.alloc_id();
+        mesh.try_inject(
+            Packet {
+                id,
+                src,
+                dst,
+                op: Op::Read,
+                addr: 0,
+                width: Width::Word,
+                data: 0,
+                flits: 1,
+                injected_at: now,
+            },
+            now,
+        )
+    }
+
+    #[test]
+    fn full_source_refuses_admission_with_a_typed_alert() {
+        let cfg = NocConfig {
+            node_capacity: 2,
+            ..NocConfig::protected()
+        };
+        let mut mesh = Mesh::new(Topology::new(2, 1), cfg);
+        let src = NodeId::new(0, 0);
+        let dst = NodeId::new(1, 0);
+        assert!(try_packet(&mut mesh, src, dst, Cycle(0)));
+        assert!(try_packet(&mut mesh, src, dst, Cycle(0)));
+        assert_eq!(mesh.node_occupancy(src), 2);
+        // Third packet finds no credit: refused, alerted, never lost.
+        assert!(!try_packet(&mut mesh, src, dst, Cycle(0)));
+        let alert = mesh.take_alert().expect("refusal must alert");
+        assert_eq!(alert.reason, LossReason::CreditStall);
+        assert_eq!(mesh.stats().counter("noc.ingress_refused"), 1);
+        assert_eq!(mesh.stats().counter("noc.silent_drops"), 0);
+        // Draining the mesh returns the credits.
+        for c in 0..100 {
+            mesh.tick(Cycle(c));
+        }
+        assert_eq!(mesh.node_occupancy(src), 0);
+        assert!(try_packet(&mut mesh, src, dst, Cycle(100)));
+    }
+
+    #[test]
+    fn bare_mesh_sheds_silently_at_a_full_source() {
+        let cfg = NocConfig {
+            node_capacity: 1,
+            ..NocConfig::default()
+        };
+        let mut mesh = Mesh::new(Topology::new(2, 1), cfg);
+        let src = NodeId::new(0, 0);
+        let dst = NodeId::new(1, 0);
+        assert!(try_packet(&mut mesh, src, dst, Cycle(0)));
+        assert!(!try_packet(&mut mesh, src, dst, Cycle(0)));
+        assert_eq!(mesh.stats().counter("noc.silent_drops"), 1);
+        assert_eq!(mesh.stats().counter("noc.alerts"), 0);
+    }
+
+    #[test]
+    fn credit_backpressure_bounds_downstream_occupancy() {
+        // A destination with one buffer slot: the second packet must wait
+        // upstream until the first is consumed, never overrunning.
+        let cfg = NocConfig {
+            node_capacity: 1,
+            ..NocConfig::default()
+        };
+        let mut mesh = Mesh::new(Topology::new(3, 1), cfg);
+        let dst = NodeId::new(2, 0);
+        assert!(try_packet(&mut mesh, NodeId::new(0, 0), dst, Cycle(0)));
+        assert!(try_packet(&mut mesh, NodeId::new(1, 0), dst, Cycle(0)));
+        let mut delivered = 0;
+        for c in 0..400 {
+            mesh.tick(Cycle(c));
+            assert!(mesh.node_occupancy(dst) <= 1, "credit bound violated");
+            if mesh.deliver(dst).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 2, "backpressure delays but never loses");
+        assert!(mesh.stats().counter("noc.credit_wait_cycles") > 0);
+    }
+
+    #[test]
+    fn protected_credit_stall_escalates_instead_of_wedging() {
+        // Pin node 1's only buffer credit with a resident stuck mid-route
+        // (its router dies under it, and the heartbeat detector is kept
+        // quiet), then watch a second flight headed into node 1 escalate
+        // to a CreditStall alert once max_credit_wait expires instead of
+        // waiting forever.
+        let cfg = NocConfig {
+            node_capacity: 1,
+            max_credit_wait: 16,
+            heartbeat_timeout: 100_000,
+            ..NocConfig::protected()
+        };
+        let mut mesh = Mesh::new(Topology::new(3, 1), cfg);
+        let mid = NodeId::new(1, 0);
+        // Packet A: node0 -> node2, advances into node1 on tick 0.
+        assert!(try_packet(
+            &mut mesh,
+            NodeId::new(0, 0),
+            NodeId::new(2, 0),
+            Cycle(0)
+        ));
+        for c in 0..3 {
+            mesh.tick(Cycle(c));
+        }
+        assert_eq!(mesh.node_occupancy(mid), 1);
+        mesh.apply_fault(&FaultKind::RouterStuck { node: 1 }, Cycle(2));
+        // Packet B: node0 -> node1, finds no credit at its next hop.
+        assert!(try_packet(&mut mesh, NodeId::new(0, 0), mid, Cycle(3)));
+        for c in 3..100 {
+            mesh.tick(Cycle(c));
+        }
+        let alert = mesh.take_alert().expect("stalled flight must alert");
+        assert_eq!(alert.reason, LossReason::CreditStall);
+        assert_eq!(mesh.stats().counter("noc.alert.credit_stall"), 1);
+        assert!(mesh.stats().counter("noc.credit_wait_cycles") >= 16);
     }
 }

@@ -168,6 +168,25 @@ pub enum TraceEvent {
         /// Phase mnemonic.
         phase: &'static str,
     },
+    /// Graceful degradation: sustained overload pushed a protection
+    /// region one step down its declared-safe posture lattice (brownout).
+    DegradeEnter {
+        /// Index of the degraded protection region.
+        region: u8,
+        /// Posture mnemonic before the step (e.g. `"verify"`).
+        from: &'static str,
+        /// Posture mnemonic after the step (e.g. `"cipher_only"`).
+        to: &'static str,
+    },
+    /// Graceful degradation ended: pressure stayed below the low
+    /// watermark long enough (hysteresis) and the region re-tightened to
+    /// its configured posture.
+    DegradeExit {
+        /// Index of the re-tightened protection region.
+        region: u8,
+        /// Cycles the region spent degraded.
+        cycles: u64,
+    },
 }
 
 impl TraceEvent {
@@ -189,6 +208,8 @@ impl TraceEvent {
             TraceEvent::TaintSpread { .. } => "taint_spread",
             TraceEvent::TaintSink { .. } => "taint_sink",
             TraceEvent::CampaignPhase { .. } => "campaign_phase",
+            TraceEvent::DegradeEnter { .. } => "degrade_enter",
+            TraceEvent::DegradeExit { .. } => "degrade_exit",
         }
     }
 
@@ -210,6 +231,8 @@ impl TraceEvent {
             TraceEvent::CcCipher { .. }
             | TraceEvent::IcVerify { .. }
             | TraceEvent::JournalCommit { .. } => 49,
+            // Degradation decisions are monitor-driven: monitor lane.
+            TraceEvent::DegradeEnter { .. } | TraceEvent::DegradeExit { .. } => 50,
             TraceEvent::CampaignPhase { .. } => 51,
             TraceEvent::NocHop { node, .. } => 64 + u64::from(*node),
         }
@@ -223,9 +246,9 @@ impl TraceEvent {
             | TraceEvent::NocHop { latency, .. }
             | TraceEvent::CcCipher { latency, .. }
             | TraceEvent::TxnComplete { latency, .. } => Some(*latency),
-            TraceEvent::IcVerify { cycles, .. } | TraceEvent::Recovery { cycles, .. } => {
-                Some(*cycles)
-            }
+            TraceEvent::IcVerify { cycles, .. }
+            | TraceEvent::Recovery { cycles, .. }
+            | TraceEvent::DegradeExit { cycles, .. } => Some(*cycles),
             _ => None,
         }
     }
@@ -347,6 +370,15 @@ impl TraceEvent {
                 put("campaign", Json::uint(u64::from(campaign)));
                 put("stage", Json::uint(u64::from(stage)));
                 put("phase", Json::str(phase));
+            }
+            TraceEvent::DegradeEnter { region, from, to } => {
+                put("region", Json::uint(u64::from(region)));
+                put("from", Json::str(from));
+                put("to", Json::str(to));
+            }
+            TraceEvent::DegradeExit { region, cycles } => {
+                put("region", Json::uint(u64::from(region)));
+                put("cycles", Json::uint(cycles));
             }
         }
         Json::Obj(fields)
@@ -646,6 +678,17 @@ mod tests {
                 campaign: 0,
                 stage: 0,
                 phase: "foothold",
+            }
+            .kind(),
+            TraceEvent::DegradeEnter {
+                region: 0,
+                from: "verify",
+                to: "cipher_only",
+            }
+            .kind(),
+            TraceEvent::DegradeExit {
+                region: 0,
+                cycles: 0,
             }
             .kind(),
         ];

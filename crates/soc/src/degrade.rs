@@ -1,0 +1,198 @@
+//! Overload hysteresis for graceful degradation ("brownout").
+//!
+//! The SecurityMonitor watches a fabric-pressure signal (total queued bus
+//! requests) and, under *sustained* pressure, steps protected regions
+//! down the declared-safe posture lattice
+//! ([`secbus_core::brownout_posture`]: integrity-verify → cipher-only,
+//! never to bypass). Two-sided hysteresis keeps the controller from
+//! flapping: entry requires `enter_after` consecutive cycles at or above
+//! the high watermark, exit requires `exit_after` consecutive cycles at
+//! or below the low watermark — so a burst must really drain before the
+//! full posture resumes, and a single spike never triggers a brownout.
+//!
+//! The state machine is a plain pure struct so the "degrade mode always
+//! exits after drain" property is testable without building a SoC.
+
+/// Watermarks and dwell times for the brownout controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Pressure at or above this arms/holds the entry counter.
+    pub high_watermark: u64,
+    /// Pressure at or below this arms/holds the exit counter.
+    pub low_watermark: u64,
+    /// Consecutive high-pressure cycles before the brownout engages.
+    pub enter_after: u64,
+    /// Consecutive low-pressure cycles before it releases.
+    pub exit_after: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            high_watermark: 48,
+            low_watermark: 4,
+            enter_after: 16,
+            exit_after: 64,
+        }
+    }
+}
+
+/// A posture change the controller decided this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Engage the cheaper posture.
+    Enter,
+    /// Restore the full posture; `cycles` is how long the brownout held.
+    Exit {
+        /// Brownout duration in cycles.
+        cycles: u64,
+    },
+}
+
+/// Two-sided hysteresis over a scalar pressure signal.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    cfg: DegradeConfig,
+    above: u64,
+    below: u64,
+    /// Cycle the active brownout began, if one is active.
+    since: Option<u64>,
+}
+
+impl Hysteresis {
+    /// A released controller with the given thresholds. Watermarks are
+    /// normalized so `low <= high` (a config with low > high would
+    /// otherwise oscillate every cycle).
+    pub fn new(cfg: DegradeConfig) -> Self {
+        let cfg = DegradeConfig {
+            low_watermark: cfg.low_watermark.min(cfg.high_watermark),
+            ..cfg
+        };
+        Hysteresis {
+            cfg,
+            above: 0,
+            below: 0,
+            since: None,
+        }
+    }
+
+    /// Whether the brownout posture is currently engaged.
+    pub fn active(&self) -> bool {
+        self.since.is_some()
+    }
+
+    /// Feed one cycle's pressure reading; returns the transition to
+    /// apply, if any. `now` must be non-decreasing across calls.
+    pub fn observe(&mut self, pressure: u64, now: u64) -> Option<Transition> {
+        match self.since {
+            None => {
+                if pressure >= self.cfg.high_watermark {
+                    self.above += 1;
+                    if self.above >= self.cfg.enter_after.max(1) {
+                        self.above = 0;
+                        self.since = Some(now);
+                        return Some(Transition::Enter);
+                    }
+                } else {
+                    self.above = 0;
+                }
+                None
+            }
+            Some(since) => {
+                if pressure <= self.cfg.low_watermark {
+                    self.below += 1;
+                    if self.below >= self.cfg.exit_after.max(1) {
+                        self.below = 0;
+                        self.since = None;
+                        return Some(Transition::Exit {
+                            cycles: now.saturating_sub(since),
+                        });
+                    }
+                } else {
+                    self.below = 0;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DegradeConfig {
+        DegradeConfig {
+            high_watermark: 10,
+            low_watermark: 2,
+            enter_after: 3,
+            exit_after: 5,
+        }
+    }
+
+    #[test]
+    fn a_single_spike_does_not_enter() {
+        let mut h = Hysteresis::new(cfg());
+        assert_eq!(h.observe(100, 0), None);
+        assert_eq!(h.observe(0, 1), None);
+        assert_eq!(h.observe(100, 2), None, "counter must reset on the dip");
+        assert!(!h.active());
+    }
+
+    #[test]
+    fn sustained_pressure_enters_and_drain_exits_with_duration() {
+        let mut h = Hysteresis::new(cfg());
+        assert_eq!(h.observe(20, 0), None);
+        assert_eq!(h.observe(20, 1), None);
+        assert_eq!(h.observe(20, 2), Some(Transition::Enter));
+        assert!(h.active());
+        // Pressure between the watermarks holds the brownout.
+        assert_eq!(h.observe(5, 3), None);
+        // Five consecutive low readings release it.
+        for c in 4..8 {
+            assert_eq!(h.observe(0, c), None);
+        }
+        assert_eq!(h.observe(0, 8), Some(Transition::Exit { cycles: 6 }));
+        assert!(!h.active());
+    }
+
+    #[test]
+    fn exit_counter_resets_on_a_mid_drain_burst() {
+        let mut h = Hysteresis::new(cfg());
+        for c in 0..3 {
+            h.observe(20, c);
+        }
+        assert!(h.active());
+        for c in 3..7 {
+            assert_eq!(h.observe(0, c), None);
+        }
+        // One more high reading wipes the progress toward exit...
+        assert_eq!(h.observe(20, 7), None);
+        assert!(h.active());
+        // ...so five fresh low cycles are needed again.
+        for c in 8..12 {
+            assert_eq!(h.observe(0, c), None);
+        }
+        assert!(matches!(h.observe(0, 12), Some(Transition::Exit { .. })));
+    }
+
+    #[test]
+    fn always_exits_after_a_real_drain() {
+        // Property: whatever pressure history happened before, exit_after
+        // cycles of zero pressure always release the brownout.
+        for seed in 0..50u64 {
+            let mut h = Hysteresis::new(cfg());
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for c in 0..200u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.observe(x % 40, c);
+            }
+            for c in 200..(200 + cfg().exit_after) {
+                h.observe(0, c);
+            }
+            assert!(!h.active(), "seed {seed} left the brownout stuck");
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! check and replaced by a discard on violation).
 
 pub mod casestudy;
+pub mod degrade;
+pub mod overload;
 pub mod report;
 pub mod soc;
 pub mod topology;
@@ -29,6 +31,8 @@ pub use casestudy::{
     case_study, CaseResilience, CaseStudyConfig, DDR_BASE, DDR_CIPHER_BASE, DDR_PRIVATE_BASE,
     DDR_PUBLIC_BASE, IP_FIFO_ADDR, SHARED_BRAM_BASE,
 };
+pub use degrade::{DegradeConfig, Hysteresis, Transition};
+pub use overload::{run_soc_overload, SocOverloadConfig, SocOverloadReport};
 pub use report::{AlertLine, AuditReport, FirewallAudit, Report};
 pub use soc::{RetryPolicy, Soc, SocBuilder};
 pub use topology::{render_noc_topology, render_topology};

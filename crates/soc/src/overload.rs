@@ -1,0 +1,255 @@
+//! Open-loop overload for the assembled SoC (the bus half of S-19).
+//!
+//! An [`OpenLoopMaster`] floods the external DDR with a fixed arrival
+//! rate that does not slow down when the fabric does — the scenario
+//! closed-loop IPs can never produce. Three robustness mechanisms are
+//! exercised at once:
+//!
+//! * **admission control** — the master's bounded bus request queue
+//!   refuses excess arrivals with a typed [`BusError::Overload`] response
+//!   and a counted [`Violation::Shed`] alert;
+//! * **graceful degradation** — sustained queue pressure steps the LCF's
+//!   verify regions down the safe posture lattice (verify → cipher-only)
+//!   until the burst drains;
+//! * **conservation** — every issued access resolves as completed, shed
+//!   or errored; nothing is silently lost and the drain is bounded.
+//!
+//! The run is a pure function of its config: same seed → identical
+//! [`SocOverloadReport`] (the byte-identical-JSON seam the soak leans on).
+//!
+//! [`BusError::Overload`]: secbus_bus::BusError::Overload
+//! [`Violation::Shed`]: secbus_core::Violation::Shed
+
+use secbus_bus::{AddrRange, BusConfig};
+use secbus_core::{AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy};
+use secbus_cpu::{OpenLoopConfig, OpenLoopMaster};
+use secbus_mem::ExternalDdr;
+use secbus_sim::SimRng;
+
+use crate::degrade::DegradeConfig;
+use crate::soc::SocBuilder;
+
+/// Base of the flooded DDR window.
+const DDR_BASE: u32 = 0x8000_0000;
+/// Bytes of DDR actually targeted (and, protected, integrity-verified).
+const WINDOW: u32 = 0x100;
+
+/// One SoC overload cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocOverloadConfig {
+    /// Arrivals per cycle during the issue window.
+    pub per_tick: u32,
+    /// Issue window, in cycles.
+    pub cycles: u64,
+    /// Grace period for the backlog to resolve after the window closes.
+    pub drain_cycles: u64,
+    /// Bound on the master's bus request queue — the admission seam.
+    pub master_queue_capacity: usize,
+    /// Protected: LF on the source, ciphering+integrity LCF on the DDR.
+    /// Bare: straight to the bus (refusals are still typed and counted).
+    pub protected: bool,
+    /// Brownout controller, when armed (protected runs only — without an
+    /// LCF there is no posture to degrade).
+    pub degrade: Option<DegradeConfig>,
+    /// Seed for the source's address/op stream.
+    pub seed: u64,
+}
+
+impl Default for SocOverloadConfig {
+    fn default() -> Self {
+        SocOverloadConfig {
+            per_tick: 2,
+            cycles: 2_000,
+            drain_cycles: 20_000,
+            master_queue_capacity: 8,
+            protected: true,
+            degrade: Some(DegradeConfig::default()),
+            seed: 1,
+        }
+    }
+}
+
+/// What one SoC overload cell did. `PartialEq` so the soak can check a
+/// parallel sweep against its serial reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocOverloadReport {
+    /// Whether the cell ran protected.
+    pub protected: bool,
+    /// Open-loop arrivals offered to the port.
+    pub issued: u64,
+    /// Arrivals that completed OK.
+    pub completed: u64,
+    /// Arrivals refused at admission (typed, counted, alerted).
+    pub shed: u64,
+    /// Any other error outcome (should be zero in this workload).
+    pub errors: u64,
+    /// Shed alerts the Security Monitor observed (protected runs).
+    pub shed_alerts: u64,
+    /// Brownout engagements / releases.
+    pub degrade_enters: u64,
+    /// See `degrade_enters`.
+    pub degrade_exits: u64,
+    /// Reads that skipped the IC walk while degraded.
+    pub brownout_skipped_verifies: u64,
+    /// Whether the brownout was still engaged after the drain (a gate:
+    /// must be false — degradation must recover).
+    pub still_degraded: bool,
+    /// issued == completed + shed + errors (zero silent loss).
+    pub conservation_ok: bool,
+    /// Conservation failed or the backlog never resolved.
+    pub wedged: bool,
+    /// Full metrics snapshot (parseable JSON).
+    pub metrics_json: String,
+}
+
+/// Run one SoC overload cell.
+pub fn run_soc_overload(cfg: &SocOverloadConfig) -> SocOverloadReport {
+    let rng = SimRng::new(cfg.seed).derive("soc.overload");
+    let source = OpenLoopMaster::new(
+        "flood",
+        OpenLoopConfig {
+            window: (DDR_BASE, WINDOW),
+            // Read-heavy: reads exercise the LCF verify path the
+            // brownout relieves.
+            read_ratio: 0.75,
+            per_tick: cfg.per_tick,
+            until: cfg.cycles,
+        },
+        rng,
+    );
+    let mut b = SocBuilder::new().bus_config(BusConfig {
+        master_queue_capacity: cfg.master_queue_capacity,
+        ..BusConfig::default()
+    });
+    if let Some(d) = cfg.degrade {
+        b = b.degrade(d);
+    }
+    let ddr = ExternalDdr::new(0x1000);
+    let range = AddrRange::new(DDR_BASE, 0x1000);
+    let mut soc = if cfg.protected {
+        let lf = ConfigMemory::with_policies(vec![SecurityPolicy::internal(
+            1,
+            range,
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        )])
+        .expect("one policy cannot overlap");
+        let lcf = ConfigMemory::with_policies(vec![SecurityPolicy::external(
+            7,
+            AddrRange::new(DDR_BASE, WINDOW),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Verify,
+            Some(*b"secbus-ddr-key!!"),
+        )])
+        .expect("one policy cannot overlap");
+        b.add_protected_master(Box::new(source), lf)
+            .set_ddr("ddr", range, ddr, Some(lcf))
+            .build()
+    } else {
+        b.add_master(Box::new(source))
+            .set_ddr("ddr", range, ddr, None)
+            .build()
+    };
+    soc.run(cfg.cycles + cfg.drain_cycles);
+
+    let skipped = soc
+        .lcf()
+        .map(|l| l.stats().counter("lcf.brownout_skipped_verifies"))
+        .unwrap_or(0);
+    let still_degraded = soc.degraded();
+    let degrade_enters = soc.stats().counter("soc.degrade_enters");
+    let degrade_exits = soc.stats().counter("soc.degrade_exits");
+    let shed_alerts = soc
+        .master_firewall(0)
+        .map(|f| f.stats().counter("fw.violation.shed"))
+        .unwrap_or(0);
+    let metrics_json = soc.metrics_json();
+    let f = soc
+        .master_as::<OpenLoopMaster>(0)
+        .expect("flood source present");
+    let conservation_ok = f.resolved();
+    SocOverloadReport {
+        protected: cfg.protected,
+        issued: f.issued(),
+        completed: f.completed(),
+        shed: f.shed(),
+        errors: f.errors(),
+        shed_alerts,
+        degrade_enters,
+        degrade_exits,
+        brownout_skipped_verifies: skipped,
+        still_degraded,
+        conservation_ok,
+        wedged: !conservation_ok || still_degraded,
+        metrics_json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_overload_sheds_alerts_degrades_and_recovers() {
+        let cfg = SocOverloadConfig {
+            degrade: Some(DegradeConfig {
+                high_watermark: 6,
+                low_watermark: 0,
+                enter_after: 4,
+                exit_after: 16,
+            }),
+            ..SocOverloadConfig::default()
+        };
+        let r = run_soc_overload(&cfg);
+        assert!(r.conservation_ok, "no silent loss: {r:?}");
+        assert!(!r.wedged);
+        assert!(r.shed > 0, "2/cycle into an 8-deep queue must shed");
+        assert_eq!(r.shed_alerts, r.shed, "every shed raised an alert");
+        assert_eq!(r.degrade_enters, 1);
+        assert_eq!(r.degrade_exits, 1);
+        assert!(r.brownout_skipped_verifies > 0);
+        assert!(!r.still_degraded, "drain must release the brownout");
+        assert_eq!(r.errors, 0);
+    }
+
+    #[test]
+    fn bare_overload_still_counts_every_refusal() {
+        let cfg = SocOverloadConfig {
+            protected: false,
+            degrade: None,
+            ..SocOverloadConfig::default()
+        };
+        let r = run_soc_overload(&cfg);
+        assert!(r.conservation_ok);
+        assert!(r.shed > 0);
+        assert_eq!(r.shed_alerts, 0, "no LF, no alert channel");
+        assert_eq!(r.degrade_enters, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SocOverloadConfig::default();
+        assert_eq!(run_soc_overload(&cfg), run_soc_overload(&cfg));
+        let other = SocOverloadConfig { seed: 9, ..cfg };
+        assert_ne!(
+            run_soc_overload(&other).metrics_json,
+            run_soc_overload(&cfg).metrics_json
+        );
+    }
+
+    #[test]
+    fn a_queue_deep_enough_never_sheds() {
+        let cfg = SocOverloadConfig {
+            per_tick: 1,
+            cycles: 200,
+            master_queue_capacity: 4_096,
+            degrade: None,
+            ..SocOverloadConfig::default()
+        };
+        let r = run_soc_overload(&cfg);
+        assert_eq!(r.shed, 0, "capacity above the backlog never refuses");
+        assert!(r.conservation_ok);
+    }
+}

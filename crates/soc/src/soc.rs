@@ -17,6 +17,8 @@ use secbus_fault::{FaultKind, FaultPlan};
 use secbus_mem::{Bram, ExternalDdr, MemDevice};
 use secbus_sim::{Clock, Cycle, Json, MetricsRegistry, SimRng, Stats, TraceEvent, Tracer};
 
+use crate::degrade::{DegradeConfig, Hysteresis, Transition};
+
 /// A master waiting to be built: device, optional policies, optional
 /// traffic budget.
 type MasterSpec = (Box<dyn BusMaster>, Option<ConfigMemory>, Option<RateLimit>);
@@ -29,9 +31,11 @@ type MasterSpec = (Box<dyn BusMaster>, Option<ConfigMemory>, Option<RateLimit>);
 /// `base_backoff << n` cycles.
 ///
 /// Permanent outcomes — [`BusError::Discarded`] (a policy denial),
-/// [`BusError::Decode`] (no such slave) and
-/// [`BusError::IntegrityViolation`] — are never retried: repeating them
-/// cannot succeed and would re-trigger the very alert that produced them.
+/// [`BusError::Decode`] (no such slave),
+/// [`BusError::IntegrityViolation`] and [`BusError::Overload`] (an
+/// admission refusal, which the open-loop source must absorb rather than
+/// amplify) — are never retried: repeating them cannot succeed and would
+/// re-trigger the very alert that produced them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries allowed beyond the original attempt.
@@ -77,6 +81,7 @@ pub struct SocBuilder {
     ic_cache: Option<usize>,
     trace_capacity: Option<usize>,
     taint: bool,
+    degrade: Option<DegradeConfig>,
 }
 
 impl Default for SocBuilder {
@@ -109,7 +114,21 @@ impl SocBuilder {
             ic_cache: None,
             trace_capacity: None,
             taint: false,
+            degrade: None,
         }
+    }
+
+    /// Arm the overload brownout controller: when the number of queued
+    /// bus requests stays at or above the high watermark for
+    /// `enter_after` consecutive cycles, every LCF steps its
+    /// integrity-verified regions down the declared-safe posture lattice
+    /// ([`secbus_core::brownout_posture`]: verify → cipher-only, never
+    /// to bypass) and steps back up only after `exit_after` consecutive
+    /// low-pressure cycles. Entry and exit are visible as
+    /// [`TraceEvent::DegradeEnter`] / [`TraceEvent::DegradeExit`].
+    pub fn degrade(mut self, cfg: DegradeConfig) -> Self {
+        self.degrade = Some(cfg);
+        self
     }
 
     /// Arm DIFT-style taint tracking: data entering a master from an
@@ -513,6 +532,7 @@ impl SocBuilder {
             torn_seen: 0,
             recovery,
             taint,
+            degrade: self.degrade.map(Hysteresis::new),
         }
     }
 }
@@ -633,6 +653,63 @@ impl PortAdapter<'_> {
             te.commit_write(m, addr, bytes);
         }
     }
+
+    /// Refuse an access at admission: the master's bounded request queue
+    /// is full, so the access is shed *now* — a synthesized
+    /// [`BusError::Overload`] response back to the IP, a per-master shed
+    /// counter, and (behind a Local Firewall) a [`Violation::Shed`] alert
+    /// to the monitor. Shed is an environment fault at the monitor: it
+    /// never burns the master's violation budget, because overload is the
+    /// fabric's condition, not the IP's misbehaviour.
+    fn shed(&mut self, op: Op, addr: u32, width: Width, data: u32, burst: u16) -> TxnId {
+        let id = self.bus.alloc_txn_id();
+        self.stats.incr("soc.shed");
+        self.stats.incr(shed_key(self.master.0));
+        if let Some(fw) = self.firewall.as_deref_mut() {
+            let probe = Transaction {
+                id,
+                master: self.master,
+                op,
+                addr,
+                width,
+                data,
+                burst: burst.max(1),
+                issued_at: self.now,
+            };
+            fw.raise_alert(&probe, Violation::Shed, self.now);
+        }
+        if let Some(t) = self.tracer {
+            t.record(
+                self.now,
+                TraceEvent::TxnIssued {
+                    txn: id.0,
+                    master: self.master.0,
+                    addr,
+                    write: op == Op::Write,
+                },
+            );
+            t.record(
+                self.now,
+                TraceEvent::TxnComplete {
+                    txn: id.0,
+                    master: self.master.0,
+                    ok: false,
+                    latency: 0,
+                },
+            );
+        }
+        self.stats.record("txn.verdict_to_complete", 0);
+        self.inbound.push_back((
+            self.now.get(),
+            Response {
+                txn: id,
+                data: 0,
+                result: Err(BusError::Overload),
+                completed_at: self.now,
+            },
+        ));
+        id
+    }
 }
 
 /// Byte span of one access: width × burst beats.
@@ -641,8 +718,33 @@ fn span_bytes(width: Width, burst: u16) -> u32 {
     width.bytes() * u32::from(burst.max(1))
 }
 
+/// Per-master shed counters, preallocated so the refusal path does not
+/// allocate (stat keys must be `&'static str`).
+fn shed_key(master: u8) -> &'static str {
+    const KEYS: [&str; 8] = [
+        "soc.shed.m0",
+        "soc.shed.m1",
+        "soc.shed.m2",
+        "soc.shed.m3",
+        "soc.shed.m4",
+        "soc.shed.m5",
+        "soc.shed.m6",
+        "soc.shed.m7",
+    ];
+    KEYS.get(usize::from(master))
+        .copied()
+        .unwrap_or("soc.shed.m_other")
+}
+
 impl MasterAccess for PortAdapter<'_> {
     fn issue(&mut self, op: Op, addr: u32, width: Width, data: u32, burst: u16) -> TxnId {
+        // Fail-secure admission control: a full request queue refuses the
+        // access up front instead of growing without bound (or panicking
+        // inside the arbiter). The refusal is typed, counted and alerted
+        // — an open-loop source sees every shed access fail loudly.
+        if self.bus.master_queue_free(self.master) == 0 {
+            return self.shed(op, addr, width, data, burst);
+        }
         match (&mut self.firewall, op) {
             // Writes: "before reaching the bus all data are checked".
             (Some(fw), Op::Write) => {
@@ -914,6 +1016,8 @@ pub struct Soc {
     recovery: Option<RecoveryReport>,
     /// DIFT taint state, when armed via [`SocBuilder::taint_tracking`].
     taint: Option<TaintEngine>,
+    /// Overload brownout controller, when armed via [`SocBuilder::degrade`].
+    degrade: Option<Hysteresis>,
 }
 
 impl Soc {
@@ -1096,6 +1200,46 @@ impl Soc {
             }
         }
 
+        // 6c. Overload brownout: sustained fabric pressure (total queued
+        //     bus requests) steps the LCF's verify regions down the safe
+        //     posture lattice; a real drain steps them back up. Writes
+        //     keep the hash tree current throughout, so re-tightening is
+        //     sound and tampering during a brownout is caught by the
+        //     first post-brownout verify.
+        if let Some(hys) = self.degrade.as_mut() {
+            let pressure = self.bus.total_pending_requests() as u64;
+            let transition = hys.observe(pressure, now.get());
+            if let Some(t) = transition {
+                let brownout = matches!(t, Transition::Enter);
+                self.stats.incr(if brownout {
+                    "soc.degrade_enters"
+                } else {
+                    "soc.degrade_exits"
+                });
+                for (idx, slot) in self.slaves.iter_mut().enumerate() {
+                    if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
+                        lcf.set_brownout(brownout);
+                        if let Some(tr) = &self.tracer {
+                            tr.record(
+                                now,
+                                match t {
+                                    Transition::Enter => TraceEvent::DegradeEnter {
+                                        region: idx as u8,
+                                        from: "verify",
+                                        to: "cipher_only",
+                                    },
+                                    Transition::Exit { cycles } => TraceEvent::DegradeExit {
+                                        region: idx as u8,
+                                        cycles,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
         // 7. Apply matured reconfigurations.
         for update in self.reconfig.take_ready(now) {
             self.apply_update(update);
@@ -1167,7 +1311,11 @@ impl Soc {
                 if attempts < policy.max_attempts {
                     if let Some(&orig_txn) = slot.issued.get(&resp.txn) {
                         let backoff = policy.base_backoff << attempts.min(32);
-                        let retry_id = self.bus.issue_at(
+                        // A retry must respect admission control like any
+                        // other access: a full request queue sheds the
+                        // retry (the original error surfaces to the IP)
+                        // instead of panicking inside the arbiter.
+                        let retry_id = self.bus.try_issue_at(
                             slot.bus_id,
                             orig_txn.op,
                             orig_txn.addr,
@@ -1177,25 +1325,28 @@ impl Soc {
                             now,
                             now + backoff,
                         );
-                        let retry_txn = Transaction {
-                            id: retry_id,
-                            issued_at: now,
-                            ..orig_txn
-                        };
-                        slot.retries.insert(retry_id, (resp.txn, attempts + 1));
-                        let fw = slot.firewall.as_ref().map(|f| f.id());
-                        self.monitor.watch(&retry_txn, fw, now);
-                        self.stats.incr("soc.retries");
-                        if let Some(t) = &self.tracer {
-                            t.record(
-                                now,
-                                TraceEvent::Retransmit {
-                                    id: resp.txn.0,
-                                    layer: "soc",
-                                },
-                            );
+                        if let Some(retry_id) = retry_id {
+                            let retry_txn = Transaction {
+                                id: retry_id,
+                                issued_at: now,
+                                ..orig_txn
+                            };
+                            slot.retries.insert(retry_id, (resp.txn, attempts + 1));
+                            let fw = slot.firewall.as_ref().map(|f| f.id());
+                            self.monitor.watch(&retry_txn, fw, now);
+                            self.stats.incr("soc.retries");
+                            if let Some(t) = &self.tracer {
+                                t.record(
+                                    now,
+                                    TraceEvent::Retransmit {
+                                        id: resp.txn.0,
+                                        layer: "soc",
+                                    },
+                                );
+                            }
+                            return;
                         }
-                        return;
+                        self.stats.incr("soc.retry_shed");
                     }
                 }
             }
@@ -1887,6 +2038,11 @@ impl Soc {
                 (s.label.clone(), s.base, protected)
             })
             .collect()
+    }
+
+    /// Whether the overload brownout posture is currently engaged.
+    pub fn degraded(&self) -> bool {
+        self.degrade.as_ref().is_some_and(Hysteresis::active)
     }
 
     /// System-level statistics.
@@ -2771,5 +2927,197 @@ mod tests {
         assert!(soc.tracer().is_none());
         assert!(soc.chrome_trace().is_none());
         assert!(soc.metrics_snapshot().component("trace").is_none());
+    }
+
+    // ---- overload: admission control, shedding, brownout ----
+
+    /// An open-loop source: issues `per_tick` accesses every cycle until
+    /// `until`, regardless of completions. The closed-loop IPs above can
+    /// never overflow a bounded queue; overload needs one of these.
+    struct Flooder {
+        stats: Stats,
+        addr: u32,
+        op: Op,
+        per_tick: u32,
+        until: u64,
+        issued: u64,
+        ok: u64,
+        shed: u64,
+        errs: u64,
+    }
+
+    impl Flooder {
+        fn new(addr: u32, op: Op, per_tick: u32, until: u64) -> Self {
+            Flooder {
+                stats: Stats::new(),
+                addr,
+                op,
+                per_tick,
+                until,
+                issued: 0,
+                ok: 0,
+                shed: 0,
+                errs: 0,
+            }
+        }
+    }
+
+    impl BusMaster for Flooder {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
+            while let Some(resp) = mem.poll() {
+                match resp.result {
+                    Ok(()) => self.ok += 1,
+                    Err(BusError::Overload) => self.shed += 1,
+                    Err(_) => self.errs += 1,
+                }
+            }
+            if now.get() < self.until {
+                for _ in 0..self.per_tick {
+                    mem.issue(self.op, self.addr, Width::Word, 0xF100D, 1);
+                    self.issued += 1;
+                }
+            }
+        }
+
+        fn label(&self) -> &str {
+            "flooder"
+        }
+
+        fn stats(&self) -> &Stats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn overload_sheds_at_admission_with_typed_alerts_and_conservation() {
+        let flooder = Flooder::new(BRAM_BASE, Op::Write, 2, 200);
+        let mut soc = SocBuilder::new()
+            .bus_config(BusConfig {
+                master_queue_capacity: 4,
+                ..BusConfig::default()
+            })
+            .monitor_threshold(1)
+            .add_protected_master(
+                Box::new(flooder),
+                ConfigMemory::with_policies(vec![rw_policy(1, BRAM_BASE, 0x1000)]).unwrap(),
+            )
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
+            .build();
+        // Flood for 200 cycles, then drain until everything queued resolves.
+        soc.run(2_000);
+
+        let shed = soc.stats().counter("soc.shed");
+        assert!(shed > 0, "2 writes/cycle into a 4-deep queue must shed");
+        assert_eq!(
+            soc.stats().counter("soc.shed.m0"),
+            shed,
+            "sheds are counted per master"
+        );
+        // Every shed produced a Shed alert through the firewall...
+        assert_eq!(soc.monitor().alert_count(), shed, "no silent refusals");
+        // ...but Shed is environment pressure, not IP malice: even with a
+        // one-violation threshold the master was never blocked, so every
+        // admitted access completed fine.
+        let f = soc.master_as::<Flooder>(0).unwrap();
+        assert_eq!(f.errs, 0, "no discard/decode errors, only Overload");
+        assert!(f.ok > 0, "admitted traffic still completes");
+        assert_eq!(f.shed, shed, "every refusal surfaced to the IP");
+        assert_eq!(
+            f.issued,
+            f.ok + f.shed,
+            "conservation: issued == completed + shed"
+        );
+    }
+
+    #[test]
+    fn bare_master_sheds_are_still_counted_and_surfaced() {
+        let flooder = Flooder::new(BRAM_BASE, Op::Write, 2, 200);
+        let mut soc = SocBuilder::new()
+            .bus_config(BusConfig {
+                master_queue_capacity: 4,
+                ..BusConfig::default()
+            })
+            .add_master(Box::new(flooder))
+            .add_bram(
+                "bram",
+                AddrRange::new(BRAM_BASE, 0x1000),
+                Bram::new(0x1000),
+                None,
+            )
+            .build();
+        soc.run(2_000);
+        let shed = soc.stats().counter("soc.shed");
+        assert!(shed > 0);
+        let f = soc.master_as::<Flooder>(0).unwrap();
+        assert_eq!(f.shed, shed, "refusals reach the IP even without an LF");
+        assert_eq!(f.issued, f.ok + f.shed);
+    }
+
+    #[test]
+    fn brownout_engages_under_pressure_and_exits_after_drain() {
+        // Open-loop reads against the integrity-verified DDR region: the
+        // LCF's verify latency can't keep up, queues back up, and the
+        // controller steps the region down to cipher-only until the
+        // burst drains.
+        let flooder = Flooder::new(CRASH_DDR_BASE, Op::Read, 2, 400);
+        let mut soc = SocBuilder::new()
+            .add_master(Box::new(flooder))
+            .degrade(DegradeConfig {
+                high_watermark: 8,
+                low_watermark: 0,
+                enter_after: 4,
+                exit_after: 16,
+            })
+            .trace(4096)
+            .set_ddr(
+                "ddr",
+                AddrRange::new(CRASH_DDR_BASE, 0x1000),
+                ExternalDdr::new(0x1000),
+                Some(crash_lcf_policies()),
+            )
+            .build();
+        soc.run(400);
+        assert!(soc.degraded(), "sustained pressure engages the brownout");
+        assert_eq!(soc.stats().counter("soc.degrade_enters"), 1);
+        assert!(
+            soc.lcf()
+                .unwrap()
+                .stats()
+                .counter("lcf.brownout_skipped_verifies")
+                > 0,
+            "degraded reads skip the IC walk"
+        );
+        // The source stops at 400; the backlog drains and the exit fires.
+        soc.run(20_000);
+        assert!(!soc.degraded(), "a real drain always releases the brownout");
+        assert_eq!(soc.stats().counter("soc.degrade_exits"), 1);
+        let events = soc.tracer().unwrap().snapshot();
+        let enter = events
+            .iter()
+            .find(|(_, e)| matches!(e, TraceEvent::DegradeEnter { .. }))
+            .expect("DegradeEnter traced");
+        let exit = events
+            .iter()
+            .find(|(_, e)| matches!(e, TraceEvent::DegradeExit { .. }))
+            .expect("DegradeExit traced");
+        if let (TraceEvent::DegradeEnter { from, to, .. }, TraceEvent::DegradeExit { cycles, .. }) =
+            (&enter.1, &exit.1)
+        {
+            assert_eq!((*from, *to), ("verify", "cipher_only"));
+            assert!(*cycles > 0, "exit records the brownout duration");
+        }
+        // Post-brownout reads verify again at full latency.
+        let f = soc.master_as::<Flooder>(0).unwrap();
+        assert_eq!(f.errs, 0, "brownout never produced integrity errors");
+        assert_eq!(f.issued, f.ok + f.shed);
     }
 }
