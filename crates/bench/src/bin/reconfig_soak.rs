@@ -1,0 +1,182 @@
+//! S-20: reconfig soak — live policy-epoch storms under open-loop
+//! overload.
+//!
+//! Every cell runs [`run_reconfig_soak`]: two open-loop masters flood the
+//! DDR while multi-firewall policy epochs — compiled from the DSL and
+//! admitted through the exhaustive verifier — rewrite both Local
+//! Firewalls mid-flight. The storm mixes committed, verifier-refused
+//! (shadowed program) and fault-aborted (`EpochCommitFault`) attempts,
+//! on periodic and bursty schedules, bare and protected.
+//!
+//! Gates (exit 1 on any failure, report printed regardless):
+//!
+//! 1. **zero dropped** — open-loop conservation holds in every cell
+//!    across every swap boundary;
+//! 2. **zero misjudged** — every epoch authorizes the flooded window, so
+//!    any firewall refusal (`errors != 0`) fails the run;
+//! 3. **no mixed fleet** — after every commit attempt both firewalls
+//!    report the same epoch, and refused/faulted attempts leave the
+//!    epoch counter untouched (`epoch_accounting_ok`);
+//! 4. **zero verifier escapes** — no shadowed program ever commits, and
+//!    protected cells must actually exercise refusals and mid-commit
+//!    aborts (a storm that never tested the defence proves nothing);
+//! 5. **bounded drain** — brownouts engaged during the storm must
+//!    release by the end of the run.
+//!
+//! Same `--seed` → byte-identical JSON, serial (`--serial`) or parallel.
+//! `--smoke` shrinks the sweep to CI size.
+
+use secbus_sim::Json;
+use secbus_soc::{
+    run_reconfig_soak, DegradeConfig, ReconfigSoakConfig, ReconfigSoakReport, SwapSchedule,
+};
+
+/// Flood rates (arrivals per cycle per master).
+const RATES: &[u32] = &[1, 2, 4];
+
+/// Swap schedules the sweep exercises.
+const SCHEDULES: &[(&str, SwapSchedule)] = &[
+    ("periodic", SwapSchedule::Periodic { every: 200 }),
+    (
+        "bursty",
+        SwapSchedule::Bursty {
+            burst: 3,
+            every: 500,
+        },
+    ),
+];
+
+fn cell_json(schedule: &str, cfg: &ReconfigSoakConfig, r: &ReconfigSoakReport) -> Json {
+    Json::Obj(vec![
+        ("schedule".into(), Json::str(schedule)),
+        ("per_tick".into(), Json::uint(u64::from(cfg.per_tick))),
+        (
+            "mode".into(),
+            Json::str(if r.protected { "protected" } else { "bare" }),
+        ),
+        ("issued".into(), Json::uint(r.issued)),
+        ("completed".into(), Json::uint(r.completed)),
+        ("shed".into(), Json::uint(r.shed)),
+        ("errors".into(), Json::uint(r.errors)),
+        ("conservation_ok".into(), Json::Bool(r.conservation_ok)),
+        ("commits_attempted".into(), Json::uint(r.commits_attempted)),
+        ("commits_ok".into(), Json::uint(r.commits_ok)),
+        ("verifier_refusals".into(), Json::uint(r.verifier_refusals)),
+        ("verifier_escapes".into(), Json::uint(r.verifier_escapes)),
+        ("commit_faults".into(), Json::uint(r.commit_faults)),
+        ("other_refusals".into(), Json::uint(r.other_refusals)),
+        ("final_epoch".into(), Json::uint(r.final_epoch)),
+        (
+            "epoch_accounting_ok".into(),
+            Json::Bool(r.epoch_accounting_ok),
+        ),
+        ("epoch_mismatches".into(), Json::uint(r.epoch_mismatches)),
+        ("degrade_enters".into(), Json::uint(r.degrade_enters)),
+        ("degrade_exits".into(), Json::uint(r.degrade_exits)),
+        ("still_degraded".into(), Json::Bool(r.still_degraded)),
+        ("wedged".into(), Json::Bool(r.wedged)),
+        (
+            "metrics".into(),
+            Json::parse(&r.metrics_json).expect("metrics snapshot parses"),
+        ),
+    ])
+}
+
+fn main() {
+    let secbus_bench::SoakArgs { seed, smoke } = secbus_bench::SoakArgs::parse(0x0052_05EC);
+    let rates: &[u32] = if smoke { &[2] } else { RATES };
+    let cycles: u64 = if smoke { 1_200 } else { 2_400 };
+
+    let mut specs: Vec<(&'static str, ReconfigSoakConfig)> = Vec::new();
+    for &(name, schedule) in SCHEDULES {
+        for &per_tick in rates {
+            for &protected in &[false, true] {
+                specs.push((
+                    name,
+                    ReconfigSoakConfig {
+                        per_tick,
+                        cycles,
+                        drain_cycles: 20_000,
+                        master_queue_capacity: 8,
+                        protected,
+                        degrade: protected.then_some(DegradeConfig {
+                            high_watermark: 6,
+                            low_watermark: 0,
+                            enter_after: 8,
+                            exit_after: 32,
+                        }),
+                        schedule,
+                        include_bad: true,
+                        include_faults: true,
+                        seed,
+                    },
+                ));
+            }
+        }
+    }
+
+    let threads = secbus_bench::sweep_threads();
+    let results = secbus_bench::par_map_with(threads, specs, |(name, cfg)| {
+        (name, cfg, run_reconfig_soak(&cfg))
+    });
+
+    let mut wedged = false;
+    let mut conservation_failures = 0u64;
+    let mut misjudged = 0u64;
+    let mut epoch_mismatches = 0u64;
+    let mut verifier_escapes = 0u64;
+    let mut untested_defences = 0u64;
+    let mut unbounded_drains = 0u64;
+    let mut cells = Vec::new();
+    for (name, cfg, r) in &results {
+        wedged |= r.wedged;
+        conservation_failures += u64::from(!r.conservation_ok);
+        misjudged += r.errors;
+        epoch_mismatches += r.epoch_mismatches;
+        verifier_escapes += r.verifier_escapes;
+        unbounded_drains += u64::from(r.still_degraded);
+        if r.protected && (r.commits_ok == 0 || r.verifier_refusals == 0 || r.commit_faults == 0) {
+            // A protected cell whose storm never committed, never hit the
+            // verifier, or never aborted a faulted commit did not test
+            // what this soak exists to prove.
+            untested_defences += 1;
+        }
+        cells.push(cell_json(name, cfg, r));
+    }
+
+    let gate_failed = wedged
+        || conservation_failures > 0
+        || misjudged > 0
+        || epoch_mismatches > 0
+        || verifier_escapes > 0
+        || untested_defences > 0
+        || unbounded_drains > 0;
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("S-20 reconfig soak")),
+        ("seed".into(), Json::uint(seed)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("cycles".into(), Json::uint(cycles)),
+        ("cells".into(), Json::Arr(cells)),
+        (
+            "conservation_failures".into(),
+            Json::uint(conservation_failures),
+        ),
+        ("misjudged".into(), Json::uint(misjudged)),
+        ("epoch_mismatches".into(), Json::uint(epoch_mismatches)),
+        ("verifier_escapes".into(), Json::uint(verifier_escapes)),
+        ("untested_defences".into(), Json::uint(untested_defences)),
+        ("unbounded_drains".into(), Json::uint(unbounded_drains)),
+        ("wedged".into(), Json::Bool(wedged)),
+    ]);
+    secbus_bench::finish(
+        "reconfig_soak",
+        &report,
+        gate_failed,
+        &format!(
+            "gate failed (wedged={wedged}, conservation_failures={conservation_failures}, \
+             misjudged={misjudged}, epoch_mismatches={epoch_mismatches}, \
+             verifier_escapes={verifier_escapes}, untested_defences={untested_defences}, \
+             unbounded_drains={unbounded_drains})"
+        ),
+    )
+}

@@ -4,8 +4,8 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use secbus_bus::AddrRange;
-use secbus_core::{AdfSet, ConfigMemory, Rwa, SecurityPolicy};
+use secbus_bus::{AddrRange, Width};
+use secbus_core::{verify, AdfSet, ConfigMemory, PolicyProgram, Rwa, SecurityPolicy};
 use secbus_cpu::{assemble, disasm_listing, Mb32Core, Reg};
 use secbus_mem::{parse_ihex, Bram, ExternalDdr, HexImage};
 use secbus_sim::Cycle;
@@ -14,7 +14,7 @@ use secbus_soc::casestudy::{
 };
 use secbus_soc::{render_topology, Report, SocBuilder};
 
-const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|table1|fig1|policy-template> …
+const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|policy|reconfig|table1|fig1> …
   secbus asm <file.s>               assemble MB32 source to hex words
   secbus disasm <file.hex>          disassemble hex words (one per line)
   secbus run <file.s> [--cycles N] [--unprotected] [--policy <file.json>]\n             [--image <boot.ihex>] [--trace] [--audit[-json]]
@@ -25,6 +25,10 @@ const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|table1|fig1|p
                                     run the staged adversarial campaigns and\n                                    print each kill chain
   secbus overload [--seed N] [--rate N]
                                     flood the SoC and a 4x4 mesh open-loop and\n                                    show shedding, brownout and conservation
+  secbus policy check <file.policy> parse, compile and exhaustively verify a\n                                    DSL policy program (exit 1 + counterexample\n                                    on rejection)
+  secbus policy compile <file.policy>\n                                    print the compiled per-master firewall tables
+  secbus policy template            print a policy-DSL skeleton
+  secbus reconfig [--seed N]        storm live policy epochs through a flooded\n                                    SoC and print the zero-loss verdict
   secbus table1 | fig1
   secbus policy-template            print a JSON policy-file skeleton
 ";
@@ -58,6 +62,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("attacks") => cmd_attacks(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("overload") => cmd_overload(&args[1..]),
+        Some("policy") => cmd_policy(&args[1..]),
+        Some("reconfig") => cmd_reconfig(&args[1..]),
         Some("table1") => Ok(secbus_area::Table1::case_study().render()),
         Some("table2") => {
             Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into())
@@ -451,6 +457,169 @@ fn cmd_campaign(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `secbus policy <check|compile|template>` — the offline half of the
+/// policy pipeline. `check` runs the same exhaustive verifier that gates
+/// `commit_policy_epoch` admission, so a program that passes here is
+/// admissible live.
+fn cmd_policy(args: &[String]) -> Result<String, String> {
+    const POLICY_USAGE: &str = "usage: secbus policy <check|compile|template> [file.policy]";
+    match args.first().map(String::as_str) {
+        Some("template") => Ok(secbus_core::policy_dsl::template().to_string()),
+        Some("check") => {
+            let path = args.get(1).ok_or("policy check needs a .policy file")?;
+            let (program, compiled) = load_policy_program(path)?;
+            let views = compiled.as_views();
+            let report =
+                verify(&program, &views).map_err(|e| format!("{path}: REJECTED\n  {e}"))?;
+            Ok(format!(
+                "{path}: OK\n  {} masters, {} rules -> {} compiled policies\n  \
+                 {} (addr, op, width) samples checked, zero intent/table divergence\n",
+                report.masters, report.rules, report.policies, report.samples
+            ))
+        }
+        Some("compile") => {
+            let path = args.get(1).ok_or("policy compile needs a .policy file")?;
+            let (program, compiled) = load_policy_program(path)?;
+            let views = compiled.as_views();
+            verify(&program, &views).map_err(|e| format!("{path}: REJECTED\n  {e}"))?;
+            let mut out = String::new();
+            for table in &compiled.tables {
+                writeln!(
+                    out,
+                    "master {} ({}): {} policies",
+                    table.master,
+                    table.name,
+                    table.policies.len()
+                )
+                .unwrap();
+                for p in &table.policies {
+                    let widths: Vec<&str> = [
+                        (Width::Byte, "byte"),
+                        (Width::Half, "half"),
+                        (Width::Word, "word"),
+                    ]
+                    .iter()
+                    .filter(|&&(w, _)| p.adf.allows(w))
+                    .map(|&(_, n)| n)
+                    .collect();
+                    writeln!(
+                        out,
+                        "  spi {:>3}  [{:#010x}, {:#010x})  {:<9} {:<14} cm={:?} im={:?} key={}",
+                        p.spi.0,
+                        p.region.base,
+                        p.region.end(),
+                        format!("{:?}", p.rwa),
+                        widths.join("|"),
+                        p.cm,
+                        p.im,
+                        if p.key.is_some() { "yes" } else { "no" },
+                    )
+                    .unwrap();
+                }
+            }
+            Ok(out)
+        }
+        Some(other) => Err(format!(
+            "unknown policy subcommand {other:?}\n{POLICY_USAGE}"
+        )),
+        None => Err(POLICY_USAGE.into()),
+    }
+}
+
+/// Read, parse and compile a DSL policy file.
+fn load_policy_program(
+    path: &str,
+) -> Result<(PolicyProgram, secbus_core::CompiledPolicies), String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = PolicyProgram::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let compiled = program.compile().map_err(|e| format!("{path}: {e}"))?;
+    Ok((program, compiled))
+}
+
+/// `secbus reconfig` — a small S-20 cell, bare vs protected: policy-epoch
+/// storms (including verifier-refused and fault-aborted commits) through
+/// a flooded SoC, printing the zero-loss / fail-secure verdict.
+fn cmd_reconfig(args: &[String]) -> Result<String, String> {
+    use secbus_soc::{run_reconfig_soak, DegradeConfig, ReconfigSoakConfig, SwapSchedule};
+
+    let seed: u64 = opt_value(args, "--seed")?
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "reconfig storm (seed {seed}, epoch every 200 cycles)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>7} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6}",
+        "mode",
+        "issued",
+        "completed",
+        "shed",
+        "misjudged",
+        "commits",
+        "refused",
+        "faulted",
+        "epoch",
+        "fleet"
+    )
+    .unwrap();
+    let mut wedged = false;
+    for protected in [false, true] {
+        let r = run_reconfig_soak(&ReconfigSoakConfig {
+            per_tick: 2,
+            cycles: 1_200,
+            protected,
+            degrade: protected.then_some(DegradeConfig {
+                high_watermark: 6,
+                low_watermark: 0,
+                enter_after: 8,
+                exit_after: 32,
+            }),
+            schedule: SwapSchedule::Periodic { every: 200 },
+            seed,
+            ..ReconfigSoakConfig::default()
+        });
+        wedged |= r.wedged;
+        writeln!(
+            out,
+            "{:<10} {:>7} {:>9} {:>6} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6}",
+            if protected { "protected" } else { "bare" },
+            r.issued,
+            r.completed,
+            r.shed,
+            r.errors,
+            format!("{}/{}", r.commits_ok, r.commits_attempted),
+            r.verifier_refusals + r.other_refusals,
+            r.commit_faults,
+            r.final_epoch,
+            if r.epoch_mismatches == 0 {
+                "ok"
+            } else {
+                "SPLIT"
+            },
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nverdict: {}",
+        if wedged {
+            "WEDGED (a swap boundary dropped or misjudged traffic)"
+        } else {
+            "zero loss; every in-flight transaction was judged under exactly\n\
+             one epoch, bad epochs were refused fail-secure, and faulted\n\
+             commits aborted all-or-nothing"
+        }
+    )
+    .unwrap();
+    Ok(out)
+}
+
 fn cmd_overload(args: &[String]) -> Result<String, String> {
     use secbus_noc::{run_overload, OverloadConfig};
     use secbus_soc::{run_soc_overload, DegradeConfig, SocOverloadConfig};
@@ -772,6 +941,64 @@ mod tests {
         let out = dispatch(&argv(&["attacks", "--seed", "7"])).unwrap();
         assert!(out.contains("hijacked IP"));
         assert!(out.contains("yes"));
+    }
+
+    #[test]
+    fn policy_template_checks_clean() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_policy_template.policy");
+        let template = dispatch(&argv(&["policy", "template"])).unwrap();
+        fs::write(&path, template).unwrap();
+        let out = dispatch(&argv(&["policy", "check", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("zero intent/table divergence"), "{out}");
+        let out = dispatch(&argv(&["policy", "compile", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("master 0 (cpu0)"), "{out}");
+        assert!(out.contains("cm=Encrypt"), "{out}");
+    }
+
+    #[test]
+    fn policy_check_rejects_shadowed_program() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_policy_shadowed.policy");
+        fs::write(
+            &path,
+            "master cpu0 = 0\n\
+             region ddr = 0x8000_0000 + 0x1000\n\
+             allow cpu0 ddr rw\n\
+             allow cpu0 ddr ro\n",
+        )
+        .unwrap();
+        let err = dispatch(&argv(&["policy", "check", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("REJECTED"), "{err}");
+        assert!(err.contains("shadowed"), "{err}");
+    }
+
+    #[test]
+    fn policy_check_reports_parse_errors_with_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("secbus_cli_policy_bad.policy");
+        fs::write(&path, "master cpu0 = 0\nallow cpu0 nowhere rw\n").unwrap();
+        let err = dispatch(&argv(&["policy", "check", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn policy_usage_on_missing_subcommand() {
+        assert!(dispatch(&argv(&["policy"])).unwrap_err().contains("usage"));
+        assert!(dispatch(&argv(&["policy", "bogus"]))
+            .unwrap_err()
+            .contains("unknown policy subcommand"));
+    }
+
+    #[test]
+    fn reconfig_reports_zero_loss() {
+        let out = dispatch(&argv(&["reconfig", "--seed", "7"])).unwrap();
+        assert!(out.contains("protected"), "{out}");
+        assert!(out.contains("bare"), "{out}");
+        assert!(out.contains("zero loss"), "{out}");
+        assert!(!out.contains("WEDGED"), "{out}");
+        assert!(!out.contains("SPLIT"), "{out}");
     }
 
     #[test]

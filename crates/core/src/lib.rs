@@ -33,6 +33,7 @@ pub mod config;
 pub mod firewall;
 pub mod lcf;
 pub mod policy;
+pub mod policy_dsl;
 pub mod reconfig;
 pub mod recovery;
 pub mod taint;
@@ -48,6 +49,10 @@ pub use lcf::{
 };
 pub use policy::{
     AdfSet, ConfidentialityMode, IntegrityMode, PolicyError, Rwa, SecurityPolicy, Spi,
+};
+pub use policy_dsl::{
+    verify, CompiledPolicies, CompiledTable, Counterexample, DslError, PolicyProgram,
+    PolicyVerifyError, VerifyReport,
 };
 pub use reconfig::{EpochError, EpochFailure, PolicyUpdate, ReconfigController};
 pub use recovery::{

@@ -1,0 +1,1054 @@
+//! Policy DSL: masters × regions × rights, compiled to sorted-range tables.
+//!
+//! AKER frames on-chip access control as a design-*and-verification*
+//! problem: a policy is only as trustworthy as the proof that the compiled
+//! enforcement tables mean what the author wrote. This module provides the
+//! three pieces of that argument for the distributed-firewall fabric:
+//!
+//! 1. **A small DSL** ([`PolicyProgram::parse`]): named masters, named
+//!    address regions (optionally with LCF confidentiality/integrity
+//!    attributes), and ordered `allow`/`deny` rules. Semantics are
+//!    *deny-by-default* with *first-match-wins* per master — the two
+//!    properties a human auditor can actually reason about.
+//! 2. **A compiler** ([`PolicyProgram::compile`]): flattens the ordered
+//!    rule list into the non-overlapping, binary-searched
+//!    [`ConfigMemory`] table format every firewall already enforces
+//!    (each rule contributes the sub-intervals of its region not claimed
+//!    by an earlier rule).
+//! 3. **An exhaustive verifier** ([`verify`]): checks a set of compiled
+//!    tables — whether produced by this compiler or staged by anything
+//!    else — against the DSL intent over the full master × region matrix.
+//!    Every rejection carries a concrete `(master, address, access)`
+//!    counterexample; shadowed rules (rules that can never fire) are
+//!    rejected too, naming the rule that eclipses them.
+//!
+//! Exhaustiveness argument: both the intent function and the table verdict
+//! are piecewise-constant in the address between consecutive region
+//! boundaries (for a fixed access width and alignment class), so checking
+//! every `(op, width)` at every address within ±4 bytes of every region
+//! boundary of *both* the program and the table covers every behaviour
+//! class of the full 2³² space. A brute-force sweep over a small address
+//! space cross-checks this sampling in the tests.
+
+use core::fmt;
+
+use secbus_bus::{AddrRange, Op, Width};
+
+use crate::config::ConfigMemory;
+use crate::policy::{AdfSet, ConfidentialityMode, IntegrityMode, Rwa, SecurityPolicy};
+
+/// A parse/compile error, pointing at the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A declared enforcement point (a master behind a Local Firewall, or the
+/// LCF's port in front of the external memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterDecl {
+    /// DSL name.
+    pub name: String,
+    /// Stable index used to pair the master with its compiled table.
+    pub index: u8,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A named address region, optionally carrying LCF crypto attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionDecl {
+    /// DSL name.
+    pub name: String,
+    /// The byte range `[base, base+len)`.
+    pub range: AddrRange,
+    /// Confidentiality mode compiled into policies over this region.
+    pub cm: ConfidentialityMode,
+    /// Integrity mode compiled into policies over this region.
+    pub im: IntegrityMode,
+    /// Cipher key (present exactly when `cm` is `Encrypt`).
+    pub key: Option<[u8; 16]>,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// Whether a rule grants or revokes access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Grant the stated rights over the region remainder.
+    Allow,
+    /// Carve the region out of any *later* rule (deny-by-default already
+    /// covers addresses no rule mentions).
+    Deny,
+}
+
+/// One ordered rule: first matching rule per master wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Source line (the verifier's shadowing counterexamples cite it).
+    pub line: u32,
+    /// Index into [`PolicyProgram::masters`].
+    pub master: usize,
+    /// Index into [`PolicyProgram::regions`].
+    pub region: usize,
+    /// Allow or deny.
+    pub action: RuleAction,
+    /// Read/write rights (ignored for deny rules).
+    pub rwa: Rwa,
+    /// Allowed access widths (ignored for deny rules).
+    pub adf: AdfSet,
+}
+
+/// A parsed policy program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyProgram {
+    /// Declared enforcement points.
+    pub masters: Vec<MasterDecl>,
+    /// Declared regions.
+    pub regions: Vec<RegionDecl>,
+    /// Ordered rules (first match wins).
+    pub rules: Vec<Rule>,
+}
+
+/// Parse a number token: decimal or `0x` hex, `_` separators allowed.
+fn parse_num(tok: &str) -> Option<u64> {
+    let clean: String = tok.chars().filter(|&c| c != '_').collect();
+    match clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => clean.parse().ok(),
+    }
+}
+
+fn parse_key(tok: &str) -> Option<[u8; 16]> {
+    if tok.len() != 32 || !tok.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut key = [0u8; 16];
+    for (i, slot) in key.iter_mut().enumerate() {
+        *slot = u8::from_str_radix(&tok[2 * i..2 * i + 2], 16).ok()?;
+    }
+    Some(key)
+}
+
+fn parse_widths(tok: &str) -> Option<AdfSet> {
+    let mut bits = 0u8;
+    for part in tok.split([',', '|']) {
+        bits |= match part {
+            "byte" | "8" => 1,
+            "half" | "16" => 2,
+            "word" | "32" => 4,
+            _ => return None,
+        };
+    }
+    Some(AdfSet::from_bits(bits))
+}
+
+impl PolicyProgram {
+    /// Parse DSL source. The grammar is line-oriented; `#` starts a
+    /// comment. See `secbus policy template` for a worked example:
+    ///
+    /// ```text
+    /// master <name> = <index>
+    /// region <name> = <base> + <len> [encrypt [verify] key <32 hex digits>]
+    /// allow  <master> <region> <ro|wo|rw> [byte,half,word | 8,16,32]
+    /// deny   <master> <region>
+    /// ```
+    pub fn parse(src: &str) -> Result<PolicyProgram, DslError> {
+        let mut prog = PolicyProgram {
+            masters: Vec::new(),
+            regions: Vec::new(),
+            rules: Vec::new(),
+        };
+        for (i, raw) in src.lines().enumerate() {
+            let line = (i + 1) as u32;
+            let err = |msg: String| DslError { line, msg };
+            let text = raw.split('#').next().unwrap_or("");
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            if toks.is_empty() {
+                continue;
+            }
+            match toks[0] {
+                "master" => {
+                    if toks.len() != 4 || toks[2] != "=" {
+                        return Err(err("expected: master <name> = <index>".into()));
+                    }
+                    let (name, idx) = (toks[1], toks[3]);
+                    let index = parse_num(idx)
+                        .and_then(|n| u8::try_from(n).ok())
+                        .ok_or_else(|| err(format!("master index {idx:?} must be 0..=255")))?;
+                    if prog.masters.iter().any(|m| m.name == name) {
+                        return Err(err(format!("master {name:?} declared twice")));
+                    }
+                    if prog.masters.iter().any(|m| m.index == index) {
+                        return Err(err(format!("master index {index} declared twice")));
+                    }
+                    prog.masters.push(MasterDecl {
+                        name: name.to_string(),
+                        index,
+                        line,
+                    });
+                }
+                "region" => {
+                    if toks.len() < 6 || toks[2] != "=" || toks[4] != "+" {
+                        return Err(err(
+                            "expected: region <name> = <base> + <len> [encrypt [verify] key <hex>]"
+                                .into(),
+                        ));
+                    }
+                    let name = toks[1];
+                    if prog.regions.iter().any(|r| r.name == name) {
+                        return Err(err(format!("region {name:?} declared twice")));
+                    }
+                    let base = parse_num(toks[3])
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| err(format!("bad region base {:?}", toks[3])))?;
+                    let len = parse_num(toks[5])
+                        .and_then(|n| u32::try_from(n).ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err(format!("bad region len {:?}", toks[5])))?;
+                    if u64::from(base) + u64::from(len) > 1 << 32 {
+                        return Err(err(format!(
+                            "region {base:#x}+{len:#x} wraps the 32-bit address space"
+                        )));
+                    }
+                    let mut cm = ConfidentialityMode::Bypass;
+                    let mut im = IntegrityMode::Bypass;
+                    let mut key = None;
+                    let mut rest = toks[6..].iter();
+                    while let Some(&attr) = rest.next() {
+                        match attr {
+                            "encrypt" => cm = ConfidentialityMode::Encrypt,
+                            "verify" => im = IntegrityMode::Verify,
+                            "key" => {
+                                let hex = rest
+                                    .next()
+                                    .ok_or_else(|| err("key needs 32 hex digits".into()))?;
+                                key = Some(parse_key(hex).ok_or_else(|| {
+                                    err(format!("bad key {hex:?}: need 32 hex digits"))
+                                })?);
+                            }
+                            other => {
+                                return Err(err(format!("unknown region attribute {other:?}")))
+                            }
+                        }
+                    }
+                    // Reuse the policy validator so region attributes obey
+                    // the same rules the firewalls enforce.
+                    SecurityPolicy::validated(
+                        0,
+                        AddrRange::new(base, len),
+                        Rwa::ReadWrite,
+                        AdfSet::ALL,
+                        cm,
+                        im,
+                        key,
+                    )
+                    .map_err(|e| err(e.to_string()))?;
+                    prog.regions.push(RegionDecl {
+                        name: name.to_string(),
+                        range: AddrRange::new(base, len),
+                        cm,
+                        im,
+                        key,
+                        line,
+                    });
+                }
+                "allow" | "deny" => {
+                    let action = if toks[0] == "allow" {
+                        RuleAction::Allow
+                    } else {
+                        RuleAction::Deny
+                    };
+                    let (&master_tok, &region_tok) = match (toks.get(1), toks.get(2)) {
+                        (Some(m), Some(r)) => (m, r),
+                        _ => return Err(err(format!("expected: {} <master> <region> …", toks[0]))),
+                    };
+                    let master = prog
+                        .masters
+                        .iter()
+                        .position(|m| m.name == master_tok)
+                        .ok_or_else(|| err(format!("unknown master {master_tok:?}")))?;
+                    let region = prog
+                        .regions
+                        .iter()
+                        .position(|r| r.name == region_tok)
+                        .ok_or_else(|| err(format!("unknown region {region_tok:?}")))?;
+                    let (rwa, adf) = match action {
+                        RuleAction::Deny => {
+                            if toks.len() > 3 {
+                                return Err(err("deny takes no rights".into()));
+                            }
+                            (Rwa::ReadWrite, AdfSet::ALL)
+                        }
+                        RuleAction::Allow => {
+                            let rwa = match toks.get(3).copied() {
+                                Some("ro") => Rwa::ReadOnly,
+                                Some("wo") => Rwa::WriteOnly,
+                                Some("rw") => Rwa::ReadWrite,
+                                other => {
+                                    return Err(err(format!(
+                                        "allow needs rights ro|wo|rw, got {other:?}"
+                                    )))
+                                }
+                            };
+                            let adf = match toks.get(4) {
+                                None => AdfSet::ALL,
+                                Some(w) => parse_widths(w).ok_or_else(|| {
+                                    err(format!("bad width list {w:?} (byte,half,word)"))
+                                })?,
+                            };
+                            if toks.len() > 5 {
+                                return Err(err(format!("trailing tokens after {:?}", toks[4])));
+                            }
+                            (rwa, adf)
+                        }
+                    };
+                    prog.rules.push(Rule {
+                        line,
+                        master,
+                        region,
+                        action,
+                        rwa,
+                        adf,
+                    });
+                }
+                other => return Err(err(format!("unknown directive {other:?}"))),
+            }
+        }
+        if prog.masters.is_empty() {
+            return Err(DslError {
+                line: 0,
+                msg: "no masters declared".into(),
+            });
+        }
+        Ok(prog)
+    }
+
+    /// The rule in force for `(master_index, addr)`: first match in
+    /// program order, `None` when no rule covers the address
+    /// (deny-by-default).
+    fn ruling(&self, master: usize, addr: u32) -> Option<usize> {
+        self.rules
+            .iter()
+            .position(|r| r.master == master && self.regions[r.region].range.contains(addr))
+    }
+
+    /// The DSL's *intent*: is `(master, addr, op, width)` authorized?
+    ///
+    /// Mirrors the hardware's enforcement granularity: the access must be
+    /// naturally aligned, and every byte of the window must be first-match
+    /// ruled by the *same* allow rule (a transfer is ruled by a single
+    /// policy end to end).
+    pub fn intent(&self, master_index: u8, addr: u32, op: Op, width: Width) -> bool {
+        let Some(master) = self.masters.iter().position(|m| m.index == master_index) else {
+            return false;
+        };
+        let bytes = width.bytes();
+        if !addr.is_multiple_of(bytes) || u64::from(addr) + u64::from(bytes) > 1 << 32 {
+            return false;
+        }
+        let Some(first) = self.ruling(master, addr) else {
+            return false;
+        };
+        let rule = &self.rules[first];
+        if rule.action == RuleAction::Deny {
+            return false;
+        }
+        // Every byte of the window must resolve to the same rule.
+        for b in 1..bytes {
+            if self.ruling(master, addr + b) != Some(first) {
+                return false;
+            }
+        }
+        rule.rwa.allows(op) && rule.adf.allows(width)
+    }
+
+    /// Compile every master's table. Shadowed rules still compile (they
+    /// contribute nothing) — [`verify`] is what rejects them, with a
+    /// counterexample; keeping compilation total lets the verifier be the
+    /// single gate for both compiler output and foreign tables.
+    pub fn compile(&self) -> Result<CompiledPolicies, DslError> {
+        let mut tables = Vec::with_capacity(self.masters.len());
+        for (mi, master) in self.masters.iter().enumerate() {
+            let mut covered: Vec<(u64, u64)> = Vec::new();
+            let mut policies = Vec::new();
+            let mut next_spi: u32 = 1;
+            for rule in self.rules.iter().filter(|r| r.master == mi) {
+                let region = &self.regions[rule.region];
+                let contribution =
+                    subtract((u64::from(region.range.base), region.range.end()), &covered);
+                for &(start, end) in &contribution {
+                    covered.push((start, end));
+                    if rule.action == RuleAction::Deny {
+                        continue;
+                    }
+                    let spi = u16::try_from(next_spi).map_err(|_| DslError {
+                        line: rule.line,
+                        msg: format!("master {:?} exceeds 65535 policies", master.name),
+                    })?;
+                    next_spi += 1;
+                    policies.push(
+                        SecurityPolicy::validated(
+                            spi,
+                            AddrRange::new(start as u32, (end - start) as u32),
+                            rule.rwa,
+                            rule.adf,
+                            region.cm,
+                            region.im,
+                            region.key,
+                        )
+                        .expect("region attributes validated at parse"),
+                    );
+                }
+            }
+            policies.sort_by_key(|p| p.region.base);
+            tables.push(CompiledTable {
+                master: master.index,
+                name: master.name.clone(),
+                policies,
+            });
+        }
+        Ok(CompiledPolicies { tables })
+    }
+}
+
+/// `range` minus the union of `covered`, as maximal disjoint intervals.
+fn subtract(range: (u64, u64), covered: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut holes: Vec<(u64, u64)> = covered
+        .iter()
+        .copied()
+        .filter(|&(s, e)| s < range.1 && e > range.0)
+        .collect();
+    holes.sort_unstable();
+    let mut out = Vec::new();
+    let mut cursor = range.0;
+    for (s, e) in holes {
+        if s > cursor {
+            out.push((cursor, s.min(range.1)));
+        }
+        cursor = cursor.max(e);
+        if cursor >= range.1 {
+            break;
+        }
+    }
+    if cursor < range.1 {
+        out.push((cursor, range.1));
+    }
+    out
+}
+
+/// One master's compiled sorted-range table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTable {
+    /// The master index from the `master` declaration.
+    pub master: u8,
+    /// The master's DSL name (reports and counterexamples).
+    pub name: String,
+    /// Non-overlapping policies, ascending by region base.
+    pub policies: Vec<SecurityPolicy>,
+}
+
+/// The compiler's output: one table per declared master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPolicies {
+    /// Tables in master declaration order.
+    pub tables: Vec<CompiledTable>,
+}
+
+impl CompiledPolicies {
+    /// The table compiled for `master_index`, if declared.
+    pub fn table(&self, master_index: u8) -> Option<&CompiledTable> {
+        self.tables.iter().find(|t| t.master == master_index)
+    }
+
+    /// Borrow the tables in the `(index, policies)` shape [`verify`] takes.
+    pub fn as_views(&self) -> Vec<(u8, &[SecurityPolicy])> {
+        self.tables
+            .iter()
+            .map(|t| (t.master, t.policies.as_slice()))
+            .collect()
+    }
+}
+
+/// A concrete `(master, address, access)` witness of an intent/table
+/// disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Master DSL name.
+    pub master: String,
+    /// Master index.
+    pub index: u8,
+    /// Witness address.
+    pub addr: u32,
+    /// Access direction mnemonic (`"read"` / `"write"`).
+    pub op: &'static str,
+    /// Access width in bits (8/16/32).
+    pub width_bits: u8,
+    /// What the DSL says.
+    pub intent_allows: bool,
+    /// What the compiled table says.
+    pub table_allows: bool,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "master {:?} (index {}), {}-bit {} at {:#010x}: intent {} but table {} — {}",
+            self.master,
+            self.index,
+            self.width_bits,
+            self.op,
+            self.addr,
+            if self.intent_allows {
+                "allows"
+            } else {
+                "denies"
+            },
+            if self.table_allows {
+                "allows"
+            } else {
+                "denies"
+            },
+            self.detail
+        )
+    }
+}
+
+/// Why a table set fails verification. In every case the tables must not
+/// be put in force.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyVerifyError {
+    /// A rule can never fire: every address of its region is claimed by an
+    /// earlier rule. Dead policy text is a latent misconfiguration — the
+    /// author believes a right exists (or is revoked) that the earlier
+    /// rule silently overrides.
+    Shadowed {
+        /// Master DSL name.
+        master: String,
+        /// The line of the rule that can never fire.
+        rule_line: u32,
+        /// The earlier rule that eclipses it.
+        winner_line: u32,
+        /// A concrete address both rules cover.
+        addr: u32,
+    },
+    /// The table disagrees with the DSL intent at a concrete access.
+    Mismatch(Counterexample),
+    /// An allowed access is served with weaker confidentiality/integrity
+    /// attributes than the region declares.
+    AttrMismatch(Counterexample),
+    /// A declared master has no staged table.
+    MissingTable {
+        /// Master DSL name.
+        master: String,
+        /// Master index.
+        index: u8,
+    },
+    /// A staged table targets an index the program never declared.
+    UnknownTable {
+        /// The undeclared master index.
+        index: u8,
+    },
+    /// The staged table is not a valid sorted-range table (overlaps).
+    InvalidTable {
+        /// Master DSL name.
+        master: String,
+        /// The overlap diagnosis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PolicyVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyVerifyError::Shadowed {
+                master,
+                rule_line,
+                winner_line,
+                addr,
+            } => write!(
+                f,
+                "shadowed rule: master {master:?} line {rule_line} can never fire — \
+                 line {winner_line} already rules address {addr:#010x}"
+            ),
+            PolicyVerifyError::Mismatch(ce) => write!(f, "intent mismatch: {ce}"),
+            PolicyVerifyError::AttrMismatch(ce) => {
+                write!(f, "protection-attribute mismatch: {ce}")
+            }
+            PolicyVerifyError::MissingTable { master, index } => {
+                write!(f, "master {master:?} (index {index}) has no staged table")
+            }
+            PolicyVerifyError::UnknownTable { index } => {
+                write!(f, "staged table targets undeclared master index {index}")
+            }
+            PolicyVerifyError::InvalidTable { master, detail } => {
+                write!(f, "master {master:?}: invalid table: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyVerifyError {}
+
+/// What a successful verification covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Masters checked.
+    pub masters: usize,
+    /// DSL rules checked for shadowing.
+    pub rules: usize,
+    /// Total compiled policies across tables.
+    pub policies: usize,
+    /// `(addr, op, width)` samples compared.
+    pub samples: u64,
+}
+
+/// Table-side verdict replica: the same lookup + checking-module pass the
+/// firewalls run, minus the transaction plumbing. Returns the ruling
+/// policy when the access is allowed.
+fn table_verdict(cm: &ConfigMemory, addr: u32, op: Op, width: Width) -> Option<&SecurityPolicy> {
+    let bytes = width.bytes();
+    if !addr.is_multiple_of(bytes) || u64::from(addr) + u64::from(bytes) > 1 << 32 {
+        return None;
+    }
+    let p = cm.lookup(addr)?;
+    let within = p.region.contains_span(addr, bytes);
+    (within && p.rwa.allows(op) && p.adf.allows(width)).then_some(p)
+}
+
+const OPS: [(Op, &str); 2] = [(Op::Read, "read"), (Op::Write, "write")];
+const WIDTHS: [(Width, u8); 3] = [(Width::Byte, 8), (Width::Half, 16), (Width::Word, 32)];
+
+/// Exhaustively check staged tables against the program's intent.
+///
+/// `tables` pairs each master index with the complete policy set staged
+/// for its firewall — [`CompiledPolicies::as_views`] for compiler output,
+/// or the policy vectors of a
+/// [`PolicyUpdate`](crate::reconfig::PolicyUpdate) batch at epoch
+/// admission. Checks, in order: every declared master has exactly one
+/// valid table and vice versa; no DSL rule is shadowed; and at every
+/// boundary-adjacent `(addr, op, width)` sample the table verdict equals
+/// the DSL intent, including the confidentiality/integrity attributes of
+/// the region. The first failure is returned with its counterexample.
+pub fn verify(
+    program: &PolicyProgram,
+    tables: &[(u8, &[SecurityPolicy])],
+) -> Result<VerifyReport, PolicyVerifyError> {
+    // Master <-> table pairing.
+    for &(index, _) in tables {
+        if !program.masters.iter().any(|m| m.index == index) {
+            return Err(PolicyVerifyError::UnknownTable { index });
+        }
+    }
+    // Shadowing: a rule whose region is fully claimed by earlier rules of
+    // the same master can never fire.
+    for (i, rule) in program.rules.iter().enumerate() {
+        let region = &program.regions[rule.region];
+        let earlier: Vec<(u64, u64)> = program.rules[..i]
+            .iter()
+            .filter(|r| r.master == rule.master)
+            .map(|r| {
+                let rr = &program.regions[r.region].range;
+                (u64::from(rr.base), rr.end())
+            })
+            .collect();
+        if subtract((u64::from(region.range.base), region.range.end()), &earlier).is_empty() {
+            let winner = program.rules[..i]
+                .iter()
+                .find(|r| {
+                    r.master == rule.master
+                        && program.regions[r.region].range.contains(region.range.base)
+                })
+                .expect("a fully-covered region is covered at its base");
+            return Err(PolicyVerifyError::Shadowed {
+                master: program.masters[rule.master].name.clone(),
+                rule_line: rule.line,
+                winner_line: winner.line,
+                addr: region.range.base,
+            });
+        }
+    }
+    let mut samples = 0u64;
+    let mut policies = 0usize;
+    for (mi, master) in program.masters.iter().enumerate() {
+        let &(_, staged) = tables
+            .iter()
+            .find(|(idx, _)| *idx == master.index)
+            .ok_or_else(|| PolicyVerifyError::MissingTable {
+                master: master.name.clone(),
+                index: master.index,
+            })?;
+        policies += staged.len();
+        // Rebuild the real lookup structure; overlaps are refused here.
+        let cm = ConfigMemory::with_policies(staged.to_vec()).map_err(|e| {
+            PolicyVerifyError::InvalidTable {
+                master: master.name.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+        // Boundary set: every region endpoint of both the program's rules
+        // for this master and the staged table.
+        let mut edges: Vec<u64> = Vec::new();
+        for rule in program.rules.iter().filter(|r| r.master == mi) {
+            let r = &program.regions[rule.region].range;
+            edges.push(u64::from(r.base));
+            edges.push(r.end());
+        }
+        for p in staged {
+            edges.push(u64::from(p.region.base));
+            edges.push(p.region.end());
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut candidates: Vec<u32> = Vec::new();
+        for &e in &edges {
+            for a in e.saturating_sub(4)..(e + 4).min(1 << 32) {
+                candidates.push(a as u32);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for &addr in &candidates {
+            for (op, op_name) in OPS {
+                for (width, bits) in WIDTHS {
+                    samples += 1;
+                    let want = program.intent(master.index, addr, op, width);
+                    let got = table_verdict(&cm, addr, op, width);
+                    if want != got.is_some() {
+                        let detail = if want {
+                            "a right the program grants is unenforceable"
+                        } else {
+                            "the table reaches an access the program denies"
+                        };
+                        return Err(PolicyVerifyError::Mismatch(Counterexample {
+                            master: master.name.clone(),
+                            index: master.index,
+                            addr,
+                            op: op_name,
+                            width_bits: bits,
+                            intent_allows: want,
+                            table_allows: got.is_some(),
+                            detail: detail.into(),
+                        }));
+                    }
+                    if let Some(p) = got {
+                        // Allowed on both sides: the serving policy must
+                        // carry the region's declared protection.
+                        let rule = program
+                            .ruling(mi, addr)
+                            .map(|ri| &program.rules[ri])
+                            .expect("intent allowed, so a rule covers addr");
+                        let region = &program.regions[rule.region];
+                        if p.cm != region.cm || p.im != region.im || p.key != region.key {
+                            return Err(PolicyVerifyError::AttrMismatch(Counterexample {
+                                master: master.name.clone(),
+                                index: master.index,
+                                addr,
+                                op: op_name,
+                                width_bits: bits,
+                                intent_allows: true,
+                                table_allows: true,
+                                detail: format!(
+                                    "region {:?} declares cm={:?} im={:?} but the table \
+                                     serves cm={:?} im={:?}",
+                                    region.name, region.cm, region.im, p.cm, p.im
+                                ),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(VerifyReport {
+        masters: program.masters.len(),
+        rules: program.rules.len(),
+        policies,
+        samples,
+    })
+}
+
+/// A worked example program (the CLI's `policy template`).
+pub fn template() -> &'static str {
+    "\
+# secbus policy DSL — deny by default, first matching rule wins.
+#
+# master <name> = <index>           one per enforcement point
+# region <name> = <base> + <len>    optional: encrypt [verify] key <hex32>
+# allow  <master> <region> <ro|wo|rw> [byte,half,word]
+# deny   <master> <region>          carve the region out of later rules
+
+master cpu0 = 0
+master dma  = 1
+
+region boot = 0x0000_0000 + 0x2000
+region bram = 0x2000_0000 + 0x1_0000
+region ddr  = 0x8000_0000 + 0x100 encrypt verify key 00112233445566778899aabbccddeeff
+
+allow cpu0 boot ro word
+allow cpu0 bram rw
+allow cpu0 ddr  rw word
+deny  dma  boot
+allow dma  bram rw word,half
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> PolicyProgram {
+        PolicyProgram::parse(template()).expect("template parses")
+    }
+
+    #[test]
+    fn template_parses_compiles_and_verifies() {
+        let prog = program();
+        assert_eq!(prog.masters.len(), 2);
+        assert_eq!(prog.regions.len(), 3);
+        let compiled = prog.compile().unwrap();
+        let report = verify(&prog, &compiled.as_views()).unwrap();
+        assert_eq!(report.masters, 2);
+        assert!(report.samples > 0);
+        // cpu0: boot ro word, bram rw all, ddr rw word.
+        let cpu0 = compiled.table(0).unwrap();
+        assert_eq!(cpu0.policies.len(), 3);
+        // dma: deny boot contributes nothing, bram rw word/half.
+        let dma = compiled.table(1).unwrap();
+        assert_eq!(dma.policies.len(), 1);
+        assert!(!dma.policies[0].adf.allows(secbus_bus::Width::Byte));
+    }
+
+    #[test]
+    fn intent_is_deny_by_default_and_first_match() {
+        let prog = program();
+        assert!(prog.intent(0, 0x2000_0000, Op::Write, Width::Byte));
+        assert!(
+            !prog.intent(0, 0x3000_0000, Op::Read, Width::Word),
+            "uncovered"
+        );
+        assert!(
+            !prog.intent(0, 0x0000_0000, Op::Write, Width::Word),
+            "boot is ro"
+        );
+        assert!(
+            !prog.intent(0, 0x0000_0000, Op::Read, Width::Byte),
+            "boot is word-only"
+        );
+        assert!(
+            !prog.intent(1, 0x0000_0000, Op::Read, Width::Word),
+            "dma denied boot"
+        );
+        assert!(
+            !prog.intent(0, 0x2000_0001, Op::Read, Width::Word),
+            "misaligned"
+        );
+        assert!(
+            !prog.intent(9, 0x2000_0000, Op::Read, Width::Word),
+            "unknown master"
+        );
+    }
+
+    #[test]
+    fn deny_carves_a_hole_out_of_a_later_allow() {
+        let src = "\
+master m = 0
+region hole = 0x1000 + 0x100
+region all  = 0x1000 + 0x1000
+deny  m hole
+allow m all rw
+";
+        let prog = PolicyProgram::parse(src).unwrap();
+        let compiled = prog.compile().unwrap();
+        verify(&prog, &compiled.as_views()).unwrap();
+        let t = compiled.table(0).unwrap();
+        assert_eq!(t.policies.len(), 1);
+        assert_eq!(t.policies[0].region, AddrRange::new(0x1100, 0xF00));
+        assert!(!prog.intent(0, 0x1080, Op::Read, Width::Word));
+        assert!(prog.intent(0, 0x1100, Op::Read, Width::Word));
+        // A word read at the carve boundary must not straddle policies.
+        assert!(!prog.intent(0, 0x10FC, Op::Read, Width::Word));
+    }
+
+    #[test]
+    fn shadowed_rule_is_rejected_with_lines_and_address() {
+        let src = "\
+master m = 0
+region big   = 0x1000 + 0x1000
+region small = 0x1400 + 0x100
+allow m big rw
+allow m small ro
+";
+        let prog = PolicyProgram::parse(src).unwrap();
+        let compiled = prog.compile().unwrap();
+        let err = verify(&prog, &compiled.as_views()).unwrap_err();
+        assert_eq!(
+            err,
+            PolicyVerifyError::Shadowed {
+                master: "m".into(),
+                rule_line: 5,
+                winner_line: 4,
+                addr: 0x1400,
+            }
+        );
+        assert!(err.to_string().contains("line 5"), "{err}");
+    }
+
+    #[test]
+    fn over_permissive_table_yields_concrete_counterexample() {
+        let prog = program();
+        let compiled = prog.compile().unwrap();
+        // Tamper: widen dma's table with a policy the program never grants.
+        let mut dma = compiled.table(1).unwrap().policies.clone();
+        dma.push(SecurityPolicy::internal(
+            99,
+            AddrRange::new(0x5000_0000, 0x100),
+            Rwa::ReadWrite,
+            AdfSet::ALL,
+        ));
+        let cpu0 = &compiled.table(0).unwrap().policies;
+        let err = verify(&prog, &[(0, cpu0.as_slice()), (1, dma.as_slice())]).unwrap_err();
+        let PolicyVerifyError::Mismatch(ce) = err else {
+            panic!("expected mismatch, got {err:?}");
+        };
+        assert_eq!(ce.master, "dma");
+        assert!(!ce.intent_allows);
+        assert!(ce.table_allows);
+        assert!((0x5000_0000u32..0x5000_0100).contains(&ce.addr), "{ce}");
+    }
+
+    #[test]
+    fn lost_right_yields_counterexample_too() {
+        let prog = program();
+        let compiled = prog.compile().unwrap();
+        let cpu0: Vec<SecurityPolicy> = compiled.table(0).unwrap().policies[1..].to_vec();
+        let dma = &compiled.table(1).unwrap().policies;
+        let err = verify(&prog, &[(0, cpu0.as_slice()), (1, dma.as_slice())]).unwrap_err();
+        let PolicyVerifyError::Mismatch(ce) = err else {
+            panic!("expected mismatch, got {err:?}");
+        };
+        assert!(ce.intent_allows && !ce.table_allows, "{ce}");
+    }
+
+    #[test]
+    fn weakened_protection_attributes_are_rejected() {
+        let prog = program();
+        let compiled = prog.compile().unwrap();
+        let mut cpu0 = compiled.table(0).unwrap().policies.clone();
+        for p in &mut cpu0 {
+            if p.cm == ConfidentialityMode::Encrypt {
+                // Strip the crypto: same reachability, weaker protection.
+                p.cm = ConfidentialityMode::Bypass;
+                p.im = IntegrityMode::Bypass;
+                p.key = None;
+            }
+        }
+        let dma = &compiled.table(1).unwrap().policies;
+        let err = verify(&prog, &[(0, cpu0.as_slice()), (1, dma.as_slice())]).unwrap_err();
+        assert!(matches!(err, PolicyVerifyError::AttrMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_and_unknown_tables_are_rejected() {
+        let prog = program();
+        let compiled = prog.compile().unwrap();
+        let cpu0 = &compiled.table(0).unwrap().policies;
+        assert!(matches!(
+            verify(&prog, &[(0, cpu0.as_slice())]).unwrap_err(),
+            PolicyVerifyError::MissingTable { index: 1, .. }
+        ));
+        let dma = &compiled.table(1).unwrap().policies;
+        assert_eq!(
+            verify(
+                &prog,
+                &[
+                    (0, cpu0.as_slice()),
+                    (1, dma.as_slice()),
+                    (7, dma.as_slice())
+                ]
+            )
+            .unwrap_err(),
+            PolicyVerifyError::UnknownTable { index: 7 }
+        );
+    }
+
+    #[test]
+    fn boundary_sampling_matches_brute_force_on_a_small_space() {
+        // Every behaviour the sampler claims to cover, checked at every
+        // single address of a small space: the piecewise-constant argument
+        // in the module docs, demonstrated.
+        let src = "\
+master m = 0
+region a = 0x10 + 0x30
+region b = 0x20 + 0x40
+region c = 0x90 + 0x10
+allow m a ro word
+deny  m c
+allow m b rw byte,half
+";
+        let prog = PolicyProgram::parse(src).unwrap();
+        let compiled = prog.compile().unwrap();
+        verify(&prog, &compiled.as_views()).unwrap();
+        let cm = ConfigMemory::with_policies(compiled.table(0).unwrap().policies.clone()).unwrap();
+        for addr in 0u32..0x100 {
+            for (op, _) in OPS {
+                for (width, _) in WIDTHS {
+                    assert_eq!(
+                        prog.intent(0, addr, op, width),
+                        table_verdict(&cm, addr, op, width).is_some(),
+                        "divergence at {addr:#x} {op:?} {width:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_cite_the_line() {
+        for (src, needle) in [
+            ("master m", "expected: master"),
+            ("region r = 5 + 0", "bad region len"),
+            ("master m = 0\nallow m nowhere rw", "unknown region"),
+            (
+                "master m = 0\nregion r = 0 + 16\nallow m r sideways",
+                "rights",
+            ),
+            ("master m = 0\nregion r = 0 + 16 encrypt", "no key"),
+            ("master m = 0\nmaster m = 1", "declared twice"),
+            ("bogus", "unknown directive"),
+            ("", "no masters"),
+        ] {
+            let err = PolicyProgram::parse(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn subtract_covers_edge_cases() {
+        assert_eq!(subtract((0, 10), &[]), vec![(0, 10)]);
+        assert_eq!(subtract((0, 10), &[(0, 10)]), vec![]);
+        assert_eq!(
+            subtract((0, 10), &[(3, 5), (7, 8)]),
+            vec![(0, 3), (5, 7), (8, 10)]
+        );
+        assert_eq!(subtract((5, 10), &[(0, 7)]), vec![(7, 10)]);
+        assert_eq!(subtract((5, 10), &[(8, 20)]), vec![(5, 8)]);
+    }
+}

@@ -23,6 +23,7 @@ use secbus_sim::{Cycle, EventLog, Stats};
 use crate::config::{ConfigMemory, PolicyOverlap};
 use crate::firewall::{FirewallId, LocalFirewall};
 use crate::policy::SecurityPolicy;
+use crate::policy_dsl::PolicyVerifyError;
 
 /// A staged replacement of one firewall's whole policy table.
 #[derive(Debug, Clone)]
@@ -54,13 +55,40 @@ pub enum EpochError {
     /// unprotected source must never reach the policy configuration path
     /// (the config store is a DIFT sink), so the whole epoch is refused.
     TaintedInitiator(FirewallId),
+    /// An injected fault hit the prepare/commit boundary after `staged`
+    /// firewalls had already swapped; every one of them was rolled back to
+    /// its pre-commit table and the epoch counter did not move.
+    CommitFault {
+        /// How many firewalls had swapped (and were rolled back) when the
+        /// fault landed.
+        staged: u8,
+    },
+    /// The staged tables failed exhaustive verification against the policy
+    /// program's intent (see [`crate::policy_dsl::verify`]); the epoch was
+    /// refused fail-secure before any firewall staged a table.
+    Verifier(PolicyVerifyError),
+}
+
+impl EpochError {
+    /// Stable mnemonic for traces and metrics.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            EpochError::Validation(_) => "validation",
+            EpochError::UnknownFirewall(_) => "unknown_firewall",
+            EpochError::TaintedInitiator(_) => "tainted_initiator",
+            EpochError::CommitFault { .. } => "commit_fault",
+            EpochError::Verifier(_) => "verifier",
+        }
+    }
 }
 
 /// Orchestrates staged policy swaps.
 #[derive(Debug)]
 pub struct ReconfigController {
     swap_latency: u64,
-    queue: Vec<(Cycle, PolicyUpdate)>,
+    queue: Vec<(Cycle, u64, PolicyUpdate)>,
+    next_seq: u64,
+    commit_fault: Option<u8>,
     log: EventLog<(FirewallId, u64)>,
     stats: Stats,
     epoch: u64,
@@ -74,6 +102,8 @@ impl ReconfigController {
         ReconfigController {
             swap_latency,
             queue: Vec::new(),
+            next_seq: 0,
+            commit_fault: None,
             log: EventLog::new(256),
             stats: Stats::new(),
             epoch: 0,
@@ -111,30 +141,53 @@ impl ReconfigController {
     pub fn schedule(&mut self, update: PolicyUpdate, now: Cycle) -> Cycle {
         let ready_at = now + self.swap_latency;
         self.stats.incr("reconfig.scheduled");
-        self.queue.push((ready_at, update));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push((ready_at, seq, update));
         ready_at
     }
 
-    /// Updates whose quiesce window has elapsed at `now`, in schedule
-    /// order. The caller applies each with
-    /// [`ReconfigController::apply_to`].
+    /// Updates whose quiesce window has elapsed at `now`, in a
+    /// deterministic canonical order: ascending `(ready_at, firewall)`,
+    /// with schedule order breaking ties for the *same* firewall. The
+    /// order two same-cycle updates for different firewalls apply in is a
+    /// property of the updates, never of queue insertion order — so an
+    /// epoch's contents cannot depend on who called
+    /// [`ReconfigController::schedule`] first. The caller applies each
+    /// with [`ReconfigController::apply_to`].
     pub fn take_ready(&mut self, now: Cycle) -> Vec<PolicyUpdate> {
         let mut ready = Vec::new();
         let mut remaining = Vec::with_capacity(self.queue.len());
-        for (at, update) in self.queue.drain(..) {
+        for (at, seq, update) in self.queue.drain(..) {
             if at <= now {
-                ready.push(update);
+                ready.push((at, seq, update));
             } else {
-                remaining.push((at, update));
+                remaining.push((at, seq, update));
             }
         }
         self.queue = remaining;
-        ready
+        ready.sort_by_key(|(at, seq, update)| (*at, update.firewall, *seq));
+        ready.into_iter().map(|(_, _, update)| update).collect()
     }
 
     /// Number of updates still quiescing.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Arm a one-shot fault on the prepare/commit boundary: the next
+    /// [`ReconfigController::commit_epoch`] will "lose power" after
+    /// `stage` firewalls have swapped. The commit must (and does) roll
+    /// back every staged swap and report
+    /// [`EpochError::CommitFault`] — the fleet is never left straddling
+    /// two epochs. Driven by `secbus-fault`'s `EpochCommitFault`.
+    pub fn arm_commit_fault(&mut self, stage: u8) {
+        self.commit_fault = Some(stage);
+    }
+
+    /// Whether a commit-boundary fault is currently armed.
+    pub fn commit_fault_armed(&self) -> bool {
+        self.commit_fault.is_some()
     }
 
     /// Record that `firewall` swapped in the just-opened epoch.
@@ -203,6 +256,37 @@ impl ReconfigController {
                     cause,
                 }));
             }
+        }
+        // An armed commit-boundary fault interrupts the batch after
+        // `stage` swaps. The partial swaps are rolled back to the exact
+        // pre-commit tables (generation included) before returning: the
+        // observable outcome of a faulted commit is indistinguishable
+        // from a refused one.
+        if let Some(stage) = self.commit_fault.take() {
+            let staged = (stage as usize).min(updates.len());
+            let mut undo: Vec<(FirewallId, ConfigMemory)> = Vec::with_capacity(staged);
+            for update in updates.into_iter().take(staged) {
+                let fw = fws
+                    .iter_mut()
+                    .find(|f| f.id() == update.firewall)
+                    .expect("presence checked in prepare");
+                undo.push((update.firewall, fw.config().clone()));
+                fw.config_mut()
+                    .swap(update.policies)
+                    .expect("table validated in prepare");
+            }
+            for (id, saved) in undo.into_iter().rev() {
+                let fw = fws
+                    .iter_mut()
+                    .find(|f| f.id() == id)
+                    .expect("presence checked in prepare");
+                *fw.config_mut() = saved;
+            }
+            self.stats.incr("reconfig.commit_faults");
+            self.stats.incr("reconfig.epoch_aborts");
+            return Err(EpochError::CommitFault {
+                staged: staged as u8,
+            });
         }
         // Phase 2: commit. Every swap below is infallible (validated
         // above), so the batch cannot stop halfway.
@@ -465,5 +549,111 @@ mod tests {
         assert_eq!(ready.len(), 2);
         assert_eq!(ready[0].firewall, FirewallId(0));
         assert_eq!(ready[1].firewall, FirewallId(1));
+    }
+
+    #[test]
+    fn same_cycle_updates_apply_in_canonical_order_not_insertion_order() {
+        // Regression: two updates ready the same cycle used to come back
+        // in insertion order, so the applied epoch depended on who called
+        // schedule() first.
+        let schedule = |order: &[u8]| {
+            let mut rc = ReconfigController::new(10);
+            for &id in order {
+                rc.schedule(
+                    PolicyUpdate {
+                        firewall: FirewallId(id),
+                        policies: vec![],
+                    },
+                    Cycle(0),
+                );
+            }
+            rc.take_ready(Cycle(10))
+                .into_iter()
+                .map(|u| u.firewall)
+                .collect::<Vec<_>>()
+        };
+        let canonical = vec![FirewallId(0), FirewallId(1), FirewallId(2)];
+        assert_eq!(schedule(&[2, 0, 1]), canonical);
+        assert_eq!(schedule(&[0, 1, 2]), canonical);
+        assert_eq!(schedule(&[1, 2, 0]), canonical);
+    }
+
+    #[test]
+    fn same_firewall_same_cycle_keeps_schedule_order() {
+        // Two rewrites of the SAME table in one cycle: last write wins,
+        // and "last" means schedule order, which is part of the key.
+        let mut rc = ReconfigController::new(0);
+        for spi in [7u16, 8] {
+            rc.schedule(
+                PolicyUpdate {
+                    firewall: FirewallId(3),
+                    policies: vec![policy(spi, 0x1000)],
+                },
+                Cycle(0),
+            );
+        }
+        let ready = rc.take_ready(Cycle(0));
+        assert_eq!(ready[0].policies[0].spi, Spi(7));
+        assert_eq!(ready[1].policies[0].spi, Spi(8));
+    }
+
+    #[test]
+    fn faulted_commit_rolls_back_every_staged_swap() {
+        let mut rc = ReconfigController::new(0);
+        let mut a = fw_with_id(0, 0x1000);
+        let mut b = fw_with_id(1, 0x1000);
+        let updates = vec![
+            PolicyUpdate {
+                firewall: FirewallId(0),
+                policies: vec![policy(2, 0x2000)],
+            },
+            PolicyUpdate {
+                firewall: FirewallId(1),
+                policies: vec![policy(2, 0x2000)],
+            },
+        ];
+        // Fault after ONE of the two swaps: the worst case — a mixed
+        // fleet if the rollback were missing.
+        rc.arm_commit_fault(1);
+        let err = rc
+            .commit_epoch(&mut [&mut a, &mut b], updates.clone())
+            .unwrap_err();
+        assert_eq!(err, EpochError::CommitFault { staged: 1 });
+        assert_eq!(err.reason(), "commit_fault");
+        for f in [&mut a, &mut b] {
+            assert!(f.check(&txn(0x1000), Cycle(1)).allowed, "old epoch rules");
+            assert!(!f.check(&txn(0x2000), Cycle(1)).allowed);
+            assert_eq!(f.config().generation(), 0, "generation restored");
+        }
+        assert_eq!(rc.epoch(), 0, "epoch did not move");
+        assert_eq!(rc.stats().counter("reconfig.commit_faults"), 1);
+        assert_eq!(rc.stats().counter("reconfig.epoch_aborts"), 1);
+        assert!(!rc.commit_fault_armed(), "the fault is one-shot");
+
+        // The retry (no fault armed) commits cleanly.
+        let epoch = rc.commit_epoch(&mut [&mut a, &mut b], updates).unwrap();
+        assert_eq!(epoch, 1);
+        for f in [&mut a, &mut b] {
+            assert!(f.check(&txn(0x2000), Cycle(2)).allowed);
+        }
+    }
+
+    #[test]
+    fn faulted_commit_with_stage_beyond_batch_still_aborts() {
+        let mut rc = ReconfigController::new(0);
+        let mut a = fw_with_id(0, 0x1000);
+        rc.arm_commit_fault(200);
+        let err = rc
+            .commit_epoch(
+                &mut [&mut a],
+                vec![PolicyUpdate {
+                    firewall: FirewallId(0),
+                    policies: vec![policy(2, 0x2000)],
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err, EpochError::CommitFault { staged: 1 });
+        assert_eq!(a.config().generation(), 0);
+        assert_eq!(rc.epoch(), 0);
     }
 }

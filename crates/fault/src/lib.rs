@@ -121,6 +121,14 @@ pub enum FaultKind {
         /// Router selector (modulo the mesh node count).
         node: u16,
     },
+    /// Glitch on the policy-epoch prepare/commit boundary: the next
+    /// multi-firewall `commit_epoch` is interrupted after `stage` tables
+    /// have swapped. The reconfiguration layer must roll the staged
+    /// firewalls back — an epoch is all-or-nothing, never a mixed fleet.
+    EpochCommitFault {
+        /// Swaps performed before the interrupt (clamped to batch size).
+        stage: u8,
+    },
 }
 
 impl FaultKind {
@@ -139,11 +147,12 @@ impl FaultKind {
             FaultKind::LinkBitFlip { .. } => "link_bitflip",
             FaultKind::LinkDrop { .. } => "link_drop",
             FaultKind::RouterStuck { .. } => "router_stuck",
+            FaultKind::EpochCommitFault { .. } => "epoch_commit_fault",
         }
     }
 
     /// All class names, in schedule order (report columns).
-    pub const CLASSES: [&'static str; 12] = [
+    pub const CLASSES: [&'static str; 13] = [
         "ddr_bitflip",
         "bus_lost_grant",
         "slave_stall",
@@ -156,6 +165,7 @@ impl FaultKind {
         "link_bitflip",
         "link_drop",
         "router_stuck",
+        "epoch_commit_fault",
     ];
 }
 
@@ -705,7 +715,8 @@ mod tests {
                 FaultKind::BusLoseGrant
                 | FaultKind::CcGlitch
                 | FaultKind::IcGlitch
-                | FaultKind::PowerCut => {}
+                | FaultKind::PowerCut
+                | FaultKind::EpochCommitFault { .. } => {}
             }
         }
     }
@@ -736,7 +747,7 @@ mod tests {
 
     #[test]
     fn class_names_are_stable() {
-        assert_eq!(FaultKind::CLASSES.len(), 12);
+        assert_eq!(FaultKind::CLASSES.len(), 13);
         assert_eq!(
             FaultKind::DdrBitFlip { offset: 0, bit: 0 }.class(),
             "ddr_bitflip"

@@ -187,6 +187,30 @@ pub enum TraceEvent {
         /// Cycles the region spent degraded.
         cycles: u64,
     },
+    /// A multi-firewall policy epoch entered its prepare phase: tables
+    /// staged and validated, no firewall modified yet.
+    EpochPrepare {
+        /// The epoch number the commit is trying to open.
+        epoch: u64,
+        /// Firewall tables staged in the batch.
+        updates: u8,
+    },
+    /// The epoch committed: every staged firewall swapped atomically.
+    EpochCommit {
+        /// The now-current epoch.
+        epoch: u64,
+        /// Firewalls swapped at the commit point.
+        updates: u8,
+    },
+    /// The epoch was refused or a mid-commit fault forced a rollback; no
+    /// firewall is left on the new epoch.
+    EpochAbort {
+        /// The epoch number that failed to open (the counter did not move).
+        epoch: u64,
+        /// Why: `"validation"`, `"unknown_firewall"`, `"tainted_initiator"`,
+        /// `"commit_fault"` or `"verifier"`.
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -210,13 +234,16 @@ impl TraceEvent {
             TraceEvent::CampaignPhase { .. } => "campaign_phase",
             TraceEvent::DegradeEnter { .. } => "degrade_enter",
             TraceEvent::DegradeExit { .. } => "degrade_exit",
+            TraceEvent::EpochPrepare { .. } => "epoch_prepare",
+            TraceEvent::EpochCommit { .. } => "epoch_commit",
+            TraceEvent::EpochAbort { .. } => "epoch_abort",
         }
     }
 
     /// Chrome trace `tid` lane: one per component so the timeline groups
     /// events by who recorded them. Masters occupy 0..16, firewalls
     /// 16..48, the bus 48, the LCF 49, the monitor 50, the campaign
-    /// runner 51, NoC nodes 64+.
+    /// runner 51, the reconfig controller 52, NoC nodes 64+.
     fn lane(&self) -> u64 {
         match self {
             TraceEvent::TxnIssued { master, .. }
@@ -234,6 +261,9 @@ impl TraceEvent {
             // Degradation decisions are monitor-driven: monitor lane.
             TraceEvent::DegradeEnter { .. } | TraceEvent::DegradeExit { .. } => 50,
             TraceEvent::CampaignPhase { .. } => 51,
+            TraceEvent::EpochPrepare { .. }
+            | TraceEvent::EpochCommit { .. }
+            | TraceEvent::EpochAbort { .. } => 52,
             TraceEvent::NocHop { node, .. } => 64 + u64::from(*node),
         }
     }
@@ -379,6 +409,15 @@ impl TraceEvent {
             TraceEvent::DegradeExit { region, cycles } => {
                 put("region", Json::uint(u64::from(region)));
                 put("cycles", Json::uint(cycles));
+            }
+            TraceEvent::EpochPrepare { epoch, updates }
+            | TraceEvent::EpochCommit { epoch, updates } => {
+                put("epoch", Json::uint(epoch));
+                put("updates", Json::uint(u64::from(updates)));
+            }
+            TraceEvent::EpochAbort { epoch, reason } => {
+                put("epoch", Json::uint(epoch));
+                put("reason", Json::str(reason));
             }
         }
         Json::Obj(fields)
@@ -689,6 +728,21 @@ mod tests {
             TraceEvent::DegradeExit {
                 region: 0,
                 cycles: 0,
+            }
+            .kind(),
+            TraceEvent::EpochPrepare {
+                epoch: 1,
+                updates: 0,
+            }
+            .kind(),
+            TraceEvent::EpochCommit {
+                epoch: 1,
+                updates: 0,
+            }
+            .kind(),
+            TraceEvent::EpochAbort {
+                epoch: 1,
+                reason: "commit_fault",
             }
             .kind(),
         ];

@@ -21,6 +21,7 @@
 pub mod casestudy;
 pub mod degrade;
 pub mod overload;
+pub mod reconfig_run;
 pub mod report;
 pub mod soc;
 pub mod topology;
@@ -33,7 +34,8 @@ pub use casestudy::{
 };
 pub use degrade::{DegradeConfig, Hysteresis, Transition};
 pub use overload::{run_soc_overload, SocOverloadConfig, SocOverloadReport};
+pub use reconfig_run::{run_reconfig_soak, ReconfigSoakConfig, ReconfigSoakReport, SwapSchedule};
 pub use report::{AlertLine, AuditReport, FirewallAudit, Report};
-pub use soc::{RetryPolicy, Soc, SocBuilder};
+pub use soc::{BuildError, RetryPolicy, Soc, SocBuilder};
 pub use topology::{render_noc_topology, render_topology};
 pub use tracefile::{render_trace, trace_summary};

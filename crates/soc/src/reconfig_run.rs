@@ -1,0 +1,521 @@
+//! Live-reconfiguration under fire (the SoC half of S-20).
+//!
+//! Two [`OpenLoopMaster`]s flood the external DDR at a fixed arrival rate
+//! while a storm of multi-firewall **policy epochs** rewrites both Local
+//! Firewalls' tables mid-flight — periodic or bursty schedules, with
+//! verifier-refused programs and mid-commit faults mixed in. Every epoch
+//! keeps the flooded window authorized, so the robustness contract is
+//! sharp:
+//!
+//! * **zero misjudged** — no flood access is ever refused by a firewall
+//!   (`errors == 0`): every in-flight transaction is judged under exactly
+//!   one epoch, and every epoch authorizes it;
+//! * **zero dropped** — open-loop conservation holds across every swap
+//!   boundary (`issued == completed + shed + errors` per master);
+//! * **no mixed fleet** — after every commit attempt (committed, refused
+//!   or faulted) both firewalls report the same epoch;
+//! * **fail-secure admission** — shadowed programs are refused by the
+//!   exhaustive verifier before any firewall stages a table, and
+//!   `EpochCommitFault` plans abort all-or-nothing.
+//!
+//! The run is a pure function of its config: same seed → identical
+//! [`ReconfigSoakReport`].
+
+use secbus_bus::{AddrRange, BusConfig};
+use secbus_core::{
+    ConfidentialityMode, ConfigMemory, EpochError, FirewallId, IntegrityMode, PolicyProgram,
+    SecurityPolicy,
+};
+use secbus_cpu::{OpenLoopConfig, OpenLoopMaster};
+use secbus_fault::{FaultEvent, FaultKind, FaultPlan};
+use secbus_mem::ExternalDdr;
+use secbus_sim::{Cycle, SimRng};
+
+use crate::degrade::DegradeConfig;
+use crate::soc::SocBuilder;
+
+/// Base of the flooded DDR window.
+const DDR_BASE: u32 = 0x8000_0000;
+/// Bytes of DDR actually flooded (and, protected, integrity-verified).
+const WINDOW: u32 = 0x100;
+
+/// When the epoch storm fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapSchedule {
+    /// One commit attempt every `every` cycles of the issue window.
+    Periodic {
+        /// Commit period in cycles (> 0).
+        every: u64,
+    },
+    /// `burst` back-to-back attempts (16 cycles apart) every `every`
+    /// cycles — the adversarial shape: swaps landing while the previous
+    /// swap's traffic is still in flight.
+    Bursty {
+        /// Attempts per burst.
+        burst: u32,
+        /// Burst period in cycles (> 0).
+        every: u64,
+    },
+}
+
+impl SwapSchedule {
+    /// The cycles (within the issue window) at which commits are attempted.
+    fn commit_cycles(&self, window: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        match *self {
+            SwapSchedule::Periodic { every } => {
+                let every = every.max(1);
+                let mut c = every;
+                while c < window {
+                    out.push(c);
+                    c += every;
+                }
+            }
+            SwapSchedule::Bursty { burst, every } => {
+                let every = every.max(1);
+                let mut start = every;
+                while start < window {
+                    for k in 0..u64::from(burst.max(1)) {
+                        let c = start + 16 * k;
+                        if c < window {
+                            out.push(c);
+                        }
+                    }
+                    start += every;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One S-20 cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigSoakConfig {
+    /// Arrivals per cycle per master during the issue window.
+    pub per_tick: u32,
+    /// Issue window, in cycles.
+    pub cycles: u64,
+    /// Grace period for the backlog to resolve after the window closes.
+    pub drain_cycles: u64,
+    /// Bound on each master's bus request queue (the admission seam).
+    pub master_queue_capacity: usize,
+    /// Protected: both masters behind LFs, DDR behind a ciphering LCF.
+    /// Bare: no enforcement points — every commit is a fail-secure
+    /// `UnknownFirewall` refusal and the epoch never moves.
+    pub protected: bool,
+    /// Brownout controller, when armed (protected runs only).
+    pub degrade: Option<DegradeConfig>,
+    /// The epoch-storm shape.
+    pub schedule: SwapSchedule,
+    /// Mix in shadowed programs the verifier must refuse (every 3rd
+    /// attempt).
+    pub include_bad: bool,
+    /// Mix in `EpochCommitFault` plans that interrupt the commit point
+    /// (every 4th attempt).
+    pub include_faults: bool,
+    /// Seed for the flood address/op streams.
+    pub seed: u64,
+}
+
+impl Default for ReconfigSoakConfig {
+    fn default() -> Self {
+        ReconfigSoakConfig {
+            per_tick: 2,
+            cycles: 2_000,
+            drain_cycles: 20_000,
+            master_queue_capacity: 8,
+            protected: true,
+            degrade: Some(DegradeConfig::default()),
+            schedule: SwapSchedule::Periodic { every: 200 },
+            include_bad: true,
+            include_faults: true,
+            seed: 1,
+        }
+    }
+}
+
+/// What one S-20 cell did. `PartialEq` so the soak can check a parallel
+/// sweep against its serial reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigSoakReport {
+    /// Whether the cell ran protected.
+    pub protected: bool,
+    /// Open-loop arrivals offered, both masters.
+    pub issued: u64,
+    /// Arrivals that completed OK.
+    pub completed: u64,
+    /// Arrivals refused at admission (typed, counted).
+    pub shed: u64,
+    /// Arrivals refused by a firewall or errored — **misjudged** under
+    /// this always-authorized workload; the gate is 0.
+    pub errors: u64,
+    /// issued == completed + shed + errors for every master.
+    pub conservation_ok: bool,
+    /// Commit attempts made.
+    pub commits_attempted: u64,
+    /// Epochs that committed.
+    pub commits_ok: u64,
+    /// Attempts the exhaustive verifier refused (shadowed programs).
+    pub verifier_refusals: u64,
+    /// Shadowed programs that committed anyway (the verifier-escape
+    /// gate; must be 0).
+    pub verifier_escapes: u64,
+    /// Attempts aborted by a mid-commit fault (rolled back).
+    pub commit_faults: u64,
+    /// Attempts refused for any other reason (bare mode: all of them).
+    pub other_refusals: u64,
+    /// The epoch in force after the drain.
+    pub final_epoch: u64,
+    /// final_epoch == commits_ok, and every refusal left it unchanged.
+    pub epoch_accounting_ok: bool,
+    /// Post-attempt checks that found the two firewalls on different
+    /// epochs (the mixed-fleet gate; must be 0).
+    pub epoch_mismatches: u64,
+    /// Brownout engagements / releases.
+    pub degrade_enters: u64,
+    /// See `degrade_enters`.
+    pub degrade_exits: u64,
+    /// Whether the brownout was still engaged after the drain (gate:
+    /// must be false — a swap storm must not wedge the posture).
+    pub still_degraded: bool,
+    /// Any gate above failed.
+    pub wedged: bool,
+    /// Full metrics snapshot (parseable JSON).
+    pub metrics_json: String,
+}
+
+/// The epoch-`i` policy program: both masters keep full rights over the
+/// flooded DDR window in *every* epoch (so any firewall refusal is a
+/// misjudgment), while a scratch region nobody accesses moves and
+/// changes hands each epoch — the tables genuinely differ per swap.
+fn epoch_program(i: u64) -> String {
+    let scratch = 0x4000_0000u64 + (i % 64) * 0x1000;
+    let grant = if i.is_multiple_of(2) {
+        "allow m0 scratch ro word\n"
+    } else {
+        "allow m1 scratch rw\ndeny m0 scratch\n"
+    };
+    format!(
+        "master m0 = 0\n\
+         master m1 = 1\n\
+         region ddr = {DDR_BASE:#x} + 0x1000\n\
+         region scratch = {scratch:#x} + 0x100\n\
+         allow m0 ddr rw\n\
+         allow m1 ddr rw\n\
+         {grant}"
+    )
+}
+
+/// A program the verifier must refuse: the second `ddr` rule can never
+/// fire.
+fn shadowed_program() -> String {
+    format!(
+        "master m0 = 0\n\
+         master m1 = 1\n\
+         region ddr = {DDR_BASE:#x} + 0x1000\n\
+         allow m0 ddr rw\n\
+         allow m0 ddr ro\n\
+         allow m1 ddr rw\n"
+    )
+}
+
+fn flood_master(name: &'static str, cfg: &ReconfigSoakConfig, salt: &str) -> OpenLoopMaster {
+    OpenLoopMaster::new(
+        name,
+        OpenLoopConfig {
+            window: (DDR_BASE, WINDOW),
+            read_ratio: 0.75,
+            per_tick: cfg.per_tick,
+            until: cfg.cycles,
+        },
+        SimRng::new(cfg.seed).derive(salt),
+    )
+}
+
+/// Attempt index → what kind of commit it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attempt {
+    Normal,
+    Bad,
+    Faulted,
+}
+
+fn attempt_kind(cfg: &ReconfigSoakConfig, idx: u64) -> Attempt {
+    if cfg.include_bad && idx % 3 == 2 {
+        Attempt::Bad
+    } else if cfg.include_faults && idx % 4 == 3 {
+        Attempt::Faulted
+    } else {
+        Attempt::Normal
+    }
+}
+
+/// Run one S-20 cell.
+pub fn run_reconfig_soak(cfg: &ReconfigSoakConfig) -> ReconfigSoakReport {
+    let commit_cycles = cfg.schedule.commit_cycles(cfg.cycles);
+
+    // Boot tables come from the epoch-0 program — the same compiler the
+    // storm uses, so the baseline is verified too.
+    let boot = PolicyProgram::parse(&epoch_program(0)).expect("epoch program parses");
+    let compiled = boot.compile().expect("epoch program compiles");
+    secbus_core::verify(&boot, &compiled.as_views()).expect("boot tables verify");
+
+    let mut b = SocBuilder::new().bus_config(BusConfig {
+        master_queue_capacity: cfg.master_queue_capacity,
+        ..BusConfig::default()
+    });
+    if let Some(d) = cfg.degrade {
+        b = b.degrade(d);
+    }
+    let ddr = ExternalDdr::new(0x1000);
+    let range = AddrRange::new(DDR_BASE, 0x1000);
+    let mut soc = if cfg.protected {
+        let table = |master: u8| {
+            ConfigMemory::with_policies(
+                compiled
+                    .table(master)
+                    .expect("both masters compiled")
+                    .policies
+                    .clone(),
+            )
+            .expect("compiled tables are disjoint")
+        };
+        let lcf = ConfigMemory::with_policies(vec![SecurityPolicy::external(
+            7,
+            AddrRange::new(DDR_BASE, WINDOW),
+            secbus_core::Rwa::ReadWrite,
+            secbus_core::AdfSet::ALL,
+            ConfidentialityMode::Encrypt,
+            IntegrityMode::Verify,
+            Some(*b"secbus-ddr-key!!"),
+        )])
+        .expect("one policy cannot overlap");
+        b.add_protected_master(
+            Box::new(flood_master("flood0", cfg, "reconfig.m0")),
+            table(0),
+        )
+        .add_protected_master(
+            Box::new(flood_master("flood1", cfg, "reconfig.m1")),
+            table(1),
+        )
+        .set_ddr("ddr", range, ddr, Some(lcf))
+        .build()
+    } else {
+        b.add_master(Box::new(flood_master("flood0", cfg, "reconfig.m0")))
+            .add_master(Box::new(flood_master("flood1", cfg, "reconfig.m1")))
+            .set_ddr("ddr", range, ddr, None)
+            .build()
+    };
+
+    // Mid-commit faults ride the ordinary fault plan: the event at the
+    // commit's cycle arms the prepare/commit boundary inside that tick,
+    // and the attempt right after it must abort all-or-nothing.
+    if cfg.include_faults {
+        let events: Vec<FaultEvent> = commit_cycles
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| attempt_kind(cfg, idx as u64) == Attempt::Faulted)
+            .map(|(_, &c)| FaultEvent {
+                at: Cycle(c),
+                kind: FaultKind::EpochCommitFault { stage: 1 },
+            })
+            .collect();
+        soc.attach_fault_plan(FaultPlan::new(events));
+    }
+
+    // The DSL master index → firewall map. In bare mode the map is empty
+    // and every commit must be refused fail-secure.
+    let targets: Vec<(u8, FirewallId)> = if cfg.protected {
+        (0..2u8)
+            .map(|m| {
+                (
+                    m,
+                    soc.master_firewall(usize::from(m))
+                        .expect("protected masters have LFs")
+                        .id(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut commits_ok = 0u64;
+    let mut verifier_refusals = 0u64;
+    let mut verifier_escapes = 0u64;
+    let mut commit_faults = 0u64;
+    let mut other_refusals = 0u64;
+    let mut epoch_mismatches = 0u64;
+
+    let mut ran = 0u64;
+    for (idx, &commit_at) in commit_cycles.iter().enumerate() {
+        // Run up to and THROUGH the commit cycle's tick, so an armed
+        // fault event at `commit_at` has been applied when we commit.
+        soc.run(commit_at + 1 - ran);
+        ran = commit_at + 1;
+
+        let epoch_before = soc.policy_epoch();
+        let attempt = attempt_kind(cfg, idx as u64);
+        let text = match attempt {
+            Attempt::Bad => shadowed_program(),
+            _ => epoch_program(epoch_before + 1),
+        };
+        let program = PolicyProgram::parse(&text).expect("storm programs parse");
+        let result = soc.commit_policy_epoch_from(&program, &targets);
+        match result {
+            Ok(epoch) => {
+                commits_ok += 1;
+                if attempt == Attempt::Bad {
+                    verifier_escapes += 1;
+                }
+                if epoch != epoch_before + 1 {
+                    epoch_mismatches += 1;
+                }
+            }
+            Err(EpochError::Verifier(_)) => {
+                verifier_refusals += 1;
+            }
+            Err(EpochError::CommitFault { .. }) => {
+                commit_faults += 1;
+            }
+            Err(_) => {
+                other_refusals += 1;
+            }
+        }
+        // The mixed-fleet gate: after EVERY attempt, committed or not,
+        // both firewalls must sit on the same epoch, and a failed attempt
+        // must not have moved the counter.
+        if result.is_err() && soc.policy_epoch() != epoch_before {
+            epoch_mismatches += 1;
+        }
+        if cfg.protected {
+            let epochs: Vec<u64> = targets
+                .iter()
+                .map(|&(_, fw)| soc.firewall_epoch(fw))
+                .collect();
+            if epochs.windows(2).any(|w| w[0] != w[1]) {
+                epoch_mismatches += 1;
+            }
+        }
+    }
+    soc.run(cfg.cycles + cfg.drain_cycles - ran);
+
+    let commits_attempted = commit_cycles.len() as u64;
+    let final_epoch = soc.policy_epoch();
+    let epoch_accounting_ok = final_epoch == commits_ok
+        && commits_attempted == commits_ok + verifier_refusals + commit_faults + other_refusals;
+
+    let degrade_enters = soc.stats().counter("soc.degrade_enters");
+    let degrade_exits = soc.stats().counter("soc.degrade_exits");
+    let still_degraded = soc.degraded();
+    let metrics_json = soc.metrics_json();
+
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    let mut conservation_ok = true;
+    for m in 0..2 {
+        let f = soc
+            .master_as::<OpenLoopMaster>(m)
+            .expect("flood sources present");
+        issued += f.issued();
+        completed += f.completed();
+        shed += f.shed();
+        errors += f.errors();
+        conservation_ok &= f.resolved();
+    }
+
+    let wedged = !conservation_ok
+        || errors != 0
+        || epoch_mismatches != 0
+        || verifier_escapes != 0
+        || !epoch_accounting_ok
+        || still_degraded;
+    ReconfigSoakReport {
+        protected: cfg.protected,
+        issued,
+        completed,
+        shed,
+        errors,
+        conservation_ok,
+        commits_attempted,
+        commits_ok,
+        verifier_refusals,
+        verifier_escapes,
+        commit_faults,
+        other_refusals,
+        final_epoch,
+        epoch_accounting_ok,
+        epoch_mismatches,
+        degrade_enters,
+        degrade_exits,
+        still_degraded,
+        wedged,
+        metrics_json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_swap_storm_loses_and_misjudges_nothing() {
+        let r = run_reconfig_soak(&ReconfigSoakConfig::default());
+        assert!(r.conservation_ok, "no silent loss: {r:?}");
+        assert_eq!(r.errors, 0, "no flood access misjudged across any swap");
+        assert_eq!(r.epoch_mismatches, 0, "never a mixed fleet");
+        assert!(r.epoch_accounting_ok, "{r:?}");
+        assert!(!r.wedged);
+        assert!(r.commits_ok > 0, "epochs actually committed");
+        assert!(r.verifier_refusals > 0, "shadowed programs were refused");
+        assert_eq!(r.verifier_escapes, 0, "no shadowed program committed");
+        assert!(r.commit_faults > 0, "mid-commit faults were exercised");
+        assert_eq!(r.final_epoch, r.commits_ok);
+    }
+
+    #[test]
+    fn bursty_storm_holds_the_same_gates() {
+        let cfg = ReconfigSoakConfig {
+            schedule: SwapSchedule::Bursty {
+                burst: 3,
+                every: 500,
+            },
+            ..ReconfigSoakConfig::default()
+        };
+        let r = run_reconfig_soak(&cfg);
+        assert!(!r.wedged, "{r:?}");
+        assert_eq!(r.errors, 0);
+        assert!(r.commits_ok > 0);
+    }
+
+    #[test]
+    fn bare_mode_refuses_every_commit_fail_secure() {
+        let cfg = ReconfigSoakConfig {
+            protected: false,
+            degrade: None,
+            include_bad: false,
+            include_faults: false,
+            ..ReconfigSoakConfig::default()
+        };
+        let r = run_reconfig_soak(&cfg);
+        assert!(r.conservation_ok);
+        assert_eq!(r.commits_ok, 0, "no enforcement points, no epochs");
+        assert_eq!(r.other_refusals, r.commits_attempted);
+        assert_eq!(r.final_epoch, 0);
+        assert!(!r.wedged, "{r:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ReconfigSoakConfig::default();
+        assert_eq!(run_reconfig_soak(&cfg), run_reconfig_soak(&cfg));
+        let other = ReconfigSoakConfig { seed: 9, ..cfg };
+        assert_ne!(
+            run_reconfig_soak(&other).metrics_json,
+            run_reconfig_soak(&cfg).metrics_json
+        );
+    }
+}

@@ -1,16 +1,17 @@
 //! The system container and its cycle loop.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 use secbus_bus::{
     AddrRange, Arbiter, BusConfig, BusError, FixedPriority, MasterId, Op, Response, SharedBus,
     SlaveId, Transaction, TxnId, Width,
 };
 use secbus_core::{
-    Alert, ConfidentialityMode, ConfigMemory, CryptoTiming, EpochError, FirewallId, IntegrityMode,
-    LocalCipheringFirewall, LocalFirewall, PolicyUpdate, Protection, RateLimit, Reaction,
-    ReconfigController, RecoveryReport, SbTiming, SecureCheckpoint, SecurityMonitor, TaintEngine,
-    TaintTag, Violation, WriteVerdict,
+    verify, Alert, ConfidentialityMode, ConfigMemory, CryptoTiming, EpochError, FirewallId,
+    IntegrityMode, LocalCipheringFirewall, LocalFirewall, PolicyProgram, PolicyUpdate, Protection,
+    RateLimit, Reaction, ReconfigController, RecoveryReport, SbTiming, SecureCheckpoint,
+    SecurityMonitor, SecurityPolicy, TaintEngine, TaintTag, Violation, WriteVerdict,
 };
 use secbus_cpu::{BusMaster, MasterAccess};
 use secbus_fault::{FaultKind, FaultPlan};
@@ -325,8 +326,22 @@ impl SocBuilder {
         self
     }
 
-    /// Assemble and seal the system.
+    /// Assemble and seal the system, panicking on a misconfigured
+    /// builder. Prefer [`SocBuilder::try_build`] where a configuration
+    /// error should be handled rather than abort.
     pub fn build(self) -> Soc {
+        match self.try_build() {
+            Ok(soc) => soc,
+            Err(e) => panic!("SocBuilder::build: {e}"),
+        }
+    }
+
+    /// Assemble and seal the system, reporting configuration errors as
+    /// typed values instead of panicking.
+    pub fn try_build(self) -> Result<Soc, BuildError> {
+        if self.resume.is_some() && self.journal.is_none() {
+            return Err(BuildError::ResumeWithoutJournal);
+        }
         let mut bus = SharedBus::new(self.bus_config, self.arbiter);
         let tracer = self.trace_capacity.map(Tracer::new);
         let mut next_fw = 0u8;
@@ -446,9 +461,8 @@ impl SocBuilder {
                     }
                     match &self.resume {
                         Some(cp) => {
-                            let (interval, key) = self
-                                .journal
-                                .expect("resume_from requires SocBuilder::journal");
+                            let (interval, key) =
+                                self.journal.expect("checked at the top of try_build");
                             recovery = Some(lcf.recover_from(
                                 &mut ddr,
                                 &cp.state,
@@ -511,7 +525,7 @@ impl SocBuilder {
             reconfig.resume_epoch(cp.policy_epoch);
         }
 
-        Soc {
+        Ok(Soc {
             clock: self.clock,
             now: Cycle::ZERO,
             bus,
@@ -533,9 +547,30 @@ impl SocBuilder {
             recovery,
             taint,
             degrade: self.degrade.map(Hysteresis::new),
+        })
+    }
+}
+
+/// Why [`SocBuilder::try_build`] refused to assemble the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// [`SocBuilder::resume_from`] was given a checkpoint but no
+    /// [`SocBuilder::journal`] configuration: recovery replays the
+    /// write-ahead journal, so a resume without one cannot be sound.
+    ResumeWithoutJournal,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ResumeWithoutJournal => {
+                write!(f, "resume_from requires SocBuilder::journal")
+            }
         }
     }
 }
+
+impl std::error::Error for BuildError {}
 
 enum SlaveKind {
     Bram(Box<Bram>),
@@ -1491,6 +1526,9 @@ impl Soc {
                 // No DDR to tear: the power still dies.
                 self.power_cut();
             }
+            FaultKind::EpochCommitFault { stage } => {
+                self.reconfig.arm_commit_fault(stage);
+            }
             // NoC-layer faults: this SoC's interconnect is the shared
             // bus, so the mesh classes have no surface to land on here
             // (the `secbus-noc` mesh consumes them via `Mesh::apply_fault`).
@@ -1906,7 +1944,22 @@ impl Soc {
     /// Atomically swap several firewalls' policy tables in one versioned
     /// epoch: every staged table is validated first, and either all of
     /// them take effect or none does (the `Err` names the offender).
+    ///
+    /// The attempt is visible on the trace spine: `EpochPrepare` when the
+    /// batch enters validation, then exactly one of `EpochCommit` /
+    /// `EpochAbort` (the abort carries the refusal reason).
     pub fn commit_policy_epoch(&mut self, updates: Vec<PolicyUpdate>) -> Result<u64, EpochError> {
+        let attempt = self.reconfig.epoch() + 1;
+        let staged = updates.len().min(usize::from(u8::MAX)) as u8;
+        if let Some(t) = &self.tracer {
+            t.record(
+                self.now,
+                TraceEvent::EpochPrepare {
+                    epoch: attempt,
+                    updates: staged,
+                },
+            );
+        }
         let mut fws: Vec<&mut LocalFirewall> = Vec::new();
         for slot in &mut self.masters {
             if let Some(fw) = slot.firewall.as_mut() {
@@ -1921,7 +1974,105 @@ impl Soc {
                 fws.push(lcf.firewall_mut());
             }
         }
-        self.reconfig.commit_epoch(&mut fws, updates)
+        let result = self.reconfig.commit_epoch(&mut fws, updates);
+        if let Some(t) = &self.tracer {
+            match &result {
+                Ok(epoch) => t.record(
+                    self.now,
+                    TraceEvent::EpochCommit {
+                        epoch: *epoch,
+                        updates: staged,
+                    },
+                ),
+                Err(e) => t.record(
+                    self.now,
+                    TraceEvent::EpochAbort {
+                        epoch: attempt,
+                        reason: e.reason(),
+                    },
+                ),
+            }
+        }
+        result
+    }
+
+    /// Verifier-gated epoch admission: the staged tables are exhaustively
+    /// checked against `program`'s intent *before* any firewall sees
+    /// them. `targets` maps each DSL master index to the firewall its
+    /// table is staged for; every update's firewall must appear in it. A
+    /// verification failure refuses the whole epoch fail-secure
+    /// ([`EpochError::Verifier`] wraps the concrete counterexample) and
+    /// counts `reconfig.verifier_refusals` — a bad epoch is a refused
+    /// epoch, never a staged one.
+    pub fn commit_policy_epoch_checked(
+        &mut self,
+        program: &PolicyProgram,
+        targets: &[(u8, FirewallId)],
+        updates: Vec<PolicyUpdate>,
+    ) -> Result<u64, EpochError> {
+        let mut views: Vec<(u8, &[SecurityPolicy])> = Vec::with_capacity(updates.len());
+        for update in &updates {
+            match targets.iter().find(|(_, fw)| *fw == update.firewall) {
+                Some(&(master, _)) => views.push((master, update.policies.as_slice())),
+                None => {
+                    self.stats.incr("reconfig.verifier_refusals");
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            self.now,
+                            TraceEvent::EpochAbort {
+                                epoch: self.reconfig.epoch() + 1,
+                                reason: "verifier",
+                            },
+                        );
+                    }
+                    return Err(EpochError::UnknownFirewall(update.firewall));
+                }
+            }
+        }
+        if let Err(e) = verify(program, &views) {
+            self.stats.incr("reconfig.verifier_refusals");
+            if let Some(t) = &self.tracer {
+                t.record(
+                    self.now,
+                    TraceEvent::EpochAbort {
+                        epoch: self.reconfig.epoch() + 1,
+                        reason: "verifier",
+                    },
+                );
+            }
+            return Err(EpochError::Verifier(e));
+        }
+        self.commit_policy_epoch(updates)
+    }
+
+    /// Compile `program` and commit the result as one verifier-gated
+    /// epoch. `targets` maps DSL master indices to firewalls; masters
+    /// without a mapping are an [`EpochError::UnknownFirewall`] refusal.
+    pub fn commit_policy_epoch_from(
+        &mut self,
+        program: &PolicyProgram,
+        targets: &[(u8, FirewallId)],
+    ) -> Result<u64, EpochError> {
+        let compiled = program.compile().map_err(|_| {
+            // A program that parses always compiles today; keep the seam
+            // total anyway.
+            EpochError::Verifier(secbus_core::PolicyVerifyError::MissingTable {
+                master: String::new(),
+                index: 0,
+            })
+        })?;
+        let mut updates = Vec::with_capacity(compiled.tables.len());
+        for table in &compiled.tables {
+            let Some(&(_, fw)) = targets.iter().find(|(m, _)| *m == table.master) else {
+                self.stats.incr("reconfig.verifier_refusals");
+                return Err(EpochError::UnknownFirewall(FirewallId(table.master)));
+            };
+            updates.push(PolicyUpdate {
+                firewall: fw,
+                policies: table.policies.clone(),
+            });
+        }
+        self.commit_policy_epoch_checked(program, targets, updates)
     }
 
     /// Like [`Soc::commit_policy_epoch`], but attributed to the master
@@ -1975,6 +2126,13 @@ impl Soc {
                         blocked: true,
                     },
                 );
+                t.record(
+                    now,
+                    TraceEvent::EpochAbort {
+                        epoch: self.reconfig.epoch() + 1,
+                        reason: "tainted_initiator",
+                    },
+                );
             }
             return Err(EpochError::TaintedInitiator(fw_id));
         }
@@ -1989,6 +2147,18 @@ impl Soc {
     /// The policy epoch currently in force.
     pub fn policy_epoch(&self) -> u64 {
         self.reconfig.epoch()
+    }
+
+    /// The epoch in which `fw`'s table was last swapped (0 if never) —
+    /// after any commit attempt, every firewall the epoch targeted must
+    /// report the same value or the fleet is straddling two postures.
+    pub fn firewall_epoch(&self, fw: FirewallId) -> u64 {
+        self.reconfig.firewall_epoch(fw)
+    }
+
+    /// Reconfiguration statistics (scheduled/applied/committed/aborted).
+    pub fn reconfig_stats(&self) -> &Stats {
+        self.reconfig.stats()
     }
 
     /// Whether a power cut (scheduled or torn-store-induced) has taken
@@ -2073,6 +2243,7 @@ impl Soc {
         registry.insert("soc", &self.stats);
         registry.insert("bus", self.bus.stats());
         registry.insert("monitor", self.monitor.stats());
+        registry.insert("reconfig", self.reconfig.stats());
         for slot in &self.masters {
             if let Some(fw) = &slot.firewall {
                 registry.insert(fw.label(), fw.stats());
