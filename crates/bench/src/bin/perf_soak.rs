@@ -15,7 +15,7 @@
 //! `--seed N` reseeds the IC workload; the IC section is byte-identical
 //! per seed (host wall-times of course are not).
 
-use secbus_bench::perf::{compare_cc, compare_harness, compare_ic, IcWorkload};
+use secbus_bench::perf::{compare_cc, compare_harness, compare_ic, compare_sim, IcWorkload};
 use secbus_sim::Json;
 use secbus_soc::{case_study, CaseStudyConfig};
 
@@ -40,6 +40,17 @@ fn main() {
     } else {
         compare_harness(8, 1_024)
     };
+    // S-21: stepped vs event simulator core. The idle workload's halting
+    // programs leave a long quiet tail (the event core's whole reason to
+    // exist); the saturated one never idles, so it prices the skip-check
+    // overhead.
+    // Same sizes in both modes: the idle ratio scales with the length
+    // of the skipped tail, so a smoke-sized run would not be comparable
+    // against the recorded full-sized baseline — and the whole
+    // comparison only costs ~0.4 s anyway. The saturated window must be
+    // long enough (tens of ms per run) for the wall-clock ratio to see
+    // past scheduler noise.
+    let sim = compare_sim(400_000, 200_000);
 
     // Observability cell: the case-study workload with the trace spine
     // armed. Entirely simulated time — no host wall-clock leaks in — so
@@ -104,6 +115,68 @@ fn main() {
                 ("identical".into(), Json::Bool(harness.identical)),
             ]),
         ),
+        (
+            "sim".into(),
+            Json::Obj(vec![
+                (
+                    "idle".into(),
+                    Json::Obj(vec![
+                        ("sim_cycles".into(), Json::uint(sim.idle.event.sim_cycles)),
+                        ("stepped_ns".into(), Json::uint(sim.idle.stepped.host_ns)),
+                        ("event_ns".into(), Json::uint(sim.idle.event.host_ns)),
+                        (
+                            "stepped_cycles_per_sec".into(),
+                            Json::Num(sim.idle.stepped.cycles_per_sec()),
+                        ),
+                        (
+                            "event_cycles_per_sec".into(),
+                            Json::Num(sim.idle.event.cycles_per_sec()),
+                        ),
+                        (
+                            "events_per_sec".into(),
+                            Json::Num(sim.idle.event.events_per_sec()),
+                        ),
+                        ("events".into(), Json::uint(sim.idle.event.ticks)),
+                        ("skip_fraction".into(), Json::Num(sim.idle.skip_fraction())),
+                        ("host_speedup".into(), Json::Num(sim.idle.speedup())),
+                        ("identical".into(), Json::Bool(sim.idle.identical)),
+                    ]),
+                ),
+                (
+                    "saturated".into(),
+                    Json::Obj(vec![
+                        (
+                            "sim_cycles".into(),
+                            Json::uint(sim.saturated.event.sim_cycles),
+                        ),
+                        (
+                            "stepped_ns".into(),
+                            Json::uint(sim.saturated.stepped.host_ns),
+                        ),
+                        ("event_ns".into(), Json::uint(sim.saturated.event.host_ns)),
+                        (
+                            "stepped_cycles_per_sec".into(),
+                            Json::Num(sim.saturated.stepped.cycles_per_sec()),
+                        ),
+                        (
+                            "event_cycles_per_sec".into(),
+                            Json::Num(sim.saturated.event.cycles_per_sec()),
+                        ),
+                        (
+                            "events_per_sec".into(),
+                            Json::Num(sim.saturated.event.events_per_sec()),
+                        ),
+                        ("events".into(), Json::uint(sim.saturated.event.ticks)),
+                        (
+                            "skip_fraction".into(),
+                            Json::Num(sim.saturated.skip_fraction()),
+                        ),
+                        ("host_speedup".into(), Json::Num(sim.saturated.speedup())),
+                        ("identical".into(), Json::Bool(sim.saturated.identical)),
+                    ]),
+                ),
+            ]),
+        ),
         ("observe".into(), observe),
     ]);
     println!("{}", report.render_pretty());
@@ -121,6 +194,22 @@ fn main() {
     }
     if !harness.identical {
         failures.push("parallel harness merge differs from serial".to_string());
+    }
+    if !sim.idle.identical {
+        failures.push("event core diverged from stepped on the idle workload".to_string());
+    }
+    if !sim.saturated.identical {
+        failures.push("event core diverged from stepped on the saturated workload".to_string());
+    }
+    // The saturated workload has nothing to skip, so the event core's
+    // only effect is its per-tick skip check — more than 20% slower than
+    // stepped means the check is too expensive. Host-local ratio, so it
+    // holds in every mode without a baseline.
+    if sim.saturated.speedup() < 0.8 {
+        failures.push(format!(
+            "event core regressed the saturated workload >20%: {:.2}x vs stepped",
+            sim.saturated.speedup()
+        ));
     }
 
     if smoke {
@@ -163,10 +252,32 @@ fn main() {
                         baseline_speedup("harness"),
                     ));
                 }
+                // Older baselines predate the sim section; the gate
+                // arms once a full run has recorded one.
+                if let Some(recorded) = base
+                    .get("sim")
+                    .and_then(|s| s.get("idle"))
+                    .and_then(|i| i.get("host_speedup"))
+                    .and_then(|v| v.as_f64())
+                {
+                    failures.extend(gate(
+                        "sim idle-heavy host speedup",
+                        sim.idle.speedup(),
+                        Some(recorded),
+                    ));
+                }
             }
             Err(e) => failures.push(format!("cannot read {BASELINE} baseline: {e}")),
         }
     } else {
+        // The event core's reason to exist: at least 5x on the
+        // idle-heavy workload when recording the trajectory baseline.
+        if sim.idle.speedup() < 5.0 {
+            failures.push(format!(
+                "idle-heavy event-core speedup below 5x: {:.2}x",
+                sim.idle.speedup()
+            ));
+        }
         std::fs::write(BASELINE, format!("{}\n", report.render_pretty()))
             .expect("write BENCH_PERF.json");
         eprintln!("perf_soak: wrote {BASELINE}");

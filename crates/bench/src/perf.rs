@@ -24,7 +24,7 @@ use secbus_core::{CryptoTiming, FirewallId, LocalCipheringFirewall};
 use secbus_crypto::sha256::Digest;
 use secbus_crypto::{MemoryCipher, Sha256};
 use secbus_mem::ExternalDdr;
-use secbus_sim::{Cycle, SimRng};
+use secbus_sim::{Cycle, SimCore, SimRng};
 use secbus_soc::casestudy::{lcf_policies, DDR_BASE, DDR_LEN, DDR_PRIVATE_BASE, DDR_PRIVATE_LEN};
 
 use crate::par_map_with;
@@ -366,6 +366,150 @@ pub fn compare_harness(cells: u64, accesses: u64) -> HarnessPerf {
     }
 }
 
+/// One simulator-core timing of a fixed SoC workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRun {
+    /// Simulated cycles covered.
+    pub sim_cycles: u64,
+    /// Ticks actually executed — equal to `sim_cycles` on the stepped
+    /// core; the number of *events* on the event core.
+    pub ticks: u64,
+    /// Host nanoseconds for the run (CPU time where available).
+    pub host_ns: u64,
+}
+
+impl SimRun {
+    /// Host-side simulated-cycle throughput.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 * 1e9 / self.host_ns.max(1) as f64
+    }
+
+    /// Host-side executed-tick (event) throughput.
+    pub fn events_per_sec(&self) -> f64 {
+        self.ticks as f64 * 1e9 / self.host_ns.max(1) as f64
+    }
+}
+
+/// Stepped vs event core on one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPair {
+    pub stepped: SimRun,
+    pub event: SimRun,
+    /// Metrics snapshots byte-identical between the cores?
+    pub identical: bool,
+}
+
+impl SimPair {
+    /// Host wall-time reduction (stepped / event).
+    pub fn speedup(&self) -> f64 {
+        self.stepped.host_ns as f64 / self.event.host_ns.max(1) as f64
+    }
+
+    /// Fraction of cycles the event core skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        1.0 - self.event.ticks as f64 / self.event.sim_cycles.max(1) as f64
+    }
+}
+
+/// The S-21 simulator-core comparison (stepped vs event-driven run loop).
+#[derive(Debug, Clone, Copy)]
+pub struct SimPerf {
+    /// Halting case-study programs with a long quiet tail: mostly idle,
+    /// the regime the event core exists for.
+    pub idle: SimPair,
+    /// An open-loop flood source issuing on every single cycle of the
+    /// run: zero skippable cycles, so this prices the pure overhead of
+    /// the event core's quiescence checks.
+    pub saturated: SimPair,
+}
+
+/// Time `soc.run(cycles)` under `core`; returns the run sample and the
+/// final metrics snapshot (the equivalence witness).
+///
+/// Wall clock, not process CPU time: these runs last a few
+/// milliseconds, so the 100 Hz CPU clock's 10 ms quanta would swamp
+/// the reading (one side rounding to a whole tick while the other
+/// reads zero inverts the ratio). Scheduler noise at this scale is
+/// handled by the paired-round median in [`compare_sim_workload`].
+fn run_sim_variant(mut soc: secbus_soc::Soc, core: SimCore, cycles: u64) -> (SimRun, String) {
+    soc.set_sim_core(core);
+    let wall = Instant::now();
+    soc.run(cycles);
+    let host_ns = wall.elapsed().as_nanos() as u64;
+    (
+        SimRun {
+            sim_cycles: cycles,
+            ticks: soc.ticks_executed(),
+            host_ns,
+        },
+        soc.metrics_json(),
+    )
+}
+
+/// Compare the cores on one workload: paired rounds, median by speedup
+/// ratio (same discipline as [`compare_cc`] — slow host-frequency drift
+/// cancels in the ratio).
+fn compare_sim_workload(build: &dyn Fn() -> secbus_soc::Soc, cycles: u64) -> SimPair {
+    let mut rounds: Vec<(SimRun, SimRun, bool)> = (0..3)
+        .map(|_| {
+            let (stepped, stepped_metrics) = run_sim_variant(build(), SimCore::Stepped, cycles);
+            let (event, event_metrics) = run_sim_variant(build(), SimCore::Event, cycles);
+            (stepped, event, stepped_metrics == event_metrics)
+        })
+        .collect();
+    rounds.sort_by(|a, b| {
+        (u128::from(a.0.host_ns) * u128::from(b.1.host_ns.max(1)))
+            .cmp(&(u128::from(b.0.host_ns) * u128::from(a.1.host_ns.max(1))))
+    });
+    let (stepped, event, _) = rounds[1];
+    SimPair {
+        stepped,
+        event,
+        identical: rounds.iter().all(|r| r.2),
+    }
+}
+
+/// Run the stepped/event comparison on the idle-heavy case study and a
+/// saturated open-loop flood (`idle_cycles` / `saturated_cycles` long).
+pub fn compare_sim(idle_cycles: u64, saturated_cycles: u64) -> SimPerf {
+    use secbus_cpu::{OpenLoopConfig, OpenLoopMaster};
+    use secbus_soc::{case_study, CaseStudyConfig, SocBuilder};
+
+    // Halting programs, finite IP streams: activity dies out early and
+    // the tail is pure idle.
+    let idle = compare_sim_workload(&|| case_study(CaseStudyConfig::default()), idle_cycles);
+    // An open-loop source whose issue window covers the whole run is
+    // `Wake::Now` on every cycle, so the event core can never skip: the
+    // bare (cheapest-per-tick) soc makes the quiescence-check overhead
+    // proportionally largest — the conservative pricing.
+    let saturated = compare_sim_workload(
+        &|| {
+            let rng = SimRng::new(0x516).derive("s21.saturated");
+            let source = OpenLoopMaster::new(
+                "flood",
+                OpenLoopConfig {
+                    window: (DDR_BASE, 0x100),
+                    read_ratio: 0.75,
+                    per_tick: 1,
+                    until: saturated_cycles,
+                },
+                rng,
+            );
+            SocBuilder::new()
+                .add_master(Box::new(source))
+                .set_ddr(
+                    "ddr",
+                    secbus_bus::AddrRange::new(DDR_BASE, 0x1000),
+                    ExternalDdr::new(0x1000),
+                    None,
+                )
+                .build()
+        },
+        saturated_cycles,
+    );
+    SimPerf { idle, saturated }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,5 +558,22 @@ mod tests {
     fn harness_results_are_identical_across_thread_counts() {
         let perf = compare_harness(3, 64);
         assert!(perf.identical);
+    }
+
+    #[test]
+    fn sim_cores_agree_and_event_core_skips_the_idle_tail() {
+        let perf = compare_sim(30_000, 3_000);
+        assert!(perf.idle.identical, "idle workload metrics diverged");
+        assert!(perf.saturated.identical, "saturated metrics diverged");
+        assert_eq!(perf.idle.stepped.ticks, perf.idle.stepped.sim_cycles);
+        assert!(
+            perf.idle.skip_fraction() > 0.5,
+            "idle tail must mostly skip: {:.2}",
+            perf.idle.skip_fraction()
+        );
+        assert_eq!(
+            perf.saturated.event.ticks, perf.saturated.event.sim_cycles,
+            "an open-loop flood issuing every cycle leaves nothing to skip"
+        );
     }
 }

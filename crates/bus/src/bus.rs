@@ -96,6 +96,19 @@ struct SlaveState {
 }
 
 /// The shared arbitrated bus.
+/// What ticking the bus would do, as reported by
+/// [`SharedBus::quiescence`] — the event-driven core's skip seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusQuiet {
+    /// Tick may change state this cycle; do not skip.
+    Active,
+    /// Ticks strictly before the cycle only account busy time; tick
+    /// again at the cycle.
+    Until(Cycle),
+    /// Ticks are pure until new requests arrive.
+    Idle,
+}
+
 pub struct SharedBus {
     config: BusConfig,
     arbiter: Box<dyn Arbiter>,
@@ -508,6 +521,64 @@ impl SharedBus {
     /// Whether the data phase currently occupies the bus at `now`.
     pub fn is_busy(&self, now: Cycle) -> bool {
         now.get() < self.busy_until
+    }
+
+    /// Event-core seam: classify what ticking the bus at `now` would
+    /// do. [`BusQuiet::Active`] means the tick may mutate real state
+    /// (deliver outbox responses, stall-account a backpressured head,
+    /// attempt a grant) and must run. [`BusQuiet::Until`] means every
+    /// tick strictly before the returned cycle only accounts busy time
+    /// — skippable via [`SharedBus::fast_forward`] — and the bus must
+    /// be ticked again at that cycle. [`BusQuiet::Idle`] means ticks
+    /// are pure (beyond residual busy-time accounting) until new input
+    /// arrives.
+    ///
+    /// Relies on the [`Arbiter`] contract that `grant` is pure when
+    /// the requesting set is empty (all in-tree arbiters are; see
+    /// DESIGN.md §12).
+    pub fn quiescence(&self, now: Cycle) -> BusQuiet {
+        if self.slaves.iter().any(|s| !s.outbox.is_empty()) {
+            return BusQuiet::Active;
+        }
+        // A head request becomes actionable — grant attempt, or
+        // per-cycle backpressure/contention accounting — at
+        // max(ready, busy_until).
+        let mut next: Option<u64> = None;
+        for m in &self.masters {
+            if let Some((ready, _)) = m.requests.front() {
+                let eligible = ready.get().max(self.busy_until);
+                if eligible <= now.get() {
+                    return BusQuiet::Active;
+                }
+                next = Some(next.map_or(eligible, |n| n.min(eligible)));
+            }
+        }
+        match next {
+            Some(c) => BusQuiet::Until(Cycle(c)),
+            None => BusQuiet::Idle,
+        }
+    }
+
+    /// Event-core seam: bulk-account the busy-cycle statistic for the
+    /// skipped tick calls at cycles `from..to` (exclusive of `to`,
+    /// which is ticked normally). Byte-identical to the per-cycle
+    /// `bus.busy_cycles` increments the stepped core performs.
+    pub fn fast_forward(&mut self, from: Cycle, to: Cycle) {
+        let busy = to.get().min(self.busy_until).saturating_sub(from.get());
+        if busy > 0 {
+            self.stats.add("bus.busy_cycles", busy);
+        }
+    }
+
+    /// Whether any master has undelivered responses queued (the SoC's
+    /// response-routing step has work to do).
+    pub fn has_queued_responses(&self) -> bool {
+        self.masters.iter().any(|m| !m.responses.is_empty())
+    }
+
+    /// Whether orphan completions await [`SharedBus::drain_orphans`].
+    pub fn has_orphans(&self) -> bool {
+        !self.orphans.is_empty()
     }
 
     /// Accumulated statistics.

@@ -186,6 +186,13 @@ impl SecurityMonitor {
         self.watched.len()
     }
 
+    /// Earliest watchdog deadline, if any transaction is watched. The
+    /// event-driven core must not fast-forward past it: `expire` fires
+    /// (and alerts) exactly at the deadline cycle.
+    pub fn next_watchdog_deadline(&self) -> Option<Cycle> {
+        self.watched.iter().map(|&(deadline, _, _)| deadline).min()
+    }
+
     /// Feed one alert; returns the reaction the system should apply.
     ///
     /// Environment faults ([`Violation::WatchdogTimeout`],

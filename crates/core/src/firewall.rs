@@ -329,6 +329,13 @@ impl LocalFirewall {
         std::mem::take(&mut self.pending_alerts)
     }
 
+    /// Whether alerts are waiting to be drained (event-core skip check;
+    /// queues are empty between ticks, but the invariant is verified
+    /// rather than assumed).
+    pub fn has_pending_alerts(&self) -> bool {
+        !self.pending_alerts.is_empty()
+    }
+
     /// The Configuration Memory (for the area model and reports).
     pub fn config(&self) -> &ConfigMemory {
         &self.config

@@ -1302,6 +1302,11 @@ impl LocalCipheringFirewall {
         self.fw.drain_alerts()
     }
 
+    /// Whether alerts are waiting to be drained (event-core skip check).
+    pub fn has_pending_alerts(&self) -> bool {
+        self.fw.has_pending_alerts()
+    }
+
     /// The embedded Local Firewall (policy table, id, block state).
     pub fn firewall(&self) -> &LocalFirewall {
         &self.fw

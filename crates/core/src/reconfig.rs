@@ -175,6 +175,12 @@ impl ReconfigController {
         self.queue.len()
     }
 
+    /// Earliest `ready_at` among still-quiescing updates, if any — the
+    /// event-driven core's wake point for epoch swaps.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.queue.iter().map(|&(at, _, _)| at).min()
+    }
+
     /// Arm a one-shot fault on the prepare/commit boundary: the next
     /// [`ReconfigController::commit_epoch`] will "lose power" after
     /// `stage` firewalls have swapped. The commit must (and does) roll

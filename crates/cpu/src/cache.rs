@@ -211,11 +211,12 @@ impl CachePort<'_> {
         }
         if let Some(resp) = self.real.poll() {
             let fill = self.fill.as_mut().expect("fill in progress");
-            debug_assert_eq!(
-                Some(resp.txn),
-                fill.outstanding,
-                "single outstanding fill word"
-            );
+            if Some(resp.txn) != fill.outstanding {
+                // A dead letter for an already-answered fill word must
+                // not be collected into the line; account and drop it.
+                self.stats.incr("cache.stale_responses");
+                return None;
+            }
             fill.outstanding = None;
             if !resp.is_ok() {
                 // A fill word was refused (firewall discard, decode…):

@@ -8,7 +8,7 @@
 //! crosses the attacker-reachable external bus).
 
 use secbus_bus::{Op, Response, TxnId, Width};
-use secbus_sim::{Cycle, Stats};
+use secbus_sim::{Cycle, Stats, Wake};
 
 use crate::isa::{AluOp, Cond, Instr, MemSize, Reg};
 use crate::master::{BusMaster, MasterAccess};
@@ -307,7 +307,13 @@ impl BusMaster for Mb32Core {
             }
             State::WaitFetch(txn) => {
                 if let Some(resp) = mem.poll() {
-                    debug_assert_eq!(resp.txn, txn, "single outstanding fetch");
+                    if resp.txn != txn {
+                        // Dead letter for an id a watchdog verdict
+                        // already answered; account it, keep waiting
+                        // for the live fetch.
+                        self.stats.incr("core.stale_responses");
+                        return;
+                    }
                     if !resp.is_ok() {
                         self.stats.incr("core.fetch_faults");
                         self.state = State::Halted;
@@ -330,10 +336,25 @@ impl BusMaster for Mb32Core {
                 issued_at,
             } => {
                 if let Some(resp) = mem.poll() {
-                    debug_assert_eq!(resp.txn, txn, "single outstanding access");
+                    if resp.txn != txn {
+                        self.stats.incr("core.stale_responses");
+                        return;
+                    }
                     self.complete_mem(resp, rd, size, signed, issued_at, now);
                 }
             }
+        }
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        match self.state {
+            // A halted core never acts again; undelivered responses
+            // sit in its queue as dead letters under both cores.
+            State::Halted => Wake::Never,
+            // Fetch executes (or issues) every cycle.
+            State::Fetch => Wake::Now,
+            // Wait states only poll; pure while no response is queued.
+            State::WaitFetch(_) | State::WaitMem { .. } => Wake::Waiting,
         }
     }
 

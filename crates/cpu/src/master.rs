@@ -8,7 +8,7 @@
 //! layer sit *above* the communication protocol without modifying it.
 
 use secbus_bus::{Op, Response, TxnId, Width};
-use secbus_sim::{Cycle, Stats};
+use secbus_sim::{Cycle, Stats, Wake};
 
 /// What an IP can do with its bus connection.
 pub trait MasterAccess {
@@ -31,6 +31,15 @@ pub trait BusMaster: Send {
     /// Whether the device has finished all the work it will ever do.
     fn halted(&self) -> bool {
         false
+    }
+
+    /// Declare when the next `tick` can change state (the event-driven
+    /// core's skip seam; see `secbus_sim::Wake` for the purity
+    /// contract). The default is the conservative `Wake::Now` — a
+    /// device that does not implement this is simply ticked every
+    /// cycle, exactly as under the stepped core.
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        Wake::Now
     }
 
     /// Stable display name for traces and reports.

@@ -9,7 +9,7 @@
 //! S-2 ablation bench.
 
 use secbus_bus::{Op, TxnId, Width};
-use secbus_sim::{Cycle, SimRng, Stats};
+use secbus_sim::{Cycle, SimRng, Stats, Wake};
 
 use crate::master::{BusMaster, MasterAccess};
 
@@ -106,7 +106,14 @@ impl BusMaster for SyntheticMaster {
     fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
         if let Some((txn, issued_at)) = self.outstanding {
             if let Some(resp) = mem.poll() {
-                debug_assert_eq!(resp.txn, txn);
+                if resp.txn != txn {
+                    // A dead letter for a transaction this master has
+                    // already been answered for (e.g. a watchdog verdict
+                    // raced a late completion). Account it and keep
+                    // waiting for the live one.
+                    self.stats.incr("traffic.stale_responses");
+                    return;
+                }
                 self.stats
                     .record("traffic.latency", now.saturating_since(issued_at));
                 if resp.is_ok() {
@@ -138,6 +145,20 @@ impl BusMaster for SyntheticMaster {
         self.outstanding = Some((txn, now));
         self.issued += 1;
         self.stats.incr("traffic.issued");
+    }
+
+    fn next_wake(&self, now: Cycle) -> Wake {
+        if self.outstanding.is_some() {
+            // Tick only polls; pure while no response is queued.
+            return Wake::Waiting;
+        }
+        if self.config.total_ops != 0 && self.issued >= self.config.total_ops {
+            return Wake::Never;
+        }
+        if now.get() < self.next_issue_at {
+            return Wake::At(Cycle(self.next_issue_at));
+        }
+        Wake::Now
     }
 
     fn halted(&self) -> bool {
@@ -227,7 +248,12 @@ impl BusMaster for DmaEngine {
             }
             DmaPhase::WaitRead(txn) => {
                 if let Some(resp) = mem.poll() {
-                    debug_assert_eq!(resp.txn, txn);
+                    if resp.txn != txn {
+                        // Dead letter for an already-answered id; see
+                        // `SyntheticMaster::tick`.
+                        self.stats.incr("dma.stale_responses");
+                        return;
+                    }
                     if !resp.is_ok() {
                         self.stats.incr("dma.errors");
                         self.phase = DmaPhase::Done;
@@ -246,7 +272,10 @@ impl BusMaster for DmaEngine {
             }
             DmaPhase::WaitWrite(txn) => {
                 if let Some(resp) = mem.poll() {
-                    debug_assert_eq!(resp.txn, txn);
+                    if resp.txn != txn {
+                        self.stats.incr("dma.stale_responses");
+                        return;
+                    }
                     if !resp.is_ok() {
                         self.stats.incr("dma.errors");
                         self.phase = DmaPhase::Done;
@@ -262,6 +291,14 @@ impl BusMaster for DmaEngine {
                     };
                 }
             }
+        }
+    }
+
+    fn next_wake(&self, _now: Cycle) -> Wake {
+        match self.phase {
+            DmaPhase::Done => Wake::Never,
+            DmaPhase::ReadNext => Wake::Now,
+            DmaPhase::WaitRead(_) | DmaPhase::WaitWrite(_) => Wake::Waiting,
         }
     }
 
@@ -322,7 +359,12 @@ impl BusMaster for StreamIp {
     fn tick(&mut self, mem: &mut dyn MasterAccess, now: Cycle) {
         if let Some(txn) = self.outstanding {
             if let Some(resp) = mem.poll() {
-                debug_assert_eq!(resp.txn, txn);
+                if resp.txn != txn {
+                    // Dead letter for an already-answered id; see
+                    // `SyntheticMaster::tick`.
+                    self.stats.incr("stream.stale_responses");
+                    return;
+                }
                 if resp.is_ok() {
                     self.stats.incr("stream.acked");
                 } else {
@@ -339,6 +381,19 @@ impl BusMaster for StreamIp {
         self.outstanding = Some(txn);
         self.sent += 1;
         self.next_at = now.get() + self.period;
+    }
+
+    fn next_wake(&self, now: Cycle) -> Wake {
+        if self.outstanding.is_some() {
+            return Wake::Waiting;
+        }
+        if self.samples != 0 && self.sent >= self.samples {
+            return Wake::Never;
+        }
+        if now.get() < self.next_at {
+            return Wake::At(Cycle(self.next_at));
+        }
+        Wake::Now
     }
 
     fn halted(&self) -> bool {
@@ -481,6 +536,16 @@ impl BusMaster for OpenLoopMaster {
             mem.issue(op, base + slot * 4, Width::Word, data, 1);
             self.issued += 1;
             self.stats.incr("openloop.issued");
+        }
+    }
+
+    fn next_wake(&self, now: Cycle) -> Wake {
+        if now.get() < self.config.until {
+            // Issues (and draws randomness) every window cycle.
+            Wake::Now
+        } else {
+            // Window closed: tick only drains stragglers.
+            Wake::Waiting
         }
     }
 

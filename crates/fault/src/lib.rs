@@ -416,6 +416,12 @@ impl FaultPlan {
         self.events.len()
     }
 
+    /// Cycle of the next not-yet-injected event, if any — the
+    /// event-driven core's wake point for the plan.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.events.front().map(|e| e.at)
+    }
+
     /// Events injected so far (consumed via [`FaultPlan::take_due`]).
     pub fn injected(&self) -> u64 {
         self.injected

@@ -37,8 +37,13 @@ pub mod system;
 pub mod topology;
 
 pub use link::{crc32, Flit, LinkReply, LinkRx, LinkTx, TxStatus};
-pub use network::{DeliveryInfo, LossReason, Mesh, NocAlert, NocConfig, Packet, PacketId};
+pub use network::{
+    DeliveryInfo, LossReason, Mesh, MeshQuiet, NocAlert, NocConfig, Packet, PacketId,
+};
 pub use ni::{NetworkInterface, ProbeReport};
-pub use overload::{run_overload, OverloadConfig, OverloadReport};
-pub use system::{run_noc_soak, run_noc_workload, NocRunReport, NocSoakConfig, NocSoakReport};
+pub use overload::{run_overload, run_overload_with_core, OverloadConfig, OverloadReport};
+pub use system::{
+    run_noc_soak, run_noc_soak_with_core, run_noc_workload, run_noc_workload_with_core,
+    NocRunReport, NocSoakConfig, NocSoakReport,
+};
 pub use topology::{adaptive_route, xy_route, FaultMap, NodeId, Topology};

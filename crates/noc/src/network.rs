@@ -813,6 +813,80 @@ impl Mesh {
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
+
+    /// Whether any delivered packet is waiting to be popped by a
+    /// destination (the runner's delivery step has work to do).
+    pub fn has_pending_deliveries(&self) -> bool {
+        self.delivered.iter().any(|q| !q.is_empty())
+    }
+
+    /// Whether any alert is waiting to be taken.
+    pub fn has_pending_alerts(&self) -> bool {
+        !self.alerts.is_empty()
+    }
+
+    /// Event-core seam: classify what ticking the mesh at `now` would
+    /// do. `MeshQuiet::Active` — the tick may move a flight, account a
+    /// wait cycle, or fire the heartbeat detector; it must run.
+    /// `MeshQuiet::Until(c)` — every tick strictly before `c` is a
+    /// state no-op (all flights parked or not yet ready, no detection
+    /// due); tick again at `c`. `MeshQuiet::Idle` — ticks are pure
+    /// until new packets are injected.
+    ///
+    /// Deliberately conservative: any unparked flight whose `ready_at`
+    /// has passed makes the mesh Active even if its next hop is
+    /// blocked, because blocked-hop ticks charge per-cycle wait
+    /// statistics that must stay byte-identical.
+    pub fn next_event(&self, now: Cycle) -> MeshQuiet {
+        let mut next: Option<u64> = None;
+        let mut merge = |c: u64| {
+            next = Some(next.map_or(c, |n| n.min(c)));
+        };
+        for flight in &self.flights {
+            if flight.parked {
+                continue; // wedged forever (bare mesh); pure
+            }
+            if flight.ready_at <= now.get() {
+                return MeshQuiet::Active;
+            }
+            merge(flight.ready_at);
+        }
+        if self.config.protected {
+            for (idx, router) in self.routers.iter().enumerate() {
+                let Some(since) = router.stuck_since else {
+                    continue;
+                };
+                let node = NodeId::new(
+                    (idx % usize::from(self.topology.cols)) as u8,
+                    (idx / usize::from(self.topology.cols)) as u8,
+                );
+                if !self.fault_map.router_ok(node) {
+                    continue; // already detected; detector is pure
+                }
+                let deadline = since + self.config.heartbeat_timeout;
+                if deadline <= now.get() {
+                    return MeshQuiet::Active;
+                }
+                merge(deadline);
+            }
+        }
+        match next {
+            Some(c) => MeshQuiet::Until(Cycle(c)),
+            None => MeshQuiet::Idle,
+        }
+    }
+}
+
+/// What ticking the mesh would do, as reported by
+/// [`Mesh::next_event`] — the event-driven core's skip seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshQuiet {
+    /// Tick may change state this cycle; do not skip.
+    Active,
+    /// Ticks strictly before the cycle are pure; tick again at it.
+    Until(Cycle),
+    /// Ticks are pure until new packets are injected.
+    Idle,
 }
 
 #[cfg(test)]

@@ -21,10 +21,10 @@
 //! what the credits buy: silent losses and unbounded residue.
 
 use secbus_bus::{Op, Width};
-use secbus_sim::Cycle;
+use secbus_sim::{Cycle, SimCore};
 use secbus_workload::{Pattern, Workload, WorkloadConfig};
 
-use crate::network::{LossReason, Mesh, NocConfig, Packet};
+use crate::network::{LossReason, Mesh, MeshQuiet, NocConfig, Packet};
 use crate::topology::{NodeId, Topology};
 
 /// Configuration for one open-loop overload run.
@@ -118,7 +118,15 @@ fn node(i: usize, cols: u8) -> NodeId {
 }
 
 /// Replay an open-loop schedule against the mesh and audit conservation.
+/// The run-loop core comes from `SECBUS_SIM_CORE` (event-driven by
+/// default); the two cores produce identical reports per seed.
 pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
+    run_overload_with_core(cfg, SimCore::from_env())
+}
+
+/// [`run_overload`] with an explicit run-loop core (equivalence tests
+/// and benches force both without touching the process environment).
+pub fn run_overload_with_core(cfg: &OverloadConfig, core: SimCore) -> OverloadReport {
     let topology = Topology::new(cfg.cols, cfg.rows);
     let nodes = topology.len();
     let noc_config = NocConfig {
@@ -138,6 +146,15 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
         ..WorkloadConfig::default()
     });
 
+    // Event core: pre-materialize the open-loop schedule (it is a pure
+    // function of the seed, so arrival cycles are known exactly and the
+    // per-cycle RNG draws are consumed identically to the stepped walk).
+    let schedule = match core {
+        SimCore::Event => Some(workload.schedule()),
+        SimCore::Stepped => None,
+    };
+    let mut next_arrival = 0usize;
+
     let mut offered = 0u64;
     let mut delivered = 0u64;
     let mut alerts = 0u64;
@@ -146,10 +163,19 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
     let mut arrivals = Vec::new();
 
     let total = cfg.cycles + cfg.drain_cycles;
-    for c in 0..total {
+    let mut c = 0u64;
+    while c < total {
         let now = Cycle(c);
         arrivals.clear();
-        workload.arrivals_at(c, &mut arrivals);
+        match &schedule {
+            Some(all) => {
+                while next_arrival < all.len() && all[next_arrival].at == c {
+                    arrivals.push(all[next_arrival]);
+                    next_arrival += 1;
+                }
+            }
+            None => workload.arrivals_at(c, &mut arrivals),
+        }
         for a in &arrivals {
             offered += 1;
             let id = mesh.alloc_id();
@@ -180,6 +206,31 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
         max_in_flight = max_in_flight.max(mesh.in_flight() as u64);
         if c >= cfg.cycles && drain_cycles_used.is_none() && mesh.in_flight() == 0 {
             drain_cycles_used = Some(c - cfg.cycles);
+        }
+        c += 1;
+        // Fast-forward over provably idle cycles: no arrival due, the
+        // mesh quiet, nothing queued for delivery or alert, and no
+        // pending drain-boundary bookkeeping. Skipped cycles are exact
+        // no-ops in the stepped walk (max_in_flight and the drain check
+        // cannot change while the mesh is quiet).
+        if let Some(all) = &schedule {
+            if c >= total || mesh.has_pending_deliveries() || mesh.has_pending_alerts() {
+                continue;
+            }
+            let mut target = total;
+            if next_arrival < all.len() {
+                target = target.min(all[next_arrival].at);
+            }
+            if drain_cycles_used.is_none() && c < cfg.cycles {
+                // The drain check fires at the first post-window cycle.
+                target = target.min(cfg.cycles);
+            }
+            match mesh.next_event(Cycle(c)) {
+                MeshQuiet::Active => continue,
+                MeshQuiet::Until(at) => target = target.min(at.get()),
+                MeshQuiet::Idle => {}
+            }
+            c = c.max(target.min(total));
         }
     }
 
@@ -296,6 +347,43 @@ mod tests {
             light <= medium && medium <= heavy,
             "{light} {medium} {heavy}"
         );
+    }
+
+    #[test]
+    fn event_core_matches_stepped_core() {
+        // Light load (idle-heavy, many skips), saturation (no skips
+        // inside the window) and bare mode must all produce identical
+        // reports under both cores, across seeds.
+        let configs = [
+            OverloadConfig {
+                intensity: 0.02,
+                ..OverloadConfig::default()
+            },
+            OverloadConfig {
+                pattern: Pattern::Hotspot {
+                    hot: 15,
+                    fraction: 0.9,
+                },
+                intensity: 0.8,
+                node_capacity: 4,
+                cycles: 2_000,
+                ..OverloadConfig::default()
+            },
+            OverloadConfig {
+                intensity: 0.3,
+                protected: false,
+                cycles: 2_000,
+                ..OverloadConfig::default()
+            },
+        ];
+        for cfg in configs {
+            for seed in [1u64, 9, 42] {
+                let cfg = OverloadConfig { seed, ..cfg };
+                let stepped = run_overload_with_core(&cfg, SimCore::Stepped);
+                let event = run_overload_with_core(&cfg, SimCore::Event);
+                assert_eq!(stepped, event, "seed {seed} cfg {cfg:?}");
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,9 @@
 use secbus_bus::{AddrRange, MasterId, Op, Transaction, TxnId, Width};
 use secbus_core::{AdfSet, CheckOutcome, ConfigMemory, Rwa, SecurityPolicy};
 use secbus_fault::FaultPlan;
-use secbus_sim::{Cycle, Histogram};
+use secbus_sim::{Cycle, Histogram, SimCore};
 
-use crate::network::{LossReason, Mesh, NocConfig, Packet};
+use crate::network::{LossReason, Mesh, MeshQuiet, NocConfig, Packet};
 use crate::ni::NetworkInterface;
 use crate::topology::{NodeId, Topology};
 
@@ -116,6 +116,18 @@ pub fn run_noc_workload(
     cycles: u64,
     protected: bool,
 ) -> NocRunReport {
+    run_noc_workload_with_core(initiators, period, cycles, protected, SimCore::from_env())
+}
+
+/// [`run_noc_workload`] with an explicit simulator core, so equivalence
+/// tests can compare both cores without mutating process environment.
+pub fn run_noc_workload_with_core(
+    initiators: usize,
+    period: u64,
+    cycles: u64,
+    protected: bool,
+    core: SimCore,
+) -> NocRunReport {
     let (topology, memory) = mesh_shape(initiators);
     let cols = topology.cols;
     let mem_latency = 10u64;
@@ -155,7 +167,8 @@ pub fn run_noc_workload(
     let mut mem_queue: Vec<(u64, Packet)> = Vec::new();
     let mut unsolicited = 0u64;
 
-    for c in 0..cycles {
+    let mut c = 0u64;
+    while c < cycles {
         let now = Cycle(c);
         // Initiators.
         for (i, init) in inits.iter_mut().enumerate() {
@@ -248,6 +261,32 @@ pub fn run_noc_workload(
                 init.completed += 1;
                 init.next_at = c + period;
             }
+        }
+
+        c += 1;
+        // Event core: fast-forward over provably idle cycles. A cycle
+        // does work only if the mesh has traffic to move or deliver, a
+        // memory response matures, or an initiator can issue — compute
+        // the earliest such cycle and jump there.
+        if core == SimCore::Event {
+            if c >= cycles || mesh.has_pending_deliveries() || mesh.has_pending_alerts() {
+                continue;
+            }
+            let mut target = cycles;
+            for init in &inits {
+                if init.outstanding.is_none() {
+                    target = target.min(init.next_at.max(c));
+                }
+            }
+            if let Some(ready) = mem_queue.iter().map(|(r, _)| *r).min() {
+                target = target.min(ready);
+            }
+            match mesh.next_event(Cycle(c)) {
+                MeshQuiet::Active => continue,
+                MeshQuiet::Until(at) => target = target.min(at.get()),
+                MeshQuiet::Idle => {}
+            }
+            c = c.max(target.min(cycles));
         }
     }
 
@@ -368,7 +407,17 @@ pub struct NocSoakReport {
 /// table, and an end-of-run sweep for anything neither delivered nor
 /// alerted. In protected mode the acceptance bar is:
 /// `delivered_corrupt == 0 && security_bypasses == 0 && !wedged`.
-pub fn run_noc_soak(cfg: &NocSoakConfig, mut plan: FaultPlan) -> NocSoakReport {
+pub fn run_noc_soak(cfg: &NocSoakConfig, plan: FaultPlan) -> NocSoakReport {
+    run_noc_soak_with_core(cfg, plan, SimCore::from_env())
+}
+
+/// [`run_noc_soak`] with an explicit simulator core, so equivalence
+/// tests can compare both cores without mutating process environment.
+pub fn run_noc_soak_with_core(
+    cfg: &NocSoakConfig,
+    mut plan: FaultPlan,
+    core: SimCore,
+) -> NocSoakReport {
     let (topology, memory) = mesh_shape(cfg.initiators);
     let cols = topology.cols;
     let mem_latency = 10u64;
@@ -425,7 +474,8 @@ pub fn run_noc_soak(cfg: &NocSoakConfig, mut plan: FaultPlan) -> NocSoakReport {
     let mut mismatched = 0u64;
 
     let total = cfg.cycles + cfg.drain_cycles;
-    for c in 0..total {
+    let mut c = 0u64;
+    while c < total {
         let now = Cycle(c);
 
         // Scheduled faults land at the start of the tick.
@@ -590,6 +640,39 @@ pub fn run_noc_soak(cfg: &NocSoakConfig, mut plan: FaultPlan) -> NocSoakReport {
                     inits[i].next_at = c + cfg.period;
                 }
             }
+        }
+
+        c += 1;
+        // Event core: fast-forward over provably idle cycles. Barriers
+        // are the next scheduled fault, the next cycle an initiator can
+        // issue (inside the window), the next maturing memory response
+        // and the mesh's own next event (flit release or a pending
+        // dead-router detection deadline).
+        if core == SimCore::Event {
+            if c >= total || mesh.has_pending_deliveries() || mesh.has_pending_alerts() {
+                continue;
+            }
+            let mut target = total;
+            if let Some(at) = plan.next_due() {
+                target = target.min(at.get());
+            }
+            for init in &inits {
+                if init.outstanding.is_none() {
+                    let t = init.next_at.max(c);
+                    if t < cfg.cycles {
+                        target = target.min(t);
+                    }
+                }
+            }
+            if let Some(ready) = mem_queue.iter().map(|(r, _)| *r).min() {
+                target = target.min(ready);
+            }
+            match mesh.next_event(Cycle(c)) {
+                MeshQuiet::Active => continue,
+                MeshQuiet::Until(at) => target = target.min(at.get()),
+                MeshQuiet::Idle => {}
+            }
+            c = c.max(target.min(total));
         }
     }
 
@@ -789,6 +872,61 @@ mod tests {
         assert!(!r.wedged, "{r:?}");
         assert_eq!(r.delivered_corrupt, 0);
         assert_eq!(r.security_bypasses, 0);
+    }
+
+    #[test]
+    fn soak_event_core_matches_stepped_core() {
+        for seed in [1u64, 7, 0xC0FFEE] {
+            let plan = FaultPlan::generate(seed, &soak_spec(25.0));
+            let cfg = NocSoakConfig::default();
+            let stepped = run_noc_soak_with_core(&cfg, plan.clone(), SimCore::Stepped);
+            let event = run_noc_soak_with_core(&cfg, plan, SimCore::Event);
+            assert_eq!(stepped, event, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn soak_event_core_matches_stepped_on_stuck_router() {
+        // Dead-router detection deadlines are events, not polled state:
+        // the fast-forward must not jump past the heartbeat timeout.
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: Cycle(500),
+            kind: FaultKind::RouterStuck { node: 1 },
+        }]);
+        let cfg = NocSoakConfig::default();
+        let stepped = run_noc_soak_with_core(&cfg, plan.clone(), SimCore::Stepped);
+        let event = run_noc_soak_with_core(&cfg, plan, SimCore::Event);
+        assert_eq!(stepped, event);
+        assert!(event.router_failures_detected >= 1);
+    }
+
+    #[test]
+    fn soak_event_core_matches_stepped_on_clean_idle_heavy_run() {
+        // Low intensity + a long drain tail: most cycles are idle, so
+        // this exercises the fast-forward path hardest.
+        let cfg = NocSoakConfig {
+            initiators: 2,
+            period: 500,
+            cycles: 20_000,
+            drain_cycles: 20_000,
+            ..NocSoakConfig::default()
+        };
+        let stepped = run_noc_soak_with_core(&cfg, FaultPlan::empty(), SimCore::Stepped);
+        let event = run_noc_soak_with_core(&cfg, FaultPlan::empty(), SimCore::Event);
+        assert_eq!(stepped, event);
+        assert!(event.completed > 0);
+    }
+
+    #[test]
+    fn workload_event_core_matches_stepped_core() {
+        let stepped = run_noc_workload_with_core(4, 64, 8_000, true, SimCore::Stepped);
+        let event = run_noc_workload_with_core(4, 64, 8_000, true, SimCore::Event);
+        assert_eq!(stepped.completed, event.completed);
+        assert_eq!(stepped.rejected, event.rejected);
+        assert_eq!(stepped.unsolicited, event.unsolicited);
+        assert_eq!(stepped.mean_latency, event.mean_latency);
+        assert_eq!(stepped.link_wait_cycles, event.link_wait_cycles);
+        assert_eq!(stepped.hops, event.hops);
     }
 
     #[test]

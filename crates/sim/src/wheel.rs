@@ -1,0 +1,353 @@
+//! Discrete-event scheduling substrate: the timing wheel and the
+//! `Wake` seam.
+//!
+//! The cycle-stepped core polls every component every cycle, so host
+//! cost is O(cycles × components) even when the fabric is idle. The
+//! event-driven core inverts the relationship: components *declare*
+//! their next interesting cycle through [`Wake`], the declarations are
+//! merged through a [`TimingWheel`] whose pop order is the canonical
+//! `(cycle, component-id, seq)` order, and the driver fast-forwards
+//! simulated `now` to the earliest scheduled event whenever the fabric
+//! is provably idle.
+//!
+//! Two invariants make the skip *equivalence-preserving* rather than
+//! merely fast:
+//!
+//! 1. **Skipped cycles are pure.** A cycle may only be skipped when
+//!    every component's tick would be a state no-op on it (modulo
+//!    bulk-accounted counters such as `soc.cycles`, which the driver
+//!    adds in one `Stats::add` — byte-identical JSON to per-cycle
+//!    increments).
+//! 2. **Canonical same-cycle order.** When several components schedule
+//!    the same cycle, the wheel fires them in component-id order —
+//!    exactly the order `Soc::tick` polls them — so the event core
+//!    cannot reorder same-cycle effects relative to the stepped core.
+
+use crate::cycle::Cycle;
+use std::collections::BinaryHeap;
+
+/// What a component will do on future ticks, as declared by the
+/// component itself. The driver uses this to decide whether ticking
+/// the component can be skipped.
+///
+/// The contract is about *purity of `tick`*, not about liveness:
+///
+/// * [`Wake::Now`] — the component may mutate state on every tick;
+///   never skip it. This is the conservative default for components
+///   that cannot prove anything stronger.
+/// * [`Wake::At`] — every tick strictly before the stated cycle is a
+///   state no-op *regardless of inputs*; the component must be ticked
+///   again at that cycle.
+/// * [`Wake::Waiting`] — the component only reacts to externally
+///   delivered input (e.g. a bus response): its tick is a state no-op
+///   exactly while its input queue is empty. The driver pairs this
+///   with its own knowledge of the input queue.
+/// * [`Wake::Never`] — the component is terminally quiescent (halted,
+///   drained); its tick is a state no-op forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// May act on any cycle; must be ticked every cycle.
+    Now,
+    /// Pure until the given cycle; must be ticked at it.
+    At(Cycle),
+    /// Pure while its input queue is empty; driver checks the queue.
+    Waiting,
+    /// Pure forever.
+    Never,
+}
+
+/// Which simulator core drives the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimCore {
+    /// Legacy loop: tick every component every cycle.
+    Stepped,
+    /// Discrete-event loop: skip provably idle cycles.
+    Event,
+}
+
+impl SimCore {
+    /// Resolve the core from the `SECBUS_SIM_CORE` environment
+    /// variable: `stepped` forces the legacy loop, anything else
+    /// (including unset) selects the event-driven core. CI runs every
+    /// soak under both values and `cmp`s the JSON as the equivalence
+    /// proof (EXPERIMENTS.md S-21).
+    pub fn from_env() -> SimCore {
+        match std::env::var("SECBUS_SIM_CORE") {
+            Ok(v) if v.eq_ignore_ascii_case("stepped") => SimCore::Stepped,
+            _ => SimCore::Event,
+        }
+    }
+}
+
+/// A scheduled wake: fires at `at`, tie-broken by the scheduling
+/// component's stable id, then by insertion sequence. Component ids
+/// are assigned by the driver in its tick order, which is what makes
+/// wheel pop order match stepped-core effect order on shared cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Cycle the event fires at.
+    pub at: Cycle,
+    /// Stable component id in driver tick order.
+    pub component: u32,
+    /// Monotonic insertion sequence (last tie-break; makes ordering
+    /// total even when one component schedules twice for one cycle).
+    pub seq: u64,
+}
+
+const SLOTS: usize = 64;
+const LEVELS: usize = 4;
+
+/// Span (in cycles) covered by one slot at `level`.
+const fn slot_span(level: usize) -> u64 {
+    // 64^level
+    1u64 << (6 * level as u32)
+}
+
+/// Total horizon covered by levels `0..=level`.
+const fn level_horizon(level: usize) -> u64 {
+    // 64^(level+1)
+    1u64 << (6 * (level as u32 + 1))
+}
+
+/// Hierarchical timing wheel keyed on [`Cycle`].
+///
+/// Four 64-slot levels cover a ~16.7M-cycle horizon at O(1) schedule
+/// cost; events beyond the horizon overflow into a binary heap and are
+/// cascaded in as the wheel turns. `pop_next` yields events in
+/// canonical [`EventKey`] order: ascending cycle, ties broken by
+/// component id then sequence — deterministic regardless of insertion
+/// order (the property tests below drive this with shuffled inserts).
+#[derive(Debug)]
+pub struct TimingWheel {
+    now: u64,
+    seq: u64,
+    len: usize,
+    levels: Vec<Vec<Vec<EventKey>>>,
+    overflow: BinaryHeap<std::cmp::Reverse<EventKey>>,
+    /// Events due at the cycle currently being drained, sorted
+    /// descending so `pop` yields canonical ascending order.
+    batch: Vec<EventKey>,
+}
+
+impl TimingWheel {
+    /// An empty wheel whose time origin is `now`. Events must be
+    /// scheduled at or after the origin; earlier requests are clamped
+    /// to it (the key keeps the requested cycle).
+    pub fn new(now: Cycle) -> Self {
+        TimingWheel {
+            now: now.get(),
+            seq: 0,
+            len: 0,
+            levels: vec![vec![Vec::new(); SLOTS]; LEVELS],
+            overflow: BinaryHeap::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Current wheel time: no unpopped event fires before it.
+    pub fn now(&self) -> Cycle {
+        Cycle(self.now)
+    }
+
+    /// Number of scheduled, not-yet-popped events.
+    pub fn len(&self) -> usize {
+        self.len + self.batch.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule a wake for `component` at cycle `at` and return its
+    /// key. `component` must be the driver-assigned tick-order id —
+    /// same-cycle pop order is defined by it.
+    pub fn schedule(&mut self, at: Cycle, component: u32) -> EventKey {
+        let key = EventKey {
+            at,
+            component,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.insert(key);
+        key
+    }
+
+    fn insert(&mut self, key: EventKey) {
+        let at = key.at.get().max(self.now);
+        let delta = at - self.now;
+        let mut placed = false;
+        for level in 0..LEVELS {
+            if delta < level_horizon(level) {
+                let slot = (at / slot_span(level)) as usize % SLOTS;
+                self.levels[level][slot].push(key);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            self.overflow.push(std::cmp::Reverse(key));
+        }
+        self.len += 1;
+    }
+
+    /// Pop the earliest event in canonical order, advancing wheel time
+    /// to its cycle. Returns `None` when the wheel is empty.
+    pub fn pop_next(&mut self) -> Option<EventKey> {
+        if let Some(key) = self.batch.pop() {
+            return Some(key);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Drain the level-0 slot for the current cycle. A slot at
+            // level 0 spans exactly one cycle, so everything in it is
+            // due now.
+            let slot = (self.now as usize) % SLOTS;
+            if !self.levels[0][slot].is_empty() {
+                let mut due = std::mem::take(&mut self.levels[0][slot]);
+                self.len -= due.len();
+                // Descending sort: Vec::pop then yields canonical
+                // ascending (cycle, component, seq) order.
+                due.sort_unstable_by(|a, b| b.cmp(a));
+                self.batch = due;
+                return self.batch.pop();
+            }
+            self.now += 1;
+            // Cascade every level whose slot boundary we just crossed.
+            for level in 1..LEVELS {
+                if self.now.is_multiple_of(slot_span(level)) {
+                    let slot = (self.now / slot_span(level)) as usize % SLOTS;
+                    let carried = std::mem::take(&mut self.levels[level][slot]);
+                    self.len -= carried.len();
+                    for key in carried {
+                        self.insert(key);
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Pull overflow events that fell inside the horizon.
+            let horizon = self.now + level_horizon(LEVELS - 1);
+            while let Some(std::cmp::Reverse(key)) = self.overflow.peek().copied() {
+                if key.at.get() >= horizon {
+                    break;
+                }
+                self.overflow.pop();
+                self.len -= 1;
+                self.insert(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn pop_order_is_canonical_for_same_cycle_events() {
+        // Same-cycle events fire in (component, seq) order no matter
+        // the insertion order.
+        let mut wheel = TimingWheel::new(Cycle(10));
+        wheel.schedule(Cycle(20), 3);
+        wheel.schedule(Cycle(20), 1);
+        wheel.schedule(Cycle(20), 2);
+        wheel.schedule(Cycle(20), 1);
+        let order: Vec<(u32, u64)> = std::iter::from_fn(|| wheel.pop_next())
+            .map(|k| (k.component, k.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (1, 3), (2, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn pop_order_is_sorted_across_random_insertions() {
+        // Property: for arbitrary (cycle, component) insertions across
+        // all wheel levels and the overflow heap, pop order is exactly
+        // the canonical sorted order.
+        for seed in 0..8u64 {
+            let mut rng = SimRng::new(0x57_4845_454C ^ (seed << 8));
+            let mut wheel = TimingWheel::new(Cycle(0));
+            let mut keys = Vec::new();
+            for _ in 0..500 {
+                // Spread cycles across level 0 (<64), mid levels and
+                // the overflow horizon (>16.7M).
+                let at = match rng.below(4) {
+                    0 => rng.below(64),
+                    1 => rng.below(4_096),
+                    2 => rng.below(1 << 24),
+                    _ => (1 << 24) + rng.below(1 << 30),
+                };
+                let component = rng.below(8) as u32;
+                keys.push(wheel.schedule(Cycle(at), component));
+            }
+            keys.sort_unstable();
+            let popped: Vec<EventKey> = std::iter::from_fn(|| wheel.pop_next()).collect();
+            assert_eq!(popped, keys, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        // Scheduling between pops (at or after wheel time) never
+        // yields an out-of-order pop.
+        let mut rng = SimRng::new(0xCA5CADE);
+        let mut wheel = TimingWheel::new(Cycle(0));
+        for _ in 0..64 {
+            wheel.schedule(Cycle(rng.below(100_000)), rng.below(4) as u32);
+        }
+        let mut last: Option<EventKey> = None;
+        while let Some(key) = wheel.pop_next() {
+            if let Some(prev) = last {
+                assert!(prev < key, "{prev:?} !< {key:?}");
+            }
+            // Occasionally schedule new work in the future.
+            if key.seq % 3 == 0 {
+                wheel.schedule(key.at + 1 + rng.below(1_000), rng.below(4) as u32);
+            }
+            last = Some(key);
+            if wheel.len() > 4_096 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_wheel_time() {
+        let mut wheel = TimingWheel::new(Cycle(100));
+        wheel.schedule(Cycle(5), 0);
+        let key = wheel.pop_next().expect("event");
+        // The key keeps the requested cycle; it fires at wheel time.
+        assert_eq!(key.at, Cycle(5));
+        assert_eq!(wheel.now(), Cycle(100));
+    }
+
+    #[test]
+    fn empty_wheel_pops_none_and_len_tracks() {
+        let mut wheel = TimingWheel::new(Cycle::ZERO);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop_next(), None);
+        wheel.schedule(Cycle(3), 0);
+        wheel.schedule(Cycle(3), 1);
+        assert_eq!(wheel.len(), 2);
+        wheel.pop_next();
+        assert_eq!(wheel.len(), 1);
+        wheel.pop_next();
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop_next(), None);
+    }
+
+    #[test]
+    fn sim_core_from_env_defaults_to_event() {
+        // Do not mutate the environment (tests run in parallel); just
+        // check the unset/garbage default path via the parser contract.
+        match std::env::var("SECBUS_SIM_CORE") {
+            Ok(v) if v.eq_ignore_ascii_case("stepped") => {
+                assert_eq!(SimCore::from_env(), SimCore::Stepped)
+            }
+            _ => assert_eq!(SimCore::from_env(), SimCore::Event),
+        }
+    }
+}

@@ -115,6 +115,62 @@ impl Hysteresis {
             }
         }
     }
+
+    /// Event-core seam: the cycle at which [`Hysteresis::observe`]
+    /// would first return a transition if the pressure reading stayed
+    /// exactly `pressure` from cycle `now` onward, or `None` if no
+    /// transition would ever fire at that constant reading. The
+    /// fast-forward path may only skip while pressure is provably
+    /// constant (nothing issues, grants or completes), and must stop
+    /// at this cycle so the transition fires on a real tick.
+    pub fn next_transition(&self, pressure: u64, now: u64) -> Option<u64> {
+        match self.since {
+            None if pressure >= self.cfg.high_watermark => {
+                let needed = self.cfg.enter_after.max(1) - self.above;
+                Some(now + needed - 1)
+            }
+            Some(_) if pressure <= self.cfg.low_watermark => {
+                let needed = self.cfg.exit_after.max(1) - self.below;
+                Some(now + needed - 1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Event-core seam: apply `k` cycles of [`Hysteresis::observe`] at
+    /// a constant `pressure` reading in one step. The caller must have
+    /// checked [`Hysteresis::next_transition`] first — the span must
+    /// not contain a transition (debug-asserted). State afterwards is
+    /// identical to `k` individual `observe` calls.
+    pub fn advance(&mut self, pressure: u64, k: u64) {
+        if k == 0 {
+            return;
+        }
+        match self.since {
+            None => {
+                if pressure >= self.cfg.high_watermark {
+                    self.above += k;
+                    debug_assert!(
+                        self.above < self.cfg.enter_after.max(1),
+                        "advance skipped an Enter transition"
+                    );
+                } else {
+                    self.above = 0;
+                }
+            }
+            Some(_) => {
+                if pressure <= self.cfg.low_watermark {
+                    self.below += k;
+                    debug_assert!(
+                        self.below < self.cfg.exit_after.max(1),
+                        "advance skipped an Exit transition"
+                    );
+                } else {
+                    self.below = 0;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +230,55 @@ mod tests {
             assert_eq!(h.observe(0, c), None);
         }
         assert!(matches!(h.observe(0, 12), Some(Transition::Exit { .. })));
+    }
+
+    #[test]
+    fn advance_matches_repeated_observe_at_constant_pressure() {
+        // Property: from any reachable state, `advance(p, k)` over a
+        // transition-free span leaves the same state as k `observe(p)`
+        // calls — the bulk replay the event core uses when skipping.
+        for seed in 0..100u64 {
+            let mut h = Hysteresis::new(cfg());
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut now = 0u64;
+            // Scramble into an arbitrary reachable state.
+            for _ in 0..(seed % 20) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.observe(x % 40, now);
+                now += 1;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pressure = x % 40;
+            // The largest transition-free span at this constant reading.
+            let k = match h.next_transition(pressure, now) {
+                Some(at) => at - now, // stop one cycle short of the transition
+                None => 1 + x % 32,
+            };
+            let mut bulk = h.clone();
+            bulk.advance(pressure, k);
+            for c in now..now + k {
+                assert_eq!(
+                    h.observe(pressure, c),
+                    None,
+                    "seed {seed} span had a transition"
+                );
+            }
+            assert_eq!(h.above, bulk.above, "seed {seed}");
+            assert_eq!(h.below, bulk.below, "seed {seed}");
+            assert_eq!(h.since, bulk.since, "seed {seed}");
+            // And the predicted transition cycle is exactly when observe
+            // fires one.
+            if let Some(at) = h.next_transition(pressure, now + k) {
+                for c in now + k..at {
+                    assert_eq!(h.observe(pressure, c), None);
+                }
+                assert!(h.observe(pressure, at).is_some(), "seed {seed}");
+            }
+        }
     }
 
     #[test]

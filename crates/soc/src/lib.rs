@@ -33,7 +33,9 @@ pub use casestudy::{
     DDR_PUBLIC_BASE, IP_FIFO_ADDR, SHARED_BRAM_BASE,
 };
 pub use degrade::{DegradeConfig, Hysteresis, Transition};
-pub use overload::{run_soc_overload, SocOverloadConfig, SocOverloadReport};
+pub use overload::{
+    run_soc_overload, run_soc_overload_with_core, SocOverloadConfig, SocOverloadReport,
+};
 pub use reconfig_run::{run_reconfig_soak, ReconfigSoakConfig, ReconfigSoakReport, SwapSchedule};
 pub use report::{AlertLine, AuditReport, FirewallAudit, Report};
 pub use soc::{BuildError, RetryPolicy, Soc, SocBuilder};

@@ -24,7 +24,7 @@ use secbus_bus::{AddrRange, BusConfig};
 use secbus_core::{AdfSet, ConfidentialityMode, ConfigMemory, IntegrityMode, Rwa, SecurityPolicy};
 use secbus_cpu::{OpenLoopConfig, OpenLoopMaster};
 use secbus_mem::ExternalDdr;
-use secbus_sim::SimRng;
+use secbus_sim::{SimCore, SimRng};
 
 use crate::degrade::DegradeConfig;
 use crate::soc::SocBuilder;
@@ -104,6 +104,12 @@ pub struct SocOverloadReport {
 
 /// Run one SoC overload cell.
 pub fn run_soc_overload(cfg: &SocOverloadConfig) -> SocOverloadReport {
+    run_soc_overload_with_core(cfg, SimCore::from_env())
+}
+
+/// [`run_soc_overload`] with an explicit simulator core, so equivalence
+/// tests can compare both cores without mutating process environment.
+pub fn run_soc_overload_with_core(cfg: &SocOverloadConfig, core: SimCore) -> SocOverloadReport {
     let rng = SimRng::new(cfg.seed).derive("soc.overload");
     let source = OpenLoopMaster::new(
         "flood",
@@ -152,6 +158,7 @@ pub fn run_soc_overload(cfg: &SocOverloadConfig) -> SocOverloadReport {
             .set_ddr("ddr", range, ddr, None)
             .build()
     };
+    soc.set_sim_core(core);
     soc.run(cfg.cycles + cfg.drain_cycles);
 
     let skipped = soc

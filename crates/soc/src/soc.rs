@@ -4,8 +4,8 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use secbus_bus::{
-    AddrRange, Arbiter, BusConfig, BusError, FixedPriority, MasterId, Op, Response, SharedBus,
-    SlaveId, Transaction, TxnId, Width,
+    AddrRange, Arbiter, BusConfig, BusError, BusQuiet, FixedPriority, MasterId, Op, Response,
+    SharedBus, SlaveId, Transaction, TxnId, Width,
 };
 use secbus_core::{
     verify, Alert, ConfidentialityMode, ConfigMemory, CryptoTiming, EpochError, FirewallId,
@@ -16,7 +16,10 @@ use secbus_core::{
 use secbus_cpu::{BusMaster, MasterAccess};
 use secbus_fault::{FaultKind, FaultPlan};
 use secbus_mem::{Bram, ExternalDdr, MemDevice};
-use secbus_sim::{Clock, Cycle, Json, MetricsRegistry, SimRng, Stats, TraceEvent, Tracer};
+use secbus_sim::{
+    Clock, Cycle, Json, MetricsRegistry, SimCore, SimRng, Stats, TimingWheel, TraceEvent, Tracer,
+    Wake,
+};
 
 use crate::degrade::{DegradeConfig, Hysteresis, Transition};
 
@@ -525,6 +528,11 @@ impl SocBuilder {
             reconfig.resume_epoch(cp.policy_epoch);
         }
 
+        let halted_masters = masters
+            .iter()
+            .filter(|m| m.device.as_ref().is_some_and(|d| d.halted()))
+            .count();
+
         Ok(Soc {
             clock: self.clock,
             now: Cycle::ZERO,
@@ -547,6 +555,9 @@ impl SocBuilder {
             recovery,
             taint,
             degrade: self.degrade.map(Hysteresis::new),
+            core: SimCore::from_env(),
+            halted_masters,
+            ticks_executed: 0,
         })
     }
 }
@@ -1053,12 +1064,25 @@ pub struct Soc {
     taint: Option<TaintEngine>,
     /// Overload brownout controller, when armed via [`SocBuilder::degrade`].
     degrade: Option<Hysteresis>,
+    /// Which run-loop drives the system: the legacy stepped loop or the
+    /// event-driven core that fast-forwards over provably idle cycles.
+    core: SimCore,
+    /// Masters currently reporting `halted()`, maintained on transition
+    /// in the device-tick step so `run_until_halt` checks O(1) instead
+    /// of re-polling every master every cycle.
+    halted_masters: usize,
+    /// Ticks actually executed (events, on the event core). A plain
+    /// field, deliberately outside [`Stats`]: the metrics snapshot must
+    /// stay byte-identical between cores, and this counter is the one
+    /// thing that legitimately differs.
+    ticks_executed: u64,
 }
 
 impl Soc {
     /// Advance the whole system by one cycle.
     pub fn tick(&mut self) {
         let now = self.now;
+        self.ticks_executed += 1;
 
         // Power gone: wall time still passes (so bounded runs terminate)
         // but nothing computes. The system stays down until rebuilt via
@@ -1132,9 +1156,16 @@ impl Soc {
             }
         }
 
-        // 3. Tick the IPs through their port adapters.
+        // 3. Tick the IPs through their port adapters. A missing device
+        //    (an invariant break — the slot always holds one between
+        //    ticks) is accounted and skipped rather than panicking the
+        //    fabric.
         for slot in &mut self.masters {
-            let mut device = slot.device.take().expect("device present");
+            let Some(mut device) = slot.device.take() else {
+                self.stats.incr("soc.invariant.device_missing");
+                continue;
+            };
+            let was_halted = device.halted();
             {
                 let mut port = PortAdapter {
                     bus: &mut self.bus,
@@ -1153,6 +1184,16 @@ impl Soc {
                     now,
                 };
                 device.tick(&mut port, now);
+            }
+            // Maintain the halted census on transition (run_until_halt
+            // checks a counter instead of re-polling every master).
+            let is_halted = device.halted();
+            if is_halted != was_halted {
+                if is_halted {
+                    self.halted_masters += 1;
+                } else {
+                    self.halted_masters -= 1;
+                }
             }
             slot.device = Some(device);
         }
@@ -1589,8 +1630,8 @@ impl Soc {
             }
         }
         for slot in &mut self.masters {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                let repaired = fw.config_mut().scrub();
                 // Recovery reloads the IP from its golden image, so any
                 // tainted data it held is gone with the reset.
                 if let Some(te) = self.taint.as_mut() {
@@ -1611,8 +1652,8 @@ impl Soc {
             }
         }
         for slot in &mut self.slaves {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                let repaired = slot.firewall.as_mut().unwrap().config_mut().scrub();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                let repaired = fw.config_mut().scrub();
                 self.stats.incr("soc.recoveries");
                 self.stats.add("soc.recovery_scrubs", repaired as u64);
                 if let Some(t) = &self.tracer {
@@ -1726,14 +1767,14 @@ impl Soc {
 
     fn block_firewall(&mut self, id: FirewallId) {
         for slot in &mut self.masters {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                slot.firewall.as_mut().unwrap().block();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                fw.block();
                 return;
             }
         }
         for slot in &mut self.slaves {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                slot.firewall.as_mut().unwrap().block();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                fw.block();
                 return;
             }
             if let SlaveKind::Ddr { lcf: Some(lcf), .. } = &mut slot.kind {
@@ -1747,15 +1788,15 @@ impl Soc {
 
     fn unblock_firewall(&mut self, id: FirewallId) {
         for slot in &mut self.masters {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                slot.firewall.as_mut().unwrap().unblock();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                fw.unblock();
                 self.stats.incr("soc.quarantine_releases");
                 return;
             }
         }
         for slot in &mut self.slaves {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == id) {
-                slot.firewall.as_mut().unwrap().unblock();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == id) {
+                fw.unblock();
                 self.stats.incr("soc.quarantine_releases");
                 return;
             }
@@ -1772,15 +1813,13 @@ impl Soc {
     fn apply_update(&mut self, update: PolicyUpdate) {
         let target = update.firewall;
         for slot in &mut self.masters {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == target) {
-                let fw = slot.firewall.as_mut().unwrap();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == target) {
                 let _ = self.reconfig.apply_to(fw, update);
                 return;
             }
         }
         for slot in &mut self.slaves {
-            if slot.firewall.as_ref().is_some_and(|f| f.id() == target) {
-                let fw = slot.firewall.as_mut().unwrap();
+            if let Some(fw) = slot.firewall.as_mut().filter(|f| f.id() == target) {
                 let _ = self.reconfig.apply_to(fw, update);
                 return;
             }
@@ -1795,26 +1834,277 @@ impl Soc {
 
     /// Run `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+        let end = self.now + cycles;
+        match self.core {
+            SimCore::Stepped => {
+                while self.now < end {
+                    self.tick();
+                }
+            }
+            SimCore::Event => {
+                while self.now < end {
+                    self.tick();
+                    self.fast_forward_idle(end);
+                }
+            }
         }
     }
 
     /// Run until every master reports halted, or `max_cycles` elapse.
     /// Returns the cycle count actually simulated.
     pub fn run_until_halt(&mut self, max_cycles: u64) -> u64 {
-        let start = self.now.get();
-        while self.now.get() - start < max_cycles {
-            if self
-                .masters
-                .iter()
-                .all(|m| m.device.as_ref().is_some_and(|d| d.halted()))
-            {
+        let start = self.now;
+        let end = start + max_cycles;
+        while self.now < end {
+            if self.halted_masters == self.masters.len() {
                 break;
             }
             self.tick();
+            // Don't fast-forward past the halt check: once the last
+            // master halts, the stepped loop stops on the next
+            // iteration, and the event core must report the same cycle.
+            if self.core == SimCore::Event && self.halted_masters != self.masters.len() {
+                self.fast_forward_idle(end);
+            }
         }
-        self.now.get() - start
+        self.now.get() - start.get()
+    }
+
+    /// Which core drives [`Soc::run`] / [`Soc::run_until_halt`].
+    pub fn sim_core(&self) -> SimCore {
+        self.core
+    }
+
+    /// Override the run-loop core (defaults to `SECBUS_SIM_CORE` /
+    /// event-driven). Benches and the equivalence tests force both
+    /// cores explicitly instead of mutating the process environment.
+    pub fn set_sim_core(&mut self, core: SimCore) {
+        self.core = core;
+    }
+
+    /// Ticks actually executed so far — on the stepped core equal to
+    /// the simulated cycle count, on the event core the number of
+    /// *events* (non-skipped cycles). Not part of the metrics snapshot.
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks_executed
+    }
+
+    /// Event-driven fast-forward: when every component's next tick is
+    /// provably a state no-op until some future cycle, jump `now`
+    /// there, bulk-accounting exactly what the skipped stepped ticks
+    /// would have accounted (`soc.cycles`, residual `bus.busy_cycles`,
+    /// hysteresis dwell counters). Never jumps past `end`, a scheduled
+    /// fault/watchdog/release/epoch/degrade cycle, or any cycle where
+    /// a component could act — those all schedule wake events.
+    fn fast_forward_idle(&mut self, end: Cycle) {
+        if self.now >= end {
+            return;
+        }
+        if self.powered_off {
+            // Dead time: stepped ticks only advance the clock (no
+            // accounting at all), so the jump is exact.
+            self.now = end;
+            return;
+        }
+        let Some(target) = self.next_wake_cycle(end) else {
+            return;
+        };
+        let skipped = target.get() - self.now.get();
+        if skipped == 0 {
+            return;
+        }
+        self.bus.fast_forward(self.now, target);
+        if let Some(hys) = self.degrade.as_mut() {
+            let pressure = self.bus.total_pending_requests() as u64;
+            hys.advance(pressure, skipped);
+        }
+        self.stats.add("soc.cycles", skipped);
+        self.now = target;
+    }
+
+    /// Allocation-free pre-check: could ticking at `self.now + 1` change
+    /// state *immediately*? Runs after every tick on the event core, so
+    /// the saturated case (some component always busy) must bail out
+    /// here without touching the heap — the wheel pass in
+    /// [`Soc::next_wake_cycle`] only runs when a skip is possible.
+    fn is_quiescent(&self) -> bool {
+        let now = self.now;
+        // Undelivered responses or unaudited orphans force a real tick.
+        if self.bus.has_queued_responses() || self.bus.has_orphans() {
+            return false;
+        }
+        if self.faults.next_due().is_some_and(|at| at <= now) {
+            return false;
+        }
+        if self
+            .monitor
+            .next_watchdog_deadline()
+            .is_some_and(|at| at <= now)
+        {
+            return false;
+        }
+        for slot in &self.masters {
+            if let Some(&(ready_at, _)) = slot.inbound.front() {
+                if ready_at <= now.get() {
+                    return false;
+                }
+            }
+            // Alert queues are empty between ticks; verify, don't assume.
+            if slot
+                .firewall
+                .as_ref()
+                .is_some_and(|f| f.has_pending_alerts())
+            {
+                return false;
+            }
+            let Some(device) = slot.device.as_deref() else {
+                return false;
+            };
+            match device.next_wake(now) {
+                Wake::Now => return false,
+                Wake::At(at) => {
+                    if at <= now {
+                        return false;
+                    }
+                }
+                // Pure while its response queue is empty.
+                Wake::Waiting => {
+                    if !slot.ready.is_empty() {
+                        return false;
+                    }
+                }
+                // Terminally quiescent; undelivered responses are dead
+                // letters under both cores.
+                Wake::Never => {}
+            }
+        }
+        if matches!(self.bus.quiescence(now), BusQuiet::Active) {
+            return false;
+        }
+        for slot in &self.slaves {
+            match slot.pending {
+                Some((completes_at, _)) => {
+                    if completes_at <= now.get() {
+                        return false;
+                    }
+                }
+                None => {
+                    if self.bus.slave_peek(slot.bus_id).is_some() {
+                        return false;
+                    }
+                }
+            }
+            if slot
+                .firewall
+                .as_ref()
+                .is_some_and(|f| f.has_pending_alerts())
+            {
+                return false;
+            }
+            if let SlaveKind::Ddr { ddr, lcf } = &slot.kind {
+                if let Some(lcf) = lcf {
+                    if lcf.has_pending_alerts() || lcf.crashed() {
+                        return false;
+                    }
+                }
+                if ddr.torn_stores() > self.torn_seen {
+                    return false;
+                }
+            }
+        }
+        if self.releases.iter().any(|&(at, _)| at <= now.get()) {
+            return false;
+        }
+        if let Some(hys) = &self.degrade {
+            let pressure = self.bus.total_pending_requests() as u64;
+            if hys
+                .next_transition(pressure, now.get())
+                .is_some_and(|at| at <= now.get())
+            {
+                return false;
+            }
+        }
+        if self.reconfig.next_ready().is_some_and(|at| at <= now) {
+            return false;
+        }
+        true
+    }
+
+    /// The earliest cycle at which ticking could change state, found by
+    /// scheduling every component's declared wake into a timing wheel
+    /// whose pop order is the canonical (cycle, component-id, seq)
+    /// order — component ids are assigned in `Soc::tick` polling order.
+    /// Returns `None` when some component could act *this* cycle (the
+    /// fabric is not idle; no skip).
+    fn next_wake_cycle(&self, end: Cycle) -> Option<Cycle> {
+        if !self.is_quiescent() {
+            return None;
+        }
+        let now = self.now;
+        // The fabric is provably idle this cycle: every wake below is
+        // strictly in the future ([`Soc::is_quiescent`] checked), so the
+        // wheel only decides *which* future cycle comes first.
+        let mut wheel = TimingWheel::new(now);
+        let mut component: u32 = 0;
+        // Tick step 0: scheduled environment faults.
+        if let Some(at) = self.faults.next_due() {
+            wheel.schedule(at, component);
+        }
+        component += 1;
+        // Tick step 1b: watchdog expiry deadlines.
+        if let Some(at) = self.monitor.next_watchdog_deadline() {
+            wheel.schedule(at, component);
+        }
+        component += 1;
+        // Tick steps 2–3 per master: inbound maturation and the device
+        // itself, via the `Wake` purity contract.
+        for slot in &self.masters {
+            if let Some(&(ready_at, _)) = slot.inbound.front() {
+                wheel.schedule(Cycle(ready_at), component);
+            }
+            if let Some(device) = slot.device.as_deref() {
+                if let Wake::At(at) = device.next_wake(now) {
+                    wheel.schedule(at, component);
+                }
+            }
+            component += 1;
+        }
+        // Tick step 4: the bus.
+        if let BusQuiet::Until(at) = self.bus.quiescence(now) {
+            wheel.schedule(at, component);
+        }
+        component += 1;
+        // Tick step 5 per slave: in-service completions.
+        for slot in &self.slaves {
+            if let Some((completes_at, _)) = slot.pending {
+                wheel.schedule(Cycle(completes_at), component);
+            }
+            component += 1;
+        }
+        // Tick step 6b: quarantine releases.
+        if let Some(at) = self.releases.iter().map(|&(at, _)| at).min() {
+            wheel.schedule(Cycle(at), component);
+        }
+        component += 1;
+        // Tick step 6c: degrade hysteresis. Pressure is constant across
+        // a skipped span (nothing issues, grants or completes), so the
+        // next transition at constant pressure is exact.
+        if let Some(hys) = &self.degrade {
+            let pressure = self.bus.total_pending_requests() as u64;
+            if let Some(at) = hys.next_transition(pressure, now.get()) {
+                wheel.schedule(Cycle(at), component);
+            }
+        }
+        component += 1;
+        // Tick step 7: matured reconfigurations.
+        if let Some(at) = self.reconfig.next_ready() {
+            wheel.schedule(at, component);
+        }
+        component += 1;
+        // The run horizon caps every jump.
+        wheel.schedule(end, component);
+        let target = wheel.pop_next().map_or(end, |k| k.at);
+        (target > now).then_some(target)
     }
 
     /// Attach (replacing any previous plan) the fault plan whose events
