@@ -15,6 +15,7 @@
 //! `--seed N` reseeds the IC workload; the IC section is byte-identical
 //! per seed (host wall-times of course are not).
 
+use secbus_bench::hostperf::{measure_host, HostWorkload};
 use secbus_bench::perf::{compare_cc, compare_harness, compare_ic, compare_sim, IcWorkload};
 use secbus_sim::Json;
 use secbus_soc::{case_study, CaseStudyConfig};
@@ -51,6 +52,14 @@ fn main() {
     // long enough (tens of ms per run) for the wall-clock ratio to see
     // past scheduler noise.
     let sim = compare_sim(400_000, 200_000);
+    // S-22: host-side crypto throughput across backends (soft reference
+    // vs AES-NI/SHA-NI, serial vs parallel Merkle). Ratios transfer
+    // across hosts; absolute GB/s are trajectory data.
+    let host = measure_host(&if smoke {
+        HostWorkload::smoke()
+    } else {
+        HostWorkload::full()
+    });
 
     // Observability cell: the case-study workload with the trace spine
     // armed. Entirely simulated time — no host wall-clock leaks in — so
@@ -118,6 +127,18 @@ fn main() {
         (
             "sim".into(),
             Json::Obj(vec![
+                // The active crypto backend is part of the measurement
+                // conditions here: LCF crypto work is a fixed cost in
+                // both cores, so the stepped/event ratio is only
+                // comparable between runs that selected the same
+                // backend (Amdahl dilution under `soft`). The other
+                // soaks' reports stay backend-free — this one already
+                // carries host timings and is excluded from the
+                // byte-identity cmp discipline.
+                (
+                    "crypto_backend".into(),
+                    Json::str(secbus_crypto::active_backend().name()),
+                ),
                 (
                     "idle".into(),
                     Json::Obj(vec![
@@ -177,6 +198,70 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "host".into(),
+            Json::Obj(vec![
+                ("aesni".into(), Json::Bool(host.aesni)),
+                ("shani".into(), Json::Bool(host.shani)),
+                (
+                    "ctr".into(),
+                    Json::Obj(vec![
+                        (
+                            "per_block_soft_gbps".into(),
+                            Json::Num(host.ctr_per_block_soft.gbps()),
+                        ),
+                        (
+                            "batched_soft_gbps".into(),
+                            Json::Num(host.ctr_batched_soft.gbps()),
+                        ),
+                        (
+                            "batched_accel_gbps".into(),
+                            Json::Num(host.ctr_batched_accel.gbps()),
+                        ),
+                        (
+                            "batched_vs_per_block".into(),
+                            Json::Num(host.ctr_batched_vs_per_block()),
+                        ),
+                        (
+                            "accel_vs_per_block".into(),
+                            Json::Num(host.ctr_accel_vs_per_block()),
+                        ),
+                    ]),
+                ),
+                (
+                    "sha".into(),
+                    Json::Obj(vec![
+                        ("soft_gbps".into(), Json::Num(host.sha_soft.gbps())),
+                        ("accel_gbps".into(), Json::Num(host.sha_accel.gbps())),
+                        ("speedup".into(), Json::Num(host.sha_speedup())),
+                    ]),
+                ),
+                (
+                    "merkle".into(),
+                    Json::Obj(vec![
+                        ("leaves".into(), Json::uint(host.merkle_leaves as u64)),
+                        ("threads".into(), Json::uint(host.merkle_threads as u64)),
+                        (
+                            "build_serial_ns".into(),
+                            Json::uint(host.merkle_build_serial_ns),
+                        ),
+                        (
+                            "build_parallel_ns".into(),
+                            Json::uint(host.merkle_build_parallel_ns),
+                        ),
+                        (
+                            "build_speedup".into(),
+                            Json::Num(host.merkle_build_speedup()),
+                        ),
+                        (
+                            "verifies_per_sec".into(),
+                            Json::Num(host.merkle_verifies_per_sec),
+                        ),
+                    ]),
+                ),
+                ("outputs_match".into(), Json::Bool(host.outputs_match)),
+            ]),
+        ),
         ("observe".into(), observe),
     ]);
     println!("{}", report.render_pretty());
@@ -200,6 +285,22 @@ fn main() {
     }
     if !sim.saturated.identical {
         failures.push("event core diverged from stepped on the saturated workload".to_string());
+    }
+    if !host.outputs_match {
+        failures.push("host crypto backends disagreed (ciphertext/digest/root)".to_string());
+    }
+    // The hardware gate: batched accel CTR must beat the per-block soft
+    // reference ≥10x — but only where the hardware exists. Hosts without
+    // AES-NI skip (not fail) it, in every mode.
+    if host.aesni {
+        if host.ctr_accel_vs_per_block() < 10.0 {
+            failures.push(format!(
+                "AES-NI batched CTR below 10x over per-block soft: {:.2}x",
+                host.ctr_accel_vs_per_block()
+            ));
+        }
+    } else {
+        eprintln!("perf_soak: host has no AES-NI; hardware CTR gate skipped");
     }
     // The saturated workload has nothing to skip, so the event core's
     // only effect is its per-tick skip check — more than 20% slower than
@@ -253,18 +354,68 @@ fn main() {
                     ));
                 }
                 // Older baselines predate the sim section; the gate
-                // arms once a full run has recorded one.
+                // arms once a full run has recorded one — and only
+                // when the recorded run selected the same crypto
+                // backend (the ratio dilutes under slower crypto, so
+                // cross-backend comparison is meaningless).
+                let recorded_backend = base
+                    .get("sim")
+                    .and_then(|s| s.get("crypto_backend"))
+                    .and_then(|v| v.as_str());
+                let backend_comparable =
+                    recorded_backend.is_none_or(|b| b == secbus_crypto::active_backend().name());
                 if let Some(recorded) = base
                     .get("sim")
                     .and_then(|s| s.get("idle"))
                     .and_then(|i| i.get("host_speedup"))
                     .and_then(|v| v.as_f64())
                 {
+                    if backend_comparable {
+                        failures.extend(gate(
+                            "sim idle-heavy host speedup",
+                            sim.idle.speedup(),
+                            Some(recorded),
+                        ));
+                    } else {
+                        eprintln!(
+                            "perf_soak: note: sim idle gate skipped \
+                             (baseline recorded under crypto backend {:?}, \
+                             this run uses {:?})",
+                            recorded_backend.unwrap_or("?"),
+                            secbus_crypto::active_backend().name()
+                        );
+                    }
+                }
+                // Host-throughput gates likewise arm once a full run has
+                // recorded the section, and only where the recorded
+                // ratio is comparable (same hardware class: the accel
+                // ratios collapse by design on capability-less hosts).
+                let host_ratio =
+                    |inner: &str, leaf: &str| base.get("host")?.get(inner)?.get(leaf)?.as_f64();
+                if host.aesni {
+                    if let Some(recorded) = host_ratio("ctr", "accel_vs_per_block") {
+                        failures.extend(gate(
+                            "host CTR accel-vs-per-block",
+                            host.ctr_accel_vs_per_block(),
+                            Some(recorded),
+                        ));
+                    }
+                }
+                if let Some(recorded) = host_ratio("ctr", "batched_vs_per_block") {
                     failures.extend(gate(
-                        "sim idle-heavy host speedup",
-                        sim.idle.speedup(),
+                        "host CTR batched-vs-per-block (soft)",
+                        host.ctr_batched_vs_per_block(),
                         Some(recorded),
                     ));
+                }
+                if host.shani {
+                    if let Some(recorded) = host_ratio("sha", "speedup") {
+                        failures.extend(gate(
+                            "host SHA accel speedup",
+                            host.sha_speedup(),
+                            Some(recorded),
+                        ));
+                    }
                 }
             }
             Err(e) => failures.push(format!("cannot read {BASELINE} baseline: {e}")),

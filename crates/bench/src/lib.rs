@@ -25,6 +25,7 @@
 
 pub mod energy;
 pub mod harness;
+pub mod hostperf;
 pub mod perf;
 pub mod table2;
 pub mod timing;
@@ -103,6 +104,7 @@ pub fn sweep_threads() -> usize {
 
 pub use energy::{case_study_energy, collect_activity};
 pub use harness::{finish, SoakArgs};
+pub use hostperf::{measure_host, HostPerf, HostWorkload};
 pub use table2::{measure_table2, Table2};
 pub use timing::{bench, measure, Measurement};
 pub use traffic::{

@@ -22,7 +22,7 @@ use std::time::Instant;
 use secbus_bus::{MasterId, Op, Transaction, TxnId, Width};
 use secbus_core::{CryptoTiming, FirewallId, LocalCipheringFirewall};
 use secbus_crypto::sha256::Digest;
-use secbus_crypto::{MemoryCipher, Sha256};
+use secbus_crypto::{CryptoBackend, MemoryCipher, Sha256};
 use secbus_mem::ExternalDdr;
 use secbus_sim::{Cycle, SimCore, SimRng};
 use secbus_soc::casestudy::{lcf_policies, DDR_BASE, DDR_LEN, DDR_PRIVATE_BASE, DDR_PRIVATE_LEN};
@@ -256,9 +256,15 @@ fn process_cpu_ns() -> Option<u64> {
 }
 
 /// Cipher `burst_bytes`-byte bursts `reps` times through both paths.
+///
+/// Pinned to the **soft** backend on purpose: this comparison prices
+/// what batching alone buys (key-schedule reuse vs per-block setup), so
+/// its ratio must stay comparable across hosts with and without AES-NI
+/// — the hardware story lives in `hostperf`'s section, whose gates skip
+/// where the hardware is absent.
 pub fn compare_cc(burst_bytes: usize, reps: u32) -> CcPerf {
     assert!(burst_bytes.is_multiple_of(16) && burst_bytes >= 32);
-    let cipher = MemoryCipher::new(b"s16-cc-perf-key!");
+    let cipher = MemoryCipher::with_backend(b"s16-cc-perf-key!", CryptoBackend::Soft);
     let addr = u64::from(DDR_PRIVATE_BASE);
 
     // Correctness first: both paths must produce the same ciphertext.

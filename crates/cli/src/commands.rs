@@ -14,7 +14,8 @@ use secbus_soc::casestudy::{
 };
 use secbus_soc::{render_topology, Report, SocBuilder};
 
-const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|policy|reconfig|table1|fig1> …
+const USAGE: &str =
+    "usage: secbus <asm|disasm|run|observe|attacks|policy|reconfig|table1|fig1|backends> …
   secbus asm <file.s>               assemble MB32 source to hex words
   secbus disasm <file.hex>          disassemble hex words (one per line)
   secbus run <file.s> [--cycles N] [--unprotected] [--policy <file.json>]\n             [--image <boot.ihex>] [--trace] [--audit[-json]]
@@ -31,6 +32,7 @@ const USAGE: &str = "usage: secbus <asm|disasm|run|observe|attacks|policy|reconf
   secbus reconfig [--seed N]        storm live policy epochs through a flooded\n                                    SoC and print the zero-loss verdict
   secbus table1 | fig1
   secbus policy-template            print a JSON policy-file skeleton
+  secbus backends                   show detected crypto hardware and the\n                                    active backend (SECBUS_CRYPTO_BACKEND)
 ";
 
 /// The BRAM window the `run` sandbox maps and authorizes.
@@ -69,12 +71,34 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
             Err("table2 lives in the bench crate: cargo run -p secbus-bench --bin table2".into())
         }
         Some("policy-template") => Ok(crate::policyfile::template() + "\n"),
+        Some("backends") => Ok(cmd_backends()),
         Some("fig1") => {
             let soc = secbus_soc::casestudy::case_study(Default::default());
             Ok(render_topology(&soc))
         }
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// Report the detected crypto hardware and the backend the hot paths
+/// actually dispatch to (after the `SECBUS_CRYPTO_BACKEND` override and
+/// the never-select-unsupported fallback).
+fn cmd_backends() -> String {
+    let caps = secbus_crypto::host_caps();
+    let active = secbus_crypto::active_backend();
+    let request = std::env::var("SECBUS_CRYPTO_BACKEND");
+    let mut out = String::new();
+    writeln!(out, "crypto backends:").unwrap();
+    writeln!(out, "  aes-ni : {}", if caps.aesni { "yes" } else { "no" }).unwrap();
+    writeln!(out, "  sha-ni : {}", if caps.shani { "yes" } else { "no" }).unwrap();
+    writeln!(
+        out,
+        "  request: {}",
+        request.as_deref().unwrap_or("(unset: auto)")
+    )
+    .unwrap();
+    writeln!(out, "  active : {}", active.name()).unwrap();
+    out
 }
 
 fn cmd_asm(args: &[String]) -> Result<String, String> {
@@ -296,7 +320,9 @@ pub fn run_program_image(
         )
         .build();
     let ran = soc.run_until_halt(cycles);
-    let core = soc.master_as::<Mb32Core>(0).expect("cpu0");
+    let core = soc
+        .master_as::<Mb32Core>(0)
+        .ok_or("internal error: cpu0 is not an MB32 core")?;
     let mut out = String::new();
     if secbus_cpu::BusMaster::halted(core) {
         writeln!(out, "halted after {ran} cycles").unwrap();
@@ -354,7 +380,9 @@ fn cmd_observe(args: &[String]) -> Result<String, String> {
         ..Default::default()
     });
     let ran = soc.run_until_halt(cycles);
-    let tracer = soc.tracer().expect("observe arms the trace spine");
+    let tracer = soc
+        .tracer()
+        .ok_or("internal error: observe armed the trace spine but no tracer exists")?;
     let mut out = String::new();
     writeln!(
         out,
@@ -366,7 +394,9 @@ fn cmd_observe(args: &[String]) -> Result<String, String> {
     )
     .unwrap();
     if let Some(path) = opt_value(args, "--trace-out")? {
-        let doc = soc.chrome_trace().expect("trace armed");
+        let doc = soc
+            .chrome_trace()
+            .ok_or("internal error: trace armed but no chrome trace available")?;
         fs::write(path, doc.render()).map_err(|e| format!("{path}: {e}"))?;
         writeln!(
             out,

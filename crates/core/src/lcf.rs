@@ -31,8 +31,8 @@ use secbus_bus::{Op, Transaction};
 use secbus_crypto::merkle::leaf_digest;
 use secbus_crypto::sha256::Digest;
 use secbus_crypto::{
-    IntentRecord, MemoryCipher, MerkleTree, MonotonicCounter, NodeCache, RegionImage,
-    SecureStateImage, TimestampTable, WriteAheadJournal,
+    CryptoBackend, IntentRecord, MemoryCipher, MerkleTree, MonotonicCounter, NodeCache,
+    RegionImage, SecureStateImage, TimestampTable, WriteAheadJournal,
 };
 use secbus_mem::{ExternalDdr, MemDevice};
 use secbus_sim::{Cycle, Stats, TraceEvent, Tracer};
@@ -522,6 +522,8 @@ impl LocalCipheringFirewall {
             let dev_off = region.base - self.ddr_base;
             let mut buf = ddr.snoop(dev_off, region.len).to_vec();
             cipher.apply(u64::from(region.base), 0, &mut buf);
+            self.stats
+                .add("lcf.cc_bytes_ciphered", u64::from(region.len));
             cycles += self.timing.cc_stream_cycles(u64::from(region.len) * 8);
             ddr.tamper(dev_off, &buf);
             if region.protection == Protection::CipherIntegrity {
@@ -701,6 +703,8 @@ impl LocalCipheringFirewall {
         let cipher = region.cipher.as_ref().expect("ciphered region has a key");
         let mut plain = block;
         cipher.apply(u64::from(block_bus_addr), ts, &mut plain);
+        self.stats
+            .add("lcf.cc_bytes_ciphered", u64::from(PROTECTION_BLOCK));
         if self.cc_glitch {
             // Transient CC mis-computation: the decrypted block is garbled.
             self.cc_glitch = false;
@@ -730,6 +734,8 @@ impl LocalCipheringFirewall {
                 let new_ts = region.timestamps.bump(block_idx);
                 block = plain;
                 cipher.apply(u64::from(block_bus_addr), new_ts, &mut block);
+                self.stats
+                    .add("lcf.cc_bytes_ciphered", u64::from(PROTECTION_BLOCK));
                 latency += self.timing.cc_latency; // re-encryption pass
                 if let Some(t) = &self.tracer {
                     t.record(
@@ -907,6 +913,8 @@ impl LocalCipheringFirewall {
             cycles += timing.ic_stream_cycles(u64::from(region.len) * 8);
         }
         region.cipher = Some(new_cipher);
+        self.stats
+            .add("lcf.cc_bytes_ciphered", 2 * u64::from(region.len));
         self.stats.incr("lcf.rekeys");
         self.stats.add("lcf.rekey_cycles", cycles);
         Ok(cycles)
@@ -1325,6 +1333,20 @@ impl LocalCipheringFirewall {
     /// LCF-specific statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The crypto backend the Confidentiality Core's batched hot path
+    /// actually runs on (`soft` or `accel`).
+    ///
+    /// Deliberately an accessor and **not** a [`Stats`] counter: backend
+    /// identity is host trivia, and keeping it out of the stats keeps
+    /// metrics snapshots — and therefore every soak JSON — byte-identical
+    /// whichever backend the host selected (the `ticks_executed` rule).
+    pub fn cc_backend(&self) -> CryptoBackend {
+        self.regions
+            .iter()
+            .find_map(|r| r.cipher.as_ref().map(MemoryCipher::backend))
+            .unwrap_or_else(secbus_crypto::active_backend)
     }
 }
 

@@ -3,8 +3,14 @@
 //! This is the algorithm inside the paper's Confidentiality Core. The
 //! implementation is a straightforward byte-oriented rendering of the
 //! standard — S-box substitution, row shifts, GF(2^8) column mixing and a
-//! 44-word key schedule — optimised only as far as table lookups, which is
-//! plenty for a functional model (the Criterion bench measures it anyway).
+//! 44-word key schedule. [`Aes128::encrypt_block`] is always this
+//! software reference; the batched [`Aes128::encrypt_blocks`] hot path
+//! additionally dispatches to the host's AES-NI instructions (8 blocks
+//! in flight per round) when [`crate::backend`] detects them, producing
+//! bit-identical ciphertext — `aesenc` runs the same FIPS-197 round
+//! over the same expanded round keys.
+
+use crate::backend::{self, CryptoBackend};
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
@@ -66,6 +72,11 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 pub struct Aes128 {
     /// 11 round keys of 16 bytes each.
     round_keys: [[u8; 16]; 11],
+    /// Whether the batched path may use AES-NI (resolved at
+    /// construction from [`backend::active`], or forced through
+    /// [`Aes128::with_backend`] so tests and benches can pin a path
+    /// without touching process environment).
+    use_aesni: bool,
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -76,8 +87,31 @@ impl std::fmt::Debug for Aes128 {
 }
 
 impl Aes128 {
-    /// Expand a 128-bit key into the 11 round keys.
+    /// Expand a 128-bit key under the process-wide active backend.
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, backend::active())
+    }
+
+    /// Expand a 128-bit key with an explicitly chosen backend. An
+    /// `Accel` request on a host without AES-NI silently degrades to
+    /// the software path — the selection can never exceed the CPU.
+    pub fn with_backend(key: &[u8; 16], backend: CryptoBackend) -> Self {
+        let mut aes = Self::expand(key);
+        aes.use_aesni = backend::effective_caps(backend).aesni;
+        aes
+    }
+
+    /// The backend the batched path will actually use.
+    pub fn backend(&self) -> CryptoBackend {
+        if self.use_aesni {
+            CryptoBackend::Accel
+        } else {
+            CryptoBackend::Soft
+        }
+    }
+
+    /// Expand a 128-bit key into the 11 round keys.
+    fn expand(key: &[u8; 16]) -> Self {
         let mut w = [[0u8; 4]; 44];
         for i in 0..4 {
             w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
@@ -101,7 +135,10 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 {
+            round_keys,
+            use_aesni: false,
+        }
     }
 
     #[inline]
@@ -212,15 +249,38 @@ impl Aes128 {
     ///
     /// Identical output to calling [`Aes128::encrypt_block`] per block (the
     /// blocks are independent — this is ECB over the caller's counter
-    /// inputs, exactly what CTR keystream generation needs), but the round
-    /// loop is hoisted outside the block loop: each round key is loaded
-    /// once per *burst* instead of once per *block*, which is the
-    /// key-schedule-reuse batching the Confidentiality Core's burst path
-    /// relies on.
+    /// inputs, exactly what CTR keystream generation needs). On hosts
+    /// with AES-NI (unless [`Aes128::with_backend`] pinned the software
+    /// path) the blocks run through the multi-lane intrinsic path —
+    /// same rounds, same keys, bit-identical ciphertext; otherwise the
+    /// round loop is hoisted outside the block loop so each round key
+    /// is loaded once per *burst* instead of once per *block*.
     ///
     /// # Panics
     /// Panics unless `buf.len()` is a multiple of 16.
     pub fn encrypt_blocks(&self, buf: &mut [u8]) {
+        assert!(
+            buf.len().is_multiple_of(16),
+            "batched encryption needs whole 16-byte blocks"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only ever set from
+            // `backend::effective_caps`, which requires the runtime
+            // AES-NI probe to have passed; length checked above.
+            unsafe { backend::aesni::encrypt_blocks(&self.round_keys, buf) };
+            return;
+        }
+        self.encrypt_blocks_soft(buf);
+    }
+
+    /// The batched software path, callable directly (the bench and the
+    /// cross-backend equivalence suite compare it against the
+    /// accelerated path byte for byte).
+    ///
+    /// # Panics
+    /// Panics unless `buf.len()` is a multiple of 16.
+    pub fn encrypt_blocks_soft(&self, buf: &mut [u8]) {
         assert!(
             buf.len().is_multiple_of(16),
             "batched encryption needs whole 16-byte blocks"
@@ -388,6 +448,87 @@ mod tests {
     #[should_panic(expected = "whole 16-byte blocks")]
     fn encrypt_blocks_rejects_partial_block() {
         Aes128::new(&[0; 16]).encrypt_blocks(&mut [0u8; 24]);
+    }
+
+    /// Cross-backend: the accelerated batched path is byte-identical to
+    /// the software batched path for random keys and burst lengths,
+    /// including empty bursts and lane remainders (`blocks % 8 != 0`).
+    /// On hosts without AES-NI the accel cipher degrades to soft and
+    /// the comparison is trivially (but still correctly) true.
+    #[test]
+    fn accel_batched_matches_soft_batched() {
+        let mut state = 0xacce_1000_0000_0001u64;
+        for round in 0..64 {
+            let mut key = [0u8; 16];
+            crate::test_rng::fill(&mut state, &mut key);
+            let soft = Aes128::with_backend(&key, crate::backend::CryptoBackend::Soft);
+            let accel = Aes128::with_backend(&key, crate::backend::CryptoBackend::Accel);
+            // 0..=18 blocks sweeps below, at and above the 8-lane width.
+            let blocks = (crate::test_rng::splitmix64(&mut state) % 19) as usize;
+            let mut a = vec![0u8; 16 * blocks];
+            crate::test_rng::fill(&mut state, &mut a);
+            let mut b = a.clone();
+            soft.encrypt_blocks_soft(&mut a);
+            accel.encrypt_blocks(&mut b);
+            assert_eq!(a, b, "round {round}, burst of {blocks} blocks");
+        }
+    }
+
+    /// Counter-word carry audit: `encrypt_blocks` is "ECB over the
+    /// caller's counter inputs", so a burst whose 64-bit counter field
+    /// crosses a 32-bit low-word boundary (0xffff_fffd + 8 blocks) must
+    /// cipher each counter exactly as the per-block reference does —
+    /// no SIMD-style low-dword-only increment may ever creep in.
+    #[test]
+    fn counter_low_word_wrap_matches_per_block() {
+        let aes = Aes128::new(b"carry-audit-key!");
+        let base = u64::from(u32::MAX) - 2;
+        let mut batched = vec![0u8; 16 * 8];
+        for (i, input) in batched.chunks_exact_mut(16).enumerate() {
+            input[..8].copy_from_slice(&(base + i as u64).to_be_bytes());
+            input[8..].copy_from_slice(&7u64.to_be_bytes());
+        }
+        let mut expected = batched.clone();
+        for chunk in expected.chunks_exact_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().unwrap();
+            aes.encrypt_block(block);
+        }
+        aes.encrypt_blocks(&mut batched);
+        assert_eq!(batched, expected, "batched diverged across the u32 wrap");
+        // Both backends, explicitly.
+        for backend in [
+            crate::backend::CryptoBackend::Soft,
+            crate::backend::CryptoBackend::Accel,
+        ] {
+            let forced = Aes128::with_backend(b"carry-audit-key!", backend);
+            let mut buf = vec![0u8; 16 * 8];
+            for (i, input) in buf.chunks_exact_mut(16).enumerate() {
+                input[..8].copy_from_slice(&(base + i as u64).to_be_bytes());
+                input[8..].copy_from_slice(&7u64.to_be_bytes());
+            }
+            forced.encrypt_blocks(&mut buf);
+            assert_eq!(buf, expected, "{} backend", backend.name());
+        }
+    }
+
+    /// The FIPS-197 vectors hold on the accelerated path too (one lane,
+    /// i.e. the remainder loop, and a full 8-lane burst of the same
+    /// block must agree with the known ciphertext).
+    #[test]
+    fn accel_path_reproduces_fips_vectors() {
+        let aes = Aes128::with_backend(
+            &key16("000102030405060708090a0b0c0d0e0f"),
+            crate::backend::CryptoBackend::Accel,
+        );
+        let pt = key16("00112233445566778899aabbccddeeff");
+        let mut one = pt.to_vec();
+        aes.encrypt_blocks(&mut one);
+        assert_eq!(one, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        let mut eight: Vec<u8> = (0..8).flat_map(|_| pt).collect();
+        aes.encrypt_blocks(&mut eight);
+        for lane in eight.chunks_exact(16) {
+            assert_eq!(lane, &hex("69c4e0d86a7b0430d8cdb78070b4c55a")[..]);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! attacker cannot choose the resulting plaintext.
 
 use crate::aes::Aes128;
+use crate::backend::CryptoBackend;
 
 /// AES block size in bytes.
 pub const BLOCK_BYTES: usize = 16;
@@ -33,11 +34,25 @@ pub struct MemoryCipher {
 }
 
 impl MemoryCipher {
-    /// Create a cipher from the policy's 128-bit Cryptographic Key (CK).
+    /// Create a cipher from the policy's 128-bit Cryptographic Key (CK),
+    /// on the process-wide active backend.
     pub fn new(key: &[u8; 16]) -> Self {
         MemoryCipher {
             aes: Aes128::new(key),
         }
+    }
+
+    /// Create a cipher on an explicit backend (test and benchmark seam —
+    /// keystreams are bit-identical either way).
+    pub fn with_backend(key: &[u8; 16], backend: CryptoBackend) -> Self {
+        MemoryCipher {
+            aes: Aes128::with_backend(key, backend),
+        }
+    }
+
+    /// The backend the underlying AES actually runs batches on.
+    pub fn backend(&self) -> CryptoBackend {
+        self.aes.backend()
     }
 
     /// Keystream block for (16-byte-aligned) block index `block` under
@@ -68,22 +83,44 @@ impl MemoryCipher {
             buf.len().is_multiple_of(BLOCK_BYTES),
             "cipher length must be a multiple of 16"
         );
-        let base_block = addr / BLOCK_BYTES as u64;
         if buf.len() == BLOCK_BYTES {
             // Single-block fast path: no batching setup.
-            let ks = self.keystream(base_block, timestamp);
+            let ks = self.keystream(addr / BLOCK_BYTES as u64, timestamp);
             for (b, k) in buf.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
             return;
         }
+        self.xor_keystream(addr, timestamp, buf);
+    }
+
+    /// XOR the keystream starting at `addr` into `buf`, tolerating a
+    /// partial final block: the last keystream block is generated whole
+    /// and truncated to the tail, exactly as a hardware CTR datapath
+    /// discards unused keystream bytes. `addr` must still be 16-byte
+    /// aligned (it fixes the counter origin); `buf` may be any length,
+    /// including empty.
+    ///
+    /// [`apply`](Self::apply) — the LCF's whole-protection-block
+    /// contract — is this routine plus the length assertion, so for
+    /// multiple-of-16 lengths the two are byte-identical.
+    pub fn xor_keystream(&self, addr: u64, timestamp: u64, buf: &mut [u8]) {
+        assert!(
+            addr.is_multiple_of(BLOCK_BYTES as u64),
+            "cipher address must be 16-byte aligned"
+        );
         // Burst path: fill a batch of counter inputs and cipher them in
-        // one [`Aes128::encrypt_blocks`] pass (key-schedule reuse), then
-        // XOR. Stack buffer — the hot path never allocates.
+        // one [`Aes128::encrypt_blocks`] pass (key-schedule reuse,
+        // multi-lane AES-NI when available), then XOR. The counter is a
+        // full 64-bit block index — carries across any 32-bit word
+        // boundary are native `u64` arithmetic, and the batched AES is
+        // plain ECB over these serialized counters, so per-block and
+        // batched paths cannot diverge at a wrap. Stack buffer — the
+        // hot path never allocates.
         let mut ks = [0u8; KEYSTREAM_BATCH * BLOCK_BYTES];
-        let mut block = base_block;
+        let mut block = addr / BLOCK_BYTES as u64;
         for batch in buf.chunks_mut(KEYSTREAM_BATCH * BLOCK_BYTES) {
-            let ks = &mut ks[..batch.len()];
+            let ks = &mut ks[..batch.len().div_ceil(BLOCK_BYTES) * BLOCK_BYTES];
             for input in ks.chunks_exact_mut(BLOCK_BYTES) {
                 input[..8].copy_from_slice(&block.to_be_bytes());
                 input[8..].copy_from_slice(&timestamp.to_be_bytes());
@@ -202,6 +239,66 @@ mod tests {
                     "block {i} of {blocks}"
                 );
             }
+        }
+    }
+
+    /// Regression (issue 10 satellite): a burst whose block counter
+    /// crosses a 32-bit low-word wrap — base block `u32::MAX - 2`, 8
+    /// blocks — must match the per-block reference on every block. A
+    /// batched path that incremented only the counter's low 32-bit word
+    /// (the classic SIMD CTR bug) would diverge from block 3 onward.
+    #[test]
+    fn burst_across_counter_low_word_wrap_matches_per_block() {
+        let addr = (u64::from(u32::MAX) - 2) * BLOCK_BYTES as u64;
+        for backend in [CryptoBackend::Soft, CryptoBackend::Accel] {
+            let c = MemoryCipher::with_backend(&KEY, backend);
+            let mut bulk = [0x3cu8; BLOCK_BYTES * 8];
+            c.apply(addr, 9, &mut bulk);
+            for i in 0..8 {
+                let sealed = c.seal_block(addr + (BLOCK_BYTES * i) as u64, 9, &[0x3c; 16]);
+                assert_eq!(
+                    &bulk[BLOCK_BYTES * i..BLOCK_BYTES * (i + 1)],
+                    &sealed,
+                    "{} backend, block {i} across the u32 wrap",
+                    c.backend().name()
+                );
+            }
+        }
+    }
+
+    /// Cross-backend: bursts cipher byte-identically whichever backend
+    /// the cipher was built on, for lengths below/at/above both the
+    /// keystream batch and the AES-NI lane width.
+    #[test]
+    fn backends_produce_identical_bursts() {
+        let soft = MemoryCipher::with_backend(&KEY, CryptoBackend::Soft);
+        let accel = MemoryCipher::with_backend(&KEY, CryptoBackend::Accel);
+        for blocks in [1usize, 2, 7, 8, 9, 15, 16, 17, 40] {
+            let mut a = vec![0xc7u8; BLOCK_BYTES * blocks];
+            let mut b = a.clone();
+            soft.apply(0x6000, 5, &mut a);
+            accel.apply(0x6000, 5, &mut b);
+            assert_eq!(a, b, "{blocks} blocks");
+        }
+    }
+
+    /// The tail-tolerant keystream API equals `apply` on the shared
+    /// whole-block prefix and truncates the final keystream block.
+    #[test]
+    fn xor_keystream_tail_is_truncated_whole_block_keystream() {
+        let c = MemoryCipher::new(&KEY);
+        for len in [0usize, 1, 15, 17, 31, 33, 100, 255] {
+            let rounded = len.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+            let mut whole = vec![0u8; rounded];
+            if rounded > 0 {
+                c.apply(0x8000, 3, &mut whole);
+            }
+            let mut tail = vec![0u8; len];
+            c.xor_keystream(0x8000, 3, &mut tail);
+            assert_eq!(tail, whole[..len], "len {len}");
+            // And it is involutive at every length.
+            c.xor_keystream(0x8000, 3, &mut tail);
+            assert!(tail.iter().all(|&b| b == 0), "len {len} roundtrip");
         }
     }
 

@@ -18,23 +18,36 @@
 //! tests. These are functional models: the *timing* of the cores (11-cycle
 //! AES latency, 20-cycle integrity latency, Table II) is modelled by
 //! `secbus-core`'s pipeline wrappers, not here.
+//!
+//! ## Backends
+//!
+//! The hot paths (batched AES, SHA-256 compression, Merkle build/verify)
+//! dispatch through [`backend`]: a runtime probe selects AES-NI/SHA-NI
+//! intrinsics when the host has them, with the from-scratch software
+//! implementations as the always-available fallback (and the reference
+//! the accelerated paths are tested bit-identical against). Set
+//! `SECBUS_CRYPTO_BACKEND=soft` (or `accel`) to override the probe, the
+//! same pattern as `SECBUS_SIM_CORE`.
 
 pub mod aes;
+pub mod backend;
 pub mod ctr;
 pub mod journal;
 pub mod kdf;
 pub mod merkle;
+pub mod par;
 pub mod sha256;
 pub mod timestamp;
 
 pub use aes::Aes128;
+pub use backend::{active as active_backend, host_caps, CryptoBackend, HwCaps};
 pub use ctr::MemoryCipher;
 pub use journal::{
     IntentRecord, JournalReplay, MonotonicCounter, RegionImage, SecureStateImage, WriteAheadJournal,
 };
 pub use kdf::{derive_key_set, derive_region_key};
 pub use merkle::{CachedVerify, MerkleTree, NodeCache};
-pub use sha256::{sha256, Sha256};
+pub use sha256::{sha256, sha256_with, Sha256};
 pub use timestamp::TimestampTable;
 
 /// Deterministic randomness for this crate's randomized tests (the crate

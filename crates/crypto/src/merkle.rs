@@ -185,13 +185,44 @@ pub struct MerkleTree {
     leaves: usize,
 }
 
+/// Leaves each build worker should own before another thread pays off;
+/// [`MerkleTree::build`] sizes its thread count from this, so trees
+/// below ~2× this threshold build serially with zero thread setup.
+const PAR_LEAVES_PER_THREAD: usize = 4096;
+
+/// Interior levels narrower than this are hashed serially even inside a
+/// parallel build — near the root there is too little work per level to
+/// amortize a scoped-thread fork/join.
+const PAR_MIN_LEVEL_WIDTH: usize = 1024;
+
+/// Leaf verifications each worker of [`MerkleTree::verify_all`] should
+/// own before fanning out.
+const PAR_VERIFIES_PER_THREAD: usize = 256;
+
 impl MerkleTree {
     /// Build a tree over `leaves` leaf digests (padded internally to the
     /// next power of two with the digest of an empty leaf).
     ///
+    /// Large trees build their interior levels in parallel (see
+    /// [`MerkleTree::build_with_threads`]); the resulting nodes — and
+    /// therefore the root — are bit-identical for every thread count,
+    /// so callers never observe the parallelism.
+    ///
     /// # Panics
     /// Panics if `initial` is empty.
     pub fn build(initial: &[Digest]) -> Self {
+        let threads = crate::par::auto_threads(initial.len(), PAR_LEAVES_PER_THREAD);
+        Self::build_with_threads(initial, threads)
+    }
+
+    /// [`MerkleTree::build`] with an explicit worker count. Interior
+    /// levels are computed bottom-up; each wide level fans its parent
+    /// hashes out over contiguous index spans (the bench harness's
+    /// order-preserving `par_map_with` discipline, via
+    /// [`crate::par::par_map_indexed`]) and narrow levels near the root
+    /// stay serial. Every node value is a pure function of the level
+    /// below, so the tree is identical for any `threads`.
+    pub fn build_with_threads(initial: &[Digest], threads: usize) -> Self {
         assert!(!initial.is_empty(), "MerkleTree needs at least one leaf");
         let leaves = initial.len();
         let capacity = leaves.next_power_of_two();
@@ -200,16 +231,47 @@ impl MerkleTree {
         for i in 0..capacity {
             nodes[capacity + i] = if i < leaves { initial[i] } else { pad };
         }
-        for i in (1..capacity).rev() {
-            // Digests are Copy: split the slice instead of cloning them.
-            let (upper, lower) = nodes.split_at_mut(2 * i);
-            upper[i] = node_digest(&lower[0], &lower[1]);
+        let threads = threads.max(1);
+        let mut width = capacity / 2;
+        while width >= 1 {
+            if threads > 1 && width >= PAR_MIN_LEVEL_WIDTH {
+                let level: Vec<Digest> = crate::par::par_map_indexed(width, threads, |i| {
+                    let idx = width + i;
+                    node_digest(&nodes[2 * idx], &nodes[2 * idx + 1])
+                });
+                nodes[width..2 * width].copy_from_slice(&level);
+            } else {
+                for i in width..2 * width {
+                    // Digests are Copy: split the slice instead of cloning.
+                    let (upper, lower) = nodes.split_at_mut(2 * i);
+                    upper[i] = node_digest(&lower[0], &lower[1]);
+                }
+            }
+            width /= 2;
         }
         MerkleTree {
             nodes,
             capacity,
             leaves,
         }
+    }
+
+    /// Verify candidate digests for leaves `0..candidates.len()` in
+    /// bulk, fanning independent path walks out over worker threads.
+    /// Element `i` of the result is exactly
+    /// `self.verify_leaf(i, &candidates[i])`.
+    ///
+    /// # Panics
+    /// Panics if there are more candidates than (real) leaves.
+    pub fn verify_all(&self, candidates: &[Digest]) -> Vec<bool> {
+        assert!(
+            candidates.len() <= self.leaves,
+            "more candidates than leaves"
+        );
+        let threads = crate::par::auto_threads(candidates.len(), PAR_VERIFIES_PER_THREAD);
+        crate::par::par_map_indexed(candidates.len(), threads, |i| {
+            self.verify_leaf(i, &candidates[i])
+        })
     }
 
     /// Build a tree whose `leaves` leaves all hold `digest`.
@@ -646,6 +708,48 @@ mod tests {
                 "n={n} idx={idx} byte={byte} bit={bit}"
             );
         }
+    }
+
+    /// Parallel builds are bit-identical to the serial build for every
+    /// thread count, including tree sizes that cross the parallel level
+    /// threshold and non-power-of-two leaf counts.
+    #[test]
+    fn parallel_build_matches_serial_for_any_thread_count() {
+        for n in [1usize, 5, 1023, 2048, 2049, 4096] {
+            let init = leaves(n);
+            let serial = MerkleTree::build_with_threads(&init, 1);
+            for threads in [2, 3, 4, 8, 13] {
+                let par = MerkleTree::build_with_threads(&init, threads);
+                assert_eq!(par.root(), serial.root(), "n={n} threads={threads}");
+                assert_eq!(par.nodes, serial.nodes, "n={n} threads={threads}");
+            }
+            // The auto-sizing entry point too.
+            assert_eq!(MerkleTree::build(&init).nodes, serial.nodes, "n={n}");
+        }
+    }
+
+    /// Bulk parallel verification returns element-wise exactly what the
+    /// per-leaf walk returns, tampered leaves included.
+    #[test]
+    fn verify_all_matches_per_leaf() {
+        let init = leaves(600);
+        let tree = MerkleTree::build(&init);
+        let mut candidates = init.clone();
+        candidates[17][3] ^= 1;
+        candidates[599][0] ^= 0x80;
+        let bulk = tree.verify_all(&candidates);
+        assert_eq!(bulk.len(), 600);
+        for (i, ok) in bulk.iter().enumerate() {
+            assert_eq!(*ok, tree.verify_leaf(i, &candidates[i]), "leaf {i}");
+        }
+        assert!(!bulk[17] && !bulk[599]);
+        assert!(bulk[0] && bulk[18]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more candidates than leaves")]
+    fn verify_all_rejects_excess_candidates() {
+        MerkleTree::build(&leaves(2)).verify_all(&leaves(3));
     }
 
     /// Randomized: arbitrary update sequences keep every leaf verifiable.

@@ -1,0 +1,82 @@
+//! Scoped-thread, order-preserving parallelism for the crypto hot
+//! paths — the same merge discipline as the bench harness's
+//! `par_map_with` (results land in input order, so every output is
+//! exactly what the sequential loop would produce), re-implemented here
+//! because this crate sits below the bench crate and carries no
+//! dependencies.
+
+/// Order-preserving parallel map over the indices `0..n`: worker `w`
+/// of `threads` computes the contiguous index span
+/// `[w * n / threads, (w + 1) * n / threads)` and the spans are
+/// concatenated in worker order, so the result equals
+/// `(0..n).map(f).collect()` for every thread count. `threads <= 1`
+/// (or a tiny `n`) runs inline with no thread setup at all.
+pub fn par_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    let mut spans: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let (lo, hi) = (w * n / threads, (w + 1) * n / threads);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            spans.push(h.join().expect("crypto par worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for span in spans {
+        out.extend(span);
+    }
+    out
+}
+
+/// The worker count parallel Merkle operations default to: the host's
+/// parallelism, capped so tiny trees never pay thread setup. Pure
+/// host-capability read; the *output* of every parallel operation is
+/// identical for any return value (see [`par_map_indexed`]).
+pub fn auto_threads(work_items: usize, min_per_thread: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(work_items / min_per_thread.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 200] {
+            assert_eq!(
+                par_map_indexed(97, threads, |i| i * 3 + 1),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u32> = par_map_indexed(0, 8, |_| 1);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn auto_threads_bounds() {
+        assert_eq!(auto_threads(0, 1024), 1);
+        assert_eq!(auto_threads(1023, 1024), 1);
+        let t = auto_threads(1 << 20, 1024);
+        assert!(t >= 1);
+        assert!(t <= std::thread::available_parallelism().map_or(1, |n| n.get()));
+    }
+}

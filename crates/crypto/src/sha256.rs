@@ -2,6 +2,16 @@
 //!
 //! The hash function underneath the Integrity Core's hash tree. Streaming
 //! interface ([`Sha256`]) plus a one-shot helper ([`sha256`]).
+//!
+//! Hashers constructed via [`Sha256::new`] consult [`crate::backend`]
+//! and, when the host exposes the SHA extensions, run whole 64-byte
+//! blocks through the SHA-NI compression in
+//! `backend::shani` — same FIPS-180-4 rounds executed by dedicated
+//! instructions, so digests are bit-identical to the software path
+//! (the scalar `Sha256::compress` below, which stays the
+//! always-available reference).
+
+use crate::backend::{self, CryptoBackend};
 
 /// Initial hash values (first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes).
@@ -31,6 +41,7 @@ pub struct Sha256 {
     buffer: [u8; 64],
     buffered: usize,
     total_bytes: u64,
+    use_shani: bool,
 }
 
 impl Default for Sha256 {
@@ -40,13 +51,31 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// A fresh hasher.
+    /// A fresh hasher on the process-wide active backend (see
+    /// [`crate::backend::active`]).
     pub fn new() -> Self {
+        Self::with_backend(backend::active())
+    }
+
+    /// A fresh hasher on an explicit backend. Requesting
+    /// [`CryptoBackend::Accel`] on a host without the SHA extensions
+    /// degrades to the software compression — never to wrong output.
+    pub fn with_backend(backend: CryptoBackend) -> Self {
         Sha256 {
             state: H0,
             buffer: [0; 64],
             buffered: 0,
             total_bytes: 0,
+            use_shani: backend::effective_caps(backend).shani,
+        }
+    }
+
+    /// The backend this hasher actually compresses with.
+    pub fn backend(&self) -> CryptoBackend {
+        if self.use_shani {
+            CryptoBackend::Accel
+        } else {
+            CryptoBackend::Soft
         }
     }
 
@@ -61,18 +90,37 @@ impl Sha256 {
             rest = &rest[take..];
             if self.buffered == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                self.compress_run(&block);
                 self.buffered = 0;
             }
         }
-        while rest.len() >= 64 {
-            let block: [u8; 64] = rest[..64].try_into().unwrap();
-            self.compress(&block);
-            rest = &rest[64..];
+        let whole = rest.len() / 64 * 64;
+        if whole > 0 {
+            // One dispatch for the entire run of full blocks: the SHA-NI
+            // path keeps the working state in registers across blocks.
+            let (blocks, tail) = rest.split_at(whole);
+            self.compress_run(blocks);
+            rest = tail;
         }
         if !rest.is_empty() {
             self.buffer[..rest.len()].copy_from_slice(rest);
             self.buffered = rest.len();
+        }
+    }
+
+    /// Compress a run of whole 64-byte blocks on the selected backend.
+    fn compress_run(&mut self, blocks: &[u8]) {
+        debug_assert!(blocks.len().is_multiple_of(64));
+        #[cfg(target_arch = "x86_64")]
+        if self.use_shani {
+            // SAFETY: `use_shani` is only ever set from
+            // `backend::effective_caps`, which requires the runtime
+            // probe for sha/ssse3/sse4.1 to have passed.
+            unsafe { backend::shani::compress_blocks(&mut self.state, blocks, &K) };
+            return;
+        }
+        for block in blocks.chunks_exact(64) {
+            self.compress(block.try_into().unwrap());
         }
     }
 
@@ -87,7 +135,7 @@ impl Sha256 {
         // Manual length append (update would recount it).
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
-        self.compress(&block);
+        self.compress_run(&block);
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
@@ -143,9 +191,16 @@ impl Sha256 {
     }
 }
 
-/// One-shot SHA-256.
+/// One-shot SHA-256 on the process-wide active backend.
 pub fn sha256(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 on an explicit backend (test and benchmark seam).
+pub fn sha256_with(data: &[u8], backend: CryptoBackend) -> Digest {
+    let mut h = Sha256::with_backend(backend);
     h.update(data);
     h.finalize()
 }
@@ -218,6 +273,57 @@ mod tests {
             for b in digests.iter().skip(i + 1) {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    /// Cross-backend: the SHA-NI compression (when the host has it)
+    /// produces the same digest as the scalar reference for the FIPS
+    /// vectors and for lengths straddling the 64-byte block boundary.
+    /// Hosts without the extensions degrade Accel to Soft, so the
+    /// comparison stays valid (if vacuous) everywhere.
+    #[test]
+    fn accel_matches_soft_across_block_boundaries() {
+        let known = [
+            (
+                &b""[..],
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                &b"abc"[..],
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                &b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"[..],
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+        ];
+        for (input, expect) in known {
+            assert_eq!(hex(&sha256_with(input, CryptoBackend::Accel)), expect);
+            assert_eq!(hex(&sha256_with(input, CryptoBackend::Soft)), expect);
+        }
+        // Every length around the block boundary, 0..=200 bytes: covers
+        // 63/64/65, 127/128/129 and all the padding edges in between.
+        let data: Vec<u8> = (0..=255u8).cycle().take(201).collect();
+        for len in 0..=200 {
+            assert_eq!(
+                sha256_with(&data[..len], CryptoBackend::Soft),
+                sha256_with(&data[..len], CryptoBackend::Accel),
+                "len {len}"
+            );
+        }
+        // Streaming straddles: feed a 3-block message in two pieces cut
+        // at/around block boundaries so the accel path sees buffered
+        // bytes, partial blocks and multi-block runs in one life.
+        let msg: Vec<u8> = (0..192u8).collect();
+        for cut in [0usize, 1, 63, 64, 65, 127, 128, 129, 191, 192] {
+            let mut h = Sha256::with_backend(CryptoBackend::Accel);
+            h.update(&msg[..cut]);
+            h.update(&msg[cut..]);
+            assert_eq!(
+                h.finalize(),
+                sha256_with(&msg, CryptoBackend::Soft),
+                "cut {cut}"
+            );
         }
     }
 

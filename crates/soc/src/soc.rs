@@ -2201,6 +2201,14 @@ impl Soc {
         })
     }
 
+    /// The crypto backend the LCF's Confidentiality Core runs on, when
+    /// a DDR-protecting LCF exists. Identity only — never part of the
+    /// metrics snapshot, so reports stay byte-identical across backends
+    /// (see `LocalCipheringFirewall::cc_backend`).
+    pub fn cc_backend(&self) -> Option<secbus_crypto::CryptoBackend> {
+        self.lcf().map(LocalCipheringFirewall::cc_backend)
+    }
+
     /// Raw access to the external DDR — the adversary's physical surface.
     /// (`None` if the system has no DDR.)
     pub fn ddr_mut(&mut self) -> Option<&mut ExternalDdr> {
